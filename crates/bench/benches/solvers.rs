@@ -1,0 +1,142 @@
+//! Criterion end-to-end solver benchmarks: RGS vs AsyRGS vs CG vs
+//! preconditioned FCG on small fixed problems.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions, WriteMode};
+use asyrgs_core::lsq::{rcd_solve, LsqOperator, LsqSolveOptions};
+use asyrgs_core::rgs::{rgs_solve, RgsOptions};
+use asyrgs_krylov::cg::{cg_solve, CgOptions};
+use asyrgs_krylov::fcg::{fcg_solve, FcgOptions};
+use asyrgs_krylov::precond::AsyRgsPrecond;
+use asyrgs_workloads::{laplace2d, random_lsq, LsqParams};
+
+fn setup() -> (asyrgs_sparse::CsrMatrix, Vec<f64>) {
+    let a = laplace2d(32, 32);
+    let n = a.n_rows();
+    let x_star: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+    let b = a.matvec(&x_star);
+    (a, b)
+}
+
+fn bench_ten_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ten_sweeps");
+    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    let (a, b) = setup();
+    let n = a.n_rows();
+
+    group.bench_function("rgs_sequential", |bch| {
+        bch.iter(|| {
+            let mut x = vec![0.0; n];
+            rgs_solve(&a, &b, &mut x, None, &RgsOptions {
+                sweeps: 10,
+                record_every: 0,
+                ..Default::default()
+            });
+            black_box(x)
+        })
+    });
+
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("asyrgs_atomic", threads),
+            &threads,
+            |bch, &t| {
+                bch.iter(|| {
+                    let mut x = vec![0.0; n];
+                    asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions {
+                        sweeps: 10,
+                        threads: t,
+                        ..Default::default()
+                    });
+                    black_box(x)
+                })
+            },
+        );
+    }
+    group.bench_function("asyrgs_non_atomic_2t", |bch| {
+        bch.iter(|| {
+            let mut x = vec![0.0; n];
+            asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions {
+                sweeps: 10,
+                threads: 2,
+                write_mode: WriteMode::NonAtomic,
+                ..Default::default()
+            });
+            black_box(x)
+        })
+    });
+    group.bench_function("cg_10_iters", |bch| {
+        bch.iter(|| {
+            let mut x = vec![0.0; n];
+            cg_solve(&a, &b, &mut x, &CgOptions {
+                max_iters: 10,
+                tol: 0.0,
+                record_every: 0,
+            });
+            black_box(x)
+        })
+    });
+    group.finish();
+}
+
+fn bench_to_tolerance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_to_1e-6");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let (a, b) = setup();
+    let n = a.n_rows();
+
+    group.bench_function("cg", |bch| {
+        bch.iter(|| {
+            let mut x = vec![0.0; n];
+            cg_solve(&a, &b, &mut x, &CgOptions {
+                tol: 1e-6,
+                record_every: 0,
+                ..Default::default()
+            });
+            black_box(x)
+        })
+    });
+    group.bench_function("fcg_asyrgs_2sweeps_2t", |bch| {
+        bch.iter(|| {
+            let pre = AsyRgsPrecond::new(&a, 2, 2, 1.0, 5);
+            let mut x = vec![0.0; n];
+            fcg_solve(&a, &b, &mut x, &pre, &FcgOptions {
+                tol: 1e-6,
+                record_every: 0,
+                ..Default::default()
+            });
+            black_box(x)
+        })
+    });
+    group.finish();
+}
+
+fn bench_lsq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("least_squares");
+    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    let p = random_lsq(&LsqParams {
+        rows: 2000,
+        cols: 400,
+        nnz_per_col: 8,
+        noise: 0.0,
+        seed: 11,
+    });
+    let op = LsqOperator::new(p.a.clone());
+    group.bench_function("rcd_20_sweeps", |bch| {
+        bch.iter(|| {
+            let mut x = vec![0.0; 400];
+            rcd_solve(&op, &p.b, &mut x, &LsqSolveOptions {
+                sweeps: 20,
+                record_every: 0,
+                ..Default::default()
+            });
+            black_box(x)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ten_sweeps, bench_to_tolerance, bench_lsq);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! **Ablation A2**: step-size sweep — how does the measured convergence
+//! depend on `beta` under delay, and where does the theory's optimum
+//! `beta~ = 1/(1 + 2 rho tau)` (Section 6) sit relative to the measured
+//! optimum?
+//!
+//! ```text
+//! cargo run -p asyrgs-bench --release --bin beta_ablation
+//! ```
+
+use asyrgs_bench::csv_header;
+use asyrgs_core::theory;
+use asyrgs_sim::{expected_error_trajectory, DelayPolicy, DelaySimOptions, ReadModel};
+use asyrgs_sparse::UnitDiagonal;
+use asyrgs_spectral::{estimate_condition, CondOptions};
+use asyrgs_workloads::laplace2d;
+
+fn main() {
+    let a = UnitDiagonal::from_spd(&laplace2d(10, 10)).unwrap().a;
+    let n = a.n_rows();
+    let est = estimate_condition(&a, &CondOptions::default());
+    let params = theory::ProblemParams::from_matrix(&a, est.lambda_min, est.lambda_max);
+    let x_star: Vec<f64> = (0..n).map(|i| ((i * 3) % 11) as f64 / 11.0 - 0.3).collect();
+    let b = a.matvec(&x_star);
+    let x0 = vec![0.0; n];
+    let m = 6 * n as u64;
+    eprintln!(
+        "# beta_ablation: n = {n}, rho = {:.4e}, m = {m} iterations, consistent read, max delay",
+        params.rho
+    );
+
+    csv_header(&["tau", "beta", "nu_tau_beta", "measured_factor", "is_theory_optimum"]);
+    for &tau in &[8usize, 32, 96] {
+        let bstar = theory::optimal_beta_consistent(&params, tau);
+        let mut grid: Vec<f64> = vec![0.2, 0.4, 0.6, 0.8, 1.0, 1.2];
+        grid.push(bstar);
+        grid.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &beta in &grid {
+            let traj = expected_error_trajectory(
+                &a,
+                &b,
+                &x0,
+                &x_star,
+                &DelaySimOptions {
+                    iterations: m,
+                    tau,
+                    beta,
+                    policy: DelayPolicy::Max,
+                    read_model: ReadModel::Consistent,
+                    ..Default::default()
+                },
+                10,
+            );
+            let meas = traj.last().unwrap().1 / traj[0].1;
+            let nu = theory::nu_tau(&params, tau, beta);
+            println!(
+                "{tau},{beta:.4},{nu:.6},{meas:.6e},{}",
+                (beta - bstar).abs() < 1e-12
+            );
+        }
+    }
+    eprintln!(
+        "# shape check: for small tau the measured optimum is near beta = 1 \
+         (Eq. 2); as tau grows the best measured beta shifts below 1, in the \
+         direction the theory's beta~ predicts"
+    );
+}

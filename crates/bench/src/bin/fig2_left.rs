@@ -1,0 +1,65 @@
+//! **Figure 2 (left)**: running time of 10 sweeps of AsyRGS vs 10
+//! iterations of CG as a function of thread count.
+//!
+//! The paper measured this on a 64-hardware-thread BlueGene/Q node; this
+//! container has one core, so the timing comes from the discrete-event
+//! machine simulator (`asyrgs-sim::machine`, see DESIGN.md substitution
+//! notes). Shapes to reproduce: AsyRGS scales almost linearly (speedup ~48
+//! at 64 threads in the paper); CG strays from linear speedup as threads
+//! grow (< 29 at 64); the serial gap (RGS ~10% faster) is cost-model-level.
+//!
+//! ```text
+//! cargo run -p asyrgs-bench --release --bin fig2_left
+//! ```
+
+use asyrgs_bench::{csv_header, csv_row, rhs_count, standard_gram, Scale, THREAD_GRID};
+use asyrgs_sim::{asyrgs_time_throughput, cg_time, MachineModel};
+
+fn main() {
+    let scale = Scale::from_env();
+    let problem = standard_gram(scale);
+    let g = &problem.matrix;
+    let k = rhs_count(scale);
+    let sweeps = 10;
+    let model = MachineModel::default();
+    eprintln!(
+        "# fig2_left: n = {}, nnz = {}, {k} RHS, {sweeps} sweeps, machine-simulated timing",
+        g.n_rows(),
+        g.nnz()
+    );
+
+    csv_header(&[
+        "threads",
+        "asyrgs_seconds",
+        "cg_seconds",
+        "asyrgs_speedup",
+        "cg_speedup",
+    ]);
+    let asy1 = asyrgs_time_throughput(g, &model, sweeps, 1, k);
+    let cg1 = cg_time(g, &model, sweeps, 1, k);
+    for &p in &THREAD_GRID {
+        let asy = asyrgs_time_throughput(g, &model, sweeps, p, k);
+        let cg = cg_time(g, &model, sweeps, p, k);
+        csv_row(
+            &p.to_string(),
+            &[asy, cg, asy1 / asy, cg1 / cg],
+        );
+    }
+
+    let asy64 = asyrgs_time_throughput(g, &model, sweeps, 64, k);
+    let cg64 = cg_time(g, &model, sweeps, 64, k);
+    eprintln!("# shape check (paper Fig. 2 left):");
+    eprintln!(
+        "#   AsyRGS speedup @64: {:.1} (paper: ~48); CG speedup @64: {:.1} (paper: < 29)",
+        asy1 / asy64,
+        cg1 / cg64
+    );
+    eprintln!(
+        "#   serial: RGS {:.3}s vs CG {:.3}s (paper: RGS ~10% faster serially)",
+        asy1, cg1
+    );
+    eprintln!(
+        "#   64 threads: AsyRGS {:.4}s vs CG {:.4}s (paper: 25.7s vs 46.5s)",
+        asy64, cg64
+    );
+}

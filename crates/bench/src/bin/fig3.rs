@@ -1,0 +1,70 @@
+//! **Figure 3**: parallel performance of Flexible-CG preconditioned with
+//! AsyRGS — running time (left) and outer iteration count (right) vs
+//! thread count, for 2 and 10 inner sweeps.
+//!
+//! Outer-iteration counts come from *real threaded runs* (the physics the
+//! paper observes: iteration count does *not* grow with threads because
+//! randomness dominates asynchronism); times come from the machine
+//! simulator at the corresponding virtual thread count (see DESIGN.md).
+//!
+//! ```text
+//! cargo run -p asyrgs-bench --release --bin fig3
+//! ```
+
+use asyrgs_bench::{csv_header, median, planted_rhs, real_thread_cap, standard_gram, Scale, THREAD_GRID};
+use asyrgs_krylov::fcg::{fcg_asyrgs_summary, FcgOptions};
+use asyrgs_sim::{fcg_asyrgs_time, MachineModel};
+
+fn main() {
+    let scale = Scale::from_env();
+    let problem = standard_gram(scale);
+    let g = &problem.matrix;
+    let (_, b) = planted_rhs(g, 0xF16_33);
+    let model = MachineModel::default();
+    let cap = real_thread_cap();
+    let opts = FcgOptions {
+        tol: 1e-8,
+        max_iters: 5000,
+        record_every: 0,
+        ..Default::default()
+    };
+    eprintln!(
+        "# fig3: n = {}, FCG + AsyRGS; outer iters from real runs (threads capped at {cap}), \
+         time from machine simulator; median of 5",
+        g.n_rows()
+    );
+
+    csv_header(&[
+        "threads",
+        "outer_iters_2sweeps",
+        "outer_iters_10sweeps",
+        "sim_seconds_2sweeps",
+        "sim_seconds_10sweeps",
+    ]);
+    for &p in &THREAD_GRID {
+        // Real runs use min(p, cap) threads — beyond the cap the container
+        // oversubscribes and interleavings (the thing that matters for
+        // iteration counts) are still exercised.
+        let real_p = p.min(cap);
+        let mut outer2 = Vec::new();
+        let mut outer10 = Vec::new();
+        for trial in 0..5 {
+            let s2 = fcg_asyrgs_summary(g, &b, 2, real_p, 1.0, 0x333 + trial, &opts);
+            let s10 = fcg_asyrgs_summary(g, &b, 10, real_p, 1.0, 0x777 + trial, &opts);
+            assert!(s2.converged && s10.converged);
+            outer2.push(s2.outer_iters as f64);
+            outer10.push(s10.outer_iters as f64);
+        }
+        let o2 = median(&mut outer2);
+        let o10 = median(&mut outer10);
+        let t2 = fcg_asyrgs_time(g, &model, o2 as usize, 2, p);
+        let t10 = fcg_asyrgs_time(g, &model, o10 as usize, 10, p);
+        println!("{p},{o2:.0},{o10:.0},{t2:.6e},{t10:.6e}");
+    }
+    eprintln!(
+        "# shape check (paper Fig. 3): good speedups for both configurations \
+         (paper: >32x at 2 sweeps, ~30x at 10 sweeps on 64 threads); outer \
+         iteration counts roughly flat in thread count, higher variability \
+         at 2 inner sweeps"
+    );
+}

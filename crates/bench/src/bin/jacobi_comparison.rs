@@ -1,0 +1,86 @@
+//! **Ablation A4 / the paper's central claim**: classical asynchronous
+//! methods (chaotic relaxation / async Jacobi) require the Chazan-Miranker
+//! condition `rho(|M|) < 1` (near diagonal dominance); AsyRGS does not.
+//!
+//! Runs both methods on (a) a diagonally dominant SPD matrix — both
+//! converge — and (b) the non-dominant social-media Gram matrix —
+//! async Jacobi diverges or stalls while AsyRGS converges.
+//!
+//! ```text
+//! cargo run -p asyrgs-bench --release --bin jacobi_comparison
+//! ```
+
+use asyrgs_bench::{csv_header, standard_gram, Scale};
+use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions};
+use asyrgs_core::jacobi::{
+    async_jacobi_solve, chazan_miranker_condition, jacobi_solve, JacobiOptions,
+};
+use asyrgs_workloads::diag_dominant;
+
+fn run_case(name: &str, a: &asyrgs_sparse::CsrMatrix, sweeps: usize, threads: usize) {
+    let n = a.n_rows();
+    let x_star: Vec<f64> = (0..n).map(|i| ((i * 5) % 11) as f64 / 11.0 - 0.3).collect();
+    let b = a.matvec(&x_star);
+    let rho_m = chazan_miranker_condition(a, 300);
+
+    // Synchronous two-buffer Jacobi: diverges whenever rho(M) > 1.
+    let mut x_s = vec![0.0; n];
+    let sync = jacobi_solve(a, &b, &mut x_s, &JacobiOptions {
+        sweeps,
+        record_every: 0,
+        ..Default::default()
+    });
+
+    // Chaotic relaxation (in-place asynchronous sweeps): classical theory
+    // only guarantees it when rho(|M|) < 1.
+    let mut x_j = vec![0.0; n];
+    let jac = async_jacobi_solve(a, &b, &mut x_j, &JacobiOptions {
+        sweeps,
+        threads,
+        record_every: 0,
+        ..Default::default()
+    });
+
+    let mut x_r = vec![0.0; n];
+    let rgs = asyrgs_solve(a, &b, &mut x_r, None, &AsyRgsOptions {
+        sweeps,
+        threads,
+        ..Default::default()
+    });
+
+    println!(
+        "{name},{n},{rho_m:.4},{},{:.6e},{:.6e},{:.6e}",
+        rho_m < 1.0,
+        sync.final_rel_residual,
+        jac.final_rel_residual,
+        rgs.final_rel_residual
+    );
+}
+
+fn main() {
+    eprintln!(
+        "# jacobi_comparison: chaotic relaxation (async Jacobi) vs AsyRGS; \
+         rho(|M|) < 1 is the Chazan-Miranker convergence condition"
+    );
+    csv_header(&[
+        "matrix",
+        "n",
+        "rho_abs_M",
+        "cm_condition_holds",
+        "sync_jacobi_residual",
+        "async_jacobi_residual",
+        "asyrgs_residual",
+    ]);
+    let dom = diag_dominant(1000, 6, 1.5, 11);
+    run_case("diag_dominant", &dom, 60, 4);
+
+    let gram = standard_gram(Scale::Small).matrix;
+    run_case("social_media_gram", &gram, 60, 4);
+
+    eprintln!(
+        "# shape check: on diag_dominant everything converges; on the Gram \
+         matrix rho(|M|) >> 1, synchronous Jacobi diverges outright, chaotic \
+         relaxation loses its guarantee (and trails), while AsyRGS converges \
+         — randomization removes the matrix-class restriction (paper Section 1)"
+    );
+}

@@ -1,0 +1,136 @@
+//! **Validation V3**: Section 8 — asynchronous randomized coordinate
+//! descent for overdetermined least squares, and Theorem 5's bound on the
+//! normal-equations iteration.
+//!
+//! ```text
+//! cargo run -p asyrgs-bench --release --bin lsq_validation
+//! ```
+
+use asyrgs_bench::csv_header;
+use asyrgs_core::lsq::{async_rcd_solve, rcd_solve, LsqOperator, LsqSolveOptions};
+use asyrgs_core::theory;
+use asyrgs_sim::{expected_error_trajectory, DelayPolicy, DelaySimOptions, ReadModel};
+use asyrgs_spectral::sigma_max;
+use asyrgs_workloads::{random_lsq, LsqParams};
+
+/// Dense-free computation of X = A^T A as CSR via sorted merge joins.
+fn normal_matrix(a: &asyrgs_sparse::CsrMatrix) -> asyrgs_sparse::CsrMatrix {
+    let at = a.transpose();
+    let n = a.n_cols();
+    let mut coo = asyrgs_sparse::CooBuilder::new(n, n);
+    for i in 0..n {
+        let (ci, vi) = at.row(i);
+        for j in 0..n {
+            let (cj, vj) = at.row(j);
+            let mut dot = 0.0;
+            let (mut pi, mut pj) = (0, 0);
+            while pi < ci.len() && pj < cj.len() {
+                match ci[pi].cmp(&cj[pj]) {
+                    std::cmp::Ordering::Less => pi += 1,
+                    std::cmp::Ordering::Greater => pj += 1,
+                    std::cmp::Ordering::Equal => {
+                        dot += vi[pi] * vj[pj];
+                        pi += 1;
+                        pj += 1;
+                    }
+                }
+            }
+            if dot.abs() > 1e-14 {
+                coo.push(i, j, dot).unwrap();
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+fn main() {
+    let p = random_lsq(&LsqParams {
+        rows: 600,
+        cols: 120,
+        nnz_per_col: 8,
+        noise: 0.0,
+        seed: 0x15EED,
+    });
+    let op = LsqOperator::new(p.a.clone());
+    eprintln!(
+        "# lsq_validation: {} x {}, nnz = {}, unit-norm columns",
+        p.a.n_rows(),
+        p.a.n_cols(),
+        p.a.nnz()
+    );
+
+    // Part 1: solver quality, sequential vs async across threads.
+    csv_header(&["solver", "threads", "sweeps", "rel_residual"]);
+    let mut x = vec![0.0; 120];
+    let seq = rcd_solve(&op, &p.b, &mut x, &LsqSolveOptions {
+        sweeps: 150,
+        record_every: 0,
+        ..Default::default()
+    });
+    println!("rcd_sequential,1,150,{:.6e}", seq.final_rel_residual);
+    for &threads in &[1usize, 2, 4, 8] {
+        let mut xa = vec![0.0; 120];
+        let rep = async_rcd_solve(&op, &p.b, &mut xa, &LsqSolveOptions {
+            sweeps: 150,
+            threads,
+            beta: 0.9,
+            ..Default::default()
+        });
+        println!("async_rcd,{threads},150,{:.6e}", rep.final_rel_residual);
+    }
+
+    // Part 2: Theorem 5 bound on the normal-equations delay model.
+    let x_mat = normal_matrix(&p.a);
+    assert!(
+        asyrgs_sparse::has_unit_diagonal(&x_mat, 1e-9),
+        "unit-norm columns give unit-diagonal A^T A"
+    );
+    let smax = sigma_max(&p.a, 4000, 1e-12, 9);
+    let est = asyrgs_spectral::estimate_condition(
+        &x_mat,
+        &asyrgs_spectral::CondOptions::default(),
+    );
+    let lp = theory::LsqParams {
+        n: 120,
+        sigma_max: smax,
+        sigma_min: est.lambda_min.max(1e-12).sqrt(),
+        rho2: x_mat.rho2(),
+    };
+    eprintln!(
+        "# sigma_max = {:.3}, sigma_min = {:.3}, kappa(A) = {:.1}, rho2*n = {:.2}",
+        lp.sigma_max,
+        lp.sigma_min,
+        lp.kappa(),
+        lp.rho2 * 120.0
+    );
+
+    csv_header(&["tau", "beta", "thm5a_bound", "measured", "bound_holds"]);
+    let c = p.a.transpose().matvec(&p.b);
+    let x0 = vec![0.0; 120];
+    let m = (0.693 * 120.0 / (smax * smax)).ceil().max(120.0) as u64;
+    for &tau in &[1usize, 3, 6] {
+        let beta = 0.4;
+        if !theory::lsq_valid(&lp, tau, beta) {
+            continue;
+        }
+        let traj = expected_error_trajectory(
+            &x_mat,
+            &c,
+            &x0,
+            &p.x_planted,
+            &DelaySimOptions {
+                iterations: m,
+                tau,
+                beta,
+                policy: DelayPolicy::Max,
+                read_model: ReadModel::Inconsistent,
+                ..Default::default()
+            },
+            10,
+        );
+        let meas = traj.last().unwrap().1 / traj[0].1;
+        let bound = theory::theorem5_a(&lp, tau, beta);
+        println!("{tau},{beta},{bound:.6},{meas:.6},{}", meas <= bound);
+    }
+    eprintln!("# every bound_holds must be true");
+}

@@ -1,0 +1,107 @@
+//! **Validation V1/V2**: Theorems 2, 3, 4 — bound vs measured expected
+//! error in the exact delay-model executor, sweeping the delay bound `tau`
+//! and the step size `beta`.
+//!
+//! For each configuration, prints the theorem's guaranteed factor on
+//! `E_m / E_0` at `m = max(T_0, n)` and the measured mean over replicas.
+//! Every row must satisfy `measured <= bound` (the bounds are valid), and
+//! the gap documents how pessimistic they are (paper Sections 5-7 and 9).
+//!
+//! ```text
+//! cargo run -p asyrgs-bench --release --bin theory_validation
+//! ```
+
+use asyrgs_bench::csv_header;
+use asyrgs_core::theory;
+use asyrgs_sim::{expected_error_trajectory, DelayPolicy, DelaySimOptions, ReadModel};
+use asyrgs_sparse::UnitDiagonal;
+use asyrgs_spectral::{estimate_condition, CondOptions};
+use asyrgs_workloads::{laplace2d, random_spd_band};
+
+fn validate(
+    name: &str,
+    a: &asyrgs_sparse::CsrMatrix,
+    replicas: usize,
+) {
+    let est = estimate_condition(a, &CondOptions::default());
+    let params = theory::ProblemParams::from_matrix(a, est.lambda_min, est.lambda_max);
+    let n = a.n_rows();
+    let m = theory::t0(&params).max(n as u64);
+    let x_star: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 / 13.0 - 0.4).collect();
+    let b = a.matvec(&x_star);
+    let x0 = vec![0.0; n];
+    eprintln!(
+        "# {name}: n = {n}, kappa = {:.1}, rho*n = {:.2}, rho2*n = {:.2}, m = {m}",
+        params.kappa(),
+        params.rho * n as f64,
+        params.rho2 * n as f64
+    );
+
+    let measure = |tau: usize, beta: f64, read: ReadModel| -> f64 {
+        let traj = expected_error_trajectory(
+            a,
+            &b,
+            &x0,
+            &x_star,
+            &DelaySimOptions {
+                iterations: m,
+                tau,
+                beta,
+                policy: DelayPolicy::Max,
+                read_model: read,
+                ..Default::default()
+            },
+            replicas,
+        );
+        traj.last().unwrap().1 / traj[0].1
+    };
+
+    for &tau in &[0usize, 2, 8, 32] {
+        // Theorem 2 (consistent, beta = 1).
+        if theory::consistent_valid(&params, tau, 1.0) {
+            let bound = theory::theorem2_a(&params, tau);
+            let meas = measure(tau, 1.0, ReadModel::Consistent);
+            println!(
+                "{name},thm2a,{tau},1.0,{bound:.6},{meas:.6},{}",
+                meas <= bound
+            );
+        }
+        // Theorem 3 at the tuned step size.
+        let bstar = theory::optimal_beta_consistent(&params, tau);
+        if theory::consistent_valid(&params, tau, bstar) {
+            let bound = theory::theorem3_a(&params, tau, bstar);
+            let meas = measure(tau, bstar, ReadModel::Consistent);
+            println!(
+                "{name},thm3a,{tau},{bstar:.4},{bound:.6},{meas:.6},{}",
+                meas <= bound
+            );
+        }
+        // Theorem 4 at its tuned step size.
+        let bincon = theory::optimal_beta_inconsistent(&params, tau);
+        if theory::inconsistent_valid(&params, tau, bincon) {
+            let bound = theory::theorem4_a(&params, tau, bincon);
+            let meas = measure(tau, bincon, ReadModel::Inconsistent);
+            println!(
+                "{name},thm4a,{tau},{bincon:.4},{bound:.6},{meas:.6},{}",
+                meas <= bound
+            );
+        }
+    }
+}
+
+fn main() {
+    csv_header(&[
+        "matrix",
+        "theorem",
+        "tau",
+        "beta",
+        "bound_factor",
+        "measured_factor",
+        "bound_holds",
+    ]);
+    let lap = UnitDiagonal::from_spd(&laplace2d(10, 10)).unwrap().a;
+    validate("laplace2d_10x10", &lap, 12);
+    let band = UnitDiagonal::from_spd(&random_spd_band(150, 4, 7)).unwrap().a;
+    validate("spd_band_150", &band, 12);
+    eprintln!("# every row must end in `true`; the measured/bound gap documents pessimism");
+}

@@ -1,0 +1,136 @@
+//! # asyrgs-core
+//!
+//! The primary contribution of *"Revisiting Asynchronous Linear Solvers:
+//! Provable Convergence Rate Through Randomization"* (Avron, Druinsky,
+//! Gupta — IPDPS 2014), implemented as a library:
+//!
+//! * [`rgs`] — sequential Randomized Gauss-Seidel (the synchronous
+//!   baseline, Section 3), single and multi-RHS;
+//! * [`asyrgs`] — **AsyRGS**, the asynchronous shared-memory solver
+//!   (Section 4): lock-free workers over a shared iterate with atomic or
+//!   non-atomic writes, occasional-synchronization epochs, and step-size
+//!   control (Section 6);
+//! * [`lsq`] — randomized coordinate descent for overdetermined least
+//!   squares and its asynchronous variant (Section 8);
+//! * [`theory`] — every convergence bound of the paper (Eq. (2),
+//!   Theorems 2-5) as executable formulas, with optimal step sizes;
+//! * [`atomic`] — the `AtomicF64` / shared-vector substrate implementing
+//!   Assumption A-1;
+//! * [`report`] — solve telemetry.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions};
+//! use asyrgs_workloads::laplace2d;
+//!
+//! let a = laplace2d(16, 16);
+//! let n = a.n_rows();
+//! let x_star = vec![1.0; n];
+//! let b = a.matvec(&x_star);
+//! let mut x = vec![0.0; n];
+//! let report = asyrgs_solve(&a, &b, &mut x, Some(&x_star), &AsyRgsOptions {
+//!     sweeps: 400,
+//!     threads: 4,
+//!     ..Default::default()
+//! });
+//! assert!(report.final_rel_residual < 1e-2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asyrgs;
+pub mod atomic;
+pub mod jacobi;
+pub mod lsq;
+pub mod partitioned;
+pub mod report;
+pub mod rgs;
+pub mod theory;
+
+pub use asyrgs::{asyrgs_solve, asyrgs_solve_block, AsyRgsOptions, ReadMode, WriteMode};
+pub use jacobi::{async_jacobi_solve, chazan_miranker_condition, jacobi_solve, JacobiOptions};
+pub use atomic::{AtomicF64, SharedVec};
+pub use lsq::{async_rcd_solve, rcd_solve, LsqOperator, LsqSolveOptions};
+pub use partitioned::{partitioned_solve, PartitionedOptions, PartitionedReport};
+pub use report::{SolveReport, SweepRecord};
+pub use rgs::{rgs_solve, rgs_solve_block, RgsOptions, RowSampling};
+pub use theory::ProblemParams;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use asyrgs_workloads::diag_dominant;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The error never increases across a full solve on diagonally
+        /// dominant matrices (in residual terms, over the whole run).
+        #[test]
+        fn rgs_reduces_residual(seed in any::<u64>(), n in 20usize..80) {
+            let a = diag_dominant(n, 4, 2.0, seed);
+            let x_star: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
+            let b = a.matvec(&x_star);
+            let mut x = vec![0.0; n];
+            let rep = rgs_solve(&a, &b, &mut x, None, &RgsOptions {
+                sweeps: 40,
+                record_every: 0,
+                seed,
+                ..Default::default()
+            });
+            prop_assert!(rep.final_rel_residual < 0.5);
+        }
+
+        /// AsyRGS with any thread count in 1..5 converges on dominant
+        /// matrices, atomic or not.
+        #[test]
+        fn asyrgs_converges_any_thread_count(
+            seed in any::<u64>(),
+            threads in 1usize..5,
+            atomic in any::<bool>(),
+        ) {
+            let n = 60;
+            let a = diag_dominant(n, 4, 2.0, seed);
+            let x_star: Vec<f64> = (0..n).map(|i| (i as f64 * 0.07).cos()).collect();
+            let b = a.matvec(&x_star);
+            let mut x = vec![0.0; n];
+            let rep = asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions {
+                sweeps: 120,
+                threads,
+                write_mode: if atomic { WriteMode::Atomic } else { WriteMode::NonAtomic },
+                seed,
+                ..Default::default()
+            });
+            // Under full-suite load on an oversubscribed core the effective
+            // delay can exceed n, so require robust progress rather than a
+            // tight tolerance.
+            prop_assert!(rep.final_rel_residual < 0.3,
+                "residual {} with {} threads", rep.final_rel_residual, threads);
+        }
+
+        /// Theorem bound factors are always in (0, 1] when valid.
+        #[test]
+        fn theory_factors_in_unit_interval(
+            tau in 0usize..200,
+            beta in 0.01f64..0.99,
+        ) {
+            let p = theory::ProblemParams {
+                n: 5000,
+                lambda_min: 0.05,
+                lambda_max: 2.0,
+                rho: 3.0 / 5000.0,
+                rho2: 1.0 / 5000.0,
+            };
+            if theory::consistent_valid(&p, tau, beta) {
+                let f = theory::theorem3_a(&p, tau, beta);
+                prop_assert!(f > 0.0 && f < 1.0);
+            }
+            if theory::inconsistent_valid(&p, tau, beta) {
+                let f = theory::theorem4_a(&p, tau, beta);
+                prop_assert!(f > 0.0 && f < 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Randomized coordinate descent for overdetermined least squares
+//! (paper Section 8).
+//!
+//! For full-rank `A` (rows >= cols) with unit-norm columns, the
+//! Leventhal-Lewis iteration (20) is stochastic coordinate descent on
+//! `f(x) = ||A x - b||_2^2`: pick a random column `j`, set
+//! `gamma = (A e_j)^T (b - A x)`, update `x_j += gamma`. The sequential
+//! implementation keeps the residual `r = b - A x` in memory and updates it
+//! incrementally — `O(nnz(col))` per step.
+//!
+//! The asynchronous variant (iteration (21)) cannot keep a shared residual
+//! ("updates to r cannot be atomic"), so each iteration recomputes the
+//! needed residual entries on the fly:
+//! `gamma_j = d_j^T A^T (b - A x_{K(j)})`, costing `O(sum of nnz of the rows
+//! touched by column j)`. This matches the per-iteration cost analysis in
+//! Section 8, and is identical to AsyRGS applied to the normal equations
+//! `A^T A x = A^T b` (Theorem 5 transfers Theorem 4's bound with
+//! `kappa -> kappa^2`).
+//!
+//! Columns need not have exactly unit norm here: the step divides by
+//! `||A e_j||_2^2`, which reduces to the paper's iteration for unit-norm
+//! columns.
+
+use crate::atomic::SharedVec;
+use crate::report::{SolveReport, SweepRecord};
+use asyrgs_rng::DirectionStream;
+use asyrgs_sparse::dense;
+use asyrgs_sparse::{CscMatrix, CsrMatrix};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A least-squares operator: the matrix with precomputed column access and
+/// column norms.
+#[derive(Debug, Clone)]
+pub struct LsqOperator {
+    /// Row access (`A_i` for residual recomputation).
+    a: CsrMatrix,
+    /// Column access (`A e_j`).
+    csc: CscMatrix,
+    /// Squared Euclidean column norms.
+    col_norms_sq: Vec<f64>,
+}
+
+impl LsqOperator {
+    /// Build from a CSR matrix. Panics if a column is identically zero
+    /// (which would contradict full column rank).
+    pub fn new(a: CsrMatrix) -> Self {
+        assert!(
+            a.n_rows() >= a.n_cols(),
+            "least squares needs rows >= cols"
+        );
+        let csc = CscMatrix::from_csr(&a);
+        let col_norms_sq: Vec<f64> = (0..a.n_cols()).map(|j| csc.col_norm_sq(j)).collect();
+        for (j, &nsq) in col_norms_sq.iter().enumerate() {
+            assert!(nsq > 0.0, "column {j} is identically zero");
+        }
+        LsqOperator {
+            a,
+            csc,
+            col_norms_sq,
+        }
+    }
+
+    /// The underlying CSR matrix.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.a
+    }
+
+    /// The column view.
+    pub fn csc(&self) -> &CscMatrix {
+        &self.csc
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.a.n_rows()
+    }
+
+    /// Number of columns (the dimension of `x`).
+    pub fn n_cols(&self) -> usize {
+        self.a.n_cols()
+    }
+
+    /// `||A x - b||_2 / ||b||_2`.
+    pub fn rel_residual(&self, b: &[f64], x: &[f64]) -> f64 {
+        dense::norm2(&self.a.residual(b, x)) / dense::norm2(b).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Options for the least-squares solvers.
+#[derive(Debug, Clone)]
+pub struct LsqSolveOptions {
+    /// Step size; the asynchronous guarantee (Theorem 5) needs `beta < 1`.
+    pub beta: f64,
+    /// Sweeps; one sweep = `n_cols` coordinate steps.
+    pub sweeps: usize,
+    /// Philox seed for the coordinate stream.
+    pub seed: u64,
+    /// Threads for the asynchronous variant.
+    pub threads: usize,
+    /// Record the residual every `record_every` sweeps (0 = end only).
+    pub record_every: usize,
+}
+
+impl Default for LsqSolveOptions {
+    fn default() -> Self {
+        LsqSolveOptions {
+            beta: 1.0,
+            sweeps: 20,
+            seed: 0x15EED,
+            threads: 2,
+            record_every: 1,
+        }
+    }
+}
+
+/// Sequential randomized coordinate descent, iteration (20): keeps the
+/// residual `r = b - A x` in memory and updates both `x` and `r` each step.
+pub fn rcd_solve(
+    op: &LsqOperator,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &LsqSolveOptions,
+) -> SolveReport {
+    let rows = op.n_rows();
+    let n = op.n_cols();
+    assert_eq!(b.len(), rows, "b length mismatch");
+    assert_eq!(x.len(), n, "x length mismatch");
+    assert!(opts.beta > 0.0 && opts.beta < 2.0, "beta must be in (0,2)");
+    let ds = DirectionStream::new(opts.seed, n);
+    let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
+
+    let start = Instant::now();
+    let mut r = op.a.residual(b, x);
+    let mut report = SolveReport::empty();
+    let mut j: u64 = 0;
+
+    for sweep in 1..=opts.sweeps {
+        for _ in 0..n {
+            let col = ds.direction(j);
+            j += 1;
+            // gamma = (A e_col)^T r / ||A e_col||^2
+            let gamma = op.csc.col_dot(col, &r) / op.col_norms_sq[col];
+            let step = opts.beta * gamma;
+            x[col] += step;
+            // r -= step * A e_col
+            let (rows_c, vals_c) = op.csc.col(col);
+            for (&i, &v) in rows_c.iter().zip(vals_c) {
+                r[i] -= step * v;
+            }
+        }
+        if (opts.record_every != 0 && sweep % opts.record_every == 0) || sweep == opts.sweeps {
+            // Use the maintained residual; it tracks the true one up to
+            // roundoff accumulation.
+            let rel = dense::norm2(&r) / norm_b;
+            report.records.push(SweepRecord {
+                sweep,
+                iterations: j,
+                rel_residual: rel,
+                rel_error_anorm: None,
+            });
+        }
+    }
+
+    report.iterations = j;
+    report.final_rel_residual = op.rel_residual(b, x);
+    report.wall_seconds = start.elapsed().as_secs_f64();
+    report.threads = 1;
+    report
+}
+
+/// Asynchronous worker for iteration (21).
+fn lsq_worker(
+    op: &LsqOperator,
+    b: &[f64],
+    x: &SharedVec,
+    ds: &DirectionStream,
+    counter: &AtomicU64,
+    limit: u64,
+    beta: f64,
+) {
+    loop {
+        let j = counter.fetch_add(1, Ordering::Relaxed);
+        if j >= limit {
+            break;
+        }
+        let col = ds.direction(j);
+        // gamma = sum over rows i with A_{i,col} != 0 of
+        //         A_{i,col} * (b_i - A_i x),
+        // recomputing each needed residual entry from shared x.
+        let (rows_c, vals_c) = op.csc.col(col);
+        let mut gamma = 0.0;
+        for (&i, &vic) in rows_c.iter().zip(vals_c) {
+            let (cols_i, vals_i) = op.a.row(i);
+            let mut dot = 0.0;
+            for (&c, &v) in cols_i.iter().zip(vals_i) {
+                dot += v * x.load(c);
+            }
+            gamma += vic * (b[i] - dot);
+        }
+        gamma /= op.col_norms_sq[col];
+        x.fetch_add(col, beta * gamma);
+    }
+}
+
+/// Asynchronous randomized coordinate descent for least squares, iteration
+/// (21): the AsyRGS strategy applied to `min ||A x - b||_2`.
+pub fn async_rcd_solve(
+    op: &LsqOperator,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &LsqSolveOptions,
+) -> SolveReport {
+    let rows = op.n_rows();
+    let n = op.n_cols();
+    assert_eq!(b.len(), rows, "b length mismatch");
+    assert_eq!(x.len(), n, "x length mismatch");
+    assert!(opts.beta > 0.0 && opts.beta < 2.0, "beta must be in (0,2)");
+    assert!(opts.threads >= 1, "need at least one thread");
+    let ds = DirectionStream::new(opts.seed, n);
+    let shared = SharedVec::from_slice(x);
+    let counter = AtomicU64::new(0);
+    let limit = (opts.sweeps as u64) * (n as u64);
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..opts.threads {
+            s.spawn(|| lsq_worker(op, b, &shared, &ds, &counter, limit, opts.beta));
+        }
+    });
+
+    x.copy_from_slice(&shared.snapshot());
+    let mut report = SolveReport::empty();
+    report.iterations = limit;
+    report.final_rel_residual = op.rel_residual(b, x);
+    report.records.push(SweepRecord {
+        sweep: opts.sweeps,
+        iterations: limit,
+        rel_residual: report.final_rel_residual,
+        rel_error_anorm: None,
+    });
+    report.wall_seconds = start.elapsed().as_secs_f64();
+    report.threads = opts.threads;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyrgs_workloads::{random_lsq, LsqParams};
+
+    fn problem(noise: f64, seed: u64) -> (LsqOperator, Vec<f64>, Vec<f64>) {
+        let p = random_lsq(&LsqParams {
+            rows: 240,
+            cols: 60,
+            nnz_per_col: 6,
+            noise,
+            seed,
+        });
+        (LsqOperator::new(p.a), p.b, p.x_planted)
+    }
+
+    #[test]
+    fn rcd_drives_consistent_residual_to_zero() {
+        let (op, b, _) = problem(0.0, 1);
+        let mut x = vec![0.0; op.n_cols()];
+        let rep = rcd_solve(&op, &b, &mut x, &LsqSolveOptions {
+            sweeps: 300,
+            ..Default::default()
+        });
+        assert!(
+            rep.final_rel_residual < 1e-8,
+            "residual {}",
+            rep.final_rel_residual
+        );
+    }
+
+    #[test]
+    fn rcd_recovers_planted_solution() {
+        let (op, b, x_star) = problem(0.0, 2);
+        let mut x = vec![0.0; op.n_cols()];
+        rcd_solve(&op, &b, &mut x, &LsqSolveOptions {
+            sweeps: 500,
+            ..Default::default()
+        });
+        for (a, w) in x.iter().zip(&x_star) {
+            assert!((a - w).abs() < 1e-6, "{a} vs {w}");
+        }
+    }
+
+    #[test]
+    fn maintained_residual_matches_true_residual() {
+        let (op, b, _) = problem(0.05, 3);
+        let mut x = vec![0.0; op.n_cols()];
+        let rep = rcd_solve(&op, &b, &mut x, &LsqSolveOptions {
+            sweeps: 50,
+            ..Default::default()
+        });
+        let true_rel = op.rel_residual(&b, &x);
+        let maintained = rep.records.last().unwrap().rel_residual;
+        assert!(
+            (true_rel - maintained).abs() < 1e-9,
+            "{true_rel} vs {maintained}"
+        );
+    }
+
+    #[test]
+    fn noisy_residual_converges_to_lsq_optimum_not_zero() {
+        let (op, b, _) = problem(0.2, 4);
+        let mut x = vec![0.0; op.n_cols()];
+        let rep = rcd_solve(&op, &b, &mut x, &LsqSolveOptions {
+            sweeps: 400,
+            ..Default::default()
+        });
+        // Residual stalls at the projection distance, strictly above zero.
+        assert!(rep.final_rel_residual > 1e-4);
+        // And the normal-equations residual A^T(b - Ax) goes to zero.
+        let r = op.matrix().residual(&b, &x);
+        let atr = op.matrix().transpose().matvec(&r);
+        assert!(
+            dense::norm2(&atr) < 1e-7,
+            "normal residual {}",
+            dense::norm2(&atr)
+        );
+    }
+
+    #[test]
+    fn async_single_thread_matches_sequential() {
+        let (op, b, _) = problem(0.0, 5);
+        let opts = LsqSolveOptions {
+            sweeps: 10,
+            threads: 1,
+            record_every: 0,
+            ..Default::default()
+        };
+        let mut x_seq = vec![0.0; op.n_cols()];
+        rcd_solve(&op, &b, &mut x_seq, &opts);
+        let mut x_async = vec![0.0; op.n_cols()];
+        async_rcd_solve(&op, &b, &mut x_async, &opts);
+        for (s, a) in x_seq.iter().zip(&x_async) {
+            assert!((s - a).abs() < 1e-10, "{s} vs {a}");
+        }
+    }
+
+    #[test]
+    fn async_converges_multithreaded() {
+        let (op, b, _) = problem(0.0, 6);
+        let mut x = vec![0.0; op.n_cols()];
+        let rep = async_rcd_solve(&op, &b, &mut x, &LsqSolveOptions {
+            sweeps: 300,
+            threads: 4,
+            beta: 0.9,
+            ..Default::default()
+        });
+        assert!(
+            rep.final_rel_residual < 1e-6,
+            "residual {}",
+            rep.final_rel_residual
+        );
+    }
+
+    #[test]
+    fn operator_accessors() {
+        let (op, _, _) = problem(0.0, 7);
+        assert_eq!(op.n_rows(), 240);
+        assert_eq!(op.n_cols(), 60);
+        assert_eq!(op.matrix().n_rows(), 240);
+        assert_eq!(op.csc().n_cols(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows >= cols")]
+    fn rejects_wide_matrices() {
+        let a = CsrMatrix::from_dense(1, 2, &[1.0, 1.0]);
+        LsqOperator::new(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "identically zero")]
+    fn rejects_zero_columns() {
+        let a = CsrMatrix::from_dense(3, 2, &[1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        LsqOperator::new(a);
+    }
+}

@@ -1,0 +1,113 @@
+//! Solve telemetry: per-sweep records and end-of-solve reports.
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded point along a solve (typically one per sweep, where a sweep
+/// is `n` single-coordinate iterations — the unit the paper plots against).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepRecord {
+    /// Sweep index (1-based: after `sweep * n` iterations).
+    pub sweep: usize,
+    /// Total single-coordinate iterations applied so far.
+    pub iterations: u64,
+    /// Relative residual `||b - A x|| / ||b||` at this point
+    /// (Frobenius norms for multi-RHS solves).
+    pub rel_residual: f64,
+    /// Relative A-norm of the error `||x - x*||_A / ||x*||_A`, when a
+    /// reference solution was supplied.
+    pub rel_error_anorm: Option<f64>,
+}
+
+/// Summary of a completed solve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveReport {
+    /// Per-sweep telemetry (empty if recording was disabled).
+    pub records: Vec<SweepRecord>,
+    /// Total single-coordinate iterations applied.
+    pub iterations: u64,
+    /// Final relative residual.
+    pub final_rel_residual: f64,
+    /// Wall-clock seconds spent inside the solver.
+    pub wall_seconds: f64,
+    /// Number of worker threads used (1 for sequential solvers).
+    pub threads: usize,
+    /// Whether an early-stop criterion fired before the sweep budget.
+    pub converged_early: bool,
+    /// Largest observed update delay (commits between an iteration's read
+    /// and its write) — the empirical `tau` of Assumption A-3. `None` when
+    /// the solver does not measure it (sequential solvers, block variants).
+    pub max_observed_delay: Option<u64>,
+}
+
+impl SolveReport {
+    /// A report with no records.
+    pub fn empty() -> Self {
+        SolveReport {
+            records: Vec::new(),
+            iterations: 0,
+            final_rel_residual: f64::NAN,
+            wall_seconds: 0.0,
+            threads: 1,
+            converged_early: false,
+            max_observed_delay: None,
+        }
+    }
+
+    /// The residual trajectory as `(sweep, rel_residual)` pairs.
+    pub fn residual_series(&self) -> Vec<(usize, f64)> {
+        self.records
+            .iter()
+            .map(|r| (r.sweep, r.rel_residual))
+            .collect()
+    }
+
+    /// Last recorded sweep index, or 0.
+    pub fn sweeps_run(&self) -> usize {
+        self.records.last().map(|r| r.sweep).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report() {
+        let r = SolveReport::empty();
+        assert_eq!(r.sweeps_run(), 0);
+        assert!(r.residual_series().is_empty());
+        assert!(r.final_rel_residual.is_nan());
+    }
+
+    #[test]
+    fn series_extraction() {
+        let mut r = SolveReport::empty();
+        r.records.push(SweepRecord {
+            sweep: 1,
+            iterations: 10,
+            rel_residual: 0.5,
+            rel_error_anorm: None,
+        });
+        r.records.push(SweepRecord {
+            sweep: 2,
+            iterations: 20,
+            rel_residual: 0.25,
+            rel_error_anorm: Some(0.3),
+        });
+        assert_eq!(r.residual_series(), vec![(1, 0.5), (2, 0.25)]);
+        assert_eq!(r.sweeps_run(), 2);
+    }
+
+    #[test]
+    fn record_copy_semantics() {
+        let r = SweepRecord {
+            sweep: 3,
+            iterations: 300,
+            rel_residual: 1e-3,
+            rel_error_anorm: Some(2e-3),
+        };
+        let r2 = r;
+        assert_eq!(r, r2);
+        assert_eq!(r2.rel_error_anorm, Some(2e-3));
+    }
+}

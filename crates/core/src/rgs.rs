@@ -1,0 +1,513 @@
+//! Sequential Randomized Gauss-Seidel (Leventhal-Lewis / Griebel-Oswald).
+//!
+//! The synchronous baseline of the paper (Section 3). Each iteration picks a
+//! uniformly random row `r`, computes
+//! `gamma = (b_r - A_r x) / A_rr`, and updates `x_r += beta * gamma` — the
+//! general-diagonal iteration (3), which reduces to iteration (1) when the
+//! diagonal is unit. The expected error contracts per Eq. (2):
+//! `E_m <= (1 - beta(2-beta) lambda_min / n)^m ||x_0 - x*||_A^2`
+//! (after unit-diagonal rescaling).
+//!
+//! Directions come from a Philox counter stream, so the exact same direction
+//! sequence can be replayed by the asynchronous solver (paper Section 9 uses
+//! Random123 for the same purpose).
+
+use crate::report::{SolveReport, SweepRecord};
+use asyrgs_rng::{DirectionStream, WeightedDirectionStream};
+use asyrgs_sparse::dense::{self, RowMajorMat};
+use asyrgs_sparse::CsrMatrix;
+use std::time::Instant;
+
+/// How rows are sampled each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowSampling {
+    /// Uniform over `{1, .., n}` — the unit-diagonal analysis of the paper.
+    #[default]
+    Uniform,
+    /// `P(i) proportional to A_ii` — Leventhal & Lewis's non-uniform
+    /// probabilities for general-diagonal matrices (paper Section 3,
+    /// footnote 1). Sampled in O(1) via a Walker alias table.
+    DiagonalWeighted,
+}
+
+/// A direction provider with Philox random access, uniform or weighted.
+#[derive(Debug, Clone)]
+pub(crate) enum Directions {
+    /// Uniform stream.
+    Uniform(DirectionStream),
+    /// Diagonal-weighted stream.
+    Weighted(WeightedDirectionStream),
+}
+
+impl Directions {
+    pub(crate) fn new(sampling: RowSampling, seed: u64, a: &CsrMatrix) -> Directions {
+        match sampling {
+            RowSampling::Uniform => Directions::Uniform(DirectionStream::new(seed, a.n_rows())),
+            RowSampling::DiagonalWeighted => {
+                Directions::Weighted(WeightedDirectionStream::new(seed, &a.diag()))
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn direction(&self, j: u64) -> usize {
+        match self {
+            Directions::Uniform(s) => s.direction(j),
+            Directions::Weighted(s) => s.direction(j),
+        }
+    }
+}
+
+/// Options shared by the sequential solvers.
+#[derive(Debug, Clone)]
+pub struct RgsOptions {
+    /// Step size `beta` in `(0, 2)` (Griebel-Oswald relaxation); the
+    /// synchronous bound is best at `beta = 1`.
+    pub beta: f64,
+    /// Number of sweeps; one sweep is `n` single-coordinate iterations,
+    /// costing about one Gauss-Seidel iteration (`Theta(nnz)`).
+    pub sweeps: usize,
+    /// Seed of the Philox direction stream.
+    pub seed: u64,
+    /// Row sampling distribution.
+    pub sampling: RowSampling,
+    /// Record the residual every `record_every` sweeps (0 = only at the
+    /// end). Each record costs one residual evaluation (`Theta(nnz)`).
+    pub record_every: usize,
+    /// Stop early once the relative residual drops below this value
+    /// (checked at record points).
+    pub target_rel_residual: Option<f64>,
+}
+
+impl Default for RgsOptions {
+    fn default() -> Self {
+        RgsOptions {
+            beta: 1.0,
+            sweeps: 10,
+            seed: 0x5EED,
+            sampling: RowSampling::Uniform,
+            record_every: 1,
+            target_rel_residual: None,
+        }
+    }
+}
+
+fn validate(a: &CsrMatrix, opts: &RgsOptions) -> Vec<f64> {
+    assert!(a.is_square(), "RGS needs a square matrix");
+    assert!(
+        opts.beta > 0.0 && opts.beta < 2.0,
+        "beta must lie in (0, 2), got {}",
+        opts.beta
+    );
+    let diag = a.diag();
+    for (i, &d) in diag.iter().enumerate() {
+        assert!(d > 0.0, "diagonal entry {i} must be positive, got {d}");
+    }
+    diag.iter().map(|&d| 1.0 / d).collect()
+}
+
+/// Solve `A x = b` by sequential Randomized Gauss-Seidel.
+///
+/// `x` holds the initial iterate on entry and the final iterate on exit.
+/// If `x_star` is supplied, per-record A-norm errors are reported.
+///
+/// # Panics
+/// Panics if `A` is not square, has a non-positive diagonal entry, or
+/// `beta` is outside `(0, 2)`.
+pub fn rgs_solve(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    x_star: Option<&[f64]>,
+    opts: &RgsOptions,
+) -> SolveReport {
+    let n = a.n_rows();
+    assert_eq!(b.len(), n, "b length mismatch");
+    assert_eq!(x.len(), n, "x length mismatch");
+    let dinv = validate(a, opts);
+    let ds = Directions::new(opts.sampling, opts.seed, a);
+    let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
+    let norm_xs_a = x_star.map(|xs| a.a_norm(xs).max(f64::MIN_POSITIVE));
+
+    let start = Instant::now();
+    let mut report = SolveReport::empty();
+    let mut j: u64 = 0;
+    let mut converged = false;
+
+    'outer: for sweep in 1..=opts.sweeps {
+        for _ in 0..n {
+            let r = ds.direction(j);
+            j += 1;
+            let gamma = (b[r] - a.row_dot(r, x)) * dinv[r];
+            x[r] += opts.beta * gamma;
+        }
+        let record_now = opts.record_every != 0 && sweep % opts.record_every == 0;
+        if record_now || sweep == opts.sweeps {
+            let rel = dense::norm2(&a.residual(b, x)) / norm_b;
+            let err = x_star.map(|xs| {
+                let diff: Vec<f64> = x.iter().zip(xs).map(|(a, b)| a - b).collect();
+                a.a_norm(&diff) / norm_xs_a.unwrap()
+            });
+            report.records.push(SweepRecord {
+                sweep,
+                iterations: j,
+                rel_residual: rel,
+                rel_error_anorm: err,
+            });
+            if let Some(t) = opts.target_rel_residual {
+                if rel <= t {
+                    converged = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    report.iterations = j;
+    report.final_rel_residual = report
+        .records
+        .last()
+        .map(|r| r.rel_residual)
+        .unwrap_or_else(|| dense::norm2(&a.residual(b, x)) / norm_b);
+    report.wall_seconds = start.elapsed().as_secs_f64();
+    report.threads = 1;
+    report.converged_early = converged;
+    report
+}
+
+/// Multi-RHS Randomized Gauss-Seidel: solves `A X = B` for row-major blocks,
+/// all right-hand sides sharing the same random direction sequence (the
+/// paper solves its 51 systems together this way, Section 9).
+pub fn rgs_solve_block(
+    a: &CsrMatrix,
+    b: &RowMajorMat,
+    x: &mut RowMajorMat,
+    opts: &RgsOptions,
+) -> SolveReport {
+    let n = a.n_rows();
+    assert_eq!(b.n_rows(), n, "B row mismatch");
+    assert_eq!(x.n_rows(), n, "X row mismatch");
+    assert_eq!(b.n_cols(), x.n_cols(), "RHS count mismatch");
+    let k = b.n_cols();
+    let dinv = validate(a, opts);
+    let ds = Directions::new(opts.sampling, opts.seed, a);
+    let norm_b = b.frobenius_norm().max(f64::MIN_POSITIVE);
+
+    let start = Instant::now();
+    let mut report = SolveReport::empty();
+    let mut j: u64 = 0;
+    let mut gammas = vec![0.0f64; k];
+    let mut converged = false;
+
+    'outer: for sweep in 1..=opts.sweeps {
+        for _ in 0..n {
+            let r = ds.direction(j);
+            j += 1;
+            let (cols, vals) = a.row(r);
+            // gamma_t = (B[r][t] - A_r X[:, t]) / A_rr for each RHS t.
+            gammas.copy_from_slice(b.row(r));
+            for (&c, &v) in cols.iter().zip(vals) {
+                let xrow = x.row(c);
+                for t in 0..k {
+                    gammas[t] -= v * xrow[t];
+                }
+            }
+            let xr = x.row_mut(r);
+            for t in 0..k {
+                xr[t] += opts.beta * gammas[t] * dinv[r];
+            }
+        }
+        let record_now = opts.record_every != 0 && sweep % opts.record_every == 0;
+        if record_now || sweep == opts.sweeps {
+            let rel = a.residual_block(b, x).frobenius_norm() / norm_b;
+            report.records.push(SweepRecord {
+                sweep,
+                iterations: j,
+                rel_residual: rel,
+                rel_error_anorm: None,
+            });
+            if let Some(t) = opts.target_rel_residual {
+                if rel <= t {
+                    converged = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    report.iterations = j;
+    report.final_rel_residual = report
+        .records
+        .last()
+        .map(|r| r.rel_residual)
+        .unwrap_or(f64::NAN);
+    report.wall_seconds = start.elapsed().as_secs_f64();
+    report.threads = 1;
+    report.converged_early = converged;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyrgs_workloads::{diag_dominant, laplace2d, tridiag_toeplitz};
+
+    #[test]
+    fn converges_on_laplace2d() {
+        let a = laplace2d(8, 8);
+        let n = a.n_rows();
+        let x_star: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 / 13.0).collect();
+        let b = a.matvec(&x_star);
+        let mut x = vec![0.0; n];
+        let rep = rgs_solve(
+            &a,
+            &b,
+            &mut x,
+            Some(&x_star),
+            &RgsOptions {
+                sweeps: 200,
+                ..Default::default()
+            },
+        );
+        assert!(
+            rep.final_rel_residual < 1e-6,
+            "residual {}",
+            rep.final_rel_residual
+        );
+        // A-norm error recorded and decreasing overall.
+        let first = rep.records.first().unwrap().rel_error_anorm.unwrap();
+        let last = rep.records.last().unwrap().rel_error_anorm.unwrap();
+        assert!(last < first * 1e-3);
+    }
+
+    #[test]
+    fn residual_monotone_in_expectation() {
+        // Not strictly monotone per sweep, but over 10-sweep windows the
+        // residual must drop for a well-conditioned matrix.
+        let a = diag_dominant(100, 5, 2.0, 3);
+        let x_star: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b = a.matvec(&x_star);
+        let mut x = vec![0.0; 100];
+        let rep = rgs_solve(&a, &b, &mut x, None, &RgsOptions {
+            sweeps: 30,
+            ..Default::default()
+        });
+        let res = rep.residual_series();
+        assert!(res[9].1 < res[0].1);
+        assert!(res[29].1 < res[9].1);
+    }
+
+    #[test]
+    fn early_stop_on_target() {
+        let a = diag_dominant(80, 4, 3.0, 1);
+        let x_star: Vec<f64> = vec![1.0; 80];
+        let b = a.matvec(&x_star);
+        let mut x = vec![0.0; 80];
+        let rep = rgs_solve(&a, &b, &mut x, None, &RgsOptions {
+            sweeps: 1000,
+            target_rel_residual: Some(1e-4),
+            ..Default::default()
+        });
+        assert!(rep.converged_early);
+        assert!(rep.sweeps_run() < 1000);
+        assert!(rep.final_rel_residual <= 1e-4);
+    }
+
+    #[test]
+    fn beta_under_relaxation_still_converges() {
+        // Well-conditioned instance so convergence at beta = 0.5 is fast
+        // enough to verify within a few hundred sweeps.
+        let a = diag_dominant(50, 4, 2.5, 12);
+        let x_star: Vec<f64> = (0..50).map(|i| i as f64 / 50.0).collect();
+        let b = a.matvec(&x_star);
+        let mut x = vec![0.0; 50];
+        let rep = rgs_solve(&a, &b, &mut x, None, &RgsOptions {
+            beta: 0.5,
+            sweeps: 400,
+            record_every: 50,
+            ..Default::default()
+        });
+        assert!(rep.final_rel_residual < 1e-6, "residual {}", rep.final_rel_residual);
+        let _ = tridiag_toeplitz(3, 2.0, -1.0); // keep import used
+    }
+
+    #[test]
+    fn unit_beta_beats_small_beta() {
+        // Eq. (2): contraction is best at beta = 1.
+        let a = laplace2d(6, 6);
+        let n = a.n_rows();
+        let x_star: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let b = a.matvec(&x_star);
+        let run = |beta: f64| {
+            let mut x = vec![0.0; n];
+            rgs_solve(&a, &b, &mut x, None, &RgsOptions {
+                beta,
+                sweeps: 60,
+                record_every: 0,
+                ..Default::default()
+            })
+            .final_rel_residual
+        };
+        assert!(run(1.0) < run(0.2));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = laplace2d(5, 5);
+        let b = vec![1.0; 25];
+        let mut x1 = vec![0.0; 25];
+        let mut x2 = vec![0.0; 25];
+        let opts = RgsOptions {
+            sweeps: 5,
+            ..Default::default()
+        };
+        rgs_solve(&a, &b, &mut x1, None, &opts);
+        rgs_solve(&a, &b, &mut x2, None, &opts);
+        assert_eq!(x1, x2);
+        let mut x3 = vec![0.0; 25];
+        rgs_solve(&a, &b, &mut x3, None, &RgsOptions { seed: 1, ..opts });
+        assert_ne!(x1, x3);
+    }
+
+    #[test]
+    fn general_diagonal_matches_rescaled_unit_diagonal() {
+        // Section 3 "Non-Unit Diagonal": iteration (3) on B y = z with the
+        // same directions equals D^{-1} * (iteration (1) on A x = D z),
+        // A = DBD.
+        let bmat = diag_dominant(30, 4, 2.0, 9);
+        let u = asyrgs_sparse::UnitDiagonal::from_spd(&bmat).unwrap();
+        let y_star: Vec<f64> = (0..30).map(|i| (i as f64 * 0.3).sin()).collect();
+        let z = bmat.matvec(&y_star);
+        let opts = RgsOptions {
+            sweeps: 7,
+            record_every: 0,
+            ..Default::default()
+        };
+        // General-diagonal solve on B.
+        let mut y = vec![0.0; 30];
+        rgs_solve(&bmat, &z, &mut y, None, &opts);
+        // Unit-diagonal solve on A with rhs D z.
+        let dz = u.rhs_to_unit(&z);
+        let mut x = vec![0.0; 30];
+        rgs_solve(&u.a, &dz, &mut x, None, &opts);
+        let y_from_x = u.solution_to_original(&x);
+        for (a, b) in y.iter().zip(&y_from_x) {
+            assert!((a - b).abs() < 1e-10, "iterates must match: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn block_solve_matches_per_column_solves() {
+        let a = laplace2d(5, 4);
+        let n = a.n_rows();
+        let k = 3;
+        let mut b_blk = RowMajorMat::zeros(n, k);
+        for t in 0..k {
+            let col: Vec<f64> = (0..n).map(|i| ((i + t) % 5) as f64).collect();
+            b_blk.set_col(t, &col);
+        }
+        let opts = RgsOptions {
+            sweeps: 6,
+            record_every: 0,
+            ..Default::default()
+        };
+        let mut x_blk = RowMajorMat::zeros(n, k);
+        rgs_solve_block(&a, &b_blk, &mut x_blk, &opts);
+        for t in 0..k {
+            let mut x = vec![0.0; n];
+            rgs_solve(&a, &b_blk.col(t), &mut x, None, &opts);
+            let got = x_blk.col(t);
+            for (g, w) in got.iter().zip(&x) {
+                assert!((g - w).abs() < 1e-12, "col {t}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_solve_reports_residual() {
+        let a = diag_dominant(40, 4, 2.5, 4);
+        let mut b_blk = RowMajorMat::zeros(40, 2);
+        b_blk.set_col(0, &vec![1.0; 40]);
+        b_blk.set_col(1, &(0..40).map(|i| i as f64 / 40.0).collect::<Vec<_>>());
+        let mut x_blk = RowMajorMat::zeros(40, 2);
+        let rep = rgs_solve_block(&a, &b_blk, &mut x_blk, &RgsOptions {
+            sweeps: 50,
+            ..Default::default()
+        });
+        assert!(rep.final_rel_residual < 1e-4);
+        assert_eq!(rep.records.len(), 50);
+    }
+
+    #[test]
+    fn diagonal_weighted_sampling_converges() {
+        // Badly scaled diagonal: weighted sampling visits heavy rows more
+        // often (Leventhal-Lewis footnote-1 scheme) and still converges.
+        let mut coo = asyrgs_sparse::CooBuilder::new(60, 60);
+        for i in 0..60usize {
+            coo.push(i, i, 1.0 + (i % 6) as f64 * 20.0).unwrap();
+            if i + 1 < 60 {
+                coo.push(i, i + 1, -0.4).unwrap();
+                coo.push(i + 1, i, -0.4).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let x_star: Vec<f64> = (0..60).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b = a.matvec(&x_star);
+        let mut x = vec![0.0; 60];
+        let rep = rgs_solve(&a, &b, &mut x, None, &RgsOptions {
+            sweeps: 120,
+            sampling: RowSampling::DiagonalWeighted,
+            record_every: 0,
+            ..Default::default()
+        });
+        assert!(rep.final_rel_residual < 1e-2, "{}", rep.final_rel_residual);
+    }
+
+    #[test]
+    fn weighted_and_uniform_agree_on_unit_diagonal() {
+        // With unit diagonal the weighted distribution IS uniform; the
+        // samplers differ only in how they consume Philox bits, so compare
+        // final quality, not bitwise iterates.
+        let raw = laplace2d(6, 6);
+        let u = asyrgs_sparse::UnitDiagonal::from_spd(&raw).unwrap();
+        let n = u.a.n_rows();
+        let x_star = vec![0.7; n];
+        let b = u.a.matvec(&x_star);
+        let run = |sampling: RowSampling| {
+            let mut x = vec![0.0; n];
+            rgs_solve(&u.a, &b, &mut x, None, &RgsOptions {
+                sweeps: 80,
+                sampling,
+                record_every: 0,
+                ..Default::default()
+            })
+            .final_rel_residual
+        };
+        let ru = run(RowSampling::Uniform);
+        let rw = run(RowSampling::DiagonalWeighted);
+        assert!(ru < 1e-3 && rw < 1e-3, "uniform {ru}, weighted {rw}");
+        // Same order of magnitude: the distributions are identical.
+        assert!(rw / ru < 10.0 && ru / rw < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must lie in (0, 2)")]
+    fn rejects_bad_beta() {
+        let a = CsrMatrix::identity(3);
+        let b = vec![1.0; 3];
+        let mut x = vec![0.0; 3];
+        rgs_solve(&a, &b, &mut x, None, &RgsOptions {
+            beta: 2.5,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal entry")]
+    fn rejects_zero_diagonal() {
+        let a = CsrMatrix::from_dense(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let b = vec![1.0; 2];
+        let mut x = vec![0.0; 2];
+        rgs_solve(&a, &b, &mut x, None, &RgsOptions::default());
+    }
+}

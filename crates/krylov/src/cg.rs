@@ -1,0 +1,314 @@
+//! Conjugate gradients for SPD systems — the paper's synchronous baseline.
+//!
+//! Single-RHS CG plus the multi-RHS lockstep variant the paper benchmarks
+//! ("a SIMD variant of CG where the indices are assigned to threads in a
+//! round-robin manner", Section 9): each right-hand side carries its own
+//! scalar recurrences but all share the sparse matrix traversal.
+
+use asyrgs_core::report::{SolveReport, SweepRecord};
+use asyrgs_sparse::dense::{self, RowMajorMat};
+use asyrgs_sparse::CsrMatrix;
+use std::time::Instant;
+
+/// Options for the CG solvers.
+#[derive(Debug, Clone)]
+pub struct CgOptions {
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Relative residual target `||r|| / ||b||`.
+    pub tol: f64,
+    /// Record the residual every `record_every` iterations (0 = end only).
+    pub record_every: usize,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            max_iters: 1000,
+            tol: 1e-10,
+            record_every: 1,
+        }
+    }
+}
+
+/// Solve `A x = b` (SPD `A`) by conjugate gradients.
+///
+/// `x` holds the initial guess on entry and the solution on exit.
+pub fn cg_solve(a: &CsrMatrix, b: &[f64], x: &mut [f64], opts: &CgOptions) -> SolveReport {
+    let n = a.n_rows();
+    assert!(a.is_square(), "CG needs a square matrix");
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
+
+    let start = Instant::now();
+    let mut report = SolveReport::empty();
+    let mut r = a.residual(b, x);
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let mut rr = dense::norm2_sq(&r);
+    let mut converged = rr.sqrt() / norm_b <= opts.tol;
+
+    let mut it = 0usize;
+    while !converged && it < opts.max_iters {
+        it += 1;
+        a.matvec_into(&p, &mut ap);
+        let pap = dense::dot(&p, &ap);
+        if pap <= 0.0 {
+            // Matrix not positive definite along p; stop defensively.
+            break;
+        }
+        let alpha = rr / pap;
+        dense::axpy(alpha, &p, x);
+        dense::axpy(-alpha, &ap, &mut r);
+        let rr_new = dense::norm2_sq(&r);
+        let beta = rr_new / rr;
+        rr = rr_new;
+        dense::xpby(&r, beta, &mut p);
+
+        let rel = rr.sqrt() / norm_b;
+        if (opts.record_every != 0 && it % opts.record_every == 0) || rel <= opts.tol {
+            report.records.push(SweepRecord {
+                sweep: it,
+                iterations: it as u64,
+                rel_residual: rel,
+                rel_error_anorm: None,
+            });
+        }
+        converged = rel <= opts.tol;
+    }
+
+    report.iterations = it as u64;
+    report.final_rel_residual = dense::norm2(&a.residual(b, x)) / norm_b;
+    report.wall_seconds = start.elapsed().as_secs_f64();
+    report.threads = 1;
+    report.converged_early = converged;
+    report
+}
+
+/// Multi-RHS lockstep CG: solves `A X = B` with per-column scalar
+/// recurrences, one shared SpMM per iteration. Columns that have converged
+/// are frozen. Residuals are recorded as Frobenius-relative.
+pub fn cg_solve_block(
+    a: &CsrMatrix,
+    b: &RowMajorMat,
+    x: &mut RowMajorMat,
+    opts: &CgOptions,
+) -> SolveReport {
+    let n = a.n_rows();
+    assert!(a.is_square(), "CG needs a square matrix");
+    assert_eq!(b.n_rows(), n);
+    assert_eq!(x.n_rows(), n);
+    assert_eq!(b.n_cols(), x.n_cols());
+    let k = b.n_cols();
+    let norm_b = b.frobenius_norm().max(f64::MIN_POSITIVE);
+
+    let start = Instant::now();
+    let mut report = SolveReport::empty();
+
+    // R = B - A X
+    let mut r = a.residual_block(b, x);
+    let mut p = r.clone();
+    let mut ap = RowMajorMat::zeros(n, k);
+    let mut rr: Vec<f64> = (0..k)
+        .map(|t| {
+            let col = r.col(t);
+            dense::norm2_sq(&col)
+        })
+        .collect();
+    let col_norm_b: Vec<f64> = (0..k)
+        .map(|t| dense::norm2(&b.col(t)).max(f64::MIN_POSITIVE))
+        .collect();
+    let mut active: Vec<bool> = rr
+        .iter()
+        .zip(&col_norm_b)
+        .map(|(&rr_t, &nb)| rr_t.sqrt() / nb > opts.tol)
+        .collect();
+
+    let mut it = 0usize;
+    while active.iter().any(|&a| a) && it < opts.max_iters {
+        it += 1;
+        a.spmm_into(&p, &mut ap);
+        // Per-column alpha = rr_t / (p_t, Ap_t).
+        let mut pap = vec![0.0f64; k];
+        for i in 0..n {
+            let pr = p.row(i);
+            let apr = ap.row(i);
+            for t in 0..k {
+                pap[t] += pr[t] * apr[t];
+            }
+        }
+        let mut alpha = vec![0.0f64; k];
+        for t in 0..k {
+            if active[t] && pap[t] > 0.0 {
+                alpha[t] = rr[t] / pap[t];
+            }
+        }
+        for i in 0..n {
+            let pr = p.row(i).to_vec();
+            let apr = ap.row(i).to_vec();
+            let xr = x.row_mut(i);
+            for t in 0..k {
+                xr[t] += alpha[t] * pr[t];
+            }
+            let rrow = r.row_mut(i);
+            for t in 0..k {
+                rrow[t] -= alpha[t] * apr[t];
+            }
+        }
+        let mut rr_new = vec![0.0f64; k];
+        for i in 0..n {
+            let rrow = r.row(i);
+            for t in 0..k {
+                rr_new[t] += rrow[t] * rrow[t];
+            }
+        }
+        for i in 0..n {
+            let rrow = r.row(i).to_vec();
+            let prow = p.row_mut(i);
+            for t in 0..k {
+                if active[t] {
+                    let beta = if rr[t] > 0.0 { rr_new[t] / rr[t] } else { 0.0 };
+                    prow[t] = rrow[t] + beta * prow[t];
+                }
+            }
+        }
+        for t in 0..k {
+            if active[t] {
+                rr[t] = rr_new[t];
+                if rr[t].sqrt() / col_norm_b[t] <= opts.tol {
+                    active[t] = false;
+                }
+            }
+        }
+
+        if (opts.record_every != 0 && it % opts.record_every == 0) || !active.iter().any(|&a| a)
+        {
+            let frob: f64 = rr_new.iter().sum::<f64>().sqrt();
+            report.records.push(SweepRecord {
+                sweep: it,
+                iterations: it as u64,
+                rel_residual: frob / norm_b,
+                rel_error_anorm: None,
+            });
+        }
+    }
+
+    report.iterations = it as u64;
+    report.final_rel_residual = a.residual_block(b, x).frobenius_norm() / norm_b;
+    report.wall_seconds = start.elapsed().as_secs_f64();
+    report.threads = 1;
+    report.converged_early = !active.iter().any(|&a| a);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyrgs_workloads::{diag_dominant, laplace2d};
+
+    #[test]
+    fn cg_solves_laplace_to_high_accuracy() {
+        let a = laplace2d(10, 10);
+        let n = a.n_rows();
+        let x_star: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+        let b = a.matvec(&x_star);
+        let mut x = vec![0.0; n];
+        let rep = cg_solve(&a, &b, &mut x, &CgOptions::default());
+        assert!(rep.converged_early);
+        assert!(rep.final_rel_residual < 1e-9);
+        for (g, w) in x.iter().zip(&x_star) {
+            assert!((g - w).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn cg_terminates_within_n_iterations_exactly() {
+        // Exact arithmetic would finish in <= n iterations; numerically we
+        // allow a modest factor.
+        let a = diag_dominant(60, 4, 2.0, 3);
+        let x_star = vec![1.0; 60];
+        let b = a.matvec(&x_star);
+        let mut x = vec![0.0; 60];
+        let rep = cg_solve(&a, &b, &mut x, &CgOptions::default());
+        assert!(rep.iterations <= 120, "{} iterations", rep.iterations);
+    }
+
+    #[test]
+    fn cg_residual_trajectory_decreases() {
+        let a = laplace2d(8, 8);
+        let b = vec![1.0; 64];
+        let mut x = vec![0.0; 64];
+        let rep = cg_solve(&a, &b, &mut x, &CgOptions::default());
+        let series = rep.residual_series();
+        assert!(series.last().unwrap().1 < series[0].1 * 1e-6);
+    }
+
+    #[test]
+    fn warm_start_converges_immediately() {
+        let a = laplace2d(6, 6);
+        let x_star: Vec<f64> = (0..36).map(|i| i as f64).collect();
+        let b = a.matvec(&x_star);
+        let mut x = x_star.clone();
+        let rep = cg_solve(&a, &b, &mut x, &CgOptions::default());
+        assert_eq!(rep.iterations, 0);
+        assert!(rep.converged_early);
+    }
+
+    #[test]
+    fn block_cg_matches_column_solves() {
+        let a = laplace2d(6, 5);
+        let n = a.n_rows();
+        let k = 3;
+        let mut b_blk = RowMajorMat::zeros(n, k);
+        for t in 0..k {
+            let col: Vec<f64> = (0..n).map(|i| ((i * (t + 2)) % 7) as f64 - 2.0).collect();
+            b_blk.set_col(t, &col);
+        }
+        let opts = CgOptions::default();
+        let mut x_blk = RowMajorMat::zeros(n, k);
+        let rep = cg_solve_block(&a, &b_blk, &mut x_blk, &opts);
+        assert!(rep.converged_early);
+        for t in 0..k {
+            let mut x = vec![0.0; n];
+            cg_solve(&a, &b_blk.col(t), &mut x, &opts);
+            for (g, w) in x_blk.col(t).iter().zip(&x) {
+                assert!((g - w).abs() < 1e-6, "col {t}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_cg_freezes_converged_columns() {
+        let a = laplace2d(5, 5);
+        let n = a.n_rows();
+        // Column 0 starts at the exact solution; column 1 does not.
+        let x0 = vec![0.5; n];
+        let b0 = a.matvec(&x0);
+        let b1 = vec![1.0; n];
+        let mut b_blk = RowMajorMat::zeros(n, 2);
+        b_blk.set_col(0, &b0);
+        b_blk.set_col(1, &b1);
+        let mut x_blk = RowMajorMat::zeros(n, 2);
+        x_blk.set_col(0, &x0);
+        let rep = cg_solve_block(&a, &b_blk, &mut x_blk, &CgOptions::default());
+        assert!(rep.converged_early);
+        // Column 0 must be untouched (it was converged from the start).
+        for (g, w) in x_blk.col(0).iter().zip(&x0) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn respects_max_iters() {
+        let a = laplace2d(12, 12);
+        let b = vec![1.0; 144];
+        let mut x = vec![0.0; 144];
+        let rep = cg_solve(&a, &b, &mut x, &CgOptions {
+            max_iters: 3,
+            ..Default::default()
+        });
+        assert_eq!(rep.iterations, 3);
+        assert!(!rep.converged_early);
+    }
+}

@@ -1,0 +1,356 @@
+//! Notay's Flexible Conjugate Gradients (FCG).
+//!
+//! The paper's final experiments (Section 9, Table 1, Figure 3) use AsyRGS
+//! as a preconditioner inside "Notay's Flexible-CG algorithm \[16\]... In our
+//! implementation we do not use truncation or restarts". A variable
+//! (randomized, asynchronous) preconditioner breaks ordinary PCG's implicit
+//! A-orthogonality, so the direction must be re-orthogonalized explicitly
+//! against the previous direction:
+//!
+//! ```text
+//! z_i    = M_i(r_i)                        (preconditioner application)
+//! beta_i = (z_i, A p_{i-1}) / (p_{i-1}, A p_{i-1})
+//! p_i    = z_i - beta_i p_{i-1}
+//! alpha_i = (p_i, r_i) / (p_i, A p_i)
+//! x <- x + alpha_i p_i ;  r <- r - alpha_i A p_i
+//! ```
+//!
+//! This is FCG(1) — flexible CG with one direction retained — which is
+//! Notay's method without truncation/restarts.
+
+use crate::precond::Preconditioner;
+use asyrgs_core::report::{SolveReport, SweepRecord};
+use asyrgs_sparse::dense;
+use asyrgs_sparse::CsrMatrix;
+use std::time::Instant;
+
+/// Options for Flexible-CG.
+#[derive(Debug, Clone)]
+pub struct FcgOptions {
+    /// Outer iteration cap.
+    pub max_iters: usize,
+    /// Relative residual target (the paper uses `1e-8`).
+    pub tol: f64,
+    /// Record the residual every `record_every` outer iterations (0 = end
+    /// only). The paper computes the norm after *every* iteration.
+    pub record_every: usize,
+    /// Truncation depth: A-orthogonalize the new direction against this
+    /// many previous directions. `1` reproduces the paper's configuration
+    /// ("we do not use truncation or restarts" — i.e. plain FCG(1));
+    /// larger values give Notay's truncated FCG(m), which a production
+    /// solver "might require".
+    pub truncate: usize,
+    /// Drop all retained directions every `restart_every` iterations
+    /// (`None` = never, the paper's configuration).
+    pub restart_every: Option<usize>,
+}
+
+impl Default for FcgOptions {
+    fn default() -> Self {
+        FcgOptions {
+            max_iters: 2000,
+            tol: 1e-8,
+            record_every: 1,
+            truncate: 1,
+            restart_every: None,
+        }
+    }
+}
+
+/// Solve `A x = b` by Flexible-CG with the given (possibly variable)
+/// preconditioner.
+pub fn fcg_solve<M: Preconditioner>(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    m: &M,
+    opts: &FcgOptions,
+) -> SolveReport {
+    let n = a.n_rows();
+    assert!(a.is_square(), "FCG needs a square matrix");
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
+
+    let start = Instant::now();
+    let mut report = SolveReport::empty();
+
+    assert!(opts.truncate >= 1, "truncation depth must be at least 1");
+    let mut r = a.residual(b, x);
+    let mut z = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut ap = vec![0.0; n];
+    // Retained directions for FCG(m): (p_h, A p_h, (p_h, A p_h)).
+    let mut history: std::collections::VecDeque<(Vec<f64>, Vec<f64>, f64)> =
+        std::collections::VecDeque::with_capacity(opts.truncate);
+
+    let mut rel = dense::norm2(&r) / norm_b;
+    let mut converged = rel <= opts.tol;
+    let mut it = 0usize;
+
+    while !converged && it < opts.max_iters {
+        it += 1;
+        if let Some(re) = opts.restart_every {
+            if it % re.max(1) == 0 {
+                history.clear();
+            }
+        }
+        m.apply(&r, &mut z);
+        // A-orthogonalize against the retained directions:
+        // p = z - sum_h (z, A p_h)/(p_h, A p_h) p_h.
+        p.copy_from_slice(&z);
+        for (ph, aph, paph) in history.iter() {
+            if *paph > 0.0 {
+                let beta = dense::dot(&z, aph) / paph;
+                for i in 0..n {
+                    p[i] -= beta * ph[i];
+                }
+            }
+        }
+        a.matvec_into(&p, &mut ap);
+        let mut pap = dense::dot(&p, &ap);
+        if pap <= 0.0 {
+            // Preconditioned direction lost positive curvature (can happen
+            // with a very rough stochastic preconditioner): fall back to the
+            // raw residual direction for this step.
+            p.copy_from_slice(&r);
+            a.matvec_into(&p, &mut ap);
+            pap = dense::dot(&p, &ap);
+            if pap <= 0.0 {
+                break;
+            }
+        }
+        let alpha = dense::dot(&p, &r) / pap;
+        dense::axpy(alpha, &p, x);
+        dense::axpy(-alpha, &ap, &mut r);
+
+        if history.len() == opts.truncate {
+            history.pop_front();
+        }
+        history.push_back((p.clone(), ap.clone(), pap));
+
+        rel = dense::norm2(&r) / norm_b;
+        converged = rel <= opts.tol;
+        if (opts.record_every != 0 && it % opts.record_every == 0) || converged {
+            report.records.push(SweepRecord {
+                sweep: it,
+                iterations: it as u64,
+                rel_residual: rel,
+                rel_error_anorm: None,
+            });
+        }
+    }
+
+    report.iterations = it as u64;
+    report.final_rel_residual = dense::norm2(&a.residual(b, x)) / norm_b;
+    report.wall_seconds = start.elapsed().as_secs_f64();
+    report.threads = 1;
+    report.converged_early = converged;
+    report
+}
+
+/// Summary row of the paper's Table 1: Flexible-CG with an AsyRGS
+/// preconditioner at a given inner-sweep count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FcgRunSummary {
+    /// Inner (preconditioner) sweeps per application.
+    pub inner_sweeps: usize,
+    /// Outer FCG iterations to convergence.
+    pub outer_iters: usize,
+    /// `outer * (inner + 1)` — total times the matrix is operated on
+    /// (Table 1's "Outer x (Inner + 1)" column).
+    pub mat_ops: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+}
+
+/// Run FCG + AsyRGS preconditioning and summarize as a Table 1 row.
+pub fn fcg_asyrgs_summary(
+    a: &CsrMatrix,
+    b: &[f64],
+    inner_sweeps: usize,
+    threads: usize,
+    beta: f64,
+    seed: u64,
+    opts: &FcgOptions,
+) -> FcgRunSummary {
+    let n = a.n_rows();
+    let mut x = vec![0.0; n];
+    let pre = crate::precond::AsyRgsPrecond::new(a, inner_sweeps, threads, beta, seed);
+    let rep = fcg_solve(a, b, &mut x, &pre, opts);
+    FcgRunSummary {
+        inner_sweeps,
+        outer_iters: rep.iterations as usize,
+        mat_ops: rep.iterations as usize * (inner_sweeps + 1),
+        seconds: rep.wall_seconds,
+        converged: rep.converged_early,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::{cg_solve, CgOptions};
+    use crate::precond::{AsyRgsPrecond, IdentityPrecond, JacobiPrecond, RgsPrecond};
+    use asyrgs_workloads::laplace2d;
+
+    fn problem(side: usize) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+        let a = laplace2d(side, side);
+        let n = a.n_rows();
+        let x_star: Vec<f64> = (0..n).map(|i| ((i * 3) % 11) as f64 / 11.0).collect();
+        let b = a.matvec(&x_star);
+        (a, b, x_star)
+    }
+
+    #[test]
+    fn fcg_identity_converges_like_cg() {
+        let (a, b, _) = problem(10);
+        let n = a.n_rows();
+        let mut x_fcg = vec![0.0; n];
+        let rep_fcg = fcg_solve(&a, &b, &mut x_fcg, &IdentityPrecond, &FcgOptions::default());
+        let mut x_cg = vec![0.0; n];
+        let rep_cg = cg_solve(&a, &b, &mut x_cg, &CgOptions {
+            tol: 1e-8,
+            ..Default::default()
+        });
+        assert!(rep_fcg.converged_early);
+        // FCG(1) with the identity preconditioner is mathematically CG;
+        // iteration counts match up to roundoff effects.
+        let diff = rep_fcg.iterations as i64 - rep_cg.iterations as i64;
+        assert!(diff.abs() <= 3, "fcg {} vs cg {}", rep_fcg.iterations, rep_cg.iterations);
+    }
+
+    #[test]
+    fn fcg_jacobi_converges() {
+        let (a, b, _) = problem(10);
+        let n = a.n_rows();
+        let pre = JacobiPrecond::new(&a);
+        let mut x = vec![0.0; n];
+        let rep = fcg_solve(&a, &b, &mut x, &pre, &FcgOptions::default());
+        assert!(rep.converged_early);
+        assert!(rep.final_rel_residual < 1e-7);
+    }
+
+    #[test]
+    fn rgs_preconditioning_cuts_outer_iterations() {
+        let (a, b, _) = problem(14);
+        let n = a.n_rows();
+        let mut x_plain = vec![0.0; n];
+        let plain = fcg_solve(&a, &b, &mut x_plain, &IdentityPrecond, &FcgOptions::default());
+        let pre = RgsPrecond::new(&a, 10, 1.0, 5);
+        let mut x_pre = vec![0.0; n];
+        let with_pre = fcg_solve(&a, &b, &mut x_pre, &pre, &FcgOptions::default());
+        assert!(with_pre.converged_early);
+        assert!(
+            with_pre.iterations < plain.iterations,
+            "preconditioned {} vs plain {}",
+            with_pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn asyrgs_preconditioning_converges_to_tight_tolerance() {
+        let (a, b, x_star) = problem(12);
+        let n = a.n_rows();
+        let pre = AsyRgsPrecond::new(&a, 5, 2, 1.0, 11);
+        let mut x = vec![0.0; n];
+        let rep = fcg_solve(&a, &b, &mut x, &pre, &FcgOptions::default());
+        assert!(rep.converged_early, "no convergence: {}", rep.final_rel_residual);
+        assert!(rep.final_rel_residual < 1e-7);
+        for (g, w) in x.iter().zip(&x_star) {
+            assert!((g - w).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn more_inner_sweeps_fewer_outer_iterations() {
+        // Table 1's monotonicity: increasing preconditioner sweeps lowers
+        // the outer iteration count.
+        let (a, b, _) = problem(12);
+        let s2 = fcg_asyrgs_summary(&a, &b, 2, 2, 1.0, 3, &FcgOptions::default());
+        let s10 = fcg_asyrgs_summary(&a, &b, 10, 2, 1.0, 3, &FcgOptions::default());
+        assert!(s2.converged && s10.converged);
+        assert!(
+            s10.outer_iters < s2.outer_iters,
+            "10 sweeps: {} outer, 2 sweeps: {} outer",
+            s10.outer_iters,
+            s2.outer_iters
+        );
+        assert_eq!(s10.mat_ops, s10.outer_iters * 11);
+    }
+
+    #[test]
+    fn summary_reports_fields() {
+        let (a, b, _) = problem(8);
+        let s = fcg_asyrgs_summary(&a, &b, 3, 1, 1.0, 9, &FcgOptions::default());
+        assert!(s.converged);
+        assert_eq!(s.inner_sweeps, 3);
+        assert!(s.seconds >= 0.0);
+        assert_eq!(s.mat_ops, s.outer_iters * 4);
+    }
+
+    #[test]
+    fn truncation_depth_two_converges_no_slower() {
+        let (a, b, _) = problem(12);
+        let n = a.n_rows();
+        let pre = RgsPrecond::new(&a, 3, 1.0, 7);
+        let mut x1 = vec![0.0; n];
+        let f1 = fcg_solve(&a, &b, &mut x1, &pre, &FcgOptions::default());
+        let pre2 = RgsPrecond::new(&a, 3, 1.0, 7);
+        let mut x2 = vec![0.0; n];
+        let f2 = fcg_solve(&a, &b, &mut x2, &pre2, &FcgOptions {
+            truncate: 3,
+            ..Default::default()
+        });
+        assert!(f1.converged_early && f2.converged_early);
+        // Deeper orthogonalization should not need substantially more
+        // iterations (usually fewer or equal).
+        assert!(
+            f2.iterations <= f1.iterations + 5,
+            "fcg(3) {} vs fcg(1) {}",
+            f2.iterations,
+            f1.iterations
+        );
+    }
+
+    #[test]
+    fn restart_still_converges() {
+        let (a, b, _) = problem(10);
+        let n = a.n_rows();
+        let pre = JacobiPrecond::new(&a);
+        let mut x = vec![0.0; n];
+        let rep = fcg_solve(&a, &b, &mut x, &pre, &FcgOptions {
+            restart_every: Some(10),
+            ..Default::default()
+        });
+        assert!(rep.converged_early);
+        assert!(rep.final_rel_residual < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncation depth")]
+    fn rejects_zero_truncation() {
+        let (a, b, _) = problem(4);
+        let mut x = vec![0.0; a.n_rows()];
+        fcg_solve(&a, &b, &mut x, &IdentityPrecond, &FcgOptions {
+            truncate: 0,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn respects_max_iters() {
+        let (a, b, _) = problem(16);
+        let n = a.n_rows();
+        let mut x = vec![0.0; n];
+        let rep = fcg_solve(&a, &b, &mut x, &IdentityPrecond, &FcgOptions {
+            max_iters: 2,
+            ..Default::default()
+        });
+        assert_eq!(rep.iterations, 2);
+        assert!(!rep.converged_early);
+    }
+}

@@ -1,0 +1,58 @@
+//! # asyrgs-krylov
+//!
+//! Krylov-subspace substrate for the AsyRGS reproduction:
+//!
+//! * [`cg`] — conjugate gradients (single and multi-RHS lockstep), the
+//!   paper's synchronous comparison baseline (Fig. 1, Fig. 2 left);
+//! * [`fcg`] — Notay's Flexible-CG without truncation/restarts, the outer
+//!   method of the paper's preconditioning study (Table 1, Fig. 3);
+//! * [`precond`] — the preconditioner trait with identity, Jacobi,
+//!   sequential-RGS, and **AsyRGS** implementations. AsyRGS is a variable
+//!   preconditioner (randomized + asynchronous), which is precisely why the
+//!   flexible outer iteration is needed.
+
+#![warn(missing_docs)]
+
+pub mod cg;
+pub mod fcg;
+pub mod precond;
+
+pub use cg::{cg_solve, cg_solve_block, CgOptions};
+pub use fcg::{fcg_asyrgs_summary, fcg_solve, FcgOptions, FcgRunSummary};
+pub use precond::{AsyRgsPrecond, IdentityPrecond, JacobiPrecond, Preconditioner, RgsPrecond};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use asyrgs_workloads::diag_dominant;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn cg_always_converges_on_spd(seed in any::<u64>(), n in 10usize..60) {
+            let a = diag_dominant(n, 4, 2.0, seed);
+            let x_star: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).sin()).collect();
+            let b = a.matvec(&x_star);
+            let mut x = vec![0.0; n];
+            let rep = cg_solve(&a, &b, &mut x, &CgOptions::default());
+            prop_assert!(rep.converged_early);
+            prop_assert!(rep.final_rel_residual < 1e-9);
+        }
+
+        #[test]
+        fn fcg_jacobi_never_worse_than_3x_cg(seed in any::<u64>()) {
+            let n = 50;
+            let a = diag_dominant(n, 5, 1.5, seed);
+            let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+            let mut x1 = vec![0.0; n];
+            let cg = cg_solve(&a, &b, &mut x1, &CgOptions { tol: 1e-8, ..Default::default() });
+            let pre = JacobiPrecond::new(&a);
+            let mut x2 = vec![0.0; n];
+            let f = fcg_solve(&a, &b, &mut x2, &pre, &FcgOptions::default());
+            prop_assert!(f.converged_early);
+            prop_assert!(f.iterations <= 3 * cg.iterations.max(1));
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Walker alias method for O(1) weighted index sampling.
+//!
+//! Leventhal & Lewis analyze Randomized Gauss-Seidel on general-diagonal
+//! matrices with *non-uniform* row probabilities `P(i) = A_ii / trace(A)`
+//! (paper Section 3, footnote 1). Sampling such a categorical distribution
+//! at solver speed needs O(1) per draw; Walker's alias method provides it
+//! after O(n) preprocessing, and composes with the Philox counter stream so
+//! weighted direction sequences keep random access.
+
+use crate::philox::Philox4x32;
+
+/// Precomputed alias table over `{0, .., n-1}` with given non-negative
+/// weights.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability of each bucket (scaled to u64 range).
+    prob: Vec<u64>,
+    /// Alias target of each bucket.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Build a table from weights. Panics if all weights are zero, any is
+    /// negative or non-finite, or the slice is empty.
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "AliasTable: empty weights");
+        let mut total = 0.0f64;
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(w.is_finite() && w >= 0.0, "AliasTable: bad weight {w} at {i}");
+            total += w;
+        }
+        assert!(total > 0.0, "AliasTable: all weights zero");
+
+        // Scaled probabilities: p_i * n.
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut prob = vec![0u64; n];
+        let mut alias = vec![0usize; n];
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            // Bucket s is filled up with mass from l.
+            prob[s] = (scaled[s].min(1.0) * u64::MAX as f64) as u64;
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining buckets are full.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = u64::MAX;
+            alias[i] = i;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Sample from two independent 64-bit random values.
+    #[inline]
+    pub fn sample_from(&self, u_bucket: u64, u_accept: u64) -> usize {
+        let n = self.len();
+        let bucket = (((u_bucket as u128) * (n as u128)) >> 64) as usize;
+        if u_accept <= self.prob[bucket] {
+            bucket
+        } else {
+            self.alias[bucket]
+        }
+    }
+}
+
+/// A weighted direction stream with Philox random access: the direction at
+/// iteration `j` is drawn from the alias table using the two 64-bit lanes
+/// of Philox block `j`.
+#[derive(Debug, Clone)]
+pub struct WeightedDirectionStream {
+    gen: Philox4x32,
+    table: AliasTable,
+}
+
+impl WeightedDirectionStream {
+    /// Build from a seed and weights (e.g. the matrix diagonal).
+    pub fn new(seed: u64, weights: &[f64]) -> Self {
+        WeightedDirectionStream {
+            gen: Philox4x32::from_seed(seed),
+            table: AliasTable::new(weights),
+        }
+    }
+
+    /// Number of categories.
+    pub fn n(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The direction index of iteration `j`.
+    #[inline]
+    pub fn direction(&self, j: u64) -> usize {
+        let b = self.gen.block([j as u32, (j >> 32) as u32, 0, 1]);
+        let u1 = (b[0] as u64) | ((b[1] as u64) << 32);
+        let u2 = (b[2] as u64) | ((b[3] as u64) << 32);
+        self.table.sample_from(u1, u2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splitmix::SplitMix64;
+
+    fn empirical(table: &AliasTable, draws: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        let mut counts = vec![0usize; table.len()];
+        for _ in 0..draws {
+            let i = table.sample_from(rng.next_u64(), rng.next_u64());
+            counts[i] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0; 8]);
+        let freq = empirical(&t, 200_000, 1);
+        for f in freq {
+            assert!((f - 0.125).abs() < 0.01, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_distribution() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&w);
+        let freq = empirical(&t, 400_000, 2);
+        for (i, f) in freq.iter().enumerate() {
+            let want = w[i] / 10.0;
+            assert!((f - want).abs() < 0.01, "bucket {i}: {f} vs {want}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let freq = empirical(&t, 100_000, 3);
+        assert_eq!(freq[0], 0.0);
+        assert_eq!(freq[2], 0.0);
+        assert!((freq[1] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_category() {
+        let t = AliasTable::new(&[3.5]);
+        assert_eq!(t.sample_from(u64::MAX / 2, 0), 0);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn extreme_skew() {
+        let t = AliasTable::new(&[1e-9, 1.0]);
+        let freq = empirical(&t, 100_000, 4);
+        assert!(freq[1] > 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights zero")]
+    fn rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad weight")]
+    fn rejects_negative() {
+        AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn weighted_stream_random_access_pure() {
+        let w = [1.0, 5.0, 2.0];
+        let s = WeightedDirectionStream::new(9, &w);
+        assert_eq!(s.n(), 3);
+        for j in 0..100 {
+            assert_eq!(s.direction(j), s.direction(j));
+            assert!(s.direction(j) < 3);
+        }
+    }
+
+    #[test]
+    fn weighted_stream_matches_weights() {
+        let w = [1.0, 3.0];
+        let s = WeightedDirectionStream::new(11, &w);
+        let draws = 200_000u64;
+        let mut c1 = 0usize;
+        for j in 0..draws {
+            if s.direction(j) == 1 {
+                c1 += 1;
+            }
+        }
+        let f1 = c1 as f64 / draws as f64;
+        assert!((f1 - 0.75).abs() < 0.01, "freq {f1}");
+    }
+}

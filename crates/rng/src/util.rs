@@ -1,0 +1,26 @@
+//! Bit-level conversion helpers shared by the generators.
+
+/// Convert 64 random bits to a uniform double in `[0, 1)` using the top 53
+/// bits (the full precision of an f64 mantissa).
+#[inline(always)]
+pub fn u64_to_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        assert_eq!(u64_to_f64(0), 0.0);
+        let max = u64_to_f64(u64::MAX);
+        assert!(max < 1.0);
+        assert!(max > 0.999_999_999);
+    }
+
+    #[test]
+    fn monotone_in_high_bits() {
+        assert!(u64_to_f64(1u64 << 63) > u64_to_f64(1u64 << 62));
+    }
+}

@@ -1,0 +1,446 @@
+//! Exact executor of the paper's bounded-delay iteration models.
+//!
+//! A real multithreaded run cannot control the delays `k(j)` / `K(j)`; this
+//! module *constructs* them, executing iterations (8) (consistent read) and
+//! (9) (inconsistent read) sequentially with a delay policy. That makes the
+//! assumptions of Theorems 2-4 hold **by construction**:
+//!
+//! * A-1 (atomic write): trivially, execution is sequential;
+//! * A-2 (consistent read): `x_{k(j)}` is an actual past iterate;
+//! * A-3 (bounded asynchronism): policies respect `j - tau <= k(j) <= j`
+//!   and `{0..j-tau-1} subset K(j)`;
+//! * A-4 (independent delays): policies draw from their own RNG stream,
+//!   independent of the Philox direction stream.
+//!
+//! This is the apparatus used to *validate the theorems empirically*
+//! (bench target `theory_validation`): average `||x_m - x*||_A^2` over
+//! replicas and compare with the bound.
+
+use asyrgs_rng::{DirectionStream, SplitMix64};
+use asyrgs_sparse::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Which read model governs the simulated iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadModel {
+    /// Iteration (8): the entries read form a past iterate `x_{k(j)}`.
+    Consistent,
+    /// Iteration (9): each of the last `tau` updates is independently
+    /// included or excluded (older updates are always included, per (7)).
+    Inconsistent,
+}
+
+/// How the delays are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DelayPolicy {
+    /// No delay: `k(j) = j` — the synchronous iteration.
+    None,
+    /// Maximal delay: `k(j) = max(0, j - tau)`; in the inconsistent model,
+    /// every update in the window is excluded. The adversarial case the
+    /// bounds are written against.
+    Max,
+    /// Uniform random delay: `k(j) = j - U{0..min(tau, j)}`; in the
+    /// inconsistent model each windowed update is excluded with probability
+    /// 1/2.
+    UniformRandom,
+    /// Inconsistent model only: each windowed update is excluded
+    /// independently with this probability.
+    Bernoulli(f64),
+}
+
+/// Options for a delay-model run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DelaySimOptions {
+    /// Step size `beta`.
+    pub beta: f64,
+    /// Total single-coordinate iterations `m`.
+    pub iterations: u64,
+    /// The asynchronism bound `tau` (Assumption A-3).
+    pub tau: usize,
+    /// Delay generation policy.
+    pub policy: DelayPolicy,
+    /// Read model (iteration (8) vs (9)).
+    pub read_model: ReadModel,
+    /// Seed of the direction stream (`d_j`).
+    pub direction_seed: u64,
+    /// Seed of the delay stream (independent of directions, A-4).
+    pub delay_seed: u64,
+    /// Record `||x - x*||_A^2` every this many iterations (0 = end only).
+    pub record_every: u64,
+}
+
+impl Default for DelaySimOptions {
+    fn default() -> Self {
+        DelaySimOptions {
+            beta: 1.0,
+            iterations: 10_000,
+            tau: 16,
+            policy: DelayPolicy::Max,
+            read_model: ReadModel::Consistent,
+            direction_seed: 0xD1CE,
+            delay_seed: 0xDE1A,
+            record_every: 0,
+        }
+    }
+}
+
+/// The recorded trajectory of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DelayTrace {
+    /// `(iteration, ||x - x*||_A^2)` samples; always includes iteration 0
+    /// and the final iteration.
+    pub errors: Vec<(u64, f64)>,
+    /// The final iterate.
+    pub x: Vec<f64>,
+}
+
+impl DelayTrace {
+    /// Final squared A-norm error.
+    pub fn final_error(&self) -> f64 {
+        self.errors.last().map(|&(_, e)| e).unwrap_or(f64::NAN)
+    }
+
+    /// Initial squared A-norm error.
+    pub fn initial_error(&self) -> f64 {
+        self.errors.first().map(|&(_, e)| e).unwrap_or(f64::NAN)
+    }
+}
+
+/// One past update: which coordinate moved and by how much.
+#[derive(Debug, Clone, Copy)]
+struct Update {
+    idx: usize,
+    delta: f64,
+}
+
+/// Execute iterations (8)/(9) on a unit-diagonal SPD system.
+///
+/// The governing iteration with unit diagonal reads
+/// `gamma_j = b_r - A_r x_stale`, `x_{j+1} = x_j + beta gamma_j e_r`,
+/// where `x_stale` is `x_{k(j)}` (consistent) or `x_{K(j)}` (inconsistent),
+/// reconstructed from the update history.
+///
+/// # Panics
+/// Panics if the matrix is not square or not (approximately) unit diagonal
+/// — run [`asyrgs_sparse::UnitDiagonal`] first for general SPD input.
+pub fn simulate_delay(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    x_star: &[f64],
+    opts: &DelaySimOptions,
+) -> DelayTrace {
+    let n = a.n_rows();
+    assert!(a.is_square(), "delay model needs a square matrix");
+    assert!(
+        asyrgs_sparse::has_unit_diagonal(a, 1e-9),
+        "delay model analyzes the unit-diagonal iteration; rescale first"
+    );
+    assert_eq!(b.len(), n);
+    assert_eq!(x0.len(), n);
+    assert_eq!(x_star.len(), n);
+    assert!(opts.beta > 0.0 && opts.beta < 2.0, "beta must be in (0,2)");
+    if let DelayPolicy::Bernoulli(p) = opts.policy {
+        assert!((0.0..=1.0).contains(&p), "Bernoulli probability in [0,1]");
+    }
+
+    let ds = DirectionStream::new(opts.direction_seed, n);
+    let mut delay_rng = SplitMix64::new(opts.delay_seed);
+    let mut x = x0.to_vec();
+    // Ring buffer of the last `tau` updates, oldest first.
+    let mut window: std::collections::VecDeque<Update> =
+        std::collections::VecDeque::with_capacity(opts.tau + 1);
+
+    let mut trace = DelayTrace {
+        errors: Vec::new(),
+        x: Vec::new(),
+    };
+    let err0 = {
+        let diff: Vec<f64> = x.iter().zip(x_star).map(|(a, b)| a - b).collect();
+        a.a_norm_sq(&diff)
+    };
+    trace.errors.push((0, err0));
+
+    for j in 0..opts.iterations {
+        let r = ds.direction(j);
+        // Dot of row r against the *stale* iterate.
+        let dot_now = a.row_dot(r, &x);
+        let stale_correction = match opts.read_model {
+            ReadModel::Consistent => {
+                // Choose how many of the windowed updates are unseen:
+                // k(j) = j - u, so the last u updates are rolled back.
+                let avail = window.len();
+                let u = match opts.policy {
+                    DelayPolicy::None => 0,
+                    DelayPolicy::Max => avail,
+                    DelayPolicy::UniformRandom => delay_rng.next_index(avail + 1),
+                    DelayPolicy::Bernoulli(_) => {
+                        panic!("Bernoulli policy applies to the inconsistent model only")
+                    }
+                };
+                // Subtract contributions of the last u updates.
+                let mut corr = 0.0;
+                for upd in window.iter().rev().take(u) {
+                    let av = a.get(r, upd.idx);
+                    if av != 0.0 {
+                        corr += av * upd.delta;
+                    }
+                }
+                corr
+            }
+            ReadModel::Inconsistent => {
+                // Exclude each windowed update independently.
+                let mut corr = 0.0;
+                for upd in window.iter() {
+                    let exclude = match opts.policy {
+                        DelayPolicy::None => false,
+                        DelayPolicy::Max => true,
+                        DelayPolicy::UniformRandom => delay_rng.next_f64() < 0.5,
+                        DelayPolicy::Bernoulli(p) => delay_rng.next_f64() < p,
+                    };
+                    if exclude {
+                        let av = a.get(r, upd.idx);
+                        if av != 0.0 {
+                            corr += av * upd.delta;
+                        }
+                    }
+                }
+                corr
+            }
+        };
+        // gamma computed from the stale state: A_r x_stale = dot_now - corr.
+        let gamma = b[r] - (dot_now - stale_correction);
+        let delta = opts.beta * gamma;
+        x[r] += delta;
+        window.push_back(Update { idx: r, delta });
+        if window.len() > opts.tau {
+            window.pop_front();
+        }
+
+        let m = j + 1;
+        if (opts.record_every != 0 && m % opts.record_every == 0) || m == opts.iterations {
+            let diff: Vec<f64> = x.iter().zip(x_star).map(|(a, b)| a - b).collect();
+            trace.errors.push((m, a.a_norm_sq(&diff)));
+        }
+    }
+    trace.x = x;
+    trace
+}
+
+/// Average the error trajectory over `replicas` independent direction
+/// streams (delays re-drawn too): an empirical estimate of `E_m`.
+///
+/// Returns `(iteration, mean squared A-norm error)` at the record points of
+/// the option set.
+pub fn expected_error_trajectory(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    x_star: &[f64],
+    opts: &DelaySimOptions,
+    replicas: usize,
+) -> Vec<(u64, f64)> {
+    assert!(replicas > 0);
+    let mut acc: Vec<(u64, f64)> = Vec::new();
+    for rep in 0..replicas {
+        let mut o = opts.clone();
+        o.direction_seed = opts.direction_seed.wrapping_add(rep as u64 * 0x9E37);
+        o.delay_seed = opts.delay_seed.wrapping_add(rep as u64 * 0x79B9);
+        let trace = simulate_delay(a, b, x0, x_star, &o);
+        if acc.is_empty() {
+            acc = trace.errors.clone();
+        } else {
+            assert_eq!(acc.len(), trace.errors.len(), "record grids must match");
+            for (slot, &(it, e)) in acc.iter_mut().zip(&trace.errors) {
+                debug_assert_eq!(slot.0, it);
+                slot.1 += e;
+            }
+        }
+    }
+    for slot in &mut acc {
+        slot.1 /= replicas as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyrgs_sparse::UnitDiagonal;
+    use asyrgs_workloads::{diag_dominant, laplace2d};
+
+    /// Unit-diagonal test problem.
+    fn problem(n_side: usize) -> (CsrMatrix, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let raw = laplace2d(n_side, n_side);
+        let u = UnitDiagonal::from_spd(&raw).unwrap();
+        let n = u.a.n_rows();
+        let x_star: Vec<f64> = (0..n).map(|i| ((i * 11) % 7) as f64 / 7.0 - 0.4).collect();
+        let b = u.a.matvec(&x_star);
+        let x0 = vec![0.0; n];
+        (u.a, b, x0, x_star)
+    }
+
+    #[test]
+    fn no_delay_matches_sequential_rgs() {
+        // policy None must reproduce the synchronous iterate exactly.
+        let (a, b, x0, x_star) = problem(5);
+        let opts = DelaySimOptions {
+            iterations: 500,
+            policy: DelayPolicy::None,
+            ..Default::default()
+        };
+        let trace = simulate_delay(&a, &b, &x0, &x_star, &opts);
+        let mut x_seq = x0.clone();
+        let rep_opts = asyrgs_core::RgsOptions {
+            sweeps: 500 / a.n_rows() + 1,
+            record_every: 0,
+            seed: opts.direction_seed,
+            ..Default::default()
+        };
+        // Run exactly 500 iterations manually with the same stream.
+        let ds = DirectionStream::new(opts.direction_seed, a.n_rows());
+        for j in 0..500u64 {
+            let r = ds.direction(j);
+            let gamma = b[r] - a.row_dot(r, &x_seq);
+            x_seq[r] += gamma;
+        }
+        for (s, t) in x_seq.iter().zip(&trace.x) {
+            assert!((s - t).abs() < 1e-13, "{s} vs {t}");
+        }
+        let _ = rep_opts;
+    }
+
+    #[test]
+    fn error_decreases_with_no_delay() {
+        let (a, b, x0, x_star) = problem(6);
+        let trace = simulate_delay(&a, &b, &x0, &x_star, &DelaySimOptions {
+            iterations: 20_000,
+            policy: DelayPolicy::None,
+            record_every: 5_000,
+            ..Default::default()
+        });
+        assert!(trace.final_error() < 1e-6 * trace.initial_error());
+    }
+
+    #[test]
+    fn max_delay_consistent_still_converges_for_small_tau() {
+        let (a, b, x0, x_star) = problem(6);
+        let trace = simulate_delay(&a, &b, &x0, &x_star, &DelaySimOptions {
+            iterations: 30_000,
+            tau: 8,
+            policy: DelayPolicy::Max,
+            read_model: ReadModel::Consistent,
+            ..Default::default()
+        });
+        assert!(
+            trace.final_error() < 1e-4 * trace.initial_error(),
+            "final {} initial {}",
+            trace.final_error(),
+            trace.initial_error()
+        );
+    }
+
+    #[test]
+    fn inconsistent_model_converges_with_damped_step() {
+        let (a, b, x0, x_star) = problem(6);
+        let trace = simulate_delay(&a, &b, &x0, &x_star, &DelaySimOptions {
+            iterations: 40_000,
+            tau: 8,
+            beta: 0.7,
+            policy: DelayPolicy::Bernoulli(0.8),
+            read_model: ReadModel::Inconsistent,
+            ..Default::default()
+        });
+        assert!(trace.final_error() < 1e-3 * trace.initial_error());
+    }
+
+    #[test]
+    fn delay_hurts_convergence() {
+        // Same iteration count; larger tau (max policy) must not do better
+        // (allow small slack for randomness).
+        let (a, b, x0, x_star) = problem(7);
+        let run = |tau: usize| {
+            expected_error_trajectory(
+                &a,
+                &b,
+                &x0,
+                &x_star,
+                &DelaySimOptions {
+                    iterations: 15_000,
+                    tau,
+                    policy: DelayPolicy::Max,
+                    read_model: ReadModel::Consistent,
+                    ..Default::default()
+                },
+                8,
+            )
+            .last()
+            .unwrap()
+            .1
+        };
+        let e0 = run(0);
+        let e32 = run(32);
+        assert!(
+            e32 > e0 * 0.5,
+            "tau=32 ({e32:.3e}) should not beat tau=0 ({e0:.3e}) significantly"
+        );
+    }
+
+    #[test]
+    fn trajectory_is_deterministic_in_seeds() {
+        let (a, b, x0, x_star) = problem(4);
+        let opts = DelaySimOptions {
+            iterations: 2000,
+            policy: DelayPolicy::UniformRandom,
+            ..Default::default()
+        };
+        let t1 = simulate_delay(&a, &b, &x0, &x_star, &opts);
+        let t2 = simulate_delay(&a, &b, &x0, &x_star, &opts);
+        assert_eq!(t1.x, t2.x);
+        assert_eq!(t1.errors, t2.errors);
+    }
+
+    #[test]
+    fn record_grid_respected() {
+        let (a, b, x0, x_star) = problem(4);
+        let trace = simulate_delay(&a, &b, &x0, &x_star, &DelaySimOptions {
+            iterations: 1000,
+            record_every: 250,
+            ..Default::default()
+        });
+        let iters: Vec<u64> = trace.errors.iter().map(|&(i, _)| i).collect();
+        assert_eq!(iters, vec![0, 250, 500, 750, 1000]);
+    }
+
+    #[test]
+    fn rejects_non_unit_diagonal() {
+        let a = diag_dominant(10, 3, 2.0, 1);
+        let b = vec![1.0; 10];
+        let x0 = vec![0.0; 10];
+        let xs = vec![0.0; 10];
+        let result = std::panic::catch_unwind(|| {
+            simulate_delay(&a, &b, &x0, &xs, &DelaySimOptions::default())
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn expected_trajectory_averages() {
+        let (a, b, x0, x_star) = problem(4);
+        let traj = expected_error_trajectory(
+            &a,
+            &b,
+            &x0,
+            &x_star,
+            &DelaySimOptions {
+                iterations: 3000,
+                record_every: 1000,
+                policy: DelayPolicy::UniformRandom,
+                ..Default::default()
+            },
+            4,
+        );
+        assert_eq!(traj.len(), 4); // 0, 1000, 2000, 3000
+        assert!(traj[3].1 < traj[0].1);
+    }
+}

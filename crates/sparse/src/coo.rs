@@ -1,0 +1,227 @@
+//! Coordinate-format (COO) builder for assembling sparse matrices.
+//!
+//! COO is the natural assembly format: push `(row, col, value)` triplets in
+//! any order (duplicates allowed — they are summed), then convert to CSR.
+
+use crate::csr::CsrMatrix;
+use crate::error::{Result, SparseError};
+
+/// A coordinate-format triplet buffer.
+///
+/// Duplicate entries are *summed* on conversion to CSR, which makes the
+/// builder convenient for finite-difference stencils and Gram-matrix
+/// accumulation.
+#[derive(Debug, Clone, Default)]
+pub struct CooBuilder {
+    n_rows: usize,
+    n_cols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CooBuilder {
+    /// New empty builder for an `n_rows x n_cols` matrix.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        CooBuilder {
+            n_rows,
+            n_cols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// New builder with space reserved for `cap` triplets.
+    pub fn with_capacity(n_rows: usize, n_cols: usize, cap: usize) -> Self {
+        CooBuilder {
+            n_rows,
+            n_cols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows of the target matrix.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns of the target matrix.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of triplets pushed so far (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether no triplet has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Push a triplet. Bounds are checked.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) -> Result<()> {
+        if row >= self.n_rows || col >= self.n_cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                n_rows: self.n_rows,
+                n_cols: self.n_cols,
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+        Ok(())
+    }
+
+    /// Push a triplet and, if off-diagonal, its mirror `(col, row, val)`.
+    ///
+    /// Useful when assembling a symmetric matrix from its lower triangle.
+    pub fn push_sym(&mut self, row: usize, col: usize, val: f64) -> Result<()> {
+        self.push(row, col, val)?;
+        if row != col {
+            self.push(col, row, val)?;
+        }
+        Ok(())
+    }
+
+    /// Convert to CSR, summing duplicates and dropping exact zeros produced
+    /// by cancellation.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row, then sort each row segment by column and
+        // merge duplicates. O(nnz log nnz_row) overall.
+        let n_rows = self.n_rows;
+        let mut counts = vec![0usize; n_rows + 1];
+        for &r in &self.rows {
+            counts[r + 1] += 1;
+        }
+        for i in 0..n_rows {
+            counts[i + 1] += counts[i];
+        }
+        let nnz = self.vals.len();
+        let mut tmp_cols = vec![0usize; nnz];
+        let mut tmp_vals = vec![0.0f64; nnz];
+        let mut next = counts.clone();
+        for k in 0..nnz {
+            let r = self.rows[k];
+            let slot = next[r];
+            next[r] += 1;
+            tmp_cols[slot] = self.cols[k];
+            tmp_vals[slot] = self.vals[k];
+        }
+
+        let mut row_ptr = Vec::with_capacity(n_rows + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        row_ptr.push(0usize);
+
+        // Scratch for per-row sort.
+        let mut order: Vec<usize> = Vec::new();
+        for r in 0..n_rows {
+            let lo = counts[r];
+            let hi = counts[r + 1];
+            order.clear();
+            order.extend(lo..hi);
+            order.sort_unstable_by_key(|&k| tmp_cols[k]);
+            let mut i = 0;
+            while i < order.len() {
+                let c = tmp_cols[order[i]];
+                let mut v = tmp_vals[order[i]];
+                let mut j = i + 1;
+                while j < order.len() && tmp_cols[order[j]] == c {
+                    v += tmp_vals[order[j]];
+                    j += 1;
+                }
+                if v != 0.0 {
+                    col_idx.push(c);
+                    vals.push(v);
+                }
+                i = j;
+            }
+            row_ptr.push(col_idx.len());
+        }
+
+        CsrMatrix::from_raw_parts(n_rows, self.n_cols, row_ptr, col_idx, vals)
+            .expect("CooBuilder produced invalid CSR — internal bug")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_builder_makes_empty_matrix() {
+        let b = CooBuilder::new(3, 3);
+        assert!(b.is_empty());
+        let m = b.to_csr();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.n_rows(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, 1.0).unwrap();
+        b.push(0, 0, 2.5).unwrap();
+        b.push(1, 0, -1.0).unwrap();
+        let m = b.to_csr();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.get(1, 0), -1.0);
+    }
+
+    #[test]
+    fn cancellation_drops_entry() {
+        let mut b = CooBuilder::new(1, 2);
+        b.push(0, 1, 2.0).unwrap();
+        b.push(0, 1, -2.0).unwrap();
+        let m = b.to_csr();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut b = CooBuilder::new(2, 2);
+        assert!(b.push(2, 0, 1.0).is_err());
+        assert!(b.push(0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn rows_are_sorted_by_column() {
+        let mut b = CooBuilder::new(1, 5);
+        b.push(0, 4, 4.0).unwrap();
+        b.push(0, 0, 0.5).unwrap();
+        b.push(0, 2, 2.0).unwrap();
+        let m = b.to_csr();
+        let (cols, vals) = m.row(0);
+        assert_eq!(cols, &[0, 2, 4]);
+        assert_eq!(vals, &[0.5, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn push_sym_mirrors_off_diagonal() {
+        let mut b = CooBuilder::new(3, 3);
+        b.push_sym(0, 0, 2.0).unwrap();
+        b.push_sym(1, 0, -1.0).unwrap();
+        let m = b.to_csr();
+        assert_eq!(m.get(0, 1), -1.0);
+        assert_eq!(m.get(1, 0), -1.0);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn with_capacity_behaves() {
+        let mut b = CooBuilder::with_capacity(2, 2, 8);
+        b.push(1, 1, 1.0).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.n_rows(), 2);
+        assert_eq!(b.n_cols(), 2);
+    }
+}

@@ -1,0 +1,581 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! CSR is the working format of every solver in this workspace: the
+//! randomized Gauss-Seidel iteration touches one row per step, and CSR gives
+//! O(nnz(row)) access to a row's column indices and values.
+
+use crate::dense::RowMajorMat;
+use crate::error::{Result, SparseError};
+use rayon::prelude::*;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Invariants (enforced by [`CsrMatrix::from_raw_parts`]):
+/// * `row_ptr.len() == n_rows + 1`, `row_ptr[0] == 0`, monotone non-decreasing,
+///   `row_ptr[n_rows] == col_idx.len() == vals.len()`;
+/// * within each row, column indices are strictly increasing and `< n_cols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build a CSR matrix from raw arrays, validating all invariants.
+    pub fn from_raw_parts(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        vals: Vec<f64>,
+    ) -> Result<Self> {
+        if row_ptr.len() != n_rows + 1 {
+            return Err(SparseError::Parse(format!(
+                "row_ptr length {} != n_rows + 1 = {}",
+                row_ptr.len(),
+                n_rows + 1
+            )));
+        }
+        if row_ptr[0] != 0 || *row_ptr.last().unwrap() != col_idx.len() || col_idx.len() != vals.len()
+        {
+            return Err(SparseError::Parse(
+                "row_ptr endpoints inconsistent with col_idx/vals".into(),
+            ));
+        }
+        for r in 0..n_rows {
+            if row_ptr[r] > row_ptr[r + 1] {
+                return Err(SparseError::Parse(format!("row_ptr decreases at row {r}")));
+            }
+            let lo = row_ptr[r];
+            let hi = row_ptr[r + 1];
+            for k in lo..hi {
+                if col_idx[k] >= n_cols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r,
+                        col: col_idx[k],
+                        n_rows,
+                        n_cols,
+                    });
+                }
+                if k > lo && col_idx[k] <= col_idx[k - 1] {
+                    return Err(SparseError::Parse(format!(
+                        "columns not strictly increasing in row {r}"
+                    )));
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            vals,
+        })
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            n_rows: n,
+            n_cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            vals: vec![1.0; n],
+        }
+    }
+
+    /// Build a dense `rows x cols` matrix given in row-major order, dropping
+    /// exact zeros. Intended for small test matrices.
+    pub fn from_dense(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_dense: bad length");
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for i in 0..rows {
+            for j in 0..cols {
+                let v = data[i * cols + j];
+                if v != 0.0 {
+                    col_idx.push(j);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            n_rows: rows,
+            n_cols: cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.n_rows == self.n_cols
+    }
+
+    /// Column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Number of stored entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Raw row pointer array.
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Raw column index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Raw value array.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable raw value array (structure is fixed, values may be edited).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// Entry `(i, j)`, or `0.0` if not stored. Binary search within the row.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Dot product of row `i` with the dense vector `x`.
+    #[inline]
+    pub fn row_dot(&self, i: usize, x: &[f64]) -> f64 {
+        let (cols, vals) = self.row(i);
+        let mut acc = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc += v * x[c];
+        }
+        acc
+    }
+
+    /// `y <- A x`. Allocates the output.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n_rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y <- A x` into a caller-provided buffer.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.n_rows, "matvec: y length mismatch");
+        for i in 0..self.n_rows {
+            y[i] = self.row_dot(i, x);
+        }
+    }
+
+    /// Parallel `y <- A x` using rayon, row-partitioned.
+    pub fn par_matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols, "par_matvec: x length mismatch");
+        assert_eq!(y.len(), self.n_rows, "par_matvec: y length mismatch");
+        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+            *yi = self.row_dot(i, x);
+        });
+    }
+
+    /// Multi-RHS product `Y <- A X` where `X` is row-major `n_cols x k`.
+    pub fn spmm_into(&self, x: &RowMajorMat, y: &mut RowMajorMat) {
+        assert_eq!(x.n_rows(), self.n_cols, "spmm: X row mismatch");
+        assert_eq!(y.n_rows(), self.n_rows, "spmm: Y row mismatch");
+        assert_eq!(x.n_cols(), y.n_cols(), "spmm: RHS count mismatch");
+        let k = x.n_cols();
+        for i in 0..self.n_rows {
+            let (cols, vals) = self.row(i);
+            let yrow = y.row_mut(i);
+            yrow.fill(0.0);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let xrow = x.row(c);
+                for t in 0..k {
+                    yrow[t] += v * xrow[t];
+                }
+            }
+        }
+    }
+
+    /// Residual `r = b - A x`.
+    pub fn residual(&self, b: &[f64], x: &[f64]) -> Vec<f64> {
+        let mut r = self.matvec(x);
+        for (ri, bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        r
+    }
+
+    /// Multi-RHS residual `R = B - A X` (row-major blocks).
+    pub fn residual_block(&self, b: &RowMajorMat, x: &RowMajorMat) -> RowMajorMat {
+        let mut ax = RowMajorMat::zeros(self.n_rows, x.n_cols());
+        self.spmm_into(x, &mut ax);
+        let mut r = b.clone();
+        r.sub_assign(&ax);
+        r
+    }
+
+    /// The transpose as a new CSR matrix (equivalently, this matrix in CSC).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.n_cols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.n_cols {
+            counts[i + 1] += counts[i];
+        }
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut vals = vec![0.0f64; self.nnz()];
+        let mut next = counts.clone();
+        for r in 0..self.n_rows {
+            let (cols, vs) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vs) {
+                let slot = next[c];
+                next[c] += 1;
+                col_idx[slot] = r;
+                vals[slot] = v;
+            }
+        }
+        // Rows of the transpose are visited in increasing r, so columns are
+        // already strictly increasing within each new row.
+        CsrMatrix {
+            n_rows: self.n_cols,
+            n_cols: self.n_rows,
+            row_ptr: counts,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Check numerical symmetry to within `tol` (absolute).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let t = self.transpose();
+        if t.row_ptr != self.row_ptr || t.col_idx != self.col_idx {
+            // Structures differ; fall back to entrywise comparison.
+            for r in 0..self.n_rows {
+                let (cols, vals) = self.row(r);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    if (v - self.get(c, r)).abs() > tol {
+                        return false;
+                    }
+                }
+            }
+            return true;
+        }
+        self.vals
+            .iter()
+            .zip(&t.vals)
+            .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Extract the diagonal (zero where no entry is stored).
+    pub fn diag(&self) -> Vec<f64> {
+        assert!(self.is_square(), "diag: matrix must be square");
+        (0..self.n_rows).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Infinity norm `max_i sum_j |A_ij|`.
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.n_rows)
+            .map(|i| self.row(i).1.iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        self.vals.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// The paper's `rho = ||A||_inf / n = max_l (1/n) sum_r |A_lr|`
+    /// (Theorem 2). Requires a square matrix.
+    pub fn rho(&self) -> f64 {
+        assert!(self.is_square(), "rho: matrix must be square");
+        self.norm_inf() / self.n_rows as f64
+    }
+
+    /// The paper's `rho_2 = max_l (1/n) sum_r A_lr^2` (Theorem 4).
+    pub fn rho2(&self) -> f64 {
+        assert!(self.is_square(), "rho2: matrix must be square");
+        let n = self.n_rows as f64;
+        (0..self.n_rows)
+            .map(|i| self.row(i).1.iter().map(|v| v * v).sum::<f64>() / n)
+            .fold(0.0, f64::max)
+    }
+
+    /// A-inner product `(x, y)_A = y^T A x`. Requires symmetry for this to
+    /// be an inner product, but the formula is computed as stated.
+    pub fn a_inner(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert!(self.is_square(), "a_inner: matrix must be square");
+        let ax = self.matvec(x);
+        crate::dense::dot(&ax, y)
+    }
+
+    /// Squared A-norm `||x||_A^2 = x^T A x`.
+    pub fn a_norm_sq(&self, x: &[f64]) -> f64 {
+        self.a_inner(x, x)
+    }
+
+    /// A-norm `||x||_A`.
+    pub fn a_norm(&self, x: &[f64]) -> f64 {
+        self.a_norm_sq(x).max(0.0).sqrt()
+    }
+
+    /// Min and max row nnz — the paper's reference-scenario `(C1, C2)`.
+    pub fn row_nnz_bounds(&self) -> (usize, usize) {
+        let mut lo = usize::MAX;
+        let mut hi = 0usize;
+        for i in 0..self.n_rows {
+            let c = self.row_nnz(i);
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        if self.n_rows == 0 {
+            (0, 0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Mean row nnz.
+    pub fn mean_row_nnz(&self) -> f64 {
+        if self.n_rows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.n_rows as f64
+        }
+    }
+
+    /// Densify (for tests and tiny examples only).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.n_rows * self.n_cols];
+        for i in 0..self.n_rows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                d[i * self.n_cols + c] = v;
+            }
+        }
+        d
+    }
+
+    /// Scale: `A <- alpha A`.
+    pub fn scale_values(&mut self, alpha: f64) {
+        for v in &mut self.vals {
+            *v *= alpha;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [ 2 -1  0 ]
+        // [-1  2 -1 ]
+        // [ 0 -1  2 ]
+        CsrMatrix::from_dense(3, 3, &[2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0])
+    }
+
+    #[test]
+    fn from_dense_and_get() {
+        let m = small();
+        assert_eq!(m.nnz(), 7);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.get(2, 1), -1.0);
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let id = CsrMatrix::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(id.matvec(&x), x);
+        assert_eq!(id.nnz(), 4);
+    }
+
+    #[test]
+    fn matvec_tridiagonal() {
+        let m = small();
+        let y = m.matvec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn par_matvec_matches_serial() {
+        let m = small();
+        let x = vec![0.3, -1.2, 2.5];
+        let mut y1 = vec![0.0; 3];
+        let mut y2 = vec![0.0; 3];
+        m.matvec_into(&x, &mut y1);
+        m.par_matvec_into(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = CsrMatrix::from_dense(2, 3, &[1.0, 0.0, 2.0, 0.0, 3.0, 0.0]);
+        let t = m.transpose();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.get(1, 1), 3.0);
+        let tt = t.transpose();
+        assert_eq!(tt, m);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        assert!(small().is_symmetric(0.0));
+        let asym = CsrMatrix::from_dense(2, 2, &[1.0, 2.0, 3.0, 1.0]);
+        assert!(!asym.is_symmetric(1e-12));
+        assert!(asym.is_symmetric(1.5));
+    }
+
+    #[test]
+    fn diag_extraction() {
+        assert_eq!(small().diag(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn norms_and_rho() {
+        let m = small();
+        assert_eq!(m.norm_inf(), 4.0);
+        assert!((m.rho() - 4.0 / 3.0).abs() < 1e-15);
+        // rho2 = max_l (1/3) * sum A_lr^2; middle row: (1+4+1)/3 = 2
+        assert!((m.rho2() - 2.0).abs() < 1e-15);
+        assert!((m.norm_frobenius() - (4.0f64 * 3.0 + 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_norm_positive_definite() {
+        let m = small();
+        let x = vec![1.0, 2.0, 3.0];
+        let anorm2 = m.a_norm_sq(&x);
+        // x^T A x for the 1D Laplacian is sum of squared differences scaled.
+        assert!(anorm2 > 0.0);
+        assert!((m.a_norm(&x).powi(2) - anorm2).abs() < 1e-12);
+        // (x, y)_A symmetric in x, y for symmetric A
+        let y = vec![-1.0, 0.5, 2.0];
+        assert!((m.a_inner(&x, &y) - m.a_inner(&y, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_zero_at_solution() {
+        let m = small();
+        let x = vec![1.0, 2.0, 1.5];
+        let b = m.matvec(&x);
+        let r = m.residual(&b, &x);
+        assert!(crate::dense::norm2(&r) < 1e-14);
+    }
+
+    #[test]
+    fn spmm_matches_matvec_per_column() {
+        let m = small();
+        let xs = [vec![1.0, 0.0, 0.0], vec![0.5, -1.0, 2.0]];
+        let mut xblk = RowMajorMat::zeros(3, 2);
+        for (j, x) in xs.iter().enumerate() {
+            xblk.set_col(j, x);
+        }
+        let mut yblk = RowMajorMat::zeros(3, 2);
+        m.spmm_into(&xblk, &mut yblk);
+        for (j, x) in xs.iter().enumerate() {
+            let y = m.matvec(x);
+            assert_eq!(yblk.col(j), y);
+        }
+    }
+
+    #[test]
+    fn residual_block_zero_at_solution() {
+        let m = small();
+        let mut x = RowMajorMat::zeros(3, 2);
+        x.set_col(0, &[1.0, 2.0, 3.0]);
+        x.set_col(1, &[-1.0, 0.0, 1.0]);
+        let mut b = RowMajorMat::zeros(3, 2);
+        m.spmm_into(&x, &mut b);
+        let r = m.residual_block(&b, &x);
+        assert!(r.frobenius_norm() < 1e-14);
+    }
+
+    #[test]
+    fn row_nnz_stats() {
+        let m = small();
+        assert_eq!(m.row_nnz_bounds(), (2, 3));
+        assert!((m.mean_row_nnz() - 7.0 / 3.0).abs() < 1e-15);
+        assert_eq!(m.row_nnz(1), 3);
+    }
+
+    #[test]
+    fn from_raw_parts_validates() {
+        // bad row_ptr length
+        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // col out of bounds
+        assert!(CsrMatrix::from_raw_parts(1, 1, vec![0, 1], vec![1], vec![1.0]).is_err());
+        // unsorted columns
+        assert!(
+            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err()
+        );
+        // valid
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let d = [2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0];
+        let m = CsrMatrix::from_dense(3, 3, &d);
+        assert_eq!(m.to_dense(), d.to_vec());
+    }
+
+    #[test]
+    fn scale_values_works() {
+        let mut m = small();
+        m.scale_values(2.0);
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.get(1, 0), -2.0);
+    }
+}

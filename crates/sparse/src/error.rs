@@ -1,0 +1,141 @@
+//! Error types for the sparse linear-algebra substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or operating on sparse matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// An entry's row or column index lies outside the declared shape.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Number of rows in the matrix.
+        n_rows: usize,
+        /// Number of columns in the matrix.
+        n_cols: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape expected by the operation, `(rows, cols)`.
+        expected: (usize, usize),
+        /// Shape actually supplied.
+        found: (usize, usize),
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Number of rows.
+        n_rows: usize,
+        /// Number of columns.
+        n_cols: usize,
+    },
+    /// A diagonal entry required to be positive (e.g. for SPD rescaling) is not.
+    NonPositiveDiagonal {
+        /// Index of the offending diagonal entry.
+        index: usize,
+        /// Value found on the diagonal.
+        value: f64,
+    },
+    /// The operation requires a structurally/numerically symmetric matrix.
+    NotSymmetric {
+        /// Row of the first asymmetric entry detected.
+        row: usize,
+        /// Column of the first asymmetric entry detected.
+        col: usize,
+    },
+    /// Failure while parsing an external matrix format (e.g. Matrix Market).
+    Parse(String),
+    /// I/O failure while reading or writing a matrix file.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                n_rows,
+                n_cols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) out of bounds for {n_rows}x{n_cols} matrix"
+            ),
+            SparseError::ShapeMismatch { expected, found } => write!(
+                f,
+                "shape mismatch: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            SparseError::NotSquare { n_rows, n_cols } => {
+                write!(f, "matrix must be square, got {n_rows}x{n_cols}")
+            }
+            SparseError::NonPositiveDiagonal { index, value } => {
+                write!(f, "diagonal entry {index} must be positive, got {value}")
+            }
+            SparseError::NotSymmetric { row, col } => {
+                write!(f, "matrix is not symmetric at entry ({row}, {col})")
+            }
+            SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the substrate.
+pub type Result<T> = std::result::Result<T, SparseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            n_rows: 4,
+            n_cols: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("(5, 7)"));
+        assert!(s.contains("4x4"));
+    }
+
+    #[test]
+    fn shape_mismatch_display() {
+        let e = SparseError::ShapeMismatch {
+            expected: (3, 4),
+            found: (4, 3),
+        };
+        assert_eq!(e.to_string(), "shape mismatch: expected 3x4, found 4x3");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = SparseError::NotSquare {
+            n_rows: 2,
+            n_cols: 3,
+        };
+        let b = SparseError::NotSquare {
+            n_rows: 2,
+            n_cols: 3,
+        };
+        assert_eq!(a, b);
+    }
+}

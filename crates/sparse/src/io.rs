@@ -1,0 +1,288 @@
+//! Matrix Market (`.mtx`) coordinate-format I/O.
+//!
+//! Supports reading and writing real matrices in `general` and `symmetric`
+//! storage. Symmetric files store only the lower triangle; reading expands
+//! both triangles.
+
+use crate::coo::CooBuilder;
+use crate::csr::CsrMatrix;
+use crate::error::{Result, SparseError};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Symmetry declared in a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmSymmetry {
+    /// All entries stored explicitly.
+    General,
+    /// Only the lower triangle stored; `(i, j)` implies `(j, i)`.
+    Symmetric,
+}
+
+/// Parse a Matrix Market coordinate file from a reader.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix> {
+    let mut lines = BufReader::new(reader).lines();
+
+    // Header line.
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+            None => return Err(SparseError::Parse("empty file".into())),
+        }
+    };
+    let h = header.to_ascii_lowercase();
+    if !h.starts_with("%%matrixmarket") {
+        return Err(SparseError::Parse("missing %%MatrixMarket header".into()));
+    }
+    let tokens: Vec<&str> = h.split_whitespace().collect();
+    if tokens.len() < 5 {
+        return Err(SparseError::Parse("malformed header".into()));
+    }
+    if tokens[1] != "matrix" || tokens[2] != "coordinate" {
+        return Err(SparseError::Parse(format!(
+            "unsupported object/format: {} {}",
+            tokens[1], tokens[2]
+        )));
+    }
+    if tokens[3] != "real" && tokens[3] != "integer" {
+        return Err(SparseError::Parse(format!(
+            "unsupported field type: {}",
+            tokens[3]
+        )));
+    }
+    let symmetry = match tokens[4] {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        s => return Err(SparseError::Parse(format!("unsupported symmetry: {s}"))),
+    };
+
+    // Size line (skipping comments).
+    let size_line = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break line;
+            }
+            None => return Err(SparseError::Parse("missing size line".into())),
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|_| SparseError::Parse(format!("bad size token: {t}")))
+        })
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse("size line must have 3 fields".into()));
+    }
+    let (n_rows, n_cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooBuilder::with_capacity(
+        n_rows,
+        n_cols,
+        if symmetry == MmSymmetry::Symmetric {
+            2 * nnz
+        } else {
+            nnz
+        },
+    );
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse("short entry line".into()))?
+            .parse()
+            .map_err(|_| SparseError::Parse(format!("bad row index in: {t}")))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse("short entry line".into()))?
+            .parse()
+            .map_err(|_| SparseError::Parse(format!("bad col index in: {t}")))?;
+        let v: f64 = it
+            .next()
+            .ok_or_else(|| SparseError::Parse("short entry line".into()))?
+            .parse()
+            .map_err(|_| SparseError::Parse(format!("bad value in: {t}")))?;
+        if i == 0 || j == 0 {
+            return Err(SparseError::Parse("indices are 1-based; found 0".into()));
+        }
+        match symmetry {
+            MmSymmetry::General => coo.push(i - 1, j - 1, v)?,
+            MmSymmetry::Symmetric => coo.push_sym(i - 1, j - 1, v)?,
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Parse(format!(
+            "expected {nnz} entries, found {seen}"
+        )));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Read a Matrix Market file from disk.
+pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<CsrMatrix> {
+    let f = std::fs::File::open(path)?;
+    read_matrix_market(f)
+}
+
+/// Write a matrix in Matrix Market coordinate format.
+///
+/// With [`MmSymmetry::Symmetric`], only the lower triangle is written; the
+/// caller is responsible for the matrix actually being symmetric.
+pub fn write_matrix_market<W: Write>(
+    writer: W,
+    a: &CsrMatrix,
+    symmetry: MmSymmetry,
+) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    let sym = match symmetry {
+        MmSymmetry::General => "general",
+        MmSymmetry::Symmetric => "symmetric",
+    };
+    writeln!(w, "%%MatrixMarket matrix coordinate real {sym}")?;
+    let nnz = match symmetry {
+        MmSymmetry::General => a.nnz(),
+        MmSymmetry::Symmetric => {
+            let mut c = 0usize;
+            for i in 0..a.n_rows() {
+                let (cols, _) = a.row(i);
+                c += cols.iter().filter(|&&j| j <= i).count();
+            }
+            c
+        }
+    };
+    writeln!(w, "{} {} {}", a.n_rows(), a.n_cols(), nnz)?;
+    for i in 0..a.n_rows() {
+        let (cols, vals) = a.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            if symmetry == MmSymmetry::Symmetric && j > i {
+                continue;
+            }
+            writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a matrix to a Matrix Market file on disk.
+pub fn write_matrix_market_file<P: AsRef<Path>>(
+    path: P,
+    a: &CsrMatrix,
+    symmetry: MmSymmetry,
+) -> Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_matrix_market(f, a, symmetry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> CsrMatrix {
+        CsrMatrix::from_dense(3, 3, &[2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0])
+    }
+
+    #[test]
+    fn roundtrip_general() {
+        let a = tri();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a, MmSymmetry::General).unwrap();
+        let b = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrip_symmetric() {
+        let a = tri();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a, MmSymmetry::Symmetric).unwrap();
+        let b = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetric_file_stores_lower_triangle_only() {
+        let a = tri();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a, MmSymmetry::Symmetric).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // 3 diagonal + 2 sub-diagonal entries
+        let size_line = text.lines().nth(1).unwrap();
+        assert_eq!(size_line, "3 3 5");
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    \n\
+                    2 2 2\n\
+                    1 1 3.5\n\
+                    % another\n\
+                    2 2 -1.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.get(1, 1), -1.0);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market("not a header\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_entry_count_mismatch() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = tri();
+        let dir = std::env::temp_dir();
+        let path = dir.join("asyrgs_io_test.mtx");
+        write_matrix_market_file(&path, &a, MmSymmetry::General).unwrap();
+        let b = read_matrix_market_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn integer_field_accepted() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 0), 7.0);
+    }
+}

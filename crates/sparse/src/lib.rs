@@ -1,0 +1,121 @@
+//! # asyrgs-sparse
+//!
+//! Sparse linear-algebra substrate for the AsyRGS workspace — the
+//! reproduction of *"Revisiting Asynchronous Linear Solvers: Provable
+//! Convergence Rate Through Randomization"* (Avron, Druinsky, Gupta,
+//! IPDPS 2014).
+//!
+//! Provides:
+//! * [`CsrMatrix`] — compressed sparse row matrices with serial and parallel
+//!   SpMV, multi-RHS SpMM, norms, and the paper's `rho` / `rho_2` quantities;
+//! * [`CscMatrix`] — column-access view for the least-squares solvers;
+//! * [`CooBuilder`] — triplet assembly with duplicate summation;
+//! * [`UnitDiagonal`] — the unit-diagonal rescaling the paper's analysis
+//!   assumes (Section 3, "Non-Unit Diagonal");
+//! * dense vector kernels and row-major multi-RHS blocks ([`dense`]);
+//! * Matrix Market I/O ([`io`]).
+
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod io;
+pub mod scale;
+
+pub use coo::CooBuilder;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use dense::RowMajorMat;
+pub use error::{Result, SparseError};
+pub use scale::{has_unit_diagonal, UnitDiagonal};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: a random small sparse square matrix as (n, triplets).
+    fn coo_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+        (2usize..12).prop_flat_map(|n| {
+            let triplet = (0..n, 0..n, -10.0f64..10.0);
+            (Just(n), proptest::collection::vec(triplet, 0..64))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn csr_roundtrips_through_dense((n, trips) in coo_strategy()) {
+            let mut b = CooBuilder::new(n, n);
+            for (i, j, v) in &trips {
+                b.push(*i, *j, *v).unwrap();
+            }
+            let m = b.to_csr();
+            let d = m.to_dense();
+            let m2 = CsrMatrix::from_dense(n, n, &d);
+            // Entries must agree even if explicit-zero storage differs.
+            for i in 0..n {
+                for j in 0..n {
+                    prop_assert!((m.get(i, j) - m2.get(i, j)).abs() < 1e-12);
+                }
+            }
+        }
+
+        #[test]
+        fn transpose_is_involution((n, trips) in coo_strategy()) {
+            let mut b = CooBuilder::new(n, n);
+            for (i, j, v) in &trips {
+                b.push(*i, *j, *v).unwrap();
+            }
+            let m = b.to_csr();
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+
+        #[test]
+        fn matvec_linear((n, trips) in coo_strategy(), alpha in -5.0f64..5.0) {
+            let mut b = CooBuilder::new(n, n);
+            for (i, j, v) in &trips {
+                b.push(*i, *j, *v).unwrap();
+            }
+            let m = b.to_csr();
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let ax = m.matvec(&x);
+            let xs: Vec<f64> = x.iter().map(|v| alpha * v).collect();
+            let axs = m.matvec(&xs);
+            for (a, b) in axs.iter().zip(&ax) {
+                prop_assert!((a - alpha * b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn transpose_preserves_matvec_adjoint((n, trips) in coo_strategy()) {
+            let mut b = CooBuilder::new(n, n);
+            for (i, j, v) in &trips {
+                b.push(*i, *j, *v).unwrap();
+            }
+            let m = b.to_csr();
+            let t = m.transpose();
+            let x: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+            let y: Vec<f64> = (0..n).map(|i| (i as f64) - 2.0).collect();
+            // <Ax, y> == <x, A^T y>
+            let lhs = dense::dot(&m.matvec(&x), &y);
+            let rhs = dense::dot(&x, &t.matvec(&y));
+            prop_assert!((lhs - rhs).abs() < 1e-8 * (lhs.abs().max(1.0)));
+        }
+
+        #[test]
+        fn matrix_market_roundtrip((n, trips) in coo_strategy()) {
+            let mut b = CooBuilder::new(n, n);
+            for (i, j, v) in &trips {
+                b.push(*i, *j, *v).unwrap();
+            }
+            let m = b.to_csr();
+            let mut buf = Vec::new();
+            io::write_matrix_market(&mut buf, &m, io::MmSymmetry::General).unwrap();
+            let m2 = io::read_matrix_market(&buf[..]).unwrap();
+            prop_assert_eq!(m, m2);
+        }
+    }
+}

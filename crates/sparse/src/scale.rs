@@ -1,0 +1,187 @@
+//! Diagonal rescaling to unit diagonal.
+//!
+//! The paper's analysis (Setup and Notation; "Non-Unit Diagonal" in
+//! Section 3) assumes `A` has a unit diagonal and notes this is "easily
+//! accomplished using re-scaling": given SPD `B` with positive diagonal, the
+//! matrix `A = D B D` with `D = diag(B_ii^{-1/2})` has unit diagonal, and the
+//! iterates of unit-diagonal Randomized Gauss-Seidel on `A x = D z` relate to
+//! the general iteration (3) on `B y = z` via `y = D x` with
+//! `||x_j - x*||_A = ||y_j - y*||_B`.
+//!
+//! This module implements that transformation and the mappings between the
+//! two coordinate systems.
+
+use crate::csr::CsrMatrix;
+use crate::error::{Result, SparseError};
+
+/// The result of rescaling an SPD matrix `B` to unit diagonal.
+///
+/// Holds `A = D B D` with `D = diag(B_ii^{-1/2})`, plus `D`'s diagonal so
+/// solutions and right-hand sides can be mapped between the systems:
+///
+/// * `B y = z`  ⇔  `A x = D z`, with `y = D x`.
+#[derive(Debug, Clone)]
+pub struct UnitDiagonal {
+    /// The rescaled matrix `A = D B D` (unit diagonal).
+    pub a: CsrMatrix,
+    /// The diagonal of `D`, i.e. `d[i] = B_ii^{-1/2}`.
+    pub d: Vec<f64>,
+}
+
+impl UnitDiagonal {
+    /// Rescale an SPD matrix `B` to unit diagonal.
+    ///
+    /// Returns an error if `B` is not square or has a non-positive diagonal
+    /// entry (which would contradict positive definiteness).
+    pub fn from_spd(b: &CsrMatrix) -> Result<Self> {
+        if !b.is_square() {
+            return Err(SparseError::NotSquare {
+                n_rows: b.n_rows(),
+                n_cols: b.n_cols(),
+            });
+        }
+        let diag = b.diag();
+        let mut d = Vec::with_capacity(diag.len());
+        for (i, &v) in diag.iter().enumerate() {
+            if v <= 0.0 {
+                return Err(SparseError::NonPositiveDiagonal { index: i, value: v });
+            }
+            d.push(1.0 / v.sqrt());
+        }
+        let mut a = b.clone();
+        // A_ij = d_i * B_ij * d_j; walk rows in place.
+        let n = a.n_rows();
+        for i in 0..n {
+            let lo = a.row_ptr()[i];
+            let hi = a.row_ptr()[i + 1];
+            let di = d[i];
+            // Split borrows: col indices are read-only, values mutated.
+            let cols: Vec<usize> = a.col_idx()[lo..hi].to_vec();
+            let vals = &mut a.values_mut()[lo..hi];
+            for (v, c) in vals.iter_mut().zip(cols) {
+                *v *= di * d[c];
+            }
+        }
+        Ok(UnitDiagonal { a, d })
+    }
+
+    /// Map a right-hand side of `B y = z` to the unit-diagonal system:
+    /// returns `D z`.
+    pub fn rhs_to_unit(&self, z: &[f64]) -> Vec<f64> {
+        assert_eq!(z.len(), self.d.len(), "rhs_to_unit: length mismatch");
+        z.iter().zip(&self.d).map(|(zi, di)| zi * di).collect()
+    }
+
+    /// Map a unit-diagonal solution `x` back to the original system:
+    /// returns `y = D x`.
+    pub fn solution_to_original(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.d.len(), "solution_to_original: length mismatch");
+        x.iter().zip(&self.d).map(|(xi, di)| xi * di).collect()
+    }
+
+    /// Map an original-system solution `y` to unit-diagonal coordinates:
+    /// returns `x = D^{-1} y`.
+    pub fn solution_to_unit(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.d.len(), "solution_to_unit: length mismatch");
+        y.iter().zip(&self.d).map(|(yi, di)| yi / di).collect()
+    }
+}
+
+/// Check that every diagonal entry of `a` equals 1 to within `tol`.
+pub fn has_unit_diagonal(a: &CsrMatrix, tol: f64) -> bool {
+    a.is_square() && a.diag().iter().all(|&v| (v - 1.0).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd() -> CsrMatrix {
+        // [ 4 -1  0 ]
+        // [-1  9 -2 ]
+        // [ 0 -2 16 ]
+        CsrMatrix::from_dense(3, 3, &[4.0, -1.0, 0.0, -1.0, 9.0, -2.0, 0.0, -2.0, 16.0])
+    }
+
+    #[test]
+    fn rescaled_has_unit_diagonal() {
+        let u = UnitDiagonal::from_spd(&spd()).unwrap();
+        assert!(has_unit_diagonal(&u.a, 1e-15));
+        assert!(u.a.is_symmetric(1e-15));
+    }
+
+    #[test]
+    fn rescaled_entries_correct() {
+        let u = UnitDiagonal::from_spd(&spd()).unwrap();
+        // A_01 = B_01 / (sqrt(4) * sqrt(9)) = -1/6
+        assert!((u.a.get(0, 1) + 1.0 / 6.0).abs() < 1e-15);
+        // A_12 = -2 / (3 * 4)
+        assert!((u.a.get(1, 2) + 2.0 / 12.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn solution_mapping_roundtrip() {
+        let b = spd();
+        let u = UnitDiagonal::from_spd(&b).unwrap();
+        let y_star = vec![1.0, -2.0, 0.5];
+        let z = b.matvec(&y_star);
+        // Solve the unit-diagonal system exactly via the relationship:
+        // x* = D^{-1} y*, and A x* should equal D z.
+        let x_star = u.solution_to_unit(&y_star);
+        let ax = u.a.matvec(&x_star);
+        let dz = u.rhs_to_unit(&z);
+        for (a, b) in ax.iter().zip(&dz) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Map back.
+        let y_back = u.solution_to_original(&x_star);
+        for (a, b) in y_back.iter().zip(&y_star) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn a_norm_preserved() {
+        // ||x - x*||_A == ||y - y*||_B with y = D x (paper Section 3).
+        let b = spd();
+        let u = UnitDiagonal::from_spd(&b).unwrap();
+        let x = vec![0.3, 0.7, -0.1];
+        let x_star = vec![1.0, 1.0, 1.0];
+        let diff_x: Vec<f64> = x.iter().zip(&x_star).map(|(a, b)| a - b).collect();
+        let y: Vec<f64> = u.solution_to_original(&x);
+        let y_star: Vec<f64> = u.solution_to_original(&x_star);
+        let diff_y: Vec<f64> = y.iter().zip(&y_star).map(|(a, b)| a - b).collect();
+        let na = u.a.a_norm(&diff_x);
+        let nb = b.a_norm(&diff_y);
+        assert!((na - nb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let m = CsrMatrix::from_dense(2, 3, &[1.0; 6]);
+        assert!(matches!(
+            UnitDiagonal::from_spd(&m),
+            Err(SparseError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_positive_diagonal() {
+        let m = CsrMatrix::from_dense(2, 2, &[1.0, 0.0, 0.0, -1.0]);
+        assert!(matches!(
+            UnitDiagonal::from_spd(&m),
+            Err(SparseError::NonPositiveDiagonal { index: 1, .. })
+        ));
+        // Structurally missing diagonal entry reads as 0.0.
+        let m = CsrMatrix::from_dense(2, 2, &[1.0, 1.0, 1.0, 0.0]);
+        assert!(UnitDiagonal::from_spd(&m).is_err());
+    }
+
+    #[test]
+    fn identity_is_fixed_point() {
+        let id = CsrMatrix::identity(5);
+        let u = UnitDiagonal::from_spd(&id).unwrap();
+        assert_eq!(u.a, id);
+        assert!(u.d.iter().all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,75 @@
+//! # asyrgs-spectral
+//!
+//! Spectral estimation substrate: power iteration, Lanczos
+//! tridiagonalization, a Sturm-sequence bisection eigensolver for symmetric
+//! tridiagonal matrices, and an SPD condition-number estimator (the
+//! facility the paper uses in Section 9 to establish that its test matrix
+//! is highly ill-conditioned).
+//!
+//! The convergence bounds of the paper are stated in terms of
+//! `lambda_min`, `lambda_max`, and `kappa` of the (unit-diagonally-rescaled)
+//! matrix; this crate supplies those quantities for arbitrary inputs so the
+//! theory module in `asyrgs-core` can evaluate the bounds.
+
+#![warn(missing_docs)]
+
+pub mod cond;
+pub mod lanczos;
+pub mod power;
+pub mod tridiag;
+
+pub use cond::{estimate_condition, CondEstimate, CondOptions};
+pub use lanczos::{extreme_eigenvalues_lanczos, lanczos, LanczosResult};
+pub use power::{lambda_max, lambda_min_shifted, sigma_max, PowerResult};
+pub use tridiag::{all_eigenvalues, extreme_eigenvalues, eigenvalue_k, sturm_count};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn sturm_count_is_monotone_in_x(
+            n in 1usize..12,
+            seed in any::<u64>(),
+            x1 in -10.0f64..10.0,
+            x2 in -10.0f64..10.0,
+        ) {
+            let mut rng = asyrgs_rng::Xoshiro256pp::new(seed);
+            let alpha: Vec<f64> = (0..n).map(|_| rng.next_range(-5.0, 5.0)).collect();
+            let beta: Vec<f64> = (0..n.saturating_sub(1)).map(|_| rng.next_range(-2.0, 2.0)).collect();
+            let (lo, hi) = (x1.min(x2), x1.max(x2));
+            prop_assert!(sturm_count(&alpha, &beta, lo) <= sturm_count(&alpha, &beta, hi));
+        }
+
+        #[test]
+        fn all_eigenvalues_sorted_and_inside_gershgorin(
+            n in 1usize..10,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = asyrgs_rng::Xoshiro256pp::new(seed);
+            let alpha: Vec<f64> = (0..n).map(|_| rng.next_range(-5.0, 5.0)).collect();
+            let beta: Vec<f64> = (0..n.saturating_sub(1)).map(|_| rng.next_range(-2.0, 2.0)).collect();
+            let eigs = all_eigenvalues(&alpha, &beta, 1e-10);
+            prop_assert!(eigs.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+            let (lo, hi) = tridiag::gershgorin_bounds(&alpha, &beta);
+            for e in &eigs {
+                prop_assert!(*e >= lo - 1e-6 && *e <= hi + 1e-6);
+            }
+        }
+
+        #[test]
+        fn eigenvalue_sum_matches_trace(n in 1usize..10, seed in any::<u64>()) {
+            let mut rng = asyrgs_rng::Xoshiro256pp::new(seed);
+            let alpha: Vec<f64> = (0..n).map(|_| rng.next_range(-5.0, 5.0)).collect();
+            let beta: Vec<f64> = (0..n.saturating_sub(1)).map(|_| rng.next_range(-2.0, 2.0)).collect();
+            let eigs = all_eigenvalues(&alpha, &beta, 1e-11);
+            let trace: f64 = alpha.iter().sum();
+            let sum: f64 = eigs.iter().sum();
+            prop_assert!((sum - trace).abs() < 1e-6 * trace.abs().max(1.0) + 1e-6);
+        }
+    }
+}

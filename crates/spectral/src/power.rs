@@ -1,0 +1,224 @@
+//! Power iteration for extreme eigenvalues of SPD matrices.
+
+use asyrgs_rng::Xoshiro256pp;
+use asyrgs_sparse::dense::{dot, norm2};
+use asyrgs_sparse::CsrMatrix;
+
+/// Result of a power-iteration run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerResult {
+    /// The converged eigenvalue estimate (Rayleigh quotient).
+    pub eigenvalue: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Relative change of the estimate at the last iteration.
+    pub last_change: f64,
+}
+
+/// Estimate the largest eigenvalue of a symmetric matrix by power iteration
+/// with Rayleigh-quotient extraction.
+///
+/// Converges linearly with ratio `lambda_2 / lambda_max`; `tol` is the
+/// relative change of the estimate between iterations.
+pub fn lambda_max(a: &CsrMatrix, max_iters: usize, tol: f64, seed: u64) -> PowerResult {
+    assert!(a.is_square(), "power iteration needs a square matrix");
+    let n = a.n_rows();
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut v: Vec<f64> = (0..n).map(|_| rng.next_normal()).collect();
+    let nv = norm2(&v);
+    for x in &mut v {
+        *x /= nv;
+    }
+    let mut av = vec![0.0; n];
+    let mut prev = 0.0f64;
+    let mut last_change = f64::INFINITY;
+    for it in 1..=max_iters {
+        a.matvec_into(&v, &mut av);
+        let rq = dot(&v, &av);
+        let na = norm2(&av);
+        if na == 0.0 {
+            // v is in the null space; A has eigenvalue 0 along v.
+            return PowerResult {
+                eigenvalue: 0.0,
+                iterations: it,
+                last_change: 0.0,
+            };
+        }
+        for (vi, ai) in v.iter_mut().zip(&av) {
+            *vi = ai / na;
+        }
+        last_change = ((rq - prev) / rq.abs().max(f64::MIN_POSITIVE)).abs();
+        prev = rq;
+        if it > 1 && last_change < tol {
+            return PowerResult {
+                eigenvalue: rq,
+                iterations: it,
+                last_change,
+            };
+        }
+    }
+    PowerResult {
+        eigenvalue: prev,
+        iterations: max_iters,
+        last_change,
+    }
+}
+
+/// Estimate the smallest eigenvalue of an SPD matrix by shifted power
+/// iteration: run power iteration on `sigma I - A` with `sigma >=
+/// lambda_max`, whose largest eigenvalue is `sigma - lambda_min`.
+///
+/// `sigma` should be an upper bound on `lambda_max` (e.g. from
+/// [`lambda_max`] plus a safety margin, or the infinity norm).
+pub fn lambda_min_shifted(
+    a: &CsrMatrix,
+    sigma: f64,
+    max_iters: usize,
+    tol: f64,
+    seed: u64,
+) -> PowerResult {
+    assert!(a.is_square(), "power iteration needs a square matrix");
+    let n = a.n_rows();
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut v: Vec<f64> = (0..n).map(|_| rng.next_normal()).collect();
+    let nv = norm2(&v);
+    for x in &mut v {
+        *x /= nv;
+    }
+    let mut av = vec![0.0; n];
+    let mut w = vec![0.0; n];
+    let mut prev = 0.0f64;
+    let mut last_change = f64::INFINITY;
+    for it in 1..=max_iters {
+        a.matvec_into(&v, &mut av);
+        // w = sigma v - A v
+        for i in 0..n {
+            w[i] = sigma * v[i] - av[i];
+        }
+        let rq_shifted = dot(&v, &w);
+        let rq = sigma - rq_shifted; // Rayleigh quotient of A
+        let nw = norm2(&w);
+        if nw == 0.0 {
+            return PowerResult {
+                eigenvalue: sigma,
+                iterations: it,
+                last_change: 0.0,
+            };
+        }
+        for (vi, wi) in v.iter_mut().zip(&w) {
+            *vi = wi / nw;
+        }
+        last_change = ((rq - prev) / rq.abs().max(f64::MIN_POSITIVE)).abs();
+        prev = rq;
+        if it > 1 && last_change < tol {
+            return PowerResult {
+                eigenvalue: rq,
+                iterations: it,
+                last_change,
+            };
+        }
+    }
+    PowerResult {
+        eigenvalue: prev,
+        iterations: max_iters,
+        last_change,
+    }
+}
+
+/// Estimate the largest *singular value* of a rectangular matrix by power
+/// iteration on `A^T A`: returns `sigma_max(A) = sqrt(lambda_max(A^T A))`.
+pub fn sigma_max(a: &CsrMatrix, max_iters: usize, tol: f64, seed: u64) -> f64 {
+    let n = a.n_cols();
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut v: Vec<f64> = (0..n).map(|_| rng.next_normal()).collect();
+    let nv = norm2(&v);
+    for x in &mut v {
+        *x /= nv;
+    }
+    let at = a.transpose();
+    let mut av = vec![0.0; a.n_rows()];
+    let mut atav = vec![0.0; n];
+    let mut prev = 0.0f64;
+    for it in 1..=max_iters {
+        a.matvec_into(&v, &mut av);
+        at.matvec_into(&av, &mut atav);
+        let rq = dot(&v, &atav); // v^T A^T A v
+        let na = norm2(&atav);
+        if na == 0.0 {
+            return 0.0;
+        }
+        for (vi, ai) in v.iter_mut().zip(&atav) {
+            *vi = ai / na;
+        }
+        let change = ((rq - prev) / rq.abs().max(f64::MIN_POSITIVE)).abs();
+        prev = rq;
+        if it > 1 && change < tol {
+            break;
+        }
+    }
+    prev.max(0.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyrgs_workloads::{tridiag_toeplitz, tridiag_toeplitz_eigenvalues};
+
+    #[test]
+    fn lambda_max_of_toeplitz() {
+        let n = 50;
+        let a = tridiag_toeplitz(n, 2.0, -1.0);
+        let eigs = tridiag_toeplitz_eigenvalues(n, 2.0, -1.0);
+        let r = lambda_max(&a, 5000, 1e-12, 1);
+        assert!(
+            (r.eigenvalue - eigs[n - 1]).abs() < 1e-6,
+            "got {}, want {}",
+            r.eigenvalue,
+            eigs[n - 1]
+        );
+    }
+
+    #[test]
+    fn lambda_min_of_toeplitz() {
+        let n = 30;
+        let a = tridiag_toeplitz(n, 2.0, -1.0);
+        let eigs = tridiag_toeplitz_eigenvalues(n, 2.0, -1.0);
+        let sigma = a.norm_inf(); // >= lambda_max
+        let r = lambda_min_shifted(&a, sigma, 20000, 1e-13, 2);
+        assert!(
+            (r.eigenvalue - eigs[0]).abs() < 1e-5,
+            "got {}, want {}",
+            r.eigenvalue,
+            eigs[0]
+        );
+    }
+
+    #[test]
+    fn identity_eigenvalues() {
+        let a = asyrgs_sparse::CsrMatrix::identity(10);
+        let r = lambda_max(&a, 100, 1e-12, 3);
+        assert!((r.eigenvalue - 1.0).abs() < 1e-10);
+        let r = lambda_min_shifted(&a, 2.0, 100, 1e-12, 3);
+        assert!((r.eigenvalue - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sigma_max_of_identity_like() {
+        // Diagonal rectangular matrix: singular values are |diag|.
+        let a = asyrgs_sparse::CsrMatrix::from_dense(
+            3,
+            2,
+            &[3.0, 0.0, 0.0, -4.0, 0.0, 0.0],
+        );
+        let s = sigma_max(&a, 1000, 1e-13, 4);
+        assert!((s - 4.0).abs() < 1e-8, "got {s}");
+    }
+
+    #[test]
+    fn power_result_reports_iterations() {
+        let a = tridiag_toeplitz(10, 2.0, -1.0);
+        let r = lambda_max(&a, 3, 1e-30, 5);
+        assert_eq!(r.iterations, 3);
+        assert!(r.last_change.is_finite());
+    }
+}

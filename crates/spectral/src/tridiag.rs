@@ -1,0 +1,174 @@
+//! Eigenvalues of symmetric tridiagonal matrices by Sturm-sequence bisection.
+//!
+//! Used to turn Lanczos coefficients into Ritz values. Bisection with Sturm
+//! counts is simple, robust, and gives any individual eigenvalue to machine
+//! precision — all we need for extreme-eigenvalue (condition number)
+//! estimation.
+
+/// Count eigenvalues of the symmetric tridiagonal matrix `T(alpha, beta)`
+/// that are strictly less than `x`, via the Sturm sequence of leading
+/// principal minors evaluated with the standard stabilized recurrence.
+///
+/// `alpha` are the `n` diagonal entries; `beta` the `n - 1` off-diagonals.
+pub fn sturm_count(alpha: &[f64], beta: &[f64], x: f64) -> usize {
+    let n = alpha.len();
+    assert_eq!(beta.len(), n.saturating_sub(1), "beta must have n-1 entries");
+    let mut count = 0usize;
+    let mut q = 1.0f64; // ratio d_i / d_{i-1}
+    for i in 0..n {
+        let b2 = if i == 0 { 0.0 } else { beta[i - 1] * beta[i - 1] };
+        q = alpha[i] - x - if i == 0 { 0.0 } else { b2 / q };
+        if q == 0.0 {
+            // Perturb to avoid division by zero (standard practice).
+            q = f64::EPSILON * (alpha[i].abs() + beta.get(i.saturating_sub(1)).map_or(0.0, |b| b.abs())).max(f64::MIN_POSITIVE);
+        }
+        if q < 0.0 {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Gershgorin interval `[lo, hi]` containing every eigenvalue of
+/// `T(alpha, beta)`.
+pub fn gershgorin_bounds(alpha: &[f64], beta: &[f64]) -> (f64, f64) {
+    let n = alpha.len();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..n {
+        let left = if i > 0 { beta[i - 1].abs() } else { 0.0 };
+        let right = if i + 1 < n { beta[i].abs() } else { 0.0 };
+        lo = lo.min(alpha[i] - left - right);
+        hi = hi.max(alpha[i] + left + right);
+    }
+    if n == 0 {
+        (0.0, 0.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// The `k`-th smallest eigenvalue (0-based) of `T(alpha, beta)`, computed by
+/// bisection to absolute tolerance `tol`.
+pub fn eigenvalue_k(alpha: &[f64], beta: &[f64], k: usize, tol: f64) -> f64 {
+    let n = alpha.len();
+    assert!(k < n, "eigenvalue index out of range");
+    let (mut lo, mut hi) = gershgorin_bounds(alpha, beta);
+    // Widen slightly to be safe against roundoff at the interval edges.
+    let pad = 1e-12 * (hi - lo).abs().max(1.0);
+    lo -= pad;
+    hi += pad;
+    while hi - lo > tol.max(f64::EPSILON * (hi.abs() + lo.abs()).max(1.0)) {
+        let mid = 0.5 * (lo + hi);
+        if sturm_count(alpha, beta, mid) > k {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// All eigenvalues of `T(alpha, beta)`, ascending, each to tolerance `tol`.
+pub fn all_eigenvalues(alpha: &[f64], beta: &[f64], tol: f64) -> Vec<f64> {
+    (0..alpha.len())
+        .map(|k| eigenvalue_k(alpha, beta, k, tol))
+        .collect()
+}
+
+/// The extreme eigenvalues `(lambda_min, lambda_max)` of `T(alpha, beta)`.
+pub fn extreme_eigenvalues(alpha: &[f64], beta: &[f64], tol: f64) -> (f64, f64) {
+    let n = alpha.len();
+    assert!(n > 0, "empty tridiagonal matrix");
+    (
+        eigenvalue_k(alpha, beta, 0, tol),
+        eigenvalue_k(alpha, beta, n - 1, tol),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    /// Closed-form spectrum of the (2, -1) tridiagonal Toeplitz matrix.
+    fn toeplitz_eigs(n: usize) -> Vec<f64> {
+        let mut v: Vec<f64> = (1..=n)
+            .map(|k| 2.0 - 2.0 * (k as f64 * PI / (n as f64 + 1.0)).cos())
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    #[test]
+    fn single_entry() {
+        assert!((eigenvalue_k(&[3.5], &[], 0, 1e-12) - 3.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn two_by_two_exact() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let alpha = [2.0, 2.0];
+        let beta = [1.0];
+        assert!((eigenvalue_k(&alpha, &beta, 0, 1e-12) - 1.0).abs() < 1e-9);
+        assert!((eigenvalue_k(&alpha, &beta, 1, 1e-12) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn toeplitz_spectrum_matches_closed_form() {
+        let n = 20;
+        let alpha = vec![2.0; n];
+        let beta = vec![-1.0; n - 1];
+        let got = all_eigenvalues(&alpha, &beta, 1e-11);
+        let want = toeplitz_eigs(n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9, "got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn sturm_count_monotone() {
+        let n = 10;
+        let alpha = vec![2.0; n];
+        let beta = vec![-1.0; n - 1];
+        let c0 = sturm_count(&alpha, &beta, 0.0);
+        let c2 = sturm_count(&alpha, &beta, 2.0);
+        let c5 = sturm_count(&alpha, &beta, 5.0);
+        assert_eq!(c0, 0);
+        assert!(c2 > c0);
+        assert_eq!(c5, n);
+    }
+
+    #[test]
+    fn gershgorin_contains_spectrum() {
+        let n = 15;
+        let alpha = vec![2.0; n];
+        let beta = vec![-1.0; n - 1];
+        let (lo, hi) = gershgorin_bounds(&alpha, &beta);
+        let eigs = toeplitz_eigs(n);
+        assert!(lo <= eigs[0]);
+        assert!(hi >= eigs[n - 1]);
+    }
+
+    #[test]
+    fn extreme_eigenvalues_match() {
+        let n = 12;
+        let alpha = vec![2.0; n];
+        let beta = vec![-1.0; n - 1];
+        let (lmin, lmax) = extreme_eigenvalues(&alpha, &beta, 1e-11);
+        let eigs = toeplitz_eigs(n);
+        assert!((lmin - eigs[0]).abs() < 1e-9);
+        assert!((lmax - eigs[n - 1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_zero_offdiagonals() {
+        // Diagonal matrix: eigenvalues are the diagonal entries.
+        let alpha = [3.0, 1.0, 2.0];
+        let beta = [0.0, 0.0];
+        let eigs = all_eigenvalues(&alpha, &beta, 1e-12);
+        assert!((eigs[0] - 1.0).abs() < 1e-9);
+        assert!((eigs[1] - 2.0).abs() < 1e-9);
+        assert!((eigs[2] - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,200 @@
+//! Discrete Laplacian model problems.
+//!
+//! Standard 5-point (2D) and 7-point (3D) finite-difference Laplacians with
+//! Dirichlet boundary conditions. These are the canonical instances of the
+//! paper's *reference scenario*: sparse SPD with row nnz between `C1` and
+//! `C2 << n` and a small `C2/C1` ratio. Their spectra are known in closed
+//! form, which makes them ideal for validating the spectral estimators and
+//! the convergence-bound machinery.
+
+use asyrgs_sparse::{CooBuilder, CsrMatrix};
+use std::f64::consts::PI;
+
+/// 2D 5-point Laplacian on an `nx x ny` grid (Dirichlet), `n = nx * ny`.
+///
+/// Diagonal 4, off-diagonals -1 toward grid neighbours.
+pub fn laplace2d(nx: usize, ny: usize) -> CsrMatrix {
+    assert!(nx > 0 && ny > 0);
+    let n = nx * ny;
+    let mut coo = CooBuilder::with_capacity(n, n, 5 * n);
+    let idx = |i: usize, j: usize| i * ny + j;
+    for i in 0..nx {
+        for j in 0..ny {
+            let r = idx(i, j);
+            coo.push(r, r, 4.0).unwrap();
+            if i > 0 {
+                coo.push(r, idx(i - 1, j), -1.0).unwrap();
+            }
+            if i + 1 < nx {
+                coo.push(r, idx(i + 1, j), -1.0).unwrap();
+            }
+            if j > 0 {
+                coo.push(r, idx(i, j - 1), -1.0).unwrap();
+            }
+            if j + 1 < ny {
+                coo.push(r, idx(i, j + 1), -1.0).unwrap();
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 3D 7-point Laplacian on an `nx x ny x nz` grid (Dirichlet).
+pub fn laplace3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
+    assert!(nx > 0 && ny > 0 && nz > 0);
+    let n = nx * ny * nz;
+    let mut coo = CooBuilder::with_capacity(n, n, 7 * n);
+    let idx = |i: usize, j: usize, k: usize| (i * ny + j) * nz + k;
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                let r = idx(i, j, k);
+                coo.push(r, r, 6.0).unwrap();
+                if i > 0 {
+                    coo.push(r, idx(i - 1, j, k), -1.0).unwrap();
+                }
+                if i + 1 < nx {
+                    coo.push(r, idx(i + 1, j, k), -1.0).unwrap();
+                }
+                if j > 0 {
+                    coo.push(r, idx(i, j - 1, k), -1.0).unwrap();
+                }
+                if j + 1 < ny {
+                    coo.push(r, idx(i, j + 1, k), -1.0).unwrap();
+                }
+                if k > 0 {
+                    coo.push(r, idx(i, j, k - 1), -1.0).unwrap();
+                }
+                if k + 1 < nz {
+                    coo.push(r, idx(i, j, k + 1), -1.0).unwrap();
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Symmetric tridiagonal Toeplitz matrix with `diag` on the diagonal and
+/// `off` on the first off-diagonals — the 1D Laplacian for `(2, -1)`.
+pub fn tridiag_toeplitz(n: usize, diag: f64, off: f64) -> CsrMatrix {
+    assert!(n > 0);
+    let mut coo = CooBuilder::with_capacity(n, n, 3 * n);
+    for i in 0..n {
+        coo.push(i, i, diag).unwrap();
+        if i > 0 {
+            coo.push(i, i - 1, off).unwrap();
+        }
+        if i + 1 < n {
+            coo.push(i, i + 1, off).unwrap();
+        }
+    }
+    coo.to_csr()
+}
+
+/// Exact eigenvalues of [`tridiag_toeplitz`]:
+/// `diag + 2 off cos(k pi / (n+1))`, `k = 1..n`, sorted ascending.
+pub fn tridiag_toeplitz_eigenvalues(n: usize, diag: f64, off: f64) -> Vec<f64> {
+    let mut eigs: Vec<f64> = (1..=n)
+        .map(|k| diag + 2.0 * off * (k as f64 * PI / (n as f64 + 1.0)).cos())
+        .collect();
+    eigs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    eigs
+}
+
+/// Exact extreme eigenvalues of the 2D Laplacian [`laplace2d`]:
+/// `lambda_{p,q} = 4 - 2cos(p pi/(nx+1)) - 2cos(q pi/(ny+1))`.
+pub fn laplace2d_extreme_eigenvalues(nx: usize, ny: usize) -> (f64, f64) {
+    let cx = (PI / (nx as f64 + 1.0)).cos();
+    let cy = (PI / (ny as f64 + 1.0)).cos();
+    let lmin = 4.0 - 2.0 * cx - 2.0 * cy;
+    let lmax = 4.0 + 2.0 * cx + 2.0 * cy;
+    (lmin, lmax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laplace2d_shape_and_symmetry() {
+        let a = laplace2d(4, 5);
+        assert_eq!(a.n_rows(), 20);
+        assert!(a.is_symmetric(0.0));
+        assert_eq!(a.diag(), vec![4.0; 20]);
+    }
+
+    #[test]
+    fn laplace2d_interior_row_has_five_entries() {
+        let a = laplace2d(5, 5);
+        // Center point (2,2) -> index 12.
+        assert_eq!(a.row_nnz(12), 5);
+        // Corner (0,0) -> 3 entries.
+        assert_eq!(a.row_nnz(0), 3);
+    }
+
+    #[test]
+    fn laplace2d_row_sums() {
+        // Interior rows sum to 0; boundary rows are positive (diagonal
+        // dominance with strictness on the boundary).
+        let a = laplace2d(4, 4);
+        for i in 0..a.n_rows() {
+            let (_, vals) = a.row(i);
+            let s: f64 = vals.iter().sum();
+            assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn laplace3d_shape() {
+        let a = laplace3d(3, 4, 5);
+        assert_eq!(a.n_rows(), 60);
+        assert!(a.is_symmetric(0.0));
+        assert_eq!(a.diag(), vec![6.0; 60]);
+        // Center-ish point has 7 entries.
+        let idx = (1 * 4 + 2) * 5 + 2;
+        assert_eq!(a.row_nnz(idx), 7);
+    }
+
+    #[test]
+    fn tridiag_matches_laplace1d() {
+        let a = tridiag_toeplitz(5, 2.0, -1.0);
+        assert!(a.is_symmetric(0.0));
+        assert_eq!(a.get(2, 1), -1.0);
+        assert_eq!(a.get(2, 2), 2.0);
+        assert_eq!(a.nnz(), 13);
+    }
+
+    #[test]
+    fn tridiag_eigenvalues_sorted_and_positive_for_laplacian() {
+        let eigs = tridiag_toeplitz_eigenvalues(10, 2.0, -1.0);
+        assert!(eigs.windows(2).all(|w| w[0] <= w[1]));
+        assert!(eigs[0] > 0.0);
+        assert!(eigs[9] < 4.0);
+    }
+
+    #[test]
+    fn tridiag_eigenvalues_match_rayleigh_quotient() {
+        // The eigenvector for the k-th eigenvalue is sin(k pi i/(n+1)).
+        let n = 8;
+        let a = tridiag_toeplitz(n, 2.0, -1.0);
+        let eigs = tridiag_toeplitz_eigenvalues(n, 2.0, -1.0);
+        let k = 1; // smallest
+        let v: Vec<f64> = (1..=n)
+            .map(|i| (k as f64 * i as f64 * PI / (n as f64 + 1.0)).sin())
+            .collect();
+        let rq = a.a_norm_sq(&v) / v.iter().map(|x| x * x).sum::<f64>();
+        assert!((rq - eigs[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplace2d_extreme_eigs_bracket_rayleigh_quotients() {
+        let (nx, ny) = (6, 7);
+        let a = laplace2d(nx, ny);
+        let (lmin, lmax) = laplace2d_extreme_eigenvalues(nx, ny);
+        assert!(lmin > 0.0 && lmax < 8.0);
+        // Any Rayleigh quotient lies in [lmin, lmax].
+        let x: Vec<f64> = (0..a.n_rows()).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let rq = a.a_norm_sq(&x) / x.iter().map(|v| v * v).sum::<f64>();
+        assert!(rq >= lmin - 1e-12 && rq <= lmax + 1e-12);
+    }
+}

@@ -1,0 +1,184 @@
+//! Overdetermined least-squares problem generators (paper Section 8).
+//!
+//! The paper's least-squares iteration assumes a full-rank `A` with at least
+//! as many rows as columns and unit Euclidean-norm columns. These generators
+//! produce random sparse instances with those properties, both *consistent*
+//! (`b = A x*`, so the residual can be driven to zero) and *noisy*
+//! (`b = A x* + eta z`).
+
+use asyrgs_rng::Xoshiro256pp;
+use asyrgs_sparse::{CooBuilder, CsrMatrix};
+
+/// A generated least-squares instance.
+#[derive(Debug, Clone)]
+pub struct LsqProblem {
+    /// The `rows x cols` matrix with unit-norm columns.
+    pub a: CsrMatrix,
+    /// The right-hand side.
+    pub b: Vec<f64>,
+    /// The planted parameter vector (`b = A x_planted + noise`).
+    pub x_planted: Vec<f64>,
+    /// The noise level used.
+    pub noise: f64,
+}
+
+/// Parameters for [`random_lsq`].
+#[derive(Debug, Clone)]
+pub struct LsqParams {
+    /// Number of rows (`>= cols`).
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Target non-zeros per column (before ensuring full rank).
+    pub nnz_per_col: usize,
+    /// Gaussian noise level `eta` (`0` for a consistent system).
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LsqParams {
+    fn default() -> Self {
+        LsqParams {
+            rows: 400,
+            cols: 100,
+            nnz_per_col: 8,
+            noise: 0.0,
+            seed: 0xF00D,
+        }
+    }
+}
+
+/// Generate a random sparse full-rank least-squares instance with unit-norm
+/// columns.
+///
+/// Rank is ensured by planting one "anchor" entry per column on a distinct
+/// row (an embedded permutation-like pattern), then adding random fill.
+pub fn random_lsq(params: &LsqParams) -> LsqProblem {
+    assert!(params.rows >= params.cols, "need rows >= cols");
+    assert!(params.cols > 0);
+    let mut rng = Xoshiro256pp::new(params.seed);
+
+    // Anchor rows: a random injection from columns to rows.
+    let mut anchor: Vec<usize> = (0..params.rows).collect();
+    rng.shuffle(&mut anchor);
+    anchor.truncate(params.cols);
+
+    let mut coo = CooBuilder::with_capacity(
+        params.rows,
+        params.cols,
+        params.cols * (params.nnz_per_col + 1),
+    );
+    for j in 0..params.cols {
+        // Strong anchor keeps columns linearly independent with high
+        // probability even after random fill.
+        coo.push(anchor[j], j, 2.0 + rng.next_f64()).unwrap();
+        for _ in 0..params.nnz_per_col.saturating_sub(1) {
+            let i = rng.next_index(params.rows);
+            coo.push(i, j, rng.next_normal() * 0.3).unwrap();
+        }
+    }
+    let raw = coo.to_csr();
+
+    // Normalize columns to unit Euclidean norm (paper Section 8 assumption).
+    let at = raw.transpose();
+    let mut coo2 = CooBuilder::with_capacity(params.rows, params.cols, raw.nnz());
+    for j in 0..params.cols {
+        let (rows_j, vals_j) = at.row(j);
+        let norm = vals_j.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(norm > 0.0, "empty column {j}");
+        for (&i, &v) in rows_j.iter().zip(vals_j) {
+            coo2.push(i, j, v / norm).unwrap();
+        }
+    }
+    let a = coo2.to_csr();
+
+    let x_planted: Vec<f64> = (0..params.cols).map(|_| rng.next_normal()).collect();
+    let mut b = a.matvec(&x_planted);
+    if params.noise > 0.0 {
+        for bi in &mut b {
+            *bi += params.noise * rng.next_normal();
+        }
+    }
+    LsqProblem {
+        a,
+        b,
+        x_planted,
+        noise: params.noise,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyrgs_sparse::CscMatrix;
+
+    #[test]
+    fn columns_have_unit_norm() {
+        let p = random_lsq(&LsqParams::default());
+        let csc = CscMatrix::from_csr(&p.a);
+        for j in 0..p.a.n_cols() {
+            let norm = csc.col_norm_sq(j).sqrt();
+            assert!((norm - 1.0).abs() < 1e-12, "col {j} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn consistent_system_has_zero_residual_at_planted() {
+        let p = random_lsq(&LsqParams {
+            noise: 0.0,
+            ..Default::default()
+        });
+        let r = p.a.residual(&p.b, &p.x_planted);
+        assert!(asyrgs_sparse::dense::norm2(&r) < 1e-12);
+    }
+
+    #[test]
+    fn noisy_system_has_nonzero_residual_at_planted() {
+        let p = random_lsq(&LsqParams {
+            noise: 0.1,
+            seed: 5,
+            ..Default::default()
+        });
+        let r = p.a.residual(&p.b, &p.x_planted);
+        assert!(asyrgs_sparse::dense::norm2(&r) > 1e-3);
+    }
+
+    #[test]
+    fn gram_is_positive_definite_full_rank() {
+        // A^T A should be PD if A has full column rank; sample Rayleigh
+        // quotients of random vectors.
+        let p = random_lsq(&LsqParams {
+            rows: 200,
+            cols: 50,
+            ..Default::default()
+        });
+        let at = p.a.transpose();
+        let mut rng = asyrgs_rng::Xoshiro256pp::new(77);
+        for _ in 0..10 {
+            let x: Vec<f64> = (0..50).map(|_| rng.next_normal()).collect();
+            let ax = p.a.matvec(&x);
+            let norm_ax = asyrgs_sparse::dense::norm2_sq(&ax);
+            assert!(norm_ax > 1e-8, "A appears rank-deficient");
+            let _ = &at;
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = random_lsq(&LsqParams::default());
+        let b = random_lsq(&LsqParams::default());
+        assert_eq!(a.a, b.a);
+        assert_eq!(a.b, b.b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows >= cols")]
+    fn rejects_underdetermined() {
+        random_lsq(&LsqParams {
+            rows: 10,
+            cols: 20,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,167 @@
+//! Random sparse SPD generators.
+//!
+//! Two families:
+//!
+//! * [`diag_dominant`] — random symmetric matrices made SPD by diagonal
+//!   dominance. Historically the class where classical asynchronous methods
+//!   were guaranteed to converge (Chazan-Miranker); the paper's point is
+//!   that AsyRGS needs no such assumption, so these serve as the "easy"
+//!   baseline class in experiments.
+//! * [`random_spd_band`] — random banded SPD matrices with controllable
+//!   bandwidth, matching the paper's reference scenario (row nnz in
+//!   `[C1, C2]` with small `C2/C1`).
+
+use asyrgs_rng::Xoshiro256pp;
+use asyrgs_sparse::{CooBuilder, CsrMatrix};
+
+/// Random symmetric diagonally dominant SPD matrix.
+///
+/// Off-diagonal entries are uniform on `[-1, 1]`, placed at `row_nnz - 1`
+/// random positions per row (symmetrized), and the diagonal is set to
+/// `dominance * sum_j |A_ij|` with `dominance > 1`, which makes the matrix
+/// strictly diagonally dominant with positive diagonal, hence SPD.
+pub fn diag_dominant(n: usize, row_nnz: usize, dominance: f64, seed: u64) -> CsrMatrix {
+    assert!(n > 0);
+    assert!(row_nnz >= 1);
+    assert!(dominance > 1.0, "dominance must exceed 1 for SPD");
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut coo = CooBuilder::with_capacity(n, n, n * row_nnz * 2);
+    // Place random symmetric off-diagonal entries.
+    for i in 0..n {
+        for _ in 0..row_nnz.saturating_sub(1) {
+            let j = rng.next_index(n);
+            if j == i {
+                continue;
+            }
+            let v = rng.next_range(-1.0, 1.0);
+            // Push both halves; duplicates sum, keeping symmetry.
+            coo.push(i, j, v).unwrap();
+            coo.push(j, i, v).unwrap();
+        }
+    }
+    let off = coo.to_csr();
+    // Diagonal = dominance * row sum of absolute values (at least 1).
+    let mut coo2 = CooBuilder::with_capacity(n, n, off.nnz() + n);
+    for i in 0..n {
+        let (cols, vals) = off.row(i);
+        let mut abs_sum = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            coo2.push(i, c, v).unwrap();
+            abs_sum += v.abs();
+        }
+        coo2.push(i, i, (dominance * abs_sum).max(1.0)).unwrap();
+    }
+    coo2.to_csr()
+}
+
+/// Random banded SPD matrix: random entries within the band, symmetrized,
+/// with the diagonal shifted to guarantee strict diagonal dominance.
+pub fn random_spd_band(n: usize, bandwidth: usize, seed: u64) -> CsrMatrix {
+    assert!(n > 0);
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut coo = CooBuilder::with_capacity(n, n, n * (2 * bandwidth + 1));
+    for i in 0..n {
+        for d in 1..=bandwidth {
+            if i + d < n {
+                let v = rng.next_range(-1.0, 1.0);
+                coo.push(i, i + d, v).unwrap();
+                coo.push(i + d, i, v).unwrap();
+            }
+        }
+    }
+    let off = coo.to_csr();
+    let mut coo2 = CooBuilder::with_capacity(n, n, off.nnz() + n);
+    for i in 0..n {
+        let (cols, vals) = off.row(i);
+        let mut abs_sum = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            coo2.push(i, c, v).unwrap();
+            abs_sum += v.abs();
+        }
+        coo2.push(i, i, abs_sum + 0.5 + rng.next_f64()).unwrap();
+    }
+    coo2.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diag_dominant_is_symmetric_spd_shape() {
+        let a = diag_dominant(50, 6, 1.5, 11);
+        assert!(a.is_square());
+        assert!(a.is_symmetric(1e-12));
+        // Strict diagonal dominance.
+        for i in 0..a.n_rows() {
+            let (cols, vals) = a.row(i);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == i {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            assert!(diag > off, "row {i} not strictly dominant");
+        }
+    }
+
+    #[test]
+    fn diag_dominant_positive_definite_samples() {
+        let a = diag_dominant(40, 5, 2.0, 3);
+        let mut rng = Xoshiro256pp::new(4);
+        for _ in 0..10 {
+            let x: Vec<f64> = (0..40).map(|_| rng.next_normal()).collect();
+            assert!(a.a_norm_sq(&x) > 0.0);
+        }
+    }
+
+    #[test]
+    fn band_matrix_respects_bandwidth() {
+        let bw = 3;
+        let a = random_spd_band(30, bw, 8);
+        for i in 0..a.n_rows() {
+            let (cols, _) = a.row(i);
+            for &c in cols {
+                assert!(c.abs_diff(i) <= bw, "entry ({i},{c}) outside band");
+            }
+        }
+        assert!(a.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn band_matrix_diagonally_dominant() {
+        let a = random_spd_band(25, 2, 99);
+        for i in 0..a.n_rows() {
+            let (cols, vals) = a.row(i);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == i {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            assert!(diag > off);
+        }
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(diag_dominant(20, 4, 1.5, 7), diag_dominant(20, 4, 1.5, 7));
+        assert_ne!(diag_dominant(20, 4, 1.5, 7), diag_dominant(20, 4, 1.5, 8));
+        assert_eq!(random_spd_band(20, 2, 7), random_spd_band(20, 2, 7));
+    }
+
+    #[test]
+    fn reference_scenario_nnz_bounds() {
+        // Banded matrices have small C2/C1 — the reference scenario.
+        let a = random_spd_band(100, 4, 5);
+        let (c1, c2) = a.row_nnz_bounds();
+        assert!(c1 >= 3);
+        assert!(c2 <= 9);
+    }
+}

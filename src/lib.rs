@@ -1,0 +1,80 @@
+//! # asyrgs
+//!
+//! A production-quality Rust reproduction of
+//! *"Revisiting Asynchronous Linear Solvers: Provable Convergence Rate
+//! Through Randomization"* (Haim Avron, Alex Druinsky, Anshul Gupta —
+//! IPDPS 2014 / arXiv:1304.6475).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`core`] | AsyRGS (the paper's solver), sequential RGS, least-squares coordinate descent, convergence theory |
+//! | [`sparse`] | CSR/CSC/COO matrices, SpMV, unit-diagonal rescaling, Matrix Market I/O |
+//! | [`rng`] | Philox4x32-10 counter-based RNG (Random123-style direction streams) |
+//! | [`workloads`] | synthetic social-media Gram matrices, Laplacians, SPD and least-squares generators |
+//! | [`spectral`] | power iteration, Lanczos, condition-number estimation |
+//! | [`sim`] | bounded-delay model executor and discrete-event machine simulator |
+//! | [`krylov`] | CG, Flexible-CG (Notay), preconditioners including AsyRGS |
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use asyrgs::prelude::*;
+//!
+//! // An SPD system.
+//! let a = asyrgs::workloads::laplace2d(16, 16);
+//! let x_true = vec![1.0; a.n_rows()];
+//! let b = a.matvec(&x_true);
+//!
+//! // Solve asynchronously on 4 threads.
+//! let mut x = vec![0.0; a.n_rows()];
+//! let report = asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions {
+//!     sweeps: 300,
+//!     threads: 4,
+//!     ..Default::default()
+//! });
+//! assert!(report.final_rel_residual < 1e-2);
+//! ```
+
+pub use asyrgs_core as core;
+pub use asyrgs_krylov as krylov;
+pub use asyrgs_rng as rng;
+pub use asyrgs_sim as sim;
+pub use asyrgs_sparse as sparse;
+pub use asyrgs_spectral as spectral;
+pub use asyrgs_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use asyrgs_core::asyrgs::{asyrgs_solve, asyrgs_solve_block, AsyRgsOptions, WriteMode};
+    pub use asyrgs_core::lsq::{async_rcd_solve, rcd_solve, LsqOperator, LsqSolveOptions};
+    pub use asyrgs_core::report::{SolveReport, SweepRecord};
+    pub use asyrgs_core::rgs::{rgs_solve, rgs_solve_block, RgsOptions};
+    pub use asyrgs_core::theory;
+    pub use asyrgs_krylov::{
+        cg_solve, fcg_solve, AsyRgsPrecond, CgOptions, FcgOptions, IdentityPrecond,
+        JacobiPrecond, Preconditioner,
+    };
+    pub use asyrgs_sparse::{CooBuilder, CsrMatrix, RowMajorMat, UnitDiagonal};
+}
+
+#[cfg(test)]
+mod facade_tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_paths_work() {
+        let a = crate::workloads::laplace2d(4, 4);
+        let b = vec![1.0; 16];
+        let mut x = vec![0.0; 16];
+        let rep = cg_solve(&a, &b, &mut x, &CgOptions::default());
+        assert!(rep.converged_early);
+        let _ = crate::rng::Philox4x32::from_seed(1);
+        let _ = crate::spectral::CondOptions::default();
+        let _ = crate::sim::MachineModel::default();
+    }
+}

@@ -1,0 +1,145 @@
+//! Determinism and reproducibility guarantees across the workspace:
+//! the fixed-direction-set property (paper Section 9's Random123 usage),
+//! machine-simulator determinism, and seed sensitivity.
+
+use asyrgs::prelude::*;
+use asyrgs::rng::{DirectionStream, Philox4x32};
+use asyrgs::sim::{simulate_asyrgs, simulate_delay, DelaySimOptions, MachineModel};
+use asyrgs::sparse::UnitDiagonal;
+use asyrgs::workloads::laplace2d;
+
+#[test]
+fn direction_set_identical_across_consumers() {
+    // The direction at iteration j is a pure function of (seed, j): any
+    // component that replays the stream sees the same directions.
+    let n = 500;
+    let seed = 0xFEED;
+    let ds1 = DirectionStream::new(seed, n);
+    let ds2 = DirectionStream::new(seed, n);
+    let gen = Philox4x32::from_seed(seed);
+    for j in 0..10_000u64 {
+        let d = ds1.direction(j);
+        assert_eq!(d, ds2.direction(j));
+        assert_eq!(d, (((gen.u64_at(j) as u128) * n as u128) >> 64) as usize);
+    }
+}
+
+#[test]
+fn sequential_solvers_bitwise_reproducible() {
+    let a = laplace2d(10, 10);
+    let n = a.n_rows();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+    let opts = RgsOptions {
+        sweeps: 12,
+        record_every: 3,
+        ..Default::default()
+    };
+    let mut x1 = vec![0.0; n];
+    let r1 = rgs_solve(&a, &b, &mut x1, None, &opts);
+    let mut x2 = vec![0.0; n];
+    let r2 = rgs_solve(&a, &b, &mut x2, None, &opts);
+    assert_eq!(x1, x2);
+    assert_eq!(r1.residual_series(), r2.residual_series());
+}
+
+#[test]
+fn asyrgs_single_thread_bitwise_reproducible() {
+    let a = laplace2d(8, 8);
+    let n = a.n_rows();
+    let b = vec![1.0; n];
+    let opts = AsyRgsOptions {
+        sweeps: 10,
+        threads: 1,
+        ..Default::default()
+    };
+    let mut x1 = vec![0.0; n];
+    asyrgs_solve(&a, &b, &mut x1, None, &opts);
+    let mut x2 = vec![0.0; n];
+    asyrgs_solve(&a, &b, &mut x2, None, &opts);
+    assert_eq!(x1, x2);
+}
+
+#[test]
+fn asyrgs_multithreaded_varies_but_stays_accurate() {
+    // Multithreaded runs are *intentionally* nondeterministic (scheduling),
+    // but every run must land within the same accuracy band. This mirrors
+    // the paper's five-trial min/max residual experiment (Section 9).
+    let a = asyrgs::workloads::diag_dominant(256, 6, 2.0, 7);
+    let x_true: Vec<f64> = (0..256).map(|i| (i as f64 * 0.11).cos()).collect();
+    let b = a.matvec(&x_true);
+    let mut finals = Vec::new();
+    for _ in 0..5 {
+        let mut x = vec![0.0; 256];
+        let rep = asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions {
+            sweeps: 10,
+            threads: 4,
+            ..Default::default()
+        });
+        finals.push(rep.final_rel_residual);
+    }
+    let min = finals.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = finals.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        max / min < 25.0,
+        "async residual spread too wide: {finals:?}"
+    );
+    // Under oversubscribed full-suite load delays inflate; require
+    // robust accuracy rather than a tight tolerance.
+    assert!(max < 1e-1, "all runs must be accurate: {finals:?}");
+}
+
+#[test]
+fn delay_sim_and_machine_sim_fully_deterministic() {
+    let raw = laplace2d(6, 6);
+    let u = UnitDiagonal::from_spd(&raw).unwrap();
+    let n = u.a.n_rows();
+    let x_star: Vec<f64> = (0..n).map(|i| (i % 3) as f64).collect();
+    let b = u.a.matvec(&x_star);
+    let x0 = vec![0.0; n];
+
+    let d_opts = DelaySimOptions {
+        iterations: 3000,
+        ..Default::default()
+    };
+    let t1 = simulate_delay(&u.a, &b, &x0, &x_star, &d_opts);
+    let t2 = simulate_delay(&u.a, &b, &x0, &x_star, &d_opts);
+    assert_eq!(t1.x, t2.x);
+
+    let m = MachineModel::default();
+    let r1 = simulate_asyrgs(&u.a, &b, &x0, &x_star, &m, 8, 10, 1.0, 5);
+    let r2 = simulate_asyrgs(&u.a, &b, &x0, &x_star, &m, 8, 10, 1.0, 5);
+    assert_eq!(r1.x, r2.x);
+    assert_eq!(r1.time, r2.time);
+}
+
+#[test]
+fn seeds_actually_matter() {
+    let a = laplace2d(7, 7);
+    let n = a.n_rows();
+    let b = vec![1.0; n];
+    let run = |seed: u64| {
+        let mut x = vec![0.0; n];
+        rgs_solve(&a, &b, &mut x, None, &RgsOptions {
+            sweeps: 3,
+            seed,
+            record_every: 0,
+            ..Default::default()
+        });
+        x
+    };
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn workload_generators_stable_across_calls() {
+    use asyrgs::workloads::{gram_matrix, GramParams};
+    let p = GramParams {
+        n_terms: 100,
+        n_docs: 300,
+        seed: 77,
+        ..Default::default()
+    };
+    let a = gram_matrix(&p).matrix;
+    let b = gram_matrix(&p).matrix;
+    assert_eq!(a, b);
+}

@@ -1,0 +1,218 @@
+//! Integration tests for Section 8: unsymmetric systems and overdetermined
+//! least squares, including the equivalence between iteration (21) and
+//! AsyRGS on the normal equations, and Theorem 5's bound.
+
+use asyrgs::core::theory;
+use asyrgs::prelude::*;
+use asyrgs::sim::{expected_error_trajectory, DelayPolicy, DelaySimOptions, ReadModel};
+use asyrgs::spectral::sigma_max;
+use asyrgs::workloads::{random_lsq, LsqParams};
+
+#[test]
+fn unsymmetric_square_system_solvable_via_lsq() {
+    // Section 8: "this problem includes the solution of Ax = b for a
+    // general (possibly unsymmetric) non singular A".
+    use asyrgs::sparse::CooBuilder;
+    let n = 80;
+    let mut coo = CooBuilder::new(n, n);
+    let mut rng = asyrgs::rng::Xoshiro256pp::new(3);
+    for i in 0..n {
+        coo.push(i, i, 3.0 + rng.next_f64()).unwrap();
+        // Unsymmetric off-diagonals.
+        coo.push(i, (i + 7) % n, rng.next_range(-0.5, 0.5)).unwrap();
+        coo.push(i, (i + 31) % n, rng.next_range(-0.5, 0.5)).unwrap();
+    }
+    let a = coo.to_csr();
+    assert!(!a.is_symmetric(1e-9));
+    let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos()).collect();
+    let b = a.matvec(&x_true);
+
+    let op = LsqOperator::new(a);
+    let mut x = vec![0.0; n];
+    let rep = rcd_solve(&op, &b, &mut x, &LsqSolveOptions {
+        sweeps: 600,
+        record_every: 0,
+        ..Default::default()
+    });
+    assert!(rep.final_rel_residual < 1e-8, "{}", rep.final_rel_residual);
+    for (g, w) in x.iter().zip(&x_true) {
+        assert!((g - w).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn iteration21_equals_asyrgs_on_normal_equations() {
+    // "Notice that (21) is identical to the iteration of AsyRGS on
+    // A^T A x = A^T b" — check single-threaded with shared directions.
+    let p = random_lsq(&LsqParams {
+        rows: 120,
+        cols: 30,
+        nnz_per_col: 5,
+        noise: 0.0,
+        seed: 8,
+    });
+    let op = LsqOperator::new(p.a.clone());
+    let sweeps = 6;
+    let seed = 0xAB;
+
+    let mut x_lsq = vec![0.0; 30];
+    async_rcd_solve(&op, &p.b, &mut x_lsq, &LsqSolveOptions {
+        sweeps,
+        threads: 1,
+        seed,
+        beta: 0.8,
+        ..Default::default()
+    });
+
+    // Build X = A^T A (dense-ish but tiny) and c = A^T b, then run
+    // sequential RGS with the same direction stream and step size.
+    let at = p.a.transpose();
+    let mut coo = asyrgs::sparse::CooBuilder::new(30, 30);
+    for i in 0..30 {
+        let (cols_i, vals_i) = at.row(i);
+        // Row i of X: sum over shared rows of A.
+        for j in 0..30 {
+            let (cols_j, vals_j) = at.row(j);
+            let mut dot = 0.0;
+            let mut pi = 0;
+            let mut pj = 0;
+            while pi < cols_i.len() && pj < cols_j.len() {
+                match cols_i[pi].cmp(&cols_j[pj]) {
+                    std::cmp::Ordering::Less => pi += 1,
+                    std::cmp::Ordering::Greater => pj += 1,
+                    std::cmp::Ordering::Equal => {
+                        dot += vals_i[pi] * vals_j[pj];
+                        pi += 1;
+                        pj += 1;
+                    }
+                }
+            }
+            if dot != 0.0 {
+                coo.push(i, j, dot).unwrap();
+            }
+        }
+    }
+    let x_mat = coo.to_csr();
+    let c = at.matvec(&p.b);
+    let mut x_ne = vec![0.0; 30];
+    rgs_solve(&x_mat, &c, &mut x_ne, None, &RgsOptions {
+        sweeps,
+        seed,
+        beta: 0.8,
+        record_every: 0,
+        ..Default::default()
+    });
+
+    for (a, b) in x_lsq.iter().zip(&x_ne) {
+        assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn theorem5_bound_dominates_simulated_normal_equations() {
+    // Theorem 5 is Theorem 4 on X = A^T A. Validate by simulating the
+    // delay model on the (unit-diagonal-rescaled) normal equations.
+    let p = random_lsq(&LsqParams {
+        rows: 150,
+        cols: 40,
+        nnz_per_col: 6,
+        noise: 0.0,
+        seed: 21,
+    });
+    // Columns have unit norm, so X = A^T A already has unit diagonal.
+    let at = p.a.transpose();
+    let mut coo = asyrgs::sparse::CooBuilder::new(40, 40);
+    for i in 0..40 {
+        let (cols_i, vals_i) = at.row(i);
+        for j in 0..40 {
+            let (cols_j, vals_j) = at.row(j);
+            // Sorted merge join over shared original-row indices.
+            let mut dot = 0.0;
+            let (mut pi, mut pj) = (0, 0);
+            while pi < cols_i.len() && pj < cols_j.len() {
+                match cols_i[pi].cmp(&cols_j[pj]) {
+                    std::cmp::Ordering::Less => pi += 1,
+                    std::cmp::Ordering::Greater => pj += 1,
+                    std::cmp::Ordering::Equal => {
+                        dot += vals_i[pi] * vals_j[pj];
+                        pi += 1;
+                        pj += 1;
+                    }
+                }
+            }
+            if dot.abs() > 1e-14 {
+                coo.push(i, j, dot).unwrap();
+            }
+        }
+    }
+    let x_mat = coo.to_csr();
+    assert!(asyrgs::sparse::has_unit_diagonal(&x_mat, 1e-9));
+
+    let smax = sigma_max(&p.a, 2000, 1e-12, 4);
+    // sigma_min via lambda_min of X with the spectral crate.
+    let est = asyrgs::spectral::estimate_condition(
+        &x_mat,
+        &asyrgs::spectral::CondOptions::default(),
+    );
+    let lsq_params = theory::LsqParams {
+        n: 40,
+        sigma_max: smax,
+        sigma_min: est.lambda_min.sqrt(),
+        rho2: x_mat.rho2(),
+    };
+    let tau = 3usize;
+    let beta = 0.4;
+    assert!(theory::lsq_valid(&lsq_params, tau, beta));
+
+    let x_star = p.x_planted.clone();
+    let c = at.matvec(&p.b);
+    let x0 = vec![0.0; 40];
+    let m = (0.693 * 40.0 / (smax * smax)).ceil().max(40.0) as u64;
+    let traj = expected_error_trajectory(
+        &x_mat,
+        &c,
+        &x0,
+        &x_star,
+        &DelaySimOptions {
+            iterations: m,
+            tau,
+            beta,
+            policy: DelayPolicy::Max,
+            read_model: ReadModel::Inconsistent,
+            ..Default::default()
+        },
+        12,
+    );
+    let ratio = traj.last().unwrap().1 / traj[0].1;
+    let bound = theory::theorem5_a(&lsq_params, tau, beta);
+    assert!(
+        ratio <= bound,
+        "measured {ratio:.4} must be <= Theorem 5 bound {bound:.4}"
+    );
+}
+
+#[test]
+fn async_lsq_threads_reach_same_quality() {
+    let p = random_lsq(&LsqParams {
+        rows: 300,
+        cols: 80,
+        nnz_per_col: 6,
+        noise: 0.0,
+        seed: 13,
+    });
+    let op = LsqOperator::new(p.a.clone());
+    let mut residuals = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        let mut x = vec![0.0; 80];
+        let rep = async_rcd_solve(&op, &p.b, &mut x, &LsqSolveOptions {
+            sweeps: 200,
+            threads,
+            beta: 0.9,
+            ..Default::default()
+        });
+        residuals.push(rep.final_rel_residual);
+    }
+    for r in &residuals {
+        assert!(*r < 1e-5, "residuals {residuals:?}");
+    }
+}

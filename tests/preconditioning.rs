@@ -1,0 +1,128 @@
+//! Integration tests for the Flexible-CG + AsyRGS preconditioning pipeline
+//! (paper Section 9, Table 1 and Figure 3).
+
+use asyrgs::krylov::{fcg_asyrgs_summary, FcgRunSummary};
+use asyrgs::prelude::*;
+use asyrgs::workloads::{gram_matrix, laplace2d, GramParams};
+
+#[test]
+fn fcg_asyrgs_converges_on_gram_to_paper_tolerance() {
+    // The paper's tolerance is 1e-8 on its Gram matrix; replicate at scale.
+    let g = gram_matrix(&GramParams {
+        n_terms: 300,
+        n_docs: 1200,
+        max_doc_len: 50,
+        seed: 11,
+        ..Default::default()
+    })
+    .matrix;
+    let n = g.n_rows();
+    let x_true: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) / 9.0).collect();
+    let b = g.matvec(&x_true);
+    let s = fcg_asyrgs_summary(&g, &b, 2, 4, 1.0, 3, &FcgOptions::default());
+    assert!(s.converged, "no convergence in {} iters", s.outer_iters);
+    assert!(s.outer_iters > 0);
+}
+
+#[test]
+fn table1_tradeoff_shape() {
+    // Table 1's qualitative shape: outer iterations decrease monotonically
+    // with inner sweeps; total mat-ops are minimized at few inner sweeps
+    // relative to the largest sweep counts.
+    let a = laplace2d(20, 20);
+    let n = a.n_rows();
+    let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin()).collect();
+    let b = a.matvec(&x_true);
+
+    let sweeps = [30usize, 10, 3, 1];
+    let summaries: Vec<FcgRunSummary> = sweeps
+        .iter()
+        .map(|&inner| fcg_asyrgs_summary(&a, &b, inner, 2, 1.0, 42, &FcgOptions::default()))
+        .collect();
+    for s in &summaries {
+        assert!(s.converged, "inner={} did not converge", s.inner_sweeps);
+    }
+    // Outer iterations monotone non-increasing in inner sweeps.
+    for w in summaries.windows(2) {
+        assert!(
+            w[0].outer_iters <= w[1].outer_iters,
+            "outer iters should rise as inner sweeps fall: {:?} then {:?}",
+            w[0],
+            w[1]
+        );
+    }
+    // The 30-sweep configuration must cost more matrix passes than the
+    // 3-sweep one (the paper's "Outer x (Inner + 1)" column).
+    let m30 = summaries[0].mat_ops;
+    let m3 = summaries[2].mat_ops;
+    assert!(
+        m30 > m3,
+        "mat-ops at 30 inner sweeps ({m30}) should exceed 3 sweeps ({m3})"
+    );
+}
+
+#[test]
+fn preconditioner_quality_stable_across_thread_counts() {
+    // Fig. 3 (right): the outer-iteration count does not blow up as the
+    // preconditioner gets more asynchronous (more threads).
+    let a = laplace2d(16, 16);
+    let n = a.n_rows();
+    let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+    let mut iters = Vec::new();
+    for &threads in &[1usize, 2, 4, 8] {
+        let s = fcg_asyrgs_summary(&a, &b, 2, threads, 1.0, 9, &FcgOptions::default());
+        assert!(s.converged);
+        iters.push(s.outer_iters);
+    }
+    let min = *iters.iter().min().unwrap() as f64;
+    let max = *iters.iter().max().unwrap() as f64;
+    assert!(
+        max / min < 2.0,
+        "outer iterations vary too much across thread counts: {iters:?}"
+    );
+}
+
+#[test]
+fn flexible_outer_required_for_variable_preconditioner() {
+    // Sanity on the trait contract: AsyRGS marks itself variable, identity
+    // does not.
+    let a = laplace2d(6, 6);
+    let pre = AsyRgsPrecond::new(&a, 2, 2, 1.0, 1);
+    assert!(pre.is_variable());
+    assert!(!IdentityPrecond.is_variable());
+}
+
+#[test]
+fn jacobi_and_asyrgs_preconditioners_both_help_scaled_problem() {
+    // On a badly scaled SPD matrix, both preconditioners beat identity.
+    use asyrgs::sparse::CooBuilder;
+    let n = 200;
+    let mut coo = CooBuilder::new(n, n);
+    for i in 0..n {
+        let scale = 1.0 + (i % 10) as f64 * 10.0;
+        coo.push(i, i, scale).unwrap();
+        if i + 1 < n {
+            coo.push(i, i + 1, -0.3).unwrap();
+            coo.push(i + 1, i, -0.3).unwrap();
+        }
+    }
+    let a = coo.to_csr();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+
+    let run_identity = {
+        let mut x = vec![0.0; n];
+        fcg_solve(&a, &b, &mut x, &IdentityPrecond, &FcgOptions::default()).iterations
+    };
+    let run_jacobi = {
+        let pre = JacobiPrecond::new(&a);
+        let mut x = vec![0.0; n];
+        fcg_solve(&a, &b, &mut x, &pre, &FcgOptions::default()).iterations
+    };
+    let run_asyrgs = {
+        let pre = AsyRgsPrecond::new(&a, 3, 2, 1.0, 5);
+        let mut x = vec![0.0; n];
+        fcg_solve(&a, &b, &mut x, &pre, &FcgOptions::default()).iterations
+    };
+    assert!(run_jacobi < run_identity, "{run_jacobi} vs {run_identity}");
+    assert!(run_asyrgs < run_identity, "{run_asyrgs} vs {run_identity}");
+}

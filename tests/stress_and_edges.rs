@@ -1,0 +1,268 @@
+//! Stress tests (heavy contention, oversubscription, concurrent solver
+//! instances) and degenerate edge cases (n = 1, diagonal matrices,
+//! near-singular systems, extreme delays).
+
+use asyrgs::prelude::*;
+use asyrgs::sim::{simulate_delay, DelayPolicy, DelaySimOptions, ReadModel};
+use asyrgs::sparse::{CooBuilder, CsrMatrix};
+use asyrgs::workloads::{diag_dominant, laplace2d};
+
+// ---------------------------------------------------------------------------
+// Edge cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn one_by_one_system() {
+    let a = CsrMatrix::from_dense(1, 1, &[4.0]);
+    let b = vec![8.0];
+    let mut x = vec![0.0];
+    let rep = rgs_solve(&a, &b, &mut x, None, &RgsOptions::default());
+    assert!((x[0] - 2.0).abs() < 1e-12);
+    assert!(rep.final_rel_residual < 1e-12);
+
+    let mut x2 = vec![0.0];
+    asyrgs_solve(&a, &b, &mut x2, None, &AsyRgsOptions {
+        threads: 4,
+        ..Default::default()
+    });
+    assert!((x2[0] - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn diagonal_matrix_converges_in_one_sweep_per_coordinate() {
+    // For a diagonal matrix each coordinate update is exact; after every
+    // coordinate is hit once the residual is zero. A few sweeps guarantee
+    // coverage with high probability.
+    let n = 50;
+    let mut coo = CooBuilder::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 1.0 + i as f64).unwrap();
+    }
+    let a = coo.to_csr();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64) - 10.0).collect();
+    let mut x = vec![0.0; n];
+    let rep = rgs_solve(&a, &b, &mut x, None, &RgsOptions {
+        sweeps: 15,
+        record_every: 0,
+        ..Default::default()
+    });
+    assert!(rep.final_rel_residual < 1e-12, "{}", rep.final_rel_residual);
+}
+
+#[test]
+fn zero_rhs_keeps_zero_solution() {
+    let a = laplace2d(6, 6);
+    let b = vec![0.0; 36];
+    let mut x = vec![0.0; 36];
+    asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions {
+        threads: 3,
+        sweeps: 5,
+        ..Default::default()
+    });
+    assert!(x.iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn near_singular_system_does_not_blow_up() {
+    // SPD but almost singular: lambda_min ~ 1e-8. Iterates must stay
+    // finite and the residual must not increase over a modest run.
+    let n = 40;
+    let mut coo = CooBuilder::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 1.0).unwrap();
+        if i + 1 < n {
+            // Off-diagonal close to -0.5 each side makes the chain nearly
+            // singular at the low end.
+            coo.push(i, i + 1, -0.499_999_99).unwrap();
+            coo.push(i + 1, i, -0.499_999_99).unwrap();
+        }
+    }
+    let a = coo.to_csr();
+    let b = vec![1.0; n];
+    let mut x = vec![0.0; n];
+    let rep = rgs_solve(&a, &b, &mut x, None, &RgsOptions {
+        sweeps: 100,
+        record_every: 0,
+        ..Default::default()
+    });
+    assert!(rep.final_rel_residual.is_finite());
+    assert!(rep.final_rel_residual <= 1.0 + 1e-9);
+    assert!(x.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn delay_model_with_tau_larger_than_n() {
+    // Failure injection: tau far above n with max-delay policy and a
+    // damped step must still converge (Section 6: small enough beta
+    // converges for any delay).
+    let raw = laplace2d(5, 5);
+    let u = asyrgs::sparse::UnitDiagonal::from_spd(&raw).unwrap();
+    let n = u.a.n_rows();
+    let x_star: Vec<f64> = (0..n).map(|i| (i % 3) as f64 - 1.0).collect();
+    let b = u.a.matvec(&x_star);
+    let trace = simulate_delay(&u.a, &b, &vec![0.0; n], &x_star, &DelaySimOptions {
+        iterations: 60_000,
+        tau: 4 * n,
+        beta: 0.05,
+        policy: DelayPolicy::Max,
+        read_model: ReadModel::Consistent,
+        ..Default::default()
+    });
+    assert!(
+        trace.final_error() < 1e-2 * trace.initial_error(),
+        "final {} initial {}",
+        trace.final_error(),
+        trace.initial_error()
+    );
+}
+
+#[test]
+fn delay_model_unit_step_diverges_under_extreme_delay_then_damped_recovers() {
+    // The complementary failure: beta = 1 under extreme delay can diverge
+    // (this is why Theorem 2 needs 2 rho tau < 1). We only assert the
+    // damped run beats the unit-step run — divergence itself is
+    // matrix-dependent.
+    let raw = laplace2d(5, 5);
+    let u = asyrgs::sparse::UnitDiagonal::from_spd(&raw).unwrap();
+    let n = u.a.n_rows();
+    let x_star = vec![1.0; n];
+    let b = u.a.matvec(&x_star);
+    let run = |beta: f64| {
+        simulate_delay(&u.a, &b, &vec![0.0; n], &x_star, &DelaySimOptions {
+            iterations: 20_000,
+            tau: 3 * n,
+            beta,
+            policy: DelayPolicy::Max,
+            read_model: ReadModel::Consistent,
+            ..Default::default()
+        })
+        .final_error()
+    };
+    let unit = run(1.0);
+    let damped = run(0.05);
+    assert!(
+        damped < unit || unit.is_nan(),
+        "damped {damped} should beat unit-step {unit} under extreme delay"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Stress
+// ---------------------------------------------------------------------------
+
+#[test]
+fn heavy_oversubscription_still_converges() {
+    // 32 threads on one core: pathological interleaving, still correct.
+    let a = diag_dominant(256, 5, 2.0, 21);
+    let x_star = vec![1.0; 256];
+    let b = a.matvec(&x_star);
+    let mut x = vec![0.0; 256];
+    let rep = asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions {
+        sweeps: 40,
+        threads: 32,
+        ..Default::default()
+    });
+    assert!(
+        rep.final_rel_residual < 1e-4,
+        "residual {}",
+        rep.final_rel_residual
+    );
+    // The delay instrumentation must have observed something (32 claimed
+    // iterations can be in flight).
+    assert!(rep.max_observed_delay.is_some());
+}
+
+#[test]
+fn concurrent_independent_solves_do_not_interfere() {
+    // Two solver instances on different systems running concurrently from
+    // different threads (shared process, separate state).
+    let a1 = diag_dominant(120, 4, 2.0, 1);
+    let a2 = laplace2d(11, 11);
+    let b1 = a1.matvec(&vec![1.0; 120]);
+    let b2 = a2.matvec(&vec![2.0; 121]);
+
+    let (r1, r2) = crossbeam::thread::scope(|s| {
+        let h1 = s.spawn(|_| {
+            let mut x = vec![0.0; 120];
+            asyrgs_solve(&a1, &b1, &mut x, None, &AsyRgsOptions {
+                sweeps: 60,
+                threads: 2,
+                ..Default::default()
+            })
+            .final_rel_residual
+        });
+        let h2 = s.spawn(|_| {
+            let mut x = vec![0.0; 121];
+            asyrgs_solve(&a2, &b2, &mut x, None, &AsyRgsOptions {
+                sweeps: 200,
+                threads: 2,
+                ..Default::default()
+            })
+            .final_rel_residual
+        });
+        (h1.join().unwrap(), h2.join().unwrap())
+    })
+    .unwrap();
+    assert!(r1 < 1e-6, "solve 1 residual {r1}");
+    assert!(r2 < 1e-2, "solve 2 residual {r2}");
+}
+
+#[test]
+fn repeated_epoch_restarts_are_stable() {
+    // Many tiny epochs: spawn/join churn must not corrupt state.
+    let a = diag_dominant(100, 4, 2.0, 13);
+    let b = a.matvec(&vec![1.0; 100]);
+    let mut x = vec![0.0; 100];
+    let rep = asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions {
+        sweeps: 50,
+        threads: 4,
+        epoch_sweeps: Some(1),
+        ..Default::default()
+    });
+    assert_eq!(rep.records.len(), 50);
+    assert!(rep.final_rel_residual < 1e-8);
+    // Residuals non-increasing across epochs (dominant matrix, generous
+    // tolerance for async noise).
+    for w in rep.records.windows(2) {
+        assert!(w[1].rel_residual <= w[0].rel_residual * 2.0);
+    }
+}
+
+#[test]
+fn partitioned_and_unrestricted_agree_on_solution() {
+    use asyrgs::core::partitioned::{partitioned_solve, PartitionedOptions};
+    let a = diag_dominant(160, 4, 2.5, 17);
+    let x_star: Vec<f64> = (0..160).map(|i| (i as f64 * 0.07).sin()).collect();
+    let b = a.matvec(&x_star);
+    let mut xp = vec![0.0; 160];
+    partitioned_solve(&a, &b, &mut xp, &PartitionedOptions {
+        sweeps: 120,
+        threads: 4,
+        ..Default::default()
+    });
+    for (g, w) in xp.iter().zip(&x_star) {
+        assert!((g - w).abs() < 1e-6, "{g} vs {w}");
+    }
+}
+
+#[test]
+fn lsq_stress_many_threads() {
+    use asyrgs::workloads::{random_lsq, LsqParams};
+    let p = random_lsq(&LsqParams {
+        rows: 400,
+        cols: 100,
+        nnz_per_col: 6,
+        noise: 0.0,
+        seed: 99,
+    });
+    let op = LsqOperator::new(p.a.clone());
+    let mut x = vec![0.0; 100];
+    let rep = async_rcd_solve(&op, &p.b, &mut x, &LsqSolveOptions {
+        sweeps: 250,
+        threads: 16,
+        beta: 0.9,
+        ..Default::default()
+    });
+    // 16 threads on one core: very long effective delays under suite load.
+    assert!(rep.final_rel_residual < 1e-1, "{}", rep.final_rel_residual);
+}
