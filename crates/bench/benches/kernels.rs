@@ -1,25 +1,24 @@
-//! Criterion microbenchmarks of the hot kernels: SpMV, single RGS steps,
-//! atomic vs non-atomic f64 updates, and Philox throughput.
+//! Microbenchmarks of the hot kernels: SpMV, single RGS steps, atomic vs
+//! non-atomic f64 updates, and Philox throughput.
+//!
+//! Runs with `cargo bench -p asyrgs-bench --bench kernels` using the
+//! hand-rolled harness in `asyrgs_bench::harness` (no external bench
+//! framework in the container).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-
+use asyrgs_bench::harness::{bench, black_box};
 use asyrgs_core::atomic::AtomicF64;
 use asyrgs_rng::{DirectionStream, Philox4x32};
 use asyrgs_workloads::{gram_matrix, laplace2d, GramParams};
 
-fn bench_spmv(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spmv");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
-
+fn bench_spmv() {
     let lap = laplace2d(100, 100);
     let x = vec![1.0f64; lap.n_rows()];
     let mut y = vec![0.0f64; lap.n_rows()];
-    group.bench_function("laplace2d_100x100_serial", |b| {
-        b.iter(|| lap.matvec_into(black_box(&x), &mut y))
+    bench("spmv/laplace2d_100x100_serial", || {
+        lap.matvec_into(black_box(&x), &mut y)
     });
-    group.bench_function("laplace2d_100x100_rayon", |b| {
-        b.iter(|| lap.par_matvec_into(black_box(&x), &mut y))
+    bench("spmv/laplace2d_100x100_parallel", || {
+        lap.par_matvec_into(black_box(&x), &mut y)
     });
 
     let gram = gram_matrix(&GramParams {
@@ -31,16 +30,12 @@ fn bench_spmv(c: &mut Criterion) {
     .matrix;
     let xg = vec![1.0f64; gram.n_rows()];
     let mut yg = vec![0.0f64; gram.n_rows()];
-    group.bench_function("gram_skewed_serial", |b| {
-        b.iter(|| gram.matvec_into(black_box(&xg), &mut yg))
+    bench("spmv/gram_skewed_serial", || {
+        gram.matvec_into(black_box(&xg), &mut yg)
     });
-    group.finish();
 }
 
-fn bench_rgs_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rgs_step");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
-
+fn bench_rgs_step() {
     let a = laplace2d(100, 100);
     let n = a.n_rows();
     let x_star = vec![1.0f64; n];
@@ -48,54 +43,47 @@ fn bench_rgs_step(c: &mut Criterion) {
     let ds = DirectionStream::new(7, n);
     let dinv: Vec<f64> = a.diag().iter().map(|d| 1.0 / d).collect();
 
-    group.bench_function("single_coordinate_update", |bch| {
-        let mut x = vec![0.0f64; n];
-        let mut j = 0u64;
-        bch.iter(|| {
-            let r = ds.direction(j);
-            j = j.wrapping_add(1);
-            let gamma = (b_rhs[r] - a.row_dot(r, &x)) * dinv[r];
-            x[r] += gamma;
-            black_box(gamma)
-        })
+    let mut x = vec![0.0f64; n];
+    let mut j = 0u64;
+    bench("rgs_step/single_coordinate_update", || {
+        let r = ds.direction(j);
+        j = j.wrapping_add(1);
+        let gamma = (b_rhs[r] - a.row_dot(r, &x)) * dinv[r];
+        x[r] += gamma;
+        black_box(gamma);
     });
-    group.finish();
 }
 
-fn bench_atomic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("atomic_f64");
-    group.measurement_time(Duration::from_secs(1)).sample_size(30);
-
+fn bench_atomic() {
     let cell = AtomicF64::new(0.0);
-    group.bench_function("fetch_add_cas", |b| b.iter(|| cell.fetch_add(black_box(1.0))));
-    group.bench_function("add_non_atomic", |b| {
-        b.iter(|| cell.add_non_atomic(black_box(1.0)))
+    bench("atomic_f64/fetch_add_cas", || {
+        cell.fetch_add(black_box(1.0))
     });
-    group.bench_function("load", |b| b.iter(|| black_box(cell.load())));
-    group.finish();
+    bench("atomic_f64/add_non_atomic", || {
+        cell.add_non_atomic(black_box(1.0))
+    });
+    bench("atomic_f64/load", || {
+        black_box(cell.load());
+    });
 }
 
-fn bench_philox(c: &mut Criterion) {
-    let mut group = c.benchmark_group("philox");
-    group.measurement_time(Duration::from_secs(1)).sample_size(30);
-
+fn bench_philox() {
     let g = Philox4x32::from_seed(42);
-    group.bench_function("block", |b| {
-        let mut i = 0u32;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            black_box(g.block([i, 0, 0, 0]))
-        })
+    let mut i = 0u32;
+    bench("philox/block", || {
+        i = i.wrapping_add(1);
+        black_box(g.block([i, 0, 0, 0]));
     });
-    group.bench_function("index_at_n1e6", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            black_box(g.index_at(i, 1_000_000))
-        })
+    let mut j = 0u64;
+    bench("philox/index_at_n1e6", || {
+        j = j.wrapping_add(1);
+        black_box(g.index_at(j, 1_000_000));
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_spmv, bench_rgs_step, bench_atomic, bench_philox);
-criterion_main!(benches);
+fn main() {
+    bench_spmv();
+    bench_rgs_step();
+    bench_atomic();
+    bench_philox();
+}

@@ -1,10 +1,13 @@
-//! Criterion end-to-end solver benchmarks: RGS vs AsyRGS vs CG vs
-//! preconditioned FCG on small fixed problems.
+//! End-to-end solver benchmarks: RGS vs AsyRGS vs CG vs preconditioned
+//! FCG on small fixed problems.
+//!
+//! Runs with `cargo bench -p asyrgs-bench --bench solvers` using the
+//! hand-rolled harness in `asyrgs_bench::harness` (no external bench
+//! framework in the container).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
-
+use asyrgs_bench::harness::{bench, black_box};
 use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions, WriteMode};
+use asyrgs_core::driver::{Recording, Termination};
 use asyrgs_core::lsq::{rcd_solve, LsqOperator, LsqSolveOptions};
 use asyrgs_core::rgs::{rgs_solve, RgsOptions};
 use asyrgs_krylov::cg::{cg_solve, CgOptions};
@@ -20,102 +23,110 @@ fn setup() -> (asyrgs_sparse::CsrMatrix, Vec<f64>) {
     (a, b)
 }
 
-fn bench_ten_sweeps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ten_sweeps");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+fn bench_ten_sweeps() {
     let (a, b) = setup();
     let n = a.n_rows();
 
-    group.bench_function("rgs_sequential", |bch| {
-        bch.iter(|| {
-            let mut x = vec![0.0; n];
-            rgs_solve(&a, &b, &mut x, None, &RgsOptions {
-                sweeps: 10,
-                record_every: 0,
+    bench("ten_sweeps/rgs_sequential", || {
+        let mut x = vec![0.0; n];
+        rgs_solve(
+            &a,
+            &b,
+            &mut x,
+            None,
+            &RgsOptions {
+                term: Termination::sweeps(10),
+                record: Recording::end_only(),
                 ..Default::default()
-            });
-            black_box(x)
-        })
+            },
+        );
+        black_box(x);
     });
 
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("asyrgs_atomic", threads),
-            &threads,
-            |bch, &t| {
-                bch.iter(|| {
-                    let mut x = vec![0.0; n];
-                    asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions {
-                        sweeps: 10,
-                        threads: t,
-                        ..Default::default()
-                    });
-                    black_box(x)
-                })
-            },
-        );
-    }
-    group.bench_function("asyrgs_non_atomic_2t", |bch| {
-        bch.iter(|| {
+        bench(&format!("ten_sweeps/asyrgs_atomic_{threads}t"), || {
             let mut x = vec![0.0; n];
-            asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions {
-                sweeps: 10,
+            asyrgs_solve(
+                &a,
+                &b,
+                &mut x,
+                None,
+                &AsyRgsOptions {
+                    threads,
+                    term: Termination::sweeps(10),
+                    ..Default::default()
+                },
+            );
+            black_box(x);
+        });
+    }
+    bench("ten_sweeps/asyrgs_non_atomic_2t", || {
+        let mut x = vec![0.0; n];
+        asyrgs_solve(
+            &a,
+            &b,
+            &mut x,
+            None,
+            &AsyRgsOptions {
                 threads: 2,
                 write_mode: WriteMode::NonAtomic,
+                term: Termination::sweeps(10),
                 ..Default::default()
-            });
-            black_box(x)
-        })
+            },
+        );
+        black_box(x);
     });
-    group.bench_function("cg_10_iters", |bch| {
-        bch.iter(|| {
-            let mut x = vec![0.0; n];
-            cg_solve(&a, &b, &mut x, &CgOptions {
-                max_iters: 10,
-                tol: 0.0,
-                record_every: 0,
-            });
-            black_box(x)
-        })
+    bench("ten_sweeps/cg_10_iters", || {
+        let mut x = vec![0.0; n];
+        cg_solve(
+            &a,
+            &b,
+            &mut x,
+            &CgOptions {
+                term: Termination::sweeps(10).with_target(0.0),
+                record: Recording::end_only(),
+            },
+        );
+        black_box(x);
     });
-    group.finish();
 }
 
-fn bench_to_tolerance(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solve_to_1e-6");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+fn bench_to_tolerance() {
     let (a, b) = setup();
     let n = a.n_rows();
 
-    group.bench_function("cg", |bch| {
-        bch.iter(|| {
-            let mut x = vec![0.0; n];
-            cg_solve(&a, &b, &mut x, &CgOptions {
-                tol: 1e-6,
-                record_every: 0,
-                ..Default::default()
-            });
-            black_box(x)
-        })
+    bench("solve_to_1e-6/cg", || {
+        let mut x = vec![0.0; n];
+        cg_solve(
+            &a,
+            &b,
+            &mut x,
+            &CgOptions {
+                term: Termination::sweeps(1000).with_target(1e-6),
+                record: Recording::end_only(),
+            },
+        );
+        black_box(x);
     });
-    group.bench_function("fcg_asyrgs_2sweeps_2t", |bch| {
-        bch.iter(|| {
-            let pre = AsyRgsPrecond::new(&a, 2, 2, 1.0, 5);
-            let mut x = vec![0.0; n];
-            fcg_solve(&a, &b, &mut x, &pre, &FcgOptions {
-                tol: 1e-6,
-                record_every: 0,
+    bench("solve_to_1e-6/fcg_asyrgs_2sweeps_2t", || {
+        let pre = AsyRgsPrecond::new(&a, 2, 2, 1.0, 5);
+        let mut x = vec![0.0; n];
+        fcg_solve(
+            &a,
+            &b,
+            &mut x,
+            &pre,
+            &FcgOptions {
+                term: Termination::sweeps(2000).with_target(1e-6),
+                record: Recording::end_only(),
                 ..Default::default()
-            });
-            black_box(x)
-        })
+            },
+        );
+        black_box(x);
     });
-    group.finish();
 }
 
-fn bench_lsq(c: &mut Criterion) {
-    let mut group = c.benchmark_group("least_squares");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+fn bench_lsq() {
     let p = random_lsq(&LsqParams {
         rows: 2000,
         cols: 400,
@@ -124,19 +135,24 @@ fn bench_lsq(c: &mut Criterion) {
         seed: 11,
     });
     let op = LsqOperator::new(p.a.clone());
-    group.bench_function("rcd_20_sweeps", |bch| {
-        bch.iter(|| {
-            let mut x = vec![0.0; 400];
-            rcd_solve(&op, &p.b, &mut x, &LsqSolveOptions {
-                sweeps: 20,
-                record_every: 0,
+    bench("least_squares/rcd_20_sweeps", || {
+        let mut x = vec![0.0; 400];
+        rcd_solve(
+            &op,
+            &p.b,
+            &mut x,
+            &LsqSolveOptions {
+                term: Termination::sweeps(20),
+                record: Recording::end_only(),
                 ..Default::default()
-            });
-            black_box(x)
-        })
+            },
+        );
+        black_box(x);
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_ten_sweeps, bench_to_tolerance, bench_lsq);
-criterion_main!(benches);
+fn main() {
+    bench_ten_sweeps();
+    bench_to_tolerance();
+    bench_lsq();
+}

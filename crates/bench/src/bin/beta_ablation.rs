@@ -28,7 +28,13 @@ fn main() {
         params.rho
     );
 
-    csv_header(&["tau", "beta", "nu_tau_beta", "measured_factor", "is_theory_optimum"]);
+    csv_header(&[
+        "tau",
+        "beta",
+        "nu_tau_beta",
+        "measured_factor",
+        "is_theory_optimum",
+    ]);
     for &tau in &[8usize, 32, 96] {
         let bstar = theory::optimal_beta_consistent(&params, tau);
         let mut grid: Vec<f64> = vec![0.2, 0.4, 0.6, 0.8, 1.0, 1.2];

@@ -12,6 +12,7 @@
 
 use asyrgs_bench::{csv_header, planted_rhs, standard_gram, Scale};
 use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions, ReadMode};
+use asyrgs_core::driver::Termination;
 
 fn main() {
     let scale = Scale::from_env();
@@ -38,12 +39,18 @@ fn main() {
             ("locked_consistent", ReadMode::LockedConsistent),
         ] {
             let mut x = vec![0.0; n];
-            let rep = asyrgs_solve(&g, &b, &mut x, Some(&x_star), &AsyRgsOptions {
-                sweeps,
-                threads,
-                read_mode: mode,
-                ..Default::default()
-            });
+            let rep = asyrgs_solve(
+                &g,
+                &b,
+                &mut x,
+                Some(&x_star),
+                &AsyRgsOptions {
+                    threads,
+                    read_mode: mode,
+                    term: Termination::sweeps(sweeps),
+                    ..Default::default()
+                },
+            );
             let diff: Vec<f64> = x.iter().zip(&x_star).map(|(a, b)| a - b).collect();
             let err = g.a_norm(&diff) / norm_xs;
             println!(

@@ -11,6 +11,7 @@
 //! ```
 
 use asyrgs_bench::{csv_header, csv_row, label_block, rhs_count, standard_gram, Scale};
+use asyrgs_core::driver::{Recording, Termination};
 use asyrgs_core::rgs::{rgs_solve_block, RgsOptions};
 use asyrgs_krylov::cg::{cg_solve_block, CgOptions};
 use asyrgs_sparse::RowMajorMat;
@@ -30,7 +31,7 @@ fn main() {
         g.nnz()
     );
 
-    let b = label_block(n, k, 0xF16_1);
+    let b = label_block(n, k, 0xF161);
 
     // Randomized Gauss-Seidel (general-diagonal iteration (3); the paper's
     // matrix does not have unit diagonal either).
@@ -40,8 +41,8 @@ fn main() {
         &b,
         &mut x_rgs,
         &RgsOptions {
-            sweeps,
-            record_every: 1,
+            term: Termination::sweeps(sweeps),
+            record: Recording::every(1),
             ..Default::default()
         },
     );
@@ -54,21 +55,23 @@ fn main() {
         &b,
         &mut x_cg,
         &CgOptions {
-            max_iters: sweeps,
-            tol: 0.0,
-            record_every: 1,
+            term: Termination::sweeps(sweeps).with_target(0.0),
+            record: Recording::every(1),
         },
     );
 
     csv_header(&["sweep", "rgs_rel_residual", "cg_rel_residual"]);
-    let cg_map: std::collections::HashMap<usize, f64> =
-        cg.records.iter().map(|r| (r.sweep, r.rel_residual)).collect();
+    let cg_map: std::collections::HashMap<usize, f64> = cg
+        .records
+        .iter()
+        .map(|r| (r.sweep, r.rel_residual))
+        .collect();
     for rec in &rgs.records {
         let cg_res = cg_map.get(&rec.sweep).copied().unwrap_or(f64::NAN);
         csv_row(&rec.sweep.to_string(), &[rec.rel_residual, cg_res]);
     }
 
-    // Shape summary for EXPERIMENTS.md.
+    // Shape summary against the paper.
     let at = |records: &[asyrgs_core::SweepRecord], s: usize| {
         records
             .iter()

@@ -3,8 +3,8 @@
 //!
 //! The paper measured this on a 64-hardware-thread BlueGene/Q node; this
 //! container has one core, so the timing comes from the discrete-event
-//! machine simulator (`asyrgs-sim::machine`, see DESIGN.md substitution
-//! notes). Shapes to reproduce: AsyRGS scales almost linearly (speedup ~48
+//! machine simulator (`asyrgs-sim::machine`, standing in for the paper's
+//! hardware). Shapes to reproduce: AsyRGS scales almost linearly (speedup ~48
 //! at 64 threads in the paper); CG strays from linear speedup as threads
 //! grow (< 29 at 64); the serial gap (RGS ~10% faster) is cost-model-level.
 //!
@@ -40,10 +40,7 @@ fn main() {
     for &p in &THREAD_GRID {
         let asy = asyrgs_time_throughput(g, &model, sweeps, p, k);
         let cg = cg_time(g, &model, sweeps, p, k);
-        csv_row(
-            &p.to_string(),
-            &[asy, cg, asy1 / asy, cg1 / cg],
-        );
+        csv_row(&p.to_string(), &[asy, cg, asy1 / asy, cg1 / cg]);
     }
 
     let asy64 = asyrgs_time_throughput(g, &model, sweeps, 64, k);

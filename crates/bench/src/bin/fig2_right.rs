@@ -16,6 +16,7 @@ use asyrgs_bench::{
     csv_header, csv_row, planted_rhs, real_thread_cap, standard_gram, Scale, THREAD_GRID,
 };
 use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions, WriteMode};
+use asyrgs_core::driver::{Recording, Termination};
 use asyrgs_core::rgs::{rgs_solve, RgsOptions};
 
 fn main() {
@@ -24,7 +25,7 @@ fn main() {
     let g = &problem.matrix;
     let n = g.n_rows();
     let sweeps = 10;
-    let seed = 0xF16_3;
+    let seed = 0xF163;
     let (x_star, b) = planted_rhs(g, seed);
     let norm_xs = g.a_norm(&x_star);
     eprintln!("# fig2_right: n = {n}, b = A x*, {sweeps} sweeps");
@@ -41,9 +42,9 @@ fn main() {
         &mut x_sync,
         None,
         &RgsOptions {
-            sweeps,
             seed,
-            record_every: 0,
+            term: Termination::sweeps(sweeps),
+            record: Recording::end_only(),
             ..Default::default()
         },
     );
@@ -57,10 +58,10 @@ fn main() {
             &mut x,
             None,
             &AsyRgsOptions {
-                sweeps,
                 threads,
                 write_mode: mode,
                 seed,
+                term: Termination::sweeps(sweeps),
                 ..Default::default()
             },
         );

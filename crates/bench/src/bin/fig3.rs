@@ -5,13 +5,16 @@
 //! Outer-iteration counts come from *real threaded runs* (the physics the
 //! paper observes: iteration count does *not* grow with threads because
 //! randomness dominates asynchronism); times come from the machine
-//! simulator at the corresponding virtual thread count (see DESIGN.md).
+//! simulator at the corresponding virtual thread count.
 //!
 //! ```text
 //! cargo run -p asyrgs-bench --release --bin fig3
 //! ```
 
-use asyrgs_bench::{csv_header, median, planted_rhs, real_thread_cap, standard_gram, Scale, THREAD_GRID};
+use asyrgs_bench::{
+    csv_header, median, planted_rhs, real_thread_cap, standard_gram, Scale, THREAD_GRID,
+};
+use asyrgs_core::driver::{Recording, Termination};
 use asyrgs_krylov::fcg::{fcg_asyrgs_summary, FcgOptions};
 use asyrgs_sim::{fcg_asyrgs_time, MachineModel};
 
@@ -19,13 +22,12 @@ fn main() {
     let scale = Scale::from_env();
     let problem = standard_gram(scale);
     let g = &problem.matrix;
-    let (_, b) = planted_rhs(g, 0xF16_33);
+    let (_, b) = planted_rhs(g, 0xF1633);
     let model = MachineModel::default();
     let cap = real_thread_cap();
     let opts = FcgOptions {
-        tol: 1e-8,
-        max_iters: 5000,
-        record_every: 0,
+        term: Termination::sweeps(5000).with_target(1e-8),
+        record: Recording::end_only(),
         ..Default::default()
     };
     eprintln!(

@@ -12,6 +12,7 @@
 
 use asyrgs_bench::{csv_header, standard_gram, Scale};
 use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions};
+use asyrgs_core::driver::{Recording, Termination};
 use asyrgs_core::jacobi::{
     async_jacobi_solve, chazan_miranker_condition, jacobi_solve, JacobiOptions,
 };
@@ -25,28 +26,44 @@ fn run_case(name: &str, a: &asyrgs_sparse::CsrMatrix, sweeps: usize, threads: us
 
     // Synchronous two-buffer Jacobi: diverges whenever rho(M) > 1.
     let mut x_s = vec![0.0; n];
-    let sync = jacobi_solve(a, &b, &mut x_s, &JacobiOptions {
-        sweeps,
-        record_every: 0,
-        ..Default::default()
-    });
+    let sync = jacobi_solve(
+        a,
+        &b,
+        &mut x_s,
+        &JacobiOptions {
+            term: Termination::sweeps(sweeps),
+            record: Recording::end_only(),
+            ..Default::default()
+        },
+    );
 
     // Chaotic relaxation (in-place asynchronous sweeps): classical theory
     // only guarantees it when rho(|M|) < 1.
     let mut x_j = vec![0.0; n];
-    let jac = async_jacobi_solve(a, &b, &mut x_j, &JacobiOptions {
-        sweeps,
-        threads,
-        record_every: 0,
-        ..Default::default()
-    });
+    let jac = async_jacobi_solve(
+        a,
+        &b,
+        &mut x_j,
+        &JacobiOptions {
+            threads,
+            term: Termination::sweeps(sweeps),
+            record: Recording::end_only(),
+            ..Default::default()
+        },
+    );
 
     let mut x_r = vec![0.0; n];
-    let rgs = asyrgs_solve(a, &b, &mut x_r, None, &AsyRgsOptions {
-        sweeps,
-        threads,
-        ..Default::default()
-    });
+    let rgs = asyrgs_solve(
+        a,
+        &b,
+        &mut x_r,
+        None,
+        &AsyRgsOptions {
+            threads,
+            term: Termination::sweeps(sweeps),
+            ..Default::default()
+        },
+    );
 
     println!(
         "{name},{n},{rho_m:.4},{},{:.6e},{:.6e},{:.6e}",

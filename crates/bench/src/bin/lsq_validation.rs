@@ -7,6 +7,7 @@
 //! ```
 
 use asyrgs_bench::csv_header;
+use asyrgs_core::driver::{Recording, Termination};
 use asyrgs_core::lsq::{async_rcd_solve, rcd_solve, LsqOperator, LsqSolveOptions};
 use asyrgs_core::theory;
 use asyrgs_sim::{expected_error_trajectory, DelayPolicy, DelaySimOptions, ReadModel};
@@ -62,20 +63,30 @@ fn main() {
     // Part 1: solver quality, sequential vs async across threads.
     csv_header(&["solver", "threads", "sweeps", "rel_residual"]);
     let mut x = vec![0.0; 120];
-    let seq = rcd_solve(&op, &p.b, &mut x, &LsqSolveOptions {
-        sweeps: 150,
-        record_every: 0,
-        ..Default::default()
-    });
+    let seq = rcd_solve(
+        &op,
+        &p.b,
+        &mut x,
+        &LsqSolveOptions {
+            term: Termination::sweeps(150),
+            record: Recording::end_only(),
+            ..Default::default()
+        },
+    );
     println!("rcd_sequential,1,150,{:.6e}", seq.final_rel_residual);
     for &threads in &[1usize, 2, 4, 8] {
         let mut xa = vec![0.0; 120];
-        let rep = async_rcd_solve(&op, &p.b, &mut xa, &LsqSolveOptions {
-            sweeps: 150,
-            threads,
-            beta: 0.9,
-            ..Default::default()
-        });
+        let rep = async_rcd_solve(
+            &op,
+            &p.b,
+            &mut xa,
+            &LsqSolveOptions {
+                threads,
+                beta: 0.9,
+                term: Termination::sweeps(150),
+                ..Default::default()
+            },
+        );
         println!("async_rcd,{threads},150,{:.6e}", rep.final_rel_residual);
     }
 
@@ -86,10 +97,7 @@ fn main() {
         "unit-norm columns give unit-diagonal A^T A"
     );
     let smax = sigma_max(&p.a, 4000, 1e-12, 9);
-    let est = asyrgs_spectral::estimate_condition(
-        &x_mat,
-        &asyrgs_spectral::CondOptions::default(),
-    );
+    let est = asyrgs_spectral::estimate_condition(&x_mat, &asyrgs_spectral::CondOptions::default());
     let lp = theory::LsqParams {
         n: 120,
         sigma_max: smax,

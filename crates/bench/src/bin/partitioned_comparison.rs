@@ -15,6 +15,7 @@
 
 use asyrgs_bench::{csv_header, planted_rhs, standard_gram, Scale};
 use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions};
+use asyrgs_core::driver::Termination;
 use asyrgs_core::partitioned::{partitioned_solve, PartitionedOptions};
 use asyrgs_sim::{asyrgs_time_throughput, MachineModel};
 
@@ -47,17 +48,28 @@ fn main() {
     ]);
     for &threads in &[1usize, 2, 4, 8] {
         let mut xu = vec![0.0; n];
-        let unr = asyrgs_solve(&g, &b, &mut xu, None, &AsyRgsOptions {
-            sweeps,
-            threads,
-            ..Default::default()
-        });
+        let unr = asyrgs_solve(
+            &g,
+            &b,
+            &mut xu,
+            None,
+            &AsyRgsOptions {
+                threads,
+                term: Termination::sweeps(sweeps),
+                ..Default::default()
+            },
+        );
         let mut xp = vec![0.0; n];
-        let part = partitioned_solve(&g, &b, &mut xp, &PartitionedOptions {
-            sweeps,
-            threads,
-            ..Default::default()
-        });
+        let part = partitioned_solve(
+            &g,
+            &b,
+            &mut xp,
+            &PartitionedOptions {
+                threads,
+                term: Termination::sweeps(sweeps),
+                ..Default::default()
+            },
+        );
         let t_u = asyrgs_time_throughput(&g, &unrestricted_model, sweeps, 64, 1);
         let t_p = asyrgs_time_throughput(&g, &partitioned_model, sweeps, 64, 1);
         println!(

@@ -8,6 +8,7 @@
 
 use asyrgs_bench::{csv_header, planted_rhs, standard_gram, Scale};
 use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions};
+use asyrgs_core::driver::Termination;
 use asyrgs_sim::{asyrgs_time_throughput, MachineModel};
 
 fn main() {
@@ -40,9 +41,9 @@ fn main() {
             &mut x,
             Some(&x_star),
             &AsyRgsOptions {
-                sweeps,
                 threads,
                 epoch_sweeps: epoch,
+                term: Termination::sweeps(sweeps),
                 ..Default::default()
             },
         );

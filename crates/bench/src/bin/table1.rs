@@ -4,8 +4,8 @@
 //! Columns mirror the paper: inner sweeps, outer iterations, total matrix
 //! operations `outer x (inner + 1)`, time, and mat-ops/sec. Following the
 //! paper, runs are nondeterministic so the *median of five runs* is
-//! reported. Time comes from the machine simulator at 64 virtual threads
-//! (see DESIGN.md); measured single-core wall time is printed alongside.
+//! reported. Time comes from the machine simulator at 64 virtual threads;
+//! measured single-core wall time is printed alongside.
 //!
 //! Paper shape: outer iterations decrease with inner sweeps; total mat-ops
 //! *increase* with inner sweeps (except inner = 1); mat-ops/sec improves
@@ -16,6 +16,7 @@
 //! ```
 
 use asyrgs_bench::{csv_header, median, planted_rhs, real_thread_cap, standard_gram, Scale};
+use asyrgs_core::driver::{Recording, Termination};
 use asyrgs_krylov::fcg::{fcg_asyrgs_summary, FcgOptions};
 use asyrgs_sim::{fcg_asyrgs_time, MachineModel};
 
@@ -47,9 +48,8 @@ fn main() {
         "matops_per_sim_sec",
     ]);
     let opts = FcgOptions {
-        tol,
-        max_iters: 5000,
-        record_every: 0,
+        term: Termination::sweeps(5000).with_target(tol),
+        record: Recording::end_only(),
         ..Default::default()
     };
     for &inner in &[30usize, 20, 10, 5, 3, 2, 1] {

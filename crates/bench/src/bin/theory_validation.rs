@@ -18,11 +18,7 @@ use asyrgs_sparse::UnitDiagonal;
 use asyrgs_spectral::{estimate_condition, CondOptions};
 use asyrgs_workloads::{laplace2d, random_spd_band};
 
-fn validate(
-    name: &str,
-    a: &asyrgs_sparse::CsrMatrix,
-    replicas: usize,
-) {
+fn validate(name: &str, a: &asyrgs_sparse::CsrMatrix, replicas: usize) {
     let est = estimate_condition(a, &CondOptions::default());
     let params = theory::ProblemParams::from_matrix(a, est.lambda_min, est.lambda_max);
     let n = a.n_rows();
@@ -101,7 +97,9 @@ fn main() {
     ]);
     let lap = UnitDiagonal::from_spd(&laplace2d(10, 10)).unwrap().a;
     validate("laplace2d_10x10", &lap, 12);
-    let band = UnitDiagonal::from_spd(&random_spd_band(150, 4, 7)).unwrap().a;
+    let band = UnitDiagonal::from_spd(&random_spd_band(150, 4, 7))
+        .unwrap()
+        .a;
     validate("spd_band_150", &band, 12);
     eprintln!("# every row must end in `true`; the measured/bound gap documents pessimism");
 }

@@ -22,6 +22,75 @@
 use asyrgs_sparse::CsrMatrix;
 use asyrgs_workloads::{gram_matrix, GramParams, GramProblem};
 
+pub mod harness {
+    //! A minimal timing harness for the `benches/` targets (the container
+    //! has no external benchmark framework; the bench targets are built
+    //! with `harness = false` and call [`bench`] directly).
+
+    use std::time::{Duration, Instant};
+
+    /// Re-export of the compiler fence that keeps benched values alive.
+    pub use std::hint::black_box;
+
+    /// Measure `f`, printing median/min per-iteration time.
+    ///
+    /// Warms up briefly, then runs batches until ~200ms of samples (or
+    /// `ASYRGS_BENCH_TIME_MS`) are collected.
+    pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+        let budget = std::env::var("ASYRGS_BENCH_TIME_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_millis(200));
+        // Warm-up + batch sizing: aim for batches of ~5ms.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t.elapsed();
+            if dt >= Duration::from_millis(5) || batch >= 1 << 30 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut samples: Vec<f64> = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < budget || samples.len() < 5 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+            if samples.len() >= 1000 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        println!(
+            "{name:<44} median {:>12} min {:>12} ({} samples x {batch} iters)",
+            fmt_time(median),
+            fmt_time(min),
+            samples.len()
+        );
+    }
+
+    fn fmt_time(seconds: f64) -> String {
+        if seconds < 1e-6 {
+            format!("{:.1} ns", seconds * 1e9)
+        } else if seconds < 1e-3 {
+            format!("{:.2} us", seconds * 1e6)
+        } else if seconds < 1.0 {
+            format!("{:.2} ms", seconds * 1e3)
+        } else {
+            format!("{seconds:.3} s")
+        }
+    }
+}
+
 /// Benchmark scale, from the `ASYRGS_BENCH_SCALE` environment variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
@@ -46,7 +115,7 @@ impl Scale {
 pub fn standard_gram(scale: Scale) -> GramProblem {
     // ridge_rel calibrated so the Fig. 1 shape matches the paper: RGS ahead
     // of CG in the early sweeps, CG overtaking within ~200 sweeps. Smaller
-    // ridges push the crossover beyond the plot window (see EXPERIMENTS.md).
+    // ridges push the crossover beyond the plot window.
     let params = match scale {
         Scale::Small => GramParams {
             n_terms: 1200,
@@ -81,8 +150,8 @@ pub fn rhs_count(scale: Scale) -> usize {
 }
 
 /// Real-thread cap: beyond this we oversubscribe the container anyway, so
-/// real accuracy experiments stop here while simulated timing continues to
-/// 64 (see DESIGN.md substitution notes).
+/// real accuracy experiments stop here while simulated timing continues
+/// to 64.
 pub fn real_thread_cap() -> usize {
     std::env::var("ASYRGS_BENCH_MAX_THREADS")
         .ok()

@@ -74,8 +74,7 @@ impl AtomicF64 {
     #[inline]
     pub fn add_non_atomic(&self, delta: f64) {
         let cur = f64::from_bits(self.bits.load(Ordering::Relaxed));
-        self.bits
-            .store((cur + delta).to_bits(), Ordering::Relaxed);
+        self.bits.store((cur + delta).to_bits(), Ordering::Relaxed);
     }
 }
 

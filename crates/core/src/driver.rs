@@ -1,0 +1,671 @@
+//! The shared solve driver: one implementation of stopping, recording, and
+//! report assembly, consumed by **every** solver entry point in the
+//! workspace.
+//!
+//! Before this layer existed, each of the twelve `*_solve` functions
+//! re-implemented its own options fields, termination check, residual
+//! cadence, and [`SweepRecord`] bookkeeping. The driver centralizes that
+//! logic in three pieces:
+//!
+//! * [`Termination`] — when a solve must stop: a sweep budget, an optional
+//!   relative-residual target, and an optional wall-clock budget;
+//! * [`Recording`] — how often the (possibly expensive) residual is
+//!   evaluated and recorded;
+//! * [`Driver`] — the per-solve state machine: solvers call
+//!   [`Driver::observe_lazy`] (residual computed only when this boundary
+//!   records — the `Theta(nnz)` case of the Gauss-Seidel family) or
+//!   [`Driver::observe`] (residual already maintained, as in CG) at each
+//!   sweep boundary, then [`Driver::finish`] / [`Driver::finish_computed`]
+//!   to assemble the [`SolveReport`].
+//!
+//! The module also hosts the [`Solver`] trait and [`SolverSpec`] enum for
+//! uniform dispatch over the square-system solvers, and the shared
+//! dimension-validation helpers every public entry point calls.
+
+use crate::report::{SolveReport, SweepRecord};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Termination
+// ---------------------------------------------------------------------------
+
+/// When a solve must stop.
+///
+/// Exactly one of these is embedded in every solver's options struct. The
+/// three criteria compose; precedence when several fire at the same sweep
+/// boundary is **target before wall-clock before sweep budget**, so a
+/// solve that reaches its residual target in its final allotted second
+/// still reports `converged_early`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Termination {
+    /// Hard sweep/iteration cap (one sweep = `n` coordinate updates for
+    /// the Gauss-Seidel family, one iteration for Krylov methods).
+    pub max_sweeps: usize,
+    /// Stop once the relative residual drops to this value (checked at
+    /// record points for lazily-evaluated residuals, every sweep for
+    /// maintained ones).
+    pub target_rel_residual: Option<f64>,
+    /// Stop at the first sweep boundary after this much wall-clock time.
+    pub wall_clock: Option<Duration>,
+}
+
+impl Termination {
+    /// Run for exactly `n` sweeps (no residual target, no time budget).
+    pub fn sweeps(n: usize) -> Self {
+        Termination {
+            max_sweeps: n,
+            target_rel_residual: None,
+            wall_clock: None,
+        }
+    }
+
+    /// Add a relative-residual target.
+    pub fn with_target(mut self, target: f64) -> Self {
+        self.target_rel_residual = Some(target);
+        self
+    }
+
+    /// Add a wall-clock budget.
+    pub fn with_wall_clock(mut self, budget: Duration) -> Self {
+        self.wall_clock = Some(budget);
+        self
+    }
+}
+
+impl Default for Termination {
+    fn default() -> Self {
+        Termination::sweeps(10)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording
+// ---------------------------------------------------------------------------
+
+/// Residual-recording cadence.
+///
+/// `every = 0` means "record only at the stopping boundary" — the cheapest
+/// setting, one residual evaluation per solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recording {
+    /// Record every this-many sweeps (`0` = stopping boundary only).
+    pub every: usize,
+}
+
+impl Recording {
+    /// Record every `k` sweeps.
+    pub fn every(k: usize) -> Self {
+        Recording { every: k }
+    }
+
+    /// Record only at the stopping boundary.
+    pub fn end_only() -> Self {
+        Recording { every: 0 }
+    }
+
+    /// Whether the cadence makes sweep `sweep` a record point.
+    pub fn due(&self, sweep: usize) -> bool {
+        self.every != 0 && sweep.is_multiple_of(self.every)
+    }
+}
+
+impl Default for Recording {
+    fn default() -> Self {
+        Recording::every(1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Per-solve stopping/recording state machine.
+pub struct Driver {
+    term: Termination,
+    record: Recording,
+    start: Instant,
+    records: Vec<SweepRecord>,
+    converged: bool,
+    out_of_time: bool,
+    diverged: bool,
+}
+
+impl Driver {
+    /// Start a solve under the given termination and recording rules. The
+    /// wall clock starts now.
+    pub fn new(term: &Termination, record: Recording) -> Self {
+        Driver {
+            term: term.clone(),
+            record,
+            start: Instant::now(),
+            records: Vec::new(),
+            converged: false,
+            out_of_time: false,
+            diverged: false,
+        }
+    }
+
+    /// The sweep budget (loop bound for the solver).
+    pub fn max_sweeps(&self) -> usize {
+        self.term.max_sweeps
+    }
+
+    /// Wall-clock seconds since the driver was created.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Whether the residual target has been reached.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Whether the wall-clock budget expired before convergence.
+    pub fn stopped_on_budget(&self) -> bool {
+        self.out_of_time
+    }
+
+    fn budget_spent(&self) -> bool {
+        self.term
+            .wall_clock
+            .is_some_and(|d| self.start.elapsed() >= d)
+    }
+
+    fn push(&mut self, sweep: usize, iterations: u64, rel: f64, err: Option<f64>) {
+        self.records.push(SweepRecord {
+            sweep,
+            iterations,
+            rel_residual: rel,
+            rel_error_anorm: err,
+        });
+        if let Some(t) = self.term.target_rel_residual {
+            if rel <= t {
+                self.converged = true;
+            }
+        }
+        if !rel.is_finite() {
+            self.diverged = true;
+        }
+    }
+
+    /// Sweep boundary for solvers whose residual is **expensive**
+    /// (`Theta(nnz)`): the closures run only when this boundary records
+    /// (cadence due, stopping boundary, or expired time budget). The
+    /// residual target is therefore checked at record points only — the
+    /// Gauss-Seidel family's historical semantics.
+    ///
+    /// Returns `true` when the solve must stop.
+    pub fn observe_lazy(
+        &mut self,
+        sweep: usize,
+        iterations: u64,
+        rel_residual: impl FnOnce() -> f64,
+        rel_error: impl FnOnce() -> Option<f64>,
+    ) -> bool {
+        let last = sweep >= self.term.max_sweeps;
+        let timeup = self.budget_spent();
+        if self.record.due(sweep) || last || timeup {
+            let rel = rel_residual();
+            let err = rel_error();
+            self.push(sweep, iterations, rel, err);
+        }
+        self.out_of_time = timeup && !self.converged;
+        self.converged || self.diverged || timeup || last
+    }
+
+    /// Sweep boundary for solvers that **maintain** their residual (CG's
+    /// scalar recurrence, RCD's incremental residual): the target is
+    /// checked every sweep; a record is emitted on cadence, at the
+    /// stopping boundary, and at the moment of convergence.
+    ///
+    /// Returns `true` when the solve must stop.
+    pub fn observe(
+        &mut self,
+        sweep: usize,
+        iterations: u64,
+        rel: f64,
+        rel_error: Option<f64>,
+    ) -> bool {
+        let last = sweep >= self.term.max_sweeps;
+        let timeup = self.budget_spent();
+        let target_hit = self.term.target_rel_residual.is_some_and(|t| rel <= t);
+        if self.record.due(sweep) || last || timeup || target_hit {
+            self.push(sweep, iterations, rel, rel_error);
+        } else if !rel.is_finite() {
+            self.diverged = true;
+        }
+        self.out_of_time = timeup && !self.converged;
+        self.converged || self.diverged || timeup || last
+    }
+
+    /// Record this boundary unconditionally, regardless of cadence — for
+    /// solver-specific stopping events (e.g. block CG freezing its last
+    /// active column) that must appear in the trace. The residual target
+    /// and divergence checks still apply.
+    pub fn record_now(&mut self, sweep: usize, iterations: u64, rel: f64, err: Option<f64>) {
+        self.push(sweep, iterations, rel, err);
+    }
+
+    /// Assemble the report, taking the final residual from the last record
+    /// (the stopping boundary always records), or from `fallback` if the
+    /// solve never reached a boundary (`max_sweeps == 0`).
+    pub fn finish(
+        self,
+        iterations: u64,
+        threads: usize,
+        fallback: impl FnOnce() -> f64,
+    ) -> SolveReport {
+        let final_rel = self
+            .records
+            .last()
+            .map(|r| r.rel_residual)
+            .unwrap_or_else(fallback);
+        self.into_report(iterations, threads, final_rel)
+    }
+
+    /// Assemble the report with an independently computed final residual
+    /// (solvers whose maintained residual drifts from the true one).
+    pub fn finish_computed(self, iterations: u64, threads: usize, final_rel: f64) -> SolveReport {
+        self.into_report(iterations, threads, final_rel)
+    }
+
+    fn into_report(self, iterations: u64, threads: usize, final_rel: f64) -> SolveReport {
+        let mut report = SolveReport::empty();
+        report.records = self.records;
+        report.iterations = iterations;
+        report.final_rel_residual = final_rel;
+        report.wall_seconds = self.start.elapsed().as_secs_f64();
+        report.threads = threads;
+        report.converged_early = self.converged;
+        report.stopped_on_budget = self.out_of_time;
+        report
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared input validation
+// ---------------------------------------------------------------------------
+
+/// Validate the shapes of a square-system solve `A x = b`.
+///
+/// # Panics
+/// Panics with a message naming `solver` and the offending dimension when
+/// the matrix is not square or `b`/`x` do not match the system dimension.
+pub fn check_square_system(solver: &str, n_rows: usize, n_cols: usize, b_len: usize, x_len: usize) {
+    assert!(
+        n_rows == n_cols,
+        "{solver}: matrix must be square, got {n_rows} x {n_cols}"
+    );
+    assert!(
+        b_len == n_rows,
+        "{solver}: right-hand side b has length {b_len} but the system has {n_rows} rows"
+    );
+    assert!(
+        x_len == n_cols,
+        "{solver}: solution vector x has length {x_len} but the system has {n_cols} unknowns"
+    );
+    assert!(n_rows > 0, "{solver}: the system is empty (0 x 0 matrix)");
+}
+
+/// Validate the shapes of a multi-RHS square-system solve `A X = B`.
+///
+/// # Panics
+/// Panics with a message naming `solver` when the matrix is not square or
+/// the blocks do not conform.
+pub fn check_square_block_system(
+    solver: &str,
+    n_rows: usize,
+    n_cols: usize,
+    b_rows: usize,
+    b_cols: usize,
+    x_rows: usize,
+    x_cols: usize,
+) {
+    assert!(
+        n_rows == n_cols,
+        "{solver}: matrix must be square, got {n_rows} x {n_cols}"
+    );
+    assert!(
+        b_rows == n_rows,
+        "{solver}: right-hand-side block B has {b_rows} rows but the system has {n_rows}"
+    );
+    assert!(
+        x_rows == n_cols,
+        "{solver}: solution block X has {x_rows} rows but the system has {n_cols} unknowns"
+    );
+    assert!(
+        b_cols == x_cols,
+        "{solver}: B has {b_cols} right-hand sides but X has {x_cols} columns"
+    );
+    assert!(n_rows > 0, "{solver}: the system is empty (0 x 0 matrix)");
+}
+
+/// Validate the step size `beta in (0, 2)`.
+///
+/// # Panics
+/// Panics when `beta` is outside the open interval.
+pub fn check_beta(beta: f64) {
+    assert!(
+        beta > 0.0 && beta < 2.0,
+        "beta must lie in (0, 2), got {beta}"
+    );
+}
+
+/// Validate the worker thread count.
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn check_threads(threads: usize) {
+    assert!(threads >= 1, "need at least one thread");
+}
+
+/// Invert a strictly positive diagonal, panicking with the entry index on
+/// violation (positive diagonals are what the SPD solvers require).
+pub fn checked_inverse_diag(diag: &[f64]) -> Vec<f64> {
+    diag.iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            assert!(d > 0.0, "diagonal entry {i} must be positive, got {d}");
+            1.0 / d
+        })
+        .collect()
+}
+
+/// Invert a nonzero diagonal (Jacobi only needs invertibility, not
+/// positivity), panicking with the entry index on violation.
+pub fn checked_inverse_diag_nonzero(diag: &[f64]) -> Vec<f64> {
+    diag.iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            assert!(d != 0.0, "zero diagonal entry {i}");
+            1.0 / d
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Uniform dispatch
+// ---------------------------------------------------------------------------
+
+use asyrgs_sparse::RowAccess;
+
+/// Uniform entry point over the square-system solvers: options structs
+/// implement this so call sites can be generic over *which* solver runs.
+///
+/// The method is generic over the operator (monomorphized row kernels), so
+/// the trait itself is not object-safe; use [`SolverSpec`] for value-level
+/// dispatch.
+pub trait Solver {
+    /// Human-readable solver name (stable, snake_case).
+    fn name(&self) -> &'static str;
+
+    /// Solve `A x = b`, reading the initial iterate from `x` and leaving
+    /// the final iterate there. `x_star` enables A-norm error telemetry
+    /// for solvers that support it.
+    fn solve<O: RowAccess + Sync>(
+        &self,
+        a: &O,
+        b: &[f64],
+        x: &mut [f64],
+        x_star: Option<&[f64]>,
+    ) -> SolveReport;
+}
+
+/// Value-level description of a square-system solver run: one variant per
+/// core solver family, dispatching to the matching entry point.
+#[derive(Debug, Clone)]
+pub enum SolverSpec {
+    /// Sequential Randomized Gauss-Seidel.
+    Rgs(crate::rgs::RgsOptions),
+    /// Asynchronous Randomized Gauss-Seidel (the paper's AsyRGS).
+    AsyRgs(crate::asyrgs::AsyRgsOptions),
+    /// Synchronous (damped) Jacobi.
+    Jacobi(crate::jacobi::JacobiOptions),
+    /// Asynchronous Jacobi (chaotic relaxation).
+    AsyncJacobi(crate::jacobi::JacobiOptions),
+    /// Block-partitioned (owner-computes) AsyRGS.
+    Partitioned(crate::partitioned::PartitionedOptions),
+}
+
+impl Solver for SolverSpec {
+    fn name(&self) -> &'static str {
+        match self {
+            SolverSpec::Rgs(_) => "rgs",
+            SolverSpec::AsyRgs(_) => "asyrgs",
+            SolverSpec::Jacobi(_) => "jacobi",
+            SolverSpec::AsyncJacobi(_) => "async_jacobi",
+            SolverSpec::Partitioned(_) => "partitioned",
+        }
+    }
+
+    fn solve<O: RowAccess + Sync>(
+        &self,
+        a: &O,
+        b: &[f64],
+        x: &mut [f64],
+        x_star: Option<&[f64]>,
+    ) -> SolveReport {
+        match self {
+            SolverSpec::Rgs(o) => o.solve(a, b, x, x_star),
+            SolverSpec::AsyRgs(o) => o.solve(a, b, x, x_star),
+            SolverSpec::Jacobi(o) => o.solve(a, b, x, x_star),
+            SolverSpec::AsyncJacobi(o) => crate::jacobi::async_jacobi_solve(a, b, x, o),
+            SolverSpec::Partitioned(o) => o.solve(a, b, x, x_star),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(every: usize) -> Recording {
+        Recording::every(every)
+    }
+
+    #[test]
+    fn cadence_due_points() {
+        let r = rec(3);
+        assert!(!r.due(1) && !r.due(2) && r.due(3) && !r.due(4) && r.due(6));
+        let end = Recording::end_only();
+        for s in 1..100 {
+            assert!(!end.due(s));
+        }
+        assert_eq!(Recording::default(), rec(1));
+    }
+
+    #[test]
+    fn records_on_cadence_and_final_boundary() {
+        let term = Termination::sweeps(10);
+        let mut d = Driver::new(&term, rec(4));
+        for sweep in 1..=10 {
+            let stop = d.observe_lazy(sweep, sweep as u64, || 1.0 / sweep as f64, || None);
+            assert_eq!(stop, sweep == 10);
+        }
+        let rep = d.finish(10, 1, || unreachable!("records exist"));
+        let sweeps: Vec<usize> = rep.records.iter().map(|r| r.sweep).collect();
+        assert_eq!(sweeps, vec![4, 8, 10]);
+        assert!((rep.final_rel_residual - 0.1).abs() < 1e-15);
+        assert!(!rep.converged_early && !rep.stopped_on_budget);
+    }
+
+    #[test]
+    fn record_every_zero_records_stopping_boundary_only() {
+        let term = Termination::sweeps(7);
+        let mut d = Driver::new(&term, Recording::end_only());
+        let mut evaluations = 0usize;
+        for sweep in 1..=7 {
+            d.observe_lazy(
+                sweep,
+                sweep as u64,
+                || {
+                    evaluations += 1;
+                    0.5
+                },
+                || None,
+            );
+        }
+        assert_eq!(
+            evaluations, 1,
+            "lazy residual must be computed exactly once"
+        );
+        let rep = d.finish(7, 1, || unreachable!());
+        assert_eq!(rep.records.len(), 1);
+        assert_eq!(rep.records[0].sweep, 7);
+    }
+
+    #[test]
+    fn zero_sweep_budget_uses_fallback_residual() {
+        let term = Termination::sweeps(0);
+        let d = Driver::new(&term, rec(1));
+        let rep = d.finish(0, 1, || 0.25);
+        assert!(rep.records.is_empty());
+        assert_eq!(rep.final_rel_residual, 0.25);
+    }
+
+    #[test]
+    fn target_stops_early_and_marks_convergence() {
+        let term = Termination::sweeps(100).with_target(1e-3);
+        let mut d = Driver::new(&term, rec(1));
+        let mut stopped_at = 0;
+        for sweep in 1..=100 {
+            if d.observe_lazy(sweep, sweep as u64, || 10f64.powi(-(sweep as i32)), || None) {
+                stopped_at = sweep;
+                break;
+            }
+        }
+        assert_eq!(stopped_at, 3);
+        assert!(d.converged());
+        let rep = d.finish(3, 1, || unreachable!());
+        assert!(rep.converged_early);
+        assert!(!rep.stopped_on_budget);
+        assert_eq!(rep.sweeps_run(), 3);
+    }
+
+    #[test]
+    fn target_checked_only_at_record_points_when_lazy() {
+        // Cadence 5: residual crosses the target at sweep 2, but the lazy
+        // driver only sees it at sweep 5.
+        let term = Termination::sweeps(100).with_target(1e-3);
+        let mut d = Driver::new(&term, rec(5));
+        let mut stopped_at = 0;
+        for sweep in 1..=100 {
+            if d.observe_lazy(sweep, sweep as u64, || 1e-6, || None) {
+                stopped_at = sweep;
+                break;
+            }
+        }
+        assert_eq!(stopped_at, 5);
+    }
+
+    #[test]
+    fn eager_observe_checks_target_every_sweep() {
+        let term = Termination::sweeps(100).with_target(1e-3);
+        let mut d = Driver::new(&term, Recording::end_only());
+        let mut stopped_at = 0;
+        for sweep in 1..=100 {
+            if d.observe(
+                sweep,
+                sweep as u64,
+                if sweep >= 2 { 1e-6 } else { 1.0 },
+                None,
+            ) {
+                stopped_at = sweep;
+                break;
+            }
+        }
+        assert_eq!(stopped_at, 2);
+        // Convergence forces a record even at cadence 0.
+        let rep = d.finish(2, 1, || unreachable!());
+        assert_eq!(rep.records.len(), 1);
+        assert_eq!(rep.records[0].sweep, 2);
+        assert!(rep.converged_early);
+    }
+
+    #[test]
+    fn wall_clock_budget_stops_and_is_reported() {
+        let term = Termination::sweeps(1_000_000).with_wall_clock(Duration::from_millis(10));
+        let mut d = Driver::new(&term, Recording::end_only());
+        let mut sweeps = 0usize;
+        loop {
+            sweeps += 1;
+            std::thread::sleep(Duration::from_millis(2));
+            if d.observe_lazy(sweeps, sweeps as u64, || 0.5, || None) {
+                break;
+            }
+        }
+        assert!(sweeps < 1_000_000, "budget must fire long before the cap");
+        let rep = d.finish(sweeps as u64, 1, || unreachable!());
+        assert!(rep.stopped_on_budget);
+        assert!(!rep.converged_early);
+        // The budget boundary records even at cadence 0.
+        assert_eq!(rep.records.len(), 1);
+    }
+
+    #[test]
+    fn target_takes_precedence_over_wall_clock() {
+        // Both fire at the same boundary: convergence wins.
+        let term = Termination::sweeps(10)
+            .with_target(1.0)
+            .with_wall_clock(Duration::from_millis(1));
+        let mut d = Driver::new(&term, rec(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(d.observe_lazy(1, 1, || 1e-9, || None));
+        let rep = d.finish(1, 1, || unreachable!());
+        assert!(rep.converged_early);
+        assert!(!rep.stopped_on_budget, "convergence outranks the budget");
+    }
+
+    #[test]
+    fn non_finite_residual_stops_the_solve() {
+        let term = Termination::sweeps(100);
+        let mut d = Driver::new(&term, rec(1));
+        assert!(!d.observe_lazy(1, 1, || 0.5, || None));
+        assert!(d.observe_lazy(2, 2, || f64::INFINITY, || None));
+        let rep = d.finish(2, 1, || unreachable!());
+        assert!(!rep.converged_early);
+        assert!(rep.final_rel_residual.is_infinite());
+    }
+
+    #[test]
+    fn error_closure_is_forwarded() {
+        let term = Termination::sweeps(2);
+        let mut d = Driver::new(&term, rec(1));
+        d.observe_lazy(1, 1, || 0.5, || Some(0.7));
+        d.observe_lazy(2, 2, || 0.25, || None);
+        let rep = d.finish(2, 4, || unreachable!());
+        assert_eq!(rep.records[0].rel_error_anorm, Some(0.7));
+        assert_eq!(rep.records[1].rel_error_anorm, None);
+        assert_eq!(rep.threads, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix must be square")]
+    fn rejects_rectangular() {
+        check_square_system("t", 3, 4, 3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "right-hand side b has length 5")]
+    fn rejects_bad_b() {
+        check_square_system("t", 4, 4, 5, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "solution vector x has length 2")]
+    fn rejects_bad_x() {
+        check_square_system("t", 4, 4, 4, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "B has 3 right-hand sides but X has 2")]
+    fn rejects_block_mismatch() {
+        check_square_block_system("t", 4, 4, 4, 3, 4, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must lie in (0, 2)")]
+    fn rejects_beta() {
+        check_beta(2.0);
+    }
+}

@@ -19,157 +19,207 @@
 //! The `jacobi_comparison` bench binary demonstrates the paper's claim:
 //! on a non-diagonally-dominant SPD matrix, async Jacobi diverges while
 //! AsyRGS converges.
+//!
+//! Both solvers are generic over [`RowAccess`] and route stopping and
+//! telemetry through the shared [`crate::driver`].
 
 use crate::atomic::SharedVec;
-use crate::report::{SolveReport, SweepRecord};
+use crate::driver::{
+    check_square_system, check_threads, checked_inverse_diag_nonzero, Driver, Recording, Solver,
+    Termination,
+};
+use crate::report::SolveReport;
 use asyrgs_sparse::dense;
-use asyrgs_sparse::CsrMatrix;
+use asyrgs_sparse::{CsrMatrix, RowAccess};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 /// Options for the Jacobi solvers.
 #[derive(Debug, Clone)]
 pub struct JacobiOptions {
-    /// Number of sweeps (full passes over the unknowns).
-    pub sweeps: usize,
     /// Threads for the asynchronous variant.
     pub threads: usize,
     /// Damping factor in `(0, 1]` (1 = undamped Jacobi).
     pub damping: f64,
-    /// Record the residual every `record_every` sweeps (0 = end only).
-    pub record_every: usize,
+    /// When to stop (sweep budget, residual target, wall-clock budget).
+    pub term: Termination,
+    /// Residual-recording cadence.
+    pub record: Recording,
 }
 
 impl Default for JacobiOptions {
     fn default() -> Self {
         JacobiOptions {
-            sweeps: 50,
             threads: 2,
             damping: 1.0,
-            record_every: 1,
+            term: Termination::sweeps(50),
+            record: Recording::every(1),
         }
     }
 }
 
-fn check(a: &CsrMatrix, opts: &JacobiOptions) -> Vec<f64> {
-    assert!(a.is_square(), "Jacobi needs a square matrix");
-    assert!(opts.damping > 0.0 && opts.damping <= 1.0, "damping in (0,1]");
-    a.diag()
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| {
-            assert!(d != 0.0, "zero diagonal entry {i}");
-            1.0 / d
-        })
-        .collect()
+fn check<O: RowAccess>(a: &O, opts: &JacobiOptions) -> Vec<f64> {
+    assert!(
+        opts.damping > 0.0 && opts.damping <= 1.0,
+        "damping in (0,1]"
+    );
+    checked_inverse_diag_nonzero(&a.diag())
 }
 
 /// Synchronous (damped) Jacobi: `x_{k+1} = x_k + damping * D^{-1}(b - A x_k)`.
-pub fn jacobi_solve(
-    a: &CsrMatrix,
+///
+/// # Panics
+/// Panics if `A` is not square, `b`/`x` have mismatched lengths, a
+/// diagonal entry is zero, or `damping` is outside `(0, 1]`.
+pub fn jacobi_solve<O: RowAccess>(
+    a: &O,
     b: &[f64],
     x: &mut [f64],
     opts: &JacobiOptions,
 ) -> SolveReport {
+    check_square_system("jacobi_solve", a.n_rows(), a.n_cols(), b.len(), x.len());
     let n = a.n_rows();
-    assert_eq!(b.len(), n);
-    assert_eq!(x.len(), n);
     let dinv = check(a, opts);
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
 
-    let start = Instant::now();
-    let mut report = SolveReport::empty();
+    let mut driver = Driver::new(&opts.term, opts.record);
     let mut x_new = vec![0.0; n];
-    for sweep in 1..=opts.sweeps {
+    let mut sweeps = 0usize;
+    for sweep in 1..=driver.max_sweeps() {
+        sweeps = sweep;
         for i in 0..n {
             let r = b[i] - a.row_dot(i, x);
             x_new[i] = x[i] + opts.damping * r * dinv[i];
         }
         x.copy_from_slice(&x_new);
-        if (opts.record_every != 0 && sweep % opts.record_every == 0) || sweep == opts.sweeps {
-            let rel = dense::norm2(&a.residual(b, x)) / norm_b;
-            report.records.push(SweepRecord {
-                sweep,
-                iterations: (sweep * n) as u64,
-                rel_residual: rel,
-                rel_error_anorm: None,
-            });
-            if !rel.is_finite() {
-                break; // diverged to inf/nan — stop wasting work
-            }
+        let stop = driver.observe_lazy(
+            sweep,
+            (sweep * n) as u64,
+            || dense::norm2(&a.residual(b, x)) / norm_b,
+            || None,
+        );
+        if stop {
+            break;
         }
     }
-    report.iterations = (opts.sweeps * n) as u64;
-    report.final_rel_residual = report
-        .records
-        .last()
-        .map(|r| r.rel_residual)
-        .unwrap_or(f64::NAN);
-    report.wall_seconds = start.elapsed().as_secs_f64();
-    report.threads = 1;
-    report
+
+    driver.finish((sweeps * n) as u64, 1, || {
+        dense::norm2(&a.residual(b, x)) / norm_b
+    })
+}
+
+impl Solver for JacobiOptions {
+    fn name(&self) -> &'static str {
+        "jacobi"
+    }
+
+    fn solve<O: RowAccess + Sync>(
+        &self,
+        a: &O,
+        b: &[f64],
+        x: &mut [f64],
+        _x_star: Option<&[f64]>,
+    ) -> SolveReport {
+        jacobi_solve(a, b, x, self)
+    }
 }
 
 /// Asynchronous Jacobi (chaotic relaxation): threads repeatedly claim row
 /// blocks and update `x_i <- x_i + damping * dinv_i * (b_i - A_i x)` in
 /// place against the shared iterate, with no synchronization between
-/// sweeps. This is the classical scheme whose convergence requires the
-/// Chazan-Miranker condition.
-pub fn async_jacobi_solve(
-    a: &CsrMatrix,
+/// sweeps within an epoch. This is the classical scheme whose convergence
+/// requires the Chazan-Miranker condition.
+///
+/// Residuals can only be observed while the workers are quiescent, so the
+/// driver's recording cadence doubles as the epoch length (with
+/// [`Recording::end_only`], the whole run is one lock-free epoch).
+///
+/// # Panics
+/// Panics if `A` is not square, `b`/`x` have mismatched lengths, a
+/// diagonal entry is zero, `damping` is outside `(0, 1]`, or
+/// `threads == 0`.
+pub fn async_jacobi_solve<O: RowAccess + Sync>(
+    a: &O,
     b: &[f64],
     x: &mut [f64],
     opts: &JacobiOptions,
 ) -> SolveReport {
+    check_square_system(
+        "async_jacobi_solve",
+        a.n_rows(),
+        a.n_cols(),
+        b.len(),
+        x.len(),
+    );
+    check_threads(opts.threads);
     let n = a.n_rows();
-    assert_eq!(b.len(), n);
-    assert_eq!(x.len(), n);
-    assert!(opts.threads >= 1);
     let dinv = check(a, opts);
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
     let shared = SharedVec::from_slice(x);
 
     const BLOCK: usize = 64;
     let n_blocks = n.div_ceil(BLOCK);
-    let total_blocks = n_blocks * opts.sweeps;
     let counter = AtomicUsize::new(0);
 
-    let start = Instant::now();
-    std::thread::scope(|s| {
-        for _ in 0..opts.threads {
-            s.spawn(|| loop {
-                let blk = counter.fetch_add(1, Ordering::Relaxed);
-                if blk >= total_blocks {
-                    break;
-                }
-                let lo = (blk % n_blocks) * BLOCK;
-                let hi = (lo + BLOCK).min(n);
-                for i in lo..hi {
-                    let (cols, vals) = a.row(i);
-                    let mut dot = 0.0;
-                    for (&c, &v) in cols.iter().zip(vals) {
-                        dot += v * shared.load(c);
+    let mut driver = Driver::new(&opts.term, opts.record);
+    let epoch_sweeps = epoch_len(&opts.term, opts.record);
+    let mut sweeps_done = 0usize;
+
+    while sweeps_done < driver.max_sweeps() {
+        let this_epoch = epoch_sweeps.min(driver.max_sweeps() - sweeps_done);
+        sweeps_done += this_epoch;
+        let block_limit = n_blocks * sweeps_done;
+        std::thread::scope(|s| {
+            for _ in 0..opts.threads {
+                s.spawn(|| loop {
+                    let blk = counter.fetch_add(1, Ordering::Relaxed);
+                    if blk >= block_limit {
+                        break;
                     }
-                    let xi = shared.load(i);
-                    shared.store(i, xi + opts.damping * (b[i] - dot) * dinv[i]);
-                }
-            });
+                    let lo = (blk % n_blocks) * BLOCK;
+                    let hi = (lo + BLOCK).min(n);
+                    for i in lo..hi {
+                        let mut dot = 0.0;
+                        a.visit_row(i, |c, v| dot += v * shared.load(c));
+                        let xi = shared.load(i);
+                        shared.store(i, xi + opts.damping * (b[i] - dot) * dinv[i]);
+                    }
+                });
+            }
+        });
+        // Exiting workers overshoot the claim counter by one failed claim
+        // each; reset it to the exact boundary while they are quiescent so
+        // the next epoch misses no block.
+        counter.store(block_limit, Ordering::Relaxed);
+        let snap = shared.snapshot();
+        let stop = driver.observe_lazy(
+            sweeps_done,
+            (sweeps_done * n) as u64,
+            || dense::norm2(&a.residual(b, &snap)) / norm_b,
+            || None,
+        );
+        if stop {
+            break;
         }
-    });
+    }
 
     x.copy_from_slice(&shared.snapshot());
-    let mut report = SolveReport::empty();
-    report.iterations = (opts.sweeps * n) as u64;
-    report.final_rel_residual = dense::norm2(&a.residual(b, x)) / norm_b;
-    report.records.push(SweepRecord {
-        sweep: opts.sweeps,
-        iterations: report.iterations,
-        rel_residual: report.final_rel_residual,
-        rel_error_anorm: None,
-    });
-    report.wall_seconds = start.elapsed().as_secs_f64();
-    report.threads = opts.threads;
-    report
+    driver.finish((sweeps_done * n) as u64, opts.threads, || {
+        dense::norm2(&a.residual(b, x)) / norm_b
+    })
+}
+
+/// How many sweeps the lock-free solvers run between synchronization
+/// points: the recording cadence when one is set, otherwise one sweep when
+/// a residual target or time budget needs checking, otherwise the whole
+/// sweep budget in a single free-running epoch.
+pub(crate) fn epoch_len(term: &Termination, record: Recording) -> usize {
+    if record.every > 0 {
+        record.every
+    } else if term.target_rel_residual.is_some() || term.wall_clock.is_some() {
+        1
+    } else {
+        term.max_sweeps.max(1)
+    }
 }
 
 /// Estimate the Chazan-Miranker quantity `rho(|M|)` with
@@ -227,10 +277,15 @@ mod tests {
         let x_star = vec![1.0; 80];
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 80];
-        let rep = jacobi_solve(&a, &b, &mut x, &JacobiOptions {
-            sweeps: 200,
-            ..Default::default()
-        });
+        let rep = jacobi_solve(
+            &a,
+            &b,
+            &mut x,
+            &JacobiOptions {
+                term: Termination::sweeps(200),
+                ..Default::default()
+            },
+        );
         assert!(rep.final_rel_residual < 1e-8, "{}", rep.final_rel_residual);
     }
 
@@ -240,12 +295,38 @@ mod tests {
         let x_star: Vec<f64> = (0..128).map(|i| (i as f64 * 0.3).sin()).collect();
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 128];
-        let rep = async_jacobi_solve(&a, &b, &mut x, &JacobiOptions {
-            sweeps: 200,
-            threads: 4,
-            ..Default::default()
-        });
+        let rep = async_jacobi_solve(
+            &a,
+            &b,
+            &mut x,
+            &JacobiOptions {
+                threads: 4,
+                term: Termination::sweeps(200),
+                ..Default::default()
+            },
+        );
         assert!(rep.final_rel_residual < 1e-6, "{}", rep.final_rel_residual);
+    }
+
+    #[test]
+    fn jacobi_stops_early_on_target() {
+        // The shared driver gives Jacobi the residual-target stop the old
+        // per-solver loop never had.
+        let a = diag_dominant(80, 4, 3.0, 9);
+        let b = a.matvec(&vec![1.0; 80]);
+        let mut x = vec![0.0; 80];
+        let rep = jacobi_solve(
+            &a,
+            &b,
+            &mut x,
+            &JacobiOptions {
+                term: Termination::sweeps(1000).with_target(1e-6),
+                ..Default::default()
+            },
+        );
+        assert!(rep.converged_early);
+        assert!(rep.sweeps_run() < 1000);
+        assert!(rep.final_rel_residual <= 1e-6);
     }
 
     #[test]
@@ -303,20 +384,30 @@ mod tests {
         let a = diag_dominant(100, 4, 1.5, 9);
         let x_star = vec![1.0; 100];
         let b = a.matvec(&x_star);
-        let sweeps = 30;
+        let term = Termination::sweeps(30);
         let mut xj = vec![0.0; 100];
-        let jac = jacobi_solve(&a, &b, &mut xj, &JacobiOptions {
-            sweeps,
-            record_every: 0,
-            ..Default::default()
-        });
+        let jac = jacobi_solve(
+            &a,
+            &b,
+            &mut xj,
+            &JacobiOptions {
+                term: term.clone(),
+                record: Recording::end_only(),
+                ..Default::default()
+            },
+        );
         let mut xa = vec![0.0; 100];
-        let asy = async_jacobi_solve(&a, &b, &mut xa, &JacobiOptions {
-            sweeps,
-            threads: 1,
-            record_every: 0,
-            ..Default::default()
-        });
+        let asy = async_jacobi_solve(
+            &a,
+            &b,
+            &mut xa,
+            &JacobiOptions {
+                threads: 1,
+                term,
+                record: Recording::end_only(),
+                ..Default::default()
+            },
+        );
         assert!(
             asy.final_rel_residual <= jac.final_rel_residual * 1.01,
             "in-place {} vs two-buffer {}",
@@ -333,12 +424,17 @@ mod tests {
         let x_star = vec![1.0; 64];
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 64];
-        let rep = jacobi_solve(&a, &b, &mut x, &JacobiOptions {
-            sweeps: 500,
-            damping: 0.8,
-            record_every: 0,
-            ..Default::default()
-        });
+        let rep = jacobi_solve(
+            &a,
+            &b,
+            &mut x,
+            &JacobiOptions {
+                damping: 0.8,
+                term: Termination::sweeps(500),
+                record: Recording::end_only(),
+                ..Default::default()
+            },
+        );
         assert!(rep.final_rel_residual < 1e-3);
     }
 
@@ -347,5 +443,14 @@ mod tests {
     fn rejects_zero_diagonal() {
         let a = CsrMatrix::from_dense(2, 2, &[0.0, 1.0, 1.0, 0.0]);
         chazan_miranker_condition(&a, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "jacobi_solve: right-hand side b has length 4")]
+    fn rejects_mismatched_rhs() {
+        let a = CsrMatrix::identity(3);
+        let b = vec![1.0; 4];
+        let mut x = vec![0.0; 3];
+        jacobi_solve(&a, &b, &mut x, &JacobiOptions::default());
     }
 }

@@ -20,14 +20,16 @@
 //! Columns need not have exactly unit norm here: the step divides by
 //! `||A e_j||_2^2`, which reduces to the paper's iteration for unit-norm
 //! columns.
+//!
+//! Stopping and telemetry route through the shared [`crate::driver`].
 
 use crate::atomic::SharedVec;
-use crate::report::{SolveReport, SweepRecord};
+use crate::driver::{check_beta, check_threads, Driver, Recording, Termination};
+use crate::report::SolveReport;
 use asyrgs_rng::DirectionStream;
 use asyrgs_sparse::dense;
 use asyrgs_sparse::{CscMatrix, CsrMatrix};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 /// A least-squares operator: the matrix with precomputed column access and
 /// column norms.
@@ -45,10 +47,7 @@ impl LsqOperator {
     /// Build from a CSR matrix. Panics if a column is identically zero
     /// (which would contradict full column rank).
     pub fn new(a: CsrMatrix) -> Self {
-        assert!(
-            a.n_rows() >= a.n_cols(),
-            "least squares needs rows >= cols"
-        );
+        assert!(a.n_rows() >= a.n_cols(), "least squares needs rows >= cols");
         let csc = CscMatrix::from_csr(&a);
         let col_norms_sq: Vec<f64> = (0..a.n_cols()).map(|j| csc.col_norm_sq(j)).collect();
         for (j, &nsq) in col_norms_sq.iter().enumerate() {
@@ -87,55 +86,70 @@ impl LsqOperator {
     }
 }
 
+/// Validate the shapes of a least-squares solve.
+fn check_lsq_system(solver: &str, op: &LsqOperator, b_len: usize, x_len: usize) {
+    assert!(
+        b_len == op.n_rows(),
+        "{solver}: right-hand side b has length {b_len} but A has {} rows",
+        op.n_rows()
+    );
+    assert!(
+        x_len == op.n_cols(),
+        "{solver}: solution vector x has length {x_len} but A has {} columns",
+        op.n_cols()
+    );
+}
+
 /// Options for the least-squares solvers.
 #[derive(Debug, Clone)]
 pub struct LsqSolveOptions {
     /// Step size; the asynchronous guarantee (Theorem 5) needs `beta < 1`.
     pub beta: f64,
-    /// Sweeps; one sweep = `n_cols` coordinate steps.
-    pub sweeps: usize,
     /// Philox seed for the coordinate stream.
     pub seed: u64,
     /// Threads for the asynchronous variant.
     pub threads: usize,
-    /// Record the residual every `record_every` sweeps (0 = end only).
-    pub record_every: usize,
+    /// When to stop; one sweep = `n_cols` coordinate steps.
+    pub term: Termination,
+    /// Residual-recording cadence.
+    pub record: Recording,
 }
 
 impl Default for LsqSolveOptions {
     fn default() -> Self {
         LsqSolveOptions {
             beta: 1.0,
-            sweeps: 20,
             seed: 0x15EED,
             threads: 2,
-            record_every: 1,
+            term: Termination::sweeps(20),
+            record: Recording::every(1),
         }
     }
 }
 
 /// Sequential randomized coordinate descent, iteration (20): keeps the
 /// residual `r = b - A x` in memory and updates both `x` and `r` each step.
+///
+/// # Panics
+/// Panics if `b`/`x` do not match the operator's dimensions or `beta` is
+/// outside `(0, 2)`.
 pub fn rcd_solve(
     op: &LsqOperator,
     b: &[f64],
     x: &mut [f64],
     opts: &LsqSolveOptions,
 ) -> SolveReport {
-    let rows = op.n_rows();
+    check_lsq_system("rcd_solve", op, b.len(), x.len());
+    check_beta(opts.beta);
     let n = op.n_cols();
-    assert_eq!(b.len(), rows, "b length mismatch");
-    assert_eq!(x.len(), n, "x length mismatch");
-    assert!(opts.beta > 0.0 && opts.beta < 2.0, "beta must be in (0,2)");
     let ds = DirectionStream::new(opts.seed, n);
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
 
-    let start = Instant::now();
     let mut r = op.a.residual(b, x);
-    let mut report = SolveReport::empty();
+    let mut driver = Driver::new(&opts.term, opts.record);
     let mut j: u64 = 0;
 
-    for sweep in 1..=opts.sweeps {
+    for sweep in 1..=driver.max_sweeps() {
         for _ in 0..n {
             let col = ds.direction(j);
             j += 1;
@@ -149,24 +163,16 @@ pub fn rcd_solve(
                 r[i] -= step * v;
             }
         }
-        if (opts.record_every != 0 && sweep % opts.record_every == 0) || sweep == opts.sweeps {
-            // Use the maintained residual; it tracks the true one up to
-            // roundoff accumulation.
-            let rel = dense::norm2(&r) / norm_b;
-            report.records.push(SweepRecord {
-                sweep,
-                iterations: j,
-                rel_residual: rel,
-                rel_error_anorm: None,
-            });
+        // The maintained residual tracks the true one up to roundoff
+        // accumulation, and is cheap — the driver checks the target every
+        // sweep.
+        let rel = dense::norm2(&r) / norm_b;
+        if driver.observe(sweep, j, rel, None) {
+            break;
         }
     }
 
-    report.iterations = j;
-    report.final_rel_residual = op.rel_residual(b, x);
-    report.wall_seconds = start.elapsed().as_secs_f64();
-    report.threads = 1;
-    report
+    driver.finish_computed(j, 1, op.rel_residual(b, x))
 }
 
 /// Asynchronous worker for iteration (21).
@@ -205,43 +211,61 @@ fn lsq_worker(
 
 /// Asynchronous randomized coordinate descent for least squares, iteration
 /// (21): the AsyRGS strategy applied to `min ||A x - b||_2`.
+///
+/// Residuals can only be observed while the workers are quiescent, so the
+/// recording cadence doubles as the epoch length (with
+/// [`Recording::end_only`], the whole run is one lock-free epoch).
+///
+/// # Panics
+/// Panics if `b`/`x` do not match the operator's dimensions, `beta` is
+/// outside `(0, 2)`, or `threads == 0`.
 pub fn async_rcd_solve(
     op: &LsqOperator,
     b: &[f64],
     x: &mut [f64],
     opts: &LsqSolveOptions,
 ) -> SolveReport {
-    let rows = op.n_rows();
+    check_lsq_system("async_rcd_solve", op, b.len(), x.len());
+    check_beta(opts.beta);
+    check_threads(opts.threads);
     let n = op.n_cols();
-    assert_eq!(b.len(), rows, "b length mismatch");
-    assert_eq!(x.len(), n, "x length mismatch");
-    assert!(opts.beta > 0.0 && opts.beta < 2.0, "beta must be in (0,2)");
-    assert!(opts.threads >= 1, "need at least one thread");
     let ds = DirectionStream::new(opts.seed, n);
     let shared = SharedVec::from_slice(x);
     let counter = AtomicU64::new(0);
-    let limit = (opts.sweeps as u64) * (n as u64);
+    let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
 
-    let start = Instant::now();
-    std::thread::scope(|s| {
-        for _ in 0..opts.threads {
-            s.spawn(|| lsq_worker(op, b, &shared, &ds, &counter, limit, opts.beta));
+    let mut driver = Driver::new(&opts.term, opts.record);
+    let epoch_sweeps = crate::jacobi::epoch_len(&opts.term, opts.record);
+    let mut sweeps_done = 0usize;
+
+    while sweeps_done < driver.max_sweeps() {
+        let this_epoch = epoch_sweeps.min(driver.max_sweeps() - sweeps_done);
+        sweeps_done += this_epoch;
+        let limit = (sweeps_done as u64) * (n as u64);
+        std::thread::scope(|s| {
+            for _ in 0..opts.threads {
+                s.spawn(|| lsq_worker(op, b, &shared, &ds, &counter, limit, opts.beta));
+            }
+        });
+        // Exiting workers overshoot the claim counter by one failed claim
+        // each; reset it to the exact epoch boundary while they are
+        // quiescent so the next epoch misses no iteration.
+        counter.store(limit, Ordering::Relaxed);
+        let snap = shared.snapshot();
+        let stop = driver.observe_lazy(
+            sweeps_done,
+            limit,
+            || dense::norm2(&op.a.residual(b, &snap)) / norm_b,
+            || None,
+        );
+        if stop {
+            break;
         }
-    });
+    }
 
     x.copy_from_slice(&shared.snapshot());
-    let mut report = SolveReport::empty();
-    report.iterations = limit;
-    report.final_rel_residual = op.rel_residual(b, x);
-    report.records.push(SweepRecord {
-        sweep: opts.sweeps,
-        iterations: limit,
-        rel_residual: report.final_rel_residual,
-        rel_error_anorm: None,
-    });
-    report.wall_seconds = start.elapsed().as_secs_f64();
-    report.threads = opts.threads;
-    report
+    let iterations = (sweeps_done as u64) * (n as u64);
+    driver.finish_computed(iterations, opts.threads, op.rel_residual(b, x))
 }
 
 #[cfg(test)]
@@ -264,10 +288,15 @@ mod tests {
     fn rcd_drives_consistent_residual_to_zero() {
         let (op, b, _) = problem(0.0, 1);
         let mut x = vec![0.0; op.n_cols()];
-        let rep = rcd_solve(&op, &b, &mut x, &LsqSolveOptions {
-            sweeps: 300,
-            ..Default::default()
-        });
+        let rep = rcd_solve(
+            &op,
+            &b,
+            &mut x,
+            &LsqSolveOptions {
+                term: Termination::sweeps(300),
+                ..Default::default()
+            },
+        );
         assert!(
             rep.final_rel_residual < 1e-8,
             "residual {}",
@@ -279,10 +308,15 @@ mod tests {
     fn rcd_recovers_planted_solution() {
         let (op, b, x_star) = problem(0.0, 2);
         let mut x = vec![0.0; op.n_cols()];
-        rcd_solve(&op, &b, &mut x, &LsqSolveOptions {
-            sweeps: 500,
-            ..Default::default()
-        });
+        rcd_solve(
+            &op,
+            &b,
+            &mut x,
+            &LsqSolveOptions {
+                term: Termination::sweeps(500),
+                ..Default::default()
+            },
+        );
         for (a, w) in x.iter().zip(&x_star) {
             assert!((a - w).abs() < 1e-6, "{a} vs {w}");
         }
@@ -292,10 +326,15 @@ mod tests {
     fn maintained_residual_matches_true_residual() {
         let (op, b, _) = problem(0.05, 3);
         let mut x = vec![0.0; op.n_cols()];
-        let rep = rcd_solve(&op, &b, &mut x, &LsqSolveOptions {
-            sweeps: 50,
-            ..Default::default()
-        });
+        let rep = rcd_solve(
+            &op,
+            &b,
+            &mut x,
+            &LsqSolveOptions {
+                term: Termination::sweeps(50),
+                ..Default::default()
+            },
+        );
         let true_rel = op.rel_residual(&b, &x);
         let maintained = rep.records.last().unwrap().rel_residual;
         assert!(
@@ -305,13 +344,37 @@ mod tests {
     }
 
     #[test]
+    fn rcd_stops_early_on_target() {
+        let (op, b, _) = problem(0.0, 12);
+        let mut x = vec![0.0; op.n_cols()];
+        let rep = rcd_solve(
+            &op,
+            &b,
+            &mut x,
+            &LsqSolveOptions {
+                term: Termination::sweeps(1000).with_target(1e-6),
+                record: Recording::end_only(),
+                ..Default::default()
+            },
+        );
+        assert!(rep.converged_early);
+        assert!(rep.sweeps_run() < 1000);
+        assert!(rep.final_rel_residual < 1e-5);
+    }
+
+    #[test]
     fn noisy_residual_converges_to_lsq_optimum_not_zero() {
         let (op, b, _) = problem(0.2, 4);
         let mut x = vec![0.0; op.n_cols()];
-        let rep = rcd_solve(&op, &b, &mut x, &LsqSolveOptions {
-            sweeps: 400,
-            ..Default::default()
-        });
+        let rep = rcd_solve(
+            &op,
+            &b,
+            &mut x,
+            &LsqSolveOptions {
+                term: Termination::sweeps(400),
+                ..Default::default()
+            },
+        );
         // Residual stalls at the projection distance, strictly above zero.
         assert!(rep.final_rel_residual > 1e-4);
         // And the normal-equations residual A^T(b - Ax) goes to zero.
@@ -328,9 +391,9 @@ mod tests {
     fn async_single_thread_matches_sequential() {
         let (op, b, _) = problem(0.0, 5);
         let opts = LsqSolveOptions {
-            sweeps: 10,
             threads: 1,
-            record_every: 0,
+            term: Termination::sweeps(10),
+            record: Recording::end_only(),
             ..Default::default()
         };
         let mut x_seq = vec![0.0; op.n_cols()];
@@ -346,12 +409,17 @@ mod tests {
     fn async_converges_multithreaded() {
         let (op, b, _) = problem(0.0, 6);
         let mut x = vec![0.0; op.n_cols()];
-        let rep = async_rcd_solve(&op, &b, &mut x, &LsqSolveOptions {
-            sweeps: 300,
-            threads: 4,
-            beta: 0.9,
-            ..Default::default()
-        });
+        let rep = async_rcd_solve(
+            &op,
+            &b,
+            &mut x,
+            &LsqSolveOptions {
+                threads: 4,
+                beta: 0.9,
+                term: Termination::sweeps(300),
+                ..Default::default()
+            },
+        );
         assert!(
             rep.final_rel_residual < 1e-6,
             "residual {}",
@@ -380,5 +448,22 @@ mod tests {
     fn rejects_zero_columns() {
         let a = CsrMatrix::from_dense(3, 2, &[1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
         LsqOperator::new(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "rcd_solve: right-hand side b has length 2")]
+    fn rejects_mismatched_rhs() {
+        let (op, _, _) = problem(0.0, 8);
+        let b = vec![1.0; 2];
+        let mut x = vec![0.0; op.n_cols()];
+        rcd_solve(&op, &b, &mut x, &LsqSolveOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "async_rcd_solve: solution vector x has length 3")]
+    fn rejects_mismatched_x_async() {
+        let (op, b, _) = problem(0.0, 9);
+        let mut x = vec![0.0; 3];
+        async_rcd_solve(&op, &b, &mut x, &LsqSolveOptions::default());
     }
 }

@@ -26,35 +26,46 @@
 //! still hit infinitely often with a random schedule), but the paper's
 //! uniform-sampling analysis does not apply verbatim; treat this as the
 //! experimental extension it is.
+//!
+//! The solver is generic over [`RowAccess`] and routes stopping and
+//! telemetry through the shared [`crate::driver`] (observed at epoch
+//! boundaries, where all owners are quiescent).
 
 use crate::atomic::SharedVec;
-use crate::report::{SolveReport, SweepRecord};
+use crate::driver::{
+    check_beta, check_square_system, check_threads, checked_inverse_diag, Driver, Recording,
+    Solver, Termination,
+};
+use crate::report::SolveReport;
 use asyrgs_rng::Philox4x32;
 use asyrgs_sparse::dense;
-use asyrgs_sparse::CsrMatrix;
+use asyrgs_sparse::RowAccess;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 /// Options for the partitioned solver.
 #[derive(Debug, Clone)]
 pub struct PartitionedOptions {
     /// Step size in `(0, 2)`.
     pub beta: f64,
-    /// Sweeps (each sweep = `n` updates in total across all owners).
-    pub sweeps: usize,
     /// Number of blocks = number of threads.
     pub threads: usize,
     /// Philox seed; each block derives an independent substream.
     pub seed: u64,
+    /// When to stop (each sweep = `n` updates in total across all owners).
+    pub term: Termination,
+    /// Residual-recording cadence (default: stopping boundary only, the
+    /// historical behavior — each record synchronizes all owners).
+    pub record: Recording,
 }
 
 impl Default for PartitionedOptions {
     fn default() -> Self {
         PartitionedOptions {
             beta: 1.0,
-            sweeps: 10,
             threads: 2,
             seed: 0xB10C,
+            term: Termination::sweeps(10),
+            record: Recording::end_only(),
         }
     }
 }
@@ -71,32 +82,33 @@ pub struct PartitionedReport {
 /// Solve `A x = b` with block-partitioned AsyRGS: thread `t` owns rows
 /// `[t*n/P, (t+1)*n/P)` and updates only those, sampling uniformly within
 /// the block; reads span the whole shared vector (lock-free).
-pub fn partitioned_solve(
-    a: &CsrMatrix,
+///
+/// # Panics
+/// Panics if `A` is not square, `b`/`x` have mismatched lengths, a
+/// diagonal entry is non-positive, `beta` is outside `(0, 2)`,
+/// `threads == 0`, or there are more blocks than unknowns.
+pub fn partitioned_solve<O: RowAccess + Sync>(
+    a: &O,
     b: &[f64],
     x: &mut [f64],
     opts: &PartitionedOptions,
 ) -> PartitionedReport {
+    check_square_system(
+        "partitioned_solve",
+        a.n_rows(),
+        a.n_cols(),
+        b.len(),
+        x.len(),
+    );
+    check_threads(opts.threads);
     let n = a.n_rows();
-    assert!(a.is_square(), "partitioned AsyRGS needs a square matrix");
-    assert_eq!(b.len(), n);
-    assert_eq!(x.len(), n);
-    assert!(opts.threads >= 1, "need at least one thread");
     assert!(
         opts.threads <= n,
         "more blocks than unknowns ({} > {n})",
         opts.threads
     );
-    assert!(opts.beta > 0.0 && opts.beta < 2.0, "beta must be in (0,2)");
-    let diag = a.diag();
-    let dinv: Vec<f64> = diag
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| {
-            assert!(d > 0.0, "diagonal entry {i} must be positive");
-            1.0 / d
-        })
-        .collect();
+    check_beta(opts.beta);
+    let dinv = checked_inverse_diag(&a.diag());
 
     let p = opts.threads;
     let shared = SharedVec::from_slice(x);
@@ -111,56 +123,64 @@ pub fn partitioned_solve(
     // starved by scheduler imbalance.
     let block_counts: Vec<AtomicU64> = (0..p).map(|_| AtomicU64::new(0)).collect();
     let master = Philox4x32::from_seed(opts.seed);
-    let barrier = std::sync::Barrier::new(p);
 
-    let start = Instant::now();
-    std::thread::scope(|s| {
-        for t in 0..p {
-            let lo = bounds[t];
-            let hi = bounds[t + 1];
-            let gen = master.substream(t as u64);
-            let shared = &shared;
-            let counts = &block_counts;
-            let dinv = &dinv;
-            let barrier = &barrier;
-            s.spawn(move || {
-                let width = hi - lo;
-                let mut local: u64 = 0;
-                for _sweep in 0..opts.sweeps {
-                    for _ in 0..width {
-                        let r = lo + gen.index_at(local, width);
-                        local += 1;
-                        let (cols, vals) = a.row(r);
-                        let mut dot = 0.0;
-                        for (&c, &v) in cols.iter().zip(vals) {
-                            dot += v * shared.load(c);
+    let mut driver = Driver::new(&opts.term, opts.record);
+    let epoch_sweeps = crate::jacobi::epoch_len(&opts.term, opts.record);
+    let mut sweeps_done = 0usize;
+
+    while sweeps_done < driver.max_sweeps() {
+        let this_epoch = epoch_sweeps.min(driver.max_sweeps() - sweeps_done);
+        let sweeps_before = sweeps_done;
+        sweeps_done += this_epoch;
+        let barrier = std::sync::Barrier::new(p);
+        std::thread::scope(|s| {
+            for t in 0..p {
+                let lo = bounds[t];
+                let hi = bounds[t + 1];
+                let gen = master.substream(t as u64);
+                let shared = &shared;
+                let counts = &block_counts;
+                let dinv = &dinv;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let width = hi - lo;
+                    // The Philox counter is a pure function of how many
+                    // updates this owner has already applied, so epochs
+                    // continue the same per-owner random sequence.
+                    let mut local: u64 = (sweeps_before as u64) * (width as u64);
+                    for _sweep in 0..this_epoch {
+                        for _ in 0..width {
+                            let r = lo + gen.index_at(local, width);
+                            local += 1;
+                            let mut dot = 0.0;
+                            a.visit_row(r, |c, v| dot += v * shared.load(c));
+                            let gamma = (b[r] - dot) * dinv[r];
+                            // Single-owner write: a plain store is race-free.
+                            shared.store(r, shared.load(r) + opts.beta * gamma);
                         }
-                        let gamma = (b[r] - dot) * dinv[r];
-                        // Single-owner write: a plain store is race-free.
-                        shared.store(r, shared.load(r) + opts.beta * gamma);
+                        // One exchange per sweep — the BSP-style boundary
+                        // communication a distributed-memory port would do.
+                        barrier.wait();
                     }
-                    // One exchange per sweep — the BSP-style boundary
-                    // communication a distributed-memory port would do.
-                    barrier.wait();
-                }
-                counts[t].fetch_add(local, Ordering::Relaxed);
-            });
+                    counts[t].fetch_add((this_epoch as u64) * (width as u64), Ordering::Relaxed);
+                });
+            }
+        });
+        let snap = shared.snapshot();
+        let stop = driver.observe_lazy(
+            sweeps_done,
+            (sweeps_done as u64) * (n as u64),
+            || dense::norm2(&a.residual(b, &snap)) / norm_b,
+            || None,
+        );
+        if stop {
+            break;
         }
-    });
+    }
 
-    let total: u64 = (opts.sweeps as u64) * (n as u64);
     x.copy_from_slice(&shared.snapshot());
-    let mut report = SolveReport::empty();
-    report.iterations = total;
-    report.final_rel_residual = dense::norm2(&a.residual(b, x)) / norm_b;
-    report.records.push(SweepRecord {
-        sweep: opts.sweeps,
-        iterations: total,
-        rel_residual: report.final_rel_residual,
-        rel_error_anorm: None,
-    });
-    report.wall_seconds = start.elapsed().as_secs_f64();
-    report.threads = p;
+    let total = (sweeps_done as u64) * (n as u64);
+    let report = driver.finish(total, p, || dense::norm2(&a.residual(b, x)) / norm_b);
     PartitionedReport {
         report,
         block_iterations: block_counts
@@ -170,9 +190,26 @@ pub fn partitioned_solve(
     }
 }
 
+impl Solver for PartitionedOptions {
+    fn name(&self) -> &'static str {
+        "partitioned"
+    }
+
+    fn solve<O: RowAccess + Sync>(
+        &self,
+        a: &O,
+        b: &[f64],
+        x: &mut [f64],
+        _x_star: Option<&[f64]>,
+    ) -> SolveReport {
+        partitioned_solve(a, b, x, self).report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asyrgs_sparse::CsrMatrix;
     use asyrgs_workloads::{diag_dominant, laplace2d};
 
     fn problem(n_side: usize) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
@@ -188,11 +225,16 @@ mod tests {
         let (a, b, _) = problem(8);
         let n = a.n_rows();
         let mut x = vec![0.0; n];
-        let rep = partitioned_solve(&a, &b, &mut x, &PartitionedOptions {
-            sweeps: 200,
-            threads: 1,
-            ..Default::default()
-        });
+        let rep = partitioned_solve(
+            &a,
+            &b,
+            &mut x,
+            &PartitionedOptions {
+                threads: 1,
+                term: Termination::sweeps(200),
+                ..Default::default()
+            },
+        );
         assert!(
             rep.report.final_rel_residual < 1e-5,
             "{}",
@@ -207,11 +249,16 @@ mod tests {
         let (a, b, _) = problem(10);
         let n = a.n_rows();
         let mut x = vec![0.0; n];
-        let rep = partitioned_solve(&a, &b, &mut x, &PartitionedOptions {
-            sweeps: 300,
-            threads: 4,
-            ..Default::default()
-        });
+        let rep = partitioned_solve(
+            &a,
+            &b,
+            &mut x,
+            &PartitionedOptions {
+                threads: 4,
+                term: Termination::sweeps(300),
+                ..Default::default()
+            },
+        );
         assert!(
             rep.report.final_rel_residual < 1e-4,
             "{}",
@@ -228,11 +275,16 @@ mod tests {
         let x_star = vec![1.0; 120];
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 120];
-        let rep = partitioned_solve(&a, &b, &mut x, &PartitionedOptions {
-            sweeps: 100,
-            threads: 3,
-            ..Default::default()
-        });
+        let rep = partitioned_solve(
+            &a,
+            &b,
+            &mut x,
+            &PartitionedOptions {
+                threads: 3,
+                term: Termination::sweeps(100),
+                ..Default::default()
+            },
+        );
         assert!(rep.report.final_rel_residual < 1e-8);
     }
 
@@ -245,11 +297,16 @@ mod tests {
         let b = a.matvec(&x_star);
         let sweeps = 30;
         let mut xp = vec![0.0; 200];
-        let part = partitioned_solve(&a, &b, &mut xp, &PartitionedOptions {
-            sweeps,
-            threads: 4,
-            ..Default::default()
-        });
+        let part = partitioned_solve(
+            &a,
+            &b,
+            &mut xp,
+            &PartitionedOptions {
+                threads: 4,
+                term: Termination::sweeps(sweeps),
+                ..Default::default()
+            },
+        );
         let mut xu = vec![0.0; 200];
         let full = crate::asyrgs::asyrgs_solve(
             &a,
@@ -257,8 +314,8 @@ mod tests {
             &mut xu,
             None,
             &crate::asyrgs::AsyRgsOptions {
-                sweeps,
                 threads: 4,
+                term: Termination::sweeps(sweeps),
                 ..Default::default()
             },
         );
@@ -276,15 +333,40 @@ mod tests {
         let (a, b, _) = problem(8);
         let n = a.n_rows();
         let mut x = vec![0.0; n];
-        let rep = partitioned_solve(&a, &b, &mut x, &PartitionedOptions {
-            sweeps: 50,
-            threads: 4,
-            ..Default::default()
-        });
+        let rep = partitioned_solve(
+            &a,
+            &b,
+            &mut x,
+            &PartitionedOptions {
+                threads: 4,
+                term: Termination::sweeps(50),
+                ..Default::default()
+            },
+        );
         // No block should be starved entirely.
         for (t, &c) in rep.block_iterations.iter().enumerate() {
             assert!(c > 0, "block {t} starved");
         }
+    }
+
+    #[test]
+    fn recording_cadence_synchronizes_and_records() {
+        let (a, b, _) = problem(8);
+        let n = a.n_rows();
+        let mut x = vec![0.0; n];
+        let rep = partitioned_solve(
+            &a,
+            &b,
+            &mut x,
+            &PartitionedOptions {
+                threads: 2,
+                term: Termination::sweeps(20),
+                record: Recording::every(5),
+                ..Default::default()
+            },
+        );
+        let sweeps: Vec<usize> = rep.report.records.iter().map(|r| r.sweep).collect();
+        assert_eq!(sweeps, vec![5, 10, 15, 20]);
     }
 
     #[test]
@@ -293,9 +375,23 @@ mod tests {
         let a = CsrMatrix::identity(3);
         let b = vec![1.0; 3];
         let mut x = vec![0.0; 3];
-        partitioned_solve(&a, &b, &mut x, &PartitionedOptions {
-            threads: 5,
-            ..Default::default()
-        });
+        partitioned_solve(
+            &a,
+            &b,
+            &mut x,
+            &PartitionedOptions {
+                threads: 5,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "partitioned_solve: right-hand side b has length 1")]
+    fn rejects_mismatched_rhs() {
+        let a = CsrMatrix::identity(3);
+        let b = vec![1.0; 1];
+        let mut x = vec![0.0; 3];
+        partitioned_solve(&a, &b, &mut x, &PartitionedOptions::default());
     }
 }

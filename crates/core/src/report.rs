@@ -1,10 +1,8 @@
 //! Solve telemetry: per-sweep records and end-of-solve reports.
 
-use serde::{Deserialize, Serialize};
-
 /// One recorded point along a solve (typically one per sweep, where a sweep
 /// is `n` single-coordinate iterations — the unit the paper plots against).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepRecord {
     /// Sweep index (1-based: after `sweep * n` iterations).
     pub sweep: usize,
@@ -19,7 +17,7 @@ pub struct SweepRecord {
 }
 
 /// Summary of a completed solve.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SolveReport {
     /// Per-sweep telemetry (empty if recording was disabled).
     pub records: Vec<SweepRecord>,
@@ -33,6 +31,10 @@ pub struct SolveReport {
     pub threads: usize,
     /// Whether an early-stop criterion fired before the sweep budget.
     pub converged_early: bool,
+    /// Whether the wall-clock budget (see
+    /// [`Termination`](crate::driver::Termination)) expired before the
+    /// residual target was reached.
+    pub stopped_on_budget: bool,
     /// Largest observed update delay (commits between an iteration's read
     /// and its write) — the empirical `tau` of Assumption A-3. `None` when
     /// the solver does not measure it (sequential solvers, block variants).
@@ -49,6 +51,7 @@ impl SolveReport {
             wall_seconds: 0.0,
             threads: 1,
             converged_early: false,
+            stopped_on_budget: false,
             max_observed_delay: None,
         }
     }

@@ -11,12 +11,20 @@
 //! Directions come from a Philox counter stream, so the exact same direction
 //! sequence can be replayed by the asynchronous solver (paper Section 9 uses
 //! Random123 for the same purpose).
+//!
+//! The solvers are generic over [`RowAccess`], so they run unchanged on
+//! [`CsrMatrix`], on dense row-major matrices, and on the zero-copy
+//! [`UnitDiagonalView`](asyrgs_sparse::UnitDiagonalView) rescaling wrapper.
+//! Stopping and telemetry route through the shared [`crate::driver`].
 
-use crate::report::{SolveReport, SweepRecord};
+use crate::driver::{
+    check_beta, check_square_block_system, check_square_system, checked_inverse_diag, Driver,
+    Recording, Solver, Termination,
+};
+use crate::report::SolveReport;
 use asyrgs_rng::{DirectionStream, WeightedDirectionStream};
 use asyrgs_sparse::dense::{self, RowMajorMat};
-use asyrgs_sparse::CsrMatrix;
-use std::time::Instant;
+use asyrgs_sparse::{CsrMatrix, RowAccess};
 
 /// How rows are sampled each iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,11 +48,11 @@ pub(crate) enum Directions {
 }
 
 impl Directions {
-    pub(crate) fn new(sampling: RowSampling, seed: u64, a: &CsrMatrix) -> Directions {
+    pub(crate) fn new(sampling: RowSampling, seed: u64, n: usize, diag: &[f64]) -> Directions {
         match sampling {
-            RowSampling::Uniform => Directions::Uniform(DirectionStream::new(seed, a.n_rows())),
+            RowSampling::Uniform => Directions::Uniform(DirectionStream::new(seed, n)),
             RowSampling::DiagonalWeighted => {
-                Directions::Weighted(WeightedDirectionStream::new(seed, &a.diag()))
+                Directions::Weighted(WeightedDirectionStream::new(seed, diag))
             }
         }
     }
@@ -64,46 +72,29 @@ pub struct RgsOptions {
     /// Step size `beta` in `(0, 2)` (Griebel-Oswald relaxation); the
     /// synchronous bound is best at `beta = 1`.
     pub beta: f64,
-    /// Number of sweeps; one sweep is `n` single-coordinate iterations,
-    /// costing about one Gauss-Seidel iteration (`Theta(nnz)`).
-    pub sweeps: usize,
     /// Seed of the Philox direction stream.
     pub seed: u64,
     /// Row sampling distribution.
     pub sampling: RowSampling,
-    /// Record the residual every `record_every` sweeps (0 = only at the
-    /// end). Each record costs one residual evaluation (`Theta(nnz)`).
-    pub record_every: usize,
-    /// Stop early once the relative residual drops below this value
-    /// (checked at record points).
-    pub target_rel_residual: Option<f64>,
+    /// When to stop: sweep budget, residual target, wall-clock budget. One
+    /// sweep is `n` single-coordinate iterations, costing about one
+    /// Gauss-Seidel iteration (`Theta(nnz)`).
+    pub term: Termination,
+    /// Residual-recording cadence (each record costs one residual
+    /// evaluation, `Theta(nnz)`).
+    pub record: Recording,
 }
 
 impl Default for RgsOptions {
     fn default() -> Self {
         RgsOptions {
             beta: 1.0,
-            sweeps: 10,
             seed: 0x5EED,
             sampling: RowSampling::Uniform,
-            record_every: 1,
-            target_rel_residual: None,
+            term: Termination::sweeps(10),
+            record: Recording::every(1),
         }
     }
-}
-
-fn validate(a: &CsrMatrix, opts: &RgsOptions) -> Vec<f64> {
-    assert!(a.is_square(), "RGS needs a square matrix");
-    assert!(
-        opts.beta > 0.0 && opts.beta < 2.0,
-        "beta must lie in (0, 2), got {}",
-        opts.beta
-    );
-    let diag = a.diag();
-    for (i, &d) in diag.iter().enumerate() {
-        assert!(d > 0.0, "diagonal entry {i} must be positive, got {d}");
-    }
-    diag.iter().map(|&d| 1.0 / d).collect()
 }
 
 /// Solve `A x = b` by sequential Randomized Gauss-Seidel.
@@ -112,94 +103,104 @@ fn validate(a: &CsrMatrix, opts: &RgsOptions) -> Vec<f64> {
 /// If `x_star` is supplied, per-record A-norm errors are reported.
 ///
 /// # Panics
-/// Panics if `A` is not square, has a non-positive diagonal entry, or
-/// `beta` is outside `(0, 2)`.
-pub fn rgs_solve(
-    a: &CsrMatrix,
+/// Panics if `A` is not square, `b`/`x` have mismatched lengths, a
+/// diagonal entry is non-positive, or `beta` is outside `(0, 2)`.
+pub fn rgs_solve<O: RowAccess>(
+    a: &O,
     b: &[f64],
     x: &mut [f64],
     x_star: Option<&[f64]>,
     opts: &RgsOptions,
 ) -> SolveReport {
+    check_square_system("rgs_solve", a.n_rows(), a.n_cols(), b.len(), x.len());
+    check_beta(opts.beta);
     let n = a.n_rows();
-    assert_eq!(b.len(), n, "b length mismatch");
-    assert_eq!(x.len(), n, "x length mismatch");
-    let dinv = validate(a, opts);
-    let ds = Directions::new(opts.sampling, opts.seed, a);
+    let diag = a.diag();
+    let dinv = checked_inverse_diag(&diag);
+    let ds = Directions::new(opts.sampling, opts.seed, n, &diag);
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
     let norm_xs_a = x_star.map(|xs| a.a_norm(xs).max(f64::MIN_POSITIVE));
 
-    let start = Instant::now();
-    let mut report = SolveReport::empty();
+    let mut driver = Driver::new(&opts.term, opts.record);
     let mut j: u64 = 0;
-    let mut converged = false;
 
-    'outer: for sweep in 1..=opts.sweeps {
+    for sweep in 1..=driver.max_sweeps() {
         for _ in 0..n {
             let r = ds.direction(j);
             j += 1;
             let gamma = (b[r] - a.row_dot(r, x)) * dinv[r];
             x[r] += opts.beta * gamma;
         }
-        let record_now = opts.record_every != 0 && sweep % opts.record_every == 0;
-        if record_now || sweep == opts.sweeps {
-            let rel = dense::norm2(&a.residual(b, x)) / norm_b;
-            let err = x_star.map(|xs| {
-                let diff: Vec<f64> = x.iter().zip(xs).map(|(a, b)| a - b).collect();
-                a.a_norm(&diff) / norm_xs_a.unwrap()
-            });
-            report.records.push(SweepRecord {
-                sweep,
-                iterations: j,
-                rel_residual: rel,
-                rel_error_anorm: err,
-            });
-            if let Some(t) = opts.target_rel_residual {
-                if rel <= t {
-                    converged = true;
-                    break 'outer;
-                }
-            }
+        let stop = driver.observe_lazy(
+            sweep,
+            j,
+            || dense::norm2(&a.residual(b, x)) / norm_b,
+            || {
+                x_star.map(|xs| {
+                    let diff: Vec<f64> = x.iter().zip(xs).map(|(a, b)| a - b).collect();
+                    a.a_norm(&diff) / norm_xs_a.unwrap()
+                })
+            },
+        );
+        if stop {
+            break;
         }
     }
 
-    report.iterations = j;
-    report.final_rel_residual = report
-        .records
-        .last()
-        .map(|r| r.rel_residual)
-        .unwrap_or_else(|| dense::norm2(&a.residual(b, x)) / norm_b);
-    report.wall_seconds = start.elapsed().as_secs_f64();
-    report.threads = 1;
-    report.converged_early = converged;
-    report
+    driver.finish(j, 1, || dense::norm2(&a.residual(b, x)) / norm_b)
+}
+
+impl Solver for RgsOptions {
+    fn name(&self) -> &'static str {
+        "rgs"
+    }
+
+    fn solve<O: RowAccess + Sync>(
+        &self,
+        a: &O,
+        b: &[f64],
+        x: &mut [f64],
+        x_star: Option<&[f64]>,
+    ) -> SolveReport {
+        rgs_solve(a, b, x, x_star, self)
+    }
 }
 
 /// Multi-RHS Randomized Gauss-Seidel: solves `A X = B` for row-major blocks,
 /// all right-hand sides sharing the same random direction sequence (the
 /// paper solves its 51 systems together this way, Section 9).
+///
+/// # Panics
+/// Panics if `A` is not square, the blocks do not conform, a diagonal
+/// entry is non-positive, or `beta` is outside `(0, 2)`.
 pub fn rgs_solve_block(
     a: &CsrMatrix,
     b: &RowMajorMat,
     x: &mut RowMajorMat,
     opts: &RgsOptions,
 ) -> SolveReport {
+    check_square_block_system(
+        "rgs_solve_block",
+        a.n_rows(),
+        a.n_cols(),
+        b.n_rows(),
+        b.n_cols(),
+        x.n_rows(),
+        x.n_cols(),
+    );
+    check_beta(opts.beta);
     let n = a.n_rows();
-    assert_eq!(b.n_rows(), n, "B row mismatch");
-    assert_eq!(x.n_rows(), n, "X row mismatch");
-    assert_eq!(b.n_cols(), x.n_cols(), "RHS count mismatch");
     let k = b.n_cols();
-    let dinv = validate(a, opts);
-    let ds = Directions::new(opts.sampling, opts.seed, a);
+    let diag = a.diag();
+    let dinv = checked_inverse_diag(&diag);
+    let ds = Directions::new(opts.sampling, opts.seed, n, &diag);
     let norm_b = b.frobenius_norm().max(f64::MIN_POSITIVE);
 
-    let start = Instant::now();
-    let mut report = SolveReport::empty();
+    let mut driver = Driver::new(&opts.term, opts.record);
     let mut j: u64 = 0;
     let mut gammas = vec![0.0f64; k];
-    let mut converged = false;
 
-    'outer: for sweep in 1..=opts.sweeps {
+    for sweep in 1..=driver.max_sweeps() {
         for _ in 0..n {
             let r = ds.direction(j);
             j += 1;
@@ -217,34 +218,18 @@ pub fn rgs_solve_block(
                 xr[t] += opts.beta * gammas[t] * dinv[r];
             }
         }
-        let record_now = opts.record_every != 0 && sweep % opts.record_every == 0;
-        if record_now || sweep == opts.sweeps {
-            let rel = a.residual_block(b, x).frobenius_norm() / norm_b;
-            report.records.push(SweepRecord {
-                sweep,
-                iterations: j,
-                rel_residual: rel,
-                rel_error_anorm: None,
-            });
-            if let Some(t) = opts.target_rel_residual {
-                if rel <= t {
-                    converged = true;
-                    break 'outer;
-                }
-            }
+        let stop = driver.observe_lazy(
+            sweep,
+            j,
+            || a.residual_block(b, x).frobenius_norm() / norm_b,
+            || None,
+        );
+        if stop {
+            break;
         }
     }
 
-    report.iterations = j;
-    report.final_rel_residual = report
-        .records
-        .last()
-        .map(|r| r.rel_residual)
-        .unwrap_or(f64::NAN);
-    report.wall_seconds = start.elapsed().as_secs_f64();
-    report.threads = 1;
-    report.converged_early = converged;
-    report
+    driver.finish(j, 1, || a.residual_block(b, x).frobenius_norm() / norm_b)
 }
 
 #[cfg(test)]
@@ -265,7 +250,7 @@ mod tests {
             &mut x,
             Some(&x_star),
             &RgsOptions {
-                sweeps: 200,
+                term: Termination::sweeps(200),
                 ..Default::default()
             },
         );
@@ -288,10 +273,16 @@ mod tests {
         let x_star: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 100];
-        let rep = rgs_solve(&a, &b, &mut x, None, &RgsOptions {
-            sweeps: 30,
-            ..Default::default()
-        });
+        let rep = rgs_solve(
+            &a,
+            &b,
+            &mut x,
+            None,
+            &RgsOptions {
+                term: Termination::sweeps(30),
+                ..Default::default()
+            },
+        );
         let res = rep.residual_series();
         assert!(res[9].1 < res[0].1);
         assert!(res[29].1 < res[9].1);
@@ -303,14 +294,42 @@ mod tests {
         let x_star: Vec<f64> = vec![1.0; 80];
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 80];
-        let rep = rgs_solve(&a, &b, &mut x, None, &RgsOptions {
-            sweeps: 1000,
-            target_rel_residual: Some(1e-4),
-            ..Default::default()
-        });
+        let rep = rgs_solve(
+            &a,
+            &b,
+            &mut x,
+            None,
+            &RgsOptions {
+                term: Termination::sweeps(1000).with_target(1e-4),
+                ..Default::default()
+            },
+        );
         assert!(rep.converged_early);
         assert!(rep.sweeps_run() < 1000);
         assert!(rep.final_rel_residual <= 1e-4);
+    }
+
+    #[test]
+    fn wall_clock_budget_cuts_solve_short() {
+        // A budget of zero stops at the very first sweep boundary.
+        let a = diag_dominant(80, 4, 2.0, 5);
+        let b = a.matvec(&vec![1.0; 80]);
+        let mut x = vec![0.0; 80];
+        let rep = rgs_solve(
+            &a,
+            &b,
+            &mut x,
+            None,
+            &RgsOptions {
+                term: Termination::sweeps(100_000)
+                    .with_wall_clock(std::time::Duration::from_secs(0)),
+                record: Recording::end_only(),
+                ..Default::default()
+            },
+        );
+        assert!(rep.stopped_on_budget);
+        assert!(!rep.converged_early);
+        assert_eq!(rep.sweeps_run(), 1);
     }
 
     #[test]
@@ -321,13 +340,23 @@ mod tests {
         let x_star: Vec<f64> = (0..50).map(|i| i as f64 / 50.0).collect();
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 50];
-        let rep = rgs_solve(&a, &b, &mut x, None, &RgsOptions {
-            beta: 0.5,
-            sweeps: 400,
-            record_every: 50,
-            ..Default::default()
-        });
-        assert!(rep.final_rel_residual < 1e-6, "residual {}", rep.final_rel_residual);
+        let rep = rgs_solve(
+            &a,
+            &b,
+            &mut x,
+            None,
+            &RgsOptions {
+                beta: 0.5,
+                term: Termination::sweeps(400),
+                record: Recording::every(50),
+                ..Default::default()
+            },
+        );
+        assert!(
+            rep.final_rel_residual < 1e-6,
+            "residual {}",
+            rep.final_rel_residual
+        );
         let _ = tridiag_toeplitz(3, 2.0, -1.0); // keep import used
     }
 
@@ -340,12 +369,18 @@ mod tests {
         let b = a.matvec(&x_star);
         let run = |beta: f64| {
             let mut x = vec![0.0; n];
-            rgs_solve(&a, &b, &mut x, None, &RgsOptions {
-                beta,
-                sweeps: 60,
-                record_every: 0,
-                ..Default::default()
-            })
+            rgs_solve(
+                &a,
+                &b,
+                &mut x,
+                None,
+                &RgsOptions {
+                    beta,
+                    term: Termination::sweeps(60),
+                    record: Recording::end_only(),
+                    ..Default::default()
+                },
+            )
             .final_rel_residual
         };
         assert!(run(1.0) < run(0.2));
@@ -358,7 +393,7 @@ mod tests {
         let mut x1 = vec![0.0; 25];
         let mut x2 = vec![0.0; 25];
         let opts = RgsOptions {
-            sweeps: 5,
+            term: Termination::sweeps(5),
             ..Default::default()
         };
         rgs_solve(&a, &b, &mut x1, None, &opts);
@@ -379,8 +414,8 @@ mod tests {
         let y_star: Vec<f64> = (0..30).map(|i| (i as f64 * 0.3).sin()).collect();
         let z = bmat.matvec(&y_star);
         let opts = RgsOptions {
-            sweeps: 7,
-            record_every: 0,
+            term: Termination::sweeps(7),
+            record: Recording::end_only(),
             ..Default::default()
         };
         // General-diagonal solve on B.
@@ -397,6 +432,28 @@ mod tests {
     }
 
     #[test]
+    fn zero_copy_view_matches_materialized_rescaling_bitwise() {
+        // The UnitDiagonalView wrapper must drive the solver to bitwise
+        // the same iterate as the materialized rescaled matrix.
+        let bmat = diag_dominant(40, 5, 2.0, 23);
+        let u = asyrgs_sparse::UnitDiagonal::from_spd(&bmat).unwrap();
+        let view = asyrgs_sparse::UnitDiagonalView::new(&bmat).unwrap();
+        let z: Vec<f64> = (0..40).map(|i| (i as f64 * 0.17).cos()).collect();
+        let dz = u.rhs_to_unit(&z);
+        let opts = RgsOptions {
+            term: Termination::sweeps(9),
+            record: Recording::end_only(),
+            ..Default::default()
+        };
+        let mut x_mat = vec![0.0; 40];
+        let rep_mat = rgs_solve(&u.a, &dz, &mut x_mat, None, &opts);
+        let mut x_view = vec![0.0; 40];
+        let rep_view = rgs_solve(&view, &dz, &mut x_view, None, &opts);
+        assert_eq!(x_mat, x_view);
+        assert_eq!(rep_mat.final_rel_residual, rep_view.final_rel_residual);
+    }
+
+    #[test]
     fn block_solve_matches_per_column_solves() {
         let a = laplace2d(5, 4);
         let n = a.n_rows();
@@ -407,8 +464,8 @@ mod tests {
             b_blk.set_col(t, &col);
         }
         let opts = RgsOptions {
-            sweeps: 6,
-            record_every: 0,
+            term: Termination::sweeps(6),
+            record: Recording::end_only(),
             ..Default::default()
         };
         let mut x_blk = RowMajorMat::zeros(n, k);
@@ -430,10 +487,15 @@ mod tests {
         b_blk.set_col(0, &vec![1.0; 40]);
         b_blk.set_col(1, &(0..40).map(|i| i as f64 / 40.0).collect::<Vec<_>>());
         let mut x_blk = RowMajorMat::zeros(40, 2);
-        let rep = rgs_solve_block(&a, &b_blk, &mut x_blk, &RgsOptions {
-            sweeps: 50,
-            ..Default::default()
-        });
+        let rep = rgs_solve_block(
+            &a,
+            &b_blk,
+            &mut x_blk,
+            &RgsOptions {
+                term: Termination::sweeps(50),
+                ..Default::default()
+            },
+        );
         assert!(rep.final_rel_residual < 1e-4);
         assert_eq!(rep.records.len(), 50);
     }
@@ -454,12 +516,18 @@ mod tests {
         let x_star: Vec<f64> = (0..60).map(|i| (i as f64 * 0.2).sin()).collect();
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 60];
-        let rep = rgs_solve(&a, &b, &mut x, None, &RgsOptions {
-            sweeps: 120,
-            sampling: RowSampling::DiagonalWeighted,
-            record_every: 0,
-            ..Default::default()
-        });
+        let rep = rgs_solve(
+            &a,
+            &b,
+            &mut x,
+            None,
+            &RgsOptions {
+                sampling: RowSampling::DiagonalWeighted,
+                term: Termination::sweeps(120),
+                record: Recording::end_only(),
+                ..Default::default()
+            },
+        );
         assert!(rep.final_rel_residual < 1e-2, "{}", rep.final_rel_residual);
     }
 
@@ -475,12 +543,18 @@ mod tests {
         let b = u.a.matvec(&x_star);
         let run = |sampling: RowSampling| {
             let mut x = vec![0.0; n];
-            rgs_solve(&u.a, &b, &mut x, None, &RgsOptions {
-                sweeps: 80,
-                sampling,
-                record_every: 0,
-                ..Default::default()
-            })
+            rgs_solve(
+                &u.a,
+                &b,
+                &mut x,
+                None,
+                &RgsOptions {
+                    sampling,
+                    term: Termination::sweeps(80),
+                    record: Recording::end_only(),
+                    ..Default::default()
+                },
+            )
             .final_rel_residual
         };
         let ru = run(RowSampling::Uniform);
@@ -496,10 +570,16 @@ mod tests {
         let a = CsrMatrix::identity(3);
         let b = vec![1.0; 3];
         let mut x = vec![0.0; 3];
-        rgs_solve(&a, &b, &mut x, None, &RgsOptions {
-            beta: 2.5,
-            ..Default::default()
-        });
+        rgs_solve(
+            &a,
+            &b,
+            &mut x,
+            None,
+            &RgsOptions {
+                beta: 2.5,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
@@ -508,6 +588,15 @@ mod tests {
         let a = CsrMatrix::from_dense(2, 2, &[0.0, 1.0, 1.0, 0.0]);
         let b = vec![1.0; 2];
         let mut x = vec![0.0; 2];
+        rgs_solve(&a, &b, &mut x, None, &RgsOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "rgs_solve: right-hand side b has length 5")]
+    fn rejects_mismatched_rhs() {
+        let a = CsrMatrix::identity(3);
+        let b = vec![1.0; 5];
+        let mut x = vec![0.0; 3];
         rgs_solve(&a, &b, &mut x, None, &RgsOptions::default());
     }
 }

@@ -14,13 +14,11 @@
 //! All bounds are on `E_m = E[ ||x_m - x*||_A^2 ]` relative to `E_0`, i.e.
 //! the functions return the multiplicative factor `E_m / E_0` that the
 //! theorem guarantees. The paper (and our experiments) emphasize that these
-//! bounds are *pessimistic*; see `EXPERIMENTS.md` for measured gaps.
-
-use serde::{Deserialize, Serialize};
+//! bounds are *pessimistic*; the `theory_validation` bench binary measures the gaps.
 
 /// Spectral and structural quantities of the (unit-diagonal) matrix that
 /// every bound needs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProblemParams {
     /// Dimension `n`.
     pub n: usize,
@@ -48,11 +46,7 @@ impl ProblemParams {
 
     /// Extract the parameters from a matrix plus externally estimated
     /// extreme eigenvalues.
-    pub fn from_matrix(
-        a: &asyrgs_sparse::CsrMatrix,
-        lambda_min: f64,
-        lambda_max: f64,
-    ) -> Self {
+    pub fn from_matrix(a: &asyrgs_sparse::CsrMatrix, lambda_min: f64, lambda_max: f64) -> Self {
         ProblemParams {
             n: a.n_rows(),
             lambda_min,
@@ -205,8 +199,7 @@ pub fn theorem4_a(params: &ProblemParams, tau: usize, beta: f64) -> f64 {
 /// (Theorem 4 assertion (b)).
 pub fn psi(params: &ProblemParams, tau: usize, beta: f64) -> f64 {
     let d = params.delta_max();
-    params.rho2 * (tau as f64).powi(3) * beta * beta * params.lambda_max
-        * d.powi(-2 * tau as i32)
+    params.rho2 * (tau as f64).powi(3) * beta * beta * params.lambda_max * d.powi(-2 * tau as i32)
         / params.n as f64
 }
 
@@ -227,7 +220,7 @@ pub fn theorem4_b(params: &ProblemParams, tau: usize, beta: f64, r: u32) -> f64 
 
 /// Parameters of the least-squares bound: derived from the singular values
 /// of `A` (unit-norm columns) and `X = A^T A`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LsqParams {
     /// Number of columns `n` of `A`.
     pub n: usize,

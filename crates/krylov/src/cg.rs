@@ -4,29 +4,34 @@
 //! ("a SIMD variant of CG where the indices are assigned to threads in a
 //! round-robin manner", Section 9): each right-hand side carries its own
 //! scalar recurrences but all share the sparse matrix traversal.
+//!
+//! [`cg_solve`] is generic over [`LinearOperator`] — including unsized
+//! operators, so `&dyn LinearOperator` works — and routes stopping and
+//! recording through the shared [`asyrgs_core::driver`].
 
-use asyrgs_core::report::{SolveReport, SweepRecord};
+use asyrgs_core::driver::{
+    check_square_block_system, check_square_system, Driver, Recording, Solver, Termination,
+};
+use asyrgs_core::report::SolveReport;
 use asyrgs_sparse::dense::{self, RowMajorMat};
-use asyrgs_sparse::CsrMatrix;
-use std::time::Instant;
+use asyrgs_sparse::{CsrMatrix, LinearOperator, RowAccess};
 
 /// Options for the CG solvers.
 #[derive(Debug, Clone)]
 pub struct CgOptions {
-    /// Iteration cap.
-    pub max_iters: usize,
-    /// Relative residual target `||r|| / ||b||`.
-    pub tol: f64,
-    /// Record the residual every `record_every` iterations (0 = end only).
-    pub record_every: usize,
+    /// When to stop: `max_sweeps` is the iteration cap and
+    /// `target_rel_residual` the convergence tolerance `||r|| / ||b||`
+    /// (checked every iteration against the recurrence residual).
+    pub term: Termination,
+    /// Residual-recording cadence.
+    pub record: Recording,
 }
 
 impl Default for CgOptions {
     fn default() -> Self {
         CgOptions {
-            max_iters: 1000,
-            tol: 1e-10,
-            record_every: 1,
+            term: Termination::sweeps(1000).with_target(1e-10),
+            record: Recording::every(1),
         }
     }
 }
@@ -34,77 +39,110 @@ impl Default for CgOptions {
 /// Solve `A x = b` (SPD `A`) by conjugate gradients.
 ///
 /// `x` holds the initial guess on entry and the solution on exit.
-pub fn cg_solve(a: &CsrMatrix, b: &[f64], x: &mut [f64], opts: &CgOptions) -> SolveReport {
+///
+/// # Panics
+/// Panics if `A` is not square or `b`/`x` have mismatched lengths.
+pub fn cg_solve<O: LinearOperator + ?Sized>(
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &CgOptions,
+) -> SolveReport {
+    check_square_system("cg_solve", a.n_rows(), a.n_cols(), b.len(), x.len());
     let n = a.n_rows();
-    assert!(a.is_square(), "CG needs a square matrix");
-    assert_eq!(b.len(), n);
-    assert_eq!(x.len(), n);
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
 
-    let start = Instant::now();
-    let mut report = SolveReport::empty();
+    let mut driver = Driver::new(&opts.term, opts.record);
     let mut r = a.residual(b, x);
     let mut p = r.clone();
     let mut ap = vec![0.0; n];
     let mut rr = dense::norm2_sq(&r);
-    let mut converged = rr.sqrt() / norm_b <= opts.tol;
 
     let mut it = 0usize;
-    while !converged && it < opts.max_iters {
-        it += 1;
-        a.matvec_into(&p, &mut ap);
-        let pap = dense::dot(&p, &ap);
-        if pap <= 0.0 {
-            // Matrix not positive definite along p; stop defensively.
-            break;
-        }
-        let alpha = rr / pap;
-        dense::axpy(alpha, &p, x);
-        dense::axpy(-alpha, &ap, &mut r);
-        let rr_new = dense::norm2_sq(&r);
-        let beta = rr_new / rr;
-        rr = rr_new;
-        dense::xpby(&r, beta, &mut p);
+    let initially_converged = opts
+        .term
+        .target_rel_residual
+        .is_some_and(|t| rr.sqrt() / norm_b <= t);
+    if !initially_converged {
+        while it < driver.max_sweeps() {
+            it += 1;
+            a.matvec_into(&p, &mut ap);
+            let pap = dense::dot(&p, &ap);
+            if pap <= 0.0 {
+                // Matrix not positive definite along p; stop defensively.
+                break;
+            }
+            let alpha = rr / pap;
+            dense::axpy(alpha, &p, x);
+            dense::axpy(-alpha, &ap, &mut r);
+            let rr_new = dense::norm2_sq(&r);
+            let beta = rr_new / rr;
+            rr = rr_new;
+            dense::xpby(&r, beta, &mut p);
 
-        let rel = rr.sqrt() / norm_b;
-        if (opts.record_every != 0 && it % opts.record_every == 0) || rel <= opts.tol {
-            report.records.push(SweepRecord {
-                sweep: it,
-                iterations: it as u64,
-                rel_residual: rel,
-                rel_error_anorm: None,
-            });
+            if driver.observe(it, it as u64, rr.sqrt() / norm_b, None) {
+                break;
+            }
         }
-        converged = rel <= opts.tol;
     }
 
-    report.iterations = it as u64;
-    report.final_rel_residual = dense::norm2(&a.residual(b, x)) / norm_b;
-    report.wall_seconds = start.elapsed().as_secs_f64();
-    report.threads = 1;
-    report.converged_early = converged;
+    let mut report = driver.finish_computed(it as u64, 1, dense::norm2(&a.residual(b, x)) / norm_b);
+    report.converged_early |= initially_converged;
     report
+}
+
+impl Solver for CgOptions {
+    fn name(&self) -> &'static str {
+        "cg"
+    }
+
+    fn solve<O: RowAccess + Sync>(
+        &self,
+        a: &O,
+        b: &[f64],
+        x: &mut [f64],
+        _x_star: Option<&[f64]>,
+    ) -> SolveReport {
+        cg_solve(a, b, x, self)
+    }
 }
 
 /// Multi-RHS lockstep CG: solves `A X = B` with per-column scalar
 /// recurrences, one shared SpMM per iteration. Columns that have converged
-/// are frozen. Residuals are recorded as Frobenius-relative.
+/// are frozen (per-column tolerance: the termination's
+/// `target_rel_residual`, or exact-zero if none). Residuals are recorded
+/// as Frobenius-relative.
+///
+/// # Panics
+/// Panics if `A` is not square or the blocks do not conform.
 pub fn cg_solve_block(
     a: &CsrMatrix,
     b: &RowMajorMat,
     x: &mut RowMajorMat,
     opts: &CgOptions,
 ) -> SolveReport {
+    check_square_block_system(
+        "cg_solve_block",
+        a.n_rows(),
+        a.n_cols(),
+        b.n_rows(),
+        b.n_cols(),
+        x.n_rows(),
+        x.n_cols(),
+    );
     let n = a.n_rows();
-    assert!(a.is_square(), "CG needs a square matrix");
-    assert_eq!(b.n_rows(), n);
-    assert_eq!(x.n_rows(), n);
-    assert_eq!(b.n_cols(), x.n_cols());
     let k = b.n_cols();
     let norm_b = b.frobenius_norm().max(f64::MIN_POSITIVE);
+    let tol = opts.term.target_rel_residual.unwrap_or(0.0);
+    // Per-column freezing is the block solver's own convergence rule; keep
+    // the driver's target unset so it does not early-stop on the Frobenius
+    // aggregate.
+    let term = Termination {
+        target_rel_residual: None,
+        ..opts.term.clone()
+    };
 
-    let start = Instant::now();
-    let mut report = SolveReport::empty();
+    let mut driver = Driver::new(&term, opts.record);
 
     // R = B - A X
     let mut r = a.residual_block(b, x);
@@ -122,11 +160,11 @@ pub fn cg_solve_block(
     let mut active: Vec<bool> = rr
         .iter()
         .zip(&col_norm_b)
-        .map(|(&rr_t, &nb)| rr_t.sqrt() / nb > opts.tol)
+        .map(|(&rr_t, &nb)| rr_t.sqrt() / nb > tol)
         .collect();
 
     let mut it = 0usize;
-    while active.iter().any(|&a| a) && it < opts.max_iters {
+    while active.iter().any(|&a| a) && it < driver.max_sweeps() {
         it += 1;
         a.spmm_into(&p, &mut ap);
         // Per-column alpha = rr_t / (p_t, Ap_t).
@@ -176,29 +214,31 @@ pub fn cg_solve_block(
         for t in 0..k {
             if active[t] {
                 rr[t] = rr_new[t];
-                if rr[t].sqrt() / col_norm_b[t] <= opts.tol {
+                if rr[t].sqrt() / col_norm_b[t] <= tol {
                     active[t] = false;
                 }
             }
         }
 
-        if (opts.record_every != 0 && it % opts.record_every == 0) || !active.iter().any(|&a| a)
-        {
-            let frob: f64 = rr_new.iter().sum::<f64>().sqrt();
-            report.records.push(SweepRecord {
-                sweep: it,
-                iterations: it as u64,
-                rel_residual: frob / norm_b,
-                rel_error_anorm: None,
-            });
+        let frob = rr_new.iter().sum::<f64>().sqrt() / norm_b;
+        if !active.iter().any(|&a| a) {
+            // The last active column froze: record the convergence point
+            // even off-cadence, as the trace's terminal entry.
+            driver.record_now(it, it as u64, frob, None);
+            break;
+        }
+        if driver.observe(it, it as u64, frob, None) {
+            break;
         }
     }
 
-    report.iterations = it as u64;
-    report.final_rel_residual = a.residual_block(b, x).frobenius_norm() / norm_b;
-    report.wall_seconds = start.elapsed().as_secs_f64();
-    report.threads = 1;
-    report.converged_early = !active.iter().any(|&a| a);
+    let all_frozen = !active.iter().any(|&a| a);
+    let mut report = driver.finish_computed(
+        it as u64,
+        1,
+        a.residual_block(b, x).frobenius_norm() / norm_b,
+    );
+    report.converged_early = all_frozen;
     report
 }
 
@@ -242,6 +282,24 @@ mod tests {
         let rep = cg_solve(&a, &b, &mut x, &CgOptions::default());
         let series = rep.residual_series();
         assert!(series.last().unwrap().1 < series[0].1 * 1e-6);
+    }
+
+    #[test]
+    fn cg_through_dyn_operator_matches_concrete() {
+        // The acceptance property of the operator layer: the exact same
+        // residual trace whether dispatch is static or through &dyn.
+        let a = laplace2d(9, 9);
+        let n = a.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let opts = CgOptions::default();
+        let mut x1 = vec![0.0; n];
+        let rep1 = cg_solve(&a, &b, &mut x1, &opts);
+        let dyn_a: &dyn LinearOperator = &a;
+        let mut x2 = vec![0.0; n];
+        let rep2 = cg_solve(dyn_a, &b, &mut x2, &opts);
+        assert_eq!(x1, x2);
+        assert_eq!(rep1.residual_series(), rep2.residual_series());
+        assert_eq!(rep1.final_rel_residual, rep2.final_rel_residual);
     }
 
     #[test]
@@ -300,15 +358,52 @@ mod tests {
     }
 
     #[test]
+    fn block_cg_records_convergence_even_at_end_only_cadence() {
+        let a = laplace2d(6, 6);
+        let n = a.n_rows();
+        let mut b_blk = RowMajorMat::zeros(n, 2);
+        b_blk.set_col(0, &vec![1.0; n]);
+        b_blk.set_col(1, &(0..n).map(|i| i as f64 * 0.1).collect::<Vec<_>>());
+        let mut x_blk = RowMajorMat::zeros(n, 2);
+        let rep = cg_solve_block(
+            &a,
+            &b_blk,
+            &mut x_blk,
+            &CgOptions {
+                record: Recording::end_only(),
+                ..Default::default()
+            },
+        );
+        assert!(rep.converged_early);
+        // The convergence iteration must appear in the trace.
+        assert_eq!(rep.records.len(), 1);
+        assert_eq!(rep.records[0].sweep, rep.iterations as usize);
+    }
+
+    #[test]
     fn respects_max_iters() {
         let a = laplace2d(12, 12);
         let b = vec![1.0; 144];
         let mut x = vec![0.0; 144];
-        let rep = cg_solve(&a, &b, &mut x, &CgOptions {
-            max_iters: 3,
-            ..Default::default()
-        });
+        let rep = cg_solve(
+            &a,
+            &b,
+            &mut x,
+            &CgOptions {
+                term: Termination::sweeps(3).with_target(1e-10),
+                ..Default::default()
+            },
+        );
         assert_eq!(rep.iterations, 3);
         assert!(!rep.converged_early);
+    }
+
+    #[test]
+    #[should_panic(expected = "cg_solve: right-hand side b has length 7")]
+    fn rejects_mismatched_rhs() {
+        let a = laplace2d(3, 3);
+        let b = vec![1.0; 7];
+        let mut x = vec![0.0; 9];
+        cg_solve(&a, &b, &mut x, &CgOptions::default());
     }
 }

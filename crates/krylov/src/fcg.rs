@@ -17,23 +17,25 @@
 //!
 //! This is FCG(1) — flexible CG with one direction retained — which is
 //! Notay's method without truncation/restarts.
+//!
+//! [`fcg_solve`] is generic over [`LinearOperator`] (including `&dyn`) and
+//! routes stopping and recording through the shared [`asyrgs_core::driver`].
 
 use crate::precond::Preconditioner;
-use asyrgs_core::report::{SolveReport, SweepRecord};
+use asyrgs_core::driver::{check_square_system, Driver, Recording, Termination};
+use asyrgs_core::report::SolveReport;
 use asyrgs_sparse::dense;
-use asyrgs_sparse::CsrMatrix;
-use std::time::Instant;
+use asyrgs_sparse::{CsrMatrix, LinearOperator};
 
 /// Options for Flexible-CG.
 #[derive(Debug, Clone)]
 pub struct FcgOptions {
-    /// Outer iteration cap.
-    pub max_iters: usize,
-    /// Relative residual target (the paper uses `1e-8`).
-    pub tol: f64,
-    /// Record the residual every `record_every` outer iterations (0 = end
-    /// only). The paper computes the norm after *every* iteration.
-    pub record_every: usize,
+    /// When to stop: `max_sweeps` caps the outer iterations and
+    /// `target_rel_residual` is the tolerance (the paper uses `1e-8`,
+    /// computing the norm after *every* iteration).
+    pub term: Termination,
+    /// Residual-recording cadence.
+    pub record: Recording,
     /// Truncation depth: A-orthogonalize the new direction against this
     /// many previous directions. `1` reproduces the paper's configuration
     /// ("we do not use truncation or restarts" — i.e. plain FCG(1));
@@ -48,9 +50,8 @@ pub struct FcgOptions {
 impl Default for FcgOptions {
     fn default() -> Self {
         FcgOptions {
-            max_iters: 2000,
-            tol: 1e-8,
-            record_every: 1,
+            term: Termination::sweeps(2000).with_target(1e-8),
+            record: Recording::every(1),
             truncate: 1,
             restart_every: None,
         }
@@ -59,23 +60,23 @@ impl Default for FcgOptions {
 
 /// Solve `A x = b` by Flexible-CG with the given (possibly variable)
 /// preconditioner.
-pub fn fcg_solve<M: Preconditioner>(
-    a: &CsrMatrix,
+///
+/// # Panics
+/// Panics if `A` is not square, `b`/`x` have mismatched lengths, or the
+/// truncation depth is zero.
+pub fn fcg_solve<O: LinearOperator + ?Sized, M: Preconditioner>(
+    a: &O,
     b: &[f64],
     x: &mut [f64],
     m: &M,
     opts: &FcgOptions,
 ) -> SolveReport {
+    check_square_system("fcg_solve", a.n_rows(), a.n_cols(), b.len(), x.len());
+    assert!(opts.truncate >= 1, "truncation depth must be at least 1");
     let n = a.n_rows();
-    assert!(a.is_square(), "FCG needs a square matrix");
-    assert_eq!(b.len(), n);
-    assert_eq!(x.len(), n);
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
 
-    let start = Instant::now();
-    let mut report = SolveReport::empty();
-
-    assert!(opts.truncate >= 1, "truncation depth must be at least 1");
+    let mut driver = Driver::new(&opts.term, opts.record);
     let mut r = a.residual(b, x);
     let mut z = vec![0.0; n];
     let mut p = vec![0.0; n];
@@ -84,68 +85,61 @@ pub fn fcg_solve<M: Preconditioner>(
     let mut history: std::collections::VecDeque<(Vec<f64>, Vec<f64>, f64)> =
         std::collections::VecDeque::with_capacity(opts.truncate);
 
-    let mut rel = dense::norm2(&r) / norm_b;
-    let mut converged = rel <= opts.tol;
     let mut it = 0usize;
-
-    while !converged && it < opts.max_iters {
-        it += 1;
-        if let Some(re) = opts.restart_every {
-            if it % re.max(1) == 0 {
-                history.clear();
-            }
-        }
-        m.apply(&r, &mut z);
-        // A-orthogonalize against the retained directions:
-        // p = z - sum_h (z, A p_h)/(p_h, A p_h) p_h.
-        p.copy_from_slice(&z);
-        for (ph, aph, paph) in history.iter() {
-            if *paph > 0.0 {
-                let beta = dense::dot(&z, aph) / paph;
-                for i in 0..n {
-                    p[i] -= beta * ph[i];
+    let initially_converged = opts
+        .term
+        .target_rel_residual
+        .is_some_and(|t| dense::norm2(&r) / norm_b <= t);
+    if !initially_converged {
+        while it < driver.max_sweeps() {
+            it += 1;
+            if let Some(re) = opts.restart_every {
+                if it.is_multiple_of(re.max(1)) {
+                    history.clear();
                 }
             }
-        }
-        a.matvec_into(&p, &mut ap);
-        let mut pap = dense::dot(&p, &ap);
-        if pap <= 0.0 {
-            // Preconditioned direction lost positive curvature (can happen
-            // with a very rough stochastic preconditioner): fall back to the
-            // raw residual direction for this step.
-            p.copy_from_slice(&r);
+            m.apply(&r, &mut z);
+            // A-orthogonalize against the retained directions:
+            // p = z - sum_h (z, A p_h)/(p_h, A p_h) p_h.
+            p.copy_from_slice(&z);
+            for (ph, aph, paph) in history.iter() {
+                if *paph > 0.0 {
+                    let beta = dense::dot(&z, aph) / paph;
+                    for i in 0..n {
+                        p[i] -= beta * ph[i];
+                    }
+                }
+            }
             a.matvec_into(&p, &mut ap);
-            pap = dense::dot(&p, &ap);
+            let mut pap = dense::dot(&p, &ap);
             if pap <= 0.0 {
+                // Preconditioned direction lost positive curvature (can
+                // happen with a very rough stochastic preconditioner): fall
+                // back to the raw residual direction for this step.
+                p.copy_from_slice(&r);
+                a.matvec_into(&p, &mut ap);
+                pap = dense::dot(&p, &ap);
+                if pap <= 0.0 {
+                    break;
+                }
+            }
+            let alpha = dense::dot(&p, &r) / pap;
+            dense::axpy(alpha, &p, x);
+            dense::axpy(-alpha, &ap, &mut r);
+
+            if history.len() == opts.truncate {
+                history.pop_front();
+            }
+            history.push_back((p.clone(), ap.clone(), pap));
+
+            if driver.observe(it, it as u64, dense::norm2(&r) / norm_b, None) {
                 break;
             }
         }
-        let alpha = dense::dot(&p, &r) / pap;
-        dense::axpy(alpha, &p, x);
-        dense::axpy(-alpha, &ap, &mut r);
-
-        if history.len() == opts.truncate {
-            history.pop_front();
-        }
-        history.push_back((p.clone(), ap.clone(), pap));
-
-        rel = dense::norm2(&r) / norm_b;
-        converged = rel <= opts.tol;
-        if (opts.record_every != 0 && it % opts.record_every == 0) || converged {
-            report.records.push(SweepRecord {
-                sweep: it,
-                iterations: it as u64,
-                rel_residual: rel,
-                rel_error_anorm: None,
-            });
-        }
     }
 
-    report.iterations = it as u64;
-    report.final_rel_residual = dense::norm2(&a.residual(b, x)) / norm_b;
-    report.wall_seconds = start.elapsed().as_secs_f64();
-    report.threads = 1;
-    report.converged_early = converged;
+    let mut report = driver.finish_computed(it as u64, 1, dense::norm2(&a.residual(b, x)) / norm_b);
+    report.converged_early |= initially_converged;
     report
 }
 
@@ -211,15 +205,25 @@ mod tests {
         let mut x_fcg = vec![0.0; n];
         let rep_fcg = fcg_solve(&a, &b, &mut x_fcg, &IdentityPrecond, &FcgOptions::default());
         let mut x_cg = vec![0.0; n];
-        let rep_cg = cg_solve(&a, &b, &mut x_cg, &CgOptions {
-            tol: 1e-8,
-            ..Default::default()
-        });
+        let rep_cg = cg_solve(
+            &a,
+            &b,
+            &mut x_cg,
+            &CgOptions {
+                term: Termination::sweeps(1000).with_target(1e-8),
+                ..Default::default()
+            },
+        );
         assert!(rep_fcg.converged_early);
         // FCG(1) with the identity preconditioner is mathematically CG;
         // iteration counts match up to roundoff effects.
         let diff = rep_fcg.iterations as i64 - rep_cg.iterations as i64;
-        assert!(diff.abs() <= 3, "fcg {} vs cg {}", rep_fcg.iterations, rep_cg.iterations);
+        assert!(
+            diff.abs() <= 3,
+            "fcg {} vs cg {}",
+            rep_fcg.iterations,
+            rep_cg.iterations
+        );
     }
 
     #[test]
@@ -238,7 +242,13 @@ mod tests {
         let (a, b, _) = problem(14);
         let n = a.n_rows();
         let mut x_plain = vec![0.0; n];
-        let plain = fcg_solve(&a, &b, &mut x_plain, &IdentityPrecond, &FcgOptions::default());
+        let plain = fcg_solve(
+            &a,
+            &b,
+            &mut x_plain,
+            &IdentityPrecond,
+            &FcgOptions::default(),
+        );
         let pre = RgsPrecond::new(&a, 10, 1.0, 5);
         let mut x_pre = vec![0.0; n];
         let with_pre = fcg_solve(&a, &b, &mut x_pre, &pre, &FcgOptions::default());
@@ -258,11 +268,31 @@ mod tests {
         let pre = AsyRgsPrecond::new(&a, 5, 2, 1.0, 11);
         let mut x = vec![0.0; n];
         let rep = fcg_solve(&a, &b, &mut x, &pre, &FcgOptions::default());
-        assert!(rep.converged_early, "no convergence: {}", rep.final_rel_residual);
+        assert!(
+            rep.converged_early,
+            "no convergence: {}",
+            rep.final_rel_residual
+        );
         assert!(rep.final_rel_residual < 1e-7);
         for (g, w) in x.iter().zip(&x_star) {
             assert!((g - w).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn fcg_generic_over_dyn_operator() {
+        let (a, b, _) = problem(8);
+        let n = a.n_rows();
+        let dyn_a: &dyn LinearOperator = &a;
+        let mut x = vec![0.0; n];
+        let rep = fcg_solve(
+            dyn_a,
+            &b,
+            &mut x,
+            &JacobiPrecond::new(&a),
+            &FcgOptions::default(),
+        );
+        assert!(rep.converged_early);
     }
 
     #[test]
@@ -301,10 +331,16 @@ mod tests {
         let f1 = fcg_solve(&a, &b, &mut x1, &pre, &FcgOptions::default());
         let pre2 = RgsPrecond::new(&a, 3, 1.0, 7);
         let mut x2 = vec![0.0; n];
-        let f2 = fcg_solve(&a, &b, &mut x2, &pre2, &FcgOptions {
-            truncate: 3,
-            ..Default::default()
-        });
+        let f2 = fcg_solve(
+            &a,
+            &b,
+            &mut x2,
+            &pre2,
+            &FcgOptions {
+                truncate: 3,
+                ..Default::default()
+            },
+        );
         assert!(f1.converged_early && f2.converged_early);
         // Deeper orthogonalization should not need substantially more
         // iterations (usually fewer or equal).
@@ -322,10 +358,16 @@ mod tests {
         let n = a.n_rows();
         let pre = JacobiPrecond::new(&a);
         let mut x = vec![0.0; n];
-        let rep = fcg_solve(&a, &b, &mut x, &pre, &FcgOptions {
-            restart_every: Some(10),
-            ..Default::default()
-        });
+        let rep = fcg_solve(
+            &a,
+            &b,
+            &mut x,
+            &pre,
+            &FcgOptions {
+                restart_every: Some(10),
+                ..Default::default()
+            },
+        );
         assert!(rep.converged_early);
         assert!(rep.final_rel_residual < 1e-7);
     }
@@ -335,10 +377,16 @@ mod tests {
     fn rejects_zero_truncation() {
         let (a, b, _) = problem(4);
         let mut x = vec![0.0; a.n_rows()];
-        fcg_solve(&a, &b, &mut x, &IdentityPrecond, &FcgOptions {
-            truncate: 0,
-            ..Default::default()
-        });
+        fcg_solve(
+            &a,
+            &b,
+            &mut x,
+            &IdentityPrecond,
+            &FcgOptions {
+                truncate: 0,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
@@ -346,11 +394,25 @@ mod tests {
         let (a, b, _) = problem(16);
         let n = a.n_rows();
         let mut x = vec![0.0; n];
-        let rep = fcg_solve(&a, &b, &mut x, &IdentityPrecond, &FcgOptions {
-            max_iters: 2,
-            ..Default::default()
-        });
+        let rep = fcg_solve(
+            &a,
+            &b,
+            &mut x,
+            &IdentityPrecond,
+            &FcgOptions {
+                term: Termination::sweeps(2).with_target(1e-8),
+                ..Default::default()
+            },
+        );
         assert_eq!(rep.iterations, 2);
         assert!(!rep.converged_early);
+    }
+
+    #[test]
+    #[should_panic(expected = "fcg_solve: solution vector x has length 5")]
+    fn rejects_mismatched_x() {
+        let (a, b, _) = problem(4);
+        let mut x = vec![0.0; 5];
+        fcg_solve(&a, &b, &mut x, &IdentityPrecond, &FcgOptions::default());
     }
 }

@@ -6,10 +6,16 @@
 //! thread interleaving change between applications. That is exactly why the
 //! outer Krylov method must be *flexible* (Notay's Flexible-CG, see
 //! [`crate::fcg`]).
+//!
+//! The matrix-backed preconditioners are generic over the operator traits:
+//! [`JacobiPrecond`] builds from any [`LinearOperator`]'s diagonal, and the
+//! (Asy)RGS preconditioners wrap any [`RowAccess`] operator (defaulting to
+//! [`CsrMatrix`]).
 
 use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions};
+use asyrgs_core::driver::{Recording, Termination};
 use asyrgs_core::rgs::{rgs_solve, RgsOptions};
-use asyrgs_sparse::CsrMatrix;
+use asyrgs_sparse::{CsrMatrix, LinearOperator, RowAccess};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An approximate inverse applied to residuals.
@@ -41,8 +47,8 @@ pub struct JacobiPrecond {
 }
 
 impl JacobiPrecond {
-    /// Build from the matrix diagonal. Panics on non-positive entries.
-    pub fn new(a: &CsrMatrix) -> Self {
+    /// Build from the operator's diagonal. Panics on non-positive entries.
+    pub fn new<O: LinearOperator + ?Sized>(a: &O) -> Self {
         let dinv = a
             .diag()
             .iter()
@@ -68,8 +74,8 @@ impl Preconditioner for JacobiPrecond {
 /// Sequential Randomized Gauss-Seidel preconditioner: `inner_sweeps` sweeps
 /// of RGS on `A z = r` from `z = 0`. Variable (randomized), so use with a
 /// flexible outer method.
-pub struct RgsPrecond<'a> {
-    a: &'a CsrMatrix,
+pub struct RgsPrecond<'a, O: RowAccess = CsrMatrix> {
+    a: &'a O,
     /// Sweeps per application.
     pub inner_sweeps: usize,
     /// Step size.
@@ -78,9 +84,9 @@ pub struct RgsPrecond<'a> {
     counter: AtomicU64,
 }
 
-impl<'a> RgsPrecond<'a> {
+impl<'a, O: RowAccess> RgsPrecond<'a, O> {
     /// New preconditioner over `a`.
-    pub fn new(a: &'a CsrMatrix, inner_sweeps: usize, beta: f64, seed: u64) -> Self {
+    pub fn new(a: &'a O, inner_sweeps: usize, beta: f64, seed: u64) -> Self {
         RgsPrecond {
             a,
             inner_sweeps,
@@ -91,7 +97,7 @@ impl<'a> RgsPrecond<'a> {
     }
 }
 
-impl Preconditioner for RgsPrecond<'_> {
+impl<O: RowAccess> Preconditioner for RgsPrecond<'_, O> {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         z.fill(0.0);
         // A fresh direction substream per application.
@@ -103,9 +109,9 @@ impl Preconditioner for RgsPrecond<'_> {
             None,
             &RgsOptions {
                 beta: self.beta,
-                sweeps: self.inner_sweeps,
                 seed: self.seed.wrapping_add(app.wrapping_mul(0x9E37_79B9)),
-                record_every: 0,
+                term: Termination::sweeps(self.inner_sweeps),
+                record: Recording::end_only(),
                 ..Default::default()
             },
         );
@@ -119,8 +125,8 @@ impl Preconditioner for RgsPrecond<'_> {
 /// AsyRGS preconditioner (paper Section 9, Table 1 / Figure 3):
 /// `inner_sweeps` sweeps of asynchronous Randomized Gauss-Seidel on
 /// `A z = r` from `z = 0`, on `threads` threads.
-pub struct AsyRgsPrecond<'a> {
-    a: &'a CsrMatrix,
+pub struct AsyRgsPrecond<'a, O: RowAccess + Sync = CsrMatrix> {
+    a: &'a O,
     /// Sweeps per application ("inner sweeps" in Table 1).
     pub inner_sweeps: usize,
     /// Worker threads.
@@ -131,9 +137,9 @@ pub struct AsyRgsPrecond<'a> {
     counter: AtomicU64,
 }
 
-impl<'a> AsyRgsPrecond<'a> {
+impl<'a, O: RowAccess + Sync> AsyRgsPrecond<'a, O> {
     /// New preconditioner over `a`.
-    pub fn new(a: &'a CsrMatrix, inner_sweeps: usize, threads: usize, beta: f64, seed: u64) -> Self {
+    pub fn new(a: &'a O, inner_sweeps: usize, threads: usize, beta: f64, seed: u64) -> Self {
         AsyRgsPrecond {
             a,
             inner_sweeps,
@@ -150,7 +156,7 @@ impl<'a> AsyRgsPrecond<'a> {
     }
 }
 
-impl Preconditioner for AsyRgsPrecond<'_> {
+impl<O: RowAccess + Sync> Preconditioner for AsyRgsPrecond<'_, O> {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         z.fill(0.0);
         let app = self.counter.fetch_add(1, Ordering::Relaxed);
@@ -161,9 +167,10 @@ impl Preconditioner for AsyRgsPrecond<'_> {
             None,
             &AsyRgsOptions {
                 beta: self.beta,
-                sweeps: self.inner_sweeps,
                 threads: self.threads,
                 seed: self.seed.wrapping_add(app.wrapping_mul(0x9E37_79B9)),
+                term: Termination::sweeps(self.inner_sweeps),
+                record: Recording::end_only(),
                 ..Default::default()
             },
         );

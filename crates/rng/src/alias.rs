@@ -27,7 +27,10 @@ impl AliasTable {
         assert!(n > 0, "AliasTable: empty weights");
         let mut total = 0.0f64;
         for (i, &w) in weights.iter().enumerate() {
-            assert!(w.is_finite() && w >= 0.0, "AliasTable: bad weight {w} at {i}");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "AliasTable: bad weight {w} at {i}"
+            );
             total += w;
         }
         assert!(total > 0.0, "AliasTable: all weights zero");

@@ -29,46 +29,81 @@ pub use splitmix::SplitMix64;
 pub use xoshiro::{Xoshiro256pp, ZipfSampler};
 
 #[cfg(test)]
-mod proptests {
+mod property_tests {
+    //! Deterministic property tests over a fixed fan of seeds/cases (no
+    //! third-party property-test framework in the container).
+
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn philox_is_a_bijection_on_counters(c1 in any::<[u32; 4]>(), c2 in any::<[u32; 4]>()) {
-            // Distinct counters must give distinct blocks (Philox is a
-            // bijection for a fixed key).
-            let g = Philox4x32::from_seed(0xDEAD_BEEF);
-            prop_assume!(c1 != c2);
-            prop_assert_ne!(g.block(c1), g.block(c2));
+    #[test]
+    fn philox_is_a_bijection_on_counters() {
+        // Distinct counters must give distinct blocks (Philox is a
+        // bijection for a fixed key).
+        let g = Philox4x32::from_seed(0xDEAD_BEEF);
+        let mut gen = SplitMix64::new(42);
+        for _ in 0..256 {
+            let c1 = [
+                gen.next_u64() as u32,
+                gen.next_u64() as u32,
+                gen.next_u64() as u32,
+                gen.next_u64() as u32,
+            ];
+            let c2 = [
+                gen.next_u64() as u32,
+                gen.next_u64() as u32,
+                gen.next_u64() as u32,
+                gen.next_u64() as u32,
+            ];
+            if c1 != c2 {
+                assert_ne!(g.block(c1), g.block(c2));
+            }
         }
+    }
 
-        #[test]
-        fn philox_index_in_range(i in any::<u64>(), n in 1usize..1_000_000) {
-            let g = Philox4x32::from_seed(1);
-            prop_assert!(g.index_at(i, n) < n);
+    #[test]
+    fn philox_index_in_range() {
+        let g = Philox4x32::from_seed(1);
+        let mut gen = SplitMix64::new(7);
+        for _ in 0..512 {
+            let i = gen.next_u64();
+            let n = 1 + (gen.next_u64() % 1_000_000) as usize;
+            assert!(g.index_at(i, n) < n);
         }
+    }
 
-        #[test]
-        fn splitmix_index_in_range(seed in any::<u64>(), n in 1usize..1000) {
-            let mut g = SplitMix64::new(seed);
-            prop_assert!(g.next_index(n) < n);
+    #[test]
+    fn splitmix_index_in_range() {
+        for seed in 0..64u64 {
+            let mut g = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9));
+            for n in 1..64usize {
+                assert!(g.next_index(n) < n);
+            }
         }
+    }
 
-        #[test]
-        fn u64_to_f64_unit_interval(x in any::<u64>()) {
-            let v = util::u64_to_f64(x);
-            prop_assert!((0.0..1.0).contains(&v));
+    #[test]
+    fn u64_to_f64_unit_interval() {
+        let mut gen = SplitMix64::new(11);
+        for x in [0u64, 1, u64::MAX, u64::MAX - 1] {
+            assert!((0.0..1.0).contains(&util::u64_to_f64(x)));
         }
+        for _ in 0..512 {
+            let v = util::u64_to_f64(gen.next_u64());
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
 
-        #[test]
-        fn xoshiro_shuffle_permutes(seed in any::<u64>(), len in 0usize..50) {
-            let mut g = Xoshiro256pp::new(seed);
-            let mut xs: Vec<usize> = (0..len).collect();
-            g.shuffle(&mut xs);
-            let mut sorted = xs.clone();
-            sorted.sort_unstable();
-            prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    #[test]
+    fn xoshiro_shuffle_permutes() {
+        for seed in 0..32u64 {
+            for len in [0usize, 1, 2, 7, 49] {
+                let mut g = Xoshiro256pp::new(seed);
+                let mut xs: Vec<usize> = (0..len).collect();
+                g.shuffle(&mut xs);
+                let mut sorted = xs.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+            }
         }
     }
 }

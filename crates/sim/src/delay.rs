@@ -18,10 +18,9 @@
 
 use asyrgs_rng::{DirectionStream, SplitMix64};
 use asyrgs_sparse::CsrMatrix;
-use serde::{Deserialize, Serialize};
 
 /// Which read model governs the simulated iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReadModel {
     /// Iteration (8): the entries read form a past iterate `x_{k(j)}`.
     Consistent,
@@ -31,7 +30,7 @@ pub enum ReadModel {
 }
 
 /// How the delays are generated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DelayPolicy {
     /// No delay: `k(j) = j` — the synchronous iteration.
     None,
@@ -49,7 +48,7 @@ pub enum DelayPolicy {
 }
 
 /// Options for a delay-model run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DelaySimOptions {
     /// Step size `beta`.
     pub beta: f64,
@@ -85,7 +84,7 @@ impl Default for DelaySimOptions {
 }
 
 /// The recorded trajectory of one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DelayTrace {
     /// `(iteration, ||x - x*||_A^2)` samples; always includes iteration 0
     /// and the final iteration.
@@ -291,12 +290,6 @@ mod tests {
         };
         let trace = simulate_delay(&a, &b, &x0, &x_star, &opts);
         let mut x_seq = x0.clone();
-        let rep_opts = asyrgs_core::RgsOptions {
-            sweeps: 500 / a.n_rows() + 1,
-            record_every: 0,
-            seed: opts.direction_seed,
-            ..Default::default()
-        };
         // Run exactly 500 iterations manually with the same stream.
         let ds = DirectionStream::new(opts.direction_seed, a.n_rows());
         for j in 0..500u64 {
@@ -307,31 +300,42 @@ mod tests {
         for (s, t) in x_seq.iter().zip(&trace.x) {
             assert!((s - t).abs() < 1e-13, "{s} vs {t}");
         }
-        let _ = rep_opts;
     }
 
     #[test]
     fn error_decreases_with_no_delay() {
         let (a, b, x0, x_star) = problem(6);
-        let trace = simulate_delay(&a, &b, &x0, &x_star, &DelaySimOptions {
-            iterations: 20_000,
-            policy: DelayPolicy::None,
-            record_every: 5_000,
-            ..Default::default()
-        });
+        let trace = simulate_delay(
+            &a,
+            &b,
+            &x0,
+            &x_star,
+            &DelaySimOptions {
+                iterations: 20_000,
+                policy: DelayPolicy::None,
+                record_every: 5_000,
+                ..Default::default()
+            },
+        );
         assert!(trace.final_error() < 1e-6 * trace.initial_error());
     }
 
     #[test]
     fn max_delay_consistent_still_converges_for_small_tau() {
         let (a, b, x0, x_star) = problem(6);
-        let trace = simulate_delay(&a, &b, &x0, &x_star, &DelaySimOptions {
-            iterations: 30_000,
-            tau: 8,
-            policy: DelayPolicy::Max,
-            read_model: ReadModel::Consistent,
-            ..Default::default()
-        });
+        let trace = simulate_delay(
+            &a,
+            &b,
+            &x0,
+            &x_star,
+            &DelaySimOptions {
+                iterations: 30_000,
+                tau: 8,
+                policy: DelayPolicy::Max,
+                read_model: ReadModel::Consistent,
+                ..Default::default()
+            },
+        );
         assert!(
             trace.final_error() < 1e-4 * trace.initial_error(),
             "final {} initial {}",
@@ -343,14 +347,20 @@ mod tests {
     #[test]
     fn inconsistent_model_converges_with_damped_step() {
         let (a, b, x0, x_star) = problem(6);
-        let trace = simulate_delay(&a, &b, &x0, &x_star, &DelaySimOptions {
-            iterations: 40_000,
-            tau: 8,
-            beta: 0.7,
-            policy: DelayPolicy::Bernoulli(0.8),
-            read_model: ReadModel::Inconsistent,
-            ..Default::default()
-        });
+        let trace = simulate_delay(
+            &a,
+            &b,
+            &x0,
+            &x_star,
+            &DelaySimOptions {
+                iterations: 40_000,
+                tau: 8,
+                beta: 0.7,
+                policy: DelayPolicy::Bernoulli(0.8),
+                read_model: ReadModel::Inconsistent,
+                ..Default::default()
+            },
+        );
         assert!(trace.final_error() < 1e-3 * trace.initial_error());
     }
 
@@ -403,11 +413,17 @@ mod tests {
     #[test]
     fn record_grid_respected() {
         let (a, b, x0, x_star) = problem(4);
-        let trace = simulate_delay(&a, &b, &x0, &x_star, &DelaySimOptions {
-            iterations: 1000,
-            record_every: 250,
-            ..Default::default()
-        });
+        let trace = simulate_delay(
+            &a,
+            &b,
+            &x0,
+            &x_star,
+            &DelaySimOptions {
+                iterations: 1000,
+                record_every: 250,
+                ..Default::default()
+            },
+        );
         let iters: Vec<u64> = trace.errors.iter().map(|&(i, _)| i).collect();
         assert_eq!(iters, vec![0, 250, 500, 750, 1000]);
     }

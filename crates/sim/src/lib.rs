@@ -21,8 +21,7 @@ pub mod delay;
 pub mod machine;
 
 pub use delay::{
-    expected_error_trajectory, simulate_delay, DelayPolicy, DelaySimOptions, DelayTrace,
-    ReadModel,
+    expected_error_trajectory, simulate_delay, DelayPolicy, DelaySimOptions, DelayTrace, ReadModel,
 };
 pub use machine::{
     asyrgs_time_throughput, cg_time, fcg_asyrgs_time, simulate_asyrgs, MachineModel, MachineRun,

@@ -22,12 +22,11 @@
 
 use asyrgs_rng::DirectionStream;
 use asyrgs_sparse::CsrMatrix;
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Cost model of the virtual machine (times in arbitrary seconds).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MachineModel {
     /// Seconds per matrix non-zero processed.
     pub cost_per_nnz: f64,
@@ -67,7 +66,7 @@ impl MachineModel {
 }
 
 /// Result of an event-driven AsyRGS machine simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MachineRun {
     /// Simulated wall-clock seconds for the whole run.
     pub time: f64,
@@ -114,6 +113,7 @@ impl Ord for InFlight {
 /// Numerics: the iteration reads the shared vector at start time (it sees
 /// every update committed up to then — consistent-read semantics with
 /// machine-induced delays) and commits `beta * gamma` at commit time.
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_asyrgs(
     a: &CsrMatrix,
     b: &[f64],
@@ -153,8 +153,9 @@ pub fn simulate_asyrgs(
     let mut commits: u64 = 0;
     let mut max_delay = 0usize;
 
-    let iter_cost =
-        |j: u64| -> f64 { model.cost_per_iter + model.cost_per_nnz * a.row_nnz(ds.direction(j)) as f64 };
+    let iter_cost = |j: u64| -> f64 {
+        model.cost_per_iter + model.cost_per_nnz * a.row_nnz(ds.direction(j)) as f64
+    };
 
     let mut heap: BinaryHeap<Reverse<InFlight>> = BinaryHeap::new();
     let mut next_j: u64 = 0;
@@ -219,7 +220,7 @@ pub fn simulate_asyrgs(
         }
 
         // Sweep boundary: record error.
-        if commits % n as u64 == 0 {
+        if commits.is_multiple_of(n as u64) {
             errors.push((commits, err_of(&x)));
         }
 
@@ -252,13 +253,7 @@ pub fn simulate_asyrgs(
 /// residual-norm check), each costing one barrier. This mirrors the paper's
 /// "SIMD variant of CG where the indices are assigned to threads in a
 /// round-robin manner" (Section 9).
-pub fn cg_time(
-    a: &CsrMatrix,
-    model: &MachineModel,
-    iters: usize,
-    p: usize,
-    k_rhs: usize,
-) -> f64 {
+pub fn cg_time(a: &CsrMatrix, model: &MachineModel, iters: usize, p: usize, k_rhs: usize) -> f64 {
     assert!(p >= 1);
     let n = a.n_rows();
     // Round-robin row assignment: processor q gets rows q, q+p, q+2p, ...
@@ -288,8 +283,7 @@ pub fn asyrgs_time_throughput(
     k_rhs: usize,
 ) -> f64 {
     let n = a.n_rows() as f64;
-    let per_sweep = n * model.cost_per_iter
-        + a.nnz() as f64 * model.cost_per_nnz * k_rhs as f64;
+    let per_sweep = n * model.cost_per_iter + a.nnz() as f64 * model.cost_per_nnz * k_rhs as f64;
     per_sweep * sweeps as f64 / p as f64
 }
 
@@ -375,17 +369,7 @@ mod tests {
     #[test]
     fn convergence_survives_machine_induced_delays() {
         let (a, b, x0, xs) = problem();
-        let run = simulate_asyrgs(
-            &a,
-            &b,
-            &x0,
-            &xs,
-            &MachineModel::default(),
-            16,
-            60,
-            1.0,
-            3,
-        );
+        let run = simulate_asyrgs(&a, &b, &x0, &xs, &MachineModel::default(), 16, 60, 1.0, 3);
         // 16 virtual processors on only 49 unknowns is extreme asynchrony
         // (tau/n ~ 0.5), so expect slower-than-sync convergence.
         assert!(

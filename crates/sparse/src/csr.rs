@@ -6,7 +6,6 @@
 
 use crate::dense::RowMajorMat;
 use crate::error::{Result, SparseError};
-use rayon::prelude::*;
 
 /// A sparse matrix in compressed sparse row format.
 ///
@@ -39,7 +38,9 @@ impl CsrMatrix {
                 n_rows + 1
             )));
         }
-        if row_ptr[0] != 0 || *row_ptr.last().unwrap() != col_idx.len() || col_idx.len() != vals.len()
+        if row_ptr[0] != 0
+            || *row_ptr.last().unwrap() != col_idx.len()
+            || col_idx.len() != vals.len()
         {
             return Err(SparseError::Parse(
                 "row_ptr endpoints inconsistent with col_idx/vals".into(),
@@ -207,17 +208,35 @@ impl CsrMatrix {
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_cols, "matvec: x length mismatch");
         assert_eq!(y.len(), self.n_rows, "matvec: y length mismatch");
-        for i in 0..self.n_rows {
-            y[i] = self.row_dot(i, x);
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = self.row_dot(i, x);
         }
     }
 
-    /// Parallel `y <- A x` using rayon, row-partitioned.
+    /// Parallel `y <- A x`, row-partitioned over scoped std threads.
+    ///
+    /// Uses up to `available_parallelism()` workers; falls back to the
+    /// serial kernel for small matrices where spawn overhead dominates.
     pub fn par_matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_cols, "par_matvec: x length mismatch");
         assert_eq!(y.len(), self.n_rows, "par_matvec: y length mismatch");
-        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
-            *yi = self.row_dot(i, x);
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(self.n_rows.div_ceil(1024));
+        if workers <= 1 {
+            return self.matvec_into(x, y);
+        }
+        let chunk = self.n_rows.div_ceil(workers);
+        std::thread::scope(|s| {
+            for (w, ys) in y.chunks_mut(chunk).enumerate() {
+                let lo = w * chunk;
+                s.spawn(move || {
+                    for (i, yi) in ys.iter_mut().enumerate() {
+                        *yi = self.row_dot(lo + i, x);
+                    }
+                });
+            }
         });
     }
 
@@ -557,9 +576,7 @@ mod tests {
         // col out of bounds
         assert!(CsrMatrix::from_raw_parts(1, 1, vec![0, 1], vec![1], vec![1.0]).is_err());
         // unsorted columns
-        assert!(
-            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err()
-        );
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
         // valid
         assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 1.0]).is_ok());
     }

@@ -6,8 +6,6 @@
 //! and solution blocks in row-major order "to improve locality"; we mirror
 //! that layout here.
 
-use rayon::prelude::*;
-
 /// Dot product `x . y`.
 ///
 /// # Panics
@@ -18,10 +16,32 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     x.iter().zip(y).map(|(a, b)| a * b).sum()
 }
 
-/// Parallel dot product for long vectors.
+/// Parallel dot product for long vectors, chunked over scoped std threads.
+///
+/// Partial sums are combined in chunk order, so the result is
+/// deterministic for a fixed length (though it may differ from the serial
+/// summation order at the last few ulps).
 pub fn par_dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "par_dot: length mismatch");
-    x.par_iter().zip(y.par_iter()).map(|(a, b)| a * b).sum()
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(x.len().div_ceil(16_384));
+    if workers <= 1 {
+        return dot(x, y);
+    }
+    let chunk = x.len().div_ceil(workers);
+    let mut partials = vec![0.0f64; workers];
+    std::thread::scope(|s| {
+        for ((xs, ys), out) in x
+            .chunks(chunk)
+            .zip(y.chunks(chunk))
+            .zip(partials.iter_mut())
+        {
+            s.spawn(move || *out = dot(xs, ys));
+        }
+    });
+    partials.iter().sum()
 }
 
 /// `y <- a * x + y`.

@@ -146,11 +146,7 @@ pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<CsrMatrix> {
 ///
 /// With [`MmSymmetry::Symmetric`], only the lower triangle is written; the
 /// caller is responsible for the matrix actually being symmetric.
-pub fn write_matrix_market<W: Write>(
-    writer: W,
-    a: &CsrMatrix,
-    symmetry: MmSymmetry,
-) -> Result<()> {
+pub fn write_matrix_market<W: Write>(writer: W, a: &CsrMatrix, symmetry: MmSymmetry) -> Result<()> {
     let mut w = BufWriter::new(writer);
     let sym = match symmetry {
         MmSymmetry::General => "general",
@@ -246,10 +242,10 @@ mod tests {
     #[test]
     fn rejects_bad_header() {
         assert!(read_matrix_market("not a header\n1 1 0\n".as_bytes()).is_err());
-        assert!(read_matrix_market(
-            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
-        )
-        .is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes())
+                .is_err()
+        );
         assert!(read_matrix_market(
             "%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes()
         )

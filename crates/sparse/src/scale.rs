@@ -13,6 +13,7 @@
 
 use crate::csr::CsrMatrix;
 use crate::error::{Result, SparseError};
+use crate::op::{LinearOperator, RowAccess};
 
 /// The result of rescaling an SPD matrix `B` to unit diagonal.
 ///
@@ -68,28 +69,147 @@ impl UnitDiagonal {
     /// Map a right-hand side of `B y = z` to the unit-diagonal system:
     /// returns `D z`.
     pub fn rhs_to_unit(&self, z: &[f64]) -> Vec<f64> {
-        assert_eq!(z.len(), self.d.len(), "rhs_to_unit: length mismatch");
-        z.iter().zip(&self.d).map(|(zi, di)| zi * di).collect()
+        scale_entrywise("rhs_to_unit", &self.d, z)
     }
 
     /// Map a unit-diagonal solution `x` back to the original system:
     /// returns `y = D x`.
     pub fn solution_to_original(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.d.len(), "solution_to_original: length mismatch");
-        x.iter().zip(&self.d).map(|(xi, di)| xi * di).collect()
+        scale_entrywise("solution_to_original", &self.d, x)
     }
 
     /// Map an original-system solution `y` to unit-diagonal coordinates:
     /// returns `x = D^{-1} y`.
     pub fn solution_to_unit(&self, y: &[f64]) -> Vec<f64> {
-        assert_eq!(y.len(), self.d.len(), "solution_to_unit: length mismatch");
-        y.iter().zip(&self.d).map(|(yi, di)| yi / di).collect()
+        unscale_entrywise("solution_to_unit", &self.d, y)
     }
+}
+
+/// `v` scaled entrywise by `d` (the `D v` map both rescaling types use).
+fn scale_entrywise(label: &str, d: &[f64], v: &[f64]) -> Vec<f64> {
+    assert_eq!(v.len(), d.len(), "{label}: length mismatch");
+    v.iter().zip(d).map(|(vi, di)| vi * di).collect()
+}
+
+/// `v` divided entrywise by `d` (the `D^{-1} v` map).
+fn unscale_entrywise(label: &str, d: &[f64], v: &[f64]) -> Vec<f64> {
+    assert_eq!(v.len(), d.len(), "{label}: length mismatch");
+    v.iter().zip(d).map(|(vi, di)| vi / di).collect()
 }
 
 /// Check that every diagonal entry of `a` equals 1 to within `tol`.
 pub fn has_unit_diagonal(a: &CsrMatrix, tol: f64) -> bool {
     a.is_square() && a.diag().iter().all(|&v| (v - 1.0).abs() <= tol)
+}
+
+/// A **zero-copy** view of `A = D B D` with `D = diag(B_ii^{-1/2})`: the
+/// unit-diagonal rescaling of Section 3 without materializing the scaled
+/// matrix.
+///
+/// Only the `n`-vector `d` is stored; every row access and matrix-vector
+/// product scales `B`'s entries on the fly as `A_ij = d_i * B_ij * d_j`.
+/// The arithmetic matches [`UnitDiagonal::from_spd`] exactly (same products
+/// in the same order), so solvers driven through the view produce bitwise
+/// the same iterates as solvers on the materialized rescaled matrix.
+#[derive(Debug, Clone)]
+pub struct UnitDiagonalView<'a> {
+    b: &'a CsrMatrix,
+    d: Vec<f64>,
+}
+
+impl<'a> UnitDiagonalView<'a> {
+    /// Wrap an SPD matrix `B`, validating that its diagonal is positive.
+    pub fn new(b: &'a CsrMatrix) -> Result<Self> {
+        if !b.is_square() {
+            return Err(SparseError::NotSquare {
+                n_rows: b.n_rows(),
+                n_cols: b.n_cols(),
+            });
+        }
+        let diag = b.diag();
+        let mut d = Vec::with_capacity(diag.len());
+        for (i, &v) in diag.iter().enumerate() {
+            if v <= 0.0 {
+                return Err(SparseError::NonPositiveDiagonal { index: i, value: v });
+            }
+            d.push(1.0 / v.sqrt());
+        }
+        Ok(UnitDiagonalView { b, d })
+    }
+
+    /// The wrapped matrix `B`.
+    pub fn inner(&self) -> &CsrMatrix {
+        self.b
+    }
+
+    /// The diagonal of `D`, i.e. `d[i] = B_ii^{-1/2}`.
+    pub fn scaling(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Map a right-hand side of `B y = z` to the unit-diagonal system:
+    /// returns `D z`.
+    pub fn rhs_to_unit(&self, z: &[f64]) -> Vec<f64> {
+        scale_entrywise("rhs_to_unit", &self.d, z)
+    }
+
+    /// Map a unit-diagonal solution `x` back to the original system:
+    /// returns `y = D x`.
+    pub fn solution_to_original(&self, x: &[f64]) -> Vec<f64> {
+        scale_entrywise("solution_to_original", &self.d, x)
+    }
+
+    /// Map an original-system solution `y` to unit-diagonal coordinates:
+    /// returns `x = D^{-1} y`.
+    pub fn solution_to_unit(&self, y: &[f64]) -> Vec<f64> {
+        unscale_entrywise("solution_to_unit", &self.d, y)
+    }
+}
+
+impl LinearOperator for UnitDiagonalView<'_> {
+    fn n_rows(&self) -> usize {
+        self.b.n_rows()
+    }
+
+    fn n_cols(&self) -> usize {
+        self.b.n_cols()
+    }
+
+    fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols(), "matvec: x length mismatch");
+        assert_eq!(y.len(), self.n_rows(), "matvec: y length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = self.row_dot(i, x);
+        }
+    }
+
+    fn diag(&self) -> Vec<f64> {
+        // D B D has a unit diagonal by construction; compute it with the
+        // same arithmetic as the materialized rescaling (B_ii * d_i^2 is 1
+        // only up to roundoff) so both paths stay bitwise interchangeable.
+        self.b
+            .diag()
+            .iter()
+            .zip(&self.d)
+            .map(|(&v, &di)| v * (di * di))
+            .collect()
+    }
+}
+
+impl RowAccess for UnitDiagonalView<'_> {
+    fn visit_row<F: FnMut(usize, f64)>(&self, i: usize, mut f: F) {
+        let di = self.d[i];
+        let (cols, vals) = self.b.row(i);
+        for (&c, &v) in cols.iter().zip(vals) {
+            // Same product order as `UnitDiagonal::from_spd`, so iterates
+            // driven through the view match the materialized matrix bitwise.
+            f(c, v * (di * self.d[c]));
+        }
+    }
+
+    fn row_nnz(&self, i: usize) -> usize {
+        self.b.row_nnz(i)
+    }
 }
 
 #[cfg(test)]
@@ -183,5 +303,50 @@ mod tests {
         let u = UnitDiagonal::from_spd(&id).unwrap();
         assert_eq!(u.a, id);
         assert!(u.d.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn view_matches_materialized_bitwise() {
+        let b = spd();
+        let materialized = UnitDiagonal::from_spd(&b).unwrap();
+        let view = UnitDiagonalView::new(&b).unwrap();
+        assert_eq!(view.scaling(), &materialized.d[..]);
+        // Row entries, diagonal, and matvec all agree bitwise.
+        for i in 0..3 {
+            let (cols, vals) = materialized.a.row(i);
+            let mut got = Vec::new();
+            view.visit_row(i, |c, v| got.push((c, v)));
+            let want: Vec<(usize, f64)> = cols.iter().copied().zip(vals.iter().copied()).collect();
+            assert_eq!(got, want);
+        }
+        assert_eq!(LinearOperator::diag(&view), materialized.a.diag());
+        let x = vec![0.25, -1.5, 3.0];
+        assert_eq!(LinearOperator::matvec(&view, &x), materialized.a.matvec(&x));
+    }
+
+    #[test]
+    fn view_mappings_match_materialized() {
+        let b = spd();
+        let u = UnitDiagonal::from_spd(&b).unwrap();
+        let view = UnitDiagonalView::new(&b).unwrap();
+        let z = vec![1.0, -2.0, 0.5];
+        assert_eq!(view.rhs_to_unit(&z), u.rhs_to_unit(&z));
+        assert_eq!(view.solution_to_original(&z), u.solution_to_original(&z));
+        assert_eq!(view.solution_to_unit(&z), u.solution_to_unit(&z));
+        assert_eq!(view.inner().nnz(), b.nnz());
+    }
+
+    #[test]
+    fn view_rejects_bad_inputs() {
+        let rect = CsrMatrix::from_dense(2, 3, &[1.0; 6]);
+        assert!(matches!(
+            UnitDiagonalView::new(&rect),
+            Err(SparseError::NotSquare { .. })
+        ));
+        let neg = CsrMatrix::from_dense(2, 2, &[1.0, 0.0, 0.0, -1.0]);
+        assert!(matches!(
+            UnitDiagonalView::new(&neg),
+            Err(SparseError::NonPositiveDiagonal { index: 1, .. })
+        ));
     }
 }

@@ -69,7 +69,11 @@ pub fn estimate_condition(a: &CsrMatrix, opts: &CondOptions) -> CondEstimate {
     let p_min = lambda_min_shifted(a, sigma, opts.power_iters, opts.tol, opts.seed ^ 0x2);
     let lmin = ritz_min.min(p_min.eigenvalue).max(0.0);
 
-    let kappa = if lmin > 0.0 { lmax / lmin } else { f64::INFINITY };
+    let kappa = if lmin > 0.0 {
+        lmax / lmin
+    } else {
+        f64::INFINITY
+    };
     CondEstimate {
         lambda_max: lmax,
         lambda_min: lmin,
@@ -81,8 +85,7 @@ pub fn estimate_condition(a: &CsrMatrix, opts: &CondOptions) -> CondEstimate {
 mod tests {
     use super::*;
     use asyrgs_workloads::{
-        laplace2d, laplace2d_extreme_eigenvalues, tridiag_toeplitz,
-        tridiag_toeplitz_eigenvalues,
+        laplace2d, laplace2d_extreme_eigenvalues, tridiag_toeplitz, tridiag_toeplitz_eigenvalues,
     };
 
     #[test]

@@ -104,7 +104,9 @@ pub fn extreme_eigenvalues_lanczos(a: &CsrMatrix, m: usize, seed: u64) -> (f64, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asyrgs_workloads::{laplace2d, laplace2d_extreme_eigenvalues, tridiag_toeplitz, tridiag_toeplitz_eigenvalues};
+    use asyrgs_workloads::{
+        laplace2d, laplace2d_extreme_eigenvalues, tridiag_toeplitz, tridiag_toeplitz_eigenvalues,
+    };
 
     #[test]
     fn lanczos_recovers_toeplitz_extremes() {
@@ -114,7 +116,11 @@ mod tests {
         let (lmin, lmax) = extreme_eigenvalues_lanczos(&a, 40, 7);
         // Ritz values approach the extremes from inside; with m = 40 of
         // n = 60 the ends are accurate to ~1e-3 (eigenvalues cluster there).
-        assert!((lmax - eigs[n - 1]).abs() < 5e-3, "lmax {lmax} vs {}", eigs[n - 1]);
+        assert!(
+            (lmax - eigs[n - 1]).abs() < 5e-3,
+            "lmax {lmax} vs {}",
+            eigs[n - 1]
+        );
         assert!((lmin - eigs[0]).abs() < 5e-3, "lmin {lmin} vs {}", eigs[0]);
         assert!(lmax <= eigs[n - 1] + 1e-9, "Ritz value must not overshoot");
         assert!(lmin >= eigs[0] - 1e-9, "Ritz value must not undershoot");

@@ -205,11 +205,7 @@ mod tests {
     #[test]
     fn sigma_max_of_identity_like() {
         // Diagonal rectangular matrix: singular values are |diag|.
-        let a = asyrgs_sparse::CsrMatrix::from_dense(
-            3,
-            2,
-            &[3.0, 0.0, 0.0, -4.0, 0.0, 0.0],
-        );
+        let a = asyrgs_sparse::CsrMatrix::from_dense(3, 2, &[3.0, 0.0, 0.0, -4.0, 0.0, 0.0]);
         let s = sigma_max(&a, 1000, 1e-13, 4);
         assert!((s - 4.0).abs() < 1e-8, "got {s}");
     }

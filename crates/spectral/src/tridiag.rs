@@ -12,15 +12,25 @@
 /// `alpha` are the `n` diagonal entries; `beta` the `n - 1` off-diagonals.
 pub fn sturm_count(alpha: &[f64], beta: &[f64], x: f64) -> usize {
     let n = alpha.len();
-    assert_eq!(beta.len(), n.saturating_sub(1), "beta must have n-1 entries");
+    assert_eq!(
+        beta.len(),
+        n.saturating_sub(1),
+        "beta must have n-1 entries"
+    );
     let mut count = 0usize;
     let mut q = 1.0f64; // ratio d_i / d_{i-1}
     for i in 0..n {
-        let b2 = if i == 0 { 0.0 } else { beta[i - 1] * beta[i - 1] };
+        let b2 = if i == 0 {
+            0.0
+        } else {
+            beta[i - 1] * beta[i - 1]
+        };
         q = alpha[i] - x - if i == 0 { 0.0 } else { b2 / q };
         if q == 0.0 {
             // Perturb to avoid division by zero (standard practice).
-            q = f64::EPSILON * (alpha[i].abs() + beta.get(i.saturating_sub(1)).map_or(0.0, |b| b.abs())).max(f64::MIN_POSITIVE);
+            q = f64::EPSILON
+                * (alpha[i].abs() + beta.get(i.saturating_sub(1)).map_or(0.0, |b| b.abs()))
+                    .max(f64::MIN_POSITIVE);
         }
         if q < 0.0 {
             count += 1;

@@ -109,7 +109,8 @@ pub fn gram_matrix(params: &GramParams) -> GramProblem {
         // Outer-product contribution.
         for &(ti, fi) in &doc_terms {
             for &(tj, fj) in &doc_terms {
-                coo.push(ti, tj, fi * fj).expect("in-bounds by construction");
+                coo.push(ti, tj, fi * fj)
+                    .expect("in-bounds by construction");
             }
         }
     }

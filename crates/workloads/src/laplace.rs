@@ -151,7 +151,7 @@ mod tests {
         assert!(a.is_symmetric(0.0));
         assert_eq!(a.diag(), vec![6.0; 60]);
         // Center-ish point has 7 entries.
-        let idx = (1 * 4 + 2) * 5 + 2;
+        let idx = (4 + 2) * 5 + 2;
         assert_eq!(a.row_nnz(idx), 7);
     }
 
@@ -193,7 +193,9 @@ mod tests {
         let (lmin, lmax) = laplace2d_extreme_eigenvalues(nx, ny);
         assert!(lmin > 0.0 && lmax < 8.0);
         // Any Rayleigh quotient lies in [lmin, lmax].
-        let x: Vec<f64> = (0..a.n_rows()).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let x: Vec<f64> = (0..a.n_rows())
+            .map(|i| ((i * 37) % 11) as f64 - 5.0)
+            .collect();
         let rq = a.a_norm_sq(&x) / x.iter().map(|v| v * v).sum::<f64>();
         assert!(rq >= lmin - 1e-12 && rq <= lmax + 1e-12);
     }

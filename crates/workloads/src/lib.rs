@@ -28,59 +28,80 @@ pub use lsq::{random_lsq, LsqParams, LsqProblem};
 pub use spd::{diag_dominant, random_spd_band};
 
 #[cfg(test)]
-mod proptests {
+mod property_tests {
+    //! Deterministic property tests over a fixed fan of parameters (no
+    //! third-party property-test framework in the container).
+
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-
-        #[test]
-        fn laplace2d_always_spd_shape(nx in 1usize..8, ny in 1usize..8) {
-            let a = laplace2d(nx, ny);
-            prop_assert!(a.is_symmetric(0.0));
-            prop_assert_eq!(a.n_rows(), nx * ny);
-            // Weak diagonal dominance: diag >= sum |offdiag| in every row.
-            for i in 0..a.n_rows() {
-                let (cols, vals) = a.row(i);
-                let mut diag = 0.0;
-                let mut off = 0.0;
-                for (&c, &v) in cols.iter().zip(vals) {
-                    if c == i { diag = v } else { off += v.abs() }
+    #[test]
+    fn laplace2d_always_spd_shape() {
+        for nx in 1usize..8 {
+            for ny in 1usize..8 {
+                let a = laplace2d(nx, ny);
+                assert!(a.is_symmetric(0.0));
+                assert_eq!(a.n_rows(), nx * ny);
+                // Weak diagonal dominance: diag >= sum |offdiag| per row.
+                for i in 0..a.n_rows() {
+                    let (cols, vals) = a.row(i);
+                    let mut diag = 0.0;
+                    let mut off = 0.0;
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        if c == i {
+                            diag = v
+                        } else {
+                            off += v.abs()
+                        }
+                    }
+                    assert!(diag >= off);
                 }
-                prop_assert!(diag >= off);
             }
         }
+    }
 
-        #[test]
-        fn diag_dominant_spd_property(n in 2usize..40, nnz in 1usize..6, seed in any::<u64>()) {
+    #[test]
+    fn diag_dominant_spd_property() {
+        for case in 0..16u64 {
+            let seed = case.wrapping_mul(0x9E37_79B9);
+            let n = 2 + (case as usize * 5) % 38;
+            let nnz = 1 + (case as usize) % 5;
             let a = diag_dominant(n, nnz, 1.5, seed);
-            prop_assert!(a.is_symmetric(1e-12));
+            assert!(a.is_symmetric(1e-12));
             // Positive definiteness via random Rayleigh quotients.
             let mut rng = asyrgs_rng::Xoshiro256pp::new(seed ^ 0xABCD);
             for _ in 0..3 {
                 let x: Vec<f64> = (0..n).map(|_| rng.next_normal()).collect();
                 let q = a.a_norm_sq(&x);
-                prop_assert!(q > 0.0);
+                assert!(q > 0.0);
             }
         }
+    }
 
-        #[test]
-        fn tridiag_eigs_match_trace(n in 1usize..30) {
+    #[test]
+    fn tridiag_eigs_match_trace() {
+        for n in 1usize..30 {
             // Sum of eigenvalues equals the trace.
             let eigs = tridiag_toeplitz_eigenvalues(n, 2.0, -1.0);
             let trace = 2.0 * n as f64;
             let sum: f64 = eigs.iter().sum();
-            prop_assert!((sum - trace).abs() < 1e-9 * trace.max(1.0));
+            assert!((sum - trace).abs() < 1e-9 * trace.max(1.0));
         }
+    }
 
-        #[test]
-        fn lsq_generator_valid(seed in any::<u64>()) {
-            let p = random_lsq(&LsqParams { rows: 60, cols: 20, nnz_per_col: 4, noise: 0.0, seed });
-            prop_assert_eq!(p.a.n_rows(), 60);
-            prop_assert_eq!(p.a.n_cols(), 20);
+    #[test]
+    fn lsq_generator_valid() {
+        for seed in [0u64, 1, 7, 42, u64::MAX, 0xDEAD_BEEF] {
+            let p = random_lsq(&LsqParams {
+                rows: 60,
+                cols: 20,
+                nnz_per_col: 4,
+                noise: 0.0,
+                seed,
+            });
+            assert_eq!(p.a.n_rows(), 60);
+            assert_eq!(p.a.n_cols(), 20);
             let r = p.a.residual(&p.b, &p.x_planted);
-            prop_assert!(asyrgs_sparse::dense::norm2(&r) < 1e-10);
+            assert!(asyrgs_sparse::dense::norm2(&r) < 1e-10);
         }
     }
 }

@@ -69,10 +69,10 @@ pub fn random_lsq(params: &LsqParams) -> LsqProblem {
         params.cols,
         params.cols * (params.nnz_per_col + 1),
     );
-    for j in 0..params.cols {
+    for (j, &anchor_row) in anchor.iter().enumerate() {
         // Strong anchor keeps columns linearly independent with high
         // probability even after random fill.
-        coo.push(anchor[j], j, 2.0 + rng.next_f64()).unwrap();
+        coo.push(anchor_row, j, 2.0 + rng.next_f64()).unwrap();
         for _ in 0..params.nnz_per_col.saturating_sub(1) {
             let i = rng.next_index(params.rows);
             coo.push(i, j, rng.next_normal() * 0.3).unwrap();

@@ -37,14 +37,17 @@ fn main() {
         &p.b,
         &mut x_seq,
         &LsqSolveOptions {
-            sweeps: 60,
-            record_every: 10,
+            term: Termination::sweeps(60),
+            record: Recording::every(10),
             ..Default::default()
         },
     );
     println!("\nsequential RCD (keeps residual in memory):");
     for rec in &seq.records {
-        println!("  sweep {:>3}  rel residual {:.6e}", rec.sweep, rec.rel_residual);
+        println!(
+            "  sweep {:>3}  rel residual {:.6e}",
+            rec.sweep, rec.rel_residual
+        );
     }
     println!("  wall time {:.3}s", seq.wall_seconds);
 
@@ -56,9 +59,9 @@ fn main() {
         &p.b,
         &mut x_async,
         &LsqSolveOptions {
-            sweeps: 60,
             threads,
             beta: 0.9,
+            term: Termination::sweeps(60),
             ..Default::default()
         },
     );
@@ -75,5 +78,8 @@ fn main() {
         .sum::<f64>()
         .sqrt();
     let scale: f64 = p.x_planted.iter().map(|v| v * v).sum::<f64>().sqrt();
-    println!("\nparameter recovery: ||x - x_planted|| / ||x_planted|| = {:.3e}", dist / scale);
+    println!(
+        "\nparameter recovery: ||x - x_planted|| / ||x_planted|| = {:.3e}",
+        dist / scale
+    );
 }

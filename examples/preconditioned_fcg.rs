@@ -16,7 +16,9 @@ fn main() {
 
     let a = asyrgs::workloads::laplace2d(side, side);
     let n = a.n_rows();
-    let x_true: Vec<f64> = (0..n).map(|i| ((i * 13) % 31) as f64 / 31.0 - 0.5).collect();
+    let x_true: Vec<f64> = (0..n)
+        .map(|i| ((i * 13) % 31) as f64 / 31.0 - 0.5)
+        .collect();
     let b = a.matvec(&x_true);
     println!(
         "problem: {side}x{side} Laplacian, n = {n}; Flexible-CG to 1e-8, \

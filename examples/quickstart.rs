@@ -16,7 +16,10 @@ fn main() {
     let n = a.n_rows();
     let x_true: Vec<f64> = (0..n).map(|i| ((i * 7) % 23) as f64 / 23.0).collect();
     let b = a.matvec(&x_true);
-    println!("problem: {side}x{side} Laplacian, n = {n}, nnz = {}", a.nnz());
+    println!(
+        "problem: {side}x{side} Laplacian, n = {n}, nnz = {}",
+        a.nnz()
+    );
 
     // --- AsyRGS -----------------------------------------------------------
     let mut x = vec![0.0; n];
@@ -26,10 +29,9 @@ fn main() {
         &mut x,
         Some(&x_true),
         &AsyRgsOptions {
-            sweeps: 400,
             threads,
             epoch_sweeps: Some(100),
-            target_rel_residual: Some(1e-8),
+            term: Termination::sweeps(400).with_target(1e-8),
             ..Default::default()
         },
     );
@@ -54,9 +56,8 @@ fn main() {
         &b,
         &mut x_cg,
         &CgOptions {
-            tol: 1e-8,
-            record_every: 0,
-            ..Default::default()
+            term: Termination::sweeps(1000).with_target(1e-8),
+            record: Recording::end_only(),
         },
     );
     println!(

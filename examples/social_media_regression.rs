@@ -64,13 +64,16 @@ fn main() {
         &b,
         &mut x_rgs,
         &RgsOptions {
-            sweeps,
+            term: Termination::sweeps(sweeps),
             ..Default::default()
         },
     );
     println!("Randomized Gauss-Seidel (sequential):");
     for rec in &rgs.records {
-        println!("  sweep {:>2}  rel residual {:.4e}", rec.sweep, rec.rel_residual);
+        println!(
+            "  sweep {:>2}  rel residual {:.4e}",
+            rec.sweep, rec.rel_residual
+        );
     }
     println!("  wall time {:.3}s", rgs.wall_seconds);
 
@@ -80,15 +83,18 @@ fn main() {
         &b,
         &mut x_asy,
         &AsyRgsOptions {
-            sweeps,
             threads,
             epoch_sweeps: Some(1),
+            term: Termination::sweeps(sweeps),
             ..Default::default()
         },
     );
     println!("\nAsyRGS ({threads} threads, inconsistent reads, atomic writes):");
     for rec in &asy.records {
-        println!("  sweep {:>2}  rel residual {:.4e}", rec.sweep, rec.rel_residual);
+        println!(
+            "  sweep {:>2}  rel residual {:.4e}",
+            rec.sweep, rec.rel_residual
+        );
     }
     println!("  wall time {:.3}s", asy.wall_seconds);
 
@@ -98,14 +104,17 @@ fn main() {
         &b,
         &mut x_cg,
         &CgOptions {
-            max_iters: sweeps,
-            tol: 0.0, // run exactly `sweeps` iterations for comparison
-            record_every: 1,
+            // Run exactly `sweeps` iterations for comparison.
+            term: Termination::sweeps(sweeps).with_target(0.0),
+            record: Recording::every(1),
         },
     );
     println!("\nCG (same matrix-pass budget):");
     for rec in &cg.records {
-        println!("  iter  {:>2}  rel residual {:.4e}", rec.sweep, rec.rel_residual);
+        println!(
+            "  iter  {:>2}  rel residual {:.4e}",
+            rec.sweep, rec.rel_residual
+        );
     }
     println!("  wall time {:.3}s", cg.wall_seconds);
 

@@ -44,8 +44,10 @@ fn main() {
         0.693 * n as f64 / params.lambda_max
     );
 
-    println!("synchronous RGS (Eq. 2): per-sweep bound factor at beta = 1: {:.6}",
-        theory::sync_bound(&params, 1.0, n as u64));
+    println!(
+        "synchronous RGS (Eq. 2): per-sweep bound factor at beta = 1: {:.6}",
+        theory::sync_bound(&params, 1.0, n as u64)
+    );
 
     println!("\nconsistent read (Theorems 2-3):");
     println!(
@@ -85,6 +87,6 @@ fn main() {
     println!(
         "\nReading the tables: a factor close to 1 means slow guaranteed \
          progress per T0-iteration block; the paper stresses these bounds \
-         are pessimistic — see EXPERIMENTS.md for measured-vs-bound gaps."
+         are pessimistic — the theory_validation bench binary measures the gaps."
     );
 }

@@ -9,16 +9,25 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`core`] | AsyRGS (the paper's solver), sequential RGS, least-squares coordinate descent, convergence theory |
-//! | [`sparse`] | CSR/CSC/COO matrices, SpMV, unit-diagonal rescaling, Matrix Market I/O |
+//! | [`core`] | AsyRGS (the paper's solver), sequential RGS, least-squares coordinate descent, the shared solve driver, convergence theory |
+//! | [`sparse`] | operator traits, CSR/CSC/COO matrices, SpMV, unit-diagonal rescaling, Matrix Market I/O |
 //! | [`rng`] | Philox4x32-10 counter-based RNG (Random123-style direction streams) |
 //! | [`workloads`] | synthetic social-media Gram matrices, Laplacians, SPD and least-squares generators |
 //! | [`spectral`] | power iteration, Lanczos, condition-number estimation |
 //! | [`sim`] | bounded-delay model executor and discrete-event machine simulator |
 //! | [`krylov`] | CG, Flexible-CG (Notay), preconditioners including AsyRGS |
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
-//! `EXPERIMENTS.md` for paper-vs-measured results.
+//! Every solver is written against two shared abstractions:
+//!
+//! * the operator traits [`sparse::LinearOperator`] / [`sparse::RowAccess`]
+//!   — so the same solver runs on CSR matrices, dense blocks, `&dyn`
+//!   operators, and the zero-copy [`sparse::UnitDiagonalView`] rescaling
+//!   wrapper;
+//! * the solve driver ([`core::driver`]) — [`prelude::Termination`] (sweep
+//!   budget, residual target, wall-clock budget) and [`prelude::Recording`]
+//!   (residual cadence) replace the per-solver stopping/recording fields.
+//!
+//! See `README.md` for a tour of the crates and a quickstart.
 //!
 //! ## Quickstart
 //!
@@ -33,8 +42,8 @@
 //! // Solve asynchronously on 4 threads.
 //! let mut x = vec![0.0; a.n_rows()];
 //! let report = asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions {
-//!     sweeps: 300,
 //!     threads: 4,
+//!     term: Termination::sweeps(300),
 //!     ..Default::default()
 //! });
 //! assert!(report.final_rel_residual < 1e-2);
@@ -51,15 +60,21 @@ pub use asyrgs_workloads as workloads;
 /// The most common imports in one place.
 pub mod prelude {
     pub use asyrgs_core::asyrgs::{asyrgs_solve, asyrgs_solve_block, AsyRgsOptions, WriteMode};
+    pub use asyrgs_core::driver::{Recording, Solver, SolverSpec, Termination};
+    pub use asyrgs_core::jacobi::{async_jacobi_solve, jacobi_solve, JacobiOptions};
     pub use asyrgs_core::lsq::{async_rcd_solve, rcd_solve, LsqOperator, LsqSolveOptions};
+    pub use asyrgs_core::partitioned::{partitioned_solve, PartitionedOptions, PartitionedReport};
     pub use asyrgs_core::report::{SolveReport, SweepRecord};
     pub use asyrgs_core::rgs::{rgs_solve, rgs_solve_block, RgsOptions};
     pub use asyrgs_core::theory;
     pub use asyrgs_krylov::{
-        cg_solve, fcg_solve, AsyRgsPrecond, CgOptions, FcgOptions, IdentityPrecond,
-        JacobiPrecond, Preconditioner,
+        cg_solve, fcg_solve, AsyRgsPrecond, CgOptions, FcgOptions, IdentityPrecond, JacobiPrecond,
+        Preconditioner,
     };
-    pub use asyrgs_sparse::{CooBuilder, CsrMatrix, RowMajorMat, UnitDiagonal};
+    pub use asyrgs_sparse::{
+        CooBuilder, CsrMatrix, LinearOperator, RowAccess, RowMajorMat, UnitDiagonal,
+        UnitDiagonalView,
+    };
 }
 
 #[cfg(test)]
@@ -76,5 +91,21 @@ mod facade_tests {
         let _ = crate::rng::Philox4x32::from_seed(1);
         let _ = crate::spectral::CondOptions::default();
         let _ = crate::sim::MachineModel::default();
+    }
+
+    #[test]
+    fn prelude_driver_types_compose() {
+        let term = Termination::sweeps(5).with_target(1e-9);
+        let rec = Recording::end_only();
+        let a = crate::workloads::laplace2d(4, 4);
+        let b = vec![1.0; 16];
+        let mut x = vec![0.0; 16];
+        let spec = SolverSpec::Rgs(RgsOptions {
+            term,
+            record: rec,
+            ..Default::default()
+        });
+        let rep = spec.solve(&a, &b, &mut x, None);
+        assert_eq!(rep.records.len(), 1);
     }
 }

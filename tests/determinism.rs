@@ -30,8 +30,8 @@ fn sequential_solvers_bitwise_reproducible() {
     let n = a.n_rows();
     let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
     let opts = RgsOptions {
-        sweeps: 12,
-        record_every: 3,
+        term: Termination::sweeps(12),
+        record: Recording::every(3),
         ..Default::default()
     };
     let mut x1 = vec![0.0; n];
@@ -48,8 +48,8 @@ fn asyrgs_single_thread_bitwise_reproducible() {
     let n = a.n_rows();
     let b = vec![1.0; n];
     let opts = AsyRgsOptions {
-        sweeps: 10,
         threads: 1,
+        term: Termination::sweeps(10),
         ..Default::default()
     };
     let mut x1 = vec![0.0; n];
@@ -70,11 +70,17 @@ fn asyrgs_multithreaded_varies_but_stays_accurate() {
     let mut finals = Vec::new();
     for _ in 0..5 {
         let mut x = vec![0.0; 256];
-        let rep = asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions {
-            sweeps: 10,
-            threads: 4,
-            ..Default::default()
-        });
+        let rep = asyrgs_solve(
+            &a,
+            &b,
+            &mut x,
+            None,
+            &AsyRgsOptions {
+                threads: 4,
+                term: Termination::sweeps(10),
+                ..Default::default()
+            },
+        );
         finals.push(rep.final_rel_residual);
     }
     let min = finals.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -119,12 +125,18 @@ fn seeds_actually_matter() {
     let b = vec![1.0; n];
     let run = |seed: u64| {
         let mut x = vec![0.0; n];
-        rgs_solve(&a, &b, &mut x, None, &RgsOptions {
-            sweeps: 3,
-            seed,
-            record_every: 0,
-            ..Default::default()
-        });
+        rgs_solve(
+            &a,
+            &b,
+            &mut x,
+            None,
+            &RgsOptions {
+                seed,
+                term: Termination::sweeps(3),
+                record: Recording::end_only(),
+                ..Default::default()
+            },
+        );
         x
     };
     assert_ne!(run(1), run(2));

@@ -1,0 +1,365 @@
+//! Integration tests for the two abstractions this workspace is built on:
+//!
+//! * the shared solve driver (`asyrgs_core::driver`) — termination
+//!   precedence, recorder cadence (including `Recording::end_only`), and
+//!   the wall-clock budget, exercised through real solver entry points;
+//! * the operator layer (`asyrgs_sparse::op`) — `cg_solve` must produce a
+//!   bit-identical residual trace whether dispatched statically on
+//!   `CsrMatrix` or through `&dyn LinearOperator`, and the zero-copy
+//!   `UnitDiagonalView` must match the materialized rescaling bitwise;
+//! * the input-validation contract — every public `*_solve` boundary
+//!   rejects mismatched `b`/`x` lengths with a clear message instead of
+//!   an opaque index panic deep in a kernel.
+
+use asyrgs::prelude::*;
+use asyrgs::workloads::{diag_dominant, laplace2d, random_lsq, LsqParams};
+use std::time::Duration;
+
+fn spd_problem(n: usize, seed: u64) -> (CsrMatrix, Vec<f64>) {
+    let a = diag_dominant(n, 4, 2.5, seed);
+    let b = a.matvec(&vec![1.0; n]);
+    (a, b)
+}
+
+// ---------------------------------------------------------------------------
+// Driver semantics through real solvers
+// ---------------------------------------------------------------------------
+
+#[test]
+fn recorder_cadence_through_rgs() {
+    let (a, b) = spd_problem(60, 1);
+    let run = |every: usize| {
+        let mut x = vec![0.0; 60];
+        rgs_solve(
+            &a,
+            &b,
+            &mut x,
+            None,
+            &RgsOptions {
+                term: Termination::sweeps(12),
+                record: Recording::every(every),
+                ..Default::default()
+            },
+        )
+        .records
+        .iter()
+        .map(|r| r.sweep)
+        .collect::<Vec<_>>()
+    };
+    assert_eq!(run(1), (1..=12).collect::<Vec<_>>());
+    assert_eq!(run(5), vec![5, 10, 12]); // cadence plus the stopping boundary
+    assert_eq!(run(0), vec![12]); // end-only: exactly one record
+}
+
+#[test]
+fn termination_precedence_target_beats_budget_and_cap() {
+    // All three criteria armed; the system converges immediately (warm
+    // start at the exact solution), so the target must win and the report
+    // must say "converged", not "out of time".
+    let (a, b) = spd_problem(40, 2);
+    let mut x = vec![1.0; 40]; // exact solution
+    let rep = rgs_solve(
+        &a,
+        &b,
+        &mut x,
+        None,
+        &RgsOptions {
+            term: Termination::sweeps(1)
+                .with_target(1e-8)
+                .with_wall_clock(Duration::from_secs(0)),
+            ..Default::default()
+        },
+    );
+    assert!(rep.converged_early);
+    assert!(!rep.stopped_on_budget);
+}
+
+#[test]
+fn wall_clock_budget_reported_across_solver_families() {
+    // A zero budget stops every driver-run solver at its first
+    // observation boundary, uniformly reported via `stopped_on_budget`.
+    let (a, b) = spd_problem(50, 3);
+    let term = Termination::sweeps(100_000).with_wall_clock(Duration::from_secs(0));
+
+    let mut x = vec![0.0; 50];
+    let r1 = rgs_solve(
+        &a,
+        &b,
+        &mut x,
+        None,
+        &RgsOptions {
+            term: term.clone(),
+            ..Default::default()
+        },
+    );
+    assert!(r1.stopped_on_budget && r1.sweeps_run() == 1);
+
+    let mut x = vec![0.0; 50];
+    let r2 = asyrgs_solve(
+        &a,
+        &b,
+        &mut x,
+        None,
+        &AsyRgsOptions {
+            threads: 2,
+            epoch_sweeps: Some(1),
+            term: term.clone(),
+            ..Default::default()
+        },
+    );
+    assert!(r2.stopped_on_budget && r2.sweeps_run() == 1);
+
+    let mut x = vec![0.0; 50];
+    let r3 = cg_solve(
+        &a,
+        &b,
+        &mut x,
+        &CgOptions {
+            term,
+            ..Default::default()
+        },
+    );
+    assert!(r3.stopped_on_budget && r3.iterations == 1);
+}
+
+#[test]
+fn uniform_dispatch_through_solver_spec() {
+    // The SolverSpec enum runs every core solver family through one call
+    // site — the dispatch surface multi-backend work plugs into.
+    let (a, b) = spd_problem(80, 4);
+    for spec in [
+        SolverSpec::Rgs(RgsOptions {
+            term: Termination::sweeps(60),
+            ..Default::default()
+        }),
+        SolverSpec::AsyRgs(AsyRgsOptions {
+            threads: 2,
+            term: Termination::sweeps(60),
+            ..Default::default()
+        }),
+    ] {
+        let mut x = vec![0.0; 80];
+        let rep = spec.solve(&a, &b, &mut x, None);
+        assert!(
+            rep.final_rel_residual < 1e-2,
+            "{}: {}",
+            spec.name(),
+            rep.final_rel_residual
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator layer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cg_residual_trace_identical_static_vs_dyn_dispatch() {
+    // The acceptance property of the LinearOperator layer: bit-identical
+    // traces through CsrMatrix directly vs &dyn-style dispatch.
+    let a = laplace2d(12, 12);
+    let n = a.n_rows();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+    let opts = CgOptions::default();
+
+    let mut x_static = vec![0.0; n];
+    let rep_static = cg_solve(&a, &b, &mut x_static, &opts);
+
+    let dyn_op: &dyn LinearOperator = &a;
+    let mut x_dyn = vec![0.0; n];
+    let rep_dyn = cg_solve(dyn_op, &b, &mut x_dyn, &opts);
+
+    assert_eq!(x_static, x_dyn);
+    assert_eq!(rep_static.residual_series(), rep_dyn.residual_series());
+    assert_eq!(rep_static.final_rel_residual, rep_dyn.final_rel_residual);
+    assert_eq!(rep_static.iterations, rep_dyn.iterations);
+}
+
+#[test]
+fn unit_diagonal_view_drives_solvers_without_materializing() {
+    // Paper §3 rescaling through the zero-copy view: same iterates as the
+    // materialized rescaled matrix, bitwise.
+    let bmat = diag_dominant(50, 5, 2.0, 7);
+    let u = UnitDiagonal::from_spd(&bmat).unwrap();
+    let view = UnitDiagonalView::new(&bmat).unwrap();
+    let z: Vec<f64> = (0..50).map(|i| (i as f64 * 0.23).sin()).collect();
+    let dz = u.rhs_to_unit(&z);
+    let opts = RgsOptions {
+        term: Termination::sweeps(8),
+        record: Recording::end_only(),
+        ..Default::default()
+    };
+    let mut x_mat = vec![0.0; 50];
+    rgs_solve(&u.a, &dz, &mut x_mat, None, &opts);
+    let mut x_view = vec![0.0; 50];
+    rgs_solve(&view, &dz, &mut x_view, None, &opts);
+    assert_eq!(x_mat, x_view);
+
+    // CG through the view agrees with CG on the materialized matrix too.
+    let mut c_mat = vec![0.0; 50];
+    let mut c_view = vec![0.0; 50];
+    let copts = CgOptions::default();
+    cg_solve(&u.a, &dz, &mut c_mat, &copts);
+    cg_solve(&view, &dz, &mut c_view, &copts);
+    assert_eq!(c_mat, c_view);
+}
+
+#[test]
+fn asyrgs_runs_on_the_view_single_thread_deterministically() {
+    let bmat = diag_dominant(40, 4, 2.0, 11);
+    let view = UnitDiagonalView::new(&bmat).unwrap();
+    let z = vec![1.0; 40];
+    let dz = view.rhs_to_unit(&z);
+    let opts = AsyRgsOptions {
+        threads: 1,
+        term: Termination::sweeps(6),
+        ..Default::default()
+    };
+    let mut x1 = vec![0.0; 40];
+    asyrgs_solve(&view, &dz, &mut x1, None, &opts);
+    let mut x2 = vec![0.0; 40];
+    asyrgs_solve(&view, &dz, &mut x2, None, &opts);
+    assert_eq!(x1, x2);
+}
+
+// ---------------------------------------------------------------------------
+// Input validation at every public *_solve boundary
+// ---------------------------------------------------------------------------
+
+fn catch(f: impl FnOnce()) -> String {
+    let err =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).expect_err("expected a panic");
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+#[test]
+fn every_solver_rejects_mismatched_shapes_with_clear_messages() {
+    let (a, b) = spd_problem(10, 5);
+    let bad_b = vec![1.0; 7];
+    let mut bad_x = vec![0.0; 3];
+    let k = 2;
+    let b_blk = RowMajorMat::zeros(10, k);
+    let mut bad_x_blk = RowMajorMat::zeros(9, k);
+
+    let msg = catch(|| {
+        let mut x = vec![0.0; 10];
+        rgs_solve(&a, &bad_b, &mut x, None, &RgsOptions::default());
+    });
+    assert!(
+        msg.contains("rgs_solve: right-hand side b has length 7"),
+        "{msg}"
+    );
+
+    let msg = catch(|| {
+        asyrgs_solve(&a, &b, &mut bad_x, None, &AsyRgsOptions::default());
+    });
+    assert!(
+        msg.contains("asyrgs_solve: solution vector x has length 3"),
+        "{msg}"
+    );
+
+    let msg = catch(|| {
+        let mut x = vec![0.0; 10];
+        jacobi_solve(&a, &bad_b, &mut x, &JacobiOptions::default());
+    });
+    assert!(
+        msg.contains("jacobi_solve: right-hand side b has length 7"),
+        "{msg}"
+    );
+
+    let msg = catch(|| {
+        let mut x = vec![0.0; 10];
+        async_jacobi_solve(&a, &bad_b, &mut x, &JacobiOptions::default());
+    });
+    assert!(
+        msg.contains("async_jacobi_solve: right-hand side b has length 7"),
+        "{msg}"
+    );
+
+    let msg = catch(|| {
+        let mut x = vec![0.0; 10];
+        partitioned_solve(&a, &bad_b, &mut x, &PartitionedOptions::default());
+    });
+    assert!(
+        msg.contains("partitioned_solve: right-hand side b has length 7"),
+        "{msg}"
+    );
+
+    let msg = catch(|| {
+        let mut x = vec![0.0; 10];
+        cg_solve(&a, &bad_b, &mut x, &CgOptions::default());
+    });
+    assert!(
+        msg.contains("cg_solve: right-hand side b has length 7"),
+        "{msg}"
+    );
+
+    let msg = catch(|| {
+        let mut x = vec![0.0; 10];
+        fcg_solve(&a, &bad_b, &mut x, &IdentityPrecond, &FcgOptions::default());
+    });
+    assert!(
+        msg.contains("fcg_solve: right-hand side b has length 7"),
+        "{msg}"
+    );
+
+    let msg = catch(|| {
+        let mut x_blk = RowMajorMat::zeros(10, k);
+        rgs_solve_block(
+            &a,
+            &RowMajorMat::zeros(8, k),
+            &mut x_blk,
+            &RgsOptions::default(),
+        );
+    });
+    assert!(
+        msg.contains("rgs_solve_block: right-hand-side block B has 8 rows"),
+        "{msg}"
+    );
+
+    let msg = catch(|| {
+        asyrgs_solve_block(&a, &b_blk, &mut bad_x_blk, &AsyRgsOptions::default());
+    });
+    assert!(
+        msg.contains("asyrgs_solve_block: solution block X has 9 rows"),
+        "{msg}"
+    );
+
+    let msg = catch(|| {
+        let mut x_blk = RowMajorMat::zeros(10, 3);
+        asyrgs::krylov::cg_solve_block(&a, &b_blk, &mut x_blk, &CgOptions::default());
+    });
+    assert!(
+        msg.contains("cg_solve_block: B has 2 right-hand sides but X has 3"),
+        "{msg}"
+    );
+
+    // Least squares: rectangular operator, both directions checked.
+    let p = random_lsq(&LsqParams {
+        rows: 30,
+        cols: 10,
+        nnz_per_col: 3,
+        noise: 0.0,
+        seed: 9,
+    });
+    let op = LsqOperator::new(p.a.clone());
+    let msg = catch(|| {
+        let mut x = vec![0.0; 10];
+        rcd_solve(&op, &vec![0.0; 29], &mut x, &LsqSolveOptions::default());
+    });
+    assert!(
+        msg.contains("rcd_solve: right-hand side b has length 29 but A has 30 rows"),
+        "{msg}"
+    );
+    let msg = catch(|| {
+        let mut x = vec![0.0; 11];
+        async_rcd_solve(&op, &p.b, &mut x, &LsqSolveOptions::default());
+    });
+    assert!(
+        msg.contains("async_rcd_solve: solution vector x has length 11 but A has 10 columns"),
+        "{msg}"
+    );
+}

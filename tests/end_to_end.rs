@@ -40,9 +40,9 @@ fn gram_pipeline_asyrgs_low_accuracy() {
         &b,
         &mut x,
         &AsyRgsOptions {
-            sweeps: 10,
             threads: 4,
             epoch_sweeps: Some(1),
+            term: Termination::sweeps(10),
             ..Default::default()
         },
     );
@@ -65,8 +65,8 @@ fn gram_pipeline_asyrgs_low_accuracy() {
         &b,
         &mut x2,
         &AsyRgsOptions {
-            sweeps: 50,
             threads: 4,
+            term: Termination::sweeps(50),
             ..Default::default()
         },
     );
@@ -84,7 +84,10 @@ fn condition_estimate_feeds_theory_params() {
     let unit = UnitDiagonal::from_spd(&g).unwrap();
     let est = estimate_condition(&unit.a, &CondOptions::default());
     assert!(est.lambda_min > 0.0);
-    assert!(est.lambda_max >= 1.0, "unit diagonal implies lambda_max >= 1");
+    assert!(
+        est.lambda_max >= 1.0,
+        "unit diagonal implies lambda_max >= 1"
+    );
     let params = theory::ProblemParams::from_matrix(&unit.a, est.lambda_min, est.lambda_max);
     // The reference-scenario sanity checks the paper derives: with unit
     // diagonal, lambda_max <= C2 (max row nnz) and rho*n = ||A||_inf.
@@ -107,20 +110,30 @@ fn asyrgs_solution_agrees_with_cg_solution() {
     let b = g.matvec(&x_true);
 
     let mut x_cg = vec![0.0; n];
-    let cg = cg_solve(&g, &b, &mut x_cg, &CgOptions {
-        tol: 1e-12,
-        max_iters: 5000,
-        record_every: 0,
-    });
+    let cg = cg_solve(
+        &g,
+        &b,
+        &mut x_cg,
+        &CgOptions {
+            term: Termination::sweeps(5000).with_target(1e-12),
+            record: Recording::end_only(),
+        },
+    );
     assert!(cg.final_rel_residual < 1e-10);
 
     let mut x_asy = vec![0.0; n];
-    let asy = asyrgs_solve(&g, &b, &mut x_asy, Some(&x_true), &AsyRgsOptions {
-        sweeps: 120,
-        threads: 4,
-        epoch_sweeps: Some(40),
-        ..Default::default()
-    });
+    let asy = asyrgs_solve(
+        &g,
+        &b,
+        &mut x_asy,
+        Some(&x_true),
+        &AsyRgsOptions {
+            threads: 4,
+            epoch_sweeps: Some(40),
+            term: Termination::sweeps(120),
+            ..Default::default()
+        },
+    );
     assert!(asy.final_rel_residual < 1e-3, "{}", asy.final_rel_residual);
     // A-norm distance between the two solutions is small relative to x*.
     let diff: Vec<f64> = x_cg.iter().zip(&x_asy).map(|(a, b)| a - b).collect();
@@ -133,8 +146,12 @@ fn matrix_market_roundtrip_of_workload() {
     // I/O integration: persist a generated matrix and reload it.
     let g = gram();
     let path = std::env::temp_dir().join("asyrgs_e2e_gram.mtx");
-    asyrgs::sparse::io::write_matrix_market_file(&path, &g, asyrgs::sparse::io::MmSymmetry::Symmetric)
-        .unwrap();
+    asyrgs::sparse::io::write_matrix_market_file(
+        &path,
+        &g,
+        asyrgs::sparse::io::MmSymmetry::Symmetric,
+    )
+    .unwrap();
     let g2 = asyrgs::sparse::io::read_matrix_market_file(&path).unwrap();
     std::fs::remove_file(&path).ok();
     assert_eq!(g.n_rows(), g2.n_rows());
@@ -144,8 +161,8 @@ fn matrix_market_roundtrip_of_workload() {
     let mut x1 = vec![0.0; g.n_rows()];
     let mut x2 = vec![0.0; g.n_rows()];
     let opts = RgsOptions {
-        sweeps: 3,
-        record_every: 0,
+        term: Termination::sweeps(3),
+        record: Recording::end_only(),
         ..Default::default()
     };
     rgs_solve(&g, &b, &mut x1, None, &opts);
@@ -165,12 +182,18 @@ fn epoch_scheme_matches_free_running_accuracy() {
     let b = g.matvec(&x_true);
     let run = |epoch: Option<usize>| {
         let mut x = vec![0.0; n];
-        asyrgs_solve(&g, &b, &mut x, None, &AsyRgsOptions {
-            sweeps: 20,
-            threads: 4,
-            epoch_sweeps: epoch,
-            ..Default::default()
-        })
+        asyrgs_solve(
+            &g,
+            &b,
+            &mut x,
+            None,
+            &AsyRgsOptions {
+                threads: 4,
+                epoch_sweeps: epoch,
+                term: Termination::sweeps(20),
+                ..Default::default()
+            },
+        )
         .final_rel_residual
     };
     let free = run(None);

@@ -20,7 +20,8 @@ fn unsymmetric_square_system_solvable_via_lsq() {
         coo.push(i, i, 3.0 + rng.next_f64()).unwrap();
         // Unsymmetric off-diagonals.
         coo.push(i, (i + 7) % n, rng.next_range(-0.5, 0.5)).unwrap();
-        coo.push(i, (i + 31) % n, rng.next_range(-0.5, 0.5)).unwrap();
+        coo.push(i, (i + 31) % n, rng.next_range(-0.5, 0.5))
+            .unwrap();
     }
     let a = coo.to_csr();
     assert!(!a.is_symmetric(1e-9));
@@ -29,11 +30,16 @@ fn unsymmetric_square_system_solvable_via_lsq() {
 
     let op = LsqOperator::new(a);
     let mut x = vec![0.0; n];
-    let rep = rcd_solve(&op, &b, &mut x, &LsqSolveOptions {
-        sweeps: 600,
-        record_every: 0,
-        ..Default::default()
-    });
+    let rep = rcd_solve(
+        &op,
+        &b,
+        &mut x,
+        &LsqSolveOptions {
+            term: Termination::sweeps(600),
+            record: Recording::end_only(),
+            ..Default::default()
+        },
+    );
     assert!(rep.final_rel_residual < 1e-8, "{}", rep.final_rel_residual);
     for (g, w) in x.iter().zip(&x_true) {
         assert!((g - w).abs() < 1e-6);
@@ -56,13 +62,18 @@ fn iteration21_equals_asyrgs_on_normal_equations() {
     let seed = 0xAB;
 
     let mut x_lsq = vec![0.0; 30];
-    async_rcd_solve(&op, &p.b, &mut x_lsq, &LsqSolveOptions {
-        sweeps,
-        threads: 1,
-        seed,
-        beta: 0.8,
-        ..Default::default()
-    });
+    async_rcd_solve(
+        &op,
+        &p.b,
+        &mut x_lsq,
+        &LsqSolveOptions {
+            threads: 1,
+            seed,
+            beta: 0.8,
+            term: Termination::sweeps(sweeps),
+            record: Recording::end_only(),
+        },
+    );
 
     // Build X = A^T A (dense-ish but tiny) and c = A^T b, then run
     // sequential RGS with the same direction stream and step size.
@@ -95,13 +106,19 @@ fn iteration21_equals_asyrgs_on_normal_equations() {
     let x_mat = coo.to_csr();
     let c = at.matvec(&p.b);
     let mut x_ne = vec![0.0; 30];
-    rgs_solve(&x_mat, &c, &mut x_ne, None, &RgsOptions {
-        sweeps,
-        seed,
-        beta: 0.8,
-        record_every: 0,
-        ..Default::default()
-    });
+    rgs_solve(
+        &x_mat,
+        &c,
+        &mut x_ne,
+        None,
+        &RgsOptions {
+            seed,
+            beta: 0.8,
+            term: Termination::sweeps(sweeps),
+            record: Recording::end_only(),
+            ..Default::default()
+        },
+    );
 
     for (a, b) in x_lsq.iter().zip(&x_ne) {
         assert!((a - b).abs() < 1e-10, "{a} vs {b}");
@@ -150,10 +167,8 @@ fn theorem5_bound_dominates_simulated_normal_equations() {
 
     let smax = sigma_max(&p.a, 2000, 1e-12, 4);
     // sigma_min via lambda_min of X with the spectral crate.
-    let est = asyrgs::spectral::estimate_condition(
-        &x_mat,
-        &asyrgs::spectral::CondOptions::default(),
-    );
+    let est =
+        asyrgs::spectral::estimate_condition(&x_mat, &asyrgs::spectral::CondOptions::default());
     let lsq_params = theory::LsqParams {
         n: 40,
         sigma_max: smax,
@@ -204,12 +219,17 @@ fn async_lsq_threads_reach_same_quality() {
     let mut residuals = Vec::new();
     for &threads in &[1usize, 2, 4] {
         let mut x = vec![0.0; 80];
-        let rep = async_rcd_solve(&op, &p.b, &mut x, &LsqSolveOptions {
-            sweeps: 200,
-            threads,
-            beta: 0.9,
-            ..Default::default()
-        });
+        let rep = async_rcd_solve(
+            &op,
+            &p.b,
+            &mut x,
+            &LsqSolveOptions {
+                threads,
+                beta: 0.9,
+                term: Termination::sweeps(200),
+                ..Default::default()
+            },
+        );
         residuals.push(rep.final_rel_residual);
     }
     for r in &residuals {

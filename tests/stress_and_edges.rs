@@ -21,10 +21,16 @@ fn one_by_one_system() {
     assert!(rep.final_rel_residual < 1e-12);
 
     let mut x2 = vec![0.0];
-    asyrgs_solve(&a, &b, &mut x2, None, &AsyRgsOptions {
-        threads: 4,
-        ..Default::default()
-    });
+    asyrgs_solve(
+        &a,
+        &b,
+        &mut x2,
+        None,
+        &AsyRgsOptions {
+            threads: 4,
+            ..Default::default()
+        },
+    );
     assert!((x2[0] - 2.0).abs() < 1e-12);
 }
 
@@ -41,11 +47,17 @@ fn diagonal_matrix_converges_in_one_sweep_per_coordinate() {
     let a = coo.to_csr();
     let b: Vec<f64> = (0..n).map(|i| (i as f64) - 10.0).collect();
     let mut x = vec![0.0; n];
-    let rep = rgs_solve(&a, &b, &mut x, None, &RgsOptions {
-        sweeps: 15,
-        record_every: 0,
-        ..Default::default()
-    });
+    let rep = rgs_solve(
+        &a,
+        &b,
+        &mut x,
+        None,
+        &RgsOptions {
+            term: Termination::sweeps(15),
+            record: Recording::end_only(),
+            ..Default::default()
+        },
+    );
     assert!(rep.final_rel_residual < 1e-12, "{}", rep.final_rel_residual);
 }
 
@@ -54,11 +66,17 @@ fn zero_rhs_keeps_zero_solution() {
     let a = laplace2d(6, 6);
     let b = vec![0.0; 36];
     let mut x = vec![0.0; 36];
-    asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions {
-        threads: 3,
-        sweeps: 5,
-        ..Default::default()
-    });
+    asyrgs_solve(
+        &a,
+        &b,
+        &mut x,
+        None,
+        &AsyRgsOptions {
+            threads: 3,
+            term: Termination::sweeps(5),
+            ..Default::default()
+        },
+    );
     assert!(x.iter().all(|&v| v == 0.0));
 }
 
@@ -80,11 +98,17 @@ fn near_singular_system_does_not_blow_up() {
     let a = coo.to_csr();
     let b = vec![1.0; n];
     let mut x = vec![0.0; n];
-    let rep = rgs_solve(&a, &b, &mut x, None, &RgsOptions {
-        sweeps: 100,
-        record_every: 0,
-        ..Default::default()
-    });
+    let rep = rgs_solve(
+        &a,
+        &b,
+        &mut x,
+        None,
+        &RgsOptions {
+            term: Termination::sweeps(100),
+            record: Recording::end_only(),
+            ..Default::default()
+        },
+    );
     assert!(rep.final_rel_residual.is_finite());
     assert!(rep.final_rel_residual <= 1.0 + 1e-9);
     assert!(x.iter().all(|v| v.is_finite()));
@@ -100,14 +124,20 @@ fn delay_model_with_tau_larger_than_n() {
     let n = u.a.n_rows();
     let x_star: Vec<f64> = (0..n).map(|i| (i % 3) as f64 - 1.0).collect();
     let b = u.a.matvec(&x_star);
-    let trace = simulate_delay(&u.a, &b, &vec![0.0; n], &x_star, &DelaySimOptions {
-        iterations: 60_000,
-        tau: 4 * n,
-        beta: 0.05,
-        policy: DelayPolicy::Max,
-        read_model: ReadModel::Consistent,
-        ..Default::default()
-    });
+    let trace = simulate_delay(
+        &u.a,
+        &b,
+        &vec![0.0; n],
+        &x_star,
+        &DelaySimOptions {
+            iterations: 60_000,
+            tau: 4 * n,
+            beta: 0.05,
+            policy: DelayPolicy::Max,
+            read_model: ReadModel::Consistent,
+            ..Default::default()
+        },
+    );
     assert!(
         trace.final_error() < 1e-2 * trace.initial_error(),
         "final {} initial {}",
@@ -128,14 +158,20 @@ fn delay_model_unit_step_diverges_under_extreme_delay_then_damped_recovers() {
     let x_star = vec![1.0; n];
     let b = u.a.matvec(&x_star);
     let run = |beta: f64| {
-        simulate_delay(&u.a, &b, &vec![0.0; n], &x_star, &DelaySimOptions {
-            iterations: 20_000,
-            tau: 3 * n,
-            beta,
-            policy: DelayPolicy::Max,
-            read_model: ReadModel::Consistent,
-            ..Default::default()
-        })
+        simulate_delay(
+            &u.a,
+            &b,
+            &vec![0.0; n],
+            &x_star,
+            &DelaySimOptions {
+                iterations: 20_000,
+                tau: 3 * n,
+                beta,
+                policy: DelayPolicy::Max,
+                read_model: ReadModel::Consistent,
+                ..Default::default()
+            },
+        )
         .final_error()
     };
     let unit = run(1.0);
@@ -157,11 +193,17 @@ fn heavy_oversubscription_still_converges() {
     let x_star = vec![1.0; 256];
     let b = a.matvec(&x_star);
     let mut x = vec![0.0; 256];
-    let rep = asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions {
-        sweeps: 40,
-        threads: 32,
-        ..Default::default()
-    });
+    let rep = asyrgs_solve(
+        &a,
+        &b,
+        &mut x,
+        None,
+        &AsyRgsOptions {
+            threads: 32,
+            term: Termination::sweeps(40),
+            ..Default::default()
+        },
+    );
     assert!(
         rep.final_rel_residual < 1e-4,
         "residual {}",
@@ -181,28 +223,39 @@ fn concurrent_independent_solves_do_not_interfere() {
     let b1 = a1.matvec(&vec![1.0; 120]);
     let b2 = a2.matvec(&vec![2.0; 121]);
 
-    let (r1, r2) = crossbeam::thread::scope(|s| {
-        let h1 = s.spawn(|_| {
+    let (r1, r2) = std::thread::scope(|s| {
+        let h1 = s.spawn(|| {
             let mut x = vec![0.0; 120];
-            asyrgs_solve(&a1, &b1, &mut x, None, &AsyRgsOptions {
-                sweeps: 60,
-                threads: 2,
-                ..Default::default()
-            })
+            asyrgs_solve(
+                &a1,
+                &b1,
+                &mut x,
+                None,
+                &AsyRgsOptions {
+                    threads: 2,
+                    term: Termination::sweeps(60),
+                    ..Default::default()
+                },
+            )
             .final_rel_residual
         });
-        let h2 = s.spawn(|_| {
+        let h2 = s.spawn(|| {
             let mut x = vec![0.0; 121];
-            asyrgs_solve(&a2, &b2, &mut x, None, &AsyRgsOptions {
-                sweeps: 200,
-                threads: 2,
-                ..Default::default()
-            })
+            asyrgs_solve(
+                &a2,
+                &b2,
+                &mut x,
+                None,
+                &AsyRgsOptions {
+                    threads: 2,
+                    term: Termination::sweeps(200),
+                    ..Default::default()
+                },
+            )
             .final_rel_residual
         });
         (h1.join().unwrap(), h2.join().unwrap())
-    })
-    .unwrap();
+    });
     assert!(r1 < 1e-6, "solve 1 residual {r1}");
     assert!(r2 < 1e-2, "solve 2 residual {r2}");
 }
@@ -213,12 +266,18 @@ fn repeated_epoch_restarts_are_stable() {
     let a = diag_dominant(100, 4, 2.0, 13);
     let b = a.matvec(&vec![1.0; 100]);
     let mut x = vec![0.0; 100];
-    let rep = asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions {
-        sweeps: 50,
-        threads: 4,
-        epoch_sweeps: Some(1),
-        ..Default::default()
-    });
+    let rep = asyrgs_solve(
+        &a,
+        &b,
+        &mut x,
+        None,
+        &AsyRgsOptions {
+            threads: 4,
+            epoch_sweeps: Some(1),
+            term: Termination::sweeps(50),
+            ..Default::default()
+        },
+    );
     assert_eq!(rep.records.len(), 50);
     assert!(rep.final_rel_residual < 1e-8);
     // Residuals non-increasing across epochs (dominant matrix, generous
@@ -235,11 +294,16 @@ fn partitioned_and_unrestricted_agree_on_solution() {
     let x_star: Vec<f64> = (0..160).map(|i| (i as f64 * 0.07).sin()).collect();
     let b = a.matvec(&x_star);
     let mut xp = vec![0.0; 160];
-    partitioned_solve(&a, &b, &mut xp, &PartitionedOptions {
-        sweeps: 120,
-        threads: 4,
-        ..Default::default()
-    });
+    partitioned_solve(
+        &a,
+        &b,
+        &mut xp,
+        &PartitionedOptions {
+            threads: 4,
+            term: Termination::sweeps(120),
+            ..Default::default()
+        },
+    );
     for (g, w) in xp.iter().zip(&x_star) {
         assert!((g - w).abs() < 1e-6, "{g} vs {w}");
     }
@@ -257,12 +321,17 @@ fn lsq_stress_many_threads() {
     });
     let op = LsqOperator::new(p.a.clone());
     let mut x = vec![0.0; 100];
-    let rep = async_rcd_solve(&op, &p.b, &mut x, &LsqSolveOptions {
-        sweeps: 250,
-        threads: 16,
-        beta: 0.9,
-        ..Default::default()
-    });
+    let rep = async_rcd_solve(
+        &op,
+        &p.b,
+        &mut x,
+        &LsqSolveOptions {
+            threads: 16,
+            beta: 0.9,
+            term: Termination::sweeps(250),
+            ..Default::default()
+        },
+    );
     // 16 threads on one core: very long effective delays under suite load.
     assert!(rep.final_rel_residual < 1e-1, "{}", rep.final_rel_residual);
 }

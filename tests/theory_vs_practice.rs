@@ -4,11 +4,9 @@
 //! delays, and read models.
 
 use asyrgs::core::theory;
-use asyrgs::sim::{
-    expected_error_trajectory, DelayPolicy, DelaySimOptions, ReadModel,
-};
-use asyrgs::spectral::{estimate_condition, CondOptions};
+use asyrgs::sim::{expected_error_trajectory, DelayPolicy, DelaySimOptions, ReadModel};
 use asyrgs::sparse::{CsrMatrix, UnitDiagonal};
+use asyrgs::spectral::{estimate_condition, CondOptions};
 use asyrgs::workloads::laplace2d;
 
 struct Setup {
