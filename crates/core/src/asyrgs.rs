@@ -36,6 +36,7 @@ use crate::driver::{
 };
 use crate::report::SolveReport;
 use crate::rgs::{Directions, RowSampling};
+use asyrgs_parallel::WorkerPool;
 use asyrgs_sparse::dense::{self, RowMajorMat};
 use asyrgs_sparse::{CsrMatrix, RowAccess};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -224,6 +225,28 @@ pub fn asyrgs_solve<O: RowAccess + Sync>(
     x_star: Option<&[f64]>,
     opts: &AsyRgsOptions,
 ) -> SolveReport {
+    asyrgs_solve_on(
+        &asyrgs_parallel::pool_for(opts.threads),
+        a,
+        b,
+        x,
+        x_star,
+        opts,
+    )
+}
+
+/// [`asyrgs_solve`] on an injected worker pool (which must provide at
+/// least `opts.threads`-way concurrency). The default entry point borrows
+/// the process-wide pool when it is wide enough, so an epoch transition is
+/// a wake/park handshake rather than `threads` thread spawns and joins.
+pub fn asyrgs_solve_on<O: RowAccess + Sync>(
+    pool: &WorkerPool,
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    x_star: Option<&[f64]>,
+    opts: &AsyRgsOptions,
+) -> SolveReport {
     check_square_system("asyrgs_solve", a.n_rows(), a.n_cols(), b.len(), x.len());
     check_beta(opts.beta);
     check_threads(opts.threads);
@@ -245,58 +268,64 @@ pub fn asyrgs_solve<O: RowAccess + Sync>(
     };
     let mut driver = Driver::new(&opts.term, opts.record);
     let mut sweeps_done = 0usize;
+    // Observation scratch, reused across every epoch boundary: the iterate
+    // snapshot, the residual buffer (doubling as the A-norm matvec
+    // scratch), and the error diff.
+    let mut snap = vec![0.0; n];
+    let mut resid = vec![0.0; n];
+    let mut diff = x_star.map(|_| vec![0.0; n]);
 
     while sweeps_done < driver.max_sweeps() {
         let sweeps_this_epoch = epoch_sweeps.min(driver.max_sweeps() - sweeps_done);
         sweeps_done += sweeps_this_epoch;
         let limit = (sweeps_done as u64) * (n as u64);
-        // One scope per epoch: scope exit is the synchronization point.
-        std::thread::scope(|s| {
-            for _ in 0..opts.threads {
-                s.spawn(|| {
-                    worker(
-                        a,
-                        b,
-                        &shared,
-                        &dinv,
-                        &ds,
-                        &counter,
-                        limit,
-                        opts.beta,
-                        opts.write_mode,
-                        lock.as_ref(),
-                        &commits,
-                        &max_delay,
-                    )
-                });
-            }
+        // One pool round per epoch: round completion is the
+        // synchronization point.
+        pool.run(opts.threads, |_| {
+            worker(
+                a,
+                b,
+                &shared,
+                &dinv,
+                &ds,
+                &counter,
+                limit,
+                opts.beta,
+                opts.write_mode,
+                lock.as_ref(),
+                &commits,
+                &max_delay,
+            )
         });
         // Exiting workers overshoot the claim counter by one failed claim
         // each; reset it to the exact epoch boundary while they are
         // quiescent so the next epoch misses no iteration.
         counter.store(limit, Ordering::Relaxed);
-        // Synchronized: observe telemetry through the driver.
-        let snap = shared.snapshot();
-        let stop = driver.observe_lazy(
-            sweeps_done,
-            limit,
-            || dense::norm2(&a.residual(b, &snap)) / norm_b,
-            || {
-                x_star.map(|xs| {
-                    let diff: Vec<f64> = snap.iter().zip(xs).map(|(a, b)| a - b).collect();
-                    a.a_norm(&diff) / norm_xs_a.unwrap()
-                })
-            },
-        );
+        // Synchronized: observe telemetry through the driver (scratch
+        // buffers reused, nothing allocated).
+        let stop = driver.observe_lazy(sweeps_done, limit, || {
+            shared.snapshot_into(&mut snap);
+            a.residual_into(b, &snap, &mut resid);
+            let rel = dense::norm2(&resid) / norm_b;
+            let err = x_star.map(|xs| {
+                let d = diff.as_mut().unwrap();
+                for ((di, si), xsi) in d.iter_mut().zip(&snap).zip(xs) {
+                    *di = si - xsi;
+                }
+                a.a_norm_into(d, &mut resid) / norm_xs_a.unwrap()
+            });
+            (rel, err)
+        });
         if stop {
             break;
         }
     }
 
-    x.copy_from_slice(&shared.snapshot());
+    shared.snapshot_into(x);
     let iterations = (sweeps_done as u64) * (n as u64);
     let mut report = driver.finish(iterations, opts.threads, || {
-        dense::norm2(&a.residual(b, x)) / norm_b
+        a.residual_into(b, x, &mut resid);
+        dense::norm2(&resid) / norm_b
     });
     report.max_observed_delay = Some(max_delay.load(Ordering::Relaxed));
     report
@@ -375,6 +404,18 @@ pub fn asyrgs_solve_block(
     x: &mut RowMajorMat,
     opts: &AsyRgsOptions,
 ) -> SolveReport {
+    asyrgs_solve_block_on(&asyrgs_parallel::pool_for(opts.threads), a, b, x, opts)
+}
+
+/// [`asyrgs_solve_block`] on an injected worker pool (which must provide
+/// at least `opts.threads`-way concurrency).
+pub fn asyrgs_solve_block_on(
+    pool: &WorkerPool,
+    a: &CsrMatrix,
+    b: &RowMajorMat,
+    x: &mut RowMajorMat,
+    opts: &AsyRgsOptions,
+) -> SolveReport {
     check_square_block_system(
         "asyrgs_solve_block",
         a.n_rows(),
@@ -402,47 +443,45 @@ pub fn asyrgs_solve_block(
     };
     let mut driver = Driver::new(&opts.term, opts.record);
     let mut sweeps_done = 0usize;
+    // Observation scratch blocks, reused across every epoch boundary.
+    let mut snap = RowMajorMat::zeros(n, k);
+    let mut resid = RowMajorMat::zeros(n, k);
 
     while sweeps_done < driver.max_sweeps() {
         let sweeps_this_epoch = epoch_sweeps.min(driver.max_sweeps() - sweeps_done);
         sweeps_done += sweeps_this_epoch;
         let limit = (sweeps_done as u64) * (n as u64);
-        std::thread::scope(|s| {
-            for _ in 0..opts.threads {
-                s.spawn(|| {
-                    worker_block(
-                        a,
-                        b,
-                        &shared,
-                        k,
-                        &dinv,
-                        &ds,
-                        &counter,
-                        limit,
-                        opts.beta,
-                        opts.write_mode,
-                        lock.as_ref(),
-                    )
-                });
-            }
+        pool.run(opts.threads, |_| {
+            worker_block(
+                a,
+                b,
+                &shared,
+                k,
+                &dinv,
+                &ds,
+                &counter,
+                limit,
+                opts.beta,
+                opts.write_mode,
+                lock.as_ref(),
+            )
         });
         counter.store(limit, Ordering::Relaxed);
-        let snap = RowMajorMat::from_vec(n, k, shared.snapshot());
-        let stop = driver.observe_lazy(
-            sweeps_done,
-            limit,
-            || a.residual_block(b, &snap).frobenius_norm() / norm_b,
-            || None,
-        );
+        let stop = driver.observe_lazy(sweeps_done, limit, || {
+            shared.snapshot_into(snap.as_mut_slice());
+            a.residual_block_into(b, &snap, &mut resid);
+            (resid.frobenius_norm() / norm_b, None)
+        });
         if stop {
             break;
         }
     }
 
-    x.as_mut_slice().copy_from_slice(&shared.snapshot());
+    shared.snapshot_into(x.as_mut_slice());
     let iterations = (sweeps_done as u64) * (n as u64);
     driver.finish(iterations, opts.threads, || {
-        a.residual_block(b, x).frobenius_norm() / norm_b
+        a.residual_block_into(b, x, &mut resid);
+        resid.frobenius_norm() / norm_b
     })
 }
 

@@ -139,7 +139,19 @@ impl SharedVec {
     /// Copy the current contents into a fresh `Vec` (not a consistent
     /// snapshot under concurrent writers, but exact once quiesced).
     pub fn snapshot(&self) -> Vec<f64> {
-        self.data.iter().map(|c| c.load()).collect()
+        let mut out = vec![0.0; self.len()];
+        self.snapshot_into(&mut out);
+        out
+    }
+
+    /// Copy the current contents into a caller-provided buffer — the
+    /// allocation-free form the epoch loops use for their scratch
+    /// snapshots.
+    pub fn snapshot_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.len(), "snapshot_into: length mismatch");
+        for (o, c) in out.iter_mut().zip(self.data.iter()) {
+            *o = c.load();
+        }
     }
 
     /// Overwrite contents from a slice.

@@ -189,24 +189,27 @@ impl Driver {
     }
 
     /// Sweep boundary for solvers whose residual is **expensive**
-    /// (`Theta(nnz)`): the closures run only when this boundary records
-    /// (cadence due, stopping boundary, or expired time budget). The
-    /// residual target is therefore checked at record points only — the
+    /// (`Theta(nnz)`): the observation closure runs only when this
+    /// boundary records (cadence due, stopping boundary, or expired time
+    /// budget), returning `(rel_residual, rel_error_anorm)`. The residual
+    /// target is therefore checked at record points only — the
     /// Gauss-Seidel family's historical semantics.
+    ///
+    /// A single closure produces both values so solvers can thread one
+    /// set of `&mut` scratch buffers (snapshot, residual, error diff)
+    /// through it without allocating per observation.
     ///
     /// Returns `true` when the solve must stop.
     pub fn observe_lazy(
         &mut self,
         sweep: usize,
         iterations: u64,
-        rel_residual: impl FnOnce() -> f64,
-        rel_error: impl FnOnce() -> Option<f64>,
+        observe: impl FnOnce() -> (f64, Option<f64>),
     ) -> bool {
         let last = sweep >= self.term.max_sweeps;
         let timeup = self.budget_spent();
         if self.record.due(sweep) || last || timeup {
-            let rel = rel_residual();
-            let err = rel_error();
+            let (rel, err) = observe();
             self.push(sweep, iterations, rel, err);
         }
         self.out_of_time = timeup && !self.converged;
@@ -479,7 +482,7 @@ mod tests {
         let term = Termination::sweeps(10);
         let mut d = Driver::new(&term, rec(4));
         for sweep in 1..=10 {
-            let stop = d.observe_lazy(sweep, sweep as u64, || 1.0 / sweep as f64, || None);
+            let stop = d.observe_lazy(sweep, sweep as u64, || (1.0 / sweep as f64, None));
             assert_eq!(stop, sweep == 10);
         }
         let rep = d.finish(10, 1, || unreachable!("records exist"));
@@ -495,15 +498,10 @@ mod tests {
         let mut d = Driver::new(&term, Recording::end_only());
         let mut evaluations = 0usize;
         for sweep in 1..=7 {
-            d.observe_lazy(
-                sweep,
-                sweep as u64,
-                || {
-                    evaluations += 1;
-                    0.5
-                },
-                || None,
-            );
+            d.observe_lazy(sweep, sweep as u64, || {
+                evaluations += 1;
+                (0.5, None)
+            });
         }
         assert_eq!(
             evaluations, 1,
@@ -529,7 +527,7 @@ mod tests {
         let mut d = Driver::new(&term, rec(1));
         let mut stopped_at = 0;
         for sweep in 1..=100 {
-            if d.observe_lazy(sweep, sweep as u64, || 10f64.powi(-(sweep as i32)), || None) {
+            if d.observe_lazy(sweep, sweep as u64, || (10f64.powi(-(sweep as i32)), None)) {
                 stopped_at = sweep;
                 break;
             }
@@ -550,7 +548,7 @@ mod tests {
         let mut d = Driver::new(&term, rec(5));
         let mut stopped_at = 0;
         for sweep in 1..=100 {
-            if d.observe_lazy(sweep, sweep as u64, || 1e-6, || None) {
+            if d.observe_lazy(sweep, sweep as u64, || (1e-6, None)) {
                 stopped_at = sweep;
                 break;
             }
@@ -590,7 +588,7 @@ mod tests {
         loop {
             sweeps += 1;
             std::thread::sleep(Duration::from_millis(2));
-            if d.observe_lazy(sweeps, sweeps as u64, || 0.5, || None) {
+            if d.observe_lazy(sweeps, sweeps as u64, || (0.5, None)) {
                 break;
             }
         }
@@ -610,7 +608,7 @@ mod tests {
             .with_wall_clock(Duration::from_millis(1));
         let mut d = Driver::new(&term, rec(1));
         std::thread::sleep(Duration::from_millis(5));
-        assert!(d.observe_lazy(1, 1, || 1e-9, || None));
+        assert!(d.observe_lazy(1, 1, || (1e-9, None)));
         let rep = d.finish(1, 1, || unreachable!());
         assert!(rep.converged_early);
         assert!(!rep.stopped_on_budget, "convergence outranks the budget");
@@ -620,8 +618,8 @@ mod tests {
     fn non_finite_residual_stops_the_solve() {
         let term = Termination::sweeps(100);
         let mut d = Driver::new(&term, rec(1));
-        assert!(!d.observe_lazy(1, 1, || 0.5, || None));
-        assert!(d.observe_lazy(2, 2, || f64::INFINITY, || None));
+        assert!(!d.observe_lazy(1, 1, || (0.5, None)));
+        assert!(d.observe_lazy(2, 2, || (f64::INFINITY, None)));
         let rep = d.finish(2, 1, || unreachable!());
         assert!(!rep.converged_early);
         assert!(rep.final_rel_residual.is_infinite());
@@ -631,8 +629,8 @@ mod tests {
     fn error_closure_is_forwarded() {
         let term = Termination::sweeps(2);
         let mut d = Driver::new(&term, rec(1));
-        d.observe_lazy(1, 1, || 0.5, || Some(0.7));
-        d.observe_lazy(2, 2, || 0.25, || None);
+        d.observe_lazy(1, 1, || (0.5, Some(0.7)));
+        d.observe_lazy(2, 2, || (0.25, None));
         let rep = d.finish(2, 4, || unreachable!());
         assert_eq!(rep.records[0].rel_error_anorm, Some(0.7));
         assert_eq!(rep.records[1].rel_error_anorm, None);

@@ -29,6 +29,7 @@ use crate::driver::{
     Termination,
 };
 use crate::report::SolveReport;
+use asyrgs_parallel::WorkerPool;
 use asyrgs_sparse::dense;
 use asyrgs_sparse::{CsrMatrix, RowAccess};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -83,6 +84,7 @@ pub fn jacobi_solve<O: RowAccess>(
 
     let mut driver = Driver::new(&opts.term, opts.record);
     let mut x_new = vec![0.0; n];
+    let mut resid = vec![0.0; n];
     let mut sweeps = 0usize;
     for sweep in 1..=driver.max_sweeps() {
         sweeps = sweep;
@@ -91,19 +93,16 @@ pub fn jacobi_solve<O: RowAccess>(
             x_new[i] = x[i] + opts.damping * r * dinv[i];
         }
         x.copy_from_slice(&x_new);
-        let stop = driver.observe_lazy(
-            sweep,
-            (sweep * n) as u64,
-            || dense::norm2(&a.residual(b, x)) / norm_b,
-            || None,
-        );
+        let stop = driver.observe_lazy(sweep, (sweep * n) as u64, || {
+            (a.rel_residual_into(b, x, norm_b, &mut resid), None)
+        });
         if stop {
             break;
         }
     }
 
     driver.finish((sweeps * n) as u64, 1, || {
-        dense::norm2(&a.residual(b, x)) / norm_b
+        a.rel_residual_into(b, x, norm_b, &mut resid)
     })
 }
 
@@ -143,6 +142,18 @@ pub fn async_jacobi_solve<O: RowAccess + Sync>(
     x: &mut [f64],
     opts: &JacobiOptions,
 ) -> SolveReport {
+    async_jacobi_solve_on(&asyrgs_parallel::pool_for(opts.threads), a, b, x, opts)
+}
+
+/// [`async_jacobi_solve`] on an injected worker pool (which must provide
+/// at least `opts.threads`-way concurrency).
+pub fn async_jacobi_solve_on<O: RowAccess + Sync>(
+    pool: &WorkerPool,
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &JacobiOptions,
+) -> SolveReport {
     check_square_system(
         "async_jacobi_solve",
         a.n_rows(),
@@ -163,48 +174,43 @@ pub fn async_jacobi_solve<O: RowAccess + Sync>(
     let mut driver = Driver::new(&opts.term, opts.record);
     let epoch_sweeps = epoch_len(&opts.term, opts.record);
     let mut sweeps_done = 0usize;
+    let mut snap = vec![0.0; n];
+    let mut resid = vec![0.0; n];
 
     while sweeps_done < driver.max_sweeps() {
         let this_epoch = epoch_sweeps.min(driver.max_sweeps() - sweeps_done);
         sweeps_done += this_epoch;
         let block_limit = n_blocks * sweeps_done;
-        std::thread::scope(|s| {
-            for _ in 0..opts.threads {
-                s.spawn(|| loop {
-                    let blk = counter.fetch_add(1, Ordering::Relaxed);
-                    if blk >= block_limit {
-                        break;
-                    }
-                    let lo = (blk % n_blocks) * BLOCK;
-                    let hi = (lo + BLOCK).min(n);
-                    for i in lo..hi {
-                        let mut dot = 0.0;
-                        a.visit_row(i, |c, v| dot += v * shared.load(c));
-                        let xi = shared.load(i);
-                        shared.store(i, xi + opts.damping * (b[i] - dot) * dinv[i]);
-                    }
-                });
+        pool.run(opts.threads, |_| loop {
+            let blk = counter.fetch_add(1, Ordering::Relaxed);
+            if blk >= block_limit {
+                break;
+            }
+            let lo = (blk % n_blocks) * BLOCK;
+            let hi = (lo + BLOCK).min(n);
+            for i in lo..hi {
+                let mut dot = 0.0;
+                a.visit_row(i, |c, v| dot += v * shared.load(c));
+                let xi = shared.load(i);
+                shared.store(i, xi + opts.damping * (b[i] - dot) * dinv[i]);
             }
         });
         // Exiting workers overshoot the claim counter by one failed claim
         // each; reset it to the exact boundary while they are quiescent so
         // the next epoch misses no block.
         counter.store(block_limit, Ordering::Relaxed);
-        let snap = shared.snapshot();
-        let stop = driver.observe_lazy(
-            sweeps_done,
-            (sweeps_done * n) as u64,
-            || dense::norm2(&a.residual(b, &snap)) / norm_b,
-            || None,
-        );
+        let stop = driver.observe_lazy(sweeps_done, (sweeps_done * n) as u64, || {
+            shared.snapshot_into(&mut snap);
+            (a.rel_residual_into(b, &snap, norm_b, &mut resid), None)
+        });
         if stop {
             break;
         }
     }
 
-    x.copy_from_slice(&shared.snapshot());
+    shared.snapshot_into(x);
     driver.finish((sweeps_done * n) as u64, opts.threads, || {
-        dense::norm2(&a.residual(b, x)) / norm_b
+        a.rel_residual_into(b, x, norm_b, &mut resid)
     })
 }
 

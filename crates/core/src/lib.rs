@@ -59,12 +59,20 @@ pub mod report;
 pub mod rgs;
 pub mod theory;
 
-pub use asyrgs::{asyrgs_solve, asyrgs_solve_block, AsyRgsOptions, ReadMode, WriteMode};
+pub use asyrgs::{
+    asyrgs_solve, asyrgs_solve_block, asyrgs_solve_block_on, asyrgs_solve_on, AsyRgsOptions,
+    ReadMode, WriteMode,
+};
 pub use atomic::{AtomicF64, SharedVec};
 pub use driver::{Driver, Recording, Solver, SolverSpec, Termination};
-pub use jacobi::{async_jacobi_solve, chazan_miranker_condition, jacobi_solve, JacobiOptions};
-pub use lsq::{async_rcd_solve, rcd_solve, LsqOperator, LsqSolveOptions};
-pub use partitioned::{partitioned_solve, PartitionedOptions, PartitionedReport};
+pub use jacobi::{
+    async_jacobi_solve, async_jacobi_solve_on, chazan_miranker_condition, jacobi_solve,
+    JacobiOptions,
+};
+pub use lsq::{async_rcd_solve, async_rcd_solve_on, rcd_solve, LsqOperator, LsqSolveOptions};
+pub use partitioned::{
+    partitioned_solve, partitioned_solve_on, PartitionedOptions, PartitionedReport,
+};
 pub use report::{SolveReport, SweepRecord};
 pub use rgs::{rgs_solve, rgs_solve_block, RgsOptions, RowSampling};
 pub use theory::ProblemParams;

@@ -26,6 +26,7 @@
 use crate::atomic::SharedVec;
 use crate::driver::{check_beta, check_threads, Driver, Recording, Termination};
 use crate::report::SolveReport;
+use asyrgs_parallel::WorkerPool;
 use asyrgs_rng::DirectionStream;
 use asyrgs_sparse::dense;
 use asyrgs_sparse::{CscMatrix, CsrMatrix};
@@ -225,6 +226,18 @@ pub fn async_rcd_solve(
     x: &mut [f64],
     opts: &LsqSolveOptions,
 ) -> SolveReport {
+    async_rcd_solve_on(&asyrgs_parallel::pool_for(opts.threads), op, b, x, opts)
+}
+
+/// [`async_rcd_solve`] on an injected worker pool (which must provide at
+/// least `opts.threads`-way concurrency).
+pub fn async_rcd_solve_on(
+    pool: &WorkerPool,
+    op: &LsqOperator,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &LsqSolveOptions,
+) -> SolveReport {
     check_lsq_system("async_rcd_solve", op, b.len(), x.len());
     check_beta(opts.beta);
     check_threads(opts.threads);
@@ -237,33 +250,31 @@ pub fn async_rcd_solve(
     let mut driver = Driver::new(&opts.term, opts.record);
     let epoch_sweeps = crate::jacobi::epoch_len(&opts.term, opts.record);
     let mut sweeps_done = 0usize;
+    let mut snap = vec![0.0; n];
+    let mut resid = vec![0.0; op.n_rows()];
 
     while sweeps_done < driver.max_sweeps() {
         let this_epoch = epoch_sweeps.min(driver.max_sweeps() - sweeps_done);
         sweeps_done += this_epoch;
         let limit = (sweeps_done as u64) * (n as u64);
-        std::thread::scope(|s| {
-            for _ in 0..opts.threads {
-                s.spawn(|| lsq_worker(op, b, &shared, &ds, &counter, limit, opts.beta));
-            }
+        pool.run(opts.threads, |_| {
+            lsq_worker(op, b, &shared, &ds, &counter, limit, opts.beta)
         });
         // Exiting workers overshoot the claim counter by one failed claim
         // each; reset it to the exact epoch boundary while they are
         // quiescent so the next epoch misses no iteration.
         counter.store(limit, Ordering::Relaxed);
-        let snap = shared.snapshot();
-        let stop = driver.observe_lazy(
-            sweeps_done,
-            limit,
-            || dense::norm2(&op.a.residual(b, &snap)) / norm_b,
-            || None,
-        );
+        let stop = driver.observe_lazy(sweeps_done, limit, || {
+            shared.snapshot_into(&mut snap);
+            op.a.residual_into(b, &snap, &mut resid);
+            (dense::norm2(&resid) / norm_b, None)
+        });
         if stop {
             break;
         }
     }
 
-    x.copy_from_slice(&shared.snapshot());
+    shared.snapshot_into(x);
     let iterations = (sweeps_done as u64) * (n as u64);
     driver.finish_computed(iterations, opts.threads, op.rel_residual(b, x))
 }

@@ -37,6 +37,7 @@ use crate::driver::{
     Solver, Termination,
 };
 use crate::report::SolveReport;
+use asyrgs_parallel::WorkerPool;
 use asyrgs_rng::Philox4x32;
 use asyrgs_sparse::dense;
 use asyrgs_sparse::RowAccess;
@@ -93,6 +94,19 @@ pub fn partitioned_solve<O: RowAccess + Sync>(
     x: &mut [f64],
     opts: &PartitionedOptions,
 ) -> PartitionedReport {
+    partitioned_solve_on(&asyrgs_parallel::pool_for(opts.threads), a, b, x, opts)
+}
+
+/// [`partitioned_solve`] on an injected worker pool (which must provide at
+/// least `opts.threads`-way concurrency: every owner must run concurrently
+/// to reach the per-sweep barrier).
+pub fn partitioned_solve_on<O: RowAccess + Sync>(
+    pool: &WorkerPool,
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &PartitionedOptions,
+) -> PartitionedReport {
     check_square_system(
         "partitioned_solve",
         a.n_rows(),
@@ -128,59 +142,53 @@ pub fn partitioned_solve<O: RowAccess + Sync>(
     let epoch_sweeps = crate::jacobi::epoch_len(&opts.term, opts.record);
     let mut sweeps_done = 0usize;
 
+    let mut snap = vec![0.0; n];
+    let mut resid = vec![0.0; n];
+
     while sweeps_done < driver.max_sweeps() {
         let this_epoch = epoch_sweeps.min(driver.max_sweeps() - sweeps_done);
         let sweeps_before = sweeps_done;
         sweeps_done += this_epoch;
         let barrier = std::sync::Barrier::new(p);
-        std::thread::scope(|s| {
-            for t in 0..p {
-                let lo = bounds[t];
-                let hi = bounds[t + 1];
-                let gen = master.substream(t as u64);
-                let shared = &shared;
-                let counts = &block_counts;
-                let dinv = &dinv;
-                let barrier = &barrier;
-                s.spawn(move || {
-                    let width = hi - lo;
-                    // The Philox counter is a pure function of how many
-                    // updates this owner has already applied, so epochs
-                    // continue the same per-owner random sequence.
-                    let mut local: u64 = (sweeps_before as u64) * (width as u64);
-                    for _sweep in 0..this_epoch {
-                        for _ in 0..width {
-                            let r = lo + gen.index_at(local, width);
-                            local += 1;
-                            let mut dot = 0.0;
-                            a.visit_row(r, |c, v| dot += v * shared.load(c));
-                            let gamma = (b[r] - dot) * dinv[r];
-                            // Single-owner write: a plain store is race-free.
-                            shared.store(r, shared.load(r) + opts.beta * gamma);
-                        }
-                        // One exchange per sweep — the BSP-style boundary
-                        // communication a distributed-memory port would do.
-                        barrier.wait();
-                    }
-                    counts[t].fetch_add((this_epoch as u64) * (width as u64), Ordering::Relaxed);
-                });
+        // One pool round per epoch; the round's worker id *is* the block
+        // owner id, so pool worker `t` owns rows [bounds[t], bounds[t+1]).
+        pool.run(p, |t| {
+            let lo = bounds[t];
+            let hi = bounds[t + 1];
+            let gen = master.substream(t as u64);
+            let width = hi - lo;
+            // The Philox counter is a pure function of how many
+            // updates this owner has already applied, so epochs
+            // continue the same per-owner random sequence.
+            let mut local: u64 = (sweeps_before as u64) * (width as u64);
+            for _sweep in 0..this_epoch {
+                for _ in 0..width {
+                    let r = lo + gen.index_at(local, width);
+                    local += 1;
+                    let mut dot = 0.0;
+                    a.visit_row(r, |c, v| dot += v * shared.load(c));
+                    let gamma = (b[r] - dot) * dinv[r];
+                    // Single-owner write: a plain store is race-free.
+                    shared.store(r, shared.load(r) + opts.beta * gamma);
+                }
+                // One exchange per sweep — the BSP-style boundary
+                // communication a distributed-memory port would do.
+                barrier.wait();
             }
+            block_counts[t].fetch_add((this_epoch as u64) * (width as u64), Ordering::Relaxed);
         });
-        let snap = shared.snapshot();
-        let stop = driver.observe_lazy(
-            sweeps_done,
-            (sweeps_done as u64) * (n as u64),
-            || dense::norm2(&a.residual(b, &snap)) / norm_b,
-            || None,
-        );
+        let stop = driver.observe_lazy(sweeps_done, (sweeps_done as u64) * (n as u64), || {
+            shared.snapshot_into(&mut snap);
+            (a.rel_residual_into(b, &snap, norm_b, &mut resid), None)
+        });
         if stop {
             break;
         }
     }
 
-    x.copy_from_slice(&shared.snapshot());
+    shared.snapshot_into(x);
     let total = (sweeps_done as u64) * (n as u64);
-    let report = driver.finish(total, p, || dense::norm2(&a.residual(b, x)) / norm_b);
+    let report = driver.finish(total, p, || a.rel_residual_into(b, x, norm_b, &mut resid));
     PartitionedReport {
         report,
         block_iterations: block_counts

@@ -123,6 +123,9 @@ pub fn rgs_solve<O: RowAccess>(
 
     let mut driver = Driver::new(&opts.term, opts.record);
     let mut j: u64 = 0;
+    // Observation scratch, reused across every record point.
+    let mut resid = vec![0.0; n];
+    let mut diff = x_star.map(|_| vec![0.0; n]);
 
     for sweep in 1..=driver.max_sweeps() {
         for _ in 0..n {
@@ -131,23 +134,27 @@ pub fn rgs_solve<O: RowAccess>(
             let gamma = (b[r] - a.row_dot(r, x)) * dinv[r];
             x[r] += opts.beta * gamma;
         }
-        let stop = driver.observe_lazy(
-            sweep,
-            j,
-            || dense::norm2(&a.residual(b, x)) / norm_b,
-            || {
-                x_star.map(|xs| {
-                    let diff: Vec<f64> = x.iter().zip(xs).map(|(a, b)| a - b).collect();
-                    a.a_norm(&diff) / norm_xs_a.unwrap()
-                })
-            },
-        );
+        let stop = driver.observe_lazy(sweep, j, || {
+            a.residual_into(b, x, &mut resid);
+            let rel = dense::norm2(&resid) / norm_b;
+            let err = x_star.map(|xs| {
+                let d = diff.as_mut().unwrap();
+                for ((di, xi), xsi) in d.iter_mut().zip(x.iter()).zip(xs) {
+                    *di = xi - xsi;
+                }
+                a.a_norm_into(d, &mut resid) / norm_xs_a.unwrap()
+            });
+            (rel, err)
+        });
         if stop {
             break;
         }
     }
 
-    driver.finish(j, 1, || dense::norm2(&a.residual(b, x)) / norm_b)
+    driver.finish(j, 1, || {
+        a.residual_into(b, x, &mut resid);
+        dense::norm2(&resid) / norm_b
+    })
 }
 
 impl Solver for RgsOptions {
@@ -199,6 +206,7 @@ pub fn rgs_solve_block(
     let mut driver = Driver::new(&opts.term, opts.record);
     let mut j: u64 = 0;
     let mut gammas = vec![0.0f64; k];
+    let mut resid = RowMajorMat::zeros(n, k);
 
     for sweep in 1..=driver.max_sweeps() {
         for _ in 0..n {
@@ -218,18 +226,19 @@ pub fn rgs_solve_block(
                 xr[t] += opts.beta * gammas[t] * dinv[r];
             }
         }
-        let stop = driver.observe_lazy(
-            sweep,
-            j,
-            || a.residual_block(b, x).frobenius_norm() / norm_b,
-            || None,
-        );
+        let stop = driver.observe_lazy(sweep, j, || {
+            a.residual_block_into(b, x, &mut resid);
+            (resid.frobenius_norm() / norm_b, None)
+        });
         if stop {
             break;
         }
     }
 
-    driver.finish(j, 1, || a.residual_block(b, x).frobenius_norm() / norm_b)
+    driver.finish(j, 1, || {
+        a.residual_block_into(b, x, &mut resid);
+        resid.frobenius_norm() / norm_b
+    })
 }
 
 #[cfg(test)]

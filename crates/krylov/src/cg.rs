@@ -86,7 +86,9 @@ pub fn cg_solve<O: LinearOperator + ?Sized>(
         }
     }
 
-    let mut report = driver.finish_computed(it as u64, 1, dense::norm2(&a.residual(b, x)) / norm_b);
+    // True (not recurrence) final residual, reusing r as scratch.
+    a.residual_into(b, x, &mut r);
+    let mut report = driver.finish_computed(it as u64, 1, dense::norm2(&r) / norm_b);
     report.converged_early |= initially_converged;
     report
 }

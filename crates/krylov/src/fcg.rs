@@ -138,7 +138,9 @@ pub fn fcg_solve<O: LinearOperator + ?Sized, M: Preconditioner>(
         }
     }
 
-    let mut report = driver.finish_computed(it as u64, 1, dense::norm2(&a.residual(b, x)) / norm_b);
+    // True (not recurrence) final residual, reusing r as scratch.
+    a.residual_into(b, x, &mut r);
+    let mut report = driver.finish_computed(it as u64, 1, dense::norm2(&r) / norm_b);
     report.converged_early |= initially_converged;
     report
 }

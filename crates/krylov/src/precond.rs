@@ -12,9 +12,10 @@
 //! (Asy)RGS preconditioners wrap any [`RowAccess`] operator (defaulting to
 //! [`CsrMatrix`]).
 
-use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions};
+use asyrgs_core::asyrgs::{asyrgs_solve_on, AsyRgsOptions};
 use asyrgs_core::driver::{Recording, Termination};
 use asyrgs_core::rgs::{rgs_solve, RgsOptions};
+use asyrgs_parallel::SolvePool;
 use asyrgs_sparse::{CsrMatrix, LinearOperator, RowAccess};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -135,6 +136,10 @@ pub struct AsyRgsPrecond<'a, O: RowAccess + Sync = CsrMatrix> {
     pub beta: f64,
     seed: u64,
     counter: AtomicU64,
+    /// Worker pool held for the preconditioner's lifetime: an outer FCG
+    /// solve applies this operator hundreds of times, so each application
+    /// must be a wake/park handshake, never a pool construction.
+    pool: SolvePool,
 }
 
 impl<'a, O: RowAccess + Sync> AsyRgsPrecond<'a, O> {
@@ -147,6 +152,7 @@ impl<'a, O: RowAccess + Sync> AsyRgsPrecond<'a, O> {
             beta,
             seed,
             counter: AtomicU64::new(0),
+            pool: asyrgs_parallel::pool_for(threads),
         }
     }
 
@@ -160,7 +166,18 @@ impl<O: RowAccess + Sync> Preconditioner for AsyRgsPrecond<'_, O> {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         z.fill(0.0);
         let app = self.counter.fetch_add(1, Ordering::Relaxed);
-        asyrgs_solve(
+        // The public `threads` field may have been raised past the pool
+        // sized at construction; fall back to a fresh adequate pool for
+        // this application rather than tripping the pool's width assert.
+        let fallback;
+        let pool = if self.threads <= self.pool.concurrency() {
+            &self.pool
+        } else {
+            fallback = asyrgs_parallel::pool_for(self.threads);
+            &fallback
+        };
+        asyrgs_solve_on(
+            pool,
             self.a,
             r,
             z,

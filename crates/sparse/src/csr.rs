@@ -187,11 +187,25 @@ impl CsrMatrix {
     }
 
     /// Dot product of row `i` with the dense vector `x`.
+    ///
+    /// Unrolled 4-wide: the single accumulator keeps the summation order
+    /// identical to the plain loop (bitwise-stable results) while letting
+    /// the compiler lift the gather loads and drop per-entry bounds
+    /// checks. This is the innermost kernel of every Gauss-Seidel-family
+    /// update.
     #[inline]
     pub fn row_dot(&self, i: usize, x: &[f64]) -> f64 {
         let (cols, vals) = self.row(i);
         let mut acc = 0.0;
-        for (&c, &v) in cols.iter().zip(vals) {
+        let mut c4 = cols.chunks_exact(4);
+        let mut v4 = vals.chunks_exact(4);
+        for (c, v) in (&mut c4).zip(&mut v4) {
+            acc += v[0] * x[c[0]];
+            acc += v[1] * x[c[1]];
+            acc += v[2] * x[c[2]];
+            acc += v[3] * x[c[3]];
+        }
+        for (&c, &v) in c4.remainder().iter().zip(v4.remainder()) {
             acc += v * x[c];
         }
         acc
@@ -213,68 +227,143 @@ impl CsrMatrix {
         }
     }
 
-    /// Parallel `y <- A x`, row-partitioned over scoped std threads.
+    /// Parallel `y <- A x` on the process-wide worker pool.
     ///
-    /// Uses up to `available_parallelism()` workers; falls back to the
-    /// serial kernel for small matrices where spawn overhead dominates.
+    /// Equivalent to [`par_matvec_into_on`](Self::par_matvec_into_on) with
+    /// [`asyrgs_parallel::global`].
     pub fn par_matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        self.par_matvec_into_on(asyrgs_parallel::global(), x, y);
+    }
+
+    /// Parallel `y <- A x` on an injected worker pool: rows are claimed in
+    /// fixed-size chunks (atomic claiming, dynamic load balance). Each
+    /// output entry is a single [`row_dot`](Self::row_dot), so the result
+    /// is bitwise identical to [`matvec_into`](Self::matvec_into) for any
+    /// pool size.
+    pub fn par_matvec_into_on(&self, pool: &asyrgs_parallel::WorkerPool, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_cols, "par_matvec: x length mismatch");
         assert_eq!(y.len(), self.n_rows, "par_matvec: y length mismatch");
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(self.n_rows.div_ceil(1024));
-        if workers <= 1 {
-            return self.matvec_into(x, y);
-        }
-        let chunk = self.n_rows.div_ceil(workers);
-        std::thread::scope(|s| {
-            for (w, ys) in y.chunks_mut(chunk).enumerate() {
-                let lo = w * chunk;
-                s.spawn(move || {
-                    for (i, yi) in ys.iter_mut().enumerate() {
-                        *yi = self.row_dot(lo + i, x);
-                    }
-                });
+        const GRAIN: usize = 1024;
+        let yp = asyrgs_parallel::SendPtr(y.as_mut_ptr());
+        pool.for_each_chunk(self.n_rows, GRAIN, |lo, hi| {
+            // Chunks are disjoint, so each worker owns y[lo..hi] exclusively.
+            let ys = unsafe { yp.slice_mut(lo, hi) };
+            for (i, yi) in ys.iter_mut().enumerate() {
+                *yi = self.row_dot(lo + i, x);
             }
         });
     }
 
     /// Multi-RHS product `Y <- A X` where `X` is row-major `n_cols x k`.
+    ///
+    /// The inner loop is register-blocked over 4 right-hand sides: each
+    /// sweep over a row's nonzeros accumulates 4 output entries in
+    /// registers instead of streaming through the output row per nonzero.
+    /// Per-element accumulation order over the nonzeros is unchanged, so
+    /// results are bitwise identical to the naive loop.
     pub fn spmm_into(&self, x: &RowMajorMat, y: &mut RowMajorMat) {
         assert_eq!(x.n_rows(), self.n_cols, "spmm: X row mismatch");
         assert_eq!(y.n_rows(), self.n_rows, "spmm: Y row mismatch");
         assert_eq!(x.n_cols(), y.n_cols(), "spmm: RHS count mismatch");
-        let k = x.n_cols();
         for i in 0..self.n_rows {
-            let (cols, vals) = self.row(i);
-            let yrow = y.row_mut(i);
-            yrow.fill(0.0);
+            self.spmm_row(i, x, y.row_mut(i));
+        }
+    }
+
+    /// One row of [`spmm_into`](Self::spmm_into): `yrow <- A_i X`.
+    #[inline]
+    fn spmm_row(&self, i: usize, x: &RowMajorMat, yrow: &mut [f64]) {
+        let k = x.n_cols();
+        let (cols, vals) = self.row(i);
+        let mut t = 0;
+        while t + 4 <= k {
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
             for (&c, &v) in cols.iter().zip(vals) {
-                let xrow = x.row(c);
-                for t in 0..k {
-                    yrow[t] += v * xrow[t];
+                let xr = x.row(c);
+                a0 += v * xr[t];
+                a1 += v * xr[t + 1];
+                a2 += v * xr[t + 2];
+                a3 += v * xr[t + 3];
+            }
+            yrow[t] = a0;
+            yrow[t + 1] = a1;
+            yrow[t + 2] = a2;
+            yrow[t + 3] = a3;
+            t += 4;
+        }
+        if t < k {
+            yrow[t..k].fill(0.0);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let xr = x.row(c);
+                for (yt, &xt) in yrow[t..k].iter_mut().zip(&xr[t..k]) {
+                    *yt += v * xt;
                 }
             }
         }
     }
 
+    /// Parallel multi-RHS product `Y <- A X` on the process-wide pool.
+    pub fn par_spmm_into(&self, x: &RowMajorMat, y: &mut RowMajorMat) {
+        self.par_spmm_into_on(asyrgs_parallel::global(), x, y);
+    }
+
+    /// Parallel multi-RHS product on an injected pool: output rows are
+    /// claimed in chunks; each row runs the same register-blocked kernel
+    /// as [`spmm_into`](Self::spmm_into), so results are bitwise identical
+    /// to the serial product for any pool size.
+    pub fn par_spmm_into_on(
+        &self,
+        pool: &asyrgs_parallel::WorkerPool,
+        x: &RowMajorMat,
+        y: &mut RowMajorMat,
+    ) {
+        assert_eq!(x.n_rows(), self.n_cols, "spmm: X row mismatch");
+        assert_eq!(y.n_rows(), self.n_rows, "spmm: Y row mismatch");
+        assert_eq!(x.n_cols(), y.n_cols(), "spmm: RHS count mismatch");
+        const GRAIN: usize = 256;
+        let k = x.n_cols();
+        let yp = asyrgs_parallel::SendPtr(y.as_mut_slice().as_mut_ptr());
+        pool.for_each_chunk(self.n_rows, GRAIN, |lo, hi| {
+            // Row chunks are disjoint: each worker owns Y[lo..hi, :].
+            for i in lo..hi {
+                let yrow = unsafe { yp.slice_mut(i * k, (i + 1) * k) };
+                self.spmm_row(i, x, yrow);
+            }
+        });
+    }
+
     /// Residual `r = b - A x`.
     pub fn residual(&self, b: &[f64], x: &[f64]) -> Vec<f64> {
-        let mut r = self.matvec(x);
+        let mut r = vec![0.0; self.n_rows];
+        self.residual_into(b, x, &mut r);
+        r
+    }
+
+    /// Residual `r <- b - A x` into a caller-provided buffer — the
+    /// allocation-free form the solvers' epoch observers use.
+    pub fn residual_into(&self, b: &[f64], x: &[f64], r: &mut [f64]) {
+        assert_eq!(b.len(), self.n_rows, "residual: b length mismatch");
+        self.matvec_into(x, r);
         for (ri, bi) in r.iter_mut().zip(b) {
             *ri = bi - *ri;
         }
-        r
     }
 
     /// Multi-RHS residual `R = B - A X` (row-major blocks).
     pub fn residual_block(&self, b: &RowMajorMat, x: &RowMajorMat) -> RowMajorMat {
-        let mut ax = RowMajorMat::zeros(self.n_rows, x.n_cols());
-        self.spmm_into(x, &mut ax);
-        let mut r = b.clone();
-        r.sub_assign(&ax);
+        let mut r = RowMajorMat::zeros(self.n_rows, x.n_cols());
+        self.residual_block_into(b, x, &mut r);
         r
+    }
+
+    /// Multi-RHS residual `R <- B - A X` into a caller-provided block.
+    pub fn residual_block_into(&self, b: &RowMajorMat, x: &RowMajorMat, r: &mut RowMajorMat) {
+        assert_eq!(b.n_rows(), self.n_rows, "residual_block: B row mismatch");
+        assert_eq!(b.n_cols(), x.n_cols(), "residual_block: RHS mismatch");
+        self.spmm_into(x, r);
+        for (ri, bi) in r.as_mut_slice().iter_mut().zip(b.as_slice()) {
+            *ri = bi - *ri;
+        }
     }
 
     /// The transpose as a new CSR matrix (equivalently, this matrix in CSC).

@@ -16,30 +16,34 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     x.iter().zip(y).map(|(a, b)| a * b).sum()
 }
 
-/// Parallel dot product for long vectors, chunked over scoped std threads.
+/// Parallel dot product for long vectors on the process-wide worker pool.
 ///
-/// Partial sums are combined in chunk order, so the result is
-/// deterministic for a fixed length (though it may differ from the serial
-/// summation order at the last few ulps).
+/// The vector is split at fixed 16384-element boundaries and the partial
+/// sums are combined in chunk order, so the result is a pure function of
+/// the input length — identical across pool sizes and across runs (though
+/// it may differ from the serial summation order at the last few ulps).
 pub fn par_dot(x: &[f64], y: &[f64]) -> f64 {
+    par_dot_on(asyrgs_parallel::global(), x, y)
+}
+
+/// [`par_dot`] on an injected worker pool. The fixed chunk grain makes the
+/// result identical for every pool size.
+pub fn par_dot_on(pool: &asyrgs_parallel::WorkerPool, x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "par_dot: length mismatch");
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(x.len().div_ceil(16_384));
-    if workers <= 1 {
+    const GRAIN: usize = 16_384;
+    if x.len() <= GRAIN {
         return dot(x, y);
     }
-    let chunk = x.len().div_ceil(workers);
-    let mut partials = vec![0.0f64; workers];
-    std::thread::scope(|s| {
-        for ((xs, ys), out) in x
-            .chunks(chunk)
-            .zip(y.chunks(chunk))
-            .zip(partials.iter_mut())
-        {
-            s.spawn(move || *out = dot(xs, ys));
-        }
+    // Always take the chunked path above the grain (even on a one-worker
+    // pool, where for_each_chunk iterates the chunks serially): the
+    // summation order is then a pure function of the length, so the result
+    // is bitwise identical for every pool size.
+    let mut partials = vec![0.0f64; x.len().div_ceil(GRAIN)];
+    let pp = asyrgs_parallel::SendPtr(partials.as_mut_ptr());
+    pool.for_each_chunk(x.len(), GRAIN, |lo, hi| {
+        // for_each_chunk always cuts at GRAIN boundaries, so lo / GRAIN
+        // indexes this chunk's (exclusively owned) partial slot.
+        unsafe { pp.write(lo / GRAIN, dot(&x[lo..hi], &y[lo..hi])) };
     });
     partials.iter().sum()
 }

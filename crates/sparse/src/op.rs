@@ -55,11 +55,25 @@ pub trait LinearOperator {
 
     /// Residual `r = b - A x`.
     fn residual(&self, b: &[f64], x: &[f64]) -> Vec<f64> {
-        let mut r = self.matvec(x);
+        let mut r = vec![0.0; self.n_rows()];
+        self.residual_into(b, x, &mut r);
+        r
+    }
+
+    /// Residual `r <- b - A x` into a caller-provided buffer — the
+    /// allocation-free form used by epoch-boundary residual observers.
+    fn residual_into(&self, b: &[f64], x: &[f64], r: &mut [f64]) {
+        self.matvec_into(x, r);
         for (ri, bi) in r.iter_mut().zip(b) {
             *ri = bi - *ri;
         }
-        r
+    }
+
+    /// Relative residual `||b - A x||_2 / norm_b` computed through a
+    /// caller-provided scratch buffer (no allocation).
+    fn rel_residual_into(&self, b: &[f64], x: &[f64], norm_b: f64, scratch: &mut [f64]) -> f64 {
+        self.residual_into(b, x, scratch);
+        dense::norm2(scratch) / norm_b
     }
 
     /// Relative residual `||b - A x||_2 / ||b||_2` (with `||b||` clamped
@@ -76,6 +90,13 @@ pub trait LinearOperator {
     /// A-norm `||x||_A = sqrt(x^T A x)`.
     fn a_norm(&self, x: &[f64]) -> f64 {
         self.a_norm_sq(x).max(0.0).sqrt()
+    }
+
+    /// A-norm computed through a caller-provided matvec scratch buffer
+    /// (no allocation). Bitwise identical to [`a_norm`](Self::a_norm).
+    fn a_norm_into(&self, x: &[f64], scratch: &mut [f64]) -> f64 {
+        self.matvec_into(x, scratch);
+        dense::dot(scratch, x).max(0.0).sqrt()
     }
 }
 

@@ -1,0 +1,249 @@
+//! Print bitwise fingerprints of every deterministic (single-thread)
+//! fixed-seed solver path, for verifying that refactors of the parallel
+//! runtime and hot kernels leave solver output bit-identical.
+//!
+//! Run: `cargo run --release --example fingerprint`
+
+use asyrgs::prelude::*;
+use asyrgs::workloads::{diag_dominant, laplace2d, random_lsq, LsqParams};
+
+fn hash(xs: &[f64]) -> u64 {
+    // FNV-style xor/multiply over the raw bit patterns: any single-ulp
+    // change shows up.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in xs {
+        for byte in x.to_bits().to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+fn main() {
+    let a = laplace2d(12, 12);
+    let n = a.n_rows();
+    let x_star: Vec<f64> = (0..n).map(|i| ((i * 13) % 17) as f64 / 17.0).collect();
+    let b = a.matvec(&x_star);
+    let dd = diag_dominant(150, 5, 2.0, 7);
+    let bd = dd.matvec(&vec![1.0; 150]);
+
+    {
+        let mut x = vec![0.0; n];
+        rgs_solve(
+            &a,
+            &b,
+            &mut x,
+            Some(&x_star),
+            &RgsOptions {
+                term: Termination::sweeps(9),
+                ..Default::default()
+            },
+        );
+        println!("rgs                      {:016x}", hash(&x));
+    }
+    {
+        let mut x = vec![0.0; n];
+        rgs_solve(
+            &a,
+            &b,
+            &mut x,
+            None,
+            &RgsOptions {
+                sampling: asyrgs::core::rgs::RowSampling::DiagonalWeighted,
+                term: Termination::sweeps(9),
+                ..Default::default()
+            },
+        );
+        println!("rgs_weighted             {:016x}", hash(&x));
+    }
+    {
+        let mut x = vec![0.0; n];
+        asyrgs_solve(
+            &a,
+            &b,
+            &mut x,
+            Some(&x_star),
+            &AsyRgsOptions {
+                threads: 1,
+                term: Termination::sweeps(9),
+                ..Default::default()
+            },
+        );
+        println!("asyrgs_t1                {:016x}", hash(&x));
+    }
+    {
+        let mut x = vec![0.0; n];
+        asyrgs_solve(
+            &a,
+            &b,
+            &mut x,
+            None,
+            &AsyRgsOptions {
+                threads: 1,
+                epoch_sweeps: Some(2),
+                term: Termination::sweeps(9),
+                ..Default::default()
+            },
+        );
+        println!("asyrgs_t1_epoch2         {:016x}", hash(&x));
+    }
+    {
+        let mut x = vec![0.0; n];
+        asyrgs_solve(
+            &a,
+            &b,
+            &mut x,
+            None,
+            &AsyRgsOptions {
+                threads: 1,
+                read_mode: asyrgs::core::asyrgs::ReadMode::LockedConsistent,
+                term: Termination::sweeps(9),
+                ..Default::default()
+            },
+        );
+        println!("asyrgs_t1_locked         {:016x}", hash(&x));
+    }
+    {
+        let mut x = vec![0.0; 150];
+        asyrgs_solve(
+            &dd,
+            &bd,
+            &mut x,
+            None,
+            &AsyRgsOptions {
+                threads: 1,
+                term: Termination::sweeps(500).with_target(1e-6),
+                ..Default::default()
+            },
+        );
+        println!("asyrgs_t1_target         {:016x}", hash(&x));
+    }
+    {
+        let k = 2;
+        let mut b_blk = RowMajorMat::zeros(n, k);
+        b_blk.set_col(0, &b);
+        b_blk.set_col(1, &vec![1.0; n]);
+        let mut x_blk = RowMajorMat::zeros(n, k);
+        asyrgs_solve_block(
+            &a,
+            &b_blk,
+            &mut x_blk,
+            &AsyRgsOptions {
+                threads: 1,
+                term: Termination::sweeps(7),
+                ..Default::default()
+            },
+        );
+        println!("asyrgs_block_t1          {:016x}", hash(x_blk.as_slice()));
+    }
+    {
+        let k = 3;
+        let mut b_blk = RowMajorMat::zeros(n, k);
+        for t in 0..k {
+            let col: Vec<f64> = (0..n).map(|i| ((i + t) % 5) as f64).collect();
+            b_blk.set_col(t, &col);
+        }
+        let mut x_blk = RowMajorMat::zeros(n, k);
+        rgs_solve_block(
+            &a,
+            &b_blk,
+            &mut x_blk,
+            &RgsOptions {
+                term: Termination::sweeps(7),
+                ..Default::default()
+            },
+        );
+        println!("rgs_block                {:016x}", hash(x_blk.as_slice()));
+    }
+    {
+        let mut x = vec![0.0; n];
+        jacobi_solve(
+            &a,
+            &b,
+            &mut x,
+            &JacobiOptions {
+                term: Termination::sweeps(30),
+                ..Default::default()
+            },
+        );
+        println!("jacobi                   {:016x}", hash(&x));
+    }
+    {
+        let mut x = vec![0.0; n];
+        async_jacobi_solve(
+            &a,
+            &b,
+            &mut x,
+            &JacobiOptions {
+                threads: 1,
+                term: Termination::sweeps(30),
+                ..Default::default()
+            },
+        );
+        println!("async_jacobi_t1          {:016x}", hash(&x));
+    }
+    {
+        let mut x = vec![0.0; n];
+        partitioned_solve(
+            &a,
+            &b,
+            &mut x,
+            &PartitionedOptions {
+                threads: 1,
+                term: Termination::sweeps(40),
+                ..Default::default()
+            },
+        );
+        println!("partitioned_t1           {:016x}", hash(&x));
+    }
+    {
+        let p = random_lsq(&LsqParams {
+            rows: 240,
+            cols: 60,
+            nnz_per_col: 6,
+            noise: 0.0,
+            seed: 5,
+        });
+        let op = LsqOperator::new(p.a);
+        let opts = LsqSolveOptions {
+            threads: 1,
+            term: Termination::sweeps(10),
+            record: Recording::end_only(),
+            ..Default::default()
+        };
+        let mut x_seq = vec![0.0; op.n_cols()];
+        rcd_solve(&op, &p.b, &mut x_seq, &opts);
+        println!("rcd                      {:016x}", hash(&x_seq));
+        let mut x_async = vec![0.0; op.n_cols()];
+        async_rcd_solve(&op, &p.b, &mut x_async, &opts);
+        println!("async_rcd_t1             {:016x}", hash(&x_async));
+    }
+    {
+        let mut x = vec![0.0; n];
+        cg_solve(
+            &a,
+            &b,
+            &mut x,
+            &CgOptions {
+                term: Termination::sweeps(25),
+                ..Default::default()
+            },
+        );
+        println!("cg                       {:016x}", hash(&x));
+    }
+    {
+        let mut x = vec![0.0; n];
+        fcg_solve(
+            &a,
+            &b,
+            &mut x,
+            &IdentityPrecond,
+            &FcgOptions {
+                term: Termination::sweeps(25),
+                ..Default::default()
+            },
+        );
+        println!("fcg                      {:016x}", hash(&x));
+    }
+}

@@ -51,6 +51,7 @@
 
 pub use asyrgs_core as core;
 pub use asyrgs_krylov as krylov;
+pub use asyrgs_parallel as parallel;
 pub use asyrgs_rng as rng;
 pub use asyrgs_sim as sim;
 pub use asyrgs_sparse as sparse;
