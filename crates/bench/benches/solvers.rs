@@ -6,12 +6,12 @@
 //! framework in the container).
 
 use asyrgs_bench::harness::{bench, black_box};
-use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions, WriteMode};
+use asyrgs_core::asyrgs::{try_asyrgs_solve, AsyRgsOptions, WriteMode};
 use asyrgs_core::driver::{Recording, Termination};
-use asyrgs_core::lsq::{rcd_solve, LsqOperator, LsqSolveOptions};
-use asyrgs_core::rgs::{rgs_solve, RgsOptions};
-use asyrgs_krylov::cg::{cg_solve, CgOptions};
-use asyrgs_krylov::fcg::{fcg_solve, FcgOptions};
+use asyrgs_core::lsq::{try_rcd_solve, LsqOperator, LsqSolveOptions};
+use asyrgs_core::rgs::{try_rgs_solve, RgsOptions};
+use asyrgs_krylov::cg::{try_cg_solve, CgOptions};
+use asyrgs_krylov::fcg::{try_fcg_solve, FcgOptions};
 use asyrgs_krylov::precond::AsyRgsPrecond;
 use asyrgs_workloads::{laplace2d, random_lsq, LsqParams};
 
@@ -29,7 +29,7 @@ fn bench_ten_sweeps() {
 
     bench("ten_sweeps/rgs_sequential", || {
         let mut x = vec![0.0; n];
-        rgs_solve(
+        try_rgs_solve(
             &a,
             &b,
             &mut x,
@@ -39,14 +39,15 @@ fn bench_ten_sweeps() {
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         black_box(x);
     });
 
     for threads in [1usize, 2, 4] {
         bench(&format!("ten_sweeps/asyrgs_atomic_{threads}t"), || {
             let mut x = vec![0.0; n];
-            asyrgs_solve(
+            try_asyrgs_solve(
                 &a,
                 &b,
                 &mut x,
@@ -56,13 +57,14 @@ fn bench_ten_sweeps() {
                     term: Termination::sweeps(10),
                     ..Default::default()
                 },
-            );
+            )
+            .expect("solve failed");
             black_box(x);
         });
     }
     bench("ten_sweeps/asyrgs_non_atomic_2t", || {
         let mut x = vec![0.0; n];
-        asyrgs_solve(
+        try_asyrgs_solve(
             &a,
             &b,
             &mut x,
@@ -73,12 +75,13 @@ fn bench_ten_sweeps() {
                 term: Termination::sweeps(10),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         black_box(x);
     });
     bench("ten_sweeps/cg_10_iters", || {
         let mut x = vec![0.0; n];
-        cg_solve(
+        try_cg_solve(
             &a,
             &b,
             &mut x,
@@ -86,7 +89,8 @@ fn bench_ten_sweeps() {
                 term: Termination::sweeps(10).with_target(0.0),
                 record: Recording::end_only(),
             },
-        );
+        )
+        .expect("solve failed");
         black_box(x);
     });
 }
@@ -97,7 +101,7 @@ fn bench_to_tolerance() {
 
     bench("solve_to_1e-6/cg", || {
         let mut x = vec![0.0; n];
-        cg_solve(
+        try_cg_solve(
             &a,
             &b,
             &mut x,
@@ -105,13 +109,14 @@ fn bench_to_tolerance() {
                 term: Termination::sweeps(1000).with_target(1e-6),
                 record: Recording::end_only(),
             },
-        );
+        )
+        .expect("solve failed");
         black_box(x);
     });
     bench("solve_to_1e-6/fcg_asyrgs_2sweeps_2t", || {
         let pre = AsyRgsPrecond::new(&a, 2, 2, 1.0, 5);
         let mut x = vec![0.0; n];
-        fcg_solve(
+        try_fcg_solve(
             &a,
             &b,
             &mut x,
@@ -121,7 +126,8 @@ fn bench_to_tolerance() {
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         black_box(x);
     });
 }
@@ -137,7 +143,7 @@ fn bench_lsq() {
     let op = LsqOperator::new(p.a.clone());
     bench("least_squares/rcd_20_sweeps", || {
         let mut x = vec![0.0; 400];
-        rcd_solve(
+        try_rcd_solve(
             &op,
             &p.b,
             &mut x,
@@ -146,7 +152,8 @@ fn bench_lsq() {
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         black_box(x);
     });
 }

@@ -1,22 +1,25 @@
 //! Machine-readable performance tracking: times the hot kernels and the
 //! epoched asynchronous solvers, compares the persistent worker pool
-//! against a spawn-per-epoch reference, and writes `BENCH_solvers.json`.
+//! against a spawn-per-epoch reference and session reuse against
+//! fresh-call-per-solve, and writes `BENCH_solvers.json`.
 //!
 //! This is the perf trajectory for the repo: every PR that touches the
 //! runtime or the kernels regenerates the file, and CI smoke-runs the
 //! binary (tiny sizes) to guarantee it keeps producing valid JSON.
 //!
 //! Usage:
-//!   bench_runner [OUTPUT_PATH]          (default: BENCH_solvers.json)
+//! ```text
+//! bench_runner [OUTPUT_PATH]          (default: BENCH_solvers.json)
+//! ```
 //! Environment:
-//!   ASYRGS_BENCH_SMOKE=1   tiny sizes + short timing budget (CI)
-//!   ASYRGS_THREADS=N       global pool width (kernel parallelism)
+//! `ASYRGS_BENCH_SMOKE=1` — tiny sizes + short timing budget (CI);
+//! `ASYRGS_THREADS=N` — global pool width (kernel parallelism).
 
-use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions};
+use asyrgs_core::asyrgs::{try_asyrgs_solve, AsyRgsOptions};
 use asyrgs_core::atomic::SharedVec;
 use asyrgs_core::driver::{Recording, Termination};
-use asyrgs_core::jacobi::{async_jacobi_solve, JacobiOptions};
-use asyrgs_core::rgs::{rgs_solve, RgsOptions};
+use asyrgs_core::jacobi::{try_async_jacobi_solve, JacobiOptions};
+use asyrgs_core::rgs::{try_rgs_solve, RgsOptions};
 use asyrgs_rng::DirectionStream;
 use asyrgs_sparse::{CsrMatrix, RowMajorMat};
 use asyrgs_workloads::diag_dominant;
@@ -100,7 +103,7 @@ fn asyrgs_epochs_pooled(
     sweeps: usize,
     seed: u64,
 ) {
-    asyrgs_solve(
+    try_asyrgs_solve(
         a,
         b,
         x,
@@ -113,7 +116,8 @@ fn asyrgs_epochs_pooled(
             record: Recording::end_only(),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
 }
 
 fn json_escape(s: &str) -> String {
@@ -247,13 +251,71 @@ fn main() {
         }
     }
 
+    // ----------------------------------------------- session-reuse A/B
+    // The session-API measurement: a fresh `try_*` call per solve (which
+    // allocates the workspace — shared iterate, diagonal, residual and
+    // snapshot scratch — every time) vs one `SolveSession` reused across
+    // the batch, on a system small enough that allocation is a visible
+    // fraction of the work. Proves the amortized-workspace win and guards
+    // against the session path regressing below the free-function path.
+    {
+        use asyrgs::session::{SolverBuilder, SolverFamily};
+        let n_tiny = if smoke { 64 } else { 128 };
+        let solves = if smoke { 40 } else { 400 };
+        let tiny_sweeps = 4usize;
+        let a_tiny = diag_dominant(n_tiny, 6, 2.0, 11);
+        let b_tiny = a_tiny.matvec(&vec![1.0; n_tiny]);
+        let opts = AsyRgsOptions {
+            threads: 2,
+            seed: 3,
+            term: Termination::sweeps(tiny_sweeps),
+            record: Recording::end_only(),
+            ..Default::default()
+        };
+        let (fresh, _) = time_median(reps, || {
+            let mut x = vec![0.0f64; n_tiny];
+            for _ in 0..solves {
+                x.fill(0.0);
+                try_asyrgs_solve(&a_tiny, &b_tiny, &mut x, None, &opts).expect("solve failed");
+            }
+            x
+        });
+        let (reused, _) = time_median(reps, || {
+            let mut session = SolverBuilder::new(SolverFamily::AsyRgs)
+                .threads(2)
+                .seed(3)
+                .term(Termination::sweeps(tiny_sweeps))
+                .record(Recording::end_only())
+                .build()
+                .expect("valid configuration");
+            let mut x = vec![0.0f64; n_tiny];
+            for _ in 0..solves {
+                x.fill(0.0);
+                session
+                    .solve(&a_tiny, &b_tiny, &mut x)
+                    .expect("solve failed");
+            }
+            x
+        });
+        speedups.push(Speedup {
+            name: format!("asyrgs_t2_n{n_tiny}_x{solves}_session_reuse_vs_fresh_call"),
+            before_seconds: fresh,
+            after_seconds: reused,
+        });
+        eprintln!(
+            "session reuse (n={n_tiny}, {solves} solves of {tiny_sweeps} sweeps): \
+             fresh {fresh:.4}s -> session {reused:.4}s ({:.2}x)",
+            fresh / reused
+        );
+    }
+
     // ------------------------------------------------------- solver timings
     let mut solvers: Vec<Sample> = Vec::new();
     {
         let run_sweeps = if smoke { 10 } else { 50 };
         let (med, min) = time_median(reps, || {
             let mut x = vec![0.0f64; n];
-            rgs_solve(
+            try_rgs_solve(
                 &a,
                 &b,
                 &mut x,
@@ -264,6 +326,7 @@ fn main() {
                     ..Default::default()
                 },
             )
+            .expect("solve failed")
         });
         solvers.push(Sample {
             name: format!("rgs_sweeps{run_sweeps}"),
@@ -273,7 +336,7 @@ fn main() {
         for t in [1usize, 2] {
             let (med, min) = time_median(reps, || {
                 let mut x = vec![0.0f64; n];
-                asyrgs_solve(
+                try_asyrgs_solve(
                     &a,
                     &b,
                     &mut x,
@@ -285,6 +348,7 @@ fn main() {
                         ..Default::default()
                     },
                 )
+                .expect("solve failed")
             });
             solvers.push(Sample {
                 name: format!("asyrgs_t{t}_sweeps{run_sweeps}"),
@@ -294,10 +358,11 @@ fn main() {
         }
         let (med, min) = time_median(reps, || {
             let mut x = vec![0.0f64; n];
-            async_jacobi_solve(
+            try_async_jacobi_solve(
                 &a,
                 &b,
                 &mut x,
+                None,
                 &JacobiOptions {
                     threads: 2,
                     term: Termination::sweeps(run_sweeps),
@@ -305,6 +370,7 @@ fn main() {
                     ..Default::default()
                 },
             )
+            .expect("solve failed")
         });
         solvers.push(Sample {
             name: format!("async_jacobi_t2_sweeps{run_sweeps}"),

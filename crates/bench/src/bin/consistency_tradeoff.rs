@@ -11,7 +11,7 @@
 //! ```
 
 use asyrgs_bench::{csv_header, planted_rhs, standard_gram, Scale};
-use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions, ReadMode};
+use asyrgs_core::asyrgs::{try_asyrgs_solve, AsyRgsOptions, ReadMode};
 use asyrgs_core::driver::Termination;
 
 fn main() {
@@ -39,7 +39,7 @@ fn main() {
             ("locked_consistent", ReadMode::LockedConsistent),
         ] {
             let mut x = vec![0.0; n];
-            let rep = asyrgs_solve(
+            let rep = try_asyrgs_solve(
                 &g,
                 &b,
                 &mut x,
@@ -50,7 +50,8 @@ fn main() {
                     term: Termination::sweeps(sweeps),
                     ..Default::default()
                 },
-            );
+            )
+            .expect("solve failed");
             let diff: Vec<f64> = x.iter().zip(&x_star).map(|(a, b)| a - b).collect();
             let err = g.a_norm(&diff) / norm_xs;
             println!(

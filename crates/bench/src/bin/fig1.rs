@@ -12,8 +12,8 @@
 
 use asyrgs_bench::{csv_header, csv_row, label_block, rhs_count, standard_gram, Scale};
 use asyrgs_core::driver::{Recording, Termination};
-use asyrgs_core::rgs::{rgs_solve_block, RgsOptions};
-use asyrgs_krylov::cg::{cg_solve_block, CgOptions};
+use asyrgs_core::rgs::{try_rgs_solve_block, RgsOptions};
+use asyrgs_krylov::cg::{try_cg_solve_block, CgOptions};
 use asyrgs_sparse::RowMajorMat;
 
 fn main() {
@@ -36,7 +36,7 @@ fn main() {
     // Randomized Gauss-Seidel (general-diagonal iteration (3); the paper's
     // matrix does not have unit diagonal either).
     let mut x_rgs = RowMajorMat::zeros(n, k);
-    let rgs = rgs_solve_block(
+    let rgs = try_rgs_solve_block(
         g,
         &b,
         &mut x_rgs,
@@ -45,12 +45,13 @@ fn main() {
             record: Recording::every(1),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
 
     // CG with the same per-pass budget (each CG iteration costs about one
     // sweep of RGS: Theta(nnz)).
     let mut x_cg = RowMajorMat::zeros(n, k);
-    let cg = cg_solve_block(
+    let cg = try_cg_solve_block(
         g,
         &b,
         &mut x_cg,
@@ -58,7 +59,8 @@ fn main() {
             term: Termination::sweeps(sweeps).with_target(0.0),
             record: Recording::every(1),
         },
-    );
+    )
+    .expect("solve failed");
 
     csv_header(&["sweep", "rgs_rel_residual", "cg_rel_residual"]);
     let cg_map: std::collections::HashMap<usize, f64> = cg

@@ -17,9 +17,9 @@
 use asyrgs_bench::{
     csv_header, csv_row, label_block, real_thread_cap, rhs_count, standard_gram, Scale, THREAD_GRID,
 };
-use asyrgs_core::asyrgs::{asyrgs_solve_block, AsyRgsOptions, WriteMode};
+use asyrgs_core::asyrgs::{try_asyrgs_solve_block, AsyRgsOptions, WriteMode};
 use asyrgs_core::driver::{Recording, Termination};
-use asyrgs_core::rgs::{rgs_solve_block, RgsOptions};
+use asyrgs_core::rgs::{try_rgs_solve_block, RgsOptions};
 use asyrgs_sparse::RowMajorMat;
 
 fn main() {
@@ -35,7 +35,7 @@ fn main() {
 
     // Synchronous reference (thread-count independent).
     let mut x_sync = RowMajorMat::zeros(n, k);
-    let sync = rgs_solve_block(
+    let sync = try_rgs_solve_block(
         g,
         &b,
         &mut x_sync,
@@ -45,11 +45,12 @@ fn main() {
             record: Recording::end_only(),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
 
     let run_async = |threads: usize, mode: WriteMode| {
         let mut x = RowMajorMat::zeros(n, k);
-        asyrgs_solve_block(
+        try_asyrgs_solve_block(
             g,
             &b,
             &mut x,
@@ -61,6 +62,7 @@ fn main() {
                 ..Default::default()
             },
         )
+        .expect("solve failed")
         .final_rel_residual
     };
 

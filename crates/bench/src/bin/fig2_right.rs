@@ -15,9 +15,9 @@
 use asyrgs_bench::{
     csv_header, csv_row, planted_rhs, real_thread_cap, standard_gram, Scale, THREAD_GRID,
 };
-use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions, WriteMode};
+use asyrgs_core::asyrgs::{try_asyrgs_solve, AsyRgsOptions, WriteMode};
 use asyrgs_core::driver::{Recording, Termination};
-use asyrgs_core::rgs::{rgs_solve, RgsOptions};
+use asyrgs_core::rgs::{try_rgs_solve, RgsOptions};
 
 fn main() {
     let scale = Scale::from_env();
@@ -36,7 +36,7 @@ fn main() {
     };
 
     let mut x_sync = vec![0.0; n];
-    rgs_solve(
+    try_rgs_solve(
         g,
         &b,
         &mut x_sync,
@@ -47,12 +47,13 @@ fn main() {
             record: Recording::end_only(),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     let sync_err = err_of(&x_sync);
 
     let run_async = |threads: usize, mode: WriteMode| {
         let mut x = vec![0.0; n];
-        asyrgs_solve(
+        try_asyrgs_solve(
             g,
             &b,
             &mut x,
@@ -64,7 +65,8 @@ fn main() {
                 term: Termination::sweeps(sweeps),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         err_of(&x)
     };
 

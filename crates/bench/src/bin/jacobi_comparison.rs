@@ -11,10 +11,10 @@
 //! ```
 
 use asyrgs_bench::{csv_header, standard_gram, Scale};
-use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions};
+use asyrgs_core::asyrgs::{try_asyrgs_solve, AsyRgsOptions};
 use asyrgs_core::driver::{Recording, Termination};
 use asyrgs_core::jacobi::{
-    async_jacobi_solve, chazan_miranker_condition, jacobi_solve, JacobiOptions,
+    chazan_miranker_condition, try_async_jacobi_solve, try_jacobi_solve, JacobiOptions,
 };
 use asyrgs_workloads::diag_dominant;
 
@@ -26,34 +26,38 @@ fn run_case(name: &str, a: &asyrgs_sparse::CsrMatrix, sweeps: usize, threads: us
 
     // Synchronous two-buffer Jacobi: diverges whenever rho(M) > 1.
     let mut x_s = vec![0.0; n];
-    let sync = jacobi_solve(
+    let sync = try_jacobi_solve(
         a,
         &b,
         &mut x_s,
+        None,
         &JacobiOptions {
             term: Termination::sweeps(sweeps),
             record: Recording::end_only(),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
 
     // Chaotic relaxation (in-place asynchronous sweeps): classical theory
     // only guarantees it when rho(|M|) < 1.
     let mut x_j = vec![0.0; n];
-    let jac = async_jacobi_solve(
+    let jac = try_async_jacobi_solve(
         a,
         &b,
         &mut x_j,
+        None,
         &JacobiOptions {
             threads,
             term: Termination::sweeps(sweeps),
             record: Recording::end_only(),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
 
     let mut x_r = vec![0.0; n];
-    let rgs = asyrgs_solve(
+    let rgs = try_asyrgs_solve(
         a,
         &b,
         &mut x_r,
@@ -63,7 +67,8 @@ fn run_case(name: &str, a: &asyrgs_sparse::CsrMatrix, sweeps: usize, threads: us
             term: Termination::sweeps(sweeps),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
 
     println!(
         "{name},{n},{rho_m:.4},{},{:.6e},{:.6e},{:.6e}",

@@ -8,7 +8,7 @@
 
 use asyrgs_bench::csv_header;
 use asyrgs_core::driver::{Recording, Termination};
-use asyrgs_core::lsq::{async_rcd_solve, rcd_solve, LsqOperator, LsqSolveOptions};
+use asyrgs_core::lsq::{try_async_rcd_solve, try_rcd_solve, LsqOperator, LsqSolveOptions};
 use asyrgs_core::theory;
 use asyrgs_sim::{expected_error_trajectory, DelayPolicy, DelaySimOptions, ReadModel};
 use asyrgs_spectral::sigma_max;
@@ -63,7 +63,7 @@ fn main() {
     // Part 1: solver quality, sequential vs async across threads.
     csv_header(&["solver", "threads", "sweeps", "rel_residual"]);
     let mut x = vec![0.0; 120];
-    let seq = rcd_solve(
+    let seq = try_rcd_solve(
         &op,
         &p.b,
         &mut x,
@@ -72,11 +72,12 @@ fn main() {
             record: Recording::end_only(),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     println!("rcd_sequential,1,150,{:.6e}", seq.final_rel_residual);
     for &threads in &[1usize, 2, 4, 8] {
         let mut xa = vec![0.0; 120];
-        let rep = async_rcd_solve(
+        let rep = try_async_rcd_solve(
             &op,
             &p.b,
             &mut xa,
@@ -86,7 +87,8 @@ fn main() {
                 term: Termination::sweeps(150),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         println!("async_rcd,{threads},150,{:.6e}", rep.final_rel_residual);
     }
 

@@ -14,9 +14,9 @@
 //! ```
 
 use asyrgs_bench::{csv_header, planted_rhs, standard_gram, Scale};
-use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions};
+use asyrgs_core::asyrgs::{try_asyrgs_solve, AsyRgsOptions};
 use asyrgs_core::driver::Termination;
-use asyrgs_core::partitioned::{partitioned_solve, PartitionedOptions};
+use asyrgs_core::partitioned::{try_partitioned_solve, PartitionedOptions};
 use asyrgs_sim::{asyrgs_time_throughput, MachineModel};
 
 fn main() {
@@ -48,7 +48,7 @@ fn main() {
     ]);
     for &threads in &[1usize, 2, 4, 8] {
         let mut xu = vec![0.0; n];
-        let unr = asyrgs_solve(
+        let unr = try_asyrgs_solve(
             &g,
             &b,
             &mut xu,
@@ -58,9 +58,10 @@ fn main() {
                 term: Termination::sweeps(sweeps),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         let mut xp = vec![0.0; n];
-        let part = partitioned_solve(
+        let part = try_partitioned_solve(
             &g,
             &b,
             &mut xp,
@@ -69,7 +70,8 @@ fn main() {
                 term: Termination::sweeps(sweeps),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         let t_u = asyrgs_time_throughput(&g, &unrestricted_model, sweeps, 64, 1);
         let t_p = asyrgs_time_throughput(&g, &partitioned_model, sweeps, 64, 1);
         println!(

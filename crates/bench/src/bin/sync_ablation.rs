@@ -7,7 +7,7 @@
 //! ```
 
 use asyrgs_bench::{csv_header, planted_rhs, standard_gram, Scale};
-use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions};
+use asyrgs_core::asyrgs::{try_asyrgs_solve, AsyRgsOptions};
 use asyrgs_core::driver::Termination;
 use asyrgs_sim::{asyrgs_time_throughput, MachineModel};
 
@@ -35,7 +35,7 @@ fn main() {
     ]);
     for epoch in [None, Some(1usize), Some(2), Some(5), Some(10)] {
         let mut x = vec![0.0; n];
-        let rep = asyrgs_solve(
+        let rep = try_asyrgs_solve(
             g,
             &b,
             &mut x,
@@ -46,7 +46,8 @@ fn main() {
                 term: Termination::sweeps(sweeps),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         let diff: Vec<f64> = x.iter().zip(&x_star).map(|(a, b)| a - b).collect();
         let err = g.a_norm(&diff) / norm_xs;
         // Simulated time: throughput plus one barrier per epoch boundary.

@@ -25,7 +25,7 @@ use asyrgs_workloads::{gram_matrix, GramParams, GramProblem};
 pub mod harness {
     //! A minimal timing harness for the `benches/` targets (the container
     //! has no external benchmark framework; the bench targets are built
-    //! with `harness = false` and call [`bench`] directly).
+    //! with `harness = false` and call [`bench()`] directly).
 
     use std::time::{Duration, Instant};
 

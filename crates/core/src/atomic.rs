@@ -161,6 +161,17 @@ impl SharedVec {
             c.store(v);
         }
     }
+
+    /// Load `xs` into this vector, reusing the existing allocation when
+    /// the length matches (the amortized path a reusable solve workspace
+    /// takes on every solve after the first).
+    pub fn reset_from(&mut self, xs: &[f64]) {
+        if self.len() == xs.len() {
+            self.copy_from(xs);
+        } else {
+            *self = SharedVec::from_slice(xs);
+        }
+    }
 }
 
 #[cfg(test)]

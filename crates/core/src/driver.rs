@@ -289,25 +289,171 @@ impl Driver {
 // Shared input validation
 // ---------------------------------------------------------------------------
 
+use crate::error::SolveError;
+
+/// Validate the shapes of a square-system solve `A x = b`.
+///
+/// The checks run in the historical order (square, `b`, `x`, emptiness),
+/// so the first violated rule determines the returned variant.
+pub fn ensure_square_system(
+    solver: &'static str,
+    n_rows: usize,
+    n_cols: usize,
+    b_len: usize,
+    x_len: usize,
+) -> Result<(), SolveError> {
+    if n_rows != n_cols {
+        return Err(SolveError::DimensionMismatch {
+            solver,
+            detail: format!("matrix must be square, got {n_rows} x {n_cols}"),
+        });
+    }
+    if b_len != n_rows {
+        return Err(SolveError::DimensionMismatch {
+            solver,
+            detail: format!(
+                "right-hand side b has length {b_len} but the system has {n_rows} rows"
+            ),
+        });
+    }
+    if x_len != n_cols {
+        return Err(SolveError::DimensionMismatch {
+            solver,
+            detail: format!(
+                "solution vector x has length {x_len} but the system has {n_cols} unknowns"
+            ),
+        });
+    }
+    if n_rows == 0 {
+        return Err(SolveError::EmptySystem { solver });
+    }
+    Ok(())
+}
+
+/// Validate the shapes of a multi-RHS square-system solve `A X = B`.
+pub fn ensure_square_block_system(
+    solver: &'static str,
+    n_rows: usize,
+    n_cols: usize,
+    b_rows: usize,
+    b_cols: usize,
+    x_rows: usize,
+    x_cols: usize,
+) -> Result<(), SolveError> {
+    if n_rows != n_cols {
+        return Err(SolveError::DimensionMismatch {
+            solver,
+            detail: format!("matrix must be square, got {n_rows} x {n_cols}"),
+        });
+    }
+    if b_rows != n_rows {
+        return Err(SolveError::DimensionMismatch {
+            solver,
+            detail: format!(
+                "right-hand-side block B has {b_rows} rows but the system has {n_rows}"
+            ),
+        });
+    }
+    if x_rows != n_cols {
+        return Err(SolveError::DimensionMismatch {
+            solver,
+            detail: format!(
+                "solution block X has {x_rows} rows but the system has {n_cols} unknowns"
+            ),
+        });
+    }
+    if b_cols != x_cols {
+        return Err(SolveError::DimensionMismatch {
+            solver,
+            detail: format!("B has {b_cols} right-hand sides but X has {x_cols} columns"),
+        });
+    }
+    if n_rows == 0 {
+        return Err(SolveError::EmptySystem { solver });
+    }
+    Ok(())
+}
+
+/// Validate the step size `beta in (0, 2)`.
+pub fn ensure_beta(beta: f64) -> Result<(), SolveError> {
+    if beta > 0.0 && beta < 2.0 {
+        Ok(())
+    } else {
+        Err(SolveError::InvalidBeta { beta })
+    }
+}
+
+/// Validate the Jacobi damping factor `damping in (0, 1]`.
+pub fn ensure_damping(damping: f64) -> Result<(), SolveError> {
+    if damping > 0.0 && damping <= 1.0 {
+        Ok(())
+    } else {
+        Err(SolveError::InvalidDamping { damping })
+    }
+}
+
+/// Validate the worker thread count.
+pub fn ensure_threads(threads: usize) -> Result<(), SolveError> {
+    if threads >= 1 {
+        Ok(())
+    } else {
+        Err(SolveError::ZeroThreads)
+    }
+}
+
+/// Invert a strictly positive diagonal into `out` (resized to match), the
+/// allocation-amortized form the workspace entry points use. Positive
+/// diagonals are what the SPD solvers require.
+pub fn inverse_diag_into(diag: &[f64], out: &mut Vec<f64>) -> Result<(), SolveError> {
+    out.clear();
+    out.reserve(diag.len());
+    for (i, &d) in diag.iter().enumerate() {
+        if d <= 0.0 {
+            return Err(SolveError::ZeroDiagonal {
+                index: i,
+                value: d,
+                needs_positive: true,
+            });
+        }
+        out.push(1.0 / d);
+    }
+    Ok(())
+}
+
+/// Invert a nonzero diagonal into `out` (Jacobi only needs invertibility,
+/// not positivity).
+pub fn inverse_diag_nonzero_into(diag: &[f64], out: &mut Vec<f64>) -> Result<(), SolveError> {
+    out.clear();
+    out.reserve(diag.len());
+    for (i, &d) in diag.iter().enumerate() {
+        if d == 0.0 {
+            return Err(SolveError::ZeroDiagonal {
+                index: i,
+                value: d,
+                needs_positive: false,
+            });
+        }
+        out.push(1.0 / d);
+    }
+    Ok(())
+}
+
 /// Validate the shapes of a square-system solve `A x = b`.
 ///
 /// # Panics
 /// Panics with a message naming `solver` and the offending dimension when
 /// the matrix is not square or `b`/`x` do not match the system dimension.
-pub fn check_square_system(solver: &str, n_rows: usize, n_cols: usize, b_len: usize, x_len: usize) {
-    assert!(
-        n_rows == n_cols,
-        "{solver}: matrix must be square, got {n_rows} x {n_cols}"
-    );
-    assert!(
-        b_len == n_rows,
-        "{solver}: right-hand side b has length {b_len} but the system has {n_rows} rows"
-    );
-    assert!(
-        x_len == n_cols,
-        "{solver}: solution vector x has length {x_len} but the system has {n_cols} unknowns"
-    );
-    assert!(n_rows > 0, "{solver}: the system is empty (0 x 0 matrix)");
+#[deprecated(note = "use `ensure_square_system`, which returns a typed `SolveError`")]
+pub fn check_square_system(
+    solver: &'static str,
+    n_rows: usize,
+    n_cols: usize,
+    b_len: usize,
+    x_len: usize,
+) {
+    if let Err(e) = ensure_square_system(solver, n_rows, n_cols, b_len, x_len) {
+        panic!("{e}");
+    }
 }
 
 /// Validate the shapes of a multi-RHS square-system solve `A X = B`.
@@ -315,8 +461,10 @@ pub fn check_square_system(solver: &str, n_rows: usize, n_cols: usize, b_len: us
 /// # Panics
 /// Panics with a message naming `solver` when the matrix is not square or
 /// the blocks do not conform.
+#[deprecated(note = "use `ensure_square_block_system`, which returns a typed `SolveError`")]
+#[allow(clippy::too_many_arguments)]
 pub fn check_square_block_system(
-    solver: &str,
+    solver: &'static str,
     n_rows: usize,
     n_cols: usize,
     b_rows: usize,
@@ -324,66 +472,55 @@ pub fn check_square_block_system(
     x_rows: usize,
     x_cols: usize,
 ) {
-    assert!(
-        n_rows == n_cols,
-        "{solver}: matrix must be square, got {n_rows} x {n_cols}"
-    );
-    assert!(
-        b_rows == n_rows,
-        "{solver}: right-hand-side block B has {b_rows} rows but the system has {n_rows}"
-    );
-    assert!(
-        x_rows == n_cols,
-        "{solver}: solution block X has {x_rows} rows but the system has {n_cols} unknowns"
-    );
-    assert!(
-        b_cols == x_cols,
-        "{solver}: B has {b_cols} right-hand sides but X has {x_cols} columns"
-    );
-    assert!(n_rows > 0, "{solver}: the system is empty (0 x 0 matrix)");
+    if let Err(e) =
+        ensure_square_block_system(solver, n_rows, n_cols, b_rows, b_cols, x_rows, x_cols)
+    {
+        panic!("{e}");
+    }
 }
 
 /// Validate the step size `beta in (0, 2)`.
 ///
 /// # Panics
 /// Panics when `beta` is outside the open interval.
+#[deprecated(note = "use `ensure_beta`, which returns a typed `SolveError`")]
 pub fn check_beta(beta: f64) {
-    assert!(
-        beta > 0.0 && beta < 2.0,
-        "beta must lie in (0, 2), got {beta}"
-    );
+    if let Err(e) = ensure_beta(beta) {
+        panic!("{e}");
+    }
 }
 
 /// Validate the worker thread count.
 ///
 /// # Panics
 /// Panics when `threads == 0`.
+#[deprecated(note = "use `ensure_threads`, which returns a typed `SolveError`")]
 pub fn check_threads(threads: usize) {
-    assert!(threads >= 1, "need at least one thread");
+    if let Err(e) = ensure_threads(threads) {
+        panic!("{e}");
+    }
 }
 
 /// Invert a strictly positive diagonal, panicking with the entry index on
 /// violation (positive diagonals are what the SPD solvers require).
+#[deprecated(note = "use `inverse_diag_into`, which returns a typed `SolveError`")]
 pub fn checked_inverse_diag(diag: &[f64]) -> Vec<f64> {
-    diag.iter()
-        .enumerate()
-        .map(|(i, &d)| {
-            assert!(d > 0.0, "diagonal entry {i} must be positive, got {d}");
-            1.0 / d
-        })
-        .collect()
+    let mut out = Vec::new();
+    if let Err(e) = inverse_diag_into(diag, &mut out) {
+        panic!("{e}");
+    }
+    out
 }
 
 /// Invert a nonzero diagonal (Jacobi only needs invertibility, not
 /// positivity), panicking with the entry index on violation.
+#[deprecated(note = "use `inverse_diag_nonzero_into`, which returns a typed `SolveError`")]
 pub fn checked_inverse_diag_nonzero(diag: &[f64]) -> Vec<f64> {
-    diag.iter()
-        .enumerate()
-        .map(|(i, &d)| {
-            assert!(d != 0.0, "zero diagonal entry {i}");
-            1.0 / d
-        })
-        .collect()
+    let mut out = Vec::new();
+    if let Err(e) = inverse_diag_nonzero_into(diag, &mut out) {
+        panic!("{e}");
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -405,13 +542,17 @@ pub trait Solver {
     /// Solve `A x = b`, reading the initial iterate from `x` and leaving
     /// the final iterate there. `x_star` enables A-norm error telemetry
     /// for solvers that support it.
+    ///
+    /// # Errors
+    /// Returns a [`SolveError`] describing the first violated input rule;
+    /// `x` is left untouched on rejection.
     fn solve<O: RowAccess + Sync>(
         &self,
         a: &O,
         b: &[f64],
         x: &mut [f64],
         x_star: Option<&[f64]>,
-    ) -> SolveReport;
+    ) -> Result<SolveReport, SolveError>;
 }
 
 /// Value-level description of a square-system solver run: one variant per
@@ -447,12 +588,12 @@ impl Solver for SolverSpec {
         b: &[f64],
         x: &mut [f64],
         x_star: Option<&[f64]>,
-    ) -> SolveReport {
+    ) -> Result<SolveReport, SolveError> {
         match self {
             SolverSpec::Rgs(o) => o.solve(a, b, x, x_star),
             SolverSpec::AsyRgs(o) => o.solve(a, b, x, x_star),
             SolverSpec::Jacobi(o) => o.solve(a, b, x, x_star),
-            SolverSpec::AsyncJacobi(o) => crate::jacobi::async_jacobi_solve(a, b, x, o),
+            SolverSpec::AsyncJacobi(o) => crate::jacobi::try_async_jacobi_solve(a, b, x, x_star, o),
             SolverSpec::Partitioned(o) => o.solve(a, b, x, x_star),
         }
     }
@@ -638,32 +779,86 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "matrix must be square")]
     fn rejects_rectangular() {
-        check_square_system("t", 3, 4, 3, 4);
+        let err = ensure_square_system("t", 3, 4, 3, 4).unwrap_err();
+        assert!(matches!(err, SolveError::DimensionMismatch { .. }));
+        assert!(err.to_string().contains("matrix must be square"));
     }
 
     #[test]
-    #[should_panic(expected = "right-hand side b has length 5")]
     fn rejects_bad_b() {
-        check_square_system("t", 4, 4, 5, 4);
+        let err = ensure_square_system("t", 4, 4, 5, 4).unwrap_err();
+        assert!(err.to_string().contains("right-hand side b has length 5"));
     }
 
     #[test]
-    #[should_panic(expected = "solution vector x has length 2")]
     fn rejects_bad_x() {
-        check_square_system("t", 4, 4, 4, 2);
+        let err = ensure_square_system("t", 4, 4, 4, 2).unwrap_err();
+        assert!(err.to_string().contains("solution vector x has length 2"));
     }
 
     #[test]
-    #[should_panic(expected = "B has 3 right-hand sides but X has 2")]
+    fn rejects_empty_system() {
+        let err = ensure_square_system("t", 0, 0, 0, 0).unwrap_err();
+        assert_eq!(err, SolveError::EmptySystem { solver: "t" });
+    }
+
+    #[test]
     fn rejects_block_mismatch() {
-        check_square_block_system("t", 4, 4, 4, 3, 4, 2);
+        let err = ensure_square_block_system("t", 4, 4, 4, 3, 4, 2).unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("B has 3 right-hand sides but X has 2"));
     }
 
     #[test]
-    #[should_panic(expected = "beta must lie in (0, 2)")]
     fn rejects_beta() {
+        assert_eq!(
+            ensure_beta(2.0).unwrap_err(),
+            SolveError::InvalidBeta { beta: 2.0 }
+        );
+        assert_eq!(
+            ensure_beta(0.0).unwrap_err(),
+            SolveError::InvalidBeta { beta: 0.0 }
+        );
+        assert!(ensure_beta(1.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_damping_and_threads() {
+        assert_eq!(
+            ensure_damping(1.5).unwrap_err(),
+            SolveError::InvalidDamping { damping: 1.5 }
+        );
+        assert!(ensure_damping(1.0).is_ok());
+        assert_eq!(ensure_threads(0).unwrap_err(), SolveError::ZeroThreads);
+        assert!(ensure_threads(1).is_ok());
+    }
+
+    #[test]
+    fn inverse_diag_reuses_and_reports_index() {
+        let mut out = vec![9.0; 3];
+        inverse_diag_into(&[2.0, 4.0], &mut out).unwrap();
+        assert_eq!(out, vec![0.5, 0.25]);
+        let err = inverse_diag_into(&[1.0, -2.0], &mut out).unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::ZeroDiagonal {
+                index: 1,
+                value: -2.0,
+                needs_positive: true
+            }
+        );
+        inverse_diag_nonzero_into(&[-2.0], &mut out).unwrap();
+        assert_eq!(out, vec![-0.5]);
+        let err = inverse_diag_nonzero_into(&[1.0, 0.0], &mut out).unwrap_err();
+        assert!(matches!(err, SolveError::ZeroDiagonal { index: 1, .. }));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "beta must lie in (0, 2)")]
+    fn deprecated_check_beta_panics_with_display_text() {
         check_beta(2.0);
     }
 }

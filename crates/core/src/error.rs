@@ -1,0 +1,165 @@
+//! Typed solve errors — the fallible boundary of every public solve path.
+//!
+//! Historically each entry point `assert!`-panicked on bad input, which is
+//! unusable as a service boundary: a malformed request must surface as a
+//! value the caller can match on, log, and map to a protocol error, not as
+//! a thread abort. [`SolveError`] is that value. The deprecated free
+//! functions (`asyrgs_solve`, `rgs_solve`, …) preserve the historical
+//! behavior by panicking with the error's `Display` text, so old
+//! `should_panic` expectations keep matching verbatim.
+//!
+//! Every variant corresponds to exactly one validation rule, checked
+//! **before** any output buffer is touched: a rejected solve leaves `x`
+//! bitwise untouched.
+
+use std::fmt;
+
+/// Why a solve was rejected before any work was done.
+///
+/// Returned by every `try_*` entry point, by
+/// [`Solver::solve`](crate::driver::Solver::solve), and by the session
+/// layer in the facade crate. The `Display` text of each variant matches
+/// the historical panic message of the `assert!` it replaced.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The operator/right-hand-side/solution shapes do not conform (not
+    /// square, mismatched lengths, non-conforming blocks, or a
+    /// solver-specific structural constraint such as more partition blocks
+    /// than unknowns).
+    DimensionMismatch {
+        /// The entry point that rejected the input.
+        solver: &'static str,
+        /// Human-readable description of the offending dimension.
+        detail: String,
+    },
+    /// A diagonal entry violates the solver's requirement (positive for
+    /// the SPD Gauss-Seidel family, nonzero for Jacobi).
+    ZeroDiagonal {
+        /// Index of the offending diagonal entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+        /// Whether strict positivity (not just nonzero) was required.
+        needs_positive: bool,
+    },
+    /// The relaxation step size is outside the open interval `(0, 2)`.
+    InvalidBeta {
+        /// The rejected value.
+        beta: f64,
+    },
+    /// The Jacobi damping factor is outside `(0, 1]`.
+    InvalidDamping {
+        /// The rejected value.
+        damping: f64,
+    },
+    /// A parallel solver was asked to run on zero worker threads.
+    ZeroThreads,
+    /// The system is empty (`0 x 0` matrix).
+    EmptySystem {
+        /// The entry point that rejected the input.
+        solver: &'static str,
+    },
+    /// A session method was called on a solver family that does not
+    /// support it (e.g. a square-system `solve` on an RCD least-squares
+    /// session).
+    MethodMismatch {
+        /// The method that was called.
+        called: &'static str,
+        /// The solver family the session was built for.
+        family: &'static str,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::DimensionMismatch { solver, detail } => {
+                write!(f, "{solver}: {detail}")
+            }
+            SolveError::ZeroDiagonal {
+                index,
+                value,
+                needs_positive,
+            } => {
+                if *needs_positive {
+                    write!(f, "diagonal entry {index} must be positive, got {value}")
+                } else {
+                    write!(f, "zero diagonal entry {index}")
+                }
+            }
+            SolveError::InvalidBeta { beta } => {
+                write!(f, "beta must lie in (0, 2), got {beta}")
+            }
+            SolveError::InvalidDamping { damping } => {
+                write!(f, "damping in (0,1], got {damping}")
+            }
+            SolveError::ZeroThreads => write!(f, "need at least one thread"),
+            SolveError::EmptySystem { solver } => {
+                write!(f, "{solver}: the system is empty (0 x 0 matrix)")
+            }
+            SolveError::MethodMismatch { called, family } => {
+                write!(f, "{called} is not supported by the {family} solver family")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_historical_messages() {
+        let e = SolveError::DimensionMismatch {
+            solver: "rgs_solve",
+            detail: "matrix must be square, got 3 x 4".into(),
+        };
+        assert_eq!(e.to_string(), "rgs_solve: matrix must be square, got 3 x 4");
+        assert_eq!(
+            SolveError::InvalidBeta { beta: 2.5 }.to_string(),
+            "beta must lie in (0, 2), got 2.5"
+        );
+        assert_eq!(
+            SolveError::ZeroThreads.to_string(),
+            "need at least one thread"
+        );
+        assert_eq!(
+            SolveError::ZeroDiagonal {
+                index: 3,
+                value: -1.0,
+                needs_positive: true
+            }
+            .to_string(),
+            "diagonal entry 3 must be positive, got -1"
+        );
+        assert_eq!(
+            SolveError::ZeroDiagonal {
+                index: 7,
+                value: 0.0,
+                needs_positive: false
+            }
+            .to_string(),
+            "zero diagonal entry 7"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(SolveError::ZeroThreads);
+        let boxed: Box<dyn std::error::Error> = Box::new(SolveError::EmptySystem { solver: "t" });
+        assert!(boxed.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn variants_are_matchable() {
+        let e = SolveError::InvalidDamping { damping: 1.5 };
+        match e {
+            SolveError::InvalidDamping { damping } => assert_eq!(damping, 1.5),
+            _ => panic!("wrong variant"),
+        }
+    }
+}

@@ -23,12 +23,13 @@
 //! Both solvers are generic over [`RowAccess`] and route stopping and
 //! telemetry through the shared [`crate::driver`].
 
-use crate::atomic::SharedVec;
 use crate::driver::{
-    check_square_system, check_threads, checked_inverse_diag_nonzero, Driver, Recording, Solver,
-    Termination,
+    ensure_damping, ensure_square_system, ensure_threads, inverse_diag_nonzero_into, Driver,
+    Recording, Solver, Termination,
 };
+use crate::error::SolveError;
 use crate::report::SolveReport;
+use crate::workspace::{resize_scratch, SolveWorkspace};
 use asyrgs_parallel::WorkerPool;
 use asyrgs_sparse::dense;
 use asyrgs_sparse::{CsrMatrix, RowAccess};
@@ -58,33 +59,49 @@ impl Default for JacobiOptions {
     }
 }
 
-fn check<O: RowAccess>(a: &O, opts: &JacobiOptions) -> Vec<f64> {
-    assert!(
-        opts.damping > 0.0 && opts.damping <= 1.0,
-        "damping in (0,1]"
-    );
-    checked_inverse_diag_nonzero(&a.diag())
+/// Validate damping and invert the diagonal into the workspace.
+fn prepare_dinv<O: RowAccess>(
+    a: &O,
+    opts: &JacobiOptions,
+    ws: &mut SolveWorkspace,
+) -> Result<(), SolveError> {
+    ensure_damping(opts.damping)?;
+    a.diag_into(&mut ws.diag);
+    inverse_diag_nonzero_into(&ws.diag, &mut ws.dinv)
 }
 
-/// Synchronous (damped) Jacobi: `x_{k+1} = x_k + damping * D^{-1}(b - A x_k)`.
+/// Synchronous (damped) Jacobi on the caller's [`SolveWorkspace`]:
+/// `x_{k+1} = x_k + damping * D^{-1}(b - A x_k)`. If `x_star` is supplied,
+/// A-norm errors are recorded alongside residuals.
 ///
-/// # Panics
-/// Panics if `A` is not square, `b`/`x` have mismatched lengths, a
-/// diagonal entry is zero, or `damping` is outside `(0, 1]`.
-pub fn jacobi_solve<O: RowAccess>(
+/// # Errors
+/// Returns a [`SolveError`] (and leaves `x` untouched) if `A` is not
+/// square or empty, `b`/`x` have mismatched lengths, a diagonal entry is
+/// zero, or `damping` is outside `(0, 1]`.
+pub fn jacobi_solve_in<O: RowAccess>(
+    ws: &mut SolveWorkspace,
     a: &O,
     b: &[f64],
     x: &mut [f64],
+    x_star: Option<&[f64]>,
     opts: &JacobiOptions,
-) -> SolveReport {
-    check_square_system("jacobi_solve", a.n_rows(), a.n_cols(), b.len(), x.len());
+) -> Result<SolveReport, SolveError> {
+    ensure_square_system("jacobi_solve", a.n_rows(), a.n_cols(), b.len(), x.len())?;
     let n = a.n_rows();
-    let dinv = check(a, opts);
+    prepare_dinv(a, opts, ws)?;
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
+    let norm_xs_a = x_star.map(|xs| a.a_norm(xs).max(f64::MIN_POSITIVE));
 
     let mut driver = Driver::new(&opts.term, opts.record);
-    let mut x_new = vec![0.0; n];
-    let mut resid = vec![0.0; n];
+    resize_scratch(&mut ws.aux, n);
+    resize_scratch(&mut ws.resid, n);
+    if x_star.is_some() {
+        resize_scratch(&mut ws.diff, n);
+    }
+    let dinv = &ws.dinv;
+    let x_new = &mut ws.aux;
+    let resid = &mut ws.resid;
+    let diff = &mut ws.diff;
     let mut sweeps = 0usize;
     for sweep in 1..=driver.max_sweeps() {
         sweeps = sweep;
@@ -92,18 +109,54 @@ pub fn jacobi_solve<O: RowAccess>(
             let r = b[i] - a.row_dot(i, x);
             x_new[i] = x[i] + opts.damping * r * dinv[i];
         }
-        x.copy_from_slice(&x_new);
+        x.copy_from_slice(x_new);
         let stop = driver.observe_lazy(sweep, (sweep * n) as u64, || {
-            (a.rel_residual_into(b, x, norm_b, &mut resid), None)
+            let rel = a.rel_residual_into(b, x, norm_b, resid);
+            let err = x_star.map(|xs| {
+                for ((di, xi), xsi) in diff.iter_mut().zip(x.iter()).zip(xs) {
+                    *di = xi - xsi;
+                }
+                a.a_norm_into(diff, resid) / norm_xs_a.unwrap()
+            });
+            (rel, err)
         });
         if stop {
             break;
         }
     }
 
-    driver.finish((sweeps * n) as u64, 1, || {
-        a.rel_residual_into(b, x, norm_b, &mut resid)
-    })
+    Ok(driver.finish((sweeps * n) as u64, 1, || {
+        a.rel_residual_into(b, x, norm_b, resid)
+    }))
+}
+
+/// Synchronous (damped) Jacobi: `x_{k+1} = x_k + damping * D^{-1}(b - A x_k)`.
+///
+/// # Errors
+/// See [`jacobi_solve_in`].
+pub fn try_jacobi_solve<O: RowAccess>(
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    x_star: Option<&[f64]>,
+    opts: &JacobiOptions,
+) -> Result<SolveReport, SolveError> {
+    jacobi_solve_in(&mut SolveWorkspace::new(), a, b, x, x_star, opts)
+}
+
+/// Synchronous (damped) Jacobi: `x_{k+1} = x_k + damping * D^{-1}(b - A x_k)`.
+///
+/// # Panics
+/// Panics if `A` is not square, `b`/`x` have mismatched lengths, a
+/// diagonal entry is zero, or `damping` is outside `(0, 1]`.
+#[deprecated(note = "use `try_jacobi_solve` (typed errors) or the session API")]
+pub fn jacobi_solve<O: RowAccess>(
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &JacobiOptions,
+) -> SolveReport {
+    try_jacobi_solve(a, b, x, None, opts).unwrap_or_else(|e| panic!("{e}"))
 }
 
 impl Solver for JacobiOptions {
@@ -116,56 +169,52 @@ impl Solver for JacobiOptions {
         a: &O,
         b: &[f64],
         x: &mut [f64],
-        _x_star: Option<&[f64]>,
-    ) -> SolveReport {
-        jacobi_solve(a, b, x, self)
+        x_star: Option<&[f64]>,
+    ) -> Result<SolveReport, SolveError> {
+        try_jacobi_solve(a, b, x, x_star, self)
     }
 }
 
-/// Asynchronous Jacobi (chaotic relaxation): threads repeatedly claim row
-/// blocks and update `x_i <- x_i + damping * dinv_i * (b_i - A_i x)` in
-/// place against the shared iterate, with no synchronization between
-/// sweeps within an epoch. This is the classical scheme whose convergence
+/// Asynchronous Jacobi (chaotic relaxation) on an injected worker pool and
+/// caller-owned [`SolveWorkspace`]: threads repeatedly claim row blocks
+/// and update `x_i <- x_i + damping * dinv_i * (b_i - A_i x)` in place
+/// against the shared iterate, with no synchronization between sweeps
+/// within an epoch. This is the classical scheme whose convergence
 /// requires the Chazan-Miranker condition.
 ///
 /// Residuals can only be observed while the workers are quiescent, so the
 /// driver's recording cadence doubles as the epoch length (with
-/// [`Recording::end_only`], the whole run is one lock-free epoch).
+/// [`Recording::end_only`], the whole run is one lock-free epoch). If
+/// `x_star` is supplied, A-norm errors are computed at the same quiescent
+/// epoch snapshots, so async Jacobi reports the same error column as
+/// every other solver.
 ///
-/// # Panics
-/// Panics if `A` is not square, `b`/`x` have mismatched lengths, a
-/// diagonal entry is zero, `damping` is outside `(0, 1]`, or
-/// `threads == 0`.
-pub fn async_jacobi_solve<O: RowAccess + Sync>(
-    a: &O,
-    b: &[f64],
-    x: &mut [f64],
-    opts: &JacobiOptions,
-) -> SolveReport {
-    async_jacobi_solve_on(&asyrgs_parallel::pool_for(opts.threads), a, b, x, opts)
-}
-
-/// [`async_jacobi_solve`] on an injected worker pool (which must provide
-/// at least `opts.threads`-way concurrency).
-pub fn async_jacobi_solve_on<O: RowAccess + Sync>(
+/// # Errors
+/// Returns a [`SolveError`] (and leaves `x` untouched) if `A` is not
+/// square or empty, `b`/`x` have mismatched lengths, a diagonal entry is
+/// zero, `damping` is outside `(0, 1]`, or `threads == 0`.
+pub fn async_jacobi_solve_in<O: RowAccess + Sync>(
     pool: &WorkerPool,
+    ws: &mut SolveWorkspace,
     a: &O,
     b: &[f64],
     x: &mut [f64],
+    x_star: Option<&[f64]>,
     opts: &JacobiOptions,
-) -> SolveReport {
-    check_square_system(
+) -> Result<SolveReport, SolveError> {
+    ensure_square_system(
         "async_jacobi_solve",
         a.n_rows(),
         a.n_cols(),
         b.len(),
         x.len(),
-    );
-    check_threads(opts.threads);
+    )?;
+    ensure_threads(opts.threads)?;
     let n = a.n_rows();
-    let dinv = check(a, opts);
+    prepare_dinv(a, opts, ws)?;
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
-    let shared = SharedVec::from_slice(x);
+    let norm_xs_a = x_star.map(|xs| a.a_norm(xs).max(f64::MIN_POSITIVE));
+    ws.shared.reset_from(x);
 
     const BLOCK: usize = 64;
     let n_blocks = n.div_ceil(BLOCK);
@@ -174,8 +223,16 @@ pub fn async_jacobi_solve_on<O: RowAccess + Sync>(
     let mut driver = Driver::new(&opts.term, opts.record);
     let epoch_sweeps = epoch_len(&opts.term, opts.record);
     let mut sweeps_done = 0usize;
-    let mut snap = vec![0.0; n];
-    let mut resid = vec![0.0; n];
+    resize_scratch(&mut ws.snap, n);
+    resize_scratch(&mut ws.resid, n);
+    if x_star.is_some() {
+        resize_scratch(&mut ws.diff, n);
+    }
+    let dinv = &ws.dinv;
+    let shared = &ws.shared;
+    let snap = &mut ws.snap;
+    let resid = &mut ws.resid;
+    let diff = &mut ws.diff;
 
     while sweeps_done < driver.max_sweeps() {
         let this_epoch = epoch_sweeps.min(driver.max_sweeps() - sweeps_done);
@@ -200,8 +257,15 @@ pub fn async_jacobi_solve_on<O: RowAccess + Sync>(
         // the next epoch misses no block.
         counter.store(block_limit, Ordering::Relaxed);
         let stop = driver.observe_lazy(sweeps_done, (sweeps_done * n) as u64, || {
-            shared.snapshot_into(&mut snap);
-            (a.rel_residual_into(b, &snap, norm_b, &mut resid), None)
+            shared.snapshot_into(snap);
+            let rel = a.rel_residual_into(b, snap, norm_b, resid);
+            let err = x_star.map(|xs| {
+                for ((di, si), xsi) in diff.iter_mut().zip(snap.iter()).zip(xs) {
+                    *di = si - xsi;
+                }
+                a.a_norm_into(diff, resid) / norm_xs_a.unwrap()
+            });
+            (rel, err)
         });
         if stop {
             break;
@@ -209,9 +273,84 @@ pub fn async_jacobi_solve_on<O: RowAccess + Sync>(
     }
 
     shared.snapshot_into(x);
-    driver.finish((sweeps_done * n) as u64, opts.threads, || {
-        a.rel_residual_into(b, x, norm_b, &mut resid)
-    })
+    Ok(driver.finish((sweeps_done * n) as u64, opts.threads, || {
+        a.rel_residual_into(b, x, norm_b, resid)
+    }))
+}
+
+/// Asynchronous Jacobi (chaotic relaxation); see [`async_jacobi_solve_in`]
+/// for the algorithm. If `x_star` is supplied, A-norm errors are recorded
+/// at quiescent epoch snapshots.
+///
+/// # Errors
+/// See [`async_jacobi_solve_in`].
+pub fn try_async_jacobi_solve<O: RowAccess + Sync>(
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    x_star: Option<&[f64]>,
+    opts: &JacobiOptions,
+) -> Result<SolveReport, SolveError> {
+    try_async_jacobi_solve_on(
+        &asyrgs_parallel::pool_for(opts.threads),
+        a,
+        b,
+        x,
+        x_star,
+        opts,
+    )
+}
+
+/// [`try_async_jacobi_solve`] on an injected worker pool (which must
+/// provide at least `opts.threads`-way concurrency).
+///
+/// # Errors
+/// See [`async_jacobi_solve_in`].
+pub fn try_async_jacobi_solve_on<O: RowAccess + Sync>(
+    pool: &WorkerPool,
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    x_star: Option<&[f64]>,
+    opts: &JacobiOptions,
+) -> Result<SolveReport, SolveError> {
+    async_jacobi_solve_in(pool, &mut SolveWorkspace::new(), a, b, x, x_star, opts)
+}
+
+/// Asynchronous Jacobi (chaotic relaxation).
+///
+/// # Panics
+/// Panics if `A` is not square, `b`/`x` have mismatched lengths, a
+/// diagonal entry is zero, `damping` is outside `(0, 1]`, or
+/// `threads == 0`.
+#[deprecated(
+    note = "use `try_async_jacobi_solve` (typed errors, A-norm telemetry) or the session API"
+)]
+pub fn async_jacobi_solve<O: RowAccess + Sync>(
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &JacobiOptions,
+) -> SolveReport {
+    try_async_jacobi_solve(a, b, x, None, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`async_jacobi_solve`] on an injected worker pool (which must provide
+/// at least `opts.threads`-way concurrency).
+///
+/// # Panics
+/// Panics on invalid input like [`async_jacobi_solve`].
+#[deprecated(
+    note = "use `try_async_jacobi_solve_on` (typed errors, A-norm telemetry) or the session API"
+)]
+pub fn async_jacobi_solve_on<O: RowAccess + Sync>(
+    pool: &WorkerPool,
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &JacobiOptions,
+) -> SolveReport {
+    try_async_jacobi_solve_on(pool, a, b, x, None, opts).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// How many sweeps the lock-free solvers run between synchronization
@@ -274,8 +413,53 @@ pub fn chazan_miranker_condition(a: &CsrMatrix, iters: usize) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    // The legacy free functions stay covered here: these tests double as
+    // regression coverage for the deprecated panicking wrappers.
+    #![allow(deprecated)]
+
     use super::*;
     use asyrgs_workloads::{diag_dominant, laplace2d, tridiag_toeplitz};
+
+    #[test]
+    fn async_jacobi_reports_a_norm_error_column() {
+        // The satellite fix: async Jacobi must report the same error
+        // column as every other solver when x_star is supplied, computed
+        // at quiescent epoch snapshots.
+        let a = diag_dominant(96, 4, 2.0, 11);
+        let x_star: Vec<f64> = (0..96).map(|i| (i as f64 * 0.2).cos()).collect();
+        let b = a.matvec(&x_star);
+        let mut x = vec![0.0; 96];
+        let rep = try_async_jacobi_solve(
+            &a,
+            &b,
+            &mut x,
+            Some(&x_star),
+            &JacobiOptions {
+                threads: 2,
+                term: Termination::sweeps(60),
+                record: Recording::every(10),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!rep.records.is_empty());
+        for rec in &rep.records {
+            let err = rec.rel_error_anorm.expect("error column must be present");
+            assert!(err.is_finite() && err >= 0.0);
+        }
+        let first = rep.records.first().unwrap().rel_error_anorm.unwrap();
+        let last = rep.records.last().unwrap().rel_error_anorm.unwrap();
+        assert!(last < first, "error must shrink: {first} -> {last}");
+    }
+
+    #[test]
+    fn async_jacobi_without_reference_has_no_error_column() {
+        let a = diag_dominant(32, 3, 2.0, 4);
+        let b = a.matvec(&vec![1.0; 32]);
+        let mut x = vec![0.0; 32];
+        let rep = try_async_jacobi_solve(&a, &b, &mut x, None, &JacobiOptions::default()).unwrap();
+        assert!(rep.records.iter().all(|r| r.rel_error_anorm.is_none()));
+    }
 
     #[test]
     fn sync_jacobi_converges_on_dominant() {

@@ -30,7 +30,7 @@
 //! ## Quick example
 //!
 //! ```
-//! use asyrgs_core::asyrgs::{asyrgs_solve, AsyRgsOptions};
+//! use asyrgs_core::asyrgs::{try_asyrgs_solve, AsyRgsOptions};
 //! use asyrgs_core::driver::Termination;
 //! use asyrgs_workloads::laplace2d;
 //!
@@ -39,11 +39,11 @@
 //! let x_star = vec![1.0; n];
 //! let b = a.matvec(&x_star);
 //! let mut x = vec![0.0; n];
-//! let report = asyrgs_solve(&a, &b, &mut x, Some(&x_star), &AsyRgsOptions {
+//! let report = try_asyrgs_solve(&a, &b, &mut x, Some(&x_star), &AsyRgsOptions {
 //!     threads: 4,
 //!     term: Termination::sweeps(400),
 //!     ..Default::default()
-//! });
+//! }).expect("valid system");
 //! assert!(report.final_rel_residual < 1e-2);
 //! ```
 
@@ -52,35 +52,57 @@
 pub mod asyrgs;
 pub mod atomic;
 pub mod driver;
+pub mod error;
 pub mod jacobi;
 pub mod lsq;
 pub mod partitioned;
 pub mod report;
 pub mod rgs;
 pub mod theory;
+pub mod workspace;
 
+#[allow(deprecated)]
+pub use asyrgs::{asyrgs_solve, asyrgs_solve_block, asyrgs_solve_block_on, asyrgs_solve_on};
 pub use asyrgs::{
-    asyrgs_solve, asyrgs_solve_block, asyrgs_solve_block_on, asyrgs_solve_on, AsyRgsOptions,
-    ReadMode, WriteMode,
+    asyrgs_solve_block_in, asyrgs_solve_in, try_asyrgs_solve, try_asyrgs_solve_block,
+    try_asyrgs_solve_block_on, try_asyrgs_solve_on, AsyRgsOptions, ReadMode, WriteMode,
 };
 pub use atomic::{AtomicF64, SharedVec};
 pub use driver::{Driver, Recording, Solver, SolverSpec, Termination};
+pub use error::SolveError;
+#[allow(deprecated)]
+pub use jacobi::{async_jacobi_solve, async_jacobi_solve_on, jacobi_solve};
 pub use jacobi::{
-    async_jacobi_solve, async_jacobi_solve_on, chazan_miranker_condition, jacobi_solve,
-    JacobiOptions,
+    async_jacobi_solve_in, chazan_miranker_condition, jacobi_solve_in, try_async_jacobi_solve,
+    try_async_jacobi_solve_on, try_jacobi_solve, JacobiOptions,
 };
-pub use lsq::{async_rcd_solve, async_rcd_solve_on, rcd_solve, LsqOperator, LsqSolveOptions};
+#[allow(deprecated)]
+pub use lsq::{async_rcd_solve, async_rcd_solve_on, rcd_solve};
+pub use lsq::{
+    async_rcd_solve_in, rcd_solve_in, try_async_rcd_solve, try_async_rcd_solve_on, try_rcd_solve,
+    LsqOperator, LsqSolveOptions,
+};
+#[allow(deprecated)]
+pub use partitioned::{partitioned_solve, partitioned_solve_on};
 pub use partitioned::{
-    partitioned_solve, partitioned_solve_on, PartitionedOptions, PartitionedReport,
+    partitioned_solve_in, try_partitioned_solve, try_partitioned_solve_on, PartitionedOptions,
+    PartitionedReport,
 };
 pub use report::{SolveReport, SweepRecord};
-pub use rgs::{rgs_solve, rgs_solve_block, RgsOptions, RowSampling};
+#[allow(deprecated)]
+pub use rgs::{rgs_solve, rgs_solve_block};
+pub use rgs::{
+    rgs_solve_block_in, rgs_solve_in, try_rgs_solve, try_rgs_solve_block, RgsOptions, RowSampling,
+};
 pub use theory::ProblemParams;
+pub use workspace::SolveWorkspace;
 
 #[cfg(test)]
 mod property_tests {
     //! Deterministic property tests over a fixed fan of seeds (no
     //! third-party property-test framework in the container).
+
+    #![allow(deprecated)]
 
     use super::*;
     use asyrgs_workloads::diag_dominant;
@@ -214,13 +236,38 @@ mod property_tests {
         ];
         for spec in &specs {
             let mut x = vec![0.0; n];
-            let rep = spec.solve(&a, &b, &mut x, Some(&x_star));
+            let rep = spec.solve(&a, &b, &mut x, Some(&x_star)).unwrap();
             assert!(
                 rep.final_rel_residual < 1e-2,
                 "{} residual {}",
                 spec.name(),
                 rep.final_rel_residual
             );
+        }
+    }
+
+    /// Every SolverSpec variant rejects bad input with a typed error and
+    /// leaves the iterate untouched.
+    #[test]
+    fn solver_spec_uniform_rejection() {
+        let a = diag_dominant(8, 3, 2.0, 1);
+        let b = vec![1.0; 7]; // wrong length
+        let specs = [
+            SolverSpec::Rgs(RgsOptions::default()),
+            SolverSpec::AsyRgs(AsyRgsOptions::default()),
+            SolverSpec::Jacobi(JacobiOptions::default()),
+            SolverSpec::AsyncJacobi(JacobiOptions::default()),
+            SolverSpec::Partitioned(PartitionedOptions::default()),
+        ];
+        for spec in &specs {
+            let mut x = vec![3.5; 8];
+            let err = spec.solve(&a, &b, &mut x, None).unwrap_err();
+            assert!(
+                matches!(err, error::SolveError::DimensionMismatch { .. }),
+                "{}: {err}",
+                spec.name()
+            );
+            assert!(x.iter().all(|&v| v == 3.5), "{}: x mutated", spec.name());
         }
     }
 }

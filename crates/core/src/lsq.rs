@@ -24,8 +24,10 @@
 //! Stopping and telemetry route through the shared [`crate::driver`].
 
 use crate::atomic::SharedVec;
-use crate::driver::{check_beta, check_threads, Driver, Recording, Termination};
+use crate::driver::{ensure_beta, ensure_threads, Driver, Recording, Termination};
+use crate::error::SolveError;
 use crate::report::SolveReport;
+use crate::workspace::{resize_scratch, SolveWorkspace};
 use asyrgs_parallel::WorkerPool;
 use asyrgs_rng::DirectionStream;
 use asyrgs_sparse::dense;
@@ -88,17 +90,34 @@ impl LsqOperator {
 }
 
 /// Validate the shapes of a least-squares solve.
-fn check_lsq_system(solver: &str, op: &LsqOperator, b_len: usize, x_len: usize) {
-    assert!(
-        b_len == op.n_rows(),
-        "{solver}: right-hand side b has length {b_len} but A has {} rows",
-        op.n_rows()
-    );
-    assert!(
-        x_len == op.n_cols(),
-        "{solver}: solution vector x has length {x_len} but A has {} columns",
-        op.n_cols()
-    );
+fn ensure_lsq_system(
+    solver: &'static str,
+    op: &LsqOperator,
+    b_len: usize,
+    x_len: usize,
+) -> Result<(), SolveError> {
+    if b_len != op.n_rows() {
+        return Err(SolveError::DimensionMismatch {
+            solver,
+            detail: format!(
+                "right-hand side b has length {b_len} but A has {} rows",
+                op.n_rows()
+            ),
+        });
+    }
+    if x_len != op.n_cols() {
+        return Err(SolveError::DimensionMismatch {
+            solver,
+            detail: format!(
+                "solution vector x has length {x_len} but A has {} columns",
+                op.n_cols()
+            ),
+        });
+    }
+    if op.n_rows() == 0 {
+        return Err(SolveError::EmptySystem { solver });
+    }
+    Ok(())
 }
 
 /// Options for the least-squares solvers.
@@ -128,25 +147,29 @@ impl Default for LsqSolveOptions {
     }
 }
 
-/// Sequential randomized coordinate descent, iteration (20): keeps the
-/// residual `r = b - A x` in memory and updates both `x` and `r` each step.
+/// Sequential randomized coordinate descent on the caller's
+/// [`SolveWorkspace`], iteration (20): keeps the residual `r = b - A x` in
+/// memory and updates both `x` and `r` each step.
 ///
-/// # Panics
-/// Panics if `b`/`x` do not match the operator's dimensions or `beta` is
-/// outside `(0, 2)`.
-pub fn rcd_solve(
+/// # Errors
+/// Returns a [`SolveError`] (and leaves `x` untouched) if `b`/`x` do not
+/// match the operator's dimensions or `beta` is outside `(0, 2)`.
+pub fn rcd_solve_in(
+    ws: &mut SolveWorkspace,
     op: &LsqOperator,
     b: &[f64],
     x: &mut [f64],
     opts: &LsqSolveOptions,
-) -> SolveReport {
-    check_lsq_system("rcd_solve", op, b.len(), x.len());
-    check_beta(opts.beta);
+) -> Result<SolveReport, SolveError> {
+    ensure_lsq_system("rcd_solve", op, b.len(), x.len())?;
+    ensure_beta(opts.beta)?;
     let n = op.n_cols();
     let ds = DirectionStream::new(opts.seed, n);
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
 
-    let mut r = op.a.residual(b, x);
+    resize_scratch(&mut ws.resid, op.n_rows());
+    let r = &mut ws.resid;
+    op.a.residual_into(b, x, r);
     let mut driver = Driver::new(&opts.term, opts.record);
     let mut j: u64 = 0;
 
@@ -155,7 +178,7 @@ pub fn rcd_solve(
             let col = ds.direction(j);
             j += 1;
             // gamma = (A e_col)^T r / ||A e_col||^2
-            let gamma = op.csc.col_dot(col, &r) / op.col_norms_sq[col];
+            let gamma = op.csc.col_dot(col, r) / op.col_norms_sq[col];
             let step = opts.beta * gamma;
             x[col] += step;
             // r -= step * A e_col
@@ -167,13 +190,41 @@ pub fn rcd_solve(
         // The maintained residual tracks the true one up to roundoff
         // accumulation, and is cheap — the driver checks the target every
         // sweep.
-        let rel = dense::norm2(&r) / norm_b;
+        let rel = dense::norm2(r) / norm_b;
         if driver.observe(sweep, j, rel, None) {
             break;
         }
     }
 
-    driver.finish_computed(j, 1, op.rel_residual(b, x))
+    Ok(driver.finish_computed(j, 1, op.rel_residual(b, x)))
+}
+
+/// Sequential randomized coordinate descent, iteration (20).
+///
+/// # Errors
+/// See [`rcd_solve_in`].
+pub fn try_rcd_solve(
+    op: &LsqOperator,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &LsqSolveOptions,
+) -> Result<SolveReport, SolveError> {
+    rcd_solve_in(&mut SolveWorkspace::new(), op, b, x, opts)
+}
+
+/// Sequential randomized coordinate descent, iteration (20).
+///
+/// # Panics
+/// Panics if `b`/`x` do not match the operator's dimensions or `beta` is
+/// outside `(0, 2)`.
+#[deprecated(note = "use `try_rcd_solve` (typed errors) or the session API")]
+pub fn rcd_solve(
+    op: &LsqOperator,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &LsqSolveOptions,
+) -> SolveReport {
+    try_rcd_solve(op, b, x, opts).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Asynchronous worker for iteration (21).
@@ -210,64 +261,59 @@ fn lsq_worker(
     }
 }
 
-/// Asynchronous randomized coordinate descent for least squares, iteration
+/// Asynchronous randomized coordinate descent for least squares on an
+/// injected worker pool and caller-owned [`SolveWorkspace`], iteration
 /// (21): the AsyRGS strategy applied to `min ||A x - b||_2`.
 ///
 /// Residuals can only be observed while the workers are quiescent, so the
 /// recording cadence doubles as the epoch length (with
 /// [`Recording::end_only`], the whole run is one lock-free epoch).
 ///
-/// # Panics
-/// Panics if `b`/`x` do not match the operator's dimensions, `beta` is
-/// outside `(0, 2)`, or `threads == 0`.
-pub fn async_rcd_solve(
-    op: &LsqOperator,
-    b: &[f64],
-    x: &mut [f64],
-    opts: &LsqSolveOptions,
-) -> SolveReport {
-    async_rcd_solve_on(&asyrgs_parallel::pool_for(opts.threads), op, b, x, opts)
-}
-
-/// [`async_rcd_solve`] on an injected worker pool (which must provide at
-/// least `opts.threads`-way concurrency).
-pub fn async_rcd_solve_on(
+/// # Errors
+/// Returns a [`SolveError`] (and leaves `x` untouched) if `b`/`x` do not
+/// match the operator's dimensions, `beta` is outside `(0, 2)`, or
+/// `threads == 0`.
+pub fn async_rcd_solve_in(
     pool: &WorkerPool,
+    ws: &mut SolveWorkspace,
     op: &LsqOperator,
     b: &[f64],
     x: &mut [f64],
     opts: &LsqSolveOptions,
-) -> SolveReport {
-    check_lsq_system("async_rcd_solve", op, b.len(), x.len());
-    check_beta(opts.beta);
-    check_threads(opts.threads);
+) -> Result<SolveReport, SolveError> {
+    ensure_lsq_system("async_rcd_solve", op, b.len(), x.len())?;
+    ensure_beta(opts.beta)?;
+    ensure_threads(opts.threads)?;
     let n = op.n_cols();
     let ds = DirectionStream::new(opts.seed, n);
-    let shared = SharedVec::from_slice(x);
+    ws.shared.reset_from(x);
+    let shared = &ws.shared;
     let counter = AtomicU64::new(0);
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
 
     let mut driver = Driver::new(&opts.term, opts.record);
     let epoch_sweeps = crate::jacobi::epoch_len(&opts.term, opts.record);
     let mut sweeps_done = 0usize;
-    let mut snap = vec![0.0; n];
-    let mut resid = vec![0.0; op.n_rows()];
+    resize_scratch(&mut ws.snap, n);
+    resize_scratch(&mut ws.resid, op.n_rows());
+    let snap = &mut ws.snap;
+    let resid = &mut ws.resid;
 
     while sweeps_done < driver.max_sweeps() {
         let this_epoch = epoch_sweeps.min(driver.max_sweeps() - sweeps_done);
         sweeps_done += this_epoch;
         let limit = (sweeps_done as u64) * (n as u64);
         pool.run(opts.threads, |_| {
-            lsq_worker(op, b, &shared, &ds, &counter, limit, opts.beta)
+            lsq_worker(op, b, shared, &ds, &counter, limit, opts.beta)
         });
         // Exiting workers overshoot the claim counter by one failed claim
         // each; reset it to the exact epoch boundary while they are
         // quiescent so the next epoch misses no iteration.
         counter.store(limit, Ordering::Relaxed);
         let stop = driver.observe_lazy(sweeps_done, limit, || {
-            shared.snapshot_into(&mut snap);
-            op.a.residual_into(b, &snap, &mut resid);
-            (dense::norm2(&resid) / norm_b, None)
+            shared.snapshot_into(snap);
+            op.a.residual_into(b, snap, resid);
+            (dense::norm2(resid) / norm_b, None)
         });
         if stop {
             break;
@@ -276,11 +322,75 @@ pub fn async_rcd_solve_on(
 
     shared.snapshot_into(x);
     let iterations = (sweeps_done as u64) * (n as u64);
-    driver.finish_computed(iterations, opts.threads, op.rel_residual(b, x))
+    Ok(driver.finish_computed(iterations, opts.threads, op.rel_residual(b, x)))
+}
+
+/// Asynchronous randomized coordinate descent for least squares,
+/// iteration (21).
+///
+/// # Errors
+/// See [`async_rcd_solve_in`].
+pub fn try_async_rcd_solve(
+    op: &LsqOperator,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &LsqSolveOptions,
+) -> Result<SolveReport, SolveError> {
+    try_async_rcd_solve_on(&asyrgs_parallel::pool_for(opts.threads), op, b, x, opts)
+}
+
+/// [`try_async_rcd_solve`] on an injected worker pool (which must provide
+/// at least `opts.threads`-way concurrency).
+///
+/// # Errors
+/// See [`async_rcd_solve_in`].
+pub fn try_async_rcd_solve_on(
+    pool: &WorkerPool,
+    op: &LsqOperator,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &LsqSolveOptions,
+) -> Result<SolveReport, SolveError> {
+    async_rcd_solve_in(pool, &mut SolveWorkspace::new(), op, b, x, opts)
+}
+
+/// Asynchronous randomized coordinate descent for least squares.
+///
+/// # Panics
+/// Panics if `b`/`x` do not match the operator's dimensions, `beta` is
+/// outside `(0, 2)`, or `threads == 0`.
+#[deprecated(note = "use `try_async_rcd_solve` (typed errors) or the session API")]
+pub fn async_rcd_solve(
+    op: &LsqOperator,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &LsqSolveOptions,
+) -> SolveReport {
+    try_async_rcd_solve(op, b, x, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`async_rcd_solve`] on an injected worker pool (which must provide at
+/// least `opts.threads`-way concurrency).
+///
+/// # Panics
+/// Panics on invalid input like [`async_rcd_solve`].
+#[deprecated(note = "use `try_async_rcd_solve_on` (typed errors) or the session API")]
+pub fn async_rcd_solve_on(
+    pool: &WorkerPool,
+    op: &LsqOperator,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &LsqSolveOptions,
+) -> SolveReport {
+    try_async_rcd_solve_on(pool, op, b, x, opts).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy free functions stay covered here: these tests double as
+    // regression coverage for the deprecated panicking wrappers.
+    #![allow(deprecated)]
+
     use super::*;
     use asyrgs_workloads::{random_lsq, LsqParams};
 

@@ -31,12 +31,13 @@
 //! telemetry through the shared [`crate::driver`] (observed at epoch
 //! boundaries, where all owners are quiescent).
 
-use crate::atomic::SharedVec;
 use crate::driver::{
-    check_beta, check_square_system, check_threads, checked_inverse_diag, Driver, Recording,
+    ensure_beta, ensure_square_system, ensure_threads, inverse_diag_into, Driver, Recording,
     Solver, Termination,
 };
+use crate::error::SolveError;
 use crate::report::SolveReport;
+use crate::workspace::{resize_scratch, SolveWorkspace};
 use asyrgs_parallel::WorkerPool;
 use asyrgs_rng::Philox4x32;
 use asyrgs_sparse::dense;
@@ -80,52 +81,49 @@ pub struct PartitionedReport {
     pub block_iterations: Vec<u64>,
 }
 
-/// Solve `A x = b` with block-partitioned AsyRGS: thread `t` owns rows
-/// `[t*n/P, (t+1)*n/P)` and updates only those, sampling uniformly within
-/// the block; reads span the whole shared vector (lock-free).
+/// Block-partitioned AsyRGS on an injected worker pool and caller-owned
+/// [`SolveWorkspace`]: thread `t` owns rows `[t*n/P, (t+1)*n/P)` and
+/// updates only those, sampling uniformly within the block; reads span the
+/// whole shared vector (lock-free). The pool must provide at least
+/// `opts.threads`-way concurrency: every owner must run concurrently to
+/// reach the per-sweep barrier.
 ///
-/// # Panics
-/// Panics if `A` is not square, `b`/`x` have mismatched lengths, a
-/// diagonal entry is non-positive, `beta` is outside `(0, 2)`,
-/// `threads == 0`, or there are more blocks than unknowns.
-pub fn partitioned_solve<O: RowAccess + Sync>(
-    a: &O,
-    b: &[f64],
-    x: &mut [f64],
-    opts: &PartitionedOptions,
-) -> PartitionedReport {
-    partitioned_solve_on(&asyrgs_parallel::pool_for(opts.threads), a, b, x, opts)
-}
-
-/// [`partitioned_solve`] on an injected worker pool (which must provide at
-/// least `opts.threads`-way concurrency: every owner must run concurrently
-/// to reach the per-sweep barrier).
-pub fn partitioned_solve_on<O: RowAccess + Sync>(
+/// # Errors
+/// Returns a [`SolveError`] (and leaves `x` untouched) if `A` is not
+/// square or empty, `b`/`x` have mismatched lengths, a diagonal entry is
+/// non-positive, `beta` is outside `(0, 2)`, `threads == 0`, or there are
+/// more blocks than unknowns.
+pub fn partitioned_solve_in<O: RowAccess + Sync>(
     pool: &WorkerPool,
+    ws: &mut SolveWorkspace,
     a: &O,
     b: &[f64],
     x: &mut [f64],
     opts: &PartitionedOptions,
-) -> PartitionedReport {
-    check_square_system(
+) -> Result<PartitionedReport, SolveError> {
+    ensure_square_system(
         "partitioned_solve",
         a.n_rows(),
         a.n_cols(),
         b.len(),
         x.len(),
-    );
-    check_threads(opts.threads);
+    )?;
+    ensure_threads(opts.threads)?;
     let n = a.n_rows();
-    assert!(
-        opts.threads <= n,
-        "more blocks than unknowns ({} > {n})",
-        opts.threads
-    );
-    check_beta(opts.beta);
-    let dinv = checked_inverse_diag(&a.diag());
+    if opts.threads > n {
+        return Err(SolveError::DimensionMismatch {
+            solver: "partitioned_solve",
+            detail: format!("more blocks than unknowns ({} > {n})", opts.threads),
+        });
+    }
+    ensure_beta(opts.beta)?;
+    a.diag_into(&mut ws.diag);
+    inverse_diag_into(&ws.diag, &mut ws.dinv)?;
+    let dinv = &ws.dinv;
 
     let p = opts.threads;
-    let shared = SharedVec::from_slice(x);
+    ws.shared.reset_from(x);
+    let shared = &ws.shared;
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
     // Block bounds: block t covers [bounds[t], bounds[t+1]).
     let bounds: Vec<usize> = (0..=p).map(|t| t * n / p).collect();
@@ -142,8 +140,10 @@ pub fn partitioned_solve_on<O: RowAccess + Sync>(
     let epoch_sweeps = crate::jacobi::epoch_len(&opts.term, opts.record);
     let mut sweeps_done = 0usize;
 
-    let mut snap = vec![0.0; n];
-    let mut resid = vec![0.0; n];
+    resize_scratch(&mut ws.snap, n);
+    resize_scratch(&mut ws.resid, n);
+    let snap = &mut ws.snap;
+    let resid = &mut ws.resid;
 
     while sweeps_done < driver.max_sweeps() {
         let this_epoch = epoch_sweeps.min(driver.max_sweeps() - sweeps_done);
@@ -178,8 +178,8 @@ pub fn partitioned_solve_on<O: RowAccess + Sync>(
             block_counts[t].fetch_add((this_epoch as u64) * (width as u64), Ordering::Relaxed);
         });
         let stop = driver.observe_lazy(sweeps_done, (sweeps_done as u64) * (n as u64), || {
-            shared.snapshot_into(&mut snap);
-            (a.rel_residual_into(b, &snap, norm_b, &mut resid), None)
+            shared.snapshot_into(snap);
+            (a.rel_residual_into(b, snap, norm_b, resid), None)
         });
         if stop {
             break;
@@ -188,14 +188,75 @@ pub fn partitioned_solve_on<O: RowAccess + Sync>(
 
     shared.snapshot_into(x);
     let total = (sweeps_done as u64) * (n as u64);
-    let report = driver.finish(total, p, || a.rel_residual_into(b, x, norm_b, &mut resid));
-    PartitionedReport {
+    let report = driver.finish(total, p, || a.rel_residual_into(b, x, norm_b, resid));
+    Ok(PartitionedReport {
         report,
         block_iterations: block_counts
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect(),
-    }
+    })
+}
+
+/// Solve `A x = b` with block-partitioned AsyRGS; see
+/// [`partitioned_solve_in`] for the algorithm.
+///
+/// # Errors
+/// See [`partitioned_solve_in`].
+pub fn try_partitioned_solve<O: RowAccess + Sync>(
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &PartitionedOptions,
+) -> Result<PartitionedReport, SolveError> {
+    try_partitioned_solve_on(&asyrgs_parallel::pool_for(opts.threads), a, b, x, opts)
+}
+
+/// [`try_partitioned_solve`] on an injected worker pool (which must
+/// provide at least `opts.threads`-way concurrency).
+///
+/// # Errors
+/// See [`partitioned_solve_in`].
+pub fn try_partitioned_solve_on<O: RowAccess + Sync>(
+    pool: &WorkerPool,
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &PartitionedOptions,
+) -> Result<PartitionedReport, SolveError> {
+    partitioned_solve_in(pool, &mut SolveWorkspace::new(), a, b, x, opts)
+}
+
+/// Solve `A x = b` with block-partitioned AsyRGS.
+///
+/// # Panics
+/// Panics if `A` is not square, `b`/`x` have mismatched lengths, a
+/// diagonal entry is non-positive, `beta` is outside `(0, 2)`,
+/// `threads == 0`, or there are more blocks than unknowns.
+#[deprecated(note = "use `try_partitioned_solve` (typed errors) or the session API")]
+pub fn partitioned_solve<O: RowAccess + Sync>(
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &PartitionedOptions,
+) -> PartitionedReport {
+    try_partitioned_solve(a, b, x, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`partitioned_solve`] on an injected worker pool (which must provide at
+/// least `opts.threads`-way concurrency).
+///
+/// # Panics
+/// Panics on invalid input like [`partitioned_solve`].
+#[deprecated(note = "use `try_partitioned_solve_on` (typed errors) or the session API")]
+pub fn partitioned_solve_on<O: RowAccess + Sync>(
+    pool: &WorkerPool,
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &PartitionedOptions,
+) -> PartitionedReport {
+    try_partitioned_solve_on(pool, a, b, x, opts).unwrap_or_else(|e| panic!("{e}"))
 }
 
 impl Solver for PartitionedOptions {
@@ -209,13 +270,17 @@ impl Solver for PartitionedOptions {
         b: &[f64],
         x: &mut [f64],
         _x_star: Option<&[f64]>,
-    ) -> SolveReport {
-        partitioned_solve(a, b, x, self).report
+    ) -> Result<SolveReport, SolveError> {
+        Ok(try_partitioned_solve(a, b, x, self)?.report)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy free functions stay covered here: these tests double as
+    // regression coverage for the deprecated panicking wrappers.
+    #![allow(deprecated)]
+
     use super::*;
     use asyrgs_sparse::CsrMatrix;
     use asyrgs_workloads::{diag_dominant, laplace2d};

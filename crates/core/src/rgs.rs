@@ -18,10 +18,12 @@
 //! Stopping and telemetry route through the shared [`crate::driver`].
 
 use crate::driver::{
-    check_beta, check_square_block_system, check_square_system, checked_inverse_diag, Driver,
+    ensure_beta, ensure_square_block_system, ensure_square_system, inverse_diag_into, Driver,
     Recording, Solver, Termination,
 };
+use crate::error::SolveError;
 use crate::report::SolveReport;
+use crate::workspace::{resize_scratch, resize_scratch_mat, SolveWorkspace};
 use asyrgs_rng::{DirectionStream, WeightedDirectionStream};
 use asyrgs_sparse::dense::{self, RowMajorMat};
 use asyrgs_sparse::{CsrMatrix, RowAccess};
@@ -97,35 +99,46 @@ impl Default for RgsOptions {
     }
 }
 
-/// Solve `A x = b` by sequential Randomized Gauss-Seidel.
+/// Solve `A x = b` by sequential Randomized Gauss-Seidel, using the
+/// caller's [`SolveWorkspace`] for all scratch — the allocation-amortized
+/// entry point behind the session API: repeated calls with the same-sized
+/// system perform no heap allocation in the hot path.
 ///
 /// `x` holds the initial iterate on entry and the final iterate on exit.
 /// If `x_star` is supplied, per-record A-norm errors are reported.
 ///
-/// # Panics
-/// Panics if `A` is not square, `b`/`x` have mismatched lengths, a
-/// diagonal entry is non-positive, or `beta` is outside `(0, 2)`.
-pub fn rgs_solve<O: RowAccess>(
+/// # Errors
+/// Returns a [`SolveError`] (and leaves `x` untouched) if `A` is not
+/// square or empty, `b`/`x` have mismatched lengths, a diagonal entry is
+/// non-positive, or `beta` is outside `(0, 2)`.
+pub fn rgs_solve_in<O: RowAccess>(
+    ws: &mut SolveWorkspace,
     a: &O,
     b: &[f64],
     x: &mut [f64],
     x_star: Option<&[f64]>,
     opts: &RgsOptions,
-) -> SolveReport {
-    check_square_system("rgs_solve", a.n_rows(), a.n_cols(), b.len(), x.len());
-    check_beta(opts.beta);
+) -> Result<SolveReport, SolveError> {
+    ensure_square_system("rgs_solve", a.n_rows(), a.n_cols(), b.len(), x.len())?;
+    ensure_beta(opts.beta)?;
     let n = a.n_rows();
-    let diag = a.diag();
-    let dinv = checked_inverse_diag(&diag);
-    let ds = Directions::new(opts.sampling, opts.seed, n, &diag);
+    a.diag_into(&mut ws.diag);
+    inverse_diag_into(&ws.diag, &mut ws.dinv)?;
+    let dinv = &ws.dinv;
+    let ds = Directions::new(opts.sampling, opts.seed, n, &ws.diag);
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
     let norm_xs_a = x_star.map(|xs| a.a_norm(xs).max(f64::MIN_POSITIVE));
 
     let mut driver = Driver::new(&opts.term, opts.record);
     let mut j: u64 = 0;
-    // Observation scratch, reused across every record point.
-    let mut resid = vec![0.0; n];
-    let mut diff = x_star.map(|_| vec![0.0; n]);
+    // Observation scratch, reused across every record point (and across
+    // solves: the workspace retains the buffers).
+    resize_scratch(&mut ws.resid, n);
+    if x_star.is_some() {
+        resize_scratch(&mut ws.diff, n);
+    }
+    let resid = &mut ws.resid;
+    let diff = &mut ws.diff;
 
     for sweep in 1..=driver.max_sweeps() {
         for _ in 0..n {
@@ -135,14 +148,13 @@ pub fn rgs_solve<O: RowAccess>(
             x[r] += opts.beta * gamma;
         }
         let stop = driver.observe_lazy(sweep, j, || {
-            a.residual_into(b, x, &mut resid);
-            let rel = dense::norm2(&resid) / norm_b;
+            a.residual_into(b, x, resid);
+            let rel = dense::norm2(resid) / norm_b;
             let err = x_star.map(|xs| {
-                let d = diff.as_mut().unwrap();
-                for ((di, xi), xsi) in d.iter_mut().zip(x.iter()).zip(xs) {
+                for ((di, xi), xsi) in diff.iter_mut().zip(x.iter()).zip(xs) {
                     *di = xi - xsi;
                 }
-                a.a_norm_into(d, &mut resid) / norm_xs_a.unwrap()
+                a.a_norm_into(diff, resid) / norm_xs_a.unwrap()
             });
             (rel, err)
         });
@@ -151,10 +163,45 @@ pub fn rgs_solve<O: RowAccess>(
         }
     }
 
-    driver.finish(j, 1, || {
-        a.residual_into(b, x, &mut resid);
-        dense::norm2(&resid) / norm_b
-    })
+    Ok(driver.finish(j, 1, || {
+        a.residual_into(b, x, resid);
+        dense::norm2(resid) / norm_b
+    }))
+}
+
+/// Solve `A x = b` by sequential Randomized Gauss-Seidel.
+///
+/// `x` holds the initial iterate on entry and the final iterate on exit.
+/// If `x_star` is supplied, per-record A-norm errors are reported.
+///
+/// # Errors
+/// Returns a [`SolveError`] (and leaves `x` untouched) if `A` is not
+/// square or empty, `b`/`x` have mismatched lengths, a diagonal entry is
+/// non-positive, or `beta` is outside `(0, 2)`.
+pub fn try_rgs_solve<O: RowAccess>(
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    x_star: Option<&[f64]>,
+    opts: &RgsOptions,
+) -> Result<SolveReport, SolveError> {
+    rgs_solve_in(&mut SolveWorkspace::new(), a, b, x, x_star, opts)
+}
+
+/// Solve `A x = b` by sequential Randomized Gauss-Seidel.
+///
+/// # Panics
+/// Panics if `A` is not square, `b`/`x` have mismatched lengths, a
+/// diagonal entry is non-positive, or `beta` is outside `(0, 2)`.
+#[deprecated(note = "use `try_rgs_solve` (typed errors) or the session API")]
+pub fn rgs_solve<O: RowAccess>(
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    x_star: Option<&[f64]>,
+    opts: &RgsOptions,
+) -> SolveReport {
+    try_rgs_solve(a, b, x, x_star, opts).unwrap_or_else(|e| panic!("{e}"))
 }
 
 impl Solver for RgsOptions {
@@ -168,25 +215,28 @@ impl Solver for RgsOptions {
         b: &[f64],
         x: &mut [f64],
         x_star: Option<&[f64]>,
-    ) -> SolveReport {
-        rgs_solve(a, b, x, x_star, self)
+    ) -> Result<SolveReport, SolveError> {
+        try_rgs_solve(a, b, x, x_star, self)
     }
 }
 
-/// Multi-RHS Randomized Gauss-Seidel: solves `A X = B` for row-major blocks,
-/// all right-hand sides sharing the same random direction sequence (the
-/// paper solves its 51 systems together this way, Section 9).
+/// Multi-RHS Randomized Gauss-Seidel on the caller's [`SolveWorkspace`]:
+/// solves `A X = B` for row-major blocks, all right-hand sides sharing the
+/// same random direction sequence (the paper solves its 51 systems
+/// together this way, Section 9).
 ///
-/// # Panics
-/// Panics if `A` is not square, the blocks do not conform, a diagonal
-/// entry is non-positive, or `beta` is outside `(0, 2)`.
-pub fn rgs_solve_block(
+/// # Errors
+/// Returns a [`SolveError`] (and leaves `X` untouched) if `A` is not
+/// square or empty, the blocks do not conform, a diagonal entry is
+/// non-positive, or `beta` is outside `(0, 2)`.
+pub fn rgs_solve_block_in(
+    ws: &mut SolveWorkspace,
     a: &CsrMatrix,
     b: &RowMajorMat,
     x: &mut RowMajorMat,
     opts: &RgsOptions,
-) -> SolveReport {
-    check_square_block_system(
+) -> Result<SolveReport, SolveError> {
+    ensure_square_block_system(
         "rgs_solve_block",
         a.n_rows(),
         a.n_cols(),
@@ -194,19 +244,22 @@ pub fn rgs_solve_block(
         b.n_cols(),
         x.n_rows(),
         x.n_cols(),
-    );
-    check_beta(opts.beta);
+    )?;
+    ensure_beta(opts.beta)?;
     let n = a.n_rows();
     let k = b.n_cols();
-    let diag = a.diag();
-    let dinv = checked_inverse_diag(&diag);
-    let ds = Directions::new(opts.sampling, opts.seed, n, &diag);
+    asyrgs_sparse::LinearOperator::diag_into(a, &mut ws.diag);
+    inverse_diag_into(&ws.diag, &mut ws.dinv)?;
+    let dinv = &ws.dinv;
+    let ds = Directions::new(opts.sampling, opts.seed, n, &ws.diag);
     let norm_b = b.frobenius_norm().max(f64::MIN_POSITIVE);
 
     let mut driver = Driver::new(&opts.term, opts.record);
     let mut j: u64 = 0;
-    let mut gammas = vec![0.0f64; k];
-    let mut resid = RowMajorMat::zeros(n, k);
+    resize_scratch(&mut ws.gammas, k);
+    resize_scratch_mat(&mut ws.blk_resid, n, k);
+    let gammas = &mut ws.gammas;
+    let resid = &mut ws.blk_resid;
 
     for sweep in 1..=driver.max_sweeps() {
         for _ in 0..n {
@@ -227,7 +280,7 @@ pub fn rgs_solve_block(
             }
         }
         let stop = driver.observe_lazy(sweep, j, || {
-            a.residual_block_into(b, x, &mut resid);
+            a.residual_block_into(b, x, resid);
             (resid.frobenius_norm() / norm_b, None)
         });
         if stop {
@@ -235,14 +288,50 @@ pub fn rgs_solve_block(
         }
     }
 
-    driver.finish(j, 1, || {
-        a.residual_block_into(b, x, &mut resid);
+    Ok(driver.finish(j, 1, || {
+        a.residual_block_into(b, x, resid);
         resid.frobenius_norm() / norm_b
-    })
+    }))
+}
+
+/// Multi-RHS Randomized Gauss-Seidel: solves `A X = B` for row-major
+/// blocks.
+///
+/// # Errors
+/// Returns a [`SolveError`] (and leaves `X` untouched) if `A` is not
+/// square or empty, the blocks do not conform, a diagonal entry is
+/// non-positive, or `beta` is outside `(0, 2)`.
+pub fn try_rgs_solve_block(
+    a: &CsrMatrix,
+    b: &RowMajorMat,
+    x: &mut RowMajorMat,
+    opts: &RgsOptions,
+) -> Result<SolveReport, SolveError> {
+    rgs_solve_block_in(&mut SolveWorkspace::new(), a, b, x, opts)
+}
+
+/// Multi-RHS Randomized Gauss-Seidel: solves `A X = B` for row-major
+/// blocks.
+///
+/// # Panics
+/// Panics if `A` is not square, the blocks do not conform, a diagonal
+/// entry is non-positive, or `beta` is outside `(0, 2)`.
+#[deprecated(note = "use `try_rgs_solve_block` (typed errors) or the session API")]
+pub fn rgs_solve_block(
+    a: &CsrMatrix,
+    b: &RowMajorMat,
+    x: &mut RowMajorMat,
+    opts: &RgsOptions,
+) -> SolveReport {
+    try_rgs_solve_block(a, b, x, opts).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy free functions stay covered here: these tests double as
+    // regression coverage for the deprecated panicking wrappers.
+    #![allow(deprecated)]
+
     use super::*;
     use asyrgs_workloads::{diag_dominant, laplace2d, tridiag_toeplitz};
 

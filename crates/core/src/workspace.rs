@@ -1,0 +1,134 @@
+//! Reusable solve scratch: the allocation-amortization substrate of the
+//! session API.
+//!
+//! Every solver needs the same few kinds of scratch — a diagonal and its
+//! inverse, a residual buffer, an iterate snapshot, an error diff, a
+//! shared atomic vector for the asynchronous families, and row-major
+//! blocks for multi-RHS solves. A [`SolveWorkspace`] owns one of each and
+//! is threaded through the `*_solve_in` entry points, so a session that
+//! solves many systems of the same size allocates on the **first** solve
+//! only; every later solve reuses the buffers (capacity is retained even
+//! across size changes that shrink).
+//!
+//! Buffers are plain scratch with no invariants: every entry point fully
+//! overwrites what it reads. The struct is deliberately open (all fields
+//! public) — it is a bag of buffers, not an abstraction.
+
+use crate::atomic::SharedVec;
+use asyrgs_sparse::dense::RowMajorMat;
+
+/// Scratch buffers reused across solves (see the module docs).
+///
+/// Construct once with [`SolveWorkspace::new`] (allocation-free), pass
+/// `&mut` to any `*_solve_in` entry point. The first solve sizes the
+/// buffers the chosen solver needs; subsequent same-size solves perform no
+/// heap allocation in the hot path.
+#[derive(Debug)]
+pub struct SolveWorkspace {
+    /// The operator diagonal.
+    pub diag: Vec<f64>,
+    /// The inverted diagonal.
+    pub dinv: Vec<f64>,
+    /// Quiescent-iterate snapshot (asynchronous solvers).
+    pub snap: Vec<f64>,
+    /// Residual scratch (doubles as the A-norm matvec scratch).
+    pub resid: Vec<f64>,
+    /// Error diff `x - x*` for A-norm telemetry; Krylov `z` scratch.
+    pub diff: Vec<f64>,
+    /// General vector scratch (Jacobi's next iterate, Krylov's search
+    /// direction `p`).
+    pub aux: Vec<f64>,
+    /// Second general vector scratch (Krylov's `A p`).
+    pub aux2: Vec<f64>,
+    /// Per-RHS coefficient scratch for block solves.
+    pub gammas: Vec<f64>,
+    /// The shared atomic iterate of the asynchronous solvers.
+    pub shared: SharedVec,
+    /// Multi-RHS iterate-snapshot block.
+    pub blk_snap: RowMajorMat,
+    /// Multi-RHS residual block.
+    pub blk_resid: RowMajorMat,
+    /// Multi-RHS packed right-hand-side block (session `solve_many`).
+    pub blk_b: RowMajorMat,
+    /// Multi-RHS packed solution block (session `solve_many`).
+    pub blk_x: RowMajorMat,
+}
+
+/// Resize a scratch vector to `n` entries (contents unspecified; callers
+/// overwrite before reading). Retains capacity when shrinking.
+pub fn resize_scratch(v: &mut Vec<f64>, n: usize) {
+    v.resize(n, 0.0);
+}
+
+/// Ensure a row-major scratch block has exactly `rows x cols` shape
+/// (contents unspecified; callers overwrite before reading).
+pub fn resize_scratch_mat(m: &mut RowMajorMat, rows: usize, cols: usize) {
+    if m.n_rows() != rows || m.n_cols() != cols {
+        *m = RowMajorMat::zeros(rows, cols);
+    }
+}
+
+impl SolveWorkspace {
+    /// An empty workspace: no buffer is allocated until a solver first
+    /// needs it.
+    pub fn new() -> Self {
+        SolveWorkspace {
+            diag: Vec::new(),
+            dinv: Vec::new(),
+            snap: Vec::new(),
+            resid: Vec::new(),
+            diff: Vec::new(),
+            aux: Vec::new(),
+            aux2: Vec::new(),
+            gammas: Vec::new(),
+            shared: SharedVec::zeros(0),
+            blk_snap: RowMajorMat::zeros(0, 0),
+            blk_resid: RowMajorMat::zeros(0, 0),
+            blk_b: RowMajorMat::zeros(0, 0),
+            blk_x: RowMajorMat::zeros(0, 0),
+        }
+    }
+}
+
+impl Default for SolveWorkspace {
+    fn default() -> Self {
+        SolveWorkspace::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_workspace_allocates_nothing() {
+        let ws = SolveWorkspace::new();
+        assert_eq!(ws.diag.capacity(), 0);
+        assert_eq!(ws.resid.capacity(), 0);
+        assert_eq!(ws.shared.len(), 0);
+        assert_eq!(ws.blk_snap.n_rows(), 0);
+    }
+
+    #[test]
+    fn resize_scratch_retains_capacity_on_shrink() {
+        let mut v = Vec::new();
+        resize_scratch(&mut v, 100);
+        let cap = v.capacity();
+        resize_scratch(&mut v, 10);
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.capacity(), cap);
+        resize_scratch(&mut v, 100);
+        assert_eq!(v.capacity(), cap, "regrow within capacity: no realloc");
+    }
+
+    #[test]
+    fn resize_scratch_mat_keeps_same_shape_buffer() {
+        let mut m = RowMajorMat::zeros(0, 0);
+        resize_scratch_mat(&mut m, 4, 3);
+        m.as_mut_slice()[5] = 7.0;
+        resize_scratch_mat(&mut m, 4, 3);
+        assert_eq!(m.as_slice()[5], 7.0, "same shape must not reallocate");
+        resize_scratch_mat(&mut m, 2, 3);
+        assert_eq!((m.n_rows(), m.n_cols()), (2, 3));
+    }
+}

@@ -10,9 +10,11 @@
 //! recording through the shared [`asyrgs_core::driver`].
 
 use asyrgs_core::driver::{
-    check_square_block_system, check_square_system, Driver, Recording, Solver, Termination,
+    ensure_square_block_system, ensure_square_system, Driver, Recording, Solver, Termination,
 };
+use asyrgs_core::error::SolveError;
 use asyrgs_core::report::SolveReport;
+use asyrgs_core::workspace::{resize_scratch, SolveWorkspace};
 use asyrgs_sparse::dense::{self, RowMajorMat};
 use asyrgs_sparse::{CsrMatrix, LinearOperator, RowAccess};
 
@@ -36,27 +38,36 @@ impl Default for CgOptions {
     }
 }
 
-/// Solve `A x = b` (SPD `A`) by conjugate gradients.
+/// Solve `A x = b` (SPD `A`) by conjugate gradients on the caller's
+/// [`SolveWorkspace`] — the allocation-amortized entry point behind the
+/// session API.
 ///
 /// `x` holds the initial guess on entry and the solution on exit.
 ///
-/// # Panics
-/// Panics if `A` is not square or `b`/`x` have mismatched lengths.
-pub fn cg_solve<O: LinearOperator + ?Sized>(
+/// # Errors
+/// Returns a [`SolveError`] (and leaves `x` untouched) if `A` is not
+/// square or empty, or `b`/`x` have mismatched lengths.
+pub fn cg_solve_in<O: LinearOperator + ?Sized>(
+    ws: &mut SolveWorkspace,
     a: &O,
     b: &[f64],
     x: &mut [f64],
     opts: &CgOptions,
-) -> SolveReport {
-    check_square_system("cg_solve", a.n_rows(), a.n_cols(), b.len(), x.len());
+) -> Result<SolveReport, SolveError> {
+    ensure_square_system("cg_solve", a.n_rows(), a.n_cols(), b.len(), x.len())?;
     let n = a.n_rows();
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
 
     let mut driver = Driver::new(&opts.term, opts.record);
-    let mut r = a.residual(b, x);
-    let mut p = r.clone();
-    let mut ap = vec![0.0; n];
-    let mut rr = dense::norm2_sq(&r);
+    resize_scratch(&mut ws.resid, n);
+    resize_scratch(&mut ws.aux, n);
+    resize_scratch(&mut ws.aux2, n);
+    let r = &mut ws.resid;
+    let p = &mut ws.aux;
+    let ap = &mut ws.aux2;
+    a.residual_into(b, x, r);
+    p.copy_from_slice(r);
+    let mut rr = dense::norm2_sq(r);
 
     let mut it = 0usize;
     let initially_converged = opts
@@ -66,19 +77,19 @@ pub fn cg_solve<O: LinearOperator + ?Sized>(
     if !initially_converged {
         while it < driver.max_sweeps() {
             it += 1;
-            a.matvec_into(&p, &mut ap);
-            let pap = dense::dot(&p, &ap);
+            a.matvec_into(p, ap);
+            let pap = dense::dot(p, ap);
             if pap <= 0.0 {
                 // Matrix not positive definite along p; stop defensively.
                 break;
             }
             let alpha = rr / pap;
-            dense::axpy(alpha, &p, x);
-            dense::axpy(-alpha, &ap, &mut r);
-            let rr_new = dense::norm2_sq(&r);
+            dense::axpy(alpha, p, x);
+            dense::axpy(-alpha, ap, r);
+            let rr_new = dense::norm2_sq(r);
             let beta = rr_new / rr;
             rr = rr_new;
-            dense::xpby(&r, beta, &mut p);
+            dense::xpby(r, beta, p);
 
             if driver.observe(it, it as u64, rr.sqrt() / norm_b, None) {
                 break;
@@ -87,10 +98,37 @@ pub fn cg_solve<O: LinearOperator + ?Sized>(
     }
 
     // True (not recurrence) final residual, reusing r as scratch.
-    a.residual_into(b, x, &mut r);
-    let mut report = driver.finish_computed(it as u64, 1, dense::norm2(&r) / norm_b);
+    a.residual_into(b, x, r);
+    let mut report = driver.finish_computed(it as u64, 1, dense::norm2(r) / norm_b);
     report.converged_early |= initially_converged;
-    report
+    Ok(report)
+}
+
+/// Solve `A x = b` (SPD `A`) by conjugate gradients.
+///
+/// # Errors
+/// See [`cg_solve_in`].
+pub fn try_cg_solve<O: LinearOperator + ?Sized>(
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &CgOptions,
+) -> Result<SolveReport, SolveError> {
+    cg_solve_in(&mut SolveWorkspace::new(), a, b, x, opts)
+}
+
+/// Solve `A x = b` (SPD `A`) by conjugate gradients.
+///
+/// # Panics
+/// Panics if `A` is not square or `b`/`x` have mismatched lengths.
+#[deprecated(note = "use `try_cg_solve` (typed errors) or the session API")]
+pub fn cg_solve<O: LinearOperator + ?Sized>(
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &CgOptions,
+) -> SolveReport {
+    try_cg_solve(a, b, x, opts).unwrap_or_else(|e| panic!("{e}"))
 }
 
 impl Solver for CgOptions {
@@ -104,8 +142,8 @@ impl Solver for CgOptions {
         b: &[f64],
         x: &mut [f64],
         _x_star: Option<&[f64]>,
-    ) -> SolveReport {
-        cg_solve(a, b, x, self)
+    ) -> Result<SolveReport, SolveError> {
+        try_cg_solve(a, b, x, self)
     }
 }
 
@@ -115,15 +153,16 @@ impl Solver for CgOptions {
 /// `target_rel_residual`, or exact-zero if none). Residuals are recorded
 /// as Frobenius-relative.
 ///
-/// # Panics
-/// Panics if `A` is not square or the blocks do not conform.
-pub fn cg_solve_block(
+/// # Errors
+/// Returns a [`SolveError`] (and leaves `X` untouched) if `A` is not
+/// square or empty, or the blocks do not conform.
+pub fn try_cg_solve_block(
     a: &CsrMatrix,
     b: &RowMajorMat,
     x: &mut RowMajorMat,
     opts: &CgOptions,
-) -> SolveReport {
-    check_square_block_system(
+) -> Result<SolveReport, SolveError> {
+    ensure_square_block_system(
         "cg_solve_block",
         a.n_rows(),
         a.n_cols(),
@@ -131,7 +170,7 @@ pub fn cg_solve_block(
         b.n_cols(),
         x.n_rows(),
         x.n_cols(),
-    );
+    )?;
     let n = a.n_rows();
     let k = b.n_cols();
     let norm_b = b.frobenius_norm().max(f64::MIN_POSITIVE);
@@ -241,11 +280,29 @@ pub fn cg_solve_block(
         a.residual_block(b, x).frobenius_norm() / norm_b,
     );
     report.converged_early = all_frozen;
-    report
+    Ok(report)
+}
+
+/// Multi-RHS lockstep CG: solves `A X = B`.
+///
+/// # Panics
+/// Panics if `A` is not square or the blocks do not conform.
+#[deprecated(note = "use `try_cg_solve_block` (typed errors) or the session API")]
+pub fn cg_solve_block(
+    a: &CsrMatrix,
+    b: &RowMajorMat,
+    x: &mut RowMajorMat,
+    opts: &CgOptions,
+) -> SolveReport {
+    try_cg_solve_block(a, b, x, opts).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy free functions stay covered here: these tests double as
+    // regression coverage for the deprecated panicking wrappers.
+    #![allow(deprecated)]
+
     use super::*;
     use asyrgs_workloads::{diag_dominant, laplace2d};
 

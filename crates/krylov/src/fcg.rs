@@ -22,8 +22,10 @@
 //! routes stopping and recording through the shared [`asyrgs_core::driver`].
 
 use crate::precond::Preconditioner;
-use asyrgs_core::driver::{check_square_system, Driver, Recording, Termination};
+use asyrgs_core::driver::{ensure_square_system, Driver, Recording, Termination};
+use asyrgs_core::error::SolveError;
 use asyrgs_core::report::SolveReport;
+use asyrgs_core::workspace::{resize_scratch, SolveWorkspace};
 use asyrgs_sparse::dense;
 use asyrgs_sparse::{CsrMatrix, LinearOperator};
 
@@ -59,28 +61,38 @@ impl Default for FcgOptions {
 }
 
 /// Solve `A x = b` by Flexible-CG with the given (possibly variable)
-/// preconditioner.
+/// preconditioner, on the caller's [`SolveWorkspace`]. The retained
+/// direction history is per-call (its length depends on `truncate`).
+///
+/// # Errors
+/// Returns a [`SolveError`] (and leaves `x` untouched) if `A` is not
+/// square or empty, or `b`/`x` have mismatched lengths.
 ///
 /// # Panics
-/// Panics if `A` is not square, `b`/`x` have mismatched lengths, or the
-/// truncation depth is zero.
-pub fn fcg_solve<O: LinearOperator + ?Sized, M: Preconditioner>(
+/// Panics if the truncation depth is zero.
+pub fn fcg_solve_in<O: LinearOperator + ?Sized, M: Preconditioner>(
+    ws: &mut SolveWorkspace,
     a: &O,
     b: &[f64],
     x: &mut [f64],
     m: &M,
     opts: &FcgOptions,
-) -> SolveReport {
-    check_square_system("fcg_solve", a.n_rows(), a.n_cols(), b.len(), x.len());
+) -> Result<SolveReport, SolveError> {
+    ensure_square_system("fcg_solve", a.n_rows(), a.n_cols(), b.len(), x.len())?;
     assert!(opts.truncate >= 1, "truncation depth must be at least 1");
     let n = a.n_rows();
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
 
     let mut driver = Driver::new(&opts.term, opts.record);
-    let mut r = a.residual(b, x);
-    let mut z = vec![0.0; n];
-    let mut p = vec![0.0; n];
-    let mut ap = vec![0.0; n];
+    resize_scratch(&mut ws.resid, n);
+    resize_scratch(&mut ws.diff, n);
+    resize_scratch(&mut ws.aux, n);
+    resize_scratch(&mut ws.aux2, n);
+    let r = &mut ws.resid;
+    let z = &mut ws.diff;
+    let p = &mut ws.aux;
+    let ap = &mut ws.aux2;
+    a.residual_into(b, x, r);
     // Retained directions for FCG(m): (p_h, A p_h, (p_h, A p_h)).
     let mut history: std::collections::VecDeque<(Vec<f64>, Vec<f64>, f64)> =
         std::collections::VecDeque::with_capacity(opts.truncate);
@@ -89,7 +101,7 @@ pub fn fcg_solve<O: LinearOperator + ?Sized, M: Preconditioner>(
     let initially_converged = opts
         .term
         .target_rel_residual
-        .is_some_and(|t| dense::norm2(&r) / norm_b <= t);
+        .is_some_and(|t| dense::norm2(r) / norm_b <= t);
     if !initially_converged {
         while it < driver.max_sweeps() {
             it += 1;
@@ -98,51 +110,86 @@ pub fn fcg_solve<O: LinearOperator + ?Sized, M: Preconditioner>(
                     history.clear();
                 }
             }
-            m.apply(&r, &mut z);
+            m.apply(r, z);
             // A-orthogonalize against the retained directions:
             // p = z - sum_h (z, A p_h)/(p_h, A p_h) p_h.
-            p.copy_from_slice(&z);
+            p.copy_from_slice(z);
             for (ph, aph, paph) in history.iter() {
                 if *paph > 0.0 {
-                    let beta = dense::dot(&z, aph) / paph;
+                    let beta = dense::dot(z, aph) / paph;
                     for i in 0..n {
                         p[i] -= beta * ph[i];
                     }
                 }
             }
-            a.matvec_into(&p, &mut ap);
-            let mut pap = dense::dot(&p, &ap);
+            a.matvec_into(p, ap);
+            let mut pap = dense::dot(p, ap);
             if pap <= 0.0 {
                 // Preconditioned direction lost positive curvature (can
                 // happen with a very rough stochastic preconditioner): fall
                 // back to the raw residual direction for this step.
-                p.copy_from_slice(&r);
-                a.matvec_into(&p, &mut ap);
-                pap = dense::dot(&p, &ap);
+                p.copy_from_slice(r);
+                a.matvec_into(p, ap);
+                pap = dense::dot(p, ap);
                 if pap <= 0.0 {
                     break;
                 }
             }
-            let alpha = dense::dot(&p, &r) / pap;
-            dense::axpy(alpha, &p, x);
-            dense::axpy(-alpha, &ap, &mut r);
+            let alpha = dense::dot(p, r) / pap;
+            dense::axpy(alpha, p, x);
+            dense::axpy(-alpha, ap, r);
 
             if history.len() == opts.truncate {
                 history.pop_front();
             }
             history.push_back((p.clone(), ap.clone(), pap));
 
-            if driver.observe(it, it as u64, dense::norm2(&r) / norm_b, None) {
+            if driver.observe(it, it as u64, dense::norm2(r) / norm_b, None) {
                 break;
             }
         }
     }
 
     // True (not recurrence) final residual, reusing r as scratch.
-    a.residual_into(b, x, &mut r);
-    let mut report = driver.finish_computed(it as u64, 1, dense::norm2(&r) / norm_b);
+    a.residual_into(b, x, r);
+    let mut report = driver.finish_computed(it as u64, 1, dense::norm2(r) / norm_b);
     report.converged_early |= initially_converged;
-    report
+    Ok(report)
+}
+
+/// Solve `A x = b` by Flexible-CG with the given (possibly variable)
+/// preconditioner.
+///
+/// # Errors
+/// See [`fcg_solve_in`].
+///
+/// # Panics
+/// Panics if the truncation depth is zero.
+pub fn try_fcg_solve<O: LinearOperator + ?Sized, M: Preconditioner>(
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    m: &M,
+    opts: &FcgOptions,
+) -> Result<SolveReport, SolveError> {
+    fcg_solve_in(&mut SolveWorkspace::new(), a, b, x, m, opts)
+}
+
+/// Solve `A x = b` by Flexible-CG with the given (possibly variable)
+/// preconditioner.
+///
+/// # Panics
+/// Panics if `A` is not square, `b`/`x` have mismatched lengths, or the
+/// truncation depth is zero.
+#[deprecated(note = "use `try_fcg_solve` (typed errors) or the session API")]
+pub fn fcg_solve<O: LinearOperator + ?Sized, M: Preconditioner>(
+    a: &O,
+    b: &[f64],
+    x: &mut [f64],
+    m: &M,
+    opts: &FcgOptions,
+) -> SolveReport {
+    try_fcg_solve(a, b, x, m, opts).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Summary row of the paper's Table 1: Flexible-CG with an AsyRGS
@@ -175,7 +222,7 @@ pub fn fcg_asyrgs_summary(
     let n = a.n_rows();
     let mut x = vec![0.0; n];
     let pre = crate::precond::AsyRgsPrecond::new(a, inner_sweeps, threads, beta, seed);
-    let rep = fcg_solve(a, b, &mut x, &pre, opts);
+    let rep = try_fcg_solve(a, b, &mut x, &pre, opts).unwrap_or_else(|e| panic!("{e}"));
     FcgRunSummary {
         inner_sweeps,
         outer_iters: rep.iterations as usize,
@@ -187,6 +234,10 @@ pub fn fcg_asyrgs_summary(
 
 #[cfg(test)]
 mod tests {
+    // The legacy free functions stay covered here: these tests double as
+    // regression coverage for the deprecated panicking wrappers.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::cg::{cg_solve, CgOptions};
     use crate::precond::{AsyRgsPrecond, IdentityPrecond, JacobiPrecond, RgsPrecond};

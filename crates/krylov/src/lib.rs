@@ -17,14 +17,21 @@ pub mod cg;
 pub mod fcg;
 pub mod precond;
 
-pub use cg::{cg_solve, cg_solve_block, CgOptions};
-pub use fcg::{fcg_asyrgs_summary, fcg_solve, FcgOptions, FcgRunSummary};
+#[allow(deprecated)]
+pub use cg::{cg_solve, cg_solve_block};
+pub use cg::{cg_solve_in, try_cg_solve, try_cg_solve_block, CgOptions};
+#[allow(deprecated)]
+pub use fcg::fcg_solve;
+pub use fcg::{fcg_asyrgs_summary, fcg_solve_in, try_fcg_solve, FcgOptions, FcgRunSummary};
 pub use precond::{AsyRgsPrecond, IdentityPrecond, JacobiPrecond, Preconditioner, RgsPrecond};
 
 #[cfg(test)]
 mod property_tests {
     //! Deterministic property tests over a fixed fan of seeds (no
-    //! third-party property-test framework in the container).
+    //! third-party property-test framework in the container). Run through
+    //! the deprecated wrappers on purpose: regression coverage for them.
+
+    #![allow(deprecated)]
 
     use super::*;
     use asyrgs_core::driver::Termination;

@@ -12,12 +12,15 @@
 //! (Asy)RGS preconditioners wrap any [`RowAccess`] operator (defaulting to
 //! [`CsrMatrix`]).
 
-use asyrgs_core::asyrgs::{asyrgs_solve_on, AsyRgsOptions};
+use asyrgs_core::asyrgs::{asyrgs_solve_in, AsyRgsOptions};
 use asyrgs_core::driver::{Recording, Termination};
-use asyrgs_core::rgs::{rgs_solve, RgsOptions};
+use asyrgs_core::error::SolveError;
+use asyrgs_core::rgs::{rgs_solve_in, RgsOptions};
+use asyrgs_core::workspace::SolveWorkspace;
 use asyrgs_parallel::SolvePool;
 use asyrgs_sparse::{CsrMatrix, LinearOperator, RowAccess};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// An approximate inverse applied to residuals.
 pub trait Preconditioner {
@@ -50,16 +53,15 @@ pub struct JacobiPrecond {
 impl JacobiPrecond {
     /// Build from the operator's diagonal. Panics on non-positive entries.
     pub fn new<O: LinearOperator + ?Sized>(a: &O) -> Self {
-        let dinv = a
-            .diag()
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| {
-                assert!(d > 0.0, "diagonal entry {i} must be positive");
-                1.0 / d
-            })
-            .collect();
-        JacobiPrecond { dinv }
+        Self::try_new(a).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build from the operator's diagonal, rejecting non-positive entries
+    /// with a typed error — the fallible form the session layer uses.
+    pub fn try_new<O: LinearOperator + ?Sized>(a: &O) -> Result<Self, SolveError> {
+        let mut dinv = Vec::new();
+        asyrgs_core::driver::inverse_diag_into(&a.diag(), &mut dinv)?;
+        Ok(JacobiPrecond { dinv })
     }
 }
 
@@ -83,6 +85,10 @@ pub struct RgsPrecond<'a, O: RowAccess = CsrMatrix> {
     pub beta: f64,
     seed: u64,
     counter: AtomicU64,
+    /// Reusable solve scratch: an outer FCG solve applies this operator
+    /// hundreds of times, so applications after the first must not
+    /// allocate.
+    scratch: Mutex<SolveWorkspace>,
 }
 
 impl<'a, O: RowAccess> RgsPrecond<'a, O> {
@@ -94,6 +100,7 @@ impl<'a, O: RowAccess> RgsPrecond<'a, O> {
             beta,
             seed,
             counter: AtomicU64::new(0),
+            scratch: Mutex::new(SolveWorkspace::new()),
         }
     }
 }
@@ -103,7 +110,9 @@ impl<O: RowAccess> Preconditioner for RgsPrecond<'_, O> {
         z.fill(0.0);
         // A fresh direction substream per application.
         let app = self.counter.fetch_add(1, Ordering::Relaxed);
-        rgs_solve(
+        let mut ws = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        rgs_solve_in(
+            &mut ws,
             self.a,
             r,
             z,
@@ -115,7 +124,8 @@ impl<O: RowAccess> Preconditioner for RgsPrecond<'_, O> {
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
     }
 
     fn is_variable(&self) -> bool {
@@ -140,6 +150,9 @@ pub struct AsyRgsPrecond<'a, O: RowAccess + Sync = CsrMatrix> {
     /// solve applies this operator hundreds of times, so each application
     /// must be a wake/park handshake, never a pool construction.
     pool: SolvePool,
+    /// Reusable solve scratch, for the same reason: applications after
+    /// the first must not allocate.
+    scratch: Mutex<SolveWorkspace>,
 }
 
 impl<'a, O: RowAccess + Sync> AsyRgsPrecond<'a, O> {
@@ -153,6 +166,7 @@ impl<'a, O: RowAccess + Sync> AsyRgsPrecond<'a, O> {
             seed,
             counter: AtomicU64::new(0),
             pool: asyrgs_parallel::pool_for(threads),
+            scratch: Mutex::new(SolveWorkspace::new()),
         }
     }
 
@@ -176,8 +190,10 @@ impl<O: RowAccess + Sync> Preconditioner for AsyRgsPrecond<'_, O> {
             fallback = asyrgs_parallel::pool_for(self.threads);
             &fallback
         };
-        asyrgs_solve_on(
+        let mut ws = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        asyrgs_solve_in(
             pool,
+            &mut ws,
             self.a,
             r,
             z,
@@ -190,7 +206,8 @@ impl<O: RowAccess + Sync> Preconditioner for AsyRgsPrecond<'_, O> {
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
     }
 
     fn is_variable(&self) -> bool {

@@ -41,6 +41,16 @@ pub trait LinearOperator {
     /// operator.
     fn diag(&self) -> Vec<f64>;
 
+    /// The main diagonal written into a reusable buffer (resized to
+    /// match) — the allocation-amortized form the solve workspaces use.
+    /// The default delegates to [`diag`](Self::diag); implementations with
+    /// cheap direct access override it to skip the intermediate `Vec`.
+    fn diag_into(&self, out: &mut Vec<f64>) {
+        let mut d = self.diag();
+        out.clear();
+        out.append(&mut d);
+    }
+
     /// Whether the operator is square.
     fn is_square(&self) -> bool {
         self.n_rows() == self.n_cols()
@@ -141,6 +151,12 @@ impl LinearOperator for CsrMatrix {
     fn diag(&self) -> Vec<f64> {
         CsrMatrix::diag(self)
     }
+
+    fn diag_into(&self, out: &mut Vec<f64>) {
+        assert!(self.is_square(), "diag: matrix must be square");
+        out.clear();
+        out.extend((0..CsrMatrix::n_rows(self)).map(|i| self.get(i, i)));
+    }
 }
 
 impl RowAccess for CsrMatrix {
@@ -208,6 +224,10 @@ impl<T: LinearOperator + ?Sized> LinearOperator for &T {
 
     fn diag(&self) -> Vec<f64> {
         (**self).diag()
+    }
+
+    fn diag_into(&self, out: &mut Vec<f64>) {
+        (**self).diag_into(out)
     }
 }
 

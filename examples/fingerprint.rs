@@ -2,7 +2,12 @@
 //! fixed-seed solver path, for verifying that refactors of the parallel
 //! runtime and hot kernels leave solver output bit-identical.
 //!
+//! Deliberately exercises the **deprecated** free-function wrappers: their
+//! outputs must stay bitwise identical to the pre-session-API seed, which
+//! also pins the wrappers themselves to the fallible implementations.
+//!
 //! Run: `cargo run --release --example fingerprint`
+#![allow(deprecated)]
 
 use asyrgs::prelude::*;
 use asyrgs::workloads::{diag_dominant, laplace2d, random_lsq, LsqParams};

@@ -32,7 +32,7 @@ fn main() {
     // Sequential randomized coordinate descent (iteration (20)): cheap
     // steps thanks to the maintained residual.
     let mut x_seq = vec![0.0; cols];
-    let seq = rcd_solve(
+    let seq = try_rcd_solve(
         &op,
         &p.b,
         &mut x_seq,
@@ -41,7 +41,8 @@ fn main() {
             record: Recording::every(10),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     println!("\nsequential RCD (keeps residual in memory):");
     for rec in &seq.records {
         println!(
@@ -54,7 +55,7 @@ fn main() {
     // Asynchronous variant (iteration (21)): residual entries recomputed
     // per step — more expensive per iteration, but lock-free in parallel.
     let mut x_async = vec![0.0; cols];
-    let asy = async_rcd_solve(
+    let asy = try_async_rcd_solve(
         &op,
         &p.b,
         &mut x_async,
@@ -64,7 +65,8 @@ fn main() {
             term: Termination::sweeps(60),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     println!(
         "\nasync RCD ({threads} threads): final rel residual {:.6e}, {:.3}s",
         asy.final_rel_residual, asy.wall_seconds

@@ -27,7 +27,8 @@ fn main() {
 
     // Unpreconditioned baseline.
     let mut x = vec![0.0; n];
-    let plain = fcg_solve(&a, &b, &mut x, &IdentityPrecond, &FcgOptions::default());
+    let plain = try_fcg_solve(&a, &b, &mut x, &IdentityPrecond, &FcgOptions::default())
+        .expect("solve failed");
     println!(
         "no preconditioner: {} outer iterations, {:.3}s\n",
         plain.iterations, plain.wall_seconds

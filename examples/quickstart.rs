@@ -1,4 +1,5 @@
-//! Quickstart: solve an SPD system with AsyRGS and compare against CG.
+//! Quickstart: solve an SPD system with AsyRGS through the session API
+//! and compare against CG.
 //!
 //! ```text
 //! cargo run --release --example quickstart [grid_side] [threads]
@@ -6,7 +7,7 @@
 
 use asyrgs::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SolveError> {
     let mut args = std::env::args().skip(1);
     let side: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(48);
     let threads: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
@@ -22,19 +23,15 @@ fn main() {
     );
 
     // --- AsyRGS -----------------------------------------------------------
+    // Configure once; the session owns its worker pool and scratch, so
+    // every solve after the first allocates nothing.
+    let mut session = SolverBuilder::new(SolverFamily::AsyRgs)
+        .threads(threads)
+        .epoch_sweeps(100)
+        .term(Termination::sweeps(400).with_target(1e-8))
+        .build()?;
     let mut x = vec![0.0; n];
-    let report = asyrgs_solve(
-        &a,
-        &b,
-        &mut x,
-        Some(&x_true),
-        &AsyRgsOptions {
-            threads,
-            epoch_sweeps: Some(100),
-            term: Termination::sweeps(400).with_target(1e-8),
-            ..Default::default()
-        },
-    );
+    let report = session.solve_with_reference(&a, &b, &mut x, &x_true)?;
     println!("\nAsyRGS ({threads} threads, atomic writes):");
     for rec in &report.records {
         println!(
@@ -50,16 +47,12 @@ fn main() {
     );
 
     // --- CG baseline -------------------------------------------------------
+    let mut cg_session = SolverBuilder::new(SolverFamily::Cg)
+        .term(Termination::sweeps(1000).with_target(1e-8))
+        .record(Recording::end_only())
+        .build()?;
     let mut x_cg = vec![0.0; n];
-    let cg = cg_solve(
-        &a,
-        &b,
-        &mut x_cg,
-        &CgOptions {
-            term: Termination::sweeps(1000).with_target(1e-8),
-            record: Recording::end_only(),
-        },
-    );
+    let cg = cg_session.solve(&a, &b, &mut x_cg)?;
     println!(
         "\nCG baseline: {} iterations, final residual {:.3e}, {:.3}s",
         cg.iterations, cg.final_rel_residual, cg.wall_seconds
@@ -70,4 +63,5 @@ fn main() {
          for (Asy)RGS — the paper positions AsyRGS for low-accuracy solves \
          and as a preconditioner (see the preconditioned_fcg example)."
     );
+    Ok(())
 }

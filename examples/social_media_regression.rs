@@ -59,7 +59,7 @@ fn main() {
     println!("\nsolving {n_labels} systems together, {sweeps} sweeps, target = low accuracy\n");
 
     let mut x_rgs = RowMajorMat::zeros(n, n_labels);
-    let rgs = rgs_solve_block(
+    let rgs = try_rgs_solve_block(
         g,
         &b,
         &mut x_rgs,
@@ -67,7 +67,8 @@ fn main() {
             term: Termination::sweeps(sweeps),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     println!("Randomized Gauss-Seidel (sequential):");
     for rec in &rgs.records {
         println!(
@@ -78,7 +79,7 @@ fn main() {
     println!("  wall time {:.3}s", rgs.wall_seconds);
 
     let mut x_asy = RowMajorMat::zeros(n, n_labels);
-    let asy = asyrgs_solve_block(
+    let asy = try_asyrgs_solve_block(
         g,
         &b,
         &mut x_asy,
@@ -88,7 +89,8 @@ fn main() {
             term: Termination::sweeps(sweeps),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     println!("\nAsyRGS ({threads} threads, inconsistent reads, atomic writes):");
     for rec in &asy.records {
         println!(
@@ -99,7 +101,7 @@ fn main() {
     println!("  wall time {:.3}s", asy.wall_seconds);
 
     let mut x_cg = RowMajorMat::zeros(n, n_labels);
-    let cg = asyrgs::krylov::cg_solve_block(
+    let cg = asyrgs::krylov::try_cg_solve_block(
         g,
         &b,
         &mut x_cg,
@@ -108,7 +110,8 @@ fn main() {
             term: Termination::sweeps(sweeps).with_target(0.0),
             record: Recording::every(1),
         },
-    );
+    )
+    .expect("solve failed");
     println!("\nCG (same matrix-pass budget):");
     for rec in &cg.records {
         println!(

@@ -17,7 +17,7 @@
 //! | [`sim`] | bounded-delay model executor and discrete-event machine simulator |
 //! | [`krylov`] | CG, Flexible-CG (Notay), preconditioners including AsyRGS |
 //!
-//! Every solver is written against two shared abstractions:
+//! Every solver is written against three shared abstractions:
 //!
 //! * the operator traits [`sparse::LinearOperator`] / [`sparse::RowAccess`]
 //!   — so the same solver runs on CSR matrices, dense blocks, `&dyn`
@@ -25,9 +25,15 @@
 //!   wrapper;
 //! * the solve driver ([`core::driver`]) — [`prelude::Termination`] (sweep
 //!   budget, residual target, wall-clock budget) and [`prelude::Recording`]
-//!   (residual cadence) replace the per-solver stopping/recording fields.
+//!   (residual cadence) replace the per-solver stopping/recording fields;
+//! * the **session layer** ([`session`]) — the service boundary: one
+//!   [`session::SolverBuilder`] entry point that validates once, returns
+//!   typed [`prelude::SolveError`]s instead of panicking, owns its worker
+//!   pool and scratch workspace (repeat solves allocate nothing), and
+//!   batches multi-RHS workloads.
 //!
-//! See `README.md` for a tour of the crates and a quickstart.
+//! See `README.md` for a tour of the crates and the migration table from
+//! the deprecated free functions.
 //!
 //! ## Quickstart
 //!
@@ -39,14 +45,25 @@
 //! let x_true = vec![1.0; a.n_rows()];
 //! let b = a.matvec(&x_true);
 //!
-//! // Solve asynchronously on 4 threads.
+//! // Configure once: AsyRGS on 4 threads. `build()` validates the
+//! // configuration and returns a typed SolveError on bad input.
+//! let mut session = SolverBuilder::new(SolverFamily::AsyRgs)
+//!     .threads(4)
+//!     .term(Termination::sweeps(300))
+//!     .build()?;
+//!
+//! // Solve as many systems as you like: the session reuses its worker
+//! // pool and scratch buffers, so repeat solves allocate nothing.
 //! let mut x = vec![0.0; a.n_rows()];
-//! let report = asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions {
-//!     threads: 4,
-//!     term: Termination::sweeps(300),
-//!     ..Default::default()
-//! });
+//! let report = session.solve(&a, &b, &mut x)?;
 //! assert!(report.final_rel_residual < 1e-2);
+//!
+//! // Batch many right-hand sides through one quiescence-epoch structure.
+//! let b2 = a.matvec(&vec![2.0; a.n_rows()]);
+//! let (mut x1, mut x2) = (vec![0.0; a.n_rows()], vec![0.0; a.n_rows()]);
+//! let reports = session.solve_many(&a, &[&b, &b2], &mut [&mut x1[..], &mut x2[..]])?;
+//! assert_eq!(reports.len(), 2);
+//! # Ok::<(), asyrgs::prelude::SolveError>(())
 //! ```
 
 pub use asyrgs_core as core;
@@ -58,19 +75,40 @@ pub use asyrgs_sparse as sparse;
 pub use asyrgs_spectral as spectral;
 pub use asyrgs_workloads as workloads;
 
+pub mod session;
+
 /// The most common imports in one place.
 pub mod prelude {
-    pub use asyrgs_core::asyrgs::{asyrgs_solve, asyrgs_solve_block, AsyRgsOptions, WriteMode};
+    pub use crate::session::{PrecondSpec, SolveSession, SolverBuilder, SolverFamily};
+    #[allow(deprecated)]
+    pub use asyrgs_core::asyrgs::{asyrgs_solve, asyrgs_solve_block};
+    pub use asyrgs_core::asyrgs::{
+        try_asyrgs_solve, try_asyrgs_solve_block, AsyRgsOptions, WriteMode,
+    };
     pub use asyrgs_core::driver::{Recording, Solver, SolverSpec, Termination};
-    pub use asyrgs_core::jacobi::{async_jacobi_solve, jacobi_solve, JacobiOptions};
-    pub use asyrgs_core::lsq::{async_rcd_solve, rcd_solve, LsqOperator, LsqSolveOptions};
-    pub use asyrgs_core::partitioned::{partitioned_solve, PartitionedOptions, PartitionedReport};
+    pub use asyrgs_core::error::SolveError;
+    #[allow(deprecated)]
+    pub use asyrgs_core::jacobi::{async_jacobi_solve, jacobi_solve};
+    pub use asyrgs_core::jacobi::{try_async_jacobi_solve, try_jacobi_solve, JacobiOptions};
+    #[allow(deprecated)]
+    pub use asyrgs_core::lsq::{async_rcd_solve, rcd_solve};
+    pub use asyrgs_core::lsq::{try_async_rcd_solve, try_rcd_solve, LsqOperator, LsqSolveOptions};
+    #[allow(deprecated)]
+    pub use asyrgs_core::partitioned::partitioned_solve;
+    pub use asyrgs_core::partitioned::{
+        try_partitioned_solve, PartitionedOptions, PartitionedReport,
+    };
     pub use asyrgs_core::report::{SolveReport, SweepRecord};
-    pub use asyrgs_core::rgs::{rgs_solve, rgs_solve_block, RgsOptions};
+    #[allow(deprecated)]
+    pub use asyrgs_core::rgs::{rgs_solve, rgs_solve_block};
+    pub use asyrgs_core::rgs::{try_rgs_solve, try_rgs_solve_block, RgsOptions};
     pub use asyrgs_core::theory;
+    pub use asyrgs_core::workspace::SolveWorkspace;
+    #[allow(deprecated)]
+    pub use asyrgs_krylov::{cg_solve, fcg_solve};
     pub use asyrgs_krylov::{
-        cg_solve, fcg_solve, AsyRgsPrecond, CgOptions, FcgOptions, IdentityPrecond, JacobiPrecond,
-        Preconditioner,
+        try_cg_solve, try_fcg_solve, AsyRgsPrecond, CgOptions, FcgOptions, IdentityPrecond,
+        JacobiPrecond, Preconditioner,
     };
     pub use asyrgs_sparse::{
         CooBuilder, CsrMatrix, LinearOperator, RowAccess, RowMajorMat, UnitDiagonal,
@@ -87,7 +125,7 @@ mod facade_tests {
         let a = crate::workloads::laplace2d(4, 4);
         let b = vec![1.0; 16];
         let mut x = vec![0.0; 16];
-        let rep = cg_solve(&a, &b, &mut x, &CgOptions::default());
+        let rep = try_cg_solve(&a, &b, &mut x, &CgOptions::default()).unwrap();
         assert!(rep.converged_early);
         let _ = crate::rng::Philox4x32::from_seed(1);
         let _ = crate::spectral::CondOptions::default();
@@ -106,7 +144,17 @@ mod facade_tests {
             record: rec,
             ..Default::default()
         });
-        let rep = spec.solve(&a, &b, &mut x, None);
+        let rep = spec.solve(&a, &b, &mut x, None).unwrap();
         assert_eq!(rep.records.len(), 1);
+    }
+
+    #[test]
+    fn deprecated_wrappers_still_work_through_prelude() {
+        #![allow(deprecated)]
+        let a = crate::workloads::laplace2d(4, 4);
+        let b = vec![1.0; 16];
+        let mut x = vec![0.0; 16];
+        let rep = cg_solve(&a, &b, &mut x, &CgOptions::default());
+        assert!(rep.converged_early);
     }
 }

@@ -1,0 +1,1253 @@
+//! The session API: one builder entry point, typed errors, reusable
+//! workspaces, multi-RHS batching.
+//!
+//! This is the service boundary of the workspace. Instead of 17 free
+//! functions that panic on bad input and re-allocate scratch on every
+//! call, a caller configures a [`SolverBuilder`] once,
+//! [`build`](SolverBuilder::build)s a [`SolveSession`], and then calls
+//! [`SolveSession::solve`] as many times
+//! as it likes:
+//!
+//! * **validated once** — `build()` rejects bad configuration (`beta`,
+//!   `damping`, `threads`) with a typed [`SolveError`]; per-solve input
+//!   (dimensions, diagonal) is validated before any output is touched;
+//! * **amortized** — the session owns its [`WorkerPool`](asyrgs_parallel::WorkerPool)
+//!   handle and a [`SolveWorkspace`] holding every scratch buffer
+//!   (residual, snapshot, search directions, inverted diagonal, the
+//!   shared atomic iterate), so repeated `solve` calls on same-sized
+//!   systems perform **no heap allocation in the hot path** after the
+//!   first call;
+//! * **batched** — [`SolveSession::solve_many`] solves one matrix against
+//!   many right-hand sides; the Gauss-Seidel families share a single
+//!   direction stream and one quiescence-epoch structure across all
+//!   right-hand sides (the paper's 51-systems workload, Section 9).
+//!
+//! ```
+//! use asyrgs::session::{SolverBuilder, SolverFamily};
+//! use asyrgs::prelude::Termination;
+//!
+//! let a = asyrgs::workloads::laplace2d(16, 16);
+//! let x_true = vec![1.0; a.n_rows()];
+//! let b = a.matvec(&x_true);
+//!
+//! let mut session = SolverBuilder::new(SolverFamily::AsyRgs)
+//!     .threads(4)
+//!     .term(Termination::sweeps(300))
+//!     .build()
+//!     .expect("valid configuration");
+//!
+//! let mut x = vec![0.0; a.n_rows()];
+//! let report = session.solve(&a, &b, &mut x).expect("valid system");
+//! assert!(report.final_rel_residual < 1e-2);
+//!
+//! // Reuse: same session, new right-hand side, zero allocation.
+//! let b2 = a.matvec(&vec![2.0; a.n_rows()]);
+//! let report2 = session.solve(&a, &b2, &mut x).expect("valid system");
+//! assert!(report2.final_rel_residual < 1e-2);
+//! ```
+
+use asyrgs_core::asyrgs::{
+    asyrgs_solve_block_in, asyrgs_solve_in, AsyRgsOptions, ReadMode, WriteMode,
+};
+use asyrgs_core::driver::{ensure_beta, ensure_damping, ensure_threads, Recording, Termination};
+use asyrgs_core::error::SolveError;
+use asyrgs_core::jacobi::{async_jacobi_solve_in, jacobi_solve_in, JacobiOptions};
+use asyrgs_core::lsq::{async_rcd_solve_in, rcd_solve_in, LsqOperator, LsqSolveOptions};
+use asyrgs_core::partitioned::{partitioned_solve_in, PartitionedOptions};
+use asyrgs_core::report::SolveReport;
+use asyrgs_core::rgs::{rgs_solve_block_in, rgs_solve_in, RgsOptions, RowSampling};
+use asyrgs_core::workspace::{resize_scratch_mat, SolveWorkspace};
+use asyrgs_krylov::precond::{IdentityPrecond, Preconditioner};
+use asyrgs_krylov::{cg_solve_in, fcg_solve_in, CgOptions, FcgOptions};
+use asyrgs_parallel::SolvePool;
+use asyrgs_sparse::dense::RowMajorMat;
+use asyrgs_sparse::{CsrMatrix, RowAccess};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+
+/// The solver families reachable through the builder — every public solve
+/// path in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolverFamily {
+    /// Sequential Randomized Gauss-Seidel (the paper's synchronous
+    /// baseline, Section 3).
+    Rgs,
+    /// Asynchronous Randomized Gauss-Seidel (the paper's AsyRGS,
+    /// Section 4).
+    AsyRgs,
+    /// Synchronous (damped) Jacobi.
+    Jacobi,
+    /// Asynchronous Jacobi (chaotic relaxation).
+    AsyncJacobi,
+    /// Block-partitioned (owner-computes) AsyRGS.
+    Partitioned,
+    /// Sequential randomized coordinate descent for least squares
+    /// (Section 8); use [`SolveSession::solve_lsq`].
+    Rcd,
+    /// Asynchronous randomized coordinate descent for least squares; use
+    /// [`SolveSession::solve_lsq`].
+    AsyncRcd,
+    /// Conjugate gradients (SPD systems).
+    Cg,
+    /// Notay's Flexible-CG with a configurable (possibly variable)
+    /// preconditioner.
+    Fcg,
+}
+
+impl SolverFamily {
+    /// Stable snake_case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SolverFamily::Rgs => "rgs",
+            SolverFamily::AsyRgs => "asyrgs",
+            SolverFamily::Jacobi => "jacobi",
+            SolverFamily::AsyncJacobi => "async_jacobi",
+            SolverFamily::Partitioned => "partitioned",
+            SolverFamily::Rcd => "rcd",
+            SolverFamily::AsyncRcd => "async_rcd",
+            SolverFamily::Cg => "cg",
+            SolverFamily::Fcg => "fcg",
+        }
+    }
+
+    /// Whether this family runs worker threads (and therefore needs a
+    /// pool wide enough for `threads`).
+    fn is_parallel(&self) -> bool {
+        matches!(
+            self,
+            SolverFamily::AsyRgs
+                | SolverFamily::AsyncJacobi
+                | SolverFamily::Partitioned
+                | SolverFamily::AsyncRcd
+        )
+    }
+
+    /// Whether this family solves least-squares systems through
+    /// [`SolveSession::solve_lsq`] rather than square systems.
+    fn is_lsq(&self) -> bool {
+        matches!(self, SolverFamily::Rcd | SolverFamily::AsyncRcd)
+    }
+}
+
+/// Which preconditioner an [`SolverFamily::Fcg`] session applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum PrecondSpec {
+    /// No preconditioning (`z = r`).
+    Identity,
+    /// Diagonal scaling (`z = D^{-1} r`).
+    Jacobi,
+    /// `inner_sweeps` of sequential RGS per application (variable).
+    Rgs {
+        /// Inner sweeps per application.
+        inner_sweeps: usize,
+    },
+    /// `inner_sweeps` of AsyRGS per application on the session's thread
+    /// count (the paper's Table 1 / Figure 3 configuration; variable).
+    AsyRgs {
+        /// Inner sweeps per application.
+        inner_sweeps: usize,
+    },
+}
+
+/// Fluent, validate-once configuration for a [`SolveSession`].
+///
+/// Every knob any solver family accepts lives here; `build()` checks the
+/// numeric ones (`beta`, `damping`, `threads`) and returns a typed
+/// [`SolveError`] instead of panicking. Knobs irrelevant to the chosen
+/// family are ignored.
+#[derive(Debug, Clone)]
+pub struct SolverBuilder {
+    family: SolverFamily,
+    beta: f64,
+    damping: f64,
+    threads: usize,
+    seed: u64,
+    sampling: RowSampling,
+    write_mode: WriteMode,
+    read_mode: ReadMode,
+    epoch_sweeps: Option<usize>,
+    term: Termination,
+    record: Recording,
+    precond: PrecondSpec,
+    truncate: usize,
+    restart_every: Option<usize>,
+}
+
+impl SolverBuilder {
+    /// Start configuring a solver of the given family, with that family's
+    /// historical defaults.
+    pub fn new(family: SolverFamily) -> Self {
+        let (term, record) = match family {
+            SolverFamily::Cg => (
+                Termination::sweeps(1000).with_target(1e-10),
+                Recording::every(1),
+            ),
+            SolverFamily::Fcg => (
+                Termination::sweeps(2000).with_target(1e-8),
+                Recording::every(1),
+            ),
+            SolverFamily::Rcd | SolverFamily::AsyncRcd => {
+                (Termination::sweeps(20), Recording::every(1))
+            }
+            SolverFamily::Jacobi | SolverFamily::AsyncJacobi => {
+                (Termination::sweeps(50), Recording::every(1))
+            }
+            SolverFamily::Partitioned => (Termination::sweeps(10), Recording::end_only()),
+            _ => (Termination::sweeps(10), Recording::every(1)),
+        };
+        SolverBuilder {
+            family,
+            beta: 1.0,
+            damping: 1.0,
+            threads: if family.is_parallel() { 2 } else { 1 },
+            seed: match family {
+                SolverFamily::Partitioned => 0xB10C,
+                SolverFamily::Rcd | SolverFamily::AsyncRcd => 0x15EED,
+                _ => 0x5EED,
+            },
+            sampling: RowSampling::Uniform,
+            write_mode: WriteMode::Atomic,
+            read_mode: ReadMode::Inconsistent,
+            epoch_sweeps: None,
+            term,
+            record,
+            precond: PrecondSpec::Identity,
+            truncate: 1,
+            restart_every: None,
+        }
+    }
+
+    /// Relaxation step size `beta in (0, 2)` (Gauss-Seidel/RCD families).
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Jacobi damping factor in `(0, 1]`.
+    pub fn damping(mut self, damping: f64) -> Self {
+        self.damping = damping;
+        self
+    }
+
+    /// Worker thread count for the asynchronous families (and the AsyRGS
+    /// preconditioner).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Seed of the Philox direction stream.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Row sampling distribution (Gauss-Seidel families).
+    pub fn sampling(mut self, sampling: RowSampling) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    /// Write mode: atomic CAS vs racy load/store (AsyRGS).
+    pub fn write_mode(mut self, mode: WriteMode) -> Self {
+        self.write_mode = mode;
+        self
+    }
+
+    /// Read mode: lock-free inconsistent vs lock-enforced consistent
+    /// (AsyRGS).
+    pub fn read_mode(mut self, mode: ReadMode) -> Self {
+        self.read_mode = mode;
+        self
+    }
+
+    /// Synchronize all AsyRGS workers every `k` sweeps (the
+    /// occasional-synchronization scheme after Theorem 2).
+    pub fn epoch_sweeps(mut self, k: usize) -> Self {
+        self.epoch_sweeps = Some(k);
+        self
+    }
+
+    /// When to stop: sweep budget, residual target, wall-clock budget.
+    pub fn term(mut self, term: Termination) -> Self {
+        self.term = term;
+        self
+    }
+
+    /// Residual-recording cadence.
+    pub fn record(mut self, record: Recording) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// Preconditioner for the FCG family.
+    pub fn preconditioner(mut self, precond: PrecondSpec) -> Self {
+        self.precond = precond;
+        self
+    }
+
+    /// FCG truncation depth (retained directions).
+    pub fn truncate(mut self, depth: usize) -> Self {
+        self.truncate = depth;
+        self
+    }
+
+    /// Drop all retained FCG directions every this-many iterations.
+    pub fn restart_every(mut self, every: usize) -> Self {
+        self.restart_every = Some(every);
+        self
+    }
+
+    /// Validate the configuration and build a reusable [`SolveSession`].
+    ///
+    /// Acquires the worker-pool handle once (borrowing the process-wide
+    /// pool when it is wide enough) and allocates nothing else: the
+    /// session's workspace buffers are sized lazily by the first solve.
+    ///
+    /// # Errors
+    /// [`SolveError::InvalidBeta`], [`SolveError::InvalidDamping`], or
+    /// [`SolveError::ZeroThreads`] when the corresponding knob is out of
+    /// range for the chosen family.
+    pub fn build(self) -> Result<SolveSession, SolveError> {
+        match self.family {
+            SolverFamily::Rgs
+            | SolverFamily::AsyRgs
+            | SolverFamily::Partitioned
+            | SolverFamily::Rcd
+            | SolverFamily::AsyncRcd => ensure_beta(self.beta)?,
+            SolverFamily::Jacobi | SolverFamily::AsyncJacobi => ensure_damping(self.damping)?,
+            SolverFamily::Cg => {}
+            SolverFamily::Fcg => {
+                if let PrecondSpec::Rgs { .. } | PrecondSpec::AsyRgs { .. } = self.precond {
+                    ensure_beta(self.beta)?;
+                }
+                if self.truncate == 0 {
+                    // A structural FCG constraint: zero retained
+                    // directions is not a valid configuration, and
+                    // deferring it would surface as fcg_solve_in's
+                    // assert at solve time.
+                    return Err(SolveError::DimensionMismatch {
+                        solver: "fcg_solve",
+                        detail: "truncation depth must be at least 1".into(),
+                    });
+                }
+            }
+        }
+        ensure_threads(self.threads)?;
+        let pool_width =
+            if self.family.is_parallel() || matches!(self.precond, PrecondSpec::AsyRgs { .. }) {
+                self.threads
+            } else {
+                1
+            };
+        let pool = asyrgs_parallel::pool_for(pool_width);
+        Ok(SolveSession {
+            config: self,
+            pool,
+            ws: SolveWorkspace::new(),
+            precond_scratch: Mutex::new(SolveWorkspace::new()),
+        })
+    }
+}
+
+/// A configured, reusable solver: owns its worker-pool handle and every
+/// scratch buffer, so repeated [`solve`](Self::solve) calls are
+/// zero-allocation after the first. Built by [`SolverBuilder::build`].
+pub struct SolveSession {
+    config: SolverBuilder,
+    pool: SolvePool,
+    ws: SolveWorkspace,
+    /// Dedicated scratch for FCG preconditioner applications (disjoint
+    /// from `ws`, which the outer FCG iteration owns during a solve).
+    /// A `Mutex` because `Preconditioner::apply` takes `&self`.
+    precond_scratch: Mutex<SolveWorkspace>,
+}
+
+/// Session-internal FCG preconditioner: the same mathematics as
+/// [`JacobiPrecond`]/[`RgsPrecond`]/[`AsyRgsPrecond`] (identical options
+/// and per-application seed derivation), but borrowing the session's
+/// pool handle and persistent scratch instead of acquiring its own — so
+/// a session's preconditioner applications allocate nothing after the
+/// first solve and never spawn a worker pool.
+struct SessionPrecond<'s, O> {
+    a: &'s O,
+    spec: PrecondSpec,
+    threads: usize,
+    beta: f64,
+    seed: u64,
+    pool: &'s SolvePool,
+    scratch: &'s Mutex<SolveWorkspace>,
+    /// Applications this solve; each derives a fresh direction substream
+    /// (reset per solve, matching a freshly constructed standalone
+    /// preconditioner bitwise).
+    applications: AtomicU64,
+}
+
+impl<O: RowAccess + Sync> Preconditioner for SessionPrecond<'_, O> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let mut ws = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        match self.spec {
+            PrecondSpec::Identity => z.copy_from_slice(r),
+            PrecondSpec::Jacobi => {
+                // dinv was validated and cached by `fcg_dispatch`.
+                for ((zi, ri), di) in z.iter_mut().zip(r).zip(&ws.dinv) {
+                    *zi = ri * di;
+                }
+            }
+            PrecondSpec::Rgs { inner_sweeps } => {
+                z.fill(0.0);
+                let app = self.applications.fetch_add(1, AtomicOrdering::Relaxed);
+                rgs_solve_in(
+                    &mut ws,
+                    self.a,
+                    r,
+                    z,
+                    None,
+                    &RgsOptions {
+                        beta: self.beta,
+                        seed: self.seed.wrapping_add(app.wrapping_mul(0x9E37_79B9)),
+                        term: Termination::sweeps(inner_sweeps),
+                        record: Recording::end_only(),
+                        ..Default::default()
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{e}"));
+            }
+            PrecondSpec::AsyRgs { inner_sweeps } => {
+                z.fill(0.0);
+                let app = self.applications.fetch_add(1, AtomicOrdering::Relaxed);
+                asyrgs_solve_in(
+                    self.pool,
+                    &mut ws,
+                    self.a,
+                    r,
+                    z,
+                    None,
+                    &AsyRgsOptions {
+                        beta: self.beta,
+                        threads: self.threads,
+                        seed: self.seed.wrapping_add(app.wrapping_mul(0x9E37_79B9)),
+                        term: Termination::sweeps(inner_sweeps),
+                        record: Recording::end_only(),
+                        ..Default::default()
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{e}"));
+            }
+        }
+    }
+
+    fn is_variable(&self) -> bool {
+        matches!(
+            self.spec,
+            PrecondSpec::Rgs { .. } | PrecondSpec::AsyRgs { .. }
+        )
+    }
+}
+
+impl std::fmt::Debug for SolveSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveSession")
+            .field("family", &self.config.family.name())
+            .field("threads", &self.config.threads)
+            .finish()
+    }
+}
+
+impl SolveSession {
+    /// The configured solver family.
+    pub fn family(&self) -> SolverFamily {
+        self.config.family
+    }
+
+    fn rgs_options(&self) -> RgsOptions {
+        RgsOptions {
+            beta: self.config.beta,
+            seed: self.config.seed,
+            sampling: self.config.sampling,
+            term: self.config.term.clone(),
+            record: self.config.record,
+        }
+    }
+
+    fn asyrgs_options(&self) -> AsyRgsOptions {
+        AsyRgsOptions {
+            beta: self.config.beta,
+            threads: self.config.threads,
+            write_mode: self.config.write_mode,
+            read_mode: self.config.read_mode,
+            sampling: self.config.sampling,
+            seed: self.config.seed,
+            epoch_sweeps: self.config.epoch_sweeps,
+            term: self.config.term.clone(),
+            record: self.config.record,
+        }
+    }
+
+    fn jacobi_options(&self) -> JacobiOptions {
+        JacobiOptions {
+            threads: self.config.threads,
+            damping: self.config.damping,
+            term: self.config.term.clone(),
+            record: self.config.record,
+        }
+    }
+
+    fn partitioned_options(&self) -> PartitionedOptions {
+        PartitionedOptions {
+            beta: self.config.beta,
+            threads: self.config.threads,
+            seed: self.config.seed,
+            term: self.config.term.clone(),
+            record: self.config.record,
+        }
+    }
+
+    fn lsq_options(&self) -> LsqSolveOptions {
+        LsqSolveOptions {
+            beta: self.config.beta,
+            seed: self.config.seed,
+            threads: self.config.threads,
+            term: self.config.term.clone(),
+            record: self.config.record,
+        }
+    }
+
+    fn cg_options(&self) -> CgOptions {
+        CgOptions {
+            term: self.config.term.clone(),
+            record: self.config.record,
+        }
+    }
+
+    fn fcg_options(&self) -> FcgOptions {
+        FcgOptions {
+            term: self.config.term.clone(),
+            record: self.config.record,
+            truncate: self.config.truncate,
+            restart_every: self.config.restart_every,
+        }
+    }
+
+    fn fcg_dispatch<O: RowAccess + Sync>(
+        &mut self,
+        a: &O,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<SolveReport, SolveError> {
+        let opts = self.fcg_options();
+        if let PrecondSpec::Identity = self.config.precond {
+            return fcg_solve_in(&mut self.ws, a, b, x, &IdentityPrecond, &opts);
+        }
+        // Non-trivial preconditioners run through a session-internal
+        // operator that borrows the session's pool handle and persistent
+        // preconditioner scratch, so applications after the first solve
+        // allocate nothing and never spawn a pool (the standalone
+        // `AsyRgsPrecond`/`RgsPrecond`/`JacobiPrecond` types acquire
+        // their own resources per construction, which would defeat the
+        // session's amortization if rebuilt per solve).
+        //
+        // Every non-identity spec needs a positive diagonal (Jacobi for
+        // the scaling itself, the RGS family for its inner solves), so
+        // validate it up front: `Preconditioner::apply` is infallible and
+        // a violation discovered there could only surface as a panic,
+        // breaking this method's typed-error contract. Jacobi also caches
+        // D^{-1} here (its applications read it directly).
+        {
+            let scratch = self
+                .precond_scratch
+                .get_mut()
+                .unwrap_or_else(|e| e.into_inner());
+            a.diag_into(&mut scratch.diag);
+            asyrgs_core::driver::inverse_diag_into(&scratch.diag, &mut scratch.dinv)?;
+        }
+        let pre = SessionPrecond {
+            a,
+            spec: self.config.precond,
+            threads: self.config.threads,
+            beta: self.config.beta,
+            seed: self.config.seed,
+            pool: &self.pool,
+            scratch: &self.precond_scratch,
+            applications: AtomicU64::new(0),
+        };
+        fcg_solve_in(&mut self.ws, a, b, x, &pre, &opts)
+    }
+
+    /// Solve the square system `A x = b`, reading the initial iterate from
+    /// `x` and leaving the final iterate there.
+    ///
+    /// # Errors
+    /// Returns a typed [`SolveError`] — and leaves `x` bitwise untouched —
+    /// when the input violates any rule of the configured family
+    /// (mismatched dimensions, empty system, bad diagonal), and
+    /// [`SolveError::MethodMismatch`] for the least-squares families
+    /// (use [`solve_lsq`](Self::solve_lsq)).
+    pub fn solve<O: RowAccess + Sync>(
+        &mut self,
+        a: &O,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<SolveReport, SolveError> {
+        self.solve_inner(a, b, x, None)
+    }
+
+    /// [`solve`](Self::solve) with a reference solution: families that
+    /// support it report the relative A-norm error alongside each
+    /// residual record.
+    ///
+    /// # Errors
+    /// See [`solve`](Self::solve).
+    pub fn solve_with_reference<O: RowAccess + Sync>(
+        &mut self,
+        a: &O,
+        b: &[f64],
+        x: &mut [f64],
+        x_star: &[f64],
+    ) -> Result<SolveReport, SolveError> {
+        self.solve_inner(a, b, x, Some(x_star))
+    }
+
+    fn solve_inner<O: RowAccess + Sync>(
+        &mut self,
+        a: &O,
+        b: &[f64],
+        x: &mut [f64],
+        x_star: Option<&[f64]>,
+    ) -> Result<SolveReport, SolveError> {
+        match self.config.family {
+            SolverFamily::Rgs => {
+                let opts = self.rgs_options();
+                rgs_solve_in(&mut self.ws, a, b, x, x_star, &opts)
+            }
+            SolverFamily::AsyRgs => {
+                let opts = self.asyrgs_options();
+                asyrgs_solve_in(&self.pool, &mut self.ws, a, b, x, x_star, &opts)
+            }
+            SolverFamily::Jacobi => {
+                let opts = self.jacobi_options();
+                jacobi_solve_in(&mut self.ws, a, b, x, x_star, &opts)
+            }
+            SolverFamily::AsyncJacobi => {
+                let opts = self.jacobi_options();
+                async_jacobi_solve_in(&self.pool, &mut self.ws, a, b, x, x_star, &opts)
+            }
+            SolverFamily::Partitioned => {
+                let opts = self.partitioned_options();
+                Ok(partitioned_solve_in(&self.pool, &mut self.ws, a, b, x, &opts)?.report)
+            }
+            SolverFamily::Cg => {
+                let opts = self.cg_options();
+                cg_solve_in(&mut self.ws, a, b, x, &opts)
+            }
+            SolverFamily::Fcg => self.fcg_dispatch(a, b, x),
+            SolverFamily::Rcd | SolverFamily::AsyncRcd => Err(SolveError::MethodMismatch {
+                called: "solve",
+                family: self.config.family.name(),
+            }),
+        }
+    }
+
+    /// Solve the least-squares problem `min ||A x - b||_2` (RCD
+    /// families).
+    ///
+    /// # Errors
+    /// Returns a typed [`SolveError`] on mismatched dimensions (leaving
+    /// `x` untouched), and [`SolveError::MethodMismatch`] when the session
+    /// was built for a square-system family.
+    pub fn solve_lsq(
+        &mut self,
+        op: &LsqOperator,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<SolveReport, SolveError> {
+        let opts = self.lsq_options();
+        match self.config.family {
+            SolverFamily::Rcd => rcd_solve_in(&mut self.ws, op, b, x, &opts),
+            SolverFamily::AsyncRcd => async_rcd_solve_in(&self.pool, &mut self.ws, op, b, x, &opts),
+            _ => Err(SolveError::MethodMismatch {
+                called: "solve_lsq",
+                family: self.config.family.name(),
+            }),
+        }
+    }
+
+    /// Solve one matrix against many right-hand sides: `A x_i = b_i` for
+    /// every `(b_i, x_i)` pair, returning one report per system.
+    ///
+    /// The Gauss-Seidel families (RGS, AsyRGS) batch all right-hand sides
+    /// into a single row-major block solve sharing one direction stream
+    /// and one quiescence-epoch structure — the paper's 51-simultaneous-
+    /// systems strategy (Section 9) — and every per-system report carries
+    /// that run's aggregate (Frobenius-relative) residual trace with its
+    /// own final residual. The remaining families solve the systems
+    /// sequentially through the same reusable workspace.
+    ///
+    /// All inputs are validated **before** any solve starts: on error no
+    /// `x_i` is modified.
+    ///
+    /// # Errors
+    /// [`SolveError::DimensionMismatch`] when `bs` and `xs` differ in
+    /// count or any pair has wrong lengths; the configured family's usual
+    /// errors otherwise; [`SolveError::MethodMismatch`] for the
+    /// least-squares families.
+    pub fn solve_many(
+        &mut self,
+        a: &CsrMatrix,
+        bs: &[&[f64]],
+        xs: &mut [&mut [f64]],
+    ) -> Result<Vec<SolveReport>, SolveError> {
+        if self.config.family.is_lsq() {
+            return Err(SolveError::MethodMismatch {
+                called: "solve_many",
+                family: self.config.family.name(),
+            });
+        }
+        if bs.len() != xs.len() {
+            return Err(SolveError::DimensionMismatch {
+                solver: "solve_many",
+                detail: format!(
+                    "{} right-hand sides but {} solution vectors",
+                    bs.len(),
+                    xs.len()
+                ),
+            });
+        }
+        if bs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if a.n_rows() != a.n_cols() {
+            return Err(SolveError::DimensionMismatch {
+                solver: "solve_many",
+                detail: format!("matrix must be square, got {} x {}", a.n_rows(), a.n_cols()),
+            });
+        }
+        let n = a.n_rows();
+        for (i, (b, x)) in bs.iter().zip(xs.iter()).enumerate() {
+            if b.len() != n || x.len() != a.n_cols() {
+                return Err(SolveError::DimensionMismatch {
+                    solver: "solve_many",
+                    detail: format!(
+                        "system {i}: b has length {}, x has length {}, but A is {n} x {}",
+                        b.len(),
+                        x.len(),
+                        a.n_cols()
+                    ),
+                });
+            }
+        }
+
+        match self.config.family {
+            SolverFamily::Rgs | SolverFamily::AsyRgs => self.solve_many_block(a, bs, xs),
+            _ => {
+                // Validate-all-before-touching-anything still holds: the
+                // remaining per-solve checks (square, diagonal, config)
+                // depend only on `a` and the session, so run them once on
+                // the first system before mutating any x.
+                let mut reports = Vec::with_capacity(bs.len());
+                for (b, x) in bs.iter().zip(xs.iter_mut()) {
+                    reports.push(self.solve_inner(a, b, x, None)?);
+                }
+                Ok(reports)
+            }
+        }
+    }
+
+    /// The batched multi-RHS path: pack into row-major blocks owned by the
+    /// workspace, run the block solver (one direction stream, one epoch
+    /// structure), unpack, and derive per-system reports.
+    fn solve_many_block(
+        &mut self,
+        a: &CsrMatrix,
+        bs: &[&[f64]],
+        xs: &mut [&mut [f64]],
+    ) -> Result<Vec<SolveReport>, SolveError> {
+        let n = a.n_rows();
+        let k = bs.len();
+        // Pack b and the initial iterates column-wise into the workspace
+        // blocks (reused across calls).
+        let mut blk_b = std::mem::replace(&mut self.ws.blk_b, RowMajorMat::zeros(0, 0));
+        let mut blk_x = std::mem::replace(&mut self.ws.blk_x, RowMajorMat::zeros(0, 0));
+        resize_scratch_mat(&mut blk_b, n, k);
+        resize_scratch_mat(&mut blk_x, n, k);
+        for (t, (b, x)) in bs.iter().zip(xs.iter()).enumerate() {
+            blk_b.set_col(t, b);
+            blk_x.set_col(t, x);
+        }
+
+        let result = match self.config.family {
+            SolverFamily::Rgs => {
+                let opts = self.rgs_options();
+                rgs_solve_block_in(&mut self.ws, a, &blk_b, &mut blk_x, &opts)
+            }
+            SolverFamily::AsyRgs => {
+                let opts = self.asyrgs_options();
+                asyrgs_solve_block_in(&self.pool, &mut self.ws, a, &blk_b, &mut blk_x, &opts)
+            }
+            _ => unreachable!("solve_many_block is only called for the RGS families"),
+        };
+
+        // Return the blocks to the workspace whatever happened; on error
+        // the caller's vectors were never written.
+        let block_report = match result {
+            Ok(r) => r,
+            Err(e) => {
+                self.ws.blk_b = blk_b;
+                self.ws.blk_x = blk_x;
+                return Err(e);
+            }
+        };
+
+        // Unpack the solved block into the caller's vectors.
+        for (t, x) in xs.iter_mut().enumerate() {
+            blk_x.copy_col_into(t, x);
+        }
+
+        // Per-system reports: the shared trace and counters come from the
+        // aggregate run; the final residual is recomputed per column.
+        let mut out = Vec::with_capacity(k);
+        for (b, x) in bs.iter().zip(xs.iter()) {
+            let mut rep = block_report.clone();
+            rep.final_rel_residual = asyrgs_sparse::LinearOperator::rel_residual(a, b, x);
+            out.push(rep);
+        }
+        self.ws.blk_b = blk_b;
+        self.ws.blk_x = blk_x;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyrgs_core::driver::Termination;
+    use asyrgs_workloads::{diag_dominant, laplace2d, random_lsq, LsqParams};
+
+    fn problem(side: usize) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+        let a = laplace2d(side, side);
+        let n = a.n_rows();
+        let x_star: Vec<f64> = (0..n).map(|i| ((i * 13) % 17) as f64 / 17.0).collect();
+        let b = a.matvec(&x_star);
+        (a, b, x_star)
+    }
+
+    #[test]
+    fn every_square_family_is_reachable_and_converges() {
+        let (a, b, _) = problem(8);
+        let n = a.n_rows();
+        for family in [
+            SolverFamily::Rgs,
+            SolverFamily::AsyRgs,
+            SolverFamily::Jacobi,
+            SolverFamily::AsyncJacobi,
+            SolverFamily::Partitioned,
+            SolverFamily::Cg,
+            SolverFamily::Fcg,
+        ] {
+            let mut session = SolverBuilder::new(family)
+                .threads(2)
+                .term(Termination::sweeps(200))
+                .build()
+                .unwrap();
+            let mut x = vec![0.0; n];
+            let rep = session.solve(&a, &b, &mut x).unwrap();
+            assert!(
+                rep.final_rel_residual < 1e-1,
+                "{}: residual {}",
+                family.name(),
+                rep.final_rel_residual
+            );
+        }
+    }
+
+    #[test]
+    fn lsq_families_are_reachable_through_solve_lsq() {
+        let p = random_lsq(&LsqParams {
+            rows: 120,
+            cols: 30,
+            nnz_per_col: 5,
+            noise: 0.0,
+            seed: 3,
+        });
+        let op = LsqOperator::new(p.a);
+        for family in [SolverFamily::Rcd, SolverFamily::AsyncRcd] {
+            let mut session = SolverBuilder::new(family)
+                .threads(2)
+                .term(Termination::sweeps(200))
+                .build()
+                .unwrap();
+            let mut x = vec![0.0; op.n_cols()];
+            let rep = session.solve_lsq(&op, &p.b, &mut x).unwrap();
+            assert!(
+                rep.final_rel_residual < 1e-4,
+                "{}: residual {}",
+                family.name(),
+                rep.final_rel_residual
+            );
+        }
+    }
+
+    #[test]
+    fn session_reuse_matches_fresh_sessions_bitwise() {
+        // The amortized workspace must not change results: solving twice
+        // through one session equals two one-shot sessions, bitwise.
+        let (a, b, _) = problem(7);
+        let n = a.n_rows();
+        let b2: Vec<f64> = b.iter().map(|v| v * 1.5).collect();
+        let build = || {
+            SolverBuilder::new(SolverFamily::AsyRgs)
+                .threads(1)
+                .term(Termination::sweeps(9))
+                .build()
+                .unwrap()
+        };
+
+        let mut shared_session = build();
+        let mut x1 = vec![0.0; n];
+        shared_session.solve(&a, &b, &mut x1).unwrap();
+        let mut x2 = vec![0.0; n];
+        shared_session.solve(&a, &b2, &mut x2).unwrap();
+
+        let mut x1f = vec![0.0; n];
+        build().solve(&a, &b, &mut x1f).unwrap();
+        let mut x2f = vec![0.0; n];
+        build().solve(&a, &b2, &mut x2f).unwrap();
+
+        assert_eq!(x1, x1f);
+        assert_eq!(x2, x2f);
+    }
+
+    #[test]
+    fn session_survives_size_changes() {
+        let (a_small, b_small, _) = problem(5);
+        let (a_big, b_big, _) = problem(9);
+        let mut session = SolverBuilder::new(SolverFamily::Rgs)
+            .term(Termination::sweeps(50))
+            .build()
+            .unwrap();
+        let mut xs = vec![0.0; a_small.n_rows()];
+        session.solve(&a_small, &b_small, &mut xs).unwrap();
+        let mut xb = vec![0.0; a_big.n_rows()];
+        session.solve(&a_big, &b_big, &mut xb).unwrap();
+        let mut xs2 = vec![0.0; a_small.n_rows()];
+        let rep = session.solve(&a_small, &b_small, &mut xs2).unwrap();
+        assert!(rep.final_rel_residual < 1e-3);
+        assert_eq!(xs, xs2, "shrinking back must not change results");
+    }
+
+    #[test]
+    fn build_rejects_bad_config_with_typed_errors() {
+        assert_eq!(
+            SolverBuilder::new(SolverFamily::AsyRgs)
+                .beta(2.5)
+                .build()
+                .unwrap_err(),
+            SolveError::InvalidBeta { beta: 2.5 }
+        );
+        assert_eq!(
+            SolverBuilder::new(SolverFamily::Jacobi)
+                .damping(0.0)
+                .build()
+                .unwrap_err(),
+            SolveError::InvalidDamping { damping: 0.0 }
+        );
+        assert_eq!(
+            SolverBuilder::new(SolverFamily::AsyRgs)
+                .threads(0)
+                .build()
+                .unwrap_err(),
+            SolveError::ZeroThreads
+        );
+        // CG ignores beta entirely.
+        assert!(SolverBuilder::new(SolverFamily::Cg)
+            .beta(7.0)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn solve_rejects_bad_input_and_leaves_x_untouched() {
+        let (a, _, _) = problem(4);
+        let bad_b = vec![1.0; 3];
+        let mut session = SolverBuilder::new(SolverFamily::AsyRgs).build().unwrap();
+        let mut x = vec![42.0; a.n_rows()];
+        let err = session.solve(&a, &bad_b, &mut x).unwrap_err();
+        assert!(matches!(err, SolveError::DimensionMismatch { .. }));
+        assert!(x.iter().all(|&v| v == 42.0));
+    }
+
+    #[test]
+    fn method_mismatch_is_typed() {
+        let (a, b, _) = problem(4);
+        let mut rcd = SolverBuilder::new(SolverFamily::Rcd).build().unwrap();
+        let mut x = vec![0.0; a.n_rows()];
+        assert!(matches!(
+            rcd.solve(&a, &b, &mut x).unwrap_err(),
+            SolveError::MethodMismatch {
+                called: "solve",
+                ..
+            }
+        ));
+        let p = random_lsq(&LsqParams {
+            rows: 40,
+            cols: 10,
+            nnz_per_col: 4,
+            noise: 0.0,
+            seed: 1,
+        });
+        let op = LsqOperator::new(p.a);
+        let mut cg = SolverBuilder::new(SolverFamily::Cg).build().unwrap();
+        let mut y = vec![0.0; op.n_cols()];
+        assert!(matches!(
+            cg.solve_lsq(&op, &p.b, &mut y).unwrap_err(),
+            SolveError::MethodMismatch {
+                called: "solve_lsq",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn solve_many_batches_the_rgs_families() {
+        let a = diag_dominant(90, 4, 2.5, 7);
+        let n = a.n_rows();
+        let b1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b2: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let b3 = vec![1.0; n];
+        for family in [SolverFamily::Rgs, SolverFamily::AsyRgs] {
+            let mut session = SolverBuilder::new(family)
+                .threads(2)
+                .term(Termination::sweeps(60))
+                .build()
+                .unwrap();
+            let mut x1 = vec![0.0; n];
+            let mut x2 = vec![0.0; n];
+            let mut x3 = vec![0.0; n];
+            let reports = session
+                .solve_many(
+                    &a,
+                    &[&b1, &b2, &b3],
+                    &mut [&mut x1[..], &mut x2[..], &mut x3[..]],
+                )
+                .unwrap();
+            assert_eq!(reports.len(), 3);
+            // Async interleavings vary run to run — under full-suite load
+            // on an oversubscribed core the effective delay can be large,
+            // so require robust progress, not a tight tolerance.
+            for (i, rep) in reports.iter().enumerate() {
+                assert!(
+                    rep.final_rel_residual < 1e-2,
+                    "{} rhs {i}: {}",
+                    family.name(),
+                    rep.final_rel_residual
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_many_matches_block_solver_bitwise() {
+        // The batched path must be the block solver, not a loop: compare
+        // against rgs_solve_block on the packed matrices.
+        let (a, b, _) = problem(6);
+        let n = a.n_rows();
+        let b2 = vec![1.0; n];
+        let mut session = SolverBuilder::new(SolverFamily::Rgs)
+            .term(Termination::sweeps(6))
+            .build()
+            .unwrap();
+        let mut x1 = vec![0.0; n];
+        let mut x2 = vec![0.0; n];
+        session
+            .solve_many(&a, &[&b, &b2], &mut [&mut x1[..], &mut x2[..]])
+            .unwrap();
+
+        let mut blk_b = RowMajorMat::zeros(n, 2);
+        blk_b.set_col(0, &b);
+        blk_b.set_col(1, &b2);
+        let mut blk_x = RowMajorMat::zeros(n, 2);
+        asyrgs_core::rgs::try_rgs_solve_block(
+            &a,
+            &blk_b,
+            &mut blk_x,
+            &RgsOptions {
+                term: Termination::sweeps(6),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(x1, blk_x.col(0));
+        assert_eq!(x2, blk_x.col(1));
+    }
+
+    #[test]
+    fn solve_many_loops_the_other_families() {
+        let (a, b, _) = problem(6);
+        let n = a.n_rows();
+        let b2 = vec![1.0; n];
+        let mut session = SolverBuilder::new(SolverFamily::Cg).build().unwrap();
+        let mut x1 = vec![0.0; n];
+        let mut x2 = vec![0.0; n];
+        let reports = session
+            .solve_many(&a, &[&b, &b2], &mut [&mut x1[..], &mut x2[..]])
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.final_rel_residual < 1e-8));
+    }
+
+    #[test]
+    fn solve_many_validates_everything_up_front() {
+        let (a, b, _) = problem(5);
+        let n = a.n_rows();
+        let short = vec![1.0; n - 1];
+        let mut session = SolverBuilder::new(SolverFamily::Rgs).build().unwrap();
+        let mut x1 = vec![5.0; n];
+        let mut x2 = vec![5.0; n];
+        let err = session
+            .solve_many(&a, &[&b, &short], &mut [&mut x1[..], &mut x2[..]])
+            .unwrap_err();
+        assert!(matches!(err, SolveError::DimensionMismatch { .. }));
+        // Neither x may have been touched, including the valid first one.
+        assert!(x1.iter().all(|&v| v == 5.0));
+        assert!(x2.iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn solve_many_rejects_rectangular_matrix_with_typed_error() {
+        // A 4x3 matrix with consistently-sized b (4) and x (3) passes the
+        // per-pair length checks, so the square check must fire — as a
+        // typed error on both the block path (Rgs/AsyRgs) and the looped
+        // path (Cg), never a panic.
+        let rect = CsrMatrix::from_dense(
+            4,
+            3,
+            &[2.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0, 0.0, 0.0, 1.0],
+        );
+        let b = vec![1.0; 4];
+        for family in [SolverFamily::Rgs, SolverFamily::AsyRgs, SolverFamily::Cg] {
+            let mut session = SolverBuilder::new(family).build().unwrap();
+            let mut x = [5.0; 3];
+            let err = session
+                .solve_many(&rect, &[&b], &mut [&mut x[..]])
+                .unwrap_err();
+            assert!(
+                matches!(err, SolveError::DimensionMismatch { .. }),
+                "{}: {err:?}",
+                family.name()
+            );
+            assert!(err.to_string().contains("matrix must be square"));
+            assert!(x.iter().all(|&v| v == 5.0));
+        }
+    }
+
+    #[test]
+    fn fcg_bad_diagonal_is_a_typed_error_for_every_precond() {
+        // The preconditioner's diagonal requirement must surface as a
+        // typed error from solve(), never a panic from inside apply().
+        let bad = CsrMatrix::from_dense(2, 2, &[1.0, 0.5, 0.5, -2.0]);
+        let b = vec![1.0; 2];
+        for precond in [
+            PrecondSpec::Jacobi,
+            PrecondSpec::Rgs { inner_sweeps: 2 },
+            PrecondSpec::AsyRgs { inner_sweeps: 2 },
+        ] {
+            let mut session = SolverBuilder::new(SolverFamily::Fcg)
+                .preconditioner(precond)
+                .build()
+                .unwrap();
+            let mut x = vec![9.0; 2];
+            let err = session.solve(&bad, &b, &mut x).unwrap_err();
+            assert!(
+                matches!(err, SolveError::ZeroDiagonal { index: 1, .. }),
+                "{precond:?}: {err:?}"
+            );
+            assert!(x.iter().all(|&v| v == 9.0), "{precond:?}: x mutated");
+        }
+    }
+
+    #[test]
+    fn fcg_zero_truncation_rejected_at_build() {
+        let err = SolverBuilder::new(SolverFamily::Fcg)
+            .truncate(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SolveError::DimensionMismatch { .. }));
+        assert!(err.to_string().contains("truncation depth"));
+    }
+
+    #[test]
+    fn fcg_session_reuse_does_not_respawn_pools() {
+        // The FCG preconditioner path must reuse the session's pool and
+        // scratch across solves; repeated solves through one session give
+        // the same result as fresh sessions (the per-solve application
+        // counter resets).
+        let (a, b, _) = problem(8);
+        let n = a.n_rows();
+        let build = || {
+            SolverBuilder::new(SolverFamily::Fcg)
+                .threads(1)
+                .preconditioner(PrecondSpec::Rgs { inner_sweeps: 3 })
+                .build()
+                .unwrap()
+        };
+        let mut session = build();
+        let mut x1 = vec![0.0; n];
+        session.solve(&a, &b, &mut x1).unwrap();
+        let mut x2 = vec![0.0; n];
+        session.solve(&a, &b, &mut x2).unwrap();
+        assert_eq!(x1, x2, "second solve through the session must match");
+        let mut xf = vec![0.0; n];
+        build().solve(&a, &b, &mut xf).unwrap();
+        assert_eq!(x1, xf, "session solve must match a fresh session");
+    }
+
+    #[test]
+    fn fcg_preconditioner_specs_all_work() {
+        let (a, b, _) = problem(10);
+        let n = a.n_rows();
+        for precond in [
+            PrecondSpec::Identity,
+            PrecondSpec::Jacobi,
+            PrecondSpec::Rgs { inner_sweeps: 3 },
+            PrecondSpec::AsyRgs { inner_sweeps: 3 },
+        ] {
+            let mut session = SolverBuilder::new(SolverFamily::Fcg)
+                .threads(2)
+                .preconditioner(precond)
+                .build()
+                .unwrap();
+            let mut x = vec![0.0; n];
+            let rep = session.solve(&a, &b, &mut x).unwrap();
+            assert!(rep.converged_early, "{precond:?} did not converge");
+        }
+    }
+
+    #[test]
+    fn reference_solution_enables_error_telemetry() {
+        let (a, b, x_star) = problem(8);
+        let n = a.n_rows();
+        for family in [
+            SolverFamily::Rgs,
+            SolverFamily::AsyRgs,
+            SolverFamily::Jacobi,
+            SolverFamily::AsyncJacobi,
+        ] {
+            let mut session = SolverBuilder::new(family)
+                .threads(2)
+                .term(Termination::sweeps(30))
+                .build()
+                .unwrap();
+            let mut x = vec![0.0; n];
+            let rep = session
+                .solve_with_reference(&a, &b, &mut x, &x_star)
+                .unwrap();
+            assert!(
+                rep.records.iter().all(|r| r.rel_error_anorm.is_some()),
+                "{}: missing error column",
+                family.name()
+            );
+        }
+    }
+}

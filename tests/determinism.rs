@@ -35,9 +35,9 @@ fn sequential_solvers_bitwise_reproducible() {
         ..Default::default()
     };
     let mut x1 = vec![0.0; n];
-    let r1 = rgs_solve(&a, &b, &mut x1, None, &opts);
+    let r1 = try_rgs_solve(&a, &b, &mut x1, None, &opts).expect("solve failed");
     let mut x2 = vec![0.0; n];
-    let r2 = rgs_solve(&a, &b, &mut x2, None, &opts);
+    let r2 = try_rgs_solve(&a, &b, &mut x2, None, &opts).expect("solve failed");
     assert_eq!(x1, x2);
     assert_eq!(r1.residual_series(), r2.residual_series());
 }
@@ -53,9 +53,9 @@ fn asyrgs_single_thread_bitwise_reproducible() {
         ..Default::default()
     };
     let mut x1 = vec![0.0; n];
-    asyrgs_solve(&a, &b, &mut x1, None, &opts);
+    try_asyrgs_solve(&a, &b, &mut x1, None, &opts).expect("solve failed");
     let mut x2 = vec![0.0; n];
-    asyrgs_solve(&a, &b, &mut x2, None, &opts);
+    try_asyrgs_solve(&a, &b, &mut x2, None, &opts).expect("solve failed");
     assert_eq!(x1, x2);
 }
 
@@ -70,7 +70,7 @@ fn asyrgs_multithreaded_varies_but_stays_accurate() {
     let mut finals = Vec::new();
     for _ in 0..5 {
         let mut x = vec![0.0; 256];
-        let rep = asyrgs_solve(
+        let rep = try_asyrgs_solve(
             &a,
             &b,
             &mut x,
@@ -80,7 +80,8 @@ fn asyrgs_multithreaded_varies_but_stays_accurate() {
                 term: Termination::sweeps(10),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         finals.push(rep.final_rel_residual);
     }
     let min = finals.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -125,7 +126,7 @@ fn seeds_actually_matter() {
     let b = vec![1.0; n];
     let run = |seed: u64| {
         let mut x = vec![0.0; n];
-        rgs_solve(
+        try_rgs_solve(
             &a,
             &b,
             &mut x,
@@ -136,7 +137,8 @@ fn seeds_actually_matter() {
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         x
     };
     assert_ne!(run(1), run(2));

@@ -3,7 +3,7 @@
 //! * the shared solve driver (`asyrgs_core::driver`) — termination
 //!   precedence, recorder cadence (including `Recording::end_only`), and
 //!   the wall-clock budget, exercised through real solver entry points;
-//! * the operator layer (`asyrgs_sparse::op`) — `cg_solve` must produce a
+//! * the operator layer (`asyrgs_sparse::op`) — `try_cg_solve` must produce a
 //!   bit-identical residual trace whether dispatched statically on
 //!   `CsrMatrix` or through `&dyn LinearOperator`, and the zero-copy
 //!   `UnitDiagonalView` must match the materialized rescaling bitwise;
@@ -30,7 +30,7 @@ fn recorder_cadence_through_rgs() {
     let (a, b) = spd_problem(60, 1);
     let run = |every: usize| {
         let mut x = vec![0.0; 60];
-        rgs_solve(
+        try_rgs_solve(
             &a,
             &b,
             &mut x,
@@ -41,6 +41,7 @@ fn recorder_cadence_through_rgs() {
                 ..Default::default()
             },
         )
+        .expect("solve failed")
         .records
         .iter()
         .map(|r| r.sweep)
@@ -58,7 +59,7 @@ fn termination_precedence_target_beats_budget_and_cap() {
     // must say "converged", not "out of time".
     let (a, b) = spd_problem(40, 2);
     let mut x = vec![1.0; 40]; // exact solution
-    let rep = rgs_solve(
+    let rep = try_rgs_solve(
         &a,
         &b,
         &mut x,
@@ -69,7 +70,8 @@ fn termination_precedence_target_beats_budget_and_cap() {
                 .with_wall_clock(Duration::from_secs(0)),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     assert!(rep.converged_early);
     assert!(!rep.stopped_on_budget);
 }
@@ -82,7 +84,7 @@ fn wall_clock_budget_reported_across_solver_families() {
     let term = Termination::sweeps(100_000).with_wall_clock(Duration::from_secs(0));
 
     let mut x = vec![0.0; 50];
-    let r1 = rgs_solve(
+    let r1 = try_rgs_solve(
         &a,
         &b,
         &mut x,
@@ -91,11 +93,12 @@ fn wall_clock_budget_reported_across_solver_families() {
             term: term.clone(),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     assert!(r1.stopped_on_budget && r1.sweeps_run() == 1);
 
     let mut x = vec![0.0; 50];
-    let r2 = asyrgs_solve(
+    let r2 = try_asyrgs_solve(
         &a,
         &b,
         &mut x,
@@ -106,11 +109,12 @@ fn wall_clock_budget_reported_across_solver_families() {
             term: term.clone(),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     assert!(r2.stopped_on_budget && r2.sweeps_run() == 1);
 
     let mut x = vec![0.0; 50];
-    let r3 = cg_solve(
+    let r3 = try_cg_solve(
         &a,
         &b,
         &mut x,
@@ -118,7 +122,8 @@ fn wall_clock_budget_reported_across_solver_families() {
             term,
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     assert!(r3.stopped_on_budget && r3.iterations == 1);
 }
 
@@ -139,7 +144,7 @@ fn uniform_dispatch_through_solver_spec() {
         }),
     ] {
         let mut x = vec![0.0; 80];
-        let rep = spec.solve(&a, &b, &mut x, None);
+        let rep = spec.solve(&a, &b, &mut x, None).expect("solve failed");
         assert!(
             rep.final_rel_residual < 1e-2,
             "{}: {}",
@@ -163,11 +168,11 @@ fn cg_residual_trace_identical_static_vs_dyn_dispatch() {
     let opts = CgOptions::default();
 
     let mut x_static = vec![0.0; n];
-    let rep_static = cg_solve(&a, &b, &mut x_static, &opts);
+    let rep_static = try_cg_solve(&a, &b, &mut x_static, &opts).expect("solve failed");
 
     let dyn_op: &dyn LinearOperator = &a;
     let mut x_dyn = vec![0.0; n];
-    let rep_dyn = cg_solve(dyn_op, &b, &mut x_dyn, &opts);
+    let rep_dyn = try_cg_solve(dyn_op, &b, &mut x_dyn, &opts).expect("solve failed");
 
     assert_eq!(x_static, x_dyn);
     assert_eq!(rep_static.residual_series(), rep_dyn.residual_series());
@@ -190,17 +195,17 @@ fn unit_diagonal_view_drives_solvers_without_materializing() {
         ..Default::default()
     };
     let mut x_mat = vec![0.0; 50];
-    rgs_solve(&u.a, &dz, &mut x_mat, None, &opts);
+    try_rgs_solve(&u.a, &dz, &mut x_mat, None, &opts).expect("solve failed");
     let mut x_view = vec![0.0; 50];
-    rgs_solve(&view, &dz, &mut x_view, None, &opts);
+    try_rgs_solve(&view, &dz, &mut x_view, None, &opts).expect("solve failed");
     assert_eq!(x_mat, x_view);
 
     // CG through the view agrees with CG on the materialized matrix too.
     let mut c_mat = vec![0.0; 50];
     let mut c_view = vec![0.0; 50];
     let copts = CgOptions::default();
-    cg_solve(&u.a, &dz, &mut c_mat, &copts);
-    cg_solve(&view, &dz, &mut c_view, &copts);
+    try_cg_solve(&u.a, &dz, &mut c_mat, &copts).expect("solve failed");
+    try_cg_solve(&view, &dz, &mut c_view, &copts).expect("solve failed");
     assert_eq!(c_mat, c_view);
 }
 
@@ -216,9 +221,9 @@ fn asyrgs_runs_on_the_view_single_thread_deterministically() {
         ..Default::default()
     };
     let mut x1 = vec![0.0; 40];
-    asyrgs_solve(&view, &dz, &mut x1, None, &opts);
+    try_asyrgs_solve(&view, &dz, &mut x1, None, &opts).expect("solve failed");
     let mut x2 = vec![0.0; 40];
-    asyrgs_solve(&view, &dz, &mut x2, None, &opts);
+    try_asyrgs_solve(&view, &dz, &mut x2, None, &opts).expect("solve failed");
     assert_eq!(x1, x2);
 }
 
@@ -226,17 +231,8 @@ fn asyrgs_runs_on_the_view_single_thread_deterministically() {
 // Input validation at every public *_solve boundary
 // ---------------------------------------------------------------------------
 
-fn catch(f: impl FnOnce()) -> String {
-    let err =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).expect_err("expected a panic");
-    err.downcast_ref::<String>()
-        .cloned()
-        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
-        .unwrap_or_default()
-}
-
 #[test]
-fn every_solver_rejects_mismatched_shapes_with_clear_messages() {
+fn every_solver_rejects_mismatched_shapes_with_typed_errors() {
     let (a, b) = spd_problem(10, 5);
     let bad_b = vec![1.0; 7];
     let mut bad_x = vec![0.0; 3];
@@ -244,97 +240,82 @@ fn every_solver_rejects_mismatched_shapes_with_clear_messages() {
     let b_blk = RowMajorMat::zeros(10, k);
     let mut bad_x_blk = RowMajorMat::zeros(9, k);
 
-    let msg = catch(|| {
-        let mut x = vec![0.0; 10];
-        rgs_solve(&a, &bad_b, &mut x, None, &RgsOptions::default());
-    });
-    assert!(
-        msg.contains("rgs_solve: right-hand side b has length 7"),
-        "{msg}"
-    );
-
-    let msg = catch(|| {
-        asyrgs_solve(&a, &b, &mut bad_x, None, &AsyRgsOptions::default());
-    });
-    assert!(
-        msg.contains("asyrgs_solve: solution vector x has length 3"),
-        "{msg}"
-    );
-
-    let msg = catch(|| {
-        let mut x = vec![0.0; 10];
-        jacobi_solve(&a, &bad_b, &mut x, &JacobiOptions::default());
-    });
-    assert!(
-        msg.contains("jacobi_solve: right-hand side b has length 7"),
-        "{msg}"
-    );
-
-    let msg = catch(|| {
-        let mut x = vec![0.0; 10];
-        async_jacobi_solve(&a, &bad_b, &mut x, &JacobiOptions::default());
-    });
-    assert!(
-        msg.contains("async_jacobi_solve: right-hand side b has length 7"),
-        "{msg}"
-    );
-
-    let msg = catch(|| {
-        let mut x = vec![0.0; 10];
-        partitioned_solve(&a, &bad_b, &mut x, &PartitionedOptions::default());
-    });
-    assert!(
-        msg.contains("partitioned_solve: right-hand side b has length 7"),
-        "{msg}"
-    );
-
-    let msg = catch(|| {
-        let mut x = vec![0.0; 10];
-        cg_solve(&a, &bad_b, &mut x, &CgOptions::default());
-    });
-    assert!(
-        msg.contains("cg_solve: right-hand side b has length 7"),
-        "{msg}"
-    );
-
-    let msg = catch(|| {
-        let mut x = vec![0.0; 10];
-        fcg_solve(&a, &bad_b, &mut x, &IdentityPrecond, &FcgOptions::default());
-    });
-    assert!(
-        msg.contains("fcg_solve: right-hand side b has length 7"),
-        "{msg}"
-    );
-
-    let msg = catch(|| {
-        let mut x_blk = RowMajorMat::zeros(10, k);
-        rgs_solve_block(
-            &a,
-            &RowMajorMat::zeros(8, k),
-            &mut x_blk,
-            &RgsOptions::default(),
+    // Every rejection is a typed DimensionMismatch whose Display text
+    // names the entry point and the offending dimension, and the output
+    // buffer is left untouched.
+    let check = |err: SolveError, needle: &str, x_probe: &[f64]| {
+        assert!(
+            matches!(err, SolveError::DimensionMismatch { .. }),
+            "{err:?}"
         );
-    });
-    assert!(
-        msg.contains("rgs_solve_block: right-hand-side block B has 8 rows"),
-        "{msg}"
+        let msg = err.to_string();
+        assert!(msg.contains(needle), "{msg}");
+        assert!(x_probe.iter().all(|&v| v == 0.0), "x was mutated");
+    };
+
+    let mut x = vec![0.0; 10];
+    let err = try_rgs_solve(&a, &bad_b, &mut x, None, &RgsOptions::default()).unwrap_err();
+    check(err, "rgs_solve: right-hand side b has length 7", &x);
+
+    let err = try_asyrgs_solve(&a, &b, &mut bad_x, None, &AsyRgsOptions::default()).unwrap_err();
+    check(err, "asyrgs_solve: solution vector x has length 3", &bad_x);
+
+    let mut x = vec![0.0; 10];
+    let err = try_jacobi_solve(&a, &bad_b, &mut x, None, &JacobiOptions::default()).unwrap_err();
+    check(err, "jacobi_solve: right-hand side b has length 7", &x);
+
+    let mut x = vec![0.0; 10];
+    let err =
+        try_async_jacobi_solve(&a, &bad_b, &mut x, None, &JacobiOptions::default()).unwrap_err();
+    check(
+        err,
+        "async_jacobi_solve: right-hand side b has length 7",
+        &x,
     );
 
-    let msg = catch(|| {
-        asyrgs_solve_block(&a, &b_blk, &mut bad_x_blk, &AsyRgsOptions::default());
-    });
-    assert!(
-        msg.contains("asyrgs_solve_block: solution block X has 9 rows"),
-        "{msg}"
+    let mut x = vec![0.0; 10];
+    let err =
+        try_partitioned_solve(&a, &bad_b, &mut x, &PartitionedOptions::default()).unwrap_err();
+    check(err, "partitioned_solve: right-hand side b has length 7", &x);
+
+    let mut x = vec![0.0; 10];
+    let err = try_cg_solve(&a, &bad_b, &mut x, &CgOptions::default()).unwrap_err();
+    check(err, "cg_solve: right-hand side b has length 7", &x);
+
+    let mut x = vec![0.0; 10];
+    let err =
+        try_fcg_solve(&a, &bad_b, &mut x, &IdentityPrecond, &FcgOptions::default()).unwrap_err();
+    check(err, "fcg_solve: right-hand side b has length 7", &x);
+
+    let mut x_blk = RowMajorMat::zeros(10, k);
+    let err = try_rgs_solve_block(
+        &a,
+        &RowMajorMat::zeros(8, k),
+        &mut x_blk,
+        &RgsOptions::default(),
+    )
+    .unwrap_err();
+    check(
+        err,
+        "rgs_solve_block: right-hand-side block B has 8 rows",
+        x_blk.as_slice(),
     );
 
-    let msg = catch(|| {
-        let mut x_blk = RowMajorMat::zeros(10, 3);
-        asyrgs::krylov::cg_solve_block(&a, &b_blk, &mut x_blk, &CgOptions::default());
-    });
-    assert!(
-        msg.contains("cg_solve_block: B has 2 right-hand sides but X has 3"),
-        "{msg}"
+    let err =
+        try_asyrgs_solve_block(&a, &b_blk, &mut bad_x_blk, &AsyRgsOptions::default()).unwrap_err();
+    check(
+        err,
+        "asyrgs_solve_block: solution block X has 9 rows",
+        bad_x_blk.as_slice(),
+    );
+
+    let mut x_blk = RowMajorMat::zeros(10, 3);
+    let err = asyrgs::krylov::try_cg_solve_block(&a, &b_blk, &mut x_blk, &CgOptions::default())
+        .unwrap_err();
+    check(
+        err,
+        "cg_solve_block: B has 2 right-hand sides but X has 3",
+        x_blk.as_slice(),
     );
 
     // Least squares: rectangular operator, both directions checked.
@@ -346,20 +327,18 @@ fn every_solver_rejects_mismatched_shapes_with_clear_messages() {
         seed: 9,
     });
     let op = LsqOperator::new(p.a.clone());
-    let msg = catch(|| {
-        let mut x = vec![0.0; 10];
-        rcd_solve(&op, &vec![0.0; 29], &mut x, &LsqSolveOptions::default());
-    });
-    assert!(
-        msg.contains("rcd_solve: right-hand side b has length 29 but A has 30 rows"),
-        "{msg}"
+    let mut x = vec![0.0; 10];
+    let err = try_rcd_solve(&op, &vec![0.0; 29], &mut x, &LsqSolveOptions::default()).unwrap_err();
+    check(
+        err,
+        "rcd_solve: right-hand side b has length 29 but A has 30 rows",
+        &x,
     );
-    let msg = catch(|| {
-        let mut x = vec![0.0; 11];
-        async_rcd_solve(&op, &p.b, &mut x, &LsqSolveOptions::default());
-    });
-    assert!(
-        msg.contains("async_rcd_solve: solution vector x has length 11 but A has 10 columns"),
-        "{msg}"
+    let mut x = vec![0.0; 11];
+    let err = try_async_rcd_solve(&op, &p.b, &mut x, &LsqSolveOptions::default()).unwrap_err();
+    check(
+        err,
+        "async_rcd_solve: solution vector x has length 11 but A has 10 columns",
+        &x,
     );
 }

@@ -35,7 +35,7 @@ fn gram_pipeline_asyrgs_low_accuracy() {
         }
     }
     let mut x = RowMajorMat::zeros(n, k);
-    let rep = asyrgs_solve_block(
+    let rep = try_asyrgs_solve_block(
         &g,
         &b,
         &mut x,
@@ -45,7 +45,8 @@ fn gram_pipeline_asyrgs_low_accuracy() {
             term: Termination::sweeps(10),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     // 10 sweeps must reduce the residual substantially from the initial
     // 1.0 (the paper's matrix reaches ~1e-2 at this point; our synthetic
     // replacement is harder — the shape, fast early progress, is what
@@ -60,7 +61,7 @@ fn gram_pipeline_asyrgs_low_accuracy() {
     assert!(series.last().unwrap().1 < series[0].1);
     // And a longer run keeps improving (linear convergence, Eq. 2).
     let mut x2 = RowMajorMat::zeros(n, k);
-    let rep50 = asyrgs_solve_block(
+    let rep50 = try_asyrgs_solve_block(
         &g,
         &b,
         &mut x2,
@@ -69,7 +70,8 @@ fn gram_pipeline_asyrgs_low_accuracy() {
             term: Termination::sweeps(50),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     assert!(
         rep50.final_rel_residual < rep.final_rel_residual * 0.5,
         "50-sweep {} vs 10-sweep {}",
@@ -110,7 +112,7 @@ fn asyrgs_solution_agrees_with_cg_solution() {
     let b = g.matvec(&x_true);
 
     let mut x_cg = vec![0.0; n];
-    let cg = cg_solve(
+    let cg = try_cg_solve(
         &g,
         &b,
         &mut x_cg,
@@ -118,11 +120,12 @@ fn asyrgs_solution_agrees_with_cg_solution() {
             term: Termination::sweeps(5000).with_target(1e-12),
             record: Recording::end_only(),
         },
-    );
+    )
+    .expect("solve failed");
     assert!(cg.final_rel_residual < 1e-10);
 
     let mut x_asy = vec![0.0; n];
-    let asy = asyrgs_solve(
+    let asy = try_asyrgs_solve(
         &g,
         &b,
         &mut x_asy,
@@ -133,7 +136,8 @@ fn asyrgs_solution_agrees_with_cg_solution() {
             term: Termination::sweeps(120),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     assert!(asy.final_rel_residual < 1e-3, "{}", asy.final_rel_residual);
     // A-norm distance between the two solutions is small relative to x*.
     let diff: Vec<f64> = x_cg.iter().zip(&x_asy).map(|(a, b)| a - b).collect();
@@ -165,8 +169,8 @@ fn matrix_market_roundtrip_of_workload() {
         record: Recording::end_only(),
         ..Default::default()
     };
-    rgs_solve(&g, &b, &mut x1, None, &opts);
-    rgs_solve(&g2, &b, &mut x2, None, &opts);
+    try_rgs_solve(&g, &b, &mut x1, None, &opts).expect("solve failed");
+    try_rgs_solve(&g2, &b, &mut x2, None, &opts).expect("solve failed");
     for (a, b) in x1.iter().zip(&x2) {
         assert!((a - b).abs() < 1e-12);
     }
@@ -182,7 +186,7 @@ fn epoch_scheme_matches_free_running_accuracy() {
     let b = g.matvec(&x_true);
     let run = |epoch: Option<usize>| {
         let mut x = vec![0.0; n];
-        asyrgs_solve(
+        try_asyrgs_solve(
             &g,
             &b,
             &mut x,
@@ -194,6 +198,7 @@ fn epoch_scheme_matches_free_running_accuracy() {
                 ..Default::default()
             },
         )
+        .expect("solve failed")
         .final_rel_residual
     };
     let free = run(None);

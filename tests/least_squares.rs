@@ -30,7 +30,7 @@ fn unsymmetric_square_system_solvable_via_lsq() {
 
     let op = LsqOperator::new(a);
     let mut x = vec![0.0; n];
-    let rep = rcd_solve(
+    let rep = try_rcd_solve(
         &op,
         &b,
         &mut x,
@@ -39,7 +39,8 @@ fn unsymmetric_square_system_solvable_via_lsq() {
             record: Recording::end_only(),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     assert!(rep.final_rel_residual < 1e-8, "{}", rep.final_rel_residual);
     for (g, w) in x.iter().zip(&x_true) {
         assert!((g - w).abs() < 1e-6);
@@ -62,7 +63,7 @@ fn iteration21_equals_asyrgs_on_normal_equations() {
     let seed = 0xAB;
 
     let mut x_lsq = vec![0.0; 30];
-    async_rcd_solve(
+    try_async_rcd_solve(
         &op,
         &p.b,
         &mut x_lsq,
@@ -73,7 +74,8 @@ fn iteration21_equals_asyrgs_on_normal_equations() {
             term: Termination::sweeps(sweeps),
             record: Recording::end_only(),
         },
-    );
+    )
+    .expect("solve failed");
 
     // Build X = A^T A (dense-ish but tiny) and c = A^T b, then run
     // sequential RGS with the same direction stream and step size.
@@ -106,7 +108,7 @@ fn iteration21_equals_asyrgs_on_normal_equations() {
     let x_mat = coo.to_csr();
     let c = at.matvec(&p.b);
     let mut x_ne = vec![0.0; 30];
-    rgs_solve(
+    try_rgs_solve(
         &x_mat,
         &c,
         &mut x_ne,
@@ -118,7 +120,8 @@ fn iteration21_equals_asyrgs_on_normal_equations() {
             record: Recording::end_only(),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
 
     for (a, b) in x_lsq.iter().zip(&x_ne) {
         assert!((a - b).abs() < 1e-10, "{a} vs {b}");
@@ -219,7 +222,7 @@ fn async_lsq_threads_reach_same_quality() {
     let mut residuals = Vec::new();
     for &threads in &[1usize, 2, 4] {
         let mut x = vec![0.0; 80];
-        let rep = async_rcd_solve(
+        let rep = try_async_rcd_solve(
             &op,
             &p.b,
             &mut x,
@@ -229,7 +232,8 @@ fn async_lsq_threads_reach_same_quality() {
                 term: Termination::sweeps(200),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         residuals.push(rep.final_rel_residual);
     }
     for r in &residuals {

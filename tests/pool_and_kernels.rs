@@ -97,7 +97,7 @@ fn pooled_asyrgs_single_thread_bitwise_matches_sequential_rgs() {
         let a = diag_dominant(n, 5, 2.0, seed);
         let b = a.matvec(&vec![1.0; n]);
         let mut x_seq = vec![0.0; n];
-        rgs_solve(
+        try_rgs_solve(
             &a,
             &b,
             &mut x_seq,
@@ -108,12 +108,13 @@ fn pooled_asyrgs_single_thread_bitwise_matches_sequential_rgs() {
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         for epoch_sweeps in [None, Some(1), Some(3)] {
             for &w in &pool_widths() {
                 let pool = WorkerPool::new(w);
                 let mut x_async = vec![0.0; n];
-                asyrgs::core::asyrgs_solve_on(
+                asyrgs::core::try_asyrgs_solve_on(
                     &pool,
                     &a,
                     &b,
@@ -127,7 +128,8 @@ fn pooled_asyrgs_single_thread_bitwise_matches_sequential_rgs() {
                         record: Recording::end_only(),
                         ..Default::default()
                     },
-                );
+                )
+                .expect("solve failed");
                 assert_eq!(
                     x_seq, x_async,
                     "seed={seed} epochs={epoch_sweeps:?} pool={w}"
@@ -144,18 +146,20 @@ fn pooled_async_jacobi_single_thread_reproducible_across_pools() {
     let b = a.matvec(&vec![1.0; n]);
     let run = |pool: &WorkerPool| {
         let mut x = vec![0.0; n];
-        asyrgs::core::async_jacobi_solve_on(
+        asyrgs::core::try_async_jacobi_solve_on(
             pool,
             &a,
             &b,
             &mut x,
+            None,
             &JacobiOptions {
                 threads: 1,
                 term: Termination::sweeps(20),
                 record: Recording::every(5),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         x
     };
     let reference = run(&WorkerPool::new(1));
@@ -171,7 +175,7 @@ fn pooled_partitioned_single_block_reproducible_across_pools() {
     let b = a.matvec(&vec![1.0; n]);
     let run = |pool: &WorkerPool| {
         let mut x = vec![0.0; n];
-        asyrgs::core::partitioned_solve_on(
+        asyrgs::core::try_partitioned_solve_on(
             pool,
             &a,
             &b,
@@ -181,7 +185,8 @@ fn pooled_partitioned_single_block_reproducible_across_pools() {
                 term: Termination::sweeps(30),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         x
     };
     let reference = run(&WorkerPool::new(1));
@@ -202,7 +207,7 @@ fn pooled_async_rcd_single_thread_bitwise_matches_across_pools() {
     let op = LsqOperator::new(p.a);
     let run = |pool: &WorkerPool| {
         let mut x = vec![0.0; op.n_cols()];
-        asyrgs::core::async_rcd_solve_on(
+        asyrgs::core::try_async_rcd_solve_on(
             pool,
             &op,
             &p.b,
@@ -213,7 +218,8 @@ fn pooled_async_rcd_single_thread_bitwise_matches_across_pools() {
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         x
     };
     let reference = run(&WorkerPool::new(1));
@@ -233,7 +239,7 @@ fn pooled_block_solve_single_thread_bitwise_matches_sequential() {
         b_blk.set_col(t, &col);
     }
     let mut x_seq = RowMajorMat::zeros(n, k);
-    rgs_solve_block(
+    try_rgs_solve_block(
         &a,
         &b_blk,
         &mut x_seq,
@@ -242,11 +248,12 @@ fn pooled_block_solve_single_thread_bitwise_matches_sequential() {
             record: Recording::end_only(),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     for &w in &pool_widths() {
         let pool = WorkerPool::new(w);
         let mut x_async = RowMajorMat::zeros(n, k);
-        asyrgs::core::asyrgs_solve_block_on(
+        asyrgs::core::try_asyrgs_solve_block_on(
             &pool,
             &a,
             &b_blk,
@@ -257,7 +264,8 @@ fn pooled_block_solve_single_thread_bitwise_matches_sequential() {
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .expect("solve failed");
         assert_eq!(x_seq.as_slice(), x_async.as_slice(), "pool={w}");
     }
 }
@@ -274,7 +282,7 @@ fn multithreaded_pooled_solvers_still_converge() {
     let pool = WorkerPool::new(4);
 
     let mut x = vec![0.0; n];
-    let rep = asyrgs::core::asyrgs_solve_on(
+    let rep = asyrgs::core::try_asyrgs_solve_on(
         &pool,
         &a,
         &b,
@@ -285,11 +293,12 @@ fn multithreaded_pooled_solvers_still_converge() {
             term: Termination::sweeps(60),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     assert!(rep.final_rel_residual < 1e-3, "{}", rep.final_rel_residual);
 
     let mut x = vec![0.0; n];
-    let rep = asyrgs::core::partitioned_solve_on(
+    let rep = asyrgs::core::try_partitioned_solve_on(
         &pool,
         &a,
         &b,
@@ -299,7 +308,8 @@ fn multithreaded_pooled_solvers_still_converge() {
             term: Termination::sweeps(60),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     assert!(
         rep.report.final_rel_residual < 1e-3,
         "{}",
@@ -307,17 +317,19 @@ fn multithreaded_pooled_solvers_still_converge() {
     );
 
     let mut x = vec![0.0; n];
-    let rep = asyrgs::core::async_jacobi_solve_on(
+    let rep = asyrgs::core::try_async_jacobi_solve_on(
         &pool,
         &a,
         &b,
         &mut x,
+        None,
         &JacobiOptions {
             threads: 4,
             term: Termination::sweeps(120),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     assert!(rep.final_rel_residual < 1e-3, "{}", rep.final_rel_residual);
 }
 
@@ -338,12 +350,14 @@ fn solver_epochs_on_shared_global_pool_are_isolated() {
     };
     let mut x1_global = vec![0.0; 90];
     let mut x2_global = vec![0.0; 130];
-    asyrgs_solve(&a1, &b1, &mut x1_global, None, &opts);
-    asyrgs_solve(&a2, &b2, &mut x2_global, None, &opts);
+    try_asyrgs_solve(&a1, &b1, &mut x1_global, None, &opts).expect("solve failed");
+    try_asyrgs_solve(&a2, &b2, &mut x2_global, None, &opts).expect("solve failed");
     let mut x1_own = vec![0.0; 90];
     let mut x2_own = vec![0.0; 130];
-    asyrgs::core::asyrgs_solve_on(&WorkerPool::new(2), &a1, &b1, &mut x1_own, None, &opts);
-    asyrgs::core::asyrgs_solve_on(&WorkerPool::new(2), &a2, &b2, &mut x2_own, None, &opts);
+    asyrgs::core::try_asyrgs_solve_on(&WorkerPool::new(2), &a1, &b1, &mut x1_own, None, &opts)
+        .expect("solve failed");
+    asyrgs::core::try_asyrgs_solve_on(&WorkerPool::new(2), &a2, &b2, &mut x2_own, None, &opts)
+        .expect("solve failed");
     assert_eq!(x1_global, x1_own);
     assert_eq!(x2_global, x2_own);
 }

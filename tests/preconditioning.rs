@@ -111,17 +111,23 @@ fn jacobi_and_asyrgs_preconditioners_both_help_scaled_problem() {
 
     let run_identity = {
         let mut x = vec![0.0; n];
-        fcg_solve(&a, &b, &mut x, &IdentityPrecond, &FcgOptions::default()).iterations
+        try_fcg_solve(&a, &b, &mut x, &IdentityPrecond, &FcgOptions::default())
+            .expect("solve failed")
+            .iterations
     };
     let run_jacobi = {
         let pre = JacobiPrecond::new(&a);
         let mut x = vec![0.0; n];
-        fcg_solve(&a, &b, &mut x, &pre, &FcgOptions::default()).iterations
+        try_fcg_solve(&a, &b, &mut x, &pre, &FcgOptions::default())
+            .expect("solve failed")
+            .iterations
     };
     let run_asyrgs = {
         let pre = AsyRgsPrecond::new(&a, 3, 2, 1.0, 5);
         let mut x = vec![0.0; n];
-        fcg_solve(&a, &b, &mut x, &pre, &FcgOptions::default()).iterations
+        try_fcg_solve(&a, &b, &mut x, &pre, &FcgOptions::default())
+            .expect("solve failed")
+            .iterations
     };
     assert!(run_jacobi < run_identity, "{run_jacobi} vs {run_identity}");
     assert!(run_asyrgs < run_identity, "{run_asyrgs} vs {run_identity}");

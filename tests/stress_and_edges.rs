@@ -16,12 +16,12 @@ fn one_by_one_system() {
     let a = CsrMatrix::from_dense(1, 1, &[4.0]);
     let b = vec![8.0];
     let mut x = vec![0.0];
-    let rep = rgs_solve(&a, &b, &mut x, None, &RgsOptions::default());
+    let rep = try_rgs_solve(&a, &b, &mut x, None, &RgsOptions::default()).expect("solve failed");
     assert!((x[0] - 2.0).abs() < 1e-12);
     assert!(rep.final_rel_residual < 1e-12);
 
     let mut x2 = vec![0.0];
-    asyrgs_solve(
+    try_asyrgs_solve(
         &a,
         &b,
         &mut x2,
@@ -30,7 +30,8 @@ fn one_by_one_system() {
             threads: 4,
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     assert!((x2[0] - 2.0).abs() < 1e-12);
 }
 
@@ -47,7 +48,7 @@ fn diagonal_matrix_converges_in_one_sweep_per_coordinate() {
     let a = coo.to_csr();
     let b: Vec<f64> = (0..n).map(|i| (i as f64) - 10.0).collect();
     let mut x = vec![0.0; n];
-    let rep = rgs_solve(
+    let rep = try_rgs_solve(
         &a,
         &b,
         &mut x,
@@ -57,7 +58,8 @@ fn diagonal_matrix_converges_in_one_sweep_per_coordinate() {
             record: Recording::end_only(),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     assert!(rep.final_rel_residual < 1e-12, "{}", rep.final_rel_residual);
 }
 
@@ -66,7 +68,7 @@ fn zero_rhs_keeps_zero_solution() {
     let a = laplace2d(6, 6);
     let b = vec![0.0; 36];
     let mut x = vec![0.0; 36];
-    asyrgs_solve(
+    try_asyrgs_solve(
         &a,
         &b,
         &mut x,
@@ -76,7 +78,8 @@ fn zero_rhs_keeps_zero_solution() {
             term: Termination::sweeps(5),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     assert!(x.iter().all(|&v| v == 0.0));
 }
 
@@ -98,7 +101,7 @@ fn near_singular_system_does_not_blow_up() {
     let a = coo.to_csr();
     let b = vec![1.0; n];
     let mut x = vec![0.0; n];
-    let rep = rgs_solve(
+    let rep = try_rgs_solve(
         &a,
         &b,
         &mut x,
@@ -108,7 +111,8 @@ fn near_singular_system_does_not_blow_up() {
             record: Recording::end_only(),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     assert!(rep.final_rel_residual.is_finite());
     assert!(rep.final_rel_residual <= 1.0 + 1e-9);
     assert!(x.iter().all(|v| v.is_finite()));
@@ -193,7 +197,7 @@ fn heavy_oversubscription_still_converges() {
     let x_star = vec![1.0; 256];
     let b = a.matvec(&x_star);
     let mut x = vec![0.0; 256];
-    let rep = asyrgs_solve(
+    let rep = try_asyrgs_solve(
         &a,
         &b,
         &mut x,
@@ -203,7 +207,8 @@ fn heavy_oversubscription_still_converges() {
             term: Termination::sweeps(40),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     assert!(
         rep.final_rel_residual < 1e-4,
         "residual {}",
@@ -226,7 +231,7 @@ fn concurrent_independent_solves_do_not_interfere() {
     let (r1, r2) = std::thread::scope(|s| {
         let h1 = s.spawn(|| {
             let mut x = vec![0.0; 120];
-            asyrgs_solve(
+            try_asyrgs_solve(
                 &a1,
                 &b1,
                 &mut x,
@@ -237,11 +242,12 @@ fn concurrent_independent_solves_do_not_interfere() {
                     ..Default::default()
                 },
             )
+            .expect("solve failed")
             .final_rel_residual
         });
         let h2 = s.spawn(|| {
             let mut x = vec![0.0; 121];
-            asyrgs_solve(
+            try_asyrgs_solve(
                 &a2,
                 &b2,
                 &mut x,
@@ -252,6 +258,7 @@ fn concurrent_independent_solves_do_not_interfere() {
                     ..Default::default()
                 },
             )
+            .expect("solve failed")
             .final_rel_residual
         });
         (h1.join().unwrap(), h2.join().unwrap())
@@ -266,7 +273,7 @@ fn repeated_epoch_restarts_are_stable() {
     let a = diag_dominant(100, 4, 2.0, 13);
     let b = a.matvec(&vec![1.0; 100]);
     let mut x = vec![0.0; 100];
-    let rep = asyrgs_solve(
+    let rep = try_asyrgs_solve(
         &a,
         &b,
         &mut x,
@@ -277,7 +284,8 @@ fn repeated_epoch_restarts_are_stable() {
             term: Termination::sweeps(50),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     assert_eq!(rep.records.len(), 50);
     assert!(rep.final_rel_residual < 1e-8);
     // Residuals non-increasing across epochs (dominant matrix, generous
@@ -289,12 +297,12 @@ fn repeated_epoch_restarts_are_stable() {
 
 #[test]
 fn partitioned_and_unrestricted_agree_on_solution() {
-    use asyrgs::core::partitioned::{partitioned_solve, PartitionedOptions};
+    use asyrgs::core::partitioned::{try_partitioned_solve, PartitionedOptions};
     let a = diag_dominant(160, 4, 2.5, 17);
     let x_star: Vec<f64> = (0..160).map(|i| (i as f64 * 0.07).sin()).collect();
     let b = a.matvec(&x_star);
     let mut xp = vec![0.0; 160];
-    partitioned_solve(
+    try_partitioned_solve(
         &a,
         &b,
         &mut xp,
@@ -303,7 +311,8 @@ fn partitioned_and_unrestricted_agree_on_solution() {
             term: Termination::sweeps(120),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     for (g, w) in xp.iter().zip(&x_star) {
         assert!((g - w).abs() < 1e-6, "{g} vs {w}");
     }
@@ -321,7 +330,7 @@ fn lsq_stress_many_threads() {
     });
     let op = LsqOperator::new(p.a.clone());
     let mut x = vec![0.0; 100];
-    let rep = async_rcd_solve(
+    let rep = try_async_rcd_solve(
         &op,
         &p.b,
         &mut x,
@@ -331,7 +340,8 @@ fn lsq_stress_many_threads() {
             term: Termination::sweeps(250),
             ..Default::default()
         },
-    );
+    )
+    .expect("solve failed");
     // 16 threads on one core: very long effective delays under suite load.
     assert!(rep.final_rel_residual < 1e-1, "{}", rep.final_rel_residual);
 }
