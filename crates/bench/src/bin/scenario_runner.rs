@@ -1,0 +1,307 @@
+//! Per-scenario performance trajectory: runs the whole scenario corpus
+//! through the session layer — every `scenario x solver-family x backend`
+//! cell of the conformance matrix — and writes `BENCH_scenarios.json`
+//! (wall time, iterations, iterations-to-tolerance, final residual, and
+//! whether the cell met its registered expectation).
+//!
+//! One timed run per cell: this is a trajectory tracker for the corpus,
+//! not a microbenchmark (the kernel-level medians live in
+//! `BENCH_solvers.json` from `bench_runner`).
+//!
+//! Usage:
+//! ```text
+//! scenario_runner [OUTPUT_PATH]        (default: BENCH_scenarios.json)
+//! ```
+//! Environment:
+//! `ASYRGS_BENCH_SMOKE=1` — small-`n` scenario subset, no spectral
+//! condition-number estimation (CI);
+//! `ASYRGS_THREADS=N` — global pool width.
+
+use asyrgs::session::{SolverBuilder, SolverFamily};
+use asyrgs_core::driver::{Recording, Termination};
+use asyrgs_core::error::SolveError;
+use asyrgs_core::lsq::LsqOperator;
+use asyrgs_core::report::SolveReport;
+use asyrgs_sparse::RowAccess;
+use asyrgs_workloads::scenarios::{
+    all_scenarios, smoke_scenarios, Expectation, Scenario, ScenarioClass, FAMILY_NAMES,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One matrix cell result.
+struct Cell {
+    scenario: &'static str,
+    family: &'static str,
+    backend: &'static str,
+    expectation: &'static str,
+    /// `converged` | `completed` | `diverged` | `rejected`.
+    status: &'static str,
+    /// Whether `status` satisfies `expectation`.
+    ok: bool,
+    seconds: f64,
+    iterations: u64,
+    /// First recorded iteration count at which the relative residual was
+    /// at or below the scenario tolerance (`null` if never).
+    iterations_to_tol: Option<u64>,
+    final_rel_residual: f64,
+    error: Option<String>,
+}
+
+fn family_of(name: &str) -> SolverFamily {
+    SolverFamily::from_name(name).unwrap_or_else(|| panic!("unknown family {name}"))
+}
+
+fn classify(result: &Result<SolveReport, SolveError>, tol: f64) -> (&'static str, f64, u64) {
+    match result {
+        Err(_) => ("rejected", f64::NAN, 0),
+        Ok(rep) => {
+            let r = rep.final_rel_residual;
+            // `completed` mirrors the conformance matrix's Progress
+            // criterion exactly: finite and not above the initial
+            // relative residual (1.0 from a zero start).
+            let status = if r.is_finite() && r <= tol {
+                "converged"
+            } else if r.is_finite() && r <= 1.0 + 1e-9 {
+                "completed"
+            } else {
+                "diverged"
+            };
+            (status, r, rep.iterations)
+        }
+    }
+}
+
+fn satisfies(expectation: Expectation, status: &str) -> bool {
+    match expectation {
+        Expectation::Converges => status == "converged",
+        Expectation::Progress => status == "converged" || status == "completed",
+        Expectation::MayDiverge => status != "rejected",
+        Expectation::Rejects => status == "rejected",
+    }
+}
+
+fn iterations_to_tol(result: &Result<SolveReport, SolveError>, tol: f64) -> Option<u64> {
+    result.as_ref().ok().and_then(|rep| {
+        rep.records
+            .iter()
+            .find(|r| r.rel_residual.is_finite() && r.rel_residual <= tol)
+            .map(|r| r.iterations)
+    })
+}
+
+/// Run one cell: build a session for the family and drive the given
+/// operator backend through it.
+fn run_cell<O: RowAccess + Sync>(
+    sc: &Scenario,
+    family_name: &'static str,
+    backend: &'static str,
+    a: &O,
+    b: &[f64],
+    lsq: Option<&LsqOperator>,
+    threads: usize,
+) -> Cell {
+    let family = family_of(family_name);
+    let mut session = SolverBuilder::new(family)
+        .threads(threads)
+        .term(Termination::sweeps(sc.sweeps).with_target(sc.tol * 0.5))
+        .record(Recording::every(1))
+        .build()
+        .expect("registry configurations are valid");
+    let expectation = sc.expectation(family_name);
+    let mut x = vec![0.0; a.n_cols()];
+    let t = Instant::now();
+    let result = match (
+        lsq,
+        matches!(family, SolverFamily::Rcd | SolverFamily::AsyncRcd),
+    ) {
+        // Least-squares scenario driven through a least-squares family.
+        (Some(op), true) => session.solve_lsq(op, b, &mut x),
+        // Everything else goes through `solve`, which is also how the
+        // expected rejections (class mismatches) surface as typed errors.
+        _ => session.solve(a, b, &mut x),
+    };
+    let seconds = t.elapsed().as_secs_f64();
+    let (status, final_rel_residual, iterations) = classify(&result, sc.tol);
+    Cell {
+        scenario: sc.name,
+        family: family_name,
+        backend,
+        expectation: expectation.name(),
+        status,
+        ok: satisfies(expectation, status),
+        seconds,
+        iterations,
+        iterations_to_tol: iterations_to_tol(&result, sc.tol),
+        final_rel_residual,
+        error: result.err().map(|e| e.to_string()),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_scenarios.json".to_string());
+    let smoke = std::env::var("ASYRGS_BENCH_SMOKE").as_deref() == Ok("1");
+    let threads = 2usize;
+    let scenarios = if smoke {
+        smoke_scenarios()
+    } else {
+        all_scenarios()
+    };
+    eprintln!(
+        "scenario_runner: {} scenarios x {} families{}",
+        scenarios.len(),
+        FAMILY_NAMES.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut meta_rows: Vec<String> = Vec::new();
+    let mut cells: Vec<Cell> = Vec::new();
+    for sc in &scenarios {
+        let built = sc.build();
+        let kappa_estimate = if smoke {
+            None
+        } else {
+            sc.estimate_kappa(&built)
+        };
+        meta_rows.push(format!(
+            "    {{\"name\": \"{}\", \"class\": \"{}\", \"n\": {}, \"nnz\": {}, \"seed\": {}, \
+             \"kappa_hint\": {}, \"kappa_estimate\": {}, \"tol\": {:.1e}, \"sweeps\": {}, \
+             \"description\": \"{}\"}}",
+            sc.name,
+            match sc.class {
+                ScenarioClass::SquareSpd => "square_spd",
+                ScenarioClass::LeastSquares => "least_squares",
+            },
+            sc.n,
+            built.nnz(),
+            sc.seed,
+            kappa_or_null(sc.kappa_hint),
+            kappa_or_null(kappa_estimate),
+            sc.tol,
+            sc.sweeps,
+            json_escape(sc.description),
+        ));
+
+        let lsq_op = match sc.class {
+            ScenarioClass::LeastSquares => Some(LsqOperator::new(built.a.clone())),
+            ScenarioClass::SquareSpd => None,
+        };
+        for family in FAMILY_NAMES {
+            cells.push(run_cell(
+                sc,
+                family,
+                "csr",
+                &built.a,
+                &built.b,
+                lsq_op.as_ref(),
+                threads,
+            ));
+        }
+        // The zero-copy unit-diagonal backend (square scenarios): solve
+        // the rescaled system `(D A D) x = D b`.
+        if let Some(view) = built.unit_view() {
+            let b_unit = view.rhs_to_unit(&built.b);
+            for family in FAMILY_NAMES {
+                cells.push(run_cell(
+                    sc,
+                    family,
+                    "unit_view",
+                    &view,
+                    &b_unit,
+                    None,
+                    threads,
+                ));
+            }
+        }
+        // The dense backend, where small enough to be sensible.
+        if let Some(dense) = built.dense() {
+            for family in FAMILY_NAMES {
+                cells.push(run_cell(
+                    sc, family, "dense", &dense, &built.b, None, threads,
+                ));
+            }
+        }
+        let done = cells.len();
+        eprintln!("  {:>24}: {} cells total", sc.name, done);
+    }
+
+    let unexpected: Vec<&Cell> = cells.iter().filter(|c| !c.ok).collect();
+    for c in &unexpected {
+        eprintln!(
+            "UNEXPECTED {}/{}/{}: expected {}, got {} (residual {:.3e})",
+            c.scenario, c.family, c.backend, c.expectation, c.status, c.final_rel_residual
+        );
+    }
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"schema\": \"asyrgs-scenarios-v1\",");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(j, "  \"solver_threads\": {threads},");
+    let _ = writeln!(j, "  \"unexpected_cells\": {},", unexpected.len());
+    let _ = writeln!(j, "  \"scenarios\": [");
+    let _ = writeln!(j, "{}", meta_rows.join(",\n"));
+    j.push_str("  ],\n  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"scenario\": \"{}\", \"family\": \"{}\", \"backend\": \"{}\", \
+             \"expectation\": \"{}\", \"status\": \"{}\", \"ok\": {}, \
+             \"seconds\": {:.6e}, \"iterations\": {}, \"iterations_to_tol\": {}, \
+             \"final_rel_residual\": {}{}}}{}",
+            c.scenario,
+            c.family,
+            c.backend,
+            c.expectation,
+            c.status,
+            c.ok,
+            c.seconds,
+            c.iterations,
+            c.iterations_to_tol
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            json_f64(c.final_rel_residual),
+            c.error
+                .as_deref()
+                .map(|e| format!(", \"error\": \"{}\"", json_escape(e)))
+                .unwrap_or_default(),
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &j).expect("failed to write bench output");
+    eprintln!(
+        "scenario_runner: wrote {out_path} ({} cells, {} unexpected)",
+        cells.len(),
+        unexpected.len()
+    );
+
+    // Structural self-check so the CI smoke job fails loudly on a broken
+    // emitter, mirroring bench_runner.
+    let parsed = std::fs::read_to_string(&out_path).expect("reread failed");
+    assert!(
+        parsed.matches('{').count() == parsed.matches('}').count() && parsed.contains("\"cells\""),
+        "scenario bench output failed self-check"
+    );
+}
+
+fn kappa_or_null(v: Option<f64>) -> String {
+    v.filter(|x| x.is_finite())
+        .map(|x| format!("{x:.6e}"))
+        .unwrap_or_else(|| "null".to_string())
+}

@@ -439,20 +439,26 @@ fn worker_block(
         }
         let r = ds.direction(j);
         let (cols, vals) = a.row(r);
-        gammas.copy_from_slice(b.row(r));
+        // Accumulate the per-column dots first and keep the single-RHS
+        // association (`(b - dot) * dinv`, then `beta * gamma`), so a
+        // one-thread block solve is bitwise the sequence of single solves
+        // — the contract `solve_many` advertises.
+        gammas.fill(0.0);
         {
             let _guard = lock.map(|l| l.read().unwrap());
             for (&c, &v) in cols.iter().zip(vals) {
                 let base = c * k;
                 for (t, g) in gammas.iter_mut().enumerate() {
-                    *g -= v * x.load(base + t);
+                    *g += v * x.load(base + t);
                 }
             }
         }
+        let br = b.row(r);
         let base = r * k;
         let _wguard = lock.map(|l| l.write().unwrap());
         for (t, g) in gammas.iter().enumerate() {
-            let delta = beta * g * dinv[r];
+            let gamma = (br[t] - g) * dinv[r];
+            let delta = beta * gamma;
             match mode {
                 WriteMode::Atomic => x.fetch_add(base + t, delta),
                 WriteMode::NonAtomic => x.cell(base + t).add_non_atomic(delta),
@@ -616,12 +622,8 @@ pub fn asyrgs_solve_block_on(
 
 #[cfg(test)]
 mod tests {
-    // The legacy free functions stay covered here: these tests double as
-    // regression coverage for the deprecated panicking wrappers.
-    #![allow(deprecated)]
-
     use super::*;
-    use crate::rgs::{rgs_solve, RgsOptions};
+    use crate::rgs::{try_rgs_solve, RgsOptions};
     use asyrgs_workloads::{diag_dominant, laplace2d};
 
     fn problem(n_side: usize) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
@@ -639,7 +641,7 @@ mod tests {
         let (a, b, _) = problem(6);
         let n = a.n_rows();
         let mut x_seq = vec![0.0; n];
-        rgs_solve(
+        try_rgs_solve(
             &a,
             &b,
             &mut x_seq,
@@ -649,9 +651,10 @@ mod tests {
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let mut x_async = vec![0.0; n];
-        asyrgs_solve(
+        try_asyrgs_solve(
             &a,
             &b,
             &mut x_async,
@@ -661,7 +664,8 @@ mod tests {
                 term: Termination::sweeps(8),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         for (s, p) in x_seq.iter().zip(&x_async) {
             assert!((s - p).abs() < 1e-14, "{s} vs {p}");
         }
@@ -672,7 +676,7 @@ mod tests {
         let (a, b, x_star) = problem(8);
         let n = a.n_rows();
         let mut x = vec![0.0; n];
-        let rep = asyrgs_solve(
+        let rep = try_asyrgs_solve(
             &a,
             &b,
             &mut x,
@@ -682,7 +686,8 @@ mod tests {
                 term: Termination::sweeps(200),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         // With 4 threads on only 64 unknowns the relative delay tau/n is
         // large — and under full-workspace test load the container is
         // heavily oversubscribed (observed intermittent >1e-2 under a
@@ -702,7 +707,7 @@ mod tests {
         let (a, b, _) = problem(8);
         let n = a.n_rows();
         let mut x = vec![0.0; n];
-        let rep = asyrgs_solve(
+        let rep = try_asyrgs_solve(
             &a,
             &b,
             &mut x,
@@ -713,7 +718,8 @@ mod tests {
                 term: Termination::sweeps(150),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         // Lost updates + oversubscribed scheduling make the non-atomic
         // variant noisier; require solid progress, not a tight tolerance.
         assert!(
@@ -728,7 +734,7 @@ mod tests {
         let (a, b, _) = problem(6);
         let n = a.n_rows();
         let mut x = vec![0.0; n];
-        let rep = asyrgs_solve(
+        let rep = try_asyrgs_solve(
             &a,
             &b,
             &mut x,
@@ -739,7 +745,8 @@ mod tests {
                 term: Termination::sweeps(12),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(rep.records.len(), 4);
         assert_eq!(rep.records.last().unwrap().sweep, 12);
         // Residual decreases across epochs.
@@ -752,7 +759,7 @@ mod tests {
         let x_star = vec![1.0; 120];
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 120];
-        let rep = asyrgs_solve(
+        let rep = try_asyrgs_solve(
             &a,
             &b,
             &mut x,
@@ -763,7 +770,8 @@ mod tests {
                 term: Termination::sweeps(500).with_target(1e-6),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.converged_early);
         assert!(rep.final_rel_residual <= 1e-6);
         assert!(rep.sweeps_run() < 500);
@@ -776,7 +784,7 @@ mod tests {
         let a = diag_dominant(120, 5, 3.0, 6);
         let b = a.matvec(&vec![1.0; 120]);
         let mut x = vec![0.0; 120];
-        let rep = asyrgs_solve(
+        let rep = try_asyrgs_solve(
             &a,
             &b,
             &mut x,
@@ -787,7 +795,8 @@ mod tests {
                 term: Termination::sweeps(100_000).with_target(1e-6),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.converged_early);
         assert!(rep.sweeps_run() < 100_000);
     }
@@ -797,7 +806,7 @@ mod tests {
         let a = diag_dominant(120, 5, 2.0, 2);
         let b = a.matvec(&vec![1.0; 120]);
         let mut x = vec![0.0; 120];
-        let rep = asyrgs_solve(
+        let rep = try_asyrgs_solve(
             &a,
             &b,
             &mut x,
@@ -809,7 +818,8 @@ mod tests {
                     .with_wall_clock(std::time::Duration::from_millis(50)),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.stopped_on_budget);
         assert!(rep.sweeps_run() < 1_000_000);
     }
@@ -823,7 +833,7 @@ mod tests {
         let b = a.matvec(&x_star);
 
         let mut x_sync = vec![0.0; 300];
-        let sync = rgs_solve(
+        let sync = try_rgs_solve(
             &a,
             &b,
             &mut x_sync,
@@ -833,9 +843,10 @@ mod tests {
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let mut x_async = vec![0.0; 300];
-        let asy = asyrgs_solve(
+        let asy = try_asyrgs_solve(
             &a,
             &b,
             &mut x_async,
@@ -845,7 +856,8 @@ mod tests {
                 term: Termination::sweeps(10),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let ratio = asy.final_rel_residual / sync.final_rel_residual;
         assert!(
             ratio < 20.0,
@@ -869,9 +881,10 @@ mod tests {
             ..Default::default()
         };
         let mut x_seq = RowMajorMat::zeros(n, k);
-        crate::rgs::rgs_solve_block(&a, &b_blk, &mut x_seq, &opts_seq);
+        crate::rgs::try_rgs_solve_block(&a, &b_blk, &mut x_seq, &opts_seq)
+            .unwrap_or_else(|e| panic!("{e}"));
         let mut x_async = RowMajorMat::zeros(n, k);
-        asyrgs_solve_block(
+        try_asyrgs_solve_block(
             &a,
             &b_blk,
             &mut x_async,
@@ -880,7 +893,8 @@ mod tests {
                 term: Termination::sweeps(6),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         for (s, p) in x_seq.as_slice().iter().zip(x_async.as_slice()) {
             assert!((s - p).abs() < 1e-14);
         }
@@ -896,7 +910,7 @@ mod tests {
             b_blk.set_col(t, &col);
         }
         let mut x_blk = RowMajorMat::zeros(150, k);
-        let rep = asyrgs_solve_block(
+        let rep = try_asyrgs_solve_block(
             &a,
             &b_blk,
             &mut x_blk,
@@ -905,7 +919,8 @@ mod tests {
                 term: Termination::sweeps(80),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         // Async interleavings vary run to run — under full-suite load on an
         // oversubscribed core the effective delay can be large, so leave
         // wide slack above the typical ~1e-6.
@@ -922,7 +937,7 @@ mod tests {
         let n = a.n_rows();
         // Start at the exact solution: nothing should change much.
         let mut x = x_star.clone();
-        let rep = asyrgs_solve(
+        let rep = try_asyrgs_solve(
             &a,
             &b,
             &mut x,
@@ -932,7 +947,8 @@ mod tests {
                 term: Termination::sweeps(2),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.final_rel_residual < 1e-12);
         let _ = n;
     }
@@ -942,7 +958,7 @@ mod tests {
         let (a, b, _) = problem(6);
         let n = a.n_rows();
         let mut x = vec![0.0; n];
-        let rep = asyrgs_solve(
+        let rep = try_asyrgs_solve(
             &a,
             &b,
             &mut x,
@@ -952,12 +968,13 @@ mod tests {
                 term: Termination::sweeps(5),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(rep.max_observed_delay, Some(0));
         // Multithreaded: reported (possibly zero under benign scheduling,
         // but present).
         let mut x2 = vec![0.0; n];
-        let rep2 = asyrgs_solve(
+        let rep2 = try_asyrgs_solve(
             &a,
             &b,
             &mut x2,
@@ -967,7 +984,8 @@ mod tests {
                 term: Termination::sweeps(20),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep2.max_observed_delay.is_some());
     }
 
@@ -976,7 +994,7 @@ mod tests {
         let (a, b, x_star) = problem(8);
         let n = a.n_rows();
         let mut x = vec![0.0; n];
-        let rep = asyrgs_solve(
+        let rep = try_asyrgs_solve(
             &a,
             &b,
             &mut x,
@@ -987,7 +1005,8 @@ mod tests {
                 term: Termination::sweeps(150),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         // Full-suite load on an oversubscribed core inflates delays; this
         // checks robust convergence, not a tight tolerance.
         assert!(
@@ -1009,9 +1028,9 @@ mod tests {
             ..Default::default()
         };
         let mut x1 = vec![0.0; n];
-        asyrgs_solve(&a, &b, &mut x1, None, &base);
+        try_asyrgs_solve(&a, &b, &mut x1, None, &base).unwrap_or_else(|e| panic!("{e}"));
         let mut x2 = vec![0.0; n];
-        asyrgs_solve(
+        try_asyrgs_solve(
             &a,
             &b,
             &mut x2,
@@ -1020,7 +1039,8 @@ mod tests {
                 read_mode: ReadMode::LockedConsistent,
                 ..base
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(x1, x2);
     }
 
@@ -1059,7 +1079,7 @@ mod tests {
         let a = CsrMatrix::identity(3);
         let b = vec![1.0; 3];
         let mut x = vec![0.0; 3];
-        asyrgs_solve(
+        try_asyrgs_solve(
             &a,
             &b,
             &mut x,
@@ -1068,7 +1088,8 @@ mod tests {
                 threads: 0,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]
@@ -1077,6 +1098,7 @@ mod tests {
         let a = CsrMatrix::identity(3);
         let b = vec![1.0; 3];
         let mut x = vec![0.0; 2];
-        asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions::default());
+        try_asyrgs_solve(&a, &b, &mut x, None, &AsyRgsOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 }

@@ -413,10 +413,6 @@ pub fn chazan_miranker_condition(a: &CsrMatrix, iters: usize) -> f64 {
 
 #[cfg(test)]
 mod tests {
-    // The legacy free functions stay covered here: these tests double as
-    // regression coverage for the deprecated panicking wrappers.
-    #![allow(deprecated)]
-
     use super::*;
     use asyrgs_workloads::{diag_dominant, laplace2d, tridiag_toeplitz};
 
@@ -467,15 +463,17 @@ mod tests {
         let x_star = vec![1.0; 80];
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 80];
-        let rep = jacobi_solve(
+        let rep = try_jacobi_solve(
             &a,
             &b,
             &mut x,
+            None,
             &JacobiOptions {
                 term: Termination::sweeps(200),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.final_rel_residual < 1e-8, "{}", rep.final_rel_residual);
     }
 
@@ -485,16 +483,18 @@ mod tests {
         let x_star: Vec<f64> = (0..128).map(|i| (i as f64 * 0.3).sin()).collect();
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 128];
-        let rep = async_jacobi_solve(
+        let rep = try_async_jacobi_solve(
             &a,
             &b,
             &mut x,
+            None,
             &JacobiOptions {
                 threads: 4,
                 term: Termination::sweeps(200),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.final_rel_residual < 1e-6, "{}", rep.final_rel_residual);
     }
 
@@ -505,15 +505,17 @@ mod tests {
         let a = diag_dominant(80, 4, 3.0, 9);
         let b = a.matvec(&vec![1.0; 80]);
         let mut x = vec![0.0; 80];
-        let rep = jacobi_solve(
+        let rep = try_jacobi_solve(
             &a,
             &b,
             &mut x,
+            None,
             &JacobiOptions {
                 term: Termination::sweeps(1000).with_target(1e-6),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.converged_early);
         assert!(rep.sweeps_run() < 1000);
         assert!(rep.final_rel_residual <= 1e-6);
@@ -576,28 +578,32 @@ mod tests {
         let b = a.matvec(&x_star);
         let term = Termination::sweeps(30);
         let mut xj = vec![0.0; 100];
-        let jac = jacobi_solve(
+        let jac = try_jacobi_solve(
             &a,
             &b,
             &mut xj,
+            None,
             &JacobiOptions {
                 term: term.clone(),
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let mut xa = vec![0.0; 100];
-        let asy = async_jacobi_solve(
+        let asy = try_async_jacobi_solve(
             &a,
             &b,
             &mut xa,
+            None,
             &JacobiOptions {
                 threads: 1,
                 term,
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(
             asy.final_rel_residual <= jac.final_rel_residual * 1.01,
             "in-place {} vs two-buffer {}",
@@ -614,17 +620,19 @@ mod tests {
         let x_star = vec![1.0; 64];
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 64];
-        let rep = jacobi_solve(
+        let rep = try_jacobi_solve(
             &a,
             &b,
             &mut x,
+            None,
             &JacobiOptions {
                 damping: 0.8,
                 term: Termination::sweeps(500),
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.final_rel_residual < 1e-3);
     }
 
@@ -641,6 +649,7 @@ mod tests {
         let a = CsrMatrix::identity(3);
         let b = vec![1.0; 4];
         let mut x = vec![0.0; 3];
-        jacobi_solve(&a, &b, &mut x, &JacobiOptions::default());
+        try_jacobi_solve(&a, &b, &mut x, None, &JacobiOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 }

@@ -61,8 +61,6 @@ pub mod rgs;
 pub mod theory;
 pub mod workspace;
 
-#[allow(deprecated)]
-pub use asyrgs::{asyrgs_solve, asyrgs_solve_block, asyrgs_solve_block_on, asyrgs_solve_on};
 pub use asyrgs::{
     asyrgs_solve_block_in, asyrgs_solve_in, try_asyrgs_solve, try_asyrgs_solve_block,
     try_asyrgs_solve_block_on, try_asyrgs_solve_on, AsyRgsOptions, ReadMode, WriteMode,
@@ -70,27 +68,19 @@ pub use asyrgs::{
 pub use atomic::{AtomicF64, SharedVec};
 pub use driver::{Driver, Recording, Solver, SolverSpec, Termination};
 pub use error::SolveError;
-#[allow(deprecated)]
-pub use jacobi::{async_jacobi_solve, async_jacobi_solve_on, jacobi_solve};
 pub use jacobi::{
     async_jacobi_solve_in, chazan_miranker_condition, jacobi_solve_in, try_async_jacobi_solve,
     try_async_jacobi_solve_on, try_jacobi_solve, JacobiOptions,
 };
-#[allow(deprecated)]
-pub use lsq::{async_rcd_solve, async_rcd_solve_on, rcd_solve};
 pub use lsq::{
     async_rcd_solve_in, rcd_solve_in, try_async_rcd_solve, try_async_rcd_solve_on, try_rcd_solve,
     LsqOperator, LsqSolveOptions,
 };
-#[allow(deprecated)]
-pub use partitioned::{partitioned_solve, partitioned_solve_on};
 pub use partitioned::{
     partitioned_solve_in, try_partitioned_solve, try_partitioned_solve_on, PartitionedOptions,
     PartitionedReport,
 };
 pub use report::{SolveReport, SweepRecord};
-#[allow(deprecated)]
-pub use rgs::{rgs_solve, rgs_solve_block};
 pub use rgs::{
     rgs_solve_block_in, rgs_solve_in, try_rgs_solve, try_rgs_solve_block, RgsOptions, RowSampling,
 };
@@ -101,8 +91,6 @@ pub use workspace::SolveWorkspace;
 mod property_tests {
     //! Deterministic property tests over a fixed fan of seeds (no
     //! third-party property-test framework in the container).
-
-    #![allow(deprecated)]
 
     use super::*;
     use asyrgs_workloads::diag_dominant;
@@ -117,7 +105,7 @@ mod property_tests {
             let x_star: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
             let b = a.matvec(&x_star);
             let mut x = vec![0.0; n];
-            let rep = rgs_solve(
+            let rep = try_rgs_solve(
                 &a,
                 &b,
                 &mut x,
@@ -128,7 +116,8 @@ mod property_tests {
                     record: Recording::end_only(),
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
             assert!(rep.final_rel_residual < 0.5);
         }
     }
@@ -146,7 +135,7 @@ mod property_tests {
             let x_star: Vec<f64> = (0..n).map(|i| (i as f64 * 0.07).cos()).collect();
             let b = a.matvec(&x_star);
             let mut x = vec![0.0; n];
-            let rep = asyrgs_solve(
+            let rep = try_asyrgs_solve(
                 &a,
                 &b,
                 &mut x,
@@ -162,7 +151,8 @@ mod property_tests {
                     term: Termination::sweeps(120),
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
             // Under full-suite load on an oversubscribed core the effective
             // delay can exceed n, so require robust progress rather than a
             // tight tolerance.

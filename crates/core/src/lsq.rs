@@ -387,10 +387,6 @@ pub fn async_rcd_solve_on(
 
 #[cfg(test)]
 mod tests {
-    // The legacy free functions stay covered here: these tests double as
-    // regression coverage for the deprecated panicking wrappers.
-    #![allow(deprecated)]
-
     use super::*;
     use asyrgs_workloads::{random_lsq, LsqParams};
 
@@ -409,7 +405,7 @@ mod tests {
     fn rcd_drives_consistent_residual_to_zero() {
         let (op, b, _) = problem(0.0, 1);
         let mut x = vec![0.0; op.n_cols()];
-        let rep = rcd_solve(
+        let rep = try_rcd_solve(
             &op,
             &b,
             &mut x,
@@ -417,7 +413,8 @@ mod tests {
                 term: Termination::sweeps(300),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(
             rep.final_rel_residual < 1e-8,
             "residual {}",
@@ -429,7 +426,7 @@ mod tests {
     fn rcd_recovers_planted_solution() {
         let (op, b, x_star) = problem(0.0, 2);
         let mut x = vec![0.0; op.n_cols()];
-        rcd_solve(
+        try_rcd_solve(
             &op,
             &b,
             &mut x,
@@ -437,7 +434,8 @@ mod tests {
                 term: Termination::sweeps(500),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         for (a, w) in x.iter().zip(&x_star) {
             assert!((a - w).abs() < 1e-6, "{a} vs {w}");
         }
@@ -447,7 +445,7 @@ mod tests {
     fn maintained_residual_matches_true_residual() {
         let (op, b, _) = problem(0.05, 3);
         let mut x = vec![0.0; op.n_cols()];
-        let rep = rcd_solve(
+        let rep = try_rcd_solve(
             &op,
             &b,
             &mut x,
@@ -455,7 +453,8 @@ mod tests {
                 term: Termination::sweeps(50),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let true_rel = op.rel_residual(&b, &x);
         let maintained = rep.records.last().unwrap().rel_residual;
         assert!(
@@ -468,7 +467,7 @@ mod tests {
     fn rcd_stops_early_on_target() {
         let (op, b, _) = problem(0.0, 12);
         let mut x = vec![0.0; op.n_cols()];
-        let rep = rcd_solve(
+        let rep = try_rcd_solve(
             &op,
             &b,
             &mut x,
@@ -477,7 +476,8 @@ mod tests {
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.converged_early);
         assert!(rep.sweeps_run() < 1000);
         assert!(rep.final_rel_residual < 1e-5);
@@ -487,7 +487,7 @@ mod tests {
     fn noisy_residual_converges_to_lsq_optimum_not_zero() {
         let (op, b, _) = problem(0.2, 4);
         let mut x = vec![0.0; op.n_cols()];
-        let rep = rcd_solve(
+        let rep = try_rcd_solve(
             &op,
             &b,
             &mut x,
@@ -495,7 +495,8 @@ mod tests {
                 term: Termination::sweeps(400),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         // Residual stalls at the projection distance, strictly above zero.
         assert!(rep.final_rel_residual > 1e-4);
         // And the normal-equations residual A^T(b - Ax) goes to zero.
@@ -518,9 +519,9 @@ mod tests {
             ..Default::default()
         };
         let mut x_seq = vec![0.0; op.n_cols()];
-        rcd_solve(&op, &b, &mut x_seq, &opts);
+        try_rcd_solve(&op, &b, &mut x_seq, &opts).unwrap_or_else(|e| panic!("{e}"));
         let mut x_async = vec![0.0; op.n_cols()];
-        async_rcd_solve(&op, &b, &mut x_async, &opts);
+        try_async_rcd_solve(&op, &b, &mut x_async, &opts).unwrap_or_else(|e| panic!("{e}"));
         for (s, a) in x_seq.iter().zip(&x_async) {
             assert!((s - a).abs() < 1e-10, "{s} vs {a}");
         }
@@ -530,7 +531,7 @@ mod tests {
     fn async_converges_multithreaded() {
         let (op, b, _) = problem(0.0, 6);
         let mut x = vec![0.0; op.n_cols()];
-        let rep = async_rcd_solve(
+        let rep = try_async_rcd_solve(
             &op,
             &b,
             &mut x,
@@ -540,7 +541,8 @@ mod tests {
                 term: Termination::sweeps(300),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(
             rep.final_rel_residual < 1e-6,
             "residual {}",
@@ -577,7 +579,8 @@ mod tests {
         let (op, _, _) = problem(0.0, 8);
         let b = vec![1.0; 2];
         let mut x = vec![0.0; op.n_cols()];
-        rcd_solve(&op, &b, &mut x, &LsqSolveOptions::default());
+        try_rcd_solve(&op, &b, &mut x, &LsqSolveOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]
@@ -585,6 +588,7 @@ mod tests {
     fn rejects_mismatched_x_async() {
         let (op, b, _) = problem(0.0, 9);
         let mut x = vec![0.0; 3];
-        async_rcd_solve(&op, &b, &mut x, &LsqSolveOptions::default());
+        try_async_rcd_solve(&op, &b, &mut x, &LsqSolveOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 }

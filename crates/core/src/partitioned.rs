@@ -277,10 +277,6 @@ impl Solver for PartitionedOptions {
 
 #[cfg(test)]
 mod tests {
-    // The legacy free functions stay covered here: these tests double as
-    // regression coverage for the deprecated panicking wrappers.
-    #![allow(deprecated)]
-
     use super::*;
     use asyrgs_sparse::CsrMatrix;
     use asyrgs_workloads::{diag_dominant, laplace2d};
@@ -298,7 +294,7 @@ mod tests {
         let (a, b, _) = problem(8);
         let n = a.n_rows();
         let mut x = vec![0.0; n];
-        let rep = partitioned_solve(
+        let rep = try_partitioned_solve(
             &a,
             &b,
             &mut x,
@@ -307,7 +303,8 @@ mod tests {
                 term: Termination::sweeps(200),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(
             rep.report.final_rel_residual < 1e-5,
             "{}",
@@ -322,7 +319,7 @@ mod tests {
         let (a, b, _) = problem(10);
         let n = a.n_rows();
         let mut x = vec![0.0; n];
-        let rep = partitioned_solve(
+        let rep = try_partitioned_solve(
             &a,
             &b,
             &mut x,
@@ -331,7 +328,8 @@ mod tests {
                 term: Termination::sweeps(300),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(
             rep.report.final_rel_residual < 1e-4,
             "{}",
@@ -348,7 +346,7 @@ mod tests {
         let x_star = vec![1.0; 120];
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 120];
-        let rep = partitioned_solve(
+        let rep = try_partitioned_solve(
             &a,
             &b,
             &mut x,
@@ -357,7 +355,8 @@ mod tests {
                 term: Termination::sweeps(100),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.report.final_rel_residual < 1e-8);
     }
 
@@ -370,7 +369,7 @@ mod tests {
         let b = a.matvec(&x_star);
         let sweeps = 30;
         let mut xp = vec![0.0; 200];
-        let part = partitioned_solve(
+        let part = try_partitioned_solve(
             &a,
             &b,
             &mut xp,
@@ -379,9 +378,10 @@ mod tests {
                 term: Termination::sweeps(sweeps),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let mut xu = vec![0.0; 200];
-        let full = crate::asyrgs::asyrgs_solve(
+        let full = crate::asyrgs::try_asyrgs_solve(
             &a,
             &b,
             &mut xu,
@@ -391,7 +391,8 @@ mod tests {
                 term: Termination::sweeps(sweeps),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let ratio = part.report.final_rel_residual / full.final_rel_residual;
         assert!(
             ratio < 100.0,
@@ -406,7 +407,7 @@ mod tests {
         let (a, b, _) = problem(8);
         let n = a.n_rows();
         let mut x = vec![0.0; n];
-        let rep = partitioned_solve(
+        let rep = try_partitioned_solve(
             &a,
             &b,
             &mut x,
@@ -415,7 +416,8 @@ mod tests {
                 term: Termination::sweeps(50),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         // No block should be starved entirely.
         for (t, &c) in rep.block_iterations.iter().enumerate() {
             assert!(c > 0, "block {t} starved");
@@ -427,7 +429,7 @@ mod tests {
         let (a, b, _) = problem(8);
         let n = a.n_rows();
         let mut x = vec![0.0; n];
-        let rep = partitioned_solve(
+        let rep = try_partitioned_solve(
             &a,
             &b,
             &mut x,
@@ -437,7 +439,8 @@ mod tests {
                 record: Recording::every(5),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let sweeps: Vec<usize> = rep.report.records.iter().map(|r| r.sweep).collect();
         assert_eq!(sweeps, vec![5, 10, 15, 20]);
     }
@@ -448,7 +451,7 @@ mod tests {
         let a = CsrMatrix::identity(3);
         let b = vec![1.0; 3];
         let mut x = vec![0.0; 3];
-        partitioned_solve(
+        try_partitioned_solve(
             &a,
             &b,
             &mut x,
@@ -456,7 +459,8 @@ mod tests {
                 threads: 5,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]
@@ -465,6 +469,7 @@ mod tests {
         let a = CsrMatrix::identity(3);
         let b = vec![1.0; 1];
         let mut x = vec![0.0; 3];
-        partitioned_solve(&a, &b, &mut x, &PartitionedOptions::default());
+        try_partitioned_solve(&a, &b, &mut x, &PartitionedOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 }

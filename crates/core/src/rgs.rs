@@ -266,17 +266,23 @@ pub fn rgs_solve_block_in(
             let r = ds.direction(j);
             j += 1;
             let (cols, vals) = a.row(r);
-            // gamma_t = (B[r][t] - A_r X[:, t]) / A_rr for each RHS t.
-            gammas.copy_from_slice(b.row(r));
+            // Per RHS t: gamma_t = (B[r][t] - A_r X[:, t]) / A_rr, with the
+            // dot accumulated first and the same association as the
+            // single-RHS kernel (`(b - dot) * dinv`, then `beta * gamma`),
+            // so column t of a block solve is bitwise the single solve on
+            // that column — the contract `solve_many` advertises.
+            gammas.fill(0.0);
             for (&c, &v) in cols.iter().zip(vals) {
                 let xrow = x.row(c);
                 for t in 0..k {
-                    gammas[t] -= v * xrow[t];
+                    gammas[t] += v * xrow[t];
                 }
             }
+            let br = b.row(r);
             let xr = x.row_mut(r);
             for t in 0..k {
-                xr[t] += opts.beta * gammas[t] * dinv[r];
+                let gamma = (br[t] - gammas[t]) * dinv[r];
+                xr[t] += opts.beta * gamma;
             }
         }
         let stop = driver.observe_lazy(sweep, j, || {
@@ -328,10 +334,6 @@ pub fn rgs_solve_block(
 
 #[cfg(test)]
 mod tests {
-    // The legacy free functions stay covered here: these tests double as
-    // regression coverage for the deprecated panicking wrappers.
-    #![allow(deprecated)]
-
     use super::*;
     use asyrgs_workloads::{diag_dominant, laplace2d, tridiag_toeplitz};
 
@@ -342,7 +344,7 @@ mod tests {
         let x_star: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 / 13.0).collect();
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; n];
-        let rep = rgs_solve(
+        let rep = try_rgs_solve(
             &a,
             &b,
             &mut x,
@@ -351,7 +353,8 @@ mod tests {
                 term: Termination::sweeps(200),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(
             rep.final_rel_residual < 1e-6,
             "residual {}",
@@ -371,7 +374,7 @@ mod tests {
         let x_star: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 100];
-        let rep = rgs_solve(
+        let rep = try_rgs_solve(
             &a,
             &b,
             &mut x,
@@ -380,7 +383,8 @@ mod tests {
                 term: Termination::sweeps(30),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let res = rep.residual_series();
         assert!(res[9].1 < res[0].1);
         assert!(res[29].1 < res[9].1);
@@ -392,7 +396,7 @@ mod tests {
         let x_star: Vec<f64> = vec![1.0; 80];
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 80];
-        let rep = rgs_solve(
+        let rep = try_rgs_solve(
             &a,
             &b,
             &mut x,
@@ -401,7 +405,8 @@ mod tests {
                 term: Termination::sweeps(1000).with_target(1e-4),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.converged_early);
         assert!(rep.sweeps_run() < 1000);
         assert!(rep.final_rel_residual <= 1e-4);
@@ -413,7 +418,7 @@ mod tests {
         let a = diag_dominant(80, 4, 2.0, 5);
         let b = a.matvec(&vec![1.0; 80]);
         let mut x = vec![0.0; 80];
-        let rep = rgs_solve(
+        let rep = try_rgs_solve(
             &a,
             &b,
             &mut x,
@@ -424,7 +429,8 @@ mod tests {
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.stopped_on_budget);
         assert!(!rep.converged_early);
         assert_eq!(rep.sweeps_run(), 1);
@@ -438,7 +444,7 @@ mod tests {
         let x_star: Vec<f64> = (0..50).map(|i| i as f64 / 50.0).collect();
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 50];
-        let rep = rgs_solve(
+        let rep = try_rgs_solve(
             &a,
             &b,
             &mut x,
@@ -449,7 +455,8 @@ mod tests {
                 record: Recording::every(50),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(
             rep.final_rel_residual < 1e-6,
             "residual {}",
@@ -467,7 +474,7 @@ mod tests {
         let b = a.matvec(&x_star);
         let run = |beta: f64| {
             let mut x = vec![0.0; n];
-            rgs_solve(
+            try_rgs_solve(
                 &a,
                 &b,
                 &mut x,
@@ -479,6 +486,7 @@ mod tests {
                     ..Default::default()
                 },
             )
+            .unwrap_or_else(|e| panic!("{e}"))
             .final_rel_residual
         };
         assert!(run(1.0) < run(0.2));
@@ -494,11 +502,12 @@ mod tests {
             term: Termination::sweeps(5),
             ..Default::default()
         };
-        rgs_solve(&a, &b, &mut x1, None, &opts);
-        rgs_solve(&a, &b, &mut x2, None, &opts);
+        try_rgs_solve(&a, &b, &mut x1, None, &opts).unwrap_or_else(|e| panic!("{e}"));
+        try_rgs_solve(&a, &b, &mut x2, None, &opts).unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(x1, x2);
         let mut x3 = vec![0.0; 25];
-        rgs_solve(&a, &b, &mut x3, None, &RgsOptions { seed: 1, ..opts });
+        try_rgs_solve(&a, &b, &mut x3, None, &RgsOptions { seed: 1, ..opts })
+            .unwrap_or_else(|e| panic!("{e}"));
         assert_ne!(x1, x3);
     }
 
@@ -518,11 +527,11 @@ mod tests {
         };
         // General-diagonal solve on B.
         let mut y = vec![0.0; 30];
-        rgs_solve(&bmat, &z, &mut y, None, &opts);
+        try_rgs_solve(&bmat, &z, &mut y, None, &opts).unwrap_or_else(|e| panic!("{e}"));
         // Unit-diagonal solve on A with rhs D z.
         let dz = u.rhs_to_unit(&z);
         let mut x = vec![0.0; 30];
-        rgs_solve(&u.a, &dz, &mut x, None, &opts);
+        try_rgs_solve(&u.a, &dz, &mut x, None, &opts).unwrap_or_else(|e| panic!("{e}"));
         let y_from_x = u.solution_to_original(&x);
         for (a, b) in y.iter().zip(&y_from_x) {
             assert!((a - b).abs() < 1e-10, "iterates must match: {a} vs {b}");
@@ -544,9 +553,11 @@ mod tests {
             ..Default::default()
         };
         let mut x_mat = vec![0.0; 40];
-        let rep_mat = rgs_solve(&u.a, &dz, &mut x_mat, None, &opts);
+        let rep_mat =
+            try_rgs_solve(&u.a, &dz, &mut x_mat, None, &opts).unwrap_or_else(|e| panic!("{e}"));
         let mut x_view = vec![0.0; 40];
-        let rep_view = rgs_solve(&view, &dz, &mut x_view, None, &opts);
+        let rep_view =
+            try_rgs_solve(&view, &dz, &mut x_view, None, &opts).unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(x_mat, x_view);
         assert_eq!(rep_mat.final_rel_residual, rep_view.final_rel_residual);
     }
@@ -567,10 +578,10 @@ mod tests {
             ..Default::default()
         };
         let mut x_blk = RowMajorMat::zeros(n, k);
-        rgs_solve_block(&a, &b_blk, &mut x_blk, &opts);
+        try_rgs_solve_block(&a, &b_blk, &mut x_blk, &opts).unwrap_or_else(|e| panic!("{e}"));
         for t in 0..k {
             let mut x = vec![0.0; n];
-            rgs_solve(&a, &b_blk.col(t), &mut x, None, &opts);
+            try_rgs_solve(&a, &b_blk.col(t), &mut x, None, &opts).unwrap_or_else(|e| panic!("{e}"));
             let got = x_blk.col(t);
             for (g, w) in got.iter().zip(&x) {
                 assert!((g - w).abs() < 1e-12, "col {t}: {g} vs {w}");
@@ -585,7 +596,7 @@ mod tests {
         b_blk.set_col(0, &vec![1.0; 40]);
         b_blk.set_col(1, &(0..40).map(|i| i as f64 / 40.0).collect::<Vec<_>>());
         let mut x_blk = RowMajorMat::zeros(40, 2);
-        let rep = rgs_solve_block(
+        let rep = try_rgs_solve_block(
             &a,
             &b_blk,
             &mut x_blk,
@@ -593,7 +604,8 @@ mod tests {
                 term: Termination::sweeps(50),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.final_rel_residual < 1e-4);
         assert_eq!(rep.records.len(), 50);
     }
@@ -614,7 +626,7 @@ mod tests {
         let x_star: Vec<f64> = (0..60).map(|i| (i as f64 * 0.2).sin()).collect();
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 60];
-        let rep = rgs_solve(
+        let rep = try_rgs_solve(
             &a,
             &b,
             &mut x,
@@ -625,7 +637,8 @@ mod tests {
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.final_rel_residual < 1e-2, "{}", rep.final_rel_residual);
     }
 
@@ -641,7 +654,7 @@ mod tests {
         let b = u.a.matvec(&x_star);
         let run = |sampling: RowSampling| {
             let mut x = vec![0.0; n];
-            rgs_solve(
+            try_rgs_solve(
                 &u.a,
                 &b,
                 &mut x,
@@ -653,6 +666,7 @@ mod tests {
                     ..Default::default()
                 },
             )
+            .unwrap_or_else(|e| panic!("{e}"))
             .final_rel_residual
         };
         let ru = run(RowSampling::Uniform);
@@ -668,7 +682,7 @@ mod tests {
         let a = CsrMatrix::identity(3);
         let b = vec![1.0; 3];
         let mut x = vec![0.0; 3];
-        rgs_solve(
+        try_rgs_solve(
             &a,
             &b,
             &mut x,
@@ -677,7 +691,8 @@ mod tests {
                 beta: 2.5,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]
@@ -686,7 +701,8 @@ mod tests {
         let a = CsrMatrix::from_dense(2, 2, &[0.0, 1.0, 1.0, 0.0]);
         let b = vec![1.0; 2];
         let mut x = vec![0.0; 2];
-        rgs_solve(&a, &b, &mut x, None, &RgsOptions::default());
+        try_rgs_solve(&a, &b, &mut x, None, &RgsOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]
@@ -695,6 +711,7 @@ mod tests {
         let a = CsrMatrix::identity(3);
         let b = vec![1.0; 5];
         let mut x = vec![0.0; 3];
-        rgs_solve(&a, &b, &mut x, None, &RgsOptions::default());
+        try_rgs_solve(&a, &b, &mut x, None, &RgsOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 }

@@ -299,10 +299,6 @@ pub fn cg_solve_block(
 
 #[cfg(test)]
 mod tests {
-    // The legacy free functions stay covered here: these tests double as
-    // regression coverage for the deprecated panicking wrappers.
-    #![allow(deprecated)]
-
     use super::*;
     use asyrgs_workloads::{diag_dominant, laplace2d};
 
@@ -313,7 +309,8 @@ mod tests {
         let x_star: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; n];
-        let rep = cg_solve(&a, &b, &mut x, &CgOptions::default());
+        let rep =
+            try_cg_solve(&a, &b, &mut x, &CgOptions::default()).unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.converged_early);
         assert!(rep.final_rel_residual < 1e-9);
         for (g, w) in x.iter().zip(&x_star) {
@@ -329,7 +326,8 @@ mod tests {
         let x_star = vec![1.0; 60];
         let b = a.matvec(&x_star);
         let mut x = vec![0.0; 60];
-        let rep = cg_solve(&a, &b, &mut x, &CgOptions::default());
+        let rep =
+            try_cg_solve(&a, &b, &mut x, &CgOptions::default()).unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.iterations <= 120, "{} iterations", rep.iterations);
     }
 
@@ -338,7 +336,8 @@ mod tests {
         let a = laplace2d(8, 8);
         let b = vec![1.0; 64];
         let mut x = vec![0.0; 64];
-        let rep = cg_solve(&a, &b, &mut x, &CgOptions::default());
+        let rep =
+            try_cg_solve(&a, &b, &mut x, &CgOptions::default()).unwrap_or_else(|e| panic!("{e}"));
         let series = rep.residual_series();
         assert!(series.last().unwrap().1 < series[0].1 * 1e-6);
     }
@@ -352,10 +351,10 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
         let opts = CgOptions::default();
         let mut x1 = vec![0.0; n];
-        let rep1 = cg_solve(&a, &b, &mut x1, &opts);
+        let rep1 = try_cg_solve(&a, &b, &mut x1, &opts).unwrap_or_else(|e| panic!("{e}"));
         let dyn_a: &dyn LinearOperator = &a;
         let mut x2 = vec![0.0; n];
-        let rep2 = cg_solve(dyn_a, &b, &mut x2, &opts);
+        let rep2 = try_cg_solve(dyn_a, &b, &mut x2, &opts).unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(x1, x2);
         assert_eq!(rep1.residual_series(), rep2.residual_series());
         assert_eq!(rep1.final_rel_residual, rep2.final_rel_residual);
@@ -367,7 +366,8 @@ mod tests {
         let x_star: Vec<f64> = (0..36).map(|i| i as f64).collect();
         let b = a.matvec(&x_star);
         let mut x = x_star.clone();
-        let rep = cg_solve(&a, &b, &mut x, &CgOptions::default());
+        let rep =
+            try_cg_solve(&a, &b, &mut x, &CgOptions::default()).unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(rep.iterations, 0);
         assert!(rep.converged_early);
     }
@@ -384,11 +384,12 @@ mod tests {
         }
         let opts = CgOptions::default();
         let mut x_blk = RowMajorMat::zeros(n, k);
-        let rep = cg_solve_block(&a, &b_blk, &mut x_blk, &opts);
+        let rep =
+            try_cg_solve_block(&a, &b_blk, &mut x_blk, &opts).unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.converged_early);
         for t in 0..k {
             let mut x = vec![0.0; n];
-            cg_solve(&a, &b_blk.col(t), &mut x, &opts);
+            try_cg_solve(&a, &b_blk.col(t), &mut x, &opts).unwrap_or_else(|e| panic!("{e}"));
             for (g, w) in x_blk.col(t).iter().zip(&x) {
                 assert!((g - w).abs() < 1e-6, "col {t}: {g} vs {w}");
             }
@@ -408,7 +409,8 @@ mod tests {
         b_blk.set_col(1, &b1);
         let mut x_blk = RowMajorMat::zeros(n, 2);
         x_blk.set_col(0, &x0);
-        let rep = cg_solve_block(&a, &b_blk, &mut x_blk, &CgOptions::default());
+        let rep = try_cg_solve_block(&a, &b_blk, &mut x_blk, &CgOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.converged_early);
         // Column 0 must be untouched (it was converged from the start).
         for (g, w) in x_blk.col(0).iter().zip(&x0) {
@@ -424,7 +426,7 @@ mod tests {
         b_blk.set_col(0, &vec![1.0; n]);
         b_blk.set_col(1, &(0..n).map(|i| i as f64 * 0.1).collect::<Vec<_>>());
         let mut x_blk = RowMajorMat::zeros(n, 2);
-        let rep = cg_solve_block(
+        let rep = try_cg_solve_block(
             &a,
             &b_blk,
             &mut x_blk,
@@ -432,7 +434,8 @@ mod tests {
                 record: Recording::end_only(),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.converged_early);
         // The convergence iteration must appear in the trace.
         assert_eq!(rep.records.len(), 1);
@@ -444,7 +447,7 @@ mod tests {
         let a = laplace2d(12, 12);
         let b = vec![1.0; 144];
         let mut x = vec![0.0; 144];
-        let rep = cg_solve(
+        let rep = try_cg_solve(
             &a,
             &b,
             &mut x,
@@ -452,7 +455,8 @@ mod tests {
                 term: Termination::sweeps(3).with_target(1e-10),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(rep.iterations, 3);
         assert!(!rep.converged_early);
     }
@@ -463,6 +467,6 @@ mod tests {
         let a = laplace2d(3, 3);
         let b = vec![1.0; 7];
         let mut x = vec![0.0; 9];
-        cg_solve(&a, &b, &mut x, &CgOptions::default());
+        try_cg_solve(&a, &b, &mut x, &CgOptions::default()).unwrap_or_else(|e| panic!("{e}"));
     }
 }

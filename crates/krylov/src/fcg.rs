@@ -234,12 +234,8 @@ pub fn fcg_asyrgs_summary(
 
 #[cfg(test)]
 mod tests {
-    // The legacy free functions stay covered here: these tests double as
-    // regression coverage for the deprecated panicking wrappers.
-    #![allow(deprecated)]
-
     use super::*;
-    use crate::cg::{cg_solve, CgOptions};
+    use crate::cg::{try_cg_solve, CgOptions};
     use crate::precond::{AsyRgsPrecond, IdentityPrecond, JacobiPrecond, RgsPrecond};
     use asyrgs_workloads::laplace2d;
 
@@ -256,9 +252,10 @@ mod tests {
         let (a, b, _) = problem(10);
         let n = a.n_rows();
         let mut x_fcg = vec![0.0; n];
-        let rep_fcg = fcg_solve(&a, &b, &mut x_fcg, &IdentityPrecond, &FcgOptions::default());
+        let rep_fcg = try_fcg_solve(&a, &b, &mut x_fcg, &IdentityPrecond, &FcgOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
         let mut x_cg = vec![0.0; n];
-        let rep_cg = cg_solve(
+        let rep_cg = try_cg_solve(
             &a,
             &b,
             &mut x_cg,
@@ -266,7 +263,8 @@ mod tests {
                 term: Termination::sweeps(1000).with_target(1e-8),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep_fcg.converged_early);
         // FCG(1) with the identity preconditioner is mathematically CG;
         // iteration counts match up to roundoff effects.
@@ -285,7 +283,8 @@ mod tests {
         let n = a.n_rows();
         let pre = JacobiPrecond::new(&a);
         let mut x = vec![0.0; n];
-        let rep = fcg_solve(&a, &b, &mut x, &pre, &FcgOptions::default());
+        let rep = try_fcg_solve(&a, &b, &mut x, &pre, &FcgOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.converged_early);
         assert!(rep.final_rel_residual < 1e-7);
     }
@@ -295,16 +294,18 @@ mod tests {
         let (a, b, _) = problem(14);
         let n = a.n_rows();
         let mut x_plain = vec![0.0; n];
-        let plain = fcg_solve(
+        let plain = try_fcg_solve(
             &a,
             &b,
             &mut x_plain,
             &IdentityPrecond,
             &FcgOptions::default(),
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let pre = RgsPrecond::new(&a, 10, 1.0, 5);
         let mut x_pre = vec![0.0; n];
-        let with_pre = fcg_solve(&a, &b, &mut x_pre, &pre, &FcgOptions::default());
+        let with_pre = try_fcg_solve(&a, &b, &mut x_pre, &pre, &FcgOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
         assert!(with_pre.converged_early);
         assert!(
             with_pre.iterations < plain.iterations,
@@ -320,7 +321,8 @@ mod tests {
         let n = a.n_rows();
         let pre = AsyRgsPrecond::new(&a, 5, 2, 1.0, 11);
         let mut x = vec![0.0; n];
-        let rep = fcg_solve(&a, &b, &mut x, &pre, &FcgOptions::default());
+        let rep = try_fcg_solve(&a, &b, &mut x, &pre, &FcgOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
         assert!(
             rep.converged_early,
             "no convergence: {}",
@@ -338,13 +340,14 @@ mod tests {
         let n = a.n_rows();
         let dyn_a: &dyn LinearOperator = &a;
         let mut x = vec![0.0; n];
-        let rep = fcg_solve(
+        let rep = try_fcg_solve(
             dyn_a,
             &b,
             &mut x,
             &JacobiPrecond::new(&a),
             &FcgOptions::default(),
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.converged_early);
     }
 
@@ -381,10 +384,11 @@ mod tests {
         let n = a.n_rows();
         let pre = RgsPrecond::new(&a, 3, 1.0, 7);
         let mut x1 = vec![0.0; n];
-        let f1 = fcg_solve(&a, &b, &mut x1, &pre, &FcgOptions::default());
+        let f1 = try_fcg_solve(&a, &b, &mut x1, &pre, &FcgOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
         let pre2 = RgsPrecond::new(&a, 3, 1.0, 7);
         let mut x2 = vec![0.0; n];
-        let f2 = fcg_solve(
+        let f2 = try_fcg_solve(
             &a,
             &b,
             &mut x2,
@@ -393,7 +397,8 @@ mod tests {
                 truncate: 3,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(f1.converged_early && f2.converged_early);
         // Deeper orthogonalization should not need substantially more
         // iterations (usually fewer or equal).
@@ -411,7 +416,7 @@ mod tests {
         let n = a.n_rows();
         let pre = JacobiPrecond::new(&a);
         let mut x = vec![0.0; n];
-        let rep = fcg_solve(
+        let rep = try_fcg_solve(
             &a,
             &b,
             &mut x,
@@ -420,7 +425,8 @@ mod tests {
                 restart_every: Some(10),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(rep.converged_early);
         assert!(rep.final_rel_residual < 1e-7);
     }
@@ -430,7 +436,7 @@ mod tests {
     fn rejects_zero_truncation() {
         let (a, b, _) = problem(4);
         let mut x = vec![0.0; a.n_rows()];
-        fcg_solve(
+        try_fcg_solve(
             &a,
             &b,
             &mut x,
@@ -439,7 +445,8 @@ mod tests {
                 truncate: 0,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]
@@ -447,7 +454,7 @@ mod tests {
         let (a, b, _) = problem(16);
         let n = a.n_rows();
         let mut x = vec![0.0; n];
-        let rep = fcg_solve(
+        let rep = try_fcg_solve(
             &a,
             &b,
             &mut x,
@@ -456,7 +463,8 @@ mod tests {
                 term: Termination::sweeps(2).with_target(1e-8),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(rep.iterations, 2);
         assert!(!rep.converged_early);
     }
@@ -466,6 +474,7 @@ mod tests {
     fn rejects_mismatched_x() {
         let (a, b, _) = problem(4);
         let mut x = vec![0.0; 5];
-        fcg_solve(&a, &b, &mut x, &IdentityPrecond, &FcgOptions::default());
+        try_fcg_solve(&a, &b, &mut x, &IdentityPrecond, &FcgOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 }

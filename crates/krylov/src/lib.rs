@@ -17,21 +17,14 @@ pub mod cg;
 pub mod fcg;
 pub mod precond;
 
-#[allow(deprecated)]
-pub use cg::{cg_solve, cg_solve_block};
 pub use cg::{cg_solve_in, try_cg_solve, try_cg_solve_block, CgOptions};
-#[allow(deprecated)]
-pub use fcg::fcg_solve;
 pub use fcg::{fcg_asyrgs_summary, fcg_solve_in, try_fcg_solve, FcgOptions, FcgRunSummary};
 pub use precond::{AsyRgsPrecond, IdentityPrecond, JacobiPrecond, Preconditioner, RgsPrecond};
 
 #[cfg(test)]
 mod property_tests {
     //! Deterministic property tests over a fixed fan of seeds (no
-    //! third-party property-test framework in the container). Run through
-    //! the deprecated wrappers on purpose: regression coverage for them.
-
-    #![allow(deprecated)]
+    //! third-party property-test framework in the container).
 
     use super::*;
     use asyrgs_core::driver::Termination;
@@ -45,7 +38,8 @@ mod property_tests {
             let x_star: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).sin()).collect();
             let b = a.matvec(&x_star);
             let mut x = vec![0.0; n];
-            let rep = cg_solve(&a, &b, &mut x, &CgOptions::default());
+            let rep = try_cg_solve(&a, &b, &mut x, &CgOptions::default())
+                .unwrap_or_else(|e| panic!("{e}"));
             assert!(rep.converged_early);
             assert!(rep.final_rel_residual < 1e-9);
         }
@@ -58,7 +52,7 @@ mod property_tests {
             let a = diag_dominant(n, 5, 1.5, seed.wrapping_mul(0x9E37_79B9));
             let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
             let mut x1 = vec![0.0; n];
-            let cg = cg_solve(
+            let cg = try_cg_solve(
                 &a,
                 &b,
                 &mut x1,
@@ -66,10 +60,12 @@ mod property_tests {
                     term: Termination::sweeps(1000).with_target(1e-8),
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
             let pre = JacobiPrecond::new(&a);
             let mut x2 = vec![0.0; n];
-            let f = fcg_solve(&a, &b, &mut x2, &pre, &FcgOptions::default());
+            let f = try_fcg_solve(&a, &b, &mut x2, &pre, &FcgOptions::default())
+                .unwrap_or_else(|e| panic!("{e}"));
             assert!(f.converged_early);
             assert!(f.iterations <= 3 * cg.iterations.max(1));
         }

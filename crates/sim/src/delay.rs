@@ -17,7 +17,7 @@
 //! replicas and compare with the bound.
 
 use asyrgs_rng::{DirectionStream, SplitMix64};
-use asyrgs_sparse::CsrMatrix;
+use asyrgs_sparse::RowAccess;
 
 /// Which read model governs the simulated iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,11 +119,16 @@ struct Update {
 /// where `x_stale` is `x_{k(j)}` (consistent) or `x_{K(j)}` (inconsistent),
 /// reconstructed from the update history.
 ///
+/// Generic over any [`RowAccess`] operator, so a scenario can run either a
+/// materialized [`asyrgs_sparse::UnitDiagonal`] matrix or the zero-copy
+/// [`asyrgs_sparse::UnitDiagonalView`] rescaling wrapper.
+///
 /// # Panics
-/// Panics if the matrix is not square or not (approximately) unit diagonal
-/// — run [`asyrgs_sparse::UnitDiagonal`] first for general SPD input.
-pub fn simulate_delay(
-    a: &CsrMatrix,
+/// Panics if the operator is not square or not (approximately) unit
+/// diagonal — run [`asyrgs_sparse::UnitDiagonal`] (or wrap in a
+/// [`asyrgs_sparse::UnitDiagonalView`]) first for general SPD input.
+pub fn simulate_delay<O: RowAccess + Sync>(
+    a: &O,
     b: &[f64],
     x0: &[f64],
     x_star: &[f64],
@@ -132,7 +137,7 @@ pub fn simulate_delay(
     let n = a.n_rows();
     assert!(a.is_square(), "delay model needs a square matrix");
     assert!(
-        asyrgs_sparse::has_unit_diagonal(a, 1e-9),
+        a.diag().iter().all(|&v| (v - 1.0).abs() <= 1e-9),
         "delay model analyzes the unit-diagonal iteration; rescale first"
     );
     assert_eq!(b.len(), n);
@@ -180,7 +185,7 @@ pub fn simulate_delay(
                 // Subtract contributions of the last u updates.
                 let mut corr = 0.0;
                 for upd in window.iter().rev().take(u) {
-                    let av = a.get(r, upd.idx);
+                    let av = a.row_entry(r, upd.idx);
                     if av != 0.0 {
                         corr += av * upd.delta;
                     }
@@ -198,7 +203,7 @@ pub fn simulate_delay(
                         DelayPolicy::Bernoulli(p) => delay_rng.next_f64() < p,
                     };
                     if exclude {
-                        let av = a.get(r, upd.idx);
+                        let av = a.row_entry(r, upd.idx);
                         if av != 0.0 {
                             corr += av * upd.delta;
                         }
@@ -231,8 +236,8 @@ pub fn simulate_delay(
 ///
 /// Returns `(iteration, mean squared A-norm error)` at the record points of
 /// the option set.
-pub fn expected_error_trajectory(
-    a: &CsrMatrix,
+pub fn expected_error_trajectory<O: RowAccess + Sync>(
+    a: &O,
     b: &[f64],
     x0: &[f64],
     x_star: &[f64],
@@ -265,7 +270,7 @@ pub fn expected_error_trajectory(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asyrgs_sparse::UnitDiagonal;
+    use asyrgs_sparse::{CsrMatrix, UnitDiagonal};
     use asyrgs_workloads::{diag_dominant, laplace2d};
 
     /// Unit-diagonal test problem.

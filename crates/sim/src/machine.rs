@@ -21,7 +21,7 @@
 //! `tau` — the quantity the theory takes as given.
 
 use asyrgs_rng::DirectionStream;
-use asyrgs_sparse::CsrMatrix;
+use asyrgs_sparse::{CsrMatrix, RowAccess};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -106,7 +106,9 @@ impl Ord for InFlight {
 }
 
 /// Event-driven AsyRGS on `p` virtual processors: returns simulated time,
-/// per-sweep convergence, and the observed maximum delay.
+/// per-sweep convergence, and the observed maximum delay. Generic over any
+/// [`RowAccess`] operator, so scenarios backed by
+/// [`asyrgs_sparse::UnitDiagonalView`] run under the machine model too.
 ///
 /// Timing: iteration `j` on processor `q` starts when `q` is free, runs for
 /// `cost_per_iter + cost_per_nnz * nnz(row)`, and commits at the end.
@@ -114,8 +116,8 @@ impl Ord for InFlight {
 /// every update committed up to then — consistent-read semantics with
 /// machine-induced delays) and commits `beta * gamma` at commit time.
 #[allow(clippy::too_many_arguments)]
-pub fn simulate_asyrgs(
-    a: &CsrMatrix,
+pub fn simulate_asyrgs<O: RowAccess + Sync>(
+    a: &O,
     b: &[f64],
     x0: &[f64],
     x_star: &[f64],
@@ -192,7 +194,7 @@ pub fn simulate_asyrgs(
                 if seq < ev.start_commits {
                     break;
                 }
-                let av = a.get(r, idx);
+                let av = a.row_entry(r, idx);
                 if av != 0.0 {
                     dot -= av * delta;
                 }

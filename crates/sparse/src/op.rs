@@ -133,6 +133,21 @@ pub trait RowAccess: LinearOperator {
         self.visit_row(i, |c, v| acc += v * x[c]);
         acc
     }
+
+    /// Stored entry `(i, j)`, or `0.0` when nothing is stored there.
+    ///
+    /// The default scans row `i` in `O(nnz(row))`; backends with cheaper
+    /// lookup (CSR binary search) override it. This is the point-query the
+    /// delay-model executors need to reconstruct stale reads.
+    fn row_entry(&self, i: usize, j: usize) -> f64 {
+        let mut out = 0.0;
+        self.visit_row(i, |c, v| {
+            if c == j {
+                out = v;
+            }
+        });
+        out
+    }
 }
 
 impl LinearOperator for CsrMatrix {
@@ -173,6 +188,10 @@ impl RowAccess for CsrMatrix {
 
     fn row_dot(&self, i: usize, x: &[f64]) -> f64 {
         CsrMatrix::row_dot(self, i, x)
+    }
+
+    fn row_entry(&self, i: usize, j: usize) -> f64 {
+        CsrMatrix::get(self, i, j)
     }
 }
 
@@ -242,6 +261,10 @@ impl<T: RowAccess> RowAccess for &T {
 
     fn row_dot(&self, i: usize, x: &[f64]) -> f64 {
         (**self).row_dot(i, x)
+    }
+
+    fn row_entry(&self, i: usize, j: usize) -> f64 {
+        (**self).row_entry(i, j)
     }
 }
 

@@ -210,6 +210,17 @@ impl RowAccess for UnitDiagonalView<'_> {
     fn row_nnz(&self, i: usize) -> usize {
         self.b.row_nnz(i)
     }
+
+    fn row_entry(&self, i: usize, j: usize) -> f64 {
+        // Same product order as `visit_row`, so point queries stay bitwise
+        // consistent with row iteration.
+        let v = self.b.get(i, j);
+        if v == 0.0 {
+            0.0
+        } else {
+            v * (self.d[i] * self.d[j])
+        }
+    }
 }
 
 #[cfg(test)]

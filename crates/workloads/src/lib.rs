@@ -11,12 +11,17 @@
 //! * [`spd`] — random diagonally dominant and banded SPD matrices.
 //! * [`lsq`] — random sparse overdetermined least-squares instances with
 //!   unit-norm columns (Section 8).
+//! * [`scenarios`] — the scenario corpus: a registry of named,
+//!   deterministic problem families with per-solver-family expectation
+//!   tags, driving the cross-solver conformance matrix and the
+//!   `scenario_runner` benchmark.
 
 #![warn(missing_docs)]
 
 pub mod gram;
 pub mod laplace;
 pub mod lsq;
+pub mod scenarios;
 pub mod spd;
 
 pub use gram::{gram_matrix, skew_stats, GramParams, GramProblem, SkewStats};
@@ -25,6 +30,7 @@ pub use laplace::{
     tridiag_toeplitz_eigenvalues,
 };
 pub use lsq::{random_lsq, LsqParams, LsqProblem};
+pub use scenarios::{BuiltScenario, Expectation, Scenario, ScenarioClass};
 pub use spd::{diag_dominant, random_spd_band};
 
 #[cfg(test)]

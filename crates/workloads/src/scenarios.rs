@@ -1,0 +1,848 @@
+//! The scenario corpus: a registry of named, seeded, deterministic problem
+//! families spanning the breadth of matrix classes the paper's AsyRGS
+//! analysis covers — and a few it pointedly does *not* require (the
+//! Chazan–Miranker near-diagonal-dominance class).
+//!
+//! Every [`Scenario`] carries metadata (dimension, seed, a closed-form
+//! condition-number hint where one exists, and per-solver-family
+//! expectation tags) behind a uniform [`Scenario::build`] API that yields a
+//! [`BuiltScenario`]: the CSR matrix, a right-hand side with (where the
+//! construction permits) a planted exact solution, plus zero-copy
+//! [`UnitDiagonalView`] and small-`n` dense [`RowMajorMat`] backends.
+//!
+//! The tags drive the cross-solver conformance matrix
+//! (`tests/scenario_matrix.rs` in the workspace root) and the
+//! `scenario_runner` bench binary, which emits `BENCH_scenarios.json` —
+//! one record per `scenario x family x backend` cell:
+//!
+//! * [`Expectation::Converges`] — the family must reach
+//!   [`Scenario::tol`] within [`Scenario::sweeps`];
+//! * [`Expectation::Progress`] — the family converges in theory but too
+//!   slowly to budget for (ill-conditioning ladders): assert no blow-up;
+//! * [`Expectation::MayDiverge`] — classical theory does not guarantee
+//!   convergence (e.g. undamped Jacobi beyond the Chazan–Miranker
+//!   condition): the run must complete, the residual may explode;
+//! * [`Expectation::Rejects`] — the family must refuse the problem with a
+//!   typed error (least-squares scenarios vs square-system solvers and
+//!   vice versa).
+//!
+//! # Worked example
+//!
+//! ```
+//! use asyrgs_workloads::scenarios::{self, Expectation};
+//!
+//! let sc = scenarios::find("beyond_chazan_miranker").expect("registered");
+//! let built = sc.build();
+//! assert_eq!(built.n(), sc.n);
+//!
+//! // SPD, so the Gauss-Seidel families must converge...
+//! assert_eq!(sc.expectation("asyrgs"), Expectation::Converges);
+//! // ...but the matrix violates diagonal dominance, so classical chaotic
+//! // relaxation (async Jacobi) has no guarantee:
+//! assert_eq!(sc.expectation("async_jacobi"), Expectation::MayDiverge);
+//!
+//! // Zero-copy unit-diagonal backend for the delay-model executors.
+//! let view = built.unit_view().expect("square SPD");
+//! let b_unit = view.rhs_to_unit(&built.b);
+//! assert_eq!(b_unit.len(), built.n());
+//! ```
+//!
+//! Adding a family is three steps: write a `fn build_xyz(seed: u64) ->
+//! BuiltScenario`, append a `Scenario` literal to [`all_scenarios`], and
+//! tag the solver families it must reject / may diverge on / is too slow
+//! for. The conformance matrix and the benchmark pick it up automatically.
+
+use crate::gram::{gram_matrix, GramParams};
+use crate::laplace::{
+    laplace2d, laplace2d_extreme_eigenvalues, laplace3d, tridiag_toeplitz,
+    tridiag_toeplitz_eigenvalues,
+};
+use crate::lsq::{random_lsq, LsqParams};
+use crate::spd::{diag_dominant, random_spd_band};
+use asyrgs_sparse::{CooBuilder, CsrMatrix, RowMajorMat, UnitDiagonal, UnitDiagonalView};
+use asyrgs_spectral::{estimate_condition, CondOptions};
+
+/// Stable snake_case names of every solver family the session layer
+/// exposes, in registry order (matches `SolverFamily::name()` in the
+/// facade crate).
+pub const FAMILY_NAMES: [&str; 9] = [
+    "rgs",
+    "asyrgs",
+    "jacobi",
+    "async_jacobi",
+    "partitioned",
+    "rcd",
+    "async_rcd",
+    "cg",
+    "fcg",
+];
+
+/// Families that solve least-squares systems (through `solve_lsq`) rather
+/// than square systems.
+pub const LSQ_FAMILY_NAMES: [&str; 2] = ["rcd", "async_rcd"];
+
+/// Largest `n` included in the CI smoke subset ([`smoke_scenarios`]).
+pub const SMOKE_MAX_N: usize = 330;
+
+/// Largest `n` for which [`BuiltScenario::dense`] materializes the dense
+/// backend (dense row visits cost `O(n)` per row).
+pub const DENSE_BACKEND_MAX_N: usize = 100;
+
+/// What kind of system a scenario poses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioClass {
+    /// A square SPD system `A x = b`.
+    SquareSpd,
+    /// An overdetermined least-squares problem `min ||A x - b||_2`.
+    LeastSquares,
+}
+
+/// What a solver family is expected to do on a scenario — the cell
+/// semantics of the conformance matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// Must reach [`Scenario::tol`] within [`Scenario::sweeps`].
+    Converges,
+    /// Converges in theory but too slowly to budget for: assert the run
+    /// completes with a finite residual that has not grown.
+    Progress,
+    /// No classical guarantee: the run must complete, the residual may
+    /// diverge.
+    MayDiverge,
+    /// Must refuse with a typed `SolveError`.
+    Rejects,
+}
+
+impl Expectation {
+    /// Stable lowercase name (used in `BENCH_scenarios.json`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Expectation::Converges => "converges",
+            Expectation::Progress => "progress",
+            Expectation::MayDiverge => "may_diverge",
+            Expectation::Rejects => "rejects",
+        }
+    }
+}
+
+/// A built scenario: the problem data plus the alternative operator
+/// backends.
+#[derive(Debug, Clone)]
+pub struct BuiltScenario {
+    /// The coefficient matrix (square SPD, or rectangular for
+    /// [`ScenarioClass::LeastSquares`]).
+    pub a: CsrMatrix,
+    /// The right-hand side.
+    pub b: Vec<f64>,
+    /// The planted exact solution, where the construction provides one
+    /// (`b = A x_star`; `None` for noisy least-squares instances).
+    pub x_star: Option<Vec<f64>>,
+}
+
+impl BuiltScenario {
+    /// Number of unknowns (columns of `A`).
+    pub fn n(&self) -> usize {
+        self.a.n_cols()
+    }
+
+    /// Stored non-zeros of the coefficient matrix.
+    pub fn nnz(&self) -> usize {
+        self.a.nnz()
+    }
+
+    /// The zero-copy unit-diagonal rescaling backend, for square SPD
+    /// scenarios (`None` for least-squares scenarios).
+    pub fn unit_view(&self) -> Option<UnitDiagonalView<'_>> {
+        UnitDiagonalView::new(&self.a).ok()
+    }
+
+    /// The dense row-major backend, for square scenarios small enough
+    /// ([`DENSE_BACKEND_MAX_N`]) that `O(n)`-per-row visits stay cheap.
+    pub fn dense(&self) -> Option<RowMajorMat> {
+        if self.a.is_square() && self.n() <= DENSE_BACKEND_MAX_N {
+            Some(RowMajorMat::from_vec(
+                self.a.n_rows(),
+                self.a.n_cols(),
+                self.a.to_dense(),
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+/// One named, seeded, deterministic problem family.
+pub struct Scenario {
+    /// Unique snake_case name (the registry key and the JSON `scenario`
+    /// field).
+    pub name: &'static str,
+    /// One-line description of what the family stresses.
+    pub description: &'static str,
+    /// Square SPD vs least squares.
+    pub class: ScenarioClass,
+    /// RNG seed of the construction (scenarios are pure functions of it).
+    pub seed: u64,
+    /// Number of unknowns.
+    pub n: usize,
+    /// Closed-form (or construction-implied) condition number, where one
+    /// exists; use [`Scenario::estimate_kappa`] for the iterative estimate.
+    pub kappa_hint: Option<f64>,
+    /// Relative-residual tolerance a [`Expectation::Converges`] family
+    /// must reach.
+    pub tol: f64,
+    /// Sweep budget within which it must reach it.
+    pub sweeps: usize,
+    /// Families with no classical convergence guarantee here.
+    diverges: &'static [&'static str],
+    /// Families that converge too slowly to budget for.
+    slow: &'static [&'static str],
+    /// The deterministic constructor.
+    build_fn: fn(u64) -> BuiltScenario,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("class", &self.class)
+            .field("n", &self.n)
+            .field("seed", &self.seed)
+            .field("kappa_hint", &self.kappa_hint)
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// Construct the problem. Pure in [`Scenario::seed`]: repeated builds
+    /// are bitwise identical.
+    pub fn build(&self) -> BuiltScenario {
+        let built = (self.build_fn)(self.seed);
+        debug_assert_eq!(built.n(), self.n, "{}: registered n is stale", self.name);
+        built
+    }
+
+    /// What the given solver family (by its stable name) is expected to do
+    /// on this scenario.
+    ///
+    /// Class mismatches dominate the per-scenario tags: least-squares
+    /// scenarios are [`Expectation::Rejects`] for every square-system
+    /// family and vice versa.
+    pub fn expectation(&self, family: &str) -> Expectation {
+        let is_lsq_family = LSQ_FAMILY_NAMES.contains(&family);
+        match self.class {
+            ScenarioClass::LeastSquares if !is_lsq_family => return Expectation::Rejects,
+            ScenarioClass::SquareSpd if is_lsq_family => return Expectation::Rejects,
+            _ => {}
+        }
+        if self.diverges.contains(&family) {
+            Expectation::MayDiverge
+        } else if self.slow.contains(&family) {
+            Expectation::Progress
+        } else {
+            Expectation::Converges
+        }
+    }
+
+    /// Estimate the condition number of the built system with the
+    /// `asyrgs-spectral` iterative estimator (square scenarios; `None` for
+    /// least squares, whose conditioning the LSQ theory takes through
+    /// `A^T A`).
+    pub fn estimate_kappa(&self, built: &BuiltScenario) -> Option<f64> {
+        if !built.a.is_square() {
+            return None;
+        }
+        let est = estimate_condition(
+            &built.a,
+            &CondOptions {
+                seed: self.seed ^ 0xC0DE,
+                ..Default::default()
+            },
+        );
+        Some(est.kappa)
+    }
+}
+
+/// The deterministic planted solution every square scenario uses:
+/// quasi-random in `[-0.3, 0.7)`, a pure function of the index.
+fn planted_x(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i * 13) % 17) as f64 / 17.0 - 0.3)
+        .collect()
+}
+
+/// Square SPD scenario plumbing: plant `x*`, derive `b = A x*`.
+fn with_planted(a: CsrMatrix) -> BuiltScenario {
+    let x_star = planted_x(a.n_rows());
+    let b = a.matvec(&x_star);
+    BuiltScenario {
+        a,
+        b,
+        x_star: Some(x_star),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Constructors
+// ---------------------------------------------------------------------------
+
+fn build_laplace2d_16(_seed: u64) -> BuiltScenario {
+    with_planted(laplace2d(16, 16))
+}
+
+fn build_laplace2d_32(_seed: u64) -> BuiltScenario {
+    with_planted(laplace2d(32, 32))
+}
+
+fn build_laplace3d_8(_seed: u64) -> BuiltScenario {
+    with_planted(laplace3d(8, 8, 8))
+}
+
+fn build_gram_social(seed: u64) -> BuiltScenario {
+    let g = gram_matrix(&GramParams {
+        n_terms: 220,
+        n_docs: 900,
+        max_doc_len: 50,
+        ridge_rel: 1e-2,
+        seed,
+        ..Default::default()
+    });
+    with_planted(g.matrix)
+}
+
+fn build_diag_dominant_easy(seed: u64) -> BuiltScenario {
+    with_planted(diag_dominant(300, 5, 2.5, seed))
+}
+
+fn build_barely_spd(seed: u64) -> BuiltScenario {
+    with_planted(diag_dominant(300, 5, 1.02, seed))
+}
+
+fn build_banded(seed: u64) -> BuiltScenario {
+    with_planted(random_spd_band(320, 4, seed))
+}
+
+fn build_random_sparse_spd(seed: u64) -> BuiltScenario {
+    with_planted(diag_dominant(400, 7, 1.3, seed))
+}
+
+/// Tridiagonal Toeplitz `(2, -off)` rung of the ill-conditioning ladder:
+/// `kappa = (2 + 2 off c1) / (2 - 2 off c1)` with `c1 = cos(pi/(n+1))`.
+fn ladder_rung(n: usize, off: f64) -> BuiltScenario {
+    with_planted(tridiag_toeplitz(n, 2.0, -off))
+}
+
+fn build_kappa_1e2(_seed: u64) -> BuiltScenario {
+    ladder_rung(256, 0.9802)
+}
+
+fn build_kappa_1e4(_seed: u64) -> BuiltScenario {
+    ladder_rung(512, 0.99982)
+}
+
+/// The `~1e6` rung: the 1D biharmonic operator `T^2` (for `T` the 1D
+/// Laplacian), whose condition number is `kappa(T)^2` — quartic in `n`, so
+/// extreme ill-conditioning at a small dimension.
+fn build_kappa_1e6(_seed: u64) -> BuiltScenario {
+    let n = 64;
+    let t = tridiag_toeplitz(n, 2.0, -1.0);
+    let td = t.to_dense();
+    // Dense n^3 product is trivial at n = 64; exact SPD by construction.
+    let mut sq = vec![0.0f64; n * n];
+    for i in 0..n {
+        for l in 0..n {
+            let v = td[i * n + l];
+            if v != 0.0 {
+                for j in 0..n {
+                    sq[i * n + j] += v * td[l * n + j];
+                }
+            }
+        }
+    }
+    with_planted(CsrMatrix::from_dense(n, n, &sq))
+}
+
+/// Exact `kappa` of the tridiagonal ladder rungs from the closed-form
+/// eigenvalues.
+fn tridiag_kappa(n: usize, off: f64) -> f64 {
+    let eigs = tridiag_toeplitz_eigenvalues(n, 2.0, -off);
+    eigs[n - 1] / eigs[0]
+}
+
+/// SPD pentadiagonal Toeplitz with unit diagonal and off-diagonals
+/// `(+o1, +o2)`: for `o1 = 0.4, o2 = 0.2` the symbol
+/// `f(t) = 1 + 0.8 cos t + 0.4 cos 2t = 0.8 c^2 + 0.8 c + 0.6` (with
+/// `c = cos t`) has minimum `0.4 > 0` at `c = -1/2`, so the matrix is SPD —
+/// yet each interior row's off-diagonal magnitude sums to `1.2 > 1`,
+/// violating the Chazan–Miranker diagonal-dominance condition classical
+/// asynchronous theory needs (the Jacobi iteration matrix has spectral
+/// radius `~1.2`).
+fn build_beyond_chazan_miranker(_seed: u64) -> BuiltScenario {
+    let n = 320;
+    let (o1, o2) = (0.4, 0.2);
+    let mut coo = CooBuilder::with_capacity(n, n, 5 * n);
+    for i in 0..n {
+        coo.push(i, i, 1.0).unwrap();
+        if i + 1 < n {
+            coo.push(i, i + 1, o1).unwrap();
+            coo.push(i + 1, i, o1).unwrap();
+        }
+        if i + 2 < n {
+            coo.push(i, i + 2, o2).unwrap();
+            coo.push(i + 2, i, o2).unwrap();
+        }
+    }
+    with_planted(coo.to_csr())
+}
+
+/// The paper's *reference scenario* pre-rescaled to unit diagonal: a
+/// materialized `D B D` of a random banded SPD matrix, so the delay-model
+/// executors accept it directly.
+fn build_reference_unit_diag(seed: u64) -> BuiltScenario {
+    let b = random_spd_band(288, 3, seed);
+    let u = UnitDiagonal::from_spd(&b).expect("banded generator is SPD");
+    with_planted(u.a)
+}
+
+fn build_tall_lsq(seed: u64) -> BuiltScenario {
+    let p = random_lsq(&LsqParams {
+        rows: 600,
+        cols: 150,
+        nnz_per_col: 6,
+        noise: 0.0,
+        seed,
+    });
+    BuiltScenario {
+        a: p.a,
+        b: p.b,
+        x_star: Some(p.x_planted),
+    }
+}
+
+fn build_tall_lsq_noisy(seed: u64) -> BuiltScenario {
+    let p = random_lsq(&LsqParams {
+        rows: 600,
+        cols: 150,
+        nnz_per_col: 6,
+        noise: 0.05,
+        seed,
+    });
+    BuiltScenario {
+        a: p.a,
+        b: p.b,
+        x_star: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Every stationary family: tagged `slow` together on the harsh rungs of
+/// the ill-conditioning ladder (they converge, but at `O(kappa)` sweeps).
+const STATIONARY: &[&str] = &["rgs", "asyrgs", "jacobi", "async_jacobi", "partitioned"];
+
+/// The full scenario registry, in presentation order.
+pub fn all_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "laplace2d_16",
+            description: "2D 5-point Laplacian, 16x16 grid (reference scenario)",
+            class: ScenarioClass::SquareSpd,
+            seed: 0,
+            n: 256,
+            kappa_hint: Some({
+                let (lmin, lmax) = laplace2d_extreme_eigenvalues(16, 16);
+                lmax / lmin
+            }),
+            tol: 1e-2,
+            sweeps: 400,
+            diverges: &[],
+            slow: &[],
+            build_fn: build_laplace2d_16,
+        },
+        Scenario {
+            name: "laplace2d_32",
+            description: "2D 5-point Laplacian, 32x32 grid (larger reference scenario)",
+            class: ScenarioClass::SquareSpd,
+            seed: 0,
+            n: 1024,
+            kappa_hint: Some({
+                let (lmin, lmax) = laplace2d_extreme_eigenvalues(32, 32);
+                lmax / lmin
+            }),
+            tol: 1e-2,
+            sweeps: 800,
+            diverges: &[],
+            slow: &["jacobi", "async_jacobi"],
+            build_fn: build_laplace2d_32,
+        },
+        Scenario {
+            name: "laplace3d_8",
+            description: "3D 7-point Laplacian, 8x8x8 grid",
+            class: ScenarioClass::SquareSpd,
+            seed: 0,
+            n: 512,
+            kappa_hint: None,
+            tol: 1e-3,
+            sweeps: 300,
+            diverges: &[],
+            slow: &[],
+            build_fn: build_laplace3d_8,
+        },
+        Scenario {
+            name: "gram_social",
+            description:
+                "synthetic social-media Gram matrix: skewed rows, unstructured (Section 9)",
+            class: ScenarioClass::SquareSpd,
+            seed: 0x50C1,
+            // 220 terms minus the seed's one never-drawn term (compaction).
+            n: 219,
+            kappa_hint: None,
+            tol: 1e-2,
+            sweeps: 300,
+            // The Gram matrix is far from diagonally dominant: undamped
+            // (async) Jacobi has no Chazan–Miranker guarantee on it.
+            diverges: &["jacobi", "async_jacobi"],
+            slow: &[],
+            build_fn: build_gram_social,
+        },
+        Scenario {
+            name: "diag_dominant_easy",
+            description: "strongly diagonally dominant SPD (the classical easy class)",
+            class: ScenarioClass::SquareSpd,
+            seed: 0xEA5E,
+            n: 300,
+            kappa_hint: None,
+            tol: 1e-6,
+            sweeps: 300,
+            diverges: &[],
+            slow: &[],
+            build_fn: build_diag_dominant_easy,
+        },
+        Scenario {
+            name: "barely_spd",
+            description: "diagonal dominance margin 2%: SPD but near the classical boundary",
+            class: ScenarioClass::SquareSpd,
+            seed: 0xBA2E,
+            n: 300,
+            kappa_hint: None,
+            tol: 1e-2,
+            sweeps: 400,
+            diverges: &[],
+            slow: &[],
+            build_fn: build_barely_spd,
+        },
+        Scenario {
+            name: "banded_b4",
+            description: "random banded SPD, bandwidth 4 (row nnz in [C1, C2], small C2/C1)",
+            class: ScenarioClass::SquareSpd,
+            seed: 0xBA4D,
+            n: 320,
+            kappa_hint: None,
+            tol: 1e-4,
+            sweeps: 300,
+            diverges: &[],
+            slow: &[],
+            build_fn: build_banded,
+        },
+        Scenario {
+            name: "random_sparse_spd",
+            description: "random-sparsity SPD, moderate dominance margin",
+            class: ScenarioClass::SquareSpd,
+            seed: 0x5BAD,
+            n: 400,
+            kappa_hint: None,
+            tol: 1e-3,
+            sweeps: 300,
+            diverges: &[],
+            slow: &[],
+            build_fn: build_random_sparse_spd,
+        },
+        Scenario {
+            name: "kappa_1e2",
+            description: "ill-conditioning ladder: tridiagonal Toeplitz, kappa ~ 1e2",
+            class: ScenarioClass::SquareSpd,
+            seed: 0,
+            n: 256,
+            kappa_hint: Some(tridiag_kappa(256, 0.9802)),
+            tol: 1e-3,
+            sweeps: 600,
+            diverges: &[],
+            slow: &[],
+            build_fn: build_kappa_1e2,
+        },
+        Scenario {
+            name: "kappa_1e4",
+            description: "ill-conditioning ladder: tridiagonal Toeplitz, kappa ~ 1e4",
+            class: ScenarioClass::SquareSpd,
+            seed: 0,
+            n: 512,
+            kappa_hint: Some(tridiag_kappa(512, 0.99982)),
+            tol: 1e-2,
+            sweeps: 800,
+            diverges: &[],
+            slow: STATIONARY,
+            build_fn: build_kappa_1e4,
+        },
+        Scenario {
+            name: "kappa_1e6",
+            description: "ill-conditioning ladder: 1D biharmonic (T^2), kappa ~ 1e6",
+            class: ScenarioClass::SquareSpd,
+            seed: 0,
+            n: 64,
+            kappa_hint: Some(tridiag_kappa(64, 1.0) * tridiag_kappa(64, 1.0)),
+            tol: 1e-2,
+            sweeps: 300,
+            // The biharmonic diagonal is too weak for Jacobi: the
+            // iteration matrix has spectral radius ~5/3, so undamped
+            // (a)synchronous Jacobi genuinely diverges here.
+            diverges: &["jacobi", "async_jacobi"],
+            slow: &["rgs", "asyrgs", "partitioned"],
+            build_fn: build_kappa_1e6,
+        },
+        Scenario {
+            name: "beyond_chazan_miranker",
+            description:
+                "SPD pentadiagonal violating diagonal dominance: AsyRGS converges, chaotic \
+                 relaxation has no guarantee (the paper's headline class)",
+            class: ScenarioClass::SquareSpd,
+            seed: 0,
+            n: 320,
+            // Asymptotic symbol extremes: f in [0.4, 2.2].
+            kappa_hint: Some(5.5),
+            tol: 1e-6,
+            sweeps: 300,
+            diverges: &["jacobi", "async_jacobi"],
+            slow: &[],
+            build_fn: build_beyond_chazan_miranker,
+        },
+        Scenario {
+            name: "reference_unit_diag",
+            description: "banded SPD pre-rescaled to unit diagonal (delay-model ready)",
+            class: ScenarioClass::SquareSpd,
+            seed: 0x0D1A,
+            n: 288,
+            kappa_hint: None,
+            tol: 1e-4,
+            sweeps: 300,
+            diverges: &[],
+            slow: &[],
+            build_fn: build_reference_unit_diag,
+        },
+        Scenario {
+            name: "tall_lsq",
+            description: "consistent sparse least squares, 600x150, unit-norm columns (Section 8)",
+            class: ScenarioClass::LeastSquares,
+            seed: 0x7A11,
+            n: 150,
+            kappa_hint: None,
+            tol: 1e-4,
+            sweeps: 400,
+            diverges: &[],
+            slow: &[],
+            build_fn: build_tall_lsq,
+        },
+        Scenario {
+            name: "tall_lsq_noisy",
+            description: "noisy sparse least squares: nonzero residual floor at the minimizer",
+            class: ScenarioClass::LeastSquares,
+            seed: 0x7A12,
+            n: 150,
+            kappa_hint: None,
+            tol: 1e-4,
+            sweeps: 400,
+            diverges: &[],
+            // The residual floor is the noise level, not `tol`: assert
+            // progress, not tolerance.
+            slow: &["rcd", "async_rcd"],
+            build_fn: build_tall_lsq_noisy,
+        },
+    ]
+}
+
+/// The small-`n` subset CI smoke-runs (`n <= `[`SMOKE_MAX_N`]).
+pub fn smoke_scenarios() -> Vec<Scenario> {
+    all_scenarios()
+        .into_iter()
+        .filter(|s| s.n <= SMOKE_MAX_N)
+        .collect()
+}
+
+/// Look up a scenario by its registered name.
+pub fn find(name: &str) -> Option<Scenario> {
+    all_scenarios().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_unique_and_plentiful() {
+        let all = all_scenarios();
+        assert!(all.len() >= 12, "corpus must stay broad: {}", all.len());
+        let mut names: Vec<&str> = all.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "duplicate scenario names");
+        assert!(smoke_scenarios().len() >= 6, "smoke subset too small");
+        assert!(find("laplace2d_16").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn every_scenario_builds_deterministically_with_registered_shape() {
+        for sc in all_scenarios() {
+            let b1 = sc.build();
+            let b2 = sc.build();
+            assert_eq!(b1.a, b2.a, "{}: build must be pure in the seed", sc.name);
+            assert_eq!(b1.b, b2.b, "{}", sc.name);
+            assert_eq!(b1.n(), sc.n, "{}: stale registered n", sc.name);
+            assert!(b1.nnz() > 0, "{}", sc.name);
+            match sc.class {
+                ScenarioClass::SquareSpd => {
+                    assert!(b1.a.is_square(), "{}", sc.name);
+                    assert!(b1.a.is_symmetric(1e-9), "{}", sc.name);
+                    assert!(b1.a.diag().iter().all(|&d| d > 0.0), "{}", sc.name);
+                    assert!(b1.unit_view().is_some(), "{}", sc.name);
+                }
+                ScenarioClass::LeastSquares => {
+                    assert!(b1.a.n_rows() > b1.a.n_cols(), "{}", sc.name);
+                    assert!(b1.unit_view().is_none(), "{}", sc.name);
+                }
+            }
+            if let Some(xs) = &b1.x_star {
+                // Planted solutions are exact: b = A x*.
+                let r = b1.a.residual(&b1.b, xs);
+                let rel = asyrgs_sparse::dense::norm2(&r)
+                    / asyrgs_sparse::dense::norm2(&b1.b).max(f64::MIN_POSITIVE);
+                assert!(rel < 1e-12, "{}: planted residual {rel}", sc.name);
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_tags_are_class_and_registry_consistent() {
+        for sc in all_scenarios() {
+            for fam in sc.diverges.iter().chain(sc.slow) {
+                assert!(
+                    FAMILY_NAMES.contains(fam),
+                    "{}: unknown family {fam}",
+                    sc.name
+                );
+            }
+            for fam in FAMILY_NAMES {
+                let e = sc.expectation(fam);
+                let is_lsq = LSQ_FAMILY_NAMES.contains(&fam);
+                match sc.class {
+                    ScenarioClass::LeastSquares if !is_lsq => {
+                        assert_eq!(e, Expectation::Rejects, "{}/{fam}", sc.name)
+                    }
+                    ScenarioClass::SquareSpd if is_lsq => {
+                        assert_eq!(e, Expectation::Rejects, "{}/{fam}", sc.name)
+                    }
+                    _ => assert_ne!(e, Expectation::Rejects, "{}/{fam}", sc.name),
+                }
+            }
+        }
+        // The matrix must contain at least one expected-divergence cell —
+        // the paper's point needs a counterexample class in the corpus.
+        assert!(all_scenarios().iter().any(|s| FAMILY_NAMES
+            .iter()
+            .any(|f| s.expectation(f) == Expectation::MayDiverge)));
+    }
+
+    #[test]
+    fn ladder_kappa_hints_are_honest() {
+        // The mild rung is within the iterative estimator's resolution:
+        // closed-form hint and estimate must agree.
+        {
+            let sc = find("kappa_1e2").unwrap();
+            let built = sc.build();
+            let hint = sc.kappa_hint.unwrap();
+            let est = sc.estimate_kappa(&built).unwrap();
+            assert!(
+                (est - hint).abs() / hint < 0.05,
+                "kappa_1e2: estimated {est:.3e} vs hint {hint:.3e}"
+            );
+        }
+        // The 1e6 rung is beyond shifted-power resolution; validate the
+        // hint against the exact extreme eigenvectors of T^2 instead
+        // (v_k[i] = sin(k pi i / (n+1)) with eigenvalue mu_k^2).
+        {
+            let sc = find("kappa_1e6").unwrap();
+            let built = sc.build();
+            let n = built.n();
+            let hint = sc.kappa_hint.unwrap();
+            let rq = |k: usize| {
+                let v: Vec<f64> = (1..=n)
+                    .map(|i| (k as f64 * i as f64 * std::f64::consts::PI / (n as f64 + 1.0)).sin())
+                    .collect();
+                built.a.a_norm_sq(&v) / v.iter().map(|x| x * x).sum::<f64>()
+            };
+            let measured = rq(n) / rq(1);
+            assert!(
+                (measured - hint).abs() / hint < 1e-6,
+                "kappa_1e6: Rayleigh {measured:.6e} vs hint {hint:.6e}"
+            );
+        }
+        // And the rungs must actually be a ladder.
+        let k2 = find("kappa_1e2").unwrap().kappa_hint.unwrap();
+        let k4 = find("kappa_1e4").unwrap().kappa_hint.unwrap();
+        let k6 = find("kappa_1e6").unwrap().kappa_hint.unwrap();
+        assert!((50.0..500.0).contains(&k2), "{k2}");
+        assert!((3e3..5e4).contains(&k4), "{k4}");
+        assert!(k6 > 5e5, "{k6}");
+    }
+
+    #[test]
+    fn beyond_chazan_miranker_violates_dominance_but_is_spd() {
+        let built = find("beyond_chazan_miranker").unwrap().build();
+        let a = &built.a;
+        // Interior rows: |off-diagonal| sums to 1.2 > diag = 1.
+        let mut violations = 0;
+        for i in 0..a.n_rows() {
+            let (cols, vals) = a.row(i);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == i {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            if off > diag {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations > a.n_rows() / 2,
+            "only {violations} rows violate dominance"
+        );
+        // SPD: positive Rayleigh quotients on a deterministic fan.
+        for phase in 0..5 {
+            let x: Vec<f64> = (0..a.n_rows())
+                .map(|i| ((i * (2 * phase + 3)) % 11) as f64 - 5.0)
+                .collect();
+            assert!(a.a_norm_sq(&x) > 0.0, "phase {phase}");
+        }
+    }
+
+    #[test]
+    fn dense_backend_only_materializes_when_small() {
+        let small = find("kappa_1e6").unwrap().build();
+        let dense = small.dense().expect("n = 64 has a dense backend");
+        assert_eq!(dense.n_rows(), 64);
+        let big = find("laplace2d_32").unwrap().build();
+        assert!(big.dense().is_none(), "n = 1024 must not densify");
+        let lsq = find("tall_lsq").unwrap().build();
+        assert!(lsq.dense().is_none(), "rectangular must not densify");
+    }
+
+    #[test]
+    fn reference_unit_diag_is_delay_model_ready() {
+        let built = find("reference_unit_diag").unwrap().build();
+        assert!(asyrgs_sparse::has_unit_diagonal(&built.a, 1e-12));
+    }
+}

@@ -9,6 +9,13 @@
 //! Run: `cargo run --release --example fingerprint`
 #![allow(deprecated)]
 
+use asyrgs::core::asyrgs::{asyrgs_solve, asyrgs_solve_block};
+use asyrgs::core::jacobi::{async_jacobi_solve, jacobi_solve};
+use asyrgs::core::lsq::{async_rcd_solve, rcd_solve};
+use asyrgs::core::partitioned::partitioned_solve;
+use asyrgs::core::rgs::{rgs_solve, rgs_solve_block};
+use asyrgs::krylov::cg::cg_solve;
+use asyrgs::krylov::fcg::fcg_solve;
 use asyrgs::prelude::*;
 use asyrgs::workloads::{diag_dominant, laplace2d, random_lsq, LsqParams};
 

@@ -96,6 +96,20 @@ pub enum SolverFamily {
 }
 
 impl SolverFamily {
+    /// Every solver family, in registry order (matches
+    /// `asyrgs_workloads::scenarios::FAMILY_NAMES`).
+    pub const ALL: [SolverFamily; 9] = [
+        SolverFamily::Rgs,
+        SolverFamily::AsyRgs,
+        SolverFamily::Jacobi,
+        SolverFamily::AsyncJacobi,
+        SolverFamily::Partitioned,
+        SolverFamily::Rcd,
+        SolverFamily::AsyncRcd,
+        SolverFamily::Cg,
+        SolverFamily::Fcg,
+    ];
+
     /// Stable snake_case name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -109,6 +123,12 @@ impl SolverFamily {
             SolverFamily::Cg => "cg",
             SolverFamily::Fcg => "fcg",
         }
+    }
+
+    /// The family for a stable name from [`name`](Self::name) — the
+    /// single reverse map the scenario matrix and benchmark use.
+    pub fn from_name(name: &str) -> Option<SolverFamily> {
+        SolverFamily::ALL.into_iter().find(|f| f.name() == name)
     }
 
     /// Whether this family runs worker threads (and therefore needs a

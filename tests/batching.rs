@@ -1,0 +1,139 @@
+//! `solve_many` contract: for every solver family, the multi-RHS batch
+//! must produce **bitwise** the same iterates as the corresponding
+//! sequence of single `solve` calls on fresh sessions.
+//!
+//! For the looped families this pins the workspace-reuse path; for the
+//! Gauss-Seidel families (which batch into one block solve sharing a
+//! single direction stream) it pins the block kernels to the single-RHS
+//! arithmetic: same dot accumulation order, same
+//! `(b - dot) * dinv` / `beta * gamma` association. One thread for the
+//! asynchronous families, so the interleaving is deterministic.
+
+mod common;
+
+use asyrgs::prelude::*;
+use asyrgs::session::{SolverBuilder, SolverFamily};
+
+/// Three right-hand sides over the canonical Laplacian problem.
+fn rhs_fan(n: usize) -> Vec<Vec<f64>> {
+    let base = common::planted_x(n);
+    vec![
+        base.iter().map(|v| v * 2.0 - 0.5).collect(),
+        (0..n).map(|i| ((i * 7) % 11) as f64 - 5.0).collect(),
+        vec![1.0; n],
+    ]
+}
+
+fn builder(family: SolverFamily) -> SolverBuilder {
+    SolverBuilder::new(family)
+        .threads(1)
+        .term(Termination::sweeps(12))
+        .record(Recording::every(3))
+}
+
+#[test]
+fn solve_many_is_bitwise_a_sequence_of_single_solves() {
+    let (a, _, _) = common::laplace_problem(7);
+    let n = a.n_rows();
+    let bs = rhs_fan(n);
+    for family in [
+        SolverFamily::Rgs,
+        SolverFamily::AsyRgs,
+        SolverFamily::Jacobi,
+        SolverFamily::AsyncJacobi,
+        SolverFamily::Partitioned,
+        SolverFamily::Cg,
+        SolverFamily::Fcg,
+    ] {
+        // Batched through one session.
+        let mut batch = builder(family).build().unwrap();
+        let mut xs: Vec<Vec<f64>> = vec![vec![0.0; n]; bs.len()];
+        {
+            let b_refs: Vec<&[f64]> = bs.iter().map(|b| b.as_slice()).collect();
+            let mut x_refs: Vec<&mut [f64]> = xs.iter_mut().map(|x| x.as_mut_slice()).collect();
+            let reports = batch.solve_many(&a, &b_refs, &mut x_refs).unwrap();
+            assert_eq!(reports.len(), bs.len());
+        }
+        // The same systems as single solves on fresh sessions.
+        for (t, b) in bs.iter().enumerate() {
+            let mut single = builder(family).build().unwrap();
+            let mut x = vec![0.0; n];
+            single.solve(&a, b, &mut x).unwrap();
+            assert_eq!(
+                xs[t],
+                x,
+                "{}: batched rhs {t} is not bitwise the single solve",
+                family.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn solve_many_final_residuals_are_per_system() {
+    // The per-system reports of a batched RGS solve must carry each
+    // column's own final residual, recomputed from the caller's data —
+    // not the aggregate Frobenius figure.
+    let (a, _, _) = common::laplace_problem(6);
+    let n = a.n_rows();
+    let bs = rhs_fan(n);
+    let mut session = builder(SolverFamily::Rgs).build().unwrap();
+    let mut xs: Vec<Vec<f64>> = vec![vec![0.0; n]; bs.len()];
+    let b_refs: Vec<&[f64]> = bs.iter().map(|b| b.as_slice()).collect();
+    let mut x_refs: Vec<&mut [f64]> = xs.iter_mut().map(|x| x.as_mut_slice()).collect();
+    let reports = session.solve_many(&a, &b_refs, &mut x_refs).unwrap();
+    for (t, rep) in reports.iter().enumerate() {
+        let want = LinearOperator::rel_residual(&a, &bs[t], &xs[t]);
+        assert_eq!(
+            rep.final_rel_residual.to_bits(),
+            want.to_bits(),
+            "rhs {t}: report residual is not the per-system figure"
+        );
+    }
+}
+
+#[test]
+fn batched_lsq_families_still_reject() {
+    let (a, _, _) = common::laplace_problem(4);
+    let n = a.n_rows();
+    let b = vec![1.0; n];
+    for family in [SolverFamily::Rcd, SolverFamily::AsyncRcd] {
+        let mut session = builder(family).build().unwrap();
+        let mut x = vec![common::SENTINEL; n];
+        let err = session
+            .solve_many(&a, &[&b], &mut [&mut x[..]])
+            .unwrap_err();
+        assert!(
+            matches!(err, SolveError::MethodMismatch { .. }),
+            "{}: {err:?}",
+            family.name()
+        );
+        assert!(common::untouched(&x), "{}", family.name());
+    }
+}
+
+#[test]
+fn batching_scenario_corpus_systems_matches_singles() {
+    // The same bitwise contract on a corpus matrix with very different
+    // structure (skewed unstructured Gram) for the two block families.
+    let sc = asyrgs::workloads::scenarios::find("gram_social").expect("registered");
+    let built = sc.build();
+    let n = built.n();
+    let b2: Vec<f64> = built.b.iter().map(|v| -0.5 * v).collect();
+    for family in [SolverFamily::Rgs, SolverFamily::AsyRgs] {
+        let mut batch = builder(family).build().unwrap();
+        let mut x1 = vec![0.0; n];
+        let mut x2 = vec![0.0; n];
+        batch
+            .solve_many(&built.a, &[&built.b, &b2], &mut [&mut x1[..], &mut x2[..]])
+            .unwrap();
+        let mut s1 = builder(family).build().unwrap();
+        let mut y1 = vec![0.0; n];
+        s1.solve(&built.a, &built.b, &mut y1).unwrap();
+        let mut s2 = builder(family).build().unwrap();
+        let mut y2 = vec![0.0; n];
+        s2.solve(&built.a, &b2, &mut y2).unwrap();
+        assert_eq!(x1, y1, "{}: rhs 0", family.name());
+        assert_eq!(x2, y2, "{}: rhs 1", family.name());
+    }
+}

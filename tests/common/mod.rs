@@ -1,0 +1,57 @@
+//! Shared test utilities for the workspace-level integration suites: the
+//! sentinel/untouched-output contract helpers, the canonical planted
+//! solutions, and the standard seeds and tolerances that used to be
+//! re-declared per test file.
+//!
+//! Each integration test binary compiles its own copy and uses a subset,
+//! hence the file-wide `dead_code` allowance.
+
+#![allow(dead_code)]
+
+use asyrgs::sparse::CsrMatrix;
+use asyrgs::workloads::{diag_dominant, laplace2d};
+
+/// Sentinel value pre-loaded into every output buffer of a rejection test;
+/// any mutation on a rejected solve trips [`untouched`].
+pub const SENTINEL: f64 = 7.25;
+
+/// The canonical generator seed shared by the integration suites.
+pub const TEST_SEED: u64 = 1;
+
+/// Tolerance for deterministic sequential solves with a generous budget.
+pub const SEQ_TOL: f64 = 1e-6;
+
+/// Loose tolerance for asynchronous families: interleavings vary run to
+/// run, and under full-suite load on an oversubscribed core the effective
+/// delay can be large, so require robust progress rather than tightness.
+pub const ASYNC_TOL: f64 = 1e-2;
+
+/// Whether a rejected solve honoured the untouched-output contract.
+pub fn untouched(x: &[f64]) -> bool {
+    x.iter().all(|&v| v == SENTINEL)
+}
+
+/// The canonical planted solution of the integration suites:
+/// quasi-random in `[0, 1)`, a pure function of the index (the session
+/// unit tests' pattern; the scenario corpus uses the same sequence
+/// shifted by `-0.3`).
+pub fn planted_x(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 13) % 17) as f64 / 17.0).collect()
+}
+
+/// 2D Laplacian problem with the canonical planted solution:
+/// `(A, b, x_star)` with `b = A x_star`.
+pub fn laplace_problem(side: usize) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+    let a = laplace2d(side, side);
+    let x_star = planted_x(a.n_rows());
+    let b = a.matvec(&x_star);
+    (a, b, x_star)
+}
+
+/// Strongly diagonally dominant SPD system on the canonical seed:
+/// `(A, b)` with `b = A * ones`.
+pub fn spd_problem(n: usize) -> (CsrMatrix, Vec<f64>) {
+    let a = diag_dominant(n, 3, 2.0, TEST_SEED);
+    let b = a.matvec(&vec![1.0; n]);
+    (a, b)
+}

@@ -2,6 +2,8 @@
 //! the fixed-direction-set property (paper Section 9's Random123 usage),
 //! machine-simulator determinism, and seed sensitivity.
 
+mod common;
+
 use asyrgs::prelude::*;
 use asyrgs::rng::{DirectionStream, Philox4x32};
 use asyrgs::sim::{simulate_asyrgs, simulate_delay, DelaySimOptions, MachineModel};
@@ -26,9 +28,9 @@ fn direction_set_identical_across_consumers() {
 
 #[test]
 fn sequential_solvers_bitwise_reproducible() {
-    let a = laplace2d(10, 10);
+    let (a, b, _) = common::laplace_problem(10);
     let n = a.n_rows();
-    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+    assert_eq!(n, 100);
     let opts = RgsOptions {
         term: Termination::sweeps(12),
         record: Recording::every(3),
@@ -44,9 +46,8 @@ fn sequential_solvers_bitwise_reproducible() {
 
 #[test]
 fn asyrgs_single_thread_bitwise_reproducible() {
-    let a = laplace2d(8, 8);
+    let (a, b, _) = common::laplace_problem(8);
     let n = a.n_rows();
-    let b = vec![1.0; n];
     let opts = AsyRgsOptions {
         threads: 1,
         term: Termination::sweeps(10),
@@ -111,6 +112,14 @@ fn delay_sim_and_machine_sim_fully_deterministic() {
     let t1 = simulate_delay(&u.a, &b, &x0, &x_star, &d_opts);
     let t2 = simulate_delay(&u.a, &b, &x0, &x_star, &d_opts);
     assert_eq!(t1.x, t2.x);
+
+    // The zero-copy rescaling backend must reproduce the materialized
+    // matrix bitwise under the delay model too (the executors are generic
+    // over `RowAccess`).
+    let view = UnitDiagonalView::new(&raw).unwrap();
+    let t3 = simulate_delay(&view, &b, &x0, &x_star, &d_opts);
+    assert_eq!(t1.x, t3.x);
+    assert_eq!(t1.errors, t3.errors);
 
     let m = MachineModel::default();
     let r1 = simulate_asyrgs(&u.a, &b, &x0, &x_star, &m, 8, 10, 1.0, 5);

@@ -1,6 +1,8 @@
 //! End-to-end integration: workload generation -> spectral estimation ->
 //! solve -> verify, across every crate in the workspace.
 
+mod common;
+
 use asyrgs::prelude::*;
 use asyrgs::spectral::{estimate_condition, CondOptions};
 use asyrgs::workloads::{gram_matrix, GramParams};
@@ -108,7 +110,7 @@ fn asyrgs_solution_agrees_with_cg_solution() {
     // Both solvers must converge to the same x* (CG tight, AsyRGS looser).
     let g = gram();
     let n = g.n_rows();
-    let x_true: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) / 17.0 - 0.3).collect();
+    let x_true = common::planted_x(n);
     let b = g.matvec(&x_true);
 
     let mut x_cg = vec![0.0; n];

@@ -4,16 +4,15 @@
 //! makes the fallible API safe to use as a service boundary (a rejected
 //! request must not corrupt a caller-owned buffer).
 
+mod common;
+
 use asyrgs::prelude::*;
+use common::{untouched, SENTINEL};
 
-/// Sentinel value pre-loaded into every output buffer; any mutation on a
-/// rejected solve trips the assertion.
-const SENTINEL: f64 = 7.25;
-
+/// Strongly dominant SPD fixture (shared with the other suites through
+/// `tests/common`).
 fn spd(n: usize) -> (CsrMatrix, Vec<f64>) {
-    let a = asyrgs::workloads::diag_dominant(n, 3, 2.0, 1);
-    let b = a.matvec(&vec![1.0; n]);
-    (a, b)
+    common::spd_problem(n)
 }
 
 /// A square matrix with a zero diagonal entry (violates both the
@@ -30,10 +29,6 @@ fn negative_diag_matrix() -> CsrMatrix {
 
 fn empty_matrix() -> CsrMatrix {
     CsrMatrix::from_dense(0, 0, &[])
-}
-
-fn untouched(x: &[f64]) -> bool {
-    x.iter().all(|&v| v == SENTINEL)
 }
 
 fn lsq_op() -> (LsqOperator, Vec<f64>) {

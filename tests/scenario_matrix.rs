@@ -1,0 +1,299 @@
+//! The cross-solver conformance matrix: every registered scenario of the
+//! corpus (`asyrgs_workloads::scenarios`) against every solver family the
+//! session layer exposes, across the CSR, zero-copy unit-diagonal-view,
+//! and (small-`n`) dense operator backends.
+//!
+//! Cell semantics come from the scenario's expectation tags:
+//!
+//! * `Converges` — must reach the scenario tolerance within its budget;
+//! * `Progress` — must complete with a finite, non-increased residual
+//!   (ill-conditioning ladders and noisy least squares);
+//! * `MayDiverge` — must complete without panicking; the residual may
+//!   explode (undamped Jacobi beyond the Chazan–Miranker condition);
+//! * `Rejects` — must refuse with a typed `SolveError`, leaving the
+//!   output buffer bitwise untouched.
+//!
+//! Set `ASYRGS_SCENARIO_SMOKE=1` to restrict to the small-`n` subset (the
+//! CI smoke job runs that under 1- and 2-wide global pools).
+
+mod common;
+
+use asyrgs::prelude::*;
+use asyrgs::session::{SolverBuilder, SolverFamily};
+use asyrgs::workloads::scenarios::{
+    all_scenarios, smoke_scenarios, Expectation, Scenario, ScenarioClass, FAMILY_NAMES,
+};
+use common::SENTINEL;
+
+fn scenarios_under_test() -> Vec<Scenario> {
+    if std::env::var("ASYRGS_SCENARIO_SMOKE").as_deref() == Ok("1") {
+        smoke_scenarios()
+    } else {
+        all_scenarios()
+    }
+}
+
+fn family_of(name: &str) -> SolverFamily {
+    SolverFamily::from_name(name).unwrap_or_else(|| panic!("unknown family {name}"))
+}
+
+/// Drive one cell through the session layer and assert its expectation.
+fn run_and_assert_cell<O: RowAccess + Sync>(
+    sc: &Scenario,
+    family_name: &str,
+    backend: &str,
+    a: &O,
+    b: &[f64],
+    lsq_op: Option<&LsqOperator>,
+) {
+    let family = family_of(family_name);
+    let mut session = SolverBuilder::new(family)
+        .threads(2)
+        .term(Termination::sweeps(sc.sweeps).with_target(sc.tol * 0.5))
+        .record(Recording::every(4))
+        .build()
+        .unwrap_or_else(|e| panic!("{}/{family_name}: bad config: {e}", sc.name));
+    let mut x = vec![SENTINEL; a.n_cols()];
+    let is_lsq_family = matches!(family, SolverFamily::Rcd | SolverFamily::AsyncRcd);
+    let result = match (lsq_op, is_lsq_family) {
+        (Some(op), true) => {
+            x.fill(0.0);
+            session.solve_lsq(op, b, &mut x)
+        }
+        _ => {
+            // `solve` validates before touching x, so the rejection cells
+            // can additionally assert the untouched-output contract.
+            let expect_reject = sc.expectation(family_name) == Expectation::Rejects;
+            if !expect_reject {
+                x.fill(0.0);
+            }
+            session.solve(a, b, &mut x)
+        }
+    };
+
+    let cell = format!("{}/{family_name}/{backend}", sc.name);
+    match sc.expectation(family_name) {
+        Expectation::Converges => {
+            let rep = result.unwrap_or_else(|e| panic!("{cell}: rejected: {e}"));
+            assert!(
+                rep.final_rel_residual <= sc.tol,
+                "{cell}: residual {} above tolerance {}",
+                rep.final_rel_residual,
+                sc.tol
+            );
+        }
+        Expectation::Progress => {
+            let rep = result.unwrap_or_else(|e| panic!("{cell}: rejected: {e}"));
+            assert!(
+                rep.final_rel_residual.is_finite() && rep.final_rel_residual <= 1.0 + 1e-9,
+                "{cell}: expected progress, residual {}",
+                rep.final_rel_residual
+            );
+        }
+        Expectation::MayDiverge => {
+            // The run must complete (no panic, typed success), whatever
+            // the residual did.
+            let rep = result.unwrap_or_else(|e| panic!("{cell}: rejected: {e}"));
+            assert!(rep.iterations > 0, "{cell}: no work performed");
+        }
+        Expectation::Rejects => {
+            let err = match result {
+                Err(e) => e,
+                Ok(rep) => panic!(
+                    "{cell}: expected a typed rejection, solver returned residual {}",
+                    rep.final_rel_residual
+                ),
+            };
+            assert!(
+                matches!(
+                    err,
+                    SolveError::DimensionMismatch { .. } | SolveError::MethodMismatch { .. }
+                ),
+                "{cell}: unexpected error variant {err:?}"
+            );
+            assert!(
+                common::untouched(&x),
+                "{cell}: rejected solve mutated the output buffer"
+            );
+        }
+    }
+}
+
+/// The headline test: every scenario x every family on the CSR backend,
+/// including the expected-rejection and expected-divergence cells.
+#[test]
+fn conformance_matrix_csr_backend() {
+    for sc in scenarios_under_test() {
+        let built = sc.build();
+        let lsq_op = match sc.class {
+            ScenarioClass::LeastSquares => Some(LsqOperator::new(built.a.clone())),
+            ScenarioClass::SquareSpd => None,
+        };
+        for family in FAMILY_NAMES {
+            run_and_assert_cell(&sc, family, "csr", &built.a, &built.b, lsq_op.as_ref());
+        }
+    }
+}
+
+/// Every square scenario again through the zero-copy unit-diagonal view:
+/// the rescaled system `(D A D) x = D b` must satisfy the same
+/// expectations (the rescaling preserves SPD-ness and conditioning up to
+/// the diagonal).
+#[test]
+fn conformance_matrix_unit_view_backend() {
+    for sc in scenarios_under_test() {
+        let built = sc.build();
+        let Some(view) = built.unit_view() else {
+            assert_eq!(sc.class, ScenarioClass::LeastSquares, "{}", sc.name);
+            continue;
+        };
+        let b_unit = view.rhs_to_unit(&built.b);
+        for family in FAMILY_NAMES {
+            run_and_assert_cell(&sc, family, "unit_view", &view, &b_unit, None);
+        }
+    }
+}
+
+/// Small square scenarios once more through the dense `RowMajorMat`
+/// backend — the same matrix, a completely different storage layout.
+#[test]
+fn conformance_matrix_dense_backend() {
+    let mut covered = 0;
+    for sc in scenarios_under_test() {
+        let built = sc.build();
+        let Some(dense) = built.dense() else { continue };
+        for family in FAMILY_NAMES {
+            run_and_assert_cell(&sc, family, "dense", &dense, &built.b, None);
+        }
+        covered += 1;
+    }
+    assert!(covered >= 1, "no scenario exercised the dense backend");
+}
+
+/// The view backend is not merely "also converges": driven through the
+/// session layer it must reproduce the materialized `D A D` matrix
+/// bitwise (same arithmetic, same direction stream).
+#[test]
+fn unit_view_backend_matches_materialized_rescaling_bitwise() {
+    let sc = asyrgs::workloads::scenarios::find("banded_b4").expect("registered");
+    let built = sc.build();
+    let u = UnitDiagonal::from_spd(&built.a).expect("SPD");
+    let view = built.unit_view().expect("square SPD");
+    let b_unit = view.rhs_to_unit(&built.b);
+    for family in [SolverFamily::Rgs, SolverFamily::Cg] {
+        let mut s1 = SolverBuilder::new(family)
+            .term(Termination::sweeps(40))
+            .build()
+            .unwrap();
+        let mut x_mat = vec![0.0; built.n()];
+        let r_mat = s1.solve(&u.a, &b_unit, &mut x_mat).unwrap();
+        let mut s2 = SolverBuilder::new(family)
+            .term(Termination::sweeps(40))
+            .build()
+            .unwrap();
+        let mut x_view = vec![0.0; built.n()];
+        let r_view = s2.solve(&view, &b_unit, &mut x_view).unwrap();
+        assert_eq!(x_mat, x_view, "{family:?}: iterates diverged");
+        assert_eq!(
+            r_mat.final_rel_residual, r_view.final_rel_residual,
+            "{family:?}: reports diverged"
+        );
+    }
+}
+
+/// Theory-bound domination on the delay-model-ready scenario: the measured
+/// expected error of the exact bounded-delay executor must sit below the
+/// paper's Theorem 3 bound (both assertions), and the synchronous run
+/// below the Eq. (2) bound.
+#[test]
+fn theory_bounds_dominate_on_reference_unit_diag_scenario() {
+    use asyrgs::sim::{expected_error_trajectory, DelayPolicy, DelaySimOptions, ReadModel};
+    use asyrgs::spectral::{estimate_condition, CondOptions};
+
+    let sc = asyrgs::workloads::scenarios::find("reference_unit_diag").expect("registered");
+    let built = sc.build();
+    let est = estimate_condition(&built.a, &CondOptions::default());
+    let params = theory::ProblemParams::from_matrix(&built.a, est.lambda_min, est.lambda_max);
+    let x_star = built.x_star.as_ref().expect("planted");
+    let x0 = vec![0.0; built.n()];
+
+    let measured = |opts: &DelaySimOptions| {
+        let traj = expected_error_trajectory(&built.a, &built.b, &x0, x_star, opts, 8);
+        traj.last().unwrap().1 / traj[0].1
+    };
+
+    // Synchronous (tau = 0): Eq. (2) applied m times.
+    let m_sync = theory::t0(&params).max(built.n() as u64);
+    let sync_ratio = measured(&DelaySimOptions {
+        iterations: m_sync,
+        policy: DelayPolicy::None,
+        ..Default::default()
+    });
+    let sync_bound = theory::sync_bound(&params, 1.0, m_sync);
+    assert!(
+        sync_ratio <= sync_bound,
+        "sync: measured {sync_ratio:.4e} must be <= bound {sync_bound:.4e}"
+    );
+
+    // Consistent-read bounded delay, adversarial Max policy: Theorem 3(a).
+    let tau = 6usize;
+    assert!(theory::consistent_valid(&params, tau, 1.0));
+    let ratio_a = measured(&DelaySimOptions {
+        iterations: m_sync,
+        tau,
+        policy: DelayPolicy::Max,
+        read_model: ReadModel::Consistent,
+        ..Default::default()
+    });
+    let bound_a = theory::theorem3_a(&params, tau, 1.0);
+    assert!(
+        ratio_a <= bound_a,
+        "thm3(a): measured {ratio_a:.4e} must be <= bound {bound_a:.4e}"
+    );
+
+    // Theorem 3(b): r epochs of length T = T_0 + tau.
+    let r = 3u32;
+    let m_b = theory::epoch_t(&params, tau) * r as u64;
+    let ratio_b = measured(&DelaySimOptions {
+        iterations: m_b,
+        tau,
+        policy: DelayPolicy::Max,
+        read_model: ReadModel::Consistent,
+        ..Default::default()
+    });
+    let bound_b = theory::theorem3_b(&params, tau, 1.0, r);
+    assert!(
+        ratio_b <= bound_b,
+        "thm3(b): measured {ratio_b:.4e} must be <= bound {bound_b:.4e}"
+    );
+}
+
+/// The delay-model executor accepts the zero-copy view backend for
+/// scenarios that are not pre-rescaled (satellite of the generic-operator
+/// refactor): identical trajectory to the scenario's materialized
+/// rescaling.
+#[test]
+fn delay_model_runs_view_backed_scenarios() {
+    use asyrgs::sim::{simulate_delay, DelaySimOptions};
+
+    let sc = asyrgs::workloads::scenarios::find("beyond_chazan_miranker").expect("registered");
+    let built = sc.build();
+    let view = built.unit_view().expect("square SPD");
+    let u = UnitDiagonal::from_spd(&built.a).expect("SPD");
+    let b_unit = view.rhs_to_unit(&built.b);
+    let x_star_unit = view.solution_to_unit(built.x_star.as_ref().expect("planted"));
+    let x0 = vec![0.0; built.n()];
+    let opts = DelaySimOptions {
+        iterations: 4 * built.n() as u64,
+        tau: 8,
+        ..Default::default()
+    };
+    let via_view = simulate_delay(&view, &b_unit, &x0, &x_star_unit, &opts);
+    let via_mat = simulate_delay(&u.a, &b_unit, &x0, &x_star_unit, &opts);
+    assert_eq!(via_view.x, via_mat.x, "backends disagree bitwise");
+    assert!(
+        via_view.final_error() < via_view.initial_error(),
+        "AsyRGS under bounded delay must make progress on the \
+         dominance-violating scenario (the paper's claim)"
+    );
+}
