@@ -1,0 +1,118 @@
+//! Render `docs/SCENARIOS.md` from the scenario registry — the corpus
+//! documentation is *generated*, so it can never drift from the code.
+//!
+//! Usage:
+//! ```text
+//! gen_scenarios_md [--check] [PATH]     (default: docs/SCENARIOS.md)
+//! ```
+//! Without flags, (re)writes the file. With `--check`, renders to memory
+//! and exits non-zero if the file on disk differs — the CI freshness gate.
+
+use asyrgs_workloads::scenarios::{all_scenarios, ScenarioClass, FAMILY_NAMES};
+use std::fmt::Write as _;
+
+/// Compact per-cell expectation tag (legend in the generated file).
+fn tag(expectation: asyrgs_workloads::scenarios::Expectation) -> &'static str {
+    use asyrgs_workloads::scenarios::Expectation::*;
+    match expectation {
+        Converges => "C",
+        Progress => "P",
+        MayDiverge => "D",
+        Rejects => "R",
+    }
+}
+
+fn render() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# Scenario corpus\n\n\
+         <!-- GENERATED FILE - do not edit by hand.\n     \
+         Regenerate with: cargo run -p asyrgs-bench --bin gen_scenarios_md\n     \
+         CI checks freshness with the --check flag. -->\n\n\
+         Every named, seeded, deterministic problem family in\n\
+         `asyrgs_workloads::scenarios`, with the per-solver-family expectation\n\
+         tags that drive the conformance matrix (`tests/scenario_matrix.rs`)\n\
+         and the `scenario_runner` benchmark.\n\n\
+         Expectation tags: **C** = must converge to `tol` within the sweep\n\
+         budget, **P** = progress only (converges in theory, too slow to\n\
+         budget for), **D** = may diverge (no classical guarantee), **R** =\n\
+         must reject with a typed `SolveError`.\n\n",
+    );
+
+    let scenarios = all_scenarios();
+    out.push_str("| scenario | class | n | nnz | seed | kappa hint | tol | sweeps |");
+    for f in FAMILY_NAMES {
+        let _ = write!(out, " {f} |");
+    }
+    out.push('\n');
+    out.push_str("|---|---|---:|---:|---:|---:|---:|---:|");
+    for _ in FAMILY_NAMES {
+        out.push_str(":-:|");
+    }
+    out.push('\n');
+    for sc in &scenarios {
+        let built = sc.build();
+        let kappa = sc
+            .kappa_hint
+            .map(|k| format!("{k:.1e}"))
+            .unwrap_or_else(|| "-".to_string());
+        let class = match sc.class {
+            ScenarioClass::SquareSpd => "square SPD",
+            ScenarioClass::LeastSquares => "least squares",
+        };
+        let _ = write!(
+            out,
+            "| `{}` | {} | {} | {} | {} | {} | {:.0e} | {} |",
+            sc.name,
+            class,
+            sc.n,
+            built.nnz(),
+            sc.seed,
+            kappa,
+            sc.tol,
+            sc.sweeps,
+        );
+        for f in FAMILY_NAMES {
+            let _ = write!(out, " {} |", tag(sc.expectation(f)));
+        }
+        out.push('\n');
+    }
+
+    out.push_str("\n## Descriptions\n\n");
+    for sc in &scenarios {
+        let _ = writeln!(out, "- **`{}`** — {}", sc.name, sc.description);
+    }
+    out.push_str(
+        "\nSee `crates/workloads/src/scenarios.rs` for the constructors and\n\
+         `ARCHITECTURE.md` for where the corpus sits in the stack.\n",
+    );
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "docs/SCENARIOS.md".to_string());
+
+    let rendered = render();
+    if check {
+        let on_disk = std::fs::read_to_string(&path).unwrap_or_default();
+        if on_disk != rendered {
+            eprintln!(
+                "{path} is stale: regenerate with `cargo run -p asyrgs-bench --bin gen_scenarios_md`"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("{path} is up to date ({} scenarios)", all_scenarios().len());
+    } else {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(parent).expect("create docs dir");
+        }
+        std::fs::write(&path, rendered).expect("write scenarios doc");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,313 @@
+//! Multi-tenant serving benchmark: drives the `asyrgs-serve` scheduler
+//! with concurrent tenant load and writes `BENCH_serve.json`.
+//!
+//! Two sections:
+//!
+//! * **throughput** — for 1, 8, and 64 concurrent tenants, submit a batch
+//!   of identical fixed-sweep solves through the scheduler (shared global
+//!   pool, weighted-fair dispatch) and compare aggregate wall time against
+//!   the same jobs run *sequentially* through a direct `SolveSession` —
+//!   the pre-serve architecture where each caller owns the machine in
+//!   turn. `speedup >= 2` for 8 tenants is the PR's acceptance bar.
+//! * **mixed_traffic** — replay the deterministic
+//!   [`mixed_tenant_mix`]
+//!   scenario verbatim (skewed weights, per-tenant corpus problems,
+//!   deadlines on every fourth tenant) and report outcome counts and
+//!   latency percentiles.
+//!
+//! Usage:
+//! ```text
+//! serve_runner [OUTPUT_PATH]        (default: BENCH_serve.json)
+//! ```
+//! Environment:
+//! `ASYRGS_BENCH_SMOKE=1` — tiny job counts/budgets (CI);
+//! `ASYRGS_THREADS=N` — global pool width (also sizes runners/slots).
+
+use asyrgs::session::{SolverBuilder, SolverFamily};
+use asyrgs_core::driver::{Recording, Termination};
+use asyrgs_core::error::SolveError;
+use asyrgs_serve::{JobHandle, Scheduler, SchedulerConfig, SolveJob, TenantId};
+use asyrgs_sparse::CsrMatrix;
+use asyrgs_workloads::scenarios;
+use asyrgs_workloads::traffic::mixed_tenant_mix;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Latency percentiles in milliseconds.
+struct LatencyMs {
+    p50: f64,
+    p90: f64,
+    p99: f64,
+    max: f64,
+}
+
+fn percentiles(latencies: &mut [Duration]) -> LatencyMs {
+    latencies.sort_unstable();
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let at = |q: f64| {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+        ms(latencies[idx])
+    };
+    LatencyMs {
+        p50: at(0.50),
+        p90: at(0.90),
+        p99: at(0.99),
+        max: latencies.last().copied().map(ms).unwrap_or(0.0),
+    }
+}
+
+struct ThroughputRow {
+    tenants: usize,
+    jobs: usize,
+    scheduler_seconds: f64,
+    sequential_seconds: f64,
+    speedup: f64,
+    jobs_per_second: f64,
+    latency: LatencyMs,
+}
+
+/// The fixed-work job every throughput cell runs: sequential RGS with a
+/// sweep budget and no target, so each job costs the same wherever it
+/// executes.
+fn throughput_builder(sweeps: usize) -> SolverBuilder {
+    SolverBuilder::new(SolverFamily::Rgs)
+        .term(Termination::sweeps(sweeps))
+        .record(Recording::end_only())
+}
+
+fn throughput_section(
+    a: &Arc<CsrMatrix>,
+    b: &[f64],
+    tenants: usize,
+    jobs_per_tenant: usize,
+    sweeps: usize,
+    width: usize,
+) -> ThroughputRow {
+    let jobs = tenants * jobs_per_tenant;
+    let builder = throughput_builder(sweeps);
+
+    // Sequential baseline: one caller at a time owns the machine (the
+    // pre-scheduler architecture). Session reuse gives it its best case.
+    let mut session = builder.clone().build().expect("valid config");
+    let mut x = vec![0.0; a.n_rows()];
+    let seq_start = Instant::now();
+    for _ in 0..jobs {
+        x.fill(0.0);
+        session.solve(a.as_ref(), b, &mut x).expect("valid system");
+    }
+    let sequential_seconds = seq_start.elapsed().as_secs_f64();
+
+    // Scheduler: all tenants' jobs admitted up front (paused), then
+    // dispatched fairly across the runners.
+    let sched = Scheduler::new(SchedulerConfig {
+        runners: width,
+        slots: width,
+        queue_capacity: jobs.next_power_of_two().max(64),
+        paused: true,
+        coalesce: 32,
+    });
+    let handles: Vec<JobHandle> = (0..jobs)
+        .map(|i| {
+            let job = SolveJob::new(builder.clone(), Arc::clone(a), b.to_vec())
+                .with_tenant(TenantId(1 + (i % tenants) as u64));
+            sched.submit(job).expect("valid job")
+        })
+        .collect();
+    let sched_start = Instant::now();
+    sched.resume();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(jobs);
+    for h in handles {
+        let out = h.wait();
+        out.result.expect("fixed-sweep jobs cannot fail");
+        latencies.push(out.stats.queued + out.stats.service);
+    }
+    let scheduler_seconds = sched_start.elapsed().as_secs_f64();
+
+    ThroughputRow {
+        tenants,
+        jobs,
+        scheduler_seconds,
+        sequential_seconds,
+        speedup: sequential_seconds / scheduler_seconds,
+        jobs_per_second: jobs as f64 / scheduler_seconds,
+        latency: percentiles(&mut latencies),
+    }
+}
+
+struct MixedRow {
+    tenants: usize,
+    jobs: usize,
+    succeeded: u64,
+    deadline_expired: u64,
+    cancelled: u64,
+    seconds: f64,
+    latency: LatencyMs,
+}
+
+fn mixed_traffic_section(
+    tenants: usize,
+    jobs_per_tenant: usize,
+    sweeps: usize,
+    width: usize,
+) -> MixedRow {
+    let mix = mixed_tenant_mix(tenants, jobs_per_tenant, 0x7EAA_F1C5);
+    // Build each referenced corpus problem once.
+    let mut problems: HashMap<&'static str, (Arc<CsrMatrix>, Vec<f64>)> = HashMap::new();
+    for t in &mix.tenants {
+        problems.entry(t.scenario).or_insert_with(|| {
+            let built = scenarios::find(t.scenario).expect("registered").build();
+            (Arc::new(built.a), built.b)
+        });
+    }
+    let sched = Scheduler::new(SchedulerConfig {
+        runners: width,
+        slots: width,
+        queue_capacity: mix.total_jobs().next_power_of_two().max(64),
+        paused: true,
+        coalesce: 32,
+    });
+    let mut handles = Vec::with_capacity(mix.total_jobs());
+    for t in &mix.tenants {
+        let (a, b) = &problems[t.scenario];
+        for _ in 0..t.jobs {
+            let mut job = SolveJob::new(throughput_builder(sweeps), Arc::clone(a), b.clone())
+                .with_tenant(TenantId(t.tenant_id))
+                .with_weight(t.weight);
+            if let Some(ms) = t.deadline_ms {
+                job = job.with_deadline(Duration::from_millis(ms));
+            }
+            handles.push(sched.submit(job).expect("valid job"));
+        }
+    }
+    let start = Instant::now();
+    sched.resume();
+    let mut latencies = Vec::with_capacity(handles.len());
+    let mut succeeded = 0u64;
+    let mut deadline_expired = 0u64;
+    let mut cancelled = 0u64;
+    for h in handles {
+        let out = h.wait();
+        match out.result {
+            Ok(_) => succeeded += 1,
+            Err(SolveError::DeadlineExceeded { .. }) => deadline_expired += 1,
+            Err(SolveError::Cancelled) => cancelled += 1,
+            Err(e) => panic!("unexpected traffic outcome: {e}"),
+        }
+        latencies.push(out.stats.queued + out.stats.service);
+    }
+    MixedRow {
+        tenants,
+        jobs: latencies.len(),
+        succeeded,
+        deadline_expired,
+        cancelled,
+        seconds: start.elapsed().as_secs_f64(),
+        latency: percentiles(&mut latencies),
+    }
+}
+
+fn latency_json(l: &LatencyMs) -> String {
+    format!(
+        "{{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}",
+        l.p50, l.p90, l.p99, l.max
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let smoke = std::env::var("ASYRGS_BENCH_SMOKE").as_deref() == Ok("1");
+    let width = asyrgs_parallel::default_concurrency();
+    let (jobs_per_tenant, sweeps, mixed_jobs) = if smoke { (2, 30, 1) } else { (8, 400, 4) };
+
+    // One shared problem for the throughput ladder: a corpus matrix big
+    // enough that a job is milliseconds, small enough that 64 tenants'
+    // batches stay snappy.
+    let built = scenarios::find("diag_dominant_easy")
+        .expect("registered")
+        .build();
+    let (a, b) = (Arc::new(built.a), built.b);
+
+    eprintln!(
+        "serve_runner: pool width {width}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let mut rows = Vec::new();
+    for tenants in [1usize, 8, 64] {
+        let row = throughput_section(&a, &b, tenants, jobs_per_tenant, sweeps, width);
+        eprintln!(
+            "  {:>2} tenants x {:>2} jobs: scheduler {:.3}s vs sequential {:.3}s -> {:.2}x ({:.0} jobs/s, p99 {:.1} ms)",
+            row.tenants,
+            jobs_per_tenant,
+            row.scheduler_seconds,
+            row.sequential_seconds,
+            row.speedup,
+            row.jobs_per_second,
+            row.latency.p99,
+        );
+        rows.push(row);
+    }
+
+    let mixed = mixed_traffic_section(16, mixed_jobs, sweeps, width);
+    eprintln!(
+        "  mixed traffic: {} jobs over {} tenants in {:.3}s ({} ok, {} deadline-expired, {} cancelled)",
+        mixed.jobs, mixed.tenants, mixed.seconds, mixed.succeeded, mixed.deadline_expired, mixed.cancelled
+    );
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"schema\": \"asyrgs-serve-v1\",");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(j, "  \"pool_width\": {width},");
+    let _ = writeln!(j, "  \"jobs_per_tenant\": {jobs_per_tenant},");
+    let _ = writeln!(j, "  \"sweeps_per_job\": {sweeps},");
+    let _ = writeln!(j, "  \"throughput\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"tenants\": {}, \"jobs\": {}, \"scheduler_seconds\": {:.6e}, \
+             \"sequential_seconds\": {:.6e}, \"speedup\": {:.3}, \"jobs_per_second\": {:.2}, \
+             \"latency_ms\": {}}}{}",
+            r.tenants,
+            r.jobs,
+            r.scheduler_seconds,
+            r.sequential_seconds,
+            r.speedup,
+            r.jobs_per_second,
+            latency_json(&r.latency),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+    let _ = writeln!(
+        j,
+        "  \"mixed_traffic\": {{\"tenants\": {}, \"jobs\": {}, \"succeeded\": {}, \
+         \"deadline_expired\": {}, \"cancelled\": {}, \"seconds\": {:.6e}, \"latency_ms\": {}}}",
+        mixed.tenants,
+        mixed.jobs,
+        mixed.succeeded,
+        mixed.deadline_expired,
+        mixed.cancelled,
+        mixed.seconds,
+        latency_json(&mixed.latency),
+    );
+    j.push_str("}\n");
+
+    std::fs::write(&out_path, &j).expect("failed to write bench output");
+    eprintln!("serve_runner: wrote {out_path}");
+
+    // Structural self-check so the CI smoke job fails loudly on a broken
+    // emitter, mirroring bench_runner/scenario_runner.
+    let parsed = std::fs::read_to_string(&out_path).expect("reread failed");
+    assert!(
+        parsed.matches('{').count() == parsed.matches('}').count()
+            && parsed.contains("\"throughput\""),
+        "serve bench output failed self-check"
+    );
+}

@@ -21,9 +21,201 @@
 //! The module also hosts the [`Solver`] trait and [`SolverSpec`] enum for
 //! uniform dispatch over the square-system solvers, and the shared
 //! dimension-validation helpers every public entry point calls.
+//!
+//! # Worked example
+//!
+//! The driver is what a solver's main loop talks to — this is the whole
+//! protocol:
+//!
+//! ```
+//! use asyrgs_core::driver::{Driver, Recording, Termination};
+//!
+//! // Stop at 100 sweeps, a 1e-3 relative residual, or cancellation —
+//! // whichever comes first; record every 2nd sweep.
+//! let term = Termination::sweeps(100).with_target(1e-3);
+//! let mut driver = Driver::new(&term, Recording::every(2));
+//!
+//! let mut residual: f64 = 1.0;
+//! let mut sweep = 0;
+//! loop {
+//!     sweep += 1;
+//!     residual *= 0.1; // stand-in for one sweep of real work
+//!     // The closure only runs when this boundary records, so an
+//!     // expensive residual is evaluated as rarely as the cadence allows.
+//!     if driver.observe_lazy(sweep, sweep as u64 * 10, || (residual, None)) {
+//!         break;
+//!     }
+//! }
+//!
+//! let report = driver.finish(sweep as u64 * 10, 1, || residual);
+//! assert!(report.converged_early);
+//! assert_eq!(report.sweeps_run(), 4); // cadence-2: target seen at sweep 4
+//! assert!(report.final_rel_residual <= 1e-3);
+//! ```
 
 use crate::report::{SolveReport, SweepRecord};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------------
+
+/// A shareable cooperative-cancellation flag, checked by the [`Driver`] at
+/// every sweep/epoch boundary.
+///
+/// Cloning the token shares the flag: any clone can
+/// [`cancel`](CancelToken::cancel) and every solve holding a clone (via
+/// [`Termination::with_cancel`]) stops at its next boundary with
+/// [`SolveReport::cancelled`] set. The check is a single relaxed atomic
+/// load, so threading a token through a solve costs nothing measurable and
+/// changes no arithmetic: a solve that is never cancelled produces bitwise
+/// identical output with or without a token.
+///
+/// ```
+/// use asyrgs_core::driver::{CancelToken, Driver, Recording, Termination};
+///
+/// let token = CancelToken::new();
+/// let term = Termination::sweeps(1_000_000).with_cancel(token.clone());
+/// let mut driver = Driver::new(&term, Recording::end_only());
+///
+/// token.cancel(); // e.g. from another thread
+/// assert!(driver.observe_lazy(1, 1, || (0.5, None)), "stops at the boundary");
+/// assert!(driver.cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raise the flag: every solve observing this token stops at its next
+    /// sweep/epoch boundary. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Tokens compare equal when they share one flag (clones of each other).
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Progress streaming
+// ---------------------------------------------------------------------------
+
+/// A point-in-time view of a running solve, read through a
+/// [`ProgressProbe`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Last sweep boundary that recorded.
+    pub sweep: usize,
+    /// Single-coordinate iterations applied up to that boundary.
+    pub iterations: u64,
+    /// Relative residual at that boundary (`None` until the first record).
+    pub rel_residual: Option<f64>,
+}
+
+#[derive(Debug)]
+struct ProgressState {
+    sweep: AtomicUsize,
+    iterations: AtomicU64,
+    /// `f64::to_bits` of the last relative residual; `u64::MAX` = none yet
+    /// (a NaN pattern no `f64::to_bits` of a recorded value produces).
+    rel_bits: AtomicU64,
+}
+
+/// A shareable live-telemetry channel: the [`Driver`] publishes every
+/// record it pushes, and any clone of the probe can
+/// [`snapshot`](ProgressProbe::snapshot) the latest one without touching
+/// the solve.
+///
+/// The three fields are individually atomic, so a snapshot taken mid-store
+/// may mix two adjacent records; each field is always a value some record
+/// actually had. That is the right trade for streaming progress — no lock
+/// on the solver's hot path.
+///
+/// ```
+/// use asyrgs_core::driver::{Driver, ProgressProbe, Recording, Termination};
+///
+/// let probe = ProgressProbe::new();
+/// let term = Termination::sweeps(3).with_progress(probe.clone());
+/// let mut driver = Driver::new(&term, Recording::every(1));
+/// driver.observe_lazy(1, 64, || (0.25, None));
+///
+/// let snap = probe.snapshot(); // e.g. from another thread
+/// assert_eq!(snap.sweep, 1);
+/// assert_eq!(snap.iterations, 64);
+/// assert_eq!(snap.rel_residual, Some(0.25));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgressProbe {
+    state: Arc<ProgressState>,
+}
+
+/// `Default` must go through [`ProgressProbe::new`]: a derived default
+/// would zero `rel_bits`, making a fresh probe report `Some(0.0)` instead
+/// of "no record yet".
+impl Default for ProgressProbe {
+    fn default() -> Self {
+        ProgressProbe::new()
+    }
+}
+
+/// Sentinel for "no record published yet" in `ProgressState::rel_bits`.
+const REL_BITS_NONE: u64 = u64::MAX;
+
+impl ProgressProbe {
+    /// A fresh probe with no records published.
+    pub fn new() -> Self {
+        ProgressProbe {
+            state: Arc::new(ProgressState {
+                sweep: AtomicUsize::new(0),
+                iterations: AtomicU64::new(0),
+                rel_bits: AtomicU64::new(REL_BITS_NONE),
+            }),
+        }
+    }
+
+    /// The latest published record (see the type docs for the tearing
+    /// caveat).
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let bits = self.state.rel_bits.load(Ordering::Acquire);
+        ProgressSnapshot {
+            sweep: self.state.sweep.load(Ordering::Acquire),
+            iterations: self.state.iterations.load(Ordering::Acquire),
+            rel_residual: (bits != REL_BITS_NONE).then(|| f64::from_bits(bits)),
+        }
+    }
+
+    fn publish(&self, sweep: usize, iterations: u64, rel: f64) {
+        self.state.sweep.store(sweep, Ordering::Release);
+        self.state.iterations.store(iterations, Ordering::Release);
+        self.state.rel_bits.store(rel.to_bits(), Ordering::Release);
+    }
+}
+
+/// Probes compare equal when they share one state block (clones of each
+/// other).
+impl PartialEq for ProgressProbe {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.state, &other.state)
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Termination
@@ -47,6 +239,12 @@ pub struct Termination {
     pub target_rel_residual: Option<f64>,
     /// Stop at the first sweep boundary after this much wall-clock time.
     pub wall_clock: Option<Duration>,
+    /// Stop at the first sweep boundary after this token is cancelled
+    /// (cooperative cancellation; the check is one relaxed atomic load).
+    pub cancel: Option<CancelToken>,
+    /// Publish every pushed record to this probe (live progress streaming
+    /// for schedulers and dashboards).
+    pub progress: Option<ProgressProbe>,
 }
 
 impl Termination {
@@ -56,6 +254,8 @@ impl Termination {
             max_sweeps: n,
             target_rel_residual: None,
             wall_clock: None,
+            cancel: None,
+            progress: None,
         }
     }
 
@@ -68,6 +268,18 @@ impl Termination {
     /// Add a wall-clock budget.
     pub fn with_wall_clock(mut self, budget: Duration) -> Self {
         self.wall_clock = Some(budget);
+        self
+    }
+
+    /// Observe a cooperative-cancellation token at every sweep boundary.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Stream every pushed record to a [`ProgressProbe`].
+    pub fn with_progress(mut self, probe: ProgressProbe) -> Self {
+        self.progress = Some(probe);
         self
     }
 }
@@ -128,6 +340,7 @@ pub struct Driver {
     converged: bool,
     out_of_time: bool,
     diverged: bool,
+    cancelled: bool,
 }
 
 impl Driver {
@@ -142,6 +355,7 @@ impl Driver {
             converged: false,
             out_of_time: false,
             diverged: false,
+            cancelled: false,
         }
     }
 
@@ -165,13 +379,25 @@ impl Driver {
         self.out_of_time
     }
 
+    /// Whether the [`CancelToken`] fired before convergence.
+    pub fn cancelled(&self) -> bool {
+        self.cancelled
+    }
+
     fn budget_spent(&self) -> bool {
         self.term
             .wall_clock
             .is_some_and(|d| self.start.elapsed() >= d)
     }
 
+    fn cancel_requested(&self) -> bool {
+        self.term.cancel.as_ref().is_some_and(|c| c.is_cancelled())
+    }
+
     fn push(&mut self, sweep: usize, iterations: u64, rel: f64, err: Option<f64>) {
+        if let Some(probe) = &self.term.progress {
+            probe.publish(sweep, iterations, rel);
+        }
         self.records.push(SweepRecord {
             sweep,
             iterations,
@@ -208,12 +434,17 @@ impl Driver {
     ) -> bool {
         let last = sweep >= self.term.max_sweeps;
         let timeup = self.budget_spent();
+        let cancel = self.cancel_requested();
         if self.record.due(sweep) || last || timeup {
             let (rel, err) = observe();
             self.push(sweep, iterations, rel, err);
         }
         self.out_of_time = timeup && !self.converged;
-        self.converged || self.diverged || timeup || last
+        // Cancellation does not force a (possibly Theta(nnz)) residual
+        // evaluation: a cancelled solve's output is discarded, so the stop
+        // must be as cheap as the atomic load that detected it.
+        self.cancelled = cancel && !self.converged;
+        self.converged || self.diverged || timeup || cancel || last
     }
 
     /// Sweep boundary for solvers that **maintain** their residual (CG's
@@ -231,6 +462,7 @@ impl Driver {
     ) -> bool {
         let last = sweep >= self.term.max_sweeps;
         let timeup = self.budget_spent();
+        let cancel = self.cancel_requested();
         let target_hit = self.term.target_rel_residual.is_some_and(|t| rel <= t);
         if self.record.due(sweep) || last || timeup || target_hit {
             self.push(sweep, iterations, rel, rel_error);
@@ -238,7 +470,8 @@ impl Driver {
             self.diverged = true;
         }
         self.out_of_time = timeup && !self.converged;
-        self.converged || self.diverged || timeup || last
+        self.cancelled = cancel && !self.converged;
+        self.converged || self.diverged || timeup || cancel || last
     }
 
     /// Record this boundary unconditionally, regardless of cadence — for
@@ -250,19 +483,24 @@ impl Driver {
     }
 
     /// Assemble the report, taking the final residual from the last record
-    /// (the stopping boundary always records), or from `fallback` if the
-    /// solve never reached a boundary (`max_sweeps == 0`).
+    /// (every stopping boundary records except cancellation), or from
+    /// `fallback` if the solve never reached a boundary
+    /// (`max_sweeps == 0`). A cancelled solve with no records reports
+    /// `NaN` instead of invoking `fallback`: the fallback is a
+    /// `Theta(nnz)` residual computation in every solver, and a cancelled
+    /// result is discarded anyway — the cancel path stays as cheap as the
+    /// atomic load that detected it.
     pub fn finish(
         self,
         iterations: u64,
         threads: usize,
         fallback: impl FnOnce() -> f64,
     ) -> SolveReport {
-        let final_rel = self
-            .records
-            .last()
-            .map(|r| r.rel_residual)
-            .unwrap_or_else(fallback);
+        let final_rel = match self.records.last() {
+            Some(r) => r.rel_residual,
+            None if self.cancelled => f64::NAN,
+            None => fallback(),
+        };
         self.into_report(iterations, threads, final_rel)
     }
 
@@ -281,6 +519,7 @@ impl Driver {
         report.threads = threads;
         report.converged_early = self.converged;
         report.stopped_on_budget = self.out_of_time;
+        report.cancelled = self.cancelled;
         report
     }
 }
@@ -753,6 +992,85 @@ mod tests {
         let rep = d.finish(1, 1, || unreachable!());
         assert!(rep.converged_early);
         assert!(!rep.stopped_on_budget, "convergence outranks the budget");
+    }
+
+    #[test]
+    fn cancel_token_stops_at_the_next_boundary_without_observing() {
+        let token = CancelToken::new();
+        let term = Termination::sweeps(1000).with_cancel(token.clone());
+        let mut d = Driver::new(&term, Recording::end_only());
+        assert!(!d.observe_lazy(1, 1, || (0.9, None)));
+        token.cancel();
+        let mut evaluated = false;
+        assert!(d.observe_lazy(2, 2, || {
+            evaluated = true;
+            (0.8, None)
+        }));
+        assert!(
+            !evaluated,
+            "cancellation must not force a lazy residual evaluation"
+        );
+        assert!(d.cancelled());
+        // With no records, a cancelled finish must not run the (expensive)
+        // fallback either — the result is discarded by the caller.
+        let rep = d.finish(2, 1, || {
+            unreachable!("fallback must not run when cancelled")
+        });
+        assert!(rep.final_rel_residual.is_nan());
+        assert!(rep.cancelled);
+        assert!(!rep.converged_early && !rep.stopped_on_budget);
+    }
+
+    #[test]
+    fn convergence_outranks_cancellation_at_the_same_boundary() {
+        let token = CancelToken::new();
+        token.cancel();
+        let term = Termination::sweeps(10).with_target(1.0).with_cancel(token);
+        let mut d = Driver::new(&term, rec(1));
+        assert!(d.observe_lazy(1, 1, || (1e-9, None)));
+        assert!(d.converged() && !d.cancelled());
+        let rep = d.finish(1, 1, || unreachable!());
+        assert!(rep.converged_early && !rep.cancelled);
+    }
+
+    #[test]
+    fn eager_observe_honors_cancellation() {
+        let token = CancelToken::new();
+        let term = Termination::sweeps(1000).with_cancel(token.clone());
+        let mut d = Driver::new(&term, Recording::end_only());
+        assert!(!d.observe(1, 1, 0.9, None));
+        token.cancel();
+        assert!(d.observe(2, 2, 0.8, None));
+        assert!(d.cancelled());
+    }
+
+    #[test]
+    fn cancel_token_clones_share_the_flag_and_compare_equal() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        let c = CancelToken::new();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert!(!c.is_cancelled());
+    }
+
+    #[test]
+    fn progress_probe_streams_the_latest_record() {
+        let probe = ProgressProbe::new();
+        assert_eq!(probe.snapshot().rel_residual, None);
+        let term = Termination::sweeps(10).with_progress(probe.clone());
+        let mut d = Driver::new(&term, rec(1));
+        d.observe_lazy(1, 100, || (0.5, None));
+        d.observe_lazy(2, 200, || (0.25, None));
+        let snap = probe.snapshot();
+        assert_eq!(snap.sweep, 2);
+        assert_eq!(snap.iterations, 200);
+        assert_eq!(snap.rel_residual, Some(0.25));
+        // Clones share state; fresh probes do not compare equal.
+        assert_eq!(probe, probe.clone());
+        assert_ne!(probe, ProgressProbe::new());
     }
 
     #[test]

@@ -69,6 +69,23 @@ pub enum SolveError {
         /// The solver family the session was built for.
         family: &'static str,
     },
+    /// The solve was cancelled through a
+    /// [`CancelToken`](crate::driver::CancelToken) before it reached its
+    /// target; the caller's output buffer is untouched.
+    Cancelled,
+    /// The job's deadline passed before the solve reached its target; the
+    /// caller's output buffer is untouched.
+    DeadlineExceeded {
+        /// Milliseconds the job had between submission and its deadline.
+        budget_ms: u64,
+    },
+    /// The solve panicked inside a scheduler dispatch; the panic was
+    /// contained (the runner thread survives) and the caller's output
+    /// buffer is untouched.
+    DispatchPanic {
+        /// The panic message, when it was a string payload.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -100,6 +117,13 @@ impl fmt::Display for SolveError {
             }
             SolveError::MethodMismatch { called, family } => {
                 write!(f, "{called} is not supported by the {family} solver family")
+            }
+            SolveError::Cancelled => write!(f, "solve cancelled before completion"),
+            SolveError::DeadlineExceeded { budget_ms } => {
+                write!(f, "deadline exceeded ({budget_ms} ms budget)")
+            }
+            SolveError::DispatchPanic { detail } => {
+                write!(f, "solve panicked during dispatch: {detail}")
             }
         }
     }
@@ -143,6 +167,25 @@ mod tests {
             }
             .to_string(),
             "zero diagonal entry 7"
+        );
+    }
+
+    #[test]
+    fn scheduler_variants_display() {
+        assert_eq!(
+            SolveError::Cancelled.to_string(),
+            "solve cancelled before completion"
+        );
+        assert_eq!(
+            SolveError::DeadlineExceeded { budget_ms: 250 }.to_string(),
+            "deadline exceeded (250 ms budget)"
+        );
+        assert_eq!(
+            SolveError::DispatchPanic {
+                detail: "boom".into()
+            }
+            .to_string(),
+            "solve panicked during dispatch: boom"
         );
     }
 

@@ -35,6 +35,10 @@ pub struct SolveReport {
     /// [`Termination`](crate::driver::Termination)) expired before the
     /// residual target was reached.
     pub stopped_on_budget: bool,
+    /// Whether a [`CancelToken`](crate::driver::CancelToken) fired before
+    /// the residual target was reached: the iterate is whatever the last
+    /// completed sweep left behind and should normally be discarded.
+    pub cancelled: bool,
     /// Largest observed update delay (commits between an iteration's read
     /// and its write) — the empirical `tau` of Assumption A-3. `None` when
     /// the solver does not measure it (sequential solvers, block variants).
@@ -52,6 +56,7 @@ impl SolveReport {
             threads: 1,
             converged_early: false,
             stopped_on_budget: false,
+            cancelled: false,
             max_observed_delay: None,
         }
     }

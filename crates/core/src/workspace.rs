@@ -13,6 +13,30 @@
 //! Buffers are plain scratch with no invariants: every entry point fully
 //! overwrites what it reads. The struct is deliberately open (all fields
 //! public) — it is a bag of buffers, not an abstraction.
+//!
+//! # Worked example
+//!
+//! One workspace, many solves — buffer reuse never changes results:
+//!
+//! ```
+//! use asyrgs_core::rgs::{rgs_solve_in, RgsOptions};
+//! use asyrgs_core::workspace::SolveWorkspace;
+//! use asyrgs_sparse::CsrMatrix;
+//!
+//! let a = CsrMatrix::from_dense(3, 3, &[4.0, -1.0, 0.0, -1.0, 4.0, -1.0, 0.0, -1.0, 4.0]);
+//! let b = vec![1.0, 2.0, 3.0];
+//! let opts = RgsOptions::default();
+//!
+//! let mut ws = SolveWorkspace::new(); // allocation-free until first use
+//! let mut x1 = vec![0.0; 3];
+//! rgs_solve_in(&mut ws, &a, &b, &mut x1, None, &opts).unwrap();
+//!
+//! // Second solve through the same workspace: zero hot-path allocation,
+//! // bitwise the same answer as a fresh workspace would give.
+//! let mut x2 = vec![0.0; 3];
+//! rgs_solve_in(&mut ws, &a, &b, &mut x2, None, &opts).unwrap();
+//! assert_eq!(x1, x2);
+//! ```
 
 use crate::atomic::SharedVec;
 use asyrgs_sparse::dense::RowMajorMat;

@@ -422,6 +422,134 @@ pub fn pool_for(threads: usize) -> SolvePool {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Slot leasing
+// ---------------------------------------------------------------------------
+
+/// Concurrency-slot accounting over a fixed budget — the primitive that
+/// lets many independent solves *share* one machine's cores instead of
+/// each assuming it owns the whole pool.
+///
+/// A scheduler sizes one accountant to the machine (typically
+/// [`default_concurrency`]) and has every in-flight job hold a
+/// [`SlotLease`] for the worker threads it is using; the sum of granted
+/// slots never exceeds the budget, so co-scheduled solves cannot
+/// oversubscribe the cores. Leases are **elastic**: a job asking for `k`
+/// slots is granted `min(k, available)` — at least 1 — rather than
+/// blocking until all `k` are free, which keeps latency bounded under
+/// load (an asynchronous solver is correct at any thread count, so
+/// shrinking a grant changes speed, never correctness).
+///
+/// ```
+/// use asyrgs_parallel::SlotAccountant;
+///
+/// let acct = SlotAccountant::new(4);
+/// let a = acct.lease_up_to(3);
+/// assert_eq!(a.granted(), 3);
+/// let b = acct.lease_up_to(3); // only 1 slot left: elastic shrink
+/// assert_eq!(b.granted(), 1);
+/// assert_eq!(acct.available(), 0);
+/// drop(a);
+/// assert_eq!(acct.available(), 3);
+/// ```
+#[derive(Debug)]
+pub struct SlotAccountant {
+    capacity: usize,
+    available: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl SlotAccountant {
+    /// An accountant over `capacity` slots.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "slot accountant needs at least one slot");
+        SlotAccountant {
+            capacity,
+            available: Mutex::new(capacity),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// The fixed slot budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Slots not currently leased.
+    pub fn available(&self) -> usize {
+        *self.available.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Lease between 1 and `want` slots: blocks while no slot is free,
+    /// then grants `min(want, available)` without waiting for more to
+    /// free up (see the type docs for why elastic grants are the right
+    /// policy for asynchronous solvers).
+    ///
+    /// # Panics
+    /// Panics if `want == 0`.
+    pub fn lease_up_to(&self, want: usize) -> SlotLease<'_> {
+        assert!(want >= 1, "lease_up_to: need at least one slot");
+        let mut avail = self.available.lock().unwrap_or_else(|e| e.into_inner());
+        while *avail == 0 {
+            avail = self.freed.wait(avail).unwrap_or_else(|e| e.into_inner());
+        }
+        let granted = want.min(*avail);
+        *avail -= granted;
+        SlotLease {
+            acct: self,
+            granted,
+        }
+    }
+
+    /// Lease exactly `want` slots if they are all free right now, without
+    /// blocking.
+    pub fn try_lease_exact(&self, want: usize) -> Option<SlotLease<'_>> {
+        if want == 0 {
+            return None;
+        }
+        let mut avail = self.available.lock().unwrap_or_else(|e| e.into_inner());
+        if *avail < want {
+            return None;
+        }
+        *avail -= want;
+        Some(SlotLease {
+            acct: self,
+            granted: want,
+        })
+    }
+}
+
+/// An RAII grant of concurrency slots from a [`SlotAccountant`]; dropping
+/// it returns the slots and wakes blocked leasers.
+#[derive(Debug)]
+pub struct SlotLease<'a> {
+    acct: &'a SlotAccountant,
+    granted: usize,
+}
+
+impl SlotLease<'_> {
+    /// How many slots this lease holds (between 1 and the requested
+    /// count).
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for SlotLease<'_> {
+    fn drop(&mut self) {
+        let mut avail = self
+            .acct
+            .available
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        *avail += self.granted;
+        self.acct.freed.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,5 +729,70 @@ mod tests {
     #[test]
     fn default_concurrency_is_positive() {
         assert!(default_concurrency() >= 1);
+    }
+
+    #[test]
+    fn slot_leases_never_oversubscribe_and_shrink_elastically() {
+        let acct = SlotAccountant::new(3);
+        assert_eq!(acct.capacity(), 3);
+        let a = acct.lease_up_to(2);
+        assert_eq!(a.granted(), 2);
+        let b = acct.lease_up_to(4);
+        assert_eq!(b.granted(), 1, "elastic: grants what is free, not 4");
+        assert_eq!(acct.available(), 0);
+        drop(b);
+        assert_eq!(acct.available(), 1);
+        drop(a);
+        assert_eq!(acct.available(), 3);
+    }
+
+    #[test]
+    fn try_lease_exact_is_all_or_nothing() {
+        let acct = SlotAccountant::new(2);
+        let held = acct.try_lease_exact(2).expect("all free");
+        assert!(acct.try_lease_exact(1).is_none(), "nothing free");
+        drop(held);
+        assert!(acct.try_lease_exact(3).is_none(), "beyond capacity");
+        assert_eq!(acct.try_lease_exact(1).unwrap().granted(), 1);
+    }
+
+    #[test]
+    fn lease_blocks_until_a_slot_frees() {
+        let acct = std::sync::Arc::new(SlotAccountant::new(1));
+        let first = acct.lease_up_to(1);
+        let acct2 = std::sync::Arc::clone(&acct);
+        let waiter = std::thread::spawn(move || acct2.lease_up_to(1).granted());
+        // Give the waiter time to block, then free the slot.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(first);
+        assert_eq!(waiter.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn concurrent_leasing_conserves_the_budget() {
+        let acct = std::sync::Arc::new(SlotAccountant::new(4));
+        let peak = std::sync::Arc::new(AtomicUsize::new(0));
+        let in_use = std::sync::Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let acct = std::sync::Arc::clone(&acct);
+                let peak = std::sync::Arc::clone(&peak);
+                let in_use = std::sync::Arc::clone(&in_use);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let lease = acct.lease_up_to(2);
+                        let now =
+                            in_use.fetch_add(lease.granted(), Ordering::SeqCst) + lease.granted();
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        in_use.fetch_sub(lease.granted(), Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 4, "budget exceeded");
+        assert_eq!(acct.available(), 4);
     }
 }

@@ -1,0 +1,86 @@
+//! # asyrgs-serve
+//!
+//! A multi-tenant solve scheduler over the AsyRGS workspace: many
+//! independent callers share one machine's worker pool instead of each
+//! assuming exclusive ownership of a
+//! [`SolveSession`](asyrgs::session::SolveSession).
+//!
+//! The source paper's result — asynchronous randomized Gauss–Seidel
+//! converges despite stale, concurrently-updated state — is exactly the
+//! property that makes solves *servable*: a solve does not need a quiet
+//! machine, a fixed thread count, or exclusive pool ownership, so a
+//! scheduler is free to pack many of them onto one set of long-lived
+//! workers, shrink a job's parallelism under load, and stop any job
+//! cooperatively at an epoch boundary.
+//!
+//! The moving parts:
+//!
+//! * [`SolveJob`] — one unit of servable work: a validated
+//!   [`SolverBuilder`](asyrgs::session::SolverBuilder) configuration, the
+//!   system (`Arc<CsrMatrix>` + right-hand side + initial iterate), a
+//!   [`TenantId`], a fair-share weight, and an optional deadline;
+//! * [`MpmcQueue`] — the lock-free bounded admission queue (Vyukov's
+//!   algorithm): producers never block behind consumers, and a full queue
+//!   is typed backpressure, not an unbounded backlog;
+//! * [`Scheduler`] — runner threads dispatch by **stride scheduling**
+//!   (weighted-fair across tenants, starvation-free) and lease concurrency
+//!   slots from a shared
+//!   [`SlotAccountant`](asyrgs_parallel::SlotAccountant) so co-scheduled
+//!   solves never oversubscribe the cores;
+//! * [`JobHandle`] — the caller's end: cancellation (cooperative, checked
+//!   at sweep/epoch boundaries inside the solver driver), live
+//!   [`progress`](JobHandle::progress) snapshots, and a blocking
+//!   [`wait`](JobHandle::wait) for the [`JobOutcome`];
+//! * [`ScheduledSession`] — the migration path from direct
+//!   `SolveSession` use: same `solve(a, b, x)` shape, every call routed
+//!   through the queue.
+//!
+//! Failed jobs (cancelled, deadline-expired, rejected) never expose a
+//! partially-updated iterate: the outcome's `x` is bitwise the submitted
+//! initial iterate unless the solve succeeded.
+//!
+//! ## Example
+//!
+//! ```
+//! use asyrgs::session::{SolverBuilder, SolverFamily};
+//! use asyrgs_core::driver::Termination;
+//! use asyrgs_serve::{Scheduler, SchedulerConfig, SolveJob, TenantId};
+//! use std::sync::Arc;
+//!
+//! let scheduler = Scheduler::new(SchedulerConfig {
+//!     runners: 2,
+//!     ..SchedulerConfig::default()
+//! });
+//!
+//! // One shared system, two tenants submitting concurrently-runnable jobs.
+//! let a = Arc::new(asyrgs::workloads::laplace2d(8, 8));
+//! let b = a.matvec(&vec![1.0; a.n_rows()]);
+//! let builder = SolverBuilder::new(SolverFamily::Cg)
+//!     .term(Termination::sweeps(500).with_target(1e-10));
+//!
+//! let jobs: Vec<_> = (0..4)
+//!     .map(|i| {
+//!         let job = SolveJob::new(builder.clone(), Arc::clone(&a), b.clone())
+//!             .with_tenant(TenantId(i % 2))
+//!             .with_weight(if i % 2 == 0 { 4 } else { 1 });
+//!         scheduler.submit(job).expect("valid job")
+//!     })
+//!     .collect();
+//!
+//! for handle in jobs {
+//!     let outcome = handle.wait();
+//!     let report = outcome.result.expect("cg converges on a Laplacian");
+//!     assert!(report.converged_early);
+//! }
+//! assert_eq!(scheduler.stats().succeeded, 4);
+//! ```
+
+#![warn(missing_docs)]
+
+mod job;
+mod mpmc;
+mod scheduler;
+
+pub use job::{JobHandle, JobOutcome, JobStats, SolveJob, TenantId};
+pub use mpmc::MpmcQueue;
+pub use scheduler::{ScheduledSession, Scheduler, SchedulerConfig, SchedulerStats, SubmitError};

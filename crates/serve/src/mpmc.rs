@@ -1,0 +1,291 @@
+//! A bounded lock-free multi-producer/multi-consumer queue — the
+//! admission path of the [`Scheduler`](crate::Scheduler).
+//!
+//! This is Vyukov's array-based MPMC algorithm: a power-of-two ring of
+//! slots, each carrying a sequence number that encodes whether the slot is
+//! ready to be written (`seq == pos`) or read (`seq == pos + 1`). Producers
+//! and consumers claim positions with one CAS each and never block one
+//! another, so a burst of tenants submitting jobs cannot stall behind a
+//! slow consumer — exactly the property an admission queue needs when the
+//! consumers are runner threads that spend most of their time inside
+//! solves.
+//!
+//! The queue is *bounded* by design: a full queue rejects the push (typed
+//! admission control) instead of growing without limit under overload.
+//!
+//! ```
+//! use asyrgs_serve::MpmcQueue;
+//!
+//! let q: MpmcQueue<u64> = MpmcQueue::with_capacity(4);
+//! assert!(q.push(1).is_ok());
+//! assert!(q.push(2).is_ok());
+//! assert_eq!(q.pop(), Some(1));
+//! assert_eq!(q.pop(), Some(2));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One ring slot: the sequence number is the slot's state machine (see the
+/// module docs), the value is only initialized between a push's release
+/// store and the matching pop's acquire load.
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free MPMC ring queue (Vyukov's algorithm; see the
+/// module docs for the slot protocol and a usage example).
+pub struct MpmcQueue<T> {
+    buffer: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+}
+
+// The queue hands each value from exactly one producer to exactly one
+// consumer (slot sequence numbers enforce exclusive access), so sending
+// the payload across threads is all that is required of `T`.
+unsafe impl<T: Send> Send for MpmcQueue<T> {}
+unsafe impl<T: Send> Sync for MpmcQueue<T> {}
+
+impl<T> MpmcQueue<T> {
+    /// A queue holding at most `capacity` items (rounded up to the next
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let buffer: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        MpmcQueue {
+            buffer,
+            mask: cap - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+        }
+    }
+
+    /// The fixed capacity (after power-of-two rounding).
+    pub fn capacity(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Approximate number of queued items (exact when no push/pop is in
+    /// flight).
+    pub fn len(&self) -> usize {
+        let tail = self.enqueue_pos.load(Ordering::Relaxed);
+        let head = self.dequeue_pos.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether the queue appears empty (same caveat as [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue `value`, or hand it back when the queue is full. Lock-free:
+    /// one CAS on success, never blocks on concurrent producers or
+    /// consumers.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buffer[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // The CAS gave this thread exclusive write access
+                        // to the slot until the release store below.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if seq.wrapping_sub(pos) as isize > 0 {
+                // Another producer got here first; reload and retry.
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            } else {
+                // seq < pos: the slot still holds an unconsumed value from
+                // one lap ago — the queue is full.
+                return Err(value);
+            }
+        }
+    }
+
+    /// Dequeue the oldest item, or `None` when the queue is empty.
+    /// Lock-free: one CAS on success.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buffer[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let expected = pos.wrapping_add(1);
+            if seq == expected {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Exclusive read access until the release store.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq.store(
+                            pos.wrapping_add(self.mask).wrapping_add(1),
+                            Ordering::Release,
+                        );
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if seq.wrapping_sub(expected) as isize > 0 {
+                // Another consumer got here first; reload and retry.
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            } else {
+                // seq < pos + 1: nothing has been written here yet.
+                return None;
+            }
+        }
+    }
+}
+
+impl<T> Drop for MpmcQueue<T> {
+    fn drop(&mut self) {
+        // Drain so queued payloads run their destructors.
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for MpmcQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpmcQueue")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_a_single_thread() {
+        let q = MpmcQueue::with_capacity(8);
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.push(99), Err(99), "full queue hands the value back");
+        for i in 0..8 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(MpmcQueue::<u8>::with_capacity(0).capacity(), 2);
+        assert_eq!(MpmcQueue::<u8>::with_capacity(3).capacity(), 4);
+        assert_eq!(MpmcQueue::<u8>::with_capacity(8).capacity(), 8);
+    }
+
+    #[test]
+    fn wraps_around_many_laps() {
+        let q = MpmcQueue::with_capacity(4);
+        for lap in 0u64..100 {
+            for i in 0..4 {
+                q.push(lap * 4 + i).unwrap();
+            }
+            for i in 0..4 {
+                assert_eq!(q.pop(), Some(lap * 4 + i));
+            }
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_runs_destructors_of_queued_items() {
+        let marker = Arc::new(());
+        let q = MpmcQueue::with_capacity(4);
+        q.push(Arc::clone(&marker)).unwrap();
+        q.push(Arc::clone(&marker)).unwrap();
+        assert_eq!(Arc::strong_count(&marker), 3);
+        drop(q);
+        assert_eq!(Arc::strong_count(&marker), 1);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: u64 = 5_000;
+        let q = Arc::new(MpmcQueue::with_capacity(64));
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let sum = Arc::new(AtomicUsize::new(0));
+
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let consumed = Arc::clone(&consumed);
+                let sum = Arc::clone(&sum);
+                std::thread::spawn(move || loop {
+                    if let Some(v) = q.pop() {
+                        sum.fetch_add(v as usize, Ordering::Relaxed);
+                        if consumed.fetch_add(1, Ordering::Relaxed) + 1
+                            == PRODUCERS * PER_PRODUCER as usize
+                        {
+                            return;
+                        }
+                    } else if consumed.load(Ordering::Relaxed) >= PRODUCERS * PER_PRODUCER as usize
+                    {
+                        return;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut v = p as u64 * PER_PRODUCER + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        for h in consumers {
+            h.join().unwrap();
+        }
+        let n = PRODUCERS as u64 * PER_PRODUCER;
+        assert_eq!(consumed.load(Ordering::Relaxed) as u64, n);
+        // Every value 0..n was pushed exactly once.
+        assert_eq!(sum.load(Ordering::Relaxed) as u64, n * (n - 1) / 2);
+        assert!(q.is_empty());
+    }
+}

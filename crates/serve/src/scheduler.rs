@@ -1,0 +1,1175 @@
+//! The multi-tenant scheduler: admission, weighted-fair dispatch, and
+//! execution of [`SolveJob`]s over the shared worker pool.
+//!
+//! ## How a job flows
+//!
+//! 1. [`Scheduler::submit`] validates the job (shapes, family, builder
+//!    knobs) and pushes it onto the lock-free MPMC admission queue — a
+//!    full queue is a typed [`SubmitError::QueueFull`], not an unbounded
+//!    backlog.
+//! 2. A runner thread drains admissions into per-tenant FIFOs and picks
+//!    the next job by **stride scheduling**: each tenant accumulates
+//!    "pass" value at a rate inversely proportional to its jobs' weights,
+//!    and the lowest-pass tenant with queued work dispatches next. A
+//!    weight-4 tenant gets 4 dispatch opportunities for every 1 a
+//!    weight-1 tenant gets, and no tenant starves.
+//! 3. Before executing, the runner **coalesces**: other queued jobs that
+//!    solve the *same matrix* under the *same configuration* (and carry no
+//!    deadline) join the dispatch as extra right-hand sides of one
+//!    [`solve_many`](asyrgs::session::SolveSession::solve_many) block
+//!    solve — the paper's Section 9 many-systems strategy turned into a
+//!    scheduling policy. The block kernels share one direction stream and
+//!    one epoch structure across the batch, which is where the aggregate
+//!    throughput win over sequential single-tenant solves comes from, and
+//!    (per PR 4) a batched solve is bitwise a sequence of single solves.
+//! 4. The runner leases concurrency slots from the shared
+//!    [`SlotAccountant`] (elastic: it takes what is free rather than
+//!    waiting for its full request), threads the job's
+//!    [`CancelToken`]/[`ProgressProbe`](asyrgs_core::driver::ProgressProbe)
+//!    and remaining deadline through the solver's `Termination` (solo
+//!    dispatches only: a batch shares one driver, so its jobs are not
+//!    individually cancellable after dispatch), and runs the solve on
+//!    scratch iterates.
+//! 5. The outcome lands in the [`JobHandle`]: the solution on success, or
+//!    a typed [`SolveError`] with the caller's buffer untouched.
+
+use crate::job::{JobHandle, JobOutcome, JobShared, JobStats, SolveJob, TenantId};
+use crate::mpmc::MpmcQueue;
+use asyrgs::session::SolverBuilder;
+use asyrgs_core::error::SolveError;
+use asyrgs_core::report::SolveReport;
+use asyrgs_parallel::SlotAccountant;
+use asyrgs_sparse::CsrMatrix;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why [`Scheduler::submit`] refused a job; every variant hands the job
+/// back so the caller can retry or re-route it.
+///
+/// ```
+/// use asyrgs::session::{SolverBuilder, SolverFamily};
+/// use asyrgs_serve::{Scheduler, SolveJob, SubmitError};
+/// use std::sync::Arc;
+///
+/// let scheduler = Scheduler::with_defaults();
+/// let a = Arc::new(asyrgs::workloads::laplace2d(4, 4));
+/// let short_b = vec![1.0; 3]; // wrong length: rejected at admission
+/// let err = scheduler
+///     .submit(SolveJob::new(SolverBuilder::new(SolverFamily::Cg), a, short_b))
+///     .unwrap_err();
+/// let SubmitError::Rejected { error, job } = err else { panic!() };
+/// assert_eq!(job.b().len(), 3); // the job comes back to the caller
+/// assert!(error.to_string().contains("right-hand side"));
+/// ```
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The job failed validation (shapes, solver family, builder knobs).
+    Rejected {
+        /// The specific rule the job violated.
+        error: SolveError,
+        /// The rejected job, returned to the caller (boxed so the error
+        /// stays small on the happy path).
+        job: Box<SolveJob>,
+    },
+    /// The admission queue is full — the service is saturated; back off
+    /// and retry.
+    QueueFull {
+        /// The job that did not fit, returned to the caller.
+        job: Box<SolveJob>,
+    },
+    /// The scheduler is shutting down and accepts no new work.
+    ShutDown {
+        /// The job, returned to the caller.
+        job: Box<SolveJob>,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Rejected { error, .. } => write!(f, "job rejected: {error}"),
+            SubmitError::QueueFull { .. } => write!(f, "admission queue full"),
+            SubmitError::ShutDown { .. } => write!(f, "scheduler is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Sizing and behavior knobs for a [`Scheduler`]; `Default` fits the
+/// current machine.
+///
+/// ```
+/// use asyrgs_serve::SchedulerConfig;
+/// let cfg = SchedulerConfig::default();
+/// assert!(cfg.runners >= 1 && cfg.slots >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Runner threads — the maximum number of jobs in flight at once.
+    pub runners: usize,
+    /// Admission-queue bound (rounded up to a power of two).
+    pub queue_capacity: usize,
+    /// Concurrency-slot budget shared by all in-flight jobs; defaults to
+    /// the machine's worker-pool width so co-scheduled solves cannot
+    /// oversubscribe the cores.
+    pub slots: usize,
+    /// Start with dispatch paused (jobs queue but do not run) until
+    /// [`Scheduler::resume`] — deterministic setup for fairness tests and
+    /// coordinated benchmark starts.
+    pub paused: bool,
+    /// Maximum jobs coalesced into one batched dispatch (`1` disables
+    /// coalescing). Queued jobs with the same matrix, the same
+    /// configuration, and no deadline ride along as extra right-hand
+    /// sides of one block solve (RGS/AsyRGS families).
+    pub coalesce: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        let width = asyrgs_parallel::default_concurrency();
+        SchedulerConfig {
+            runners: width,
+            queue_capacity: 1024,
+            slots: width,
+            paused: false,
+            coalesce: 32,
+        }
+    }
+}
+
+/// Monotone counters describing scheduler activity so far.
+///
+/// ```
+/// use asyrgs_serve::Scheduler;
+/// let scheduler = Scheduler::with_defaults();
+/// let stats = scheduler.stats();
+/// assert_eq!(stats.submitted, 0);
+/// assert_eq!(stats.completed, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Jobs accepted by [`Scheduler::submit`].
+    pub submitted: u64,
+    /// Jobs whose outcome has been published (any result).
+    pub completed: u64,
+    /// Completed jobs that produced a solution.
+    pub succeeded: u64,
+    /// Completed jobs that ended in [`SolveError::Cancelled`].
+    pub cancelled: u64,
+    /// Completed jobs that ended in [`SolveError::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+}
+
+/// One admitted job travelling from the MPMC queue to a runner.
+struct Submission {
+    job: SolveJob,
+    shared: Arc<JobShared>,
+    submitted_at: Instant,
+    deadline_at: Option<Instant>,
+}
+
+/// Per-tenant dispatch state: FIFO of admitted jobs plus the stride-
+/// scheduling pass value.
+struct TenantQueue {
+    fifo: VecDeque<Submission>,
+    /// Stride-scheduling virtual time: the tenant with the smallest pass
+    /// dispatches next; dispatching advances it by `STRIDE_ONE / weight`.
+    pass: u64,
+}
+
+/// Pass-increment numerator: one dispatch of a weight-`w` job advances the
+/// tenant's pass by `STRIDE_ONE / w`.
+const STRIDE_ONE: u64 = 1 << 20;
+
+/// Mutex-guarded dispatch state (the admission queue itself stays
+/// lock-free; this small table is touched once per dispatch, not per
+/// sweep).
+struct DispatchState {
+    tenants: BTreeMap<TenantId, TenantQueue>,
+    queued: usize,
+    paused: bool,
+    shutdown: bool,
+    /// Pass value of the most recently dispatched tenant; newly-active
+    /// tenants start here so an idle tenant cannot bank credit and then
+    /// monopolize the runners.
+    virtual_time: u64,
+}
+
+impl DispatchState {
+    /// Move every admitted submission from the lock-free queue into its
+    /// tenant's FIFO.
+    fn drain_injection(&mut self, injection: &MpmcQueue<Submission>) {
+        while let Some(sub) = injection.pop() {
+            let vt = self.virtual_time;
+            let tenant = self
+                .tenants
+                .entry(sub.job.tenant)
+                .or_insert_with(|| TenantQueue {
+                    fifo: VecDeque::new(),
+                    pass: vt,
+                });
+            if tenant.fifo.is_empty() {
+                tenant.pass = tenant.pass.max(vt);
+            }
+            tenant.fifo.push_back(sub);
+            self.queued += 1;
+        }
+    }
+
+    /// Stride scheduling: dispatch the head job of the lowest-pass tenant
+    /// with queued work (ties break on the smaller `TenantId` via the
+    /// BTreeMap's iteration order).
+    fn pick_next(&mut self) -> Option<Submission> {
+        let id = self
+            .tenants
+            .iter()
+            .filter(|(_, t)| !t.fifo.is_empty())
+            .min_by_key(|(_, t)| t.pass)
+            .map(|(id, _)| *id)?;
+        let tenant = self.tenants.get_mut(&id).expect("picked above");
+        let sub = tenant.fifo.pop_front().expect("non-empty checked");
+        self.queued -= 1;
+        self.virtual_time = tenant.pass;
+        tenant.pass += STRIDE_ONE / u64::from(sub.job.weight.max(1));
+        Some(sub)
+    }
+
+    /// Pick the next dispatch and coalesce up to `max - 1` compatible
+    /// queued jobs onto it as extra right-hand sides (fairness still
+    /// applies: every rider is charged its tenant's normal stride).
+    /// Riders are taken from FIFO *heads* only, so no tenant's jobs
+    /// complete out of submission order.
+    fn pick_batch(&mut self, max: usize) -> Option<Vec<Submission>> {
+        let seed = self.pick_next()?;
+        let mut batch = vec![seed];
+        if max <= 1 || !batch_anchor(&batch[0]) {
+            return Some(batch);
+        }
+        let ids: Vec<TenantId> = self.tenants.keys().copied().collect();
+        'outer: for id in ids {
+            loop {
+                if batch.len() >= max {
+                    break 'outer;
+                }
+                let tenant = self.tenants.get_mut(&id).expect("key from keys()");
+                match tenant.fifo.front() {
+                    Some(head) if batchable_with(&batch[0], head) => {
+                        let sub = tenant.fifo.pop_front().expect("front checked");
+                        self.queued -= 1;
+                        tenant.pass += STRIDE_ONE / u64::from(sub.job.weight.max(1));
+                        batch.push(sub);
+                    }
+                    _ => break,
+                }
+            }
+        }
+        Some(batch)
+    }
+}
+
+/// Whether a dispatched job may anchor a coalesced batch: a block entry
+/// point exists for its family (RGS/AsyRGS), and it carries none of the
+/// per-job plumbing (deadline, pending cancellation) a shared block driver
+/// cannot honor.
+fn batch_anchor(sub: &Submission) -> bool {
+    use asyrgs::session::SolverFamily;
+    matches!(
+        sub.job.builder.configured_family(),
+        SolverFamily::Rgs | SolverFamily::AsyRgs
+    ) && sub.deadline_at.is_none()
+        && !sub.shared.cancel.is_cancelled()
+}
+
+/// Whether `candidate` can ride along with `seed`: same matrix (by
+/// pointer), same full configuration, and no per-job plumbing of its own.
+fn batchable_with(seed: &Submission, candidate: &Submission) -> bool {
+    candidate.deadline_at.is_none()
+        && !candidate.shared.cancel.is_cancelled()
+        && Arc::ptr_eq(&seed.job.a, &candidate.job.a)
+        && seed.job.builder == candidate.job.builder
+}
+
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    succeeded: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    dispatch_seq: AtomicU64,
+    running: AtomicUsize,
+}
+
+struct Inner {
+    injection: MpmcQueue<Submission>,
+    dispatch: Mutex<DispatchState>,
+    work: Condvar,
+    slots: SlotAccountant,
+    counters: Counters,
+    coalesce: usize,
+}
+
+/// The multi-tenant solve scheduler (see the module docs for the dispatch
+/// pipeline, and the crate docs for a worked example).
+///
+/// ```
+/// use asyrgs::session::{SolverBuilder, SolverFamily};
+/// use asyrgs_serve::{Scheduler, SolveJob};
+/// use std::sync::Arc;
+///
+/// let scheduler = Scheduler::with_defaults();
+/// let a = Arc::new(asyrgs::workloads::laplace2d(6, 6));
+/// let b = a.matvec(&vec![1.0; a.n_rows()]);
+/// let handle = scheduler
+///     .submit(SolveJob::new(SolverBuilder::new(SolverFamily::Cg), a, b))
+///     .expect("valid job");
+/// let outcome = handle.wait();
+/// assert!(outcome.result.expect("cg converges").converged_early);
+/// ```
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    runners: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("runners", &self.runners.len())
+            .field("slots", &self.inner.slots.capacity())
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// A scheduler sized by `config`, with its runner threads started.
+    pub fn new(config: SchedulerConfig) -> Self {
+        let runners = config.runners.max(1);
+        let inner = Arc::new(Inner {
+            injection: MpmcQueue::with_capacity(config.queue_capacity),
+            dispatch: Mutex::new(DispatchState {
+                tenants: BTreeMap::new(),
+                queued: 0,
+                paused: config.paused,
+                shutdown: false,
+                virtual_time: 0,
+            }),
+            work: Condvar::new(),
+            slots: SlotAccountant::new(config.slots.max(1)),
+            counters: Counters {
+                submitted: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                succeeded: AtomicU64::new(0),
+                cancelled: AtomicU64::new(0),
+                deadline_exceeded: AtomicU64::new(0),
+                dispatch_seq: AtomicU64::new(0),
+                running: AtomicUsize::new(0),
+            },
+            coalesce: config.coalesce.max(1),
+        });
+        let handles = (0..runners)
+            .map(|id| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("asyrgs-serve-{id}"))
+                    .spawn(move || runner_loop(&inner))
+                    .expect("failed to spawn scheduler runner")
+            })
+            .collect();
+        Scheduler {
+            inner,
+            runners: handles,
+        }
+    }
+
+    /// A scheduler with [`SchedulerConfig::default`] sizing.
+    pub fn with_defaults() -> Self {
+        Scheduler::new(SchedulerConfig::default())
+    }
+
+    /// Validate and enqueue a job; returns the caller's [`JobHandle`].
+    ///
+    /// Validation runs **before** admission, so every job in the queue is
+    /// known-runnable: square system, conforming `b`/`x0`, a square-system
+    /// solver family, and in-range builder knobs.
+    ///
+    /// A [`CancelToken`](asyrgs_core::driver::CancelToken) or
+    /// [`ProgressProbe`](asyrgs_core::driver::ProgressProbe) the caller
+    /// already configured on the builder's `Termination` is **adopted**
+    /// as the job's own channel: cancelling the external token and
+    /// calling [`JobHandle::cancel`] raise the same flag, and the
+    /// external probe sees the same records as
+    /// [`JobHandle::progress`].
+    ///
+    /// # Errors
+    /// [`SubmitError::Rejected`] with the violated rule (the least-squares
+    /// families are rejected with
+    /// [`SolveError::MethodMismatch`] — serve square systems for now),
+    /// [`SubmitError::QueueFull`] under overload, or
+    /// [`SubmitError::ShutDown`] after drop began.
+    pub fn submit(&self, job: SolveJob) -> Result<JobHandle, SubmitError> {
+        if job.builder.configured_family().is_lsq() {
+            return Err(SubmitError::Rejected {
+                error: SolveError::MethodMismatch {
+                    called: "submit",
+                    family: job.builder.configured_family().name(),
+                },
+                job: Box::new(job),
+            });
+        }
+        if let Err(error) = asyrgs_core::driver::ensure_square_system(
+            "serve_submit",
+            job.a.n_rows(),
+            job.a.n_cols(),
+            job.b.len(),
+            job.x0.len(),
+        ) {
+            return Err(SubmitError::Rejected {
+                error,
+                job: Box::new(job),
+            });
+        }
+        if let Err(error) = job.builder.validate() {
+            return Err(SubmitError::Rejected {
+                error,
+                job: Box::new(job),
+            });
+        }
+        {
+            let st = self
+                .inner
+                .dispatch
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if st.shutdown {
+                return Err(SubmitError::ShutDown { job: Box::new(job) });
+            }
+        }
+        // Adopt a CancelToken/ProgressProbe the caller already configured
+        // on the builder's Termination as the job's own channels, so an
+        // external token and JobHandle::cancel share one flag (and both
+        // probes are one probe) instead of the scheduler's plumbing
+        // silently replacing the caller's.
+        let caller_term = job.builder.configured_term();
+        let shared = JobShared::new(
+            caller_term.cancel.clone().unwrap_or_default(),
+            caller_term.progress.clone().unwrap_or_default(),
+        );
+        let handle = JobHandle {
+            shared: Arc::clone(&shared),
+        };
+        let now = Instant::now();
+        let sub = Submission {
+            deadline_at: job.deadline.map(|d| now + d),
+            job,
+            shared,
+            submitted_at: now,
+        };
+        if let Err(back) = self.inner.injection.push(sub) {
+            return Err(SubmitError::QueueFull {
+                job: Box::new(back.job),
+            });
+        }
+        self.inner
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        // Wake a runner. Taking the dispatch lock (even for nothing)
+        // orders this notify after any runner's "queue is empty" check,
+        // closing the missed-wakeup race; the job payload itself travelled
+        // through the lock-free queue above.
+        drop(
+            self.inner
+                .dispatch
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        self.inner.work.notify_all();
+        Ok(handle)
+    }
+
+    /// Release a scheduler created with [`SchedulerConfig::paused`]:
+    /// everything queued so far dispatches in weighted-fair order.
+    pub fn resume(&self) {
+        let mut st = self
+            .inner
+            .dispatch
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        st.paused = false;
+        drop(st);
+        self.inner.work.notify_all();
+    }
+
+    /// Jobs admitted but not yet dispatched (approximate under concurrent
+    /// activity).
+    pub fn queued(&self) -> usize {
+        let st = self
+            .inner
+            .dispatch
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        st.queued + self.inner.injection.len()
+    }
+
+    /// Jobs currently executing on runner threads.
+    pub fn running(&self) -> usize {
+        self.inner.counters.running.load(Ordering::Relaxed)
+    }
+
+    /// The number of runner threads.
+    pub fn runners(&self) -> usize {
+        self.runners.len()
+    }
+
+    /// Activity counters so far.
+    pub fn stats(&self) -> SchedulerStats {
+        let c = &self.inner.counters;
+        SchedulerStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            succeeded: c.succeeded.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A queue-routed counterpart of
+    /// [`SolveSession`](asyrgs::session::SolveSession): same builder, same
+    /// `solve(a, b, x)` shape, but every call travels through this
+    /// scheduler's admission queue and fair dispatch. See the crate docs
+    /// for the migration story.
+    pub fn session(&self, builder: SolverBuilder) -> ScheduledSession<'_> {
+        ScheduledSession {
+            scheduler: self,
+            builder,
+            tenant: TenantId::ANON,
+            weight: 1,
+            deadline: None,
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        {
+            let mut st = self
+                .inner
+                .dispatch
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        for h in self.runners.drain(..) {
+            let _ = h.join();
+        }
+        // Runners are gone; cancel everything still queued so waiting
+        // handles observe a typed outcome instead of blocking forever.
+        let mut st = self
+            .inner
+            .dispatch
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        st.drain_injection(&self.inner.injection);
+        let leftovers: Vec<Submission> = st
+            .tenants
+            .values_mut()
+            .flat_map(|t| t.fifo.drain(..))
+            .collect();
+        st.queued = 0;
+        drop(st);
+        for sub in leftovers {
+            complete_undispatched(
+                &self.inner,
+                &sub,
+                Err(SolveError::Cancelled),
+                sub.job.x0.clone(),
+            );
+        }
+    }
+}
+
+/// Publish an outcome for a job that never ran (cancelled/expired while
+/// queued, or orphaned by shutdown).
+fn complete_undispatched(
+    inner: &Inner,
+    sub: &Submission,
+    result: Result<SolveReport, SolveError>,
+    x: Vec<f64>,
+) {
+    bump_outcome_counters(inner, &result);
+    sub.shared.complete(JobOutcome {
+        x,
+        result,
+        stats: JobStats {
+            queued: sub.submitted_at.elapsed(),
+            service: Duration::ZERO,
+            dispatch_seq: None,
+            threads_used: 0,
+            batch_size: 0,
+        },
+    });
+}
+
+fn bump_outcome_counters(inner: &Inner, result: &Result<SolveReport, SolveError>) {
+    let c = &inner.counters;
+    c.completed.fetch_add(1, Ordering::Relaxed);
+    match result {
+        Ok(_) => c.succeeded.fetch_add(1, Ordering::Relaxed),
+        Err(SolveError::Cancelled) => c.cancelled.fetch_add(1, Ordering::Relaxed),
+        Err(SolveError::DeadlineExceeded { .. }) => {
+            c.deadline_exceeded.fetch_add(1, Ordering::Relaxed)
+        }
+        Err(_) => 0,
+    };
+}
+
+/// The runner body: wait for dispatchable work, run it, publish the
+/// outcome, repeat until shutdown.
+fn runner_loop(inner: &Inner) {
+    loop {
+        let batch = {
+            let mut st = inner.dispatch.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                st.drain_injection(&inner.injection);
+                if st.shutdown {
+                    return;
+                }
+                if !st.paused {
+                    if let Some(batch) = st.pick_batch(inner.coalesce) {
+                        break batch;
+                    }
+                }
+                st = inner.work.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        inner.counters.running.fetch_add(1, Ordering::Relaxed);
+        run_batch(inner, batch);
+        inner.counters.running.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Map a contained solver panic to a typed error the caller can observe
+/// (instead of the panic killing the runner thread and hanging every
+/// waiter on the dispatch).
+fn panic_to_error(payload: Box<dyn std::any::Any + Send>) -> SolveError {
+    let detail = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    SolveError::DispatchPanic { detail }
+}
+
+/// Execute a coalesced dispatch: one job runs the full solo path; two or
+/// more share a single block solve (`solve_many`), which PR 4 made
+/// bitwise identical to running them back to back.
+fn run_batch(inner: &Inner, batch: Vec<Submission>) {
+    // Re-check cancellation: a token can fire between pick_batch (which
+    // excludes already-cancelled riders under the dispatch lock) and this
+    // point. Such riders must complete as cancelled — "cancellation
+    // before dispatch always works" — not silently run to Ok inside a
+    // block solve that cannot observe their tokens.
+    let mut batch: Vec<Submission> = batch
+        .into_iter()
+        .filter_map(|sub| {
+            if sub.shared.cancel.is_cancelled() {
+                complete_undispatched(inner, &sub, Err(SolveError::Cancelled), sub.job.x0.clone());
+                None
+            } else {
+                Some(sub)
+            }
+        })
+        .collect();
+    match batch.len() {
+        0 => return,
+        1 => return run_one(inner, batch.pop().expect("len checked")),
+        _ => {}
+    }
+    let queued: Vec<Duration> = batch.iter().map(|s| s.submitted_at.elapsed()).collect();
+    let seqs: Vec<u64> = batch
+        .iter()
+        .map(|_| inner.counters.dispatch_seq.fetch_add(1, Ordering::Relaxed))
+        .collect();
+    for sub in &batch {
+        sub.shared.mark_running();
+    }
+    let service_start = Instant::now();
+
+    let family = batch[0].job.builder.configured_family();
+    let want = if family.is_parallel() {
+        batch[0].job.builder.configured_threads().max(1)
+    } else {
+        1
+    };
+    let lease = inner.slots.lease_up_to(want);
+    let threads = lease.granted();
+    let batch_size = batch.len();
+
+    // Contain panics: a runner thread must survive any job, so a solver
+    // panic becomes a typed per-job error instead of hung waiters.
+    let builder = batch[0].job.builder.clone().threads(threads);
+    let solve_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        builder.build().and_then(|mut session| {
+            let a = Arc::clone(&batch[0].job.a);
+            let bs: Vec<&[f64]> = batch.iter().map(|s| s.job.b.as_slice()).collect();
+            let mut xs: Vec<Vec<f64>> = batch.iter().map(|s| s.job.x0.clone()).collect();
+            let mut xrefs: Vec<&mut [f64]> = xs.iter_mut().map(|v| v.as_mut_slice()).collect();
+            let reports = session.solve_many(a.as_ref(), &bs, &mut xrefs)?;
+            Ok((xs, reports))
+        })
+    }))
+    .unwrap_or_else(|payload| Err(panic_to_error(payload)));
+    drop(lease);
+    let service = service_start.elapsed();
+
+    // One publication loop for both arms: per-job (x, result) pairs. On
+    // any batch error (`solve_many` validates before touching any
+    // iterate) and for cancelled runs, x0 is returned untouched; a batch
+    // can only observe a cancel token the caller put on the shared
+    // builder (batchability requires identical builders), and it is
+    // mapped exactly like a solo dispatch so no partial iterate leaks.
+    let outcomes: Vec<(Submission, Vec<f64>, Result<SolveReport, SolveError>)> = match solve_result
+    {
+        Ok((xs, reports)) => batch
+            .into_iter()
+            .zip(xs.into_iter().zip(reports))
+            .map(|(sub, (x, report))| {
+                if report.cancelled {
+                    let x0 = sub.job.x0.clone();
+                    (sub, x0, Err(SolveError::Cancelled))
+                } else {
+                    (sub, x, Ok(report))
+                }
+            })
+            .collect(),
+        Err(e) => batch
+            .into_iter()
+            .map(|sub| {
+                let x0 = sub.job.x0.clone();
+                (sub, x0, Err(e.clone()))
+            })
+            .collect(),
+    };
+    for (i, (sub, x, result)) in outcomes.into_iter().enumerate() {
+        bump_outcome_counters(inner, &result);
+        sub.shared.complete(JobOutcome {
+            x,
+            result,
+            stats: JobStats {
+                queued: queued[i],
+                service,
+                dispatch_seq: Some(seqs[i]),
+                threads_used: threads,
+                batch_size,
+            },
+        });
+    }
+}
+
+/// Execute one dispatched submission end to end.
+fn run_one(inner: &Inner, sub: Submission) {
+    let queued = sub.submitted_at.elapsed();
+    let dispatch_seq = inner.counters.dispatch_seq.fetch_add(1, Ordering::Relaxed);
+    let budget_ms = sub
+        .job
+        .deadline
+        .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0);
+
+    // Pre-dispatch gates: a job cancelled or expired while queued never
+    // runs (and never touches its output buffer).
+    let pre_error = if sub.shared.cancel.is_cancelled() {
+        Some(SolveError::Cancelled)
+    } else if sub.deadline_at.is_some_and(|d| Instant::now() >= d) {
+        Some(SolveError::DeadlineExceeded { budget_ms })
+    } else {
+        None
+    };
+    if let Some(error) = pre_error {
+        complete_undispatched(inner, &sub, Err(error), sub.job.x0.clone());
+        return;
+    }
+
+    sub.shared.mark_running();
+    let service_start = Instant::now();
+
+    // Lease concurrency slots: parallel families get up to their
+    // configured thread count, everything else runs single-slot. Elastic
+    // shrink under load is safe — the paper's whole point is that the
+    // asynchronous solvers converge at any thread count.
+    let family = sub.job.builder.configured_family();
+    let want = if family.is_parallel() {
+        sub.job.builder.configured_threads().max(1)
+    } else {
+        1
+    };
+    let lease = inner.slots.lease_up_to(want);
+    let threads = lease.granted();
+
+    // Compose the scheduler's plumbing with the caller's stopping rules:
+    // cancellation token, progress probe, and the tighter of (caller
+    // wall-clock budget, time remaining until the deadline).
+    let mut term = sub
+        .job
+        .builder
+        .configured_term()
+        .clone()
+        .with_cancel(sub.shared.cancel.clone())
+        .with_progress(sub.shared.progress.clone());
+    if let Some(deadline_at) = sub.deadline_at {
+        let remaining = deadline_at.saturating_duration_since(Instant::now());
+        term.wall_clock = Some(term.wall_clock.map_or(remaining, |w| w.min(remaining)));
+    }
+    let builder = sub.job.builder.clone().threads(threads).term(term);
+
+    // Solve on a scratch iterate: the submitted x0 is only replaced by a
+    // *successful* solve, so every error path returns it untouched. The
+    // catch_unwind contains solver panics as typed errors — a runner
+    // thread must survive any job, or its waiters hang forever.
+    let mut x = sub.job.x0.clone();
+    let solve_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        builder
+            .build()
+            .and_then(|mut session| session.solve(sub.job.a.as_ref(), &sub.job.b, &mut x))
+    }))
+    .unwrap_or_else(|payload| Err(panic_to_error(payload)));
+
+    let deadline_passed = sub.deadline_at.is_some_and(|d| Instant::now() >= d);
+    let (x, result) = match solve_result {
+        Ok(rep) if rep.cancelled => (sub.job.x0.clone(), Err(SolveError::Cancelled)),
+        Ok(rep) if rep.stopped_on_budget && deadline_passed => (
+            sub.job.x0.clone(),
+            Err(SolveError::DeadlineExceeded { budget_ms }),
+        ),
+        Ok(rep) => (x, Ok(rep)),
+        Err(e) => (sub.job.x0.clone(), Err(e)),
+    };
+    drop(lease);
+
+    bump_outcome_counters(inner, &result);
+    sub.shared.complete(JobOutcome {
+        x,
+        result,
+        stats: JobStats {
+            queued,
+            service: service_start.elapsed(),
+            dispatch_seq: Some(dispatch_seq),
+            threads_used: threads,
+            batch_size: 1,
+        },
+    });
+}
+
+/// A [`Scheduler`]-routed solve session: the drop-in migration target from
+/// direct [`SolveSession`](asyrgs::session::SolveSession) use. Built by
+/// [`Scheduler::session`]; every `solve` travels the admission queue and
+/// weighted-fair dispatch, so many `ScheduledSession`s across threads
+/// share the machine instead of each assuming exclusive ownership.
+///
+/// ```
+/// use asyrgs::session::{SolverBuilder, SolverFamily};
+/// use asyrgs_serve::{Scheduler, TenantId};
+/// use std::sync::Arc;
+///
+/// let scheduler = Scheduler::with_defaults();
+/// let a = Arc::new(asyrgs::workloads::laplace2d(6, 6));
+/// let b = a.matvec(&vec![1.0; a.n_rows()]);
+///
+/// // Migration: builder.build()?.solve(&a, &b, &mut x) becomes
+/// let session = scheduler
+///     .session(SolverBuilder::new(SolverFamily::Cg))
+///     .tenant(TenantId(9));
+/// let mut x = vec![0.0; a.n_rows()];
+/// let report = session.solve(&a, &b, &mut x).expect("cg converges");
+/// assert!(report.converged_early);
+/// ```
+#[derive(Debug)]
+pub struct ScheduledSession<'s> {
+    scheduler: &'s Scheduler,
+    builder: SolverBuilder,
+    tenant: TenantId,
+    weight: u32,
+    deadline: Option<Duration>,
+}
+
+impl ScheduledSession<'_> {
+    /// Account this session's jobs to the given tenant.
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Fair-share weight for this session's jobs (clamped to at least 1).
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Per-solve deadline applied to every job this session submits.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Solve `A x = b` through the scheduler, blocking until the job
+    /// completes. `x` supplies the initial iterate and receives the
+    /// solution; on any error it is left bitwise untouched. A full
+    /// admission queue is retried with backoff (this is the blocking
+    /// convenience path; use [`Scheduler::submit`] directly for
+    /// non-blocking admission control).
+    ///
+    /// # Errors
+    /// The configured family's usual [`SolveError`]s, plus
+    /// [`SolveError::DeadlineExceeded`] /
+    /// [`SolveError::Cancelled`] from the scheduling layer (the latter
+    /// also if the scheduler shuts down first).
+    pub fn solve(
+        &self,
+        a: &Arc<CsrMatrix>,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<SolveReport, SolveError> {
+        let mut job = SolveJob::new(self.builder.clone(), Arc::clone(a), b.to_vec())
+            .with_x0(x.to_vec())
+            .with_tenant(self.tenant)
+            .with_weight(self.weight);
+        if let Some(d) = self.deadline {
+            job = job.with_deadline(d);
+        }
+        let handle = loop {
+            match self.scheduler.submit(job) {
+                Ok(handle) => break handle,
+                Err(SubmitError::Rejected { error, .. }) => return Err(error),
+                Err(SubmitError::QueueFull { job: back }) => {
+                    job = *back;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(SubmitError::ShutDown { .. }) => return Err(SolveError::Cancelled),
+            }
+        };
+        let outcome = handle.wait();
+        let report = outcome.result?;
+        x.copy_from_slice(&outcome.x);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyrgs::session::SolverFamily;
+    use asyrgs_core::driver::Termination;
+    use asyrgs_workloads::laplace2d;
+
+    fn problem(side: usize) -> (Arc<CsrMatrix>, Vec<f64>) {
+        let a = laplace2d(side, side);
+        let x_true: Vec<f64> = (0..a.n_rows()).map(|i| 1.0 + (i % 5) as f64).collect();
+        let b = a.matvec(&x_true);
+        (Arc::new(a), b)
+    }
+
+    fn cg_builder() -> SolverBuilder {
+        SolverBuilder::new(SolverFamily::Cg).term(Termination::sweeps(500).with_target(1e-10))
+    }
+
+    #[test]
+    fn submit_wait_roundtrip_solves() {
+        let sched = Scheduler::new(SchedulerConfig {
+            runners: 2,
+            ..SchedulerConfig::default()
+        });
+        let (a, b) = problem(8);
+        let h = sched
+            .submit(SolveJob::new(cg_builder(), Arc::clone(&a), b.clone()))
+            .unwrap();
+        let out = h.wait();
+        let rep = out.result.expect("cg converges");
+        assert!(rep.converged_early);
+        assert!(out.stats.dispatch_seq.is_some());
+        assert!(out.stats.threads_used >= 1);
+        let stats = sched.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.succeeded, 1);
+    }
+
+    #[test]
+    fn submit_rejects_bad_shapes_and_lsq_families() {
+        let sched = Scheduler::new(SchedulerConfig {
+            runners: 1,
+            ..SchedulerConfig::default()
+        });
+        let (a, _) = problem(4);
+        let err = sched
+            .submit(SolveJob::new(cg_builder(), Arc::clone(&a), vec![1.0; 3]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SubmitError::Rejected {
+                error: SolveError::DimensionMismatch { .. },
+                ..
+            }
+        ));
+        let err = sched
+            .submit(SolveJob::new(
+                SolverBuilder::new(SolverFamily::Rcd),
+                Arc::clone(&a),
+                vec![1.0; a.n_rows()],
+            ))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SubmitError::Rejected {
+                error: SolveError::MethodMismatch { .. },
+                ..
+            }
+        ));
+        // Builder knobs are validated at admission, not dispatch.
+        let err = sched
+            .submit(SolveJob::new(
+                SolverBuilder::new(SolverFamily::AsyRgs).beta(5.0),
+                Arc::clone(&a),
+                vec![1.0; a.n_rows()],
+            ))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SubmitError::Rejected {
+                error: SolveError::InvalidBeta { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn weighted_fair_dispatch_interleaves_tenants() {
+        // Paused single-runner scheduler: dispatch order is deterministic,
+        // so stride scheduling is directly observable via dispatch_seq.
+        let sched = Scheduler::new(SchedulerConfig {
+            runners: 1,
+            paused: true,
+            ..SchedulerConfig::default()
+        });
+        let (a, b) = problem(4);
+        let quick = || {
+            SolveJob::new(
+                SolverBuilder::new(SolverFamily::Cg).term(Termination::sweeps(3)),
+                Arc::clone(&a),
+                b.clone(),
+            )
+        };
+        let hi: Vec<JobHandle> = (0..8)
+            .map(|_| {
+                sched
+                    .submit(quick().with_tenant(TenantId(1)).with_weight(4))
+                    .unwrap()
+            })
+            .collect();
+        let lo: Vec<JobHandle> = (0..2)
+            .map(|_| {
+                sched
+                    .submit(quick().with_tenant(TenantId(2)).with_weight(1))
+                    .unwrap()
+            })
+            .collect();
+        sched.resume();
+        let hi_seqs: Vec<u64> = hi
+            .into_iter()
+            .map(|h| h.wait().stats.dispatch_seq.unwrap())
+            .collect();
+        let lo_seqs: Vec<u64> = lo
+            .into_iter()
+            .map(|h| h.wait().stats.dispatch_seq.unwrap())
+            .collect();
+        // 4:1 weights over 10 jobs: the low tenant's first job must
+        // dispatch in the first half, not after the high tenant drains.
+        assert!(
+            lo_seqs[0] < 5,
+            "low-weight tenant starved: hi={hi_seqs:?} lo={lo_seqs:?}"
+        );
+        assert!(
+            hi_seqs.iter().filter(|&&s| s < lo_seqs[1]).count() >= 4,
+            "weights ignored: hi={hi_seqs:?} lo={lo_seqs:?}"
+        );
+    }
+
+    #[test]
+    fn scheduled_session_matches_direct_session() {
+        let sched = Scheduler::new(SchedulerConfig {
+            runners: 2,
+            ..SchedulerConfig::default()
+        });
+        let (a, b) = problem(6);
+        let mut x_direct = vec![0.0; a.n_rows()];
+        cg_builder()
+            .build()
+            .unwrap()
+            .solve(a.as_ref(), &b, &mut x_direct)
+            .unwrap();
+        let session = sched.session(cg_builder());
+        let mut x_served = vec![0.0; a.n_rows()];
+        session.solve(&a, &b, &mut x_served).unwrap();
+        assert_eq!(x_direct, x_served, "queue routing must not change math");
+    }
+
+    #[test]
+    fn panic_payloads_map_to_typed_errors() {
+        let e = panic_to_error(Box::new("boom"));
+        assert_eq!(
+            e,
+            SolveError::DispatchPanic {
+                detail: "boom".into()
+            }
+        );
+        let e = panic_to_error(Box::new(String::from("owned boom")));
+        assert!(matches!(e, SolveError::DispatchPanic { detail } if detail == "owned boom"));
+        let e = panic_to_error(Box::new(42u32));
+        assert!(matches!(e, SolveError::DispatchPanic { detail } if detail.contains("non-string")));
+    }
+
+    #[test]
+    fn caller_supplied_cancel_token_is_adopted_not_replaced() {
+        use asyrgs_core::driver::CancelToken;
+        // A token the caller put on the builder's own Termination must
+        // keep working through the scheduler: cancelling it (never the
+        // handle) stops the queued job.
+        let sched = Scheduler::new(SchedulerConfig {
+            runners: 1,
+            paused: true,
+            ..SchedulerConfig::default()
+        });
+        let (a, b) = problem(4);
+        let token = CancelToken::new();
+        let builder = SolverBuilder::new(SolverFamily::Rgs)
+            .term(Termination::sweeps(1_000_000).with_cancel(token.clone()));
+        let x0 = vec![9.5; a.n_rows()];
+        let handle = sched
+            .submit(SolveJob::new(builder, Arc::clone(&a), b).with_x0(x0.clone()))
+            .unwrap();
+        token.cancel();
+        sched.resume();
+        let out = handle.wait();
+        assert_eq!(out.result.unwrap_err(), SolveError::Cancelled);
+        assert_eq!(out.x, x0);
+    }
+
+    #[test]
+    fn drop_cancels_queued_jobs() {
+        let sched = Scheduler::new(SchedulerConfig {
+            runners: 1,
+            paused: true,
+            ..SchedulerConfig::default()
+        });
+        let (a, b) = problem(4);
+        let h = sched
+            .submit(SolveJob::new(cg_builder(), Arc::clone(&a), b))
+            .unwrap();
+        drop(sched);
+        let out = h.wait();
+        assert_eq!(out.result.unwrap_err(), SolveError::Cancelled);
+    }
+}

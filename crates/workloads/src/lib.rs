@@ -15,6 +15,9 @@
 //!   deterministic problem families with per-solver-family expectation
 //!   tags, driving the cross-solver conformance matrix and the
 //!   `scenario_runner` benchmark.
+//! * [`traffic`] — mixed-tenant traffic scenarios over the corpus: seeded
+//!   tenant populations (weights, scenarios, deadlines) replayed against
+//!   the `asyrgs-serve` scheduler by the `serve_runner` benchmark.
 
 #![warn(missing_docs)]
 
@@ -23,6 +26,7 @@ pub mod laplace;
 pub mod lsq;
 pub mod scenarios;
 pub mod spd;
+pub mod traffic;
 
 pub use gram::{gram_matrix, skew_stats, GramParams, GramProblem, SkewStats};
 pub use laplace::{
@@ -32,6 +36,7 @@ pub use laplace::{
 pub use lsq::{random_lsq, LsqParams, LsqProblem};
 pub use scenarios::{BuiltScenario, Expectation, Scenario, ScenarioClass};
 pub use spd::{diag_dominant, random_spd_band};
+pub use traffic::{mixed_tenant_mix, TenantProfile, TrafficMix};
 
 #[cfg(test)]
 mod property_tests {

@@ -32,8 +32,15 @@
 //!   pool and scratch workspace (repeat solves allocate nothing), and
 //!   batches multi-RHS workloads.
 //!
-//! See `README.md` for a tour of the crates and the migration table from
-//! the deprecated free functions.
+//! On top of the session layer, the downstream `asyrgs-serve` crate turns
+//! solves into a **multi-tenant service**: a scheduler with lock-free
+//! admission, weighted-fair dispatch, job coalescing into block solves,
+//! cancellation, deadlines, and progress streaming (it depends on this
+//! facade, so it is not re-exported here — see `crates/serve`).
+//!
+//! See `README.md` for a tour of the crates, `ARCHITECTURE.md` for the
+//! layer map and invariants, and the README migration table from the
+//! deprecated free functions.
 //!
 //! ## Quickstart
 //!

@@ -22,6 +22,13 @@
 //!   direction stream and one quiescence-epoch structure across all
 //!   right-hand sides (the paper's 51-systems workload, Section 9).
 //!
+//! A `SolveSession` assumes its caller owns the machine for the duration
+//! of a solve. When multiple callers share one process, route the same
+//! builder through the `asyrgs-serve` scheduler instead
+//! (`Scheduler::session(builder)` has the same `solve` shape but adds
+//! admission control, weighted-fair dispatch across tenants, coalescing,
+//! cancellation, and deadlines).
+//!
 //! ```
 //! use asyrgs::session::{SolverBuilder, SolverFamily};
 //! use asyrgs::prelude::Termination;
@@ -132,8 +139,9 @@ impl SolverFamily {
     }
 
     /// Whether this family runs worker threads (and therefore needs a
-    /// pool wide enough for `threads`).
-    fn is_parallel(&self) -> bool {
+    /// pool wide enough for `threads`). Schedulers use this to decide how
+    /// many concurrency slots a job of this family can exploit.
+    pub fn is_parallel(&self) -> bool {
         matches!(
             self,
             SolverFamily::AsyRgs
@@ -145,7 +153,7 @@ impl SolverFamily {
 
     /// Whether this family solves least-squares systems through
     /// [`SolveSession::solve_lsq`] rather than square systems.
-    fn is_lsq(&self) -> bool {
+    pub fn is_lsq(&self) -> bool {
         matches!(self, SolverFamily::Rcd | SolverFamily::AsyncRcd)
     }
 }
@@ -177,7 +185,10 @@ pub enum PrecondSpec {
 /// numeric ones (`beta`, `damping`, `threads`) and returns a typed
 /// [`SolveError`] instead of panicking. Knobs irrelevant to the chosen
 /// family are ignored.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every knob — schedulers use it to recognize jobs
+/// that can share one batched dispatch (see `asyrgs-serve`).
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolverBuilder {
     family: SolverFamily,
     beta: f64,
@@ -320,17 +331,31 @@ impl SolverBuilder {
         self
     }
 
-    /// Validate the configuration and build a reusable [`SolveSession`].
-    ///
-    /// Acquires the worker-pool handle once (borrowing the process-wide
-    /// pool when it is wide enough) and allocates nothing else: the
-    /// session's workspace buffers are sized lazily by the first solve.
+    /// The family this builder configures.
+    pub fn configured_family(&self) -> SolverFamily {
+        self.family
+    }
+
+    /// The currently configured worker thread count.
+    pub fn configured_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The currently configured termination rule. Schedulers read this to
+    /// compose their own cancellation/deadline/progress plumbing with the
+    /// caller's stopping criteria (see `asyrgs-serve`).
+    pub fn configured_term(&self) -> &Termination {
+        &self.term
+    }
+
+    /// Check every numeric knob against the chosen family's rules without
+    /// building anything — the admission-time validation a scheduler runs
+    /// before queueing a job (see `asyrgs-serve`), and exactly the checks
+    /// [`build`](Self::build) performs.
     ///
     /// # Errors
-    /// [`SolveError::InvalidBeta`], [`SolveError::InvalidDamping`], or
-    /// [`SolveError::ZeroThreads`] when the corresponding knob is out of
-    /// range for the chosen family.
-    pub fn build(self) -> Result<SolveSession, SolveError> {
+    /// The same errors as [`build`](Self::build).
+    pub fn validate(&self) -> Result<(), SolveError> {
         match self.family {
             SolverFamily::Rgs
             | SolverFamily::AsyRgs
@@ -355,7 +380,21 @@ impl SolverBuilder {
                 }
             }
         }
-        ensure_threads(self.threads)?;
+        ensure_threads(self.threads)
+    }
+
+    /// Validate the configuration and build a reusable [`SolveSession`].
+    ///
+    /// Acquires the worker-pool handle once (borrowing the process-wide
+    /// pool when it is wide enough) and allocates nothing else: the
+    /// session's workspace buffers are sized lazily by the first solve.
+    ///
+    /// # Errors
+    /// [`SolveError::InvalidBeta`], [`SolveError::InvalidDamping`], or
+    /// [`SolveError::ZeroThreads`] when the corresponding knob is out of
+    /// range for the chosen family.
+    pub fn build(self) -> Result<SolveSession, SolveError> {
+        self.validate()?;
         let pool_width =
             if self.family.is_parallel() || matches!(self.precond, PrecondSpec::AsyRgs { .. }) {
                 self.threads
