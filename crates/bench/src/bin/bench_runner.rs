@@ -20,8 +20,8 @@ use asyrgs_core::atomic::SharedVec;
 use asyrgs_core::driver::{Recording, Termination};
 use asyrgs_core::jacobi::{try_async_jacobi_solve, JacobiOptions};
 use asyrgs_core::rgs::{try_rgs_solve, RgsOptions};
-use asyrgs_rng::DirectionStream;
-use asyrgs_sparse::{CsrMatrix, RowMajorMat};
+use asyrgs_rng::{DirectionStream, DrawBuffer};
+use asyrgs_sparse::{CsrMatrix, RowAccess, RowMajorMat, SellMatrix};
 use asyrgs_workloads::diag_dominant;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -208,6 +208,82 @@ fn main() {
             median_seconds: med,
             min_seconds: min,
         });
+        let sell = SellMatrix::from(&a);
+        let (med, min) = time_median(reps, || {
+            let mut acc = 0.0;
+            for i in 0..inner_rd {
+                acc += sell.row_dot(i % n, std::hint::black_box(&x));
+            }
+            acc
+        });
+        kernels.push(Sample {
+            name: format!("row_dot_sell_x{inner_rd}"),
+            median_seconds: med,
+            min_seconds: min,
+        });
+
+        // Per-update overhead decomposition of the AsyRGS hot path: the
+        // batched direction draw alone, draw + unrolled row walk over the
+        // shared iterate, and the full update including the CAS-add write.
+        // The differences between consecutive lines localize where
+        // per-update time actually goes.
+        let dinv: Vec<f64> = a.diag().iter().map(|d| 1.0 / d).collect();
+        let shared = SharedVec::from_slice(&vec![0.0f64; n]);
+        let ds = DirectionStream::new(9, n);
+        let inner_up = if smoke { 2_000 } else { 100_000 };
+        let mut draws = DrawBuffer::new();
+        let (med, min) = time_median(reps, || {
+            let mut acc = 0usize;
+            let mut j = 0usize;
+            while j < inner_up {
+                let batch = DrawBuffer::DEFAULT_CAPACITY.min(inner_up - j);
+                let dirs = draws.fill_with(batch, |out| ds.fill_directions(j as u64, out));
+                acc = acc.wrapping_add(dirs.iter().sum::<usize>());
+                j += batch;
+            }
+            acc
+        });
+        kernels.push(Sample {
+            name: format!("update_draw_only_x{inner_up}"),
+            median_seconds: med,
+            min_seconds: min,
+        });
+        let (med, min) = time_median(reps, || {
+            let mut acc = 0.0;
+            let mut j = 0usize;
+            while j < inner_up {
+                let batch = DrawBuffer::DEFAULT_CAPACITY.min(inner_up - j);
+                let dirs = draws.fill_with(batch, |out| ds.fill_directions(j as u64, out));
+                for &r in dirs {
+                    acc += a.row_dot_with(r, |c| shared.load(c));
+                }
+                j += batch;
+            }
+            acc
+        });
+        kernels.push(Sample {
+            name: format!("update_draw_row_dot_x{inner_up}"),
+            median_seconds: med,
+            min_seconds: min,
+        });
+        let (med, min) = time_median(reps, || {
+            let mut j = 0usize;
+            while j < inner_up {
+                let batch = DrawBuffer::DEFAULT_CAPACITY.min(inner_up - j);
+                let dirs = draws.fill_with(batch, |out| ds.fill_directions(j as u64, out));
+                for &r in dirs {
+                    let dot = a.row_dot_with(r, |c| shared.load(c));
+                    let gamma = (b[r] - dot) * dinv[r];
+                    shared.fetch_add(r, gamma);
+                }
+                j += batch;
+            }
+        });
+        kernels.push(Sample {
+            name: format!("update_full_x{inner_up}"),
+            median_seconds: med,
+            min_seconds: min,
+        });
     }
 
     // ---------------------------------------------------- epoched-solver A/B
@@ -313,7 +389,12 @@ fn main() {
     let mut solvers: Vec<Sample> = Vec::new();
     {
         let run_sweeps = if smoke { 10 } else { 50 };
-        let (med, min) = time_median(reps, || {
+        // The rgs-vs-asyrgs ratio is CI-gated, so time the two contenders
+        // with extra repetitions and compare minima: on a shared box,
+        // scheduler noise only ever *adds* time, so min-of-reps is the
+        // noise-robust estimator of the true cost.
+        let gate_reps = if smoke { 5 } else { 15 };
+        let (med, min) = time_median(gate_reps, || {
             let mut x = vec![0.0f64; n];
             try_rgs_solve(
                 &a,
@@ -328,13 +409,15 @@ fn main() {
             )
             .expect("solve failed")
         });
+        let rgs_min = min;
         solvers.push(Sample {
             name: format!("rgs_sweeps{run_sweeps}"),
             median_seconds: med,
             min_seconds: min,
         });
+        let mut asyrgs_t2_min = f64::NAN;
         for t in [1usize, 2] {
-            let (med, min) = time_median(reps, || {
+            let (med, min) = time_median(gate_reps, || {
                 let mut x = vec![0.0f64; n];
                 try_asyrgs_solve(
                     &a,
@@ -350,12 +433,31 @@ fn main() {
                 )
                 .expect("solve failed")
             });
+            if t == 2 {
+                asyrgs_t2_min = min;
+            }
             solvers.push(Sample {
                 name: format!("asyrgs_t{t}_sweeps{run_sweeps}"),
                 median_seconds: med,
                 min_seconds: min,
             });
         }
+        // The headline claim of the paper's perf story, gated in CI: the
+        // asynchronous solver at t=2 must not be slower than sequential RGS
+        // on the large work-bound system (same sweep budget, so identical
+        // total row updates — the async path wins on per-update overhead:
+        // batched draw/claim amortization and the dispatch-free fast-path
+        // inner loop).
+        speedups.push(Speedup {
+            name: "asyrgs_vs_rgs_large_work_bound".to_string(),
+            before_seconds: rgs_min,
+            after_seconds: asyrgs_t2_min,
+        });
+        eprintln!(
+            "asyrgs t2 vs sequential rgs (n={n}, {run_sweeps} sweeps, min of {gate_reps}): \
+             rgs {rgs_min:.4}s -> asyrgs {asyrgs_t2_min:.4}s ({:.2}x)",
+            rgs_min / asyrgs_t2_min
+        );
         let (med, min) = time_median(reps, || {
             let mut x = vec![0.0f64; n];
             try_async_jacobi_solve(

@@ -39,6 +39,7 @@ use crate::report::SolveReport;
 use crate::rgs::{Directions, RowSampling};
 use crate::workspace::{resize_scratch, resize_scratch_mat, SolveWorkspace};
 use asyrgs_parallel::WorkerPool;
+use asyrgs_rng::DrawBuffer;
 use asyrgs_sparse::dense::{self, RowMajorMat};
 use asyrgs_sparse::{CsrMatrix, LinearOperator, RowAccess};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -163,7 +164,21 @@ fn effective_epoch(opts: &AsyRgsOptions) -> usize {
         .max(1)
 }
 
+/// Pick the per-worker claim batch for an epoch of `epoch_iters`
+/// iterations: large enough to amortize the shared-counter RMW and the
+/// batched draw fill, small enough that every worker gets a share of even
+/// a short epoch. Claim order — and therefore the single-thread update
+/// sequence — is independent of the batch size.
+pub(crate) fn claim_batch(epoch_iters: u64, threads: usize) -> u64 {
+    (epoch_iters / (threads as u64 * 4)).clamp(1, DrawBuffer::DEFAULT_CAPACITY as u64)
+}
+
 /// One worker: claim global iteration indices until `limit`, apply updates.
+///
+/// Iterations are claimed `claim` at a time (one counter RMW per batch,
+/// not per update) and their directions drawn with one batched fill —
+/// both bitwise-neutral: claimed ranges are consecutive and the draws are
+/// pure functions of the iteration index.
 #[allow(clippy::too_many_arguments)]
 fn worker<O: RowAccess>(
     a: &O,
@@ -173,39 +188,60 @@ fn worker<O: RowAccess>(
     ds: &Directions,
     counter: &AtomicU64,
     limit: u64,
+    claim: u64,
     beta: f64,
     mode: WriteMode,
     lock: Option<&RwLock<()>>,
     commits: &AtomicU64,
     max_delay: &AtomicU64,
 ) {
+    let mut draws = DrawBuffer::new();
     let mut local_max = 0u64;
     loop {
-        let j = counter.fetch_add(1, Ordering::Relaxed);
-        if j >= limit {
+        let start = counter.fetch_add(claim, Ordering::Relaxed);
+        if start >= limit {
             break;
         }
-        let r = ds.direction(j);
-        let mut dot = 0.0;
-        // Commits visible when the read starts — used to measure the
-        // empirical delay tau (Assumption A-3's constant, observed).
+        let batch = (limit - start).min(claim) as usize;
+        let dirs = draws.fill_with(batch, |out| ds.fill_directions(start, out));
+        // Commits visible when the batch starts — used to measure the
+        // empirical delay tau (Assumption A-3's constant, observed at
+        // batch granularity: the count of foreign commits that landed
+        // while this batch ran).
         let c0 = commits.load(Ordering::Relaxed);
-        // Read phase (Algorithm 1 line 5). Under LockedConsistent, hold a
-        // shared lock so no write interleaves: R ∩ M = ∅ (Assumption A-2).
-        {
-            let _guard = lock.map(|l| l.read().unwrap());
-            a.visit_row(r, |c, v| dot += v * x.load(c));
-        }
-        let gamma = (b[r] - dot) * dinv[r];
-        // Write phase (line 7); exclusive under LockedConsistent.
-        {
-            let _wguard = lock.map(|l| l.write().unwrap());
-            match mode {
-                WriteMode::Atomic => x.fetch_add(r, beta * gamma),
-                WriteMode::NonAtomic => x.cell(r).add_non_atomic(beta * gamma),
+        if lock.is_none() && mode == WriteMode::Atomic {
+            // Fast path for the default configuration (lock-free
+            // inconsistent reads, atomic writes): no per-update dispatch,
+            // just walk and CAS-add. Same expressions in the same order as
+            // the general path below, so the iterates are bitwise equal.
+            for &r in dirs {
+                let dot = a.row_dot_with(r, |c| x.load(c));
+                let gamma = (b[r] - dot) * dinv[r];
+                x.fetch_add(r, beta * gamma);
+            }
+        } else {
+            for &r in dirs {
+                // Read phase (Algorithm 1 line 5). Under LockedConsistent,
+                // hold a shared lock so no write interleaves: R ∩ M = ∅
+                // (Assumption A-2). The walk runs the backend's unrolled
+                // kernel against relaxed loads.
+                let dot;
+                {
+                    let _guard = lock.map(|l| l.read().unwrap());
+                    dot = a.row_dot_with(r, |c| x.load(c));
+                }
+                let gamma = (b[r] - dot) * dinv[r];
+                // Write phase (line 7); exclusive under LockedConsistent.
+                {
+                    let _wguard = lock.map(|l| l.write().unwrap());
+                    match mode {
+                        WriteMode::Atomic => x.fetch_add(r, beta * gamma),
+                        WriteMode::NonAtomic => x.cell(r).add_non_atomic(beta * gamma),
+                    }
+                }
             }
         }
-        let c1 = commits.fetch_add(1, Ordering::Relaxed);
+        let c1 = commits.fetch_add(dirs.len() as u64, Ordering::Relaxed);
         local_max = local_max.max(c1.saturating_sub(c0));
     }
     max_delay.fetch_max(local_max, Ordering::Relaxed);
@@ -271,6 +307,7 @@ pub fn asyrgs_solve_in<O: RowAccess + Sync>(
         let sweeps_this_epoch = epoch_sweeps.min(driver.max_sweeps() - sweeps_done);
         sweeps_done += sweeps_this_epoch;
         let limit = (sweeps_done as u64) * (n as u64);
+        let claim = claim_batch((sweeps_this_epoch as u64) * (n as u64), opts.threads);
         // One pool round per epoch: round completion is the
         // synchronization point.
         pool.run(opts.threads, |_| {
@@ -282,6 +319,7 @@ pub fn asyrgs_solve_in<O: RowAccess + Sync>(
                 &ds,
                 &counter,
                 limit,
+                claim,
                 opts.beta,
                 opts.write_mode,
                 lock.as_ref(),
@@ -289,8 +327,8 @@ pub fn asyrgs_solve_in<O: RowAccess + Sync>(
                 &max_delay,
             )
         });
-        // Exiting workers overshoot the claim counter by one failed claim
-        // each; reset it to the exact epoch boundary while they are
+        // Exiting workers overshoot the claim counter by up to one claim
+        // batch each; reset it to the exact epoch boundary while they are
         // quiescent so the next epoch misses no iteration.
         counter.store(limit, Ordering::Relaxed);
         // Synchronized: observe telemetry through the driver (scratch
@@ -417,6 +455,7 @@ impl Solver for AsyRgsOptions {
 }
 
 /// Multi-RHS worker: each iteration updates the whole row `X[r, :]`.
+/// Claims and draws are batched exactly as in the single-RHS [`worker`].
 #[allow(clippy::too_many_arguments)]
 fn worker_block(
     a: &CsrMatrix,
@@ -427,41 +466,46 @@ fn worker_block(
     ds: &Directions,
     counter: &AtomicU64,
     limit: u64,
+    claim: u64,
     beta: f64,
     mode: WriteMode,
     lock: Option<&RwLock<()>>,
 ) {
+    let mut draws = DrawBuffer::new();
     let mut gammas = vec![0.0f64; k];
     loop {
-        let j = counter.fetch_add(1, Ordering::Relaxed);
-        if j >= limit {
+        let start = counter.fetch_add(claim, Ordering::Relaxed);
+        if start >= limit {
             break;
         }
-        let r = ds.direction(j);
-        let (cols, vals) = a.row(r);
-        // Accumulate the per-column dots first and keep the single-RHS
-        // association (`(b - dot) * dinv`, then `beta * gamma`), so a
-        // one-thread block solve is bitwise the sequence of single solves
-        // — the contract `solve_many` advertises.
-        gammas.fill(0.0);
-        {
-            let _guard = lock.map(|l| l.read().unwrap());
-            for (&c, &v) in cols.iter().zip(vals) {
-                let base = c * k;
-                for (t, g) in gammas.iter_mut().enumerate() {
-                    *g += v * x.load(base + t);
+        let batch = (limit - start).min(claim) as usize;
+        let dirs: &[usize] = draws.fill_with(batch, |out| ds.fill_directions(start, out));
+        for &r in dirs {
+            let (cols, vals) = a.row(r);
+            // Accumulate the per-column dots first and keep the single-RHS
+            // association (`(b - dot) * dinv`, then `beta * gamma`), so a
+            // one-thread block solve is bitwise the sequence of single
+            // solves — the contract `solve_many` advertises.
+            gammas.fill(0.0);
+            {
+                let _guard = lock.map(|l| l.read().unwrap());
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let base = c * k;
+                    for (t, g) in gammas.iter_mut().enumerate() {
+                        *g += v * x.load(base + t);
+                    }
                 }
             }
-        }
-        let br = b.row(r);
-        let base = r * k;
-        let _wguard = lock.map(|l| l.write().unwrap());
-        for (t, g) in gammas.iter().enumerate() {
-            let gamma = (br[t] - g) * dinv[r];
-            let delta = beta * gamma;
-            match mode {
-                WriteMode::Atomic => x.fetch_add(base + t, delta),
-                WriteMode::NonAtomic => x.cell(base + t).add_non_atomic(delta),
+            let br = b.row(r);
+            let base = r * k;
+            let _wguard = lock.map(|l| l.write().unwrap());
+            for (t, g) in gammas.iter().enumerate() {
+                let gamma = (br[t] - g) * dinv[r];
+                let delta = beta * gamma;
+                match mode {
+                    WriteMode::Atomic => x.fetch_add(base + t, delta),
+                    WriteMode::NonAtomic => x.cell(base + t).add_non_atomic(delta),
+                }
             }
         }
     }
@@ -524,6 +568,7 @@ pub fn asyrgs_solve_block_in(
         let sweeps_this_epoch = epoch_sweeps.min(driver.max_sweeps() - sweeps_done);
         sweeps_done += sweeps_this_epoch;
         let limit = (sweeps_done as u64) * (n as u64);
+        let claim = claim_batch((sweeps_this_epoch as u64) * (n as u64), opts.threads);
         pool.run(opts.threads, |_| {
             worker_block(
                 a,
@@ -534,6 +579,7 @@ pub fn asyrgs_solve_block_in(
                 &ds,
                 &counter,
                 limit,
+                claim,
                 opts.beta,
                 opts.write_mode,
                 lock.as_ref(),

@@ -29,7 +29,7 @@ use crate::error::SolveError;
 use crate::report::SolveReport;
 use crate::workspace::{resize_scratch, SolveWorkspace};
 use asyrgs_parallel::WorkerPool;
-use asyrgs_rng::DirectionStream;
+use asyrgs_rng::{DirectionStream, DrawBuffer};
 use asyrgs_sparse::dense;
 use asyrgs_sparse::{CscMatrix, CsrMatrix};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -228,6 +228,12 @@ pub fn rcd_solve(
 }
 
 /// Asynchronous worker for iteration (21).
+///
+/// Iterations are claimed in batches of `claim` and their column draws
+/// filled into a per-worker [`DrawBuffer`] in one pass; Philox draws are
+/// pure functions of the iteration index, so the batched stream is bitwise
+/// identical to per-iteration draws.
+#[allow(clippy::too_many_arguments)]
 fn lsq_worker(
     op: &LsqOperator,
     b: &[f64],
@@ -235,29 +241,30 @@ fn lsq_worker(
     ds: &DirectionStream,
     counter: &AtomicU64,
     limit: u64,
+    claim: u64,
     beta: f64,
 ) {
+    let mut draws = DrawBuffer::new();
     loop {
-        let j = counter.fetch_add(1, Ordering::Relaxed);
-        if j >= limit {
+        let start = counter.fetch_add(claim, Ordering::Relaxed);
+        if start >= limit {
             break;
         }
-        let col = ds.direction(j);
-        // gamma = sum over rows i with A_{i,col} != 0 of
-        //         A_{i,col} * (b_i - A_i x),
-        // recomputing each needed residual entry from shared x.
-        let (rows_c, vals_c) = op.csc.col(col);
-        let mut gamma = 0.0;
-        for (&i, &vic) in rows_c.iter().zip(vals_c) {
-            let (cols_i, vals_i) = op.a.row(i);
-            let mut dot = 0.0;
-            for (&c, &v) in cols_i.iter().zip(vals_i) {
-                dot += v * x.load(c);
+        let batch = (limit - start).min(claim) as usize;
+        let dirs = draws.fill_with(batch, |out| ds.fill_directions(start, out));
+        for &col in dirs {
+            // gamma = sum over rows i with A_{i,col} != 0 of
+            //         A_{i,col} * (b_i - A_i x),
+            // recomputing each needed residual entry from shared x.
+            let (rows_c, vals_c) = op.csc.col(col);
+            let mut gamma = 0.0;
+            for (&i, &vic) in rows_c.iter().zip(vals_c) {
+                let dot = op.a.row_dot_with(i, |c| x.load(c));
+                gamma += vic * (b[i] - dot);
             }
-            gamma += vic * (b[i] - dot);
+            gamma /= op.col_norms_sq[col];
+            x.fetch_add(col, beta * gamma);
         }
-        gamma /= op.col_norms_sq[col];
-        x.fetch_add(col, beta * gamma);
     }
 }
 
@@ -303,11 +310,12 @@ pub fn async_rcd_solve_in(
         let this_epoch = epoch_sweeps.min(driver.max_sweeps() - sweeps_done);
         sweeps_done += this_epoch;
         let limit = (sweeps_done as u64) * (n as u64);
+        let claim = crate::asyrgs::claim_batch((this_epoch as u64) * (n as u64), opts.threads);
         pool.run(opts.threads, |_| {
-            lsq_worker(op, b, shared, &ds, &counter, limit, opts.beta)
+            lsq_worker(op, b, shared, &ds, &counter, limit, claim, opts.beta)
         });
-        // Exiting workers overshoot the claim counter by one failed claim
-        // each; reset it to the exact epoch boundary while they are
+        // Exiting workers overshoot the claim counter by up to one claim
+        // batch each; reset it to the exact epoch boundary while they are
         // quiescent so the next epoch misses no iteration.
         counter.store(limit, Ordering::Relaxed);
         let stop = driver.observe_lazy(sweeps_done, limit, || {

@@ -66,6 +66,18 @@ impl Directions {
             Directions::Weighted(s) => s.direction(j),
         }
     }
+
+    /// Batched draw: fill `out[k]` with the direction of iteration
+    /// `start + k`. One enum dispatch per batch instead of per draw;
+    /// counter-based random access makes the result bitwise identical to
+    /// per-iteration [`direction`](Self::direction) calls.
+    #[inline]
+    pub(crate) fn fill_directions(&self, start: u64, out: &mut [usize]) {
+        match self {
+            Directions::Uniform(s) => s.fill_directions(start, out),
+            Directions::Weighted(s) => s.fill_directions(start, out),
+        }
+    }
 }
 
 /// Options shared by the sequential solvers.

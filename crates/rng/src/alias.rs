@@ -89,6 +89,23 @@ impl AliasTable {
             self.alias[bucket]
         }
     }
+
+    /// Draw a batch: `out[k] = sample_from(u_bucket, u_accept)` for the
+    /// `k`-th uniform pair, in one tight loop over the table.
+    ///
+    /// Bitwise identical to calling [`sample_from`](Self::sample_from) per
+    /// pair; the batch form amortizes the table-pointer and length loads
+    /// out of solver inner loops. `uniforms` is consumed lazily, one pair
+    /// per output slot.
+    #[inline]
+    pub fn fill_batch<I>(&self, uniforms: I, out: &mut [usize])
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        for (slot, (u_bucket, u_accept)) in out.iter_mut().zip(uniforms) {
+            *slot = self.sample_from(u_bucket, u_accept);
+        }
+    }
 }
 
 /// A weighted direction stream with Philox random access: the direction at
@@ -121,6 +138,27 @@ impl WeightedDirectionStream {
         let u1 = (b[0] as u64) | ((b[1] as u64) << 32);
         let u2 = (b[2] as u64) | ((b[3] as u64) << 32);
         self.table.sample_from(u1, u2)
+    }
+
+    /// Fill `out[k]` with the direction of iteration `start + k` for every
+    /// `k`: the batched form of [`direction`](Self::direction), built on
+    /// [`AliasTable::fill_batch`].
+    ///
+    /// Counter-based random access makes the batch **bitwise identical** to
+    /// `out[k] = self.direction(start + k)` — batching only amortizes the
+    /// generator/table dispatch out of solver inner loops.
+    #[inline]
+    pub fn fill_directions(&self, start: u64, out: &mut [usize]) {
+        let gen = self.gen;
+        let uniforms = (0..out.len() as u64).map(|k| {
+            let j = start.wrapping_add(k);
+            let b = gen.block([j as u32, (j >> 32) as u32, 0, 1]);
+            (
+                (b[0] as u64) | ((b[1] as u64) << 32),
+                (b[2] as u64) | ((b[3] as u64) << 32),
+            )
+        });
+        self.table.fill_batch(uniforms, out);
     }
 }
 

@@ -12,18 +12,22 @@
 //! the effect of randomness.
 //!
 //! Also provided: [`SplitMix64`] (seeding), [`Xoshiro256pp`] (stateful
-//! workload generation, normal and Zipf sampling), and
-//! [`DirectionStream`] (uniform row indices for Randomized Gauss-Seidel).
+//! workload generation, normal and Zipf sampling),
+//! [`DirectionStream`] (uniform row indices for Randomized Gauss-Seidel),
+//! and [`DrawBuffer`] (per-worker draw batching: counter-based streams
+//! make batched fills bitwise identical to per-iteration draws).
 
 #![warn(missing_docs)]
 
 pub mod alias;
+pub mod draw;
 pub mod philox;
 pub mod splitmix;
 pub mod util;
 pub mod xoshiro;
 
 pub use alias::{AliasTable, WeightedDirectionStream};
+pub use draw::DrawBuffer;
 pub use philox::{DirectionStream, Philox4x32};
 pub use splitmix::SplitMix64;
 pub use xoshiro::{Xoshiro256pp, ZipfSampler};

@@ -170,6 +170,22 @@ impl DirectionStream {
     pub fn direction(&self, j: u64) -> usize {
         self.gen.index_at(j, self.n)
     }
+
+    /// Fill `out[k]` with the direction of iteration `start + k` for every
+    /// `k`, in one tight loop.
+    ///
+    /// Because the stream is counter-based, each entry is the same pure
+    /// function of its iteration index that [`direction`](Self::direction)
+    /// evaluates — the batch is **bitwise identical** to `out[k] =
+    /// self.direction(start + k)`; batching only amortizes call and
+    /// dispatch overhead out of solver inner loops.
+    #[inline]
+    pub fn fill_directions(&self, start: u64, out: &mut [usize]) {
+        let n = self.n;
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.gen.index_at(start.wrapping_add(k as u64), n);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,15 @@
 use crate::dense::RowMajorMat;
 use crate::error::{Result, SparseError};
 
+/// Size cutoff for the 8-wide unrolled kernels: rows (for
+/// [`CsrMatrix::row_dot`]) or right-hand-side counts (for the SpMM
+/// register blocking) at or above this take the 8-wide path, shorter ones
+/// keep the 4-wide kernel. The wider unroll only pays for itself once a
+/// full 8-chunk exists; below the cutoff it would just add dispatch.
+/// All variants keep a single accumulator per output, so the choice never
+/// changes a result bitwise.
+pub const WIDE_KERNEL_CUTOFF: usize = 8;
+
 /// A sparse matrix in compressed sparse row format.
 ///
 /// Invariants (enforced by [`CsrMatrix::from_raw_parts`]):
@@ -188,25 +197,56 @@ impl CsrMatrix {
 
     /// Dot product of row `i` with the dense vector `x`.
     ///
-    /// Unrolled 4-wide: the single accumulator keeps the summation order
-    /// identical to the plain loop (bitwise-stable results) while letting
-    /// the compiler lift the gather loads and drop per-entry bounds
-    /// checks. This is the innermost kernel of every Gauss-Seidel-family
-    /// update.
+    /// Unrolled with a **single accumulator** — 8-wide for rows at or
+    /// above [`WIDE_KERNEL_CUTOFF`] entries, 4-wide below — so the
+    /// summation order is identical to the plain loop (bitwise-stable
+    /// results) while the compiler lifts the gather loads and drops
+    /// per-entry bounds checks. This is the innermost kernel of every
+    /// Gauss-Seidel-family update.
     #[inline]
     pub fn row_dot(&self, i: usize, x: &[f64]) -> f64 {
-        let (cols, vals) = self.row(i);
+        self.row_dot_with(i, |c| x[c])
+    }
+
+    /// Row-`i` dot product against an arbitrary indexed loader: element
+    /// `c` of the vector is produced by `load(c)`.
+    ///
+    /// This is the kernel behind [`row_dot`](Self::row_dot), generic over
+    /// the element source so the asynchronous solvers can run the *same*
+    /// unrolled walk against a shared vector of atomics (each `load`
+    /// inlining to a relaxed load). Single accumulator throughout, loads
+    /// issued in column order, so the result is bitwise identical to the
+    /// plain visitor loop at every row size.
+    #[inline]
+    pub fn row_dot_with<L: FnMut(usize) -> f64>(&self, i: usize, mut load: L) -> f64 {
+        let (mut cols, mut vals) = self.row(i);
         let mut acc = 0.0;
+        if cols.len() >= WIDE_KERNEL_CUTOFF {
+            let mut c8 = cols.chunks_exact(8);
+            let mut v8 = vals.chunks_exact(8);
+            for (c, v) in (&mut c8).zip(&mut v8) {
+                acc += v[0] * load(c[0]);
+                acc += v[1] * load(c[1]);
+                acc += v[2] * load(c[2]);
+                acc += v[3] * load(c[3]);
+                acc += v[4] * load(c[4]);
+                acc += v[5] * load(c[5]);
+                acc += v[6] * load(c[6]);
+                acc += v[7] * load(c[7]);
+            }
+            cols = c8.remainder();
+            vals = v8.remainder();
+        }
         let mut c4 = cols.chunks_exact(4);
         let mut v4 = vals.chunks_exact(4);
         for (c, v) in (&mut c4).zip(&mut v4) {
-            acc += v[0] * x[c[0]];
-            acc += v[1] * x[c[1]];
-            acc += v[2] * x[c[2]];
-            acc += v[3] * x[c[3]];
+            acc += v[0] * load(c[0]);
+            acc += v[1] * load(c[1]);
+            acc += v[2] * load(c[2]);
+            acc += v[3] * load(c[3]);
         }
         for (&c, &v) in c4.remainder().iter().zip(v4.remainder()) {
-            acc += v * x[c];
+            acc += v * load(c);
         }
         acc
     }
@@ -256,11 +296,12 @@ impl CsrMatrix {
 
     /// Multi-RHS product `Y <- A X` where `X` is row-major `n_cols x k`.
     ///
-    /// The inner loop is register-blocked over 4 right-hand sides: each
-    /// sweep over a row's nonzeros accumulates 4 output entries in
-    /// registers instead of streaming through the output row per nonzero.
-    /// Per-element accumulation order over the nonzeros is unchanged, so
-    /// results are bitwise identical to the naive loop.
+    /// The inner loop is register-blocked over right-hand sides (8 at a
+    /// time above [`WIDE_KERNEL_CUTOFF`], else 4): each sweep over a row's
+    /// nonzeros accumulates a block of output entries in registers instead
+    /// of streaming through the output row per nonzero. Per-element
+    /// accumulation order over the nonzeros is unchanged, so results are
+    /// bitwise identical to the naive loop.
     pub fn spmm_into(&self, x: &RowMajorMat, y: &mut RowMajorMat) {
         assert_eq!(x.n_rows(), self.n_cols, "spmm: X row mismatch");
         assert_eq!(y.n_rows(), self.n_rows, "spmm: Y row mismatch");
@@ -271,11 +312,32 @@ impl CsrMatrix {
     }
 
     /// One row of [`spmm_into`](Self::spmm_into): `yrow <- A_i X`.
+    ///
+    /// Register-blocked 8 right-hand sides at a time once `k >=`
+    /// [`WIDE_KERNEL_CUTOFF`], then 4, then a scalar tail; each output
+    /// entry keeps its own accumulator over the nonzeros in order, so
+    /// results are bitwise identical to the naive loop at every width.
     #[inline]
     fn spmm_row(&self, i: usize, x: &RowMajorMat, yrow: &mut [f64]) {
         let k = x.n_cols();
         let (cols, vals) = self.row(i);
         let mut t = 0;
+        while t + 8 <= k {
+            let mut a = [0.0f64; 8];
+            for (&c, &v) in cols.iter().zip(vals) {
+                let xr = &x.row(c)[t..t + 8];
+                a[0] += v * xr[0];
+                a[1] += v * xr[1];
+                a[2] += v * xr[2];
+                a[3] += v * xr[3];
+                a[4] += v * xr[4];
+                a[5] += v * xr[5];
+                a[6] += v * xr[6];
+                a[7] += v * xr[7];
+            }
+            yrow[t..t + 8].copy_from_slice(&a);
+            t += 8;
+        }
         while t + 4 <= k {
             let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
             for (&c, &v) in cols.iter().zip(vals) {

@@ -134,6 +134,21 @@ pub trait RowAccess: LinearOperator {
         acc
     }
 
+    /// Dot product of row `i` where element `c` of the vector is produced
+    /// by `load(c)` — the loader-generic form of
+    /// [`row_dot`](Self::row_dot).
+    ///
+    /// The asynchronous solvers pass a closure doing a relaxed atomic load
+    /// from the shared iterate, so the row walk monomorphizes to the same
+    /// unrolled kernel (and the same single-accumulator summation order)
+    /// as the slice-based path. The default delegates to `visit_row`;
+    /// backends with unrolled kernels override it.
+    fn row_dot_with<L: FnMut(usize) -> f64>(&self, i: usize, mut load: L) -> f64 {
+        let mut acc = 0.0;
+        self.visit_row(i, |c, v| acc += v * load(c));
+        acc
+    }
+
     /// Stored entry `(i, j)`, or `0.0` when nothing is stored there.
     ///
     /// The default scans row `i` in `O(nnz(row))`; backends with cheaper
@@ -188,6 +203,10 @@ impl RowAccess for CsrMatrix {
 
     fn row_dot(&self, i: usize, x: &[f64]) -> f64 {
         CsrMatrix::row_dot(self, i, x)
+    }
+
+    fn row_dot_with<L: FnMut(usize) -> f64>(&self, i: usize, load: L) -> f64 {
+        CsrMatrix::row_dot_with(self, i, load)
     }
 
     fn row_entry(&self, i: usize, j: usize) -> f64 {
@@ -261,6 +280,10 @@ impl<T: RowAccess> RowAccess for &T {
 
     fn row_dot(&self, i: usize, x: &[f64]) -> f64 {
         (**self).row_dot(i, x)
+    }
+
+    fn row_dot_with<L: FnMut(usize) -> f64>(&self, i: usize, load: L) -> f64 {
+        (**self).row_dot_with(i, load)
     }
 
     fn row_entry(&self, i: usize, j: usize) -> f64 {
