@@ -54,6 +54,10 @@ fn family_of(name: &str) -> SolverFamily {
 
 fn classify(result: &Result<SolveReport, SolveError>, tol: f64) -> (&'static str, f64, u64) {
     match result {
+        // A watchdog trip is a divergence verdict, not an input
+        // rejection: MayDiverge cells that blow up now report `diverged`
+        // whether they ended in a NaN residual or a typed trip.
+        Err(e) if asyrgs_core::health::is_watchdog_trip(e) => ("diverged", f64::NAN, 0),
         Err(_) => ("rejected", f64::NAN, 0),
         Ok(rep) => {
             let r = rep.final_rel_residual;
@@ -102,10 +106,15 @@ fn run_cell<O: RowAccess + Sync>(
     threads: usize,
 ) -> Cell {
     let family = family_of(family_name);
+    // Non-finite-only watchdog: MayDiverge cells that blow up trip with
+    // a typed error instead of running their whole sweep budget on NaNs.
+    // (No divergence/stall heuristics here — a trajectory tracker must
+    // not cut off slow-but-finite cells.)
     let mut session = SolverBuilder::new(family)
         .threads(threads)
         .term(Termination::sweeps(sc.sweeps).with_target(sc.tol * 0.5))
         .record(Recording::every(1))
+        .health(asyrgs_core::health::HealthConfig::non_finite_only())
         .build()
         .expect("registry configurations are valid");
     let expectation = sc.expectation(family_name);

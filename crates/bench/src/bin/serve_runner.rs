@@ -110,6 +110,7 @@ fn throughput_section(
         queue_capacity: jobs.next_power_of_two().max(64),
         paused: true,
         coalesce: 32,
+        ..SchedulerConfig::default()
     });
     let handles: Vec<JobHandle> = (0..jobs)
         .map(|i| {
@@ -170,6 +171,7 @@ fn mixed_traffic_section(
         queue_capacity: mix.total_jobs().next_power_of_two().max(64),
         paused: true,
         coalesce: 32,
+        ..SchedulerConfig::default()
     });
     let mut handles = Vec::with_capacity(mix.total_jobs());
     for t in &mix.tenants {

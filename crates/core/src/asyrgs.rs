@@ -31,14 +31,16 @@
 
 use crate::atomic::SharedVec;
 use crate::driver::{
-    ensure_beta, ensure_square_block_system, ensure_square_system, ensure_threads,
-    inverse_diag_into, Driver, Recording, Solver, Termination,
+    ensure_beta, ensure_finite_matrix, ensure_finite_slice, ensure_finite_system,
+    ensure_square_block_system, ensure_square_system, ensure_threads, inverse_diag_into, Driver,
+    Recording, Solver, Termination,
 };
 use crate::error::SolveError;
+use crate::health::{HealthConfig, HealthMonitor};
 use crate::report::SolveReport;
 use crate::rgs::{Directions, RowSampling};
 use crate::workspace::{resize_scratch, resize_scratch_mat, SolveWorkspace};
-use asyrgs_parallel::WorkerPool;
+use asyrgs_parallel::{FaultPlan, WorkerPool};
 use asyrgs_rng::DrawBuffer;
 use asyrgs_sparse::dense::{self, RowMajorMat};
 use asyrgs_sparse::{CsrMatrix, LinearOperator, RowAccess};
@@ -103,6 +105,20 @@ pub struct AsyRgsOptions {
     /// Recording cadence, evaluated at epoch boundaries (the default
     /// records every boundary).
     pub record: Recording,
+    /// Optional numerical-health watchdog, evaluated at every epoch
+    /// boundary (the only quiescent points). `None` (the default) adds no
+    /// work and no branches to the default path, so fixed-seed results are
+    /// bitwise unchanged. When set, the synchronization interval is forced
+    /// to one sweep so detection latency is a single epoch, and a trip
+    /// surfaces as a typed [`SolveError`] with `x` left untouched.
+    /// Honored by the single-RHS solve only; the block solve ignores it.
+    pub health: Option<HealthConfig>,
+    /// Optional deterministic fault-injection schedule (tests and the
+    /// fault harness). `None` (the default) injects nothing. Pool-level
+    /// faults (stalls, kills, slow clocks) fire at epoch-round starts;
+    /// poisoned updates write a NaN into the shared iterate mid-round.
+    /// Honored by the single-RHS solve only.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for AsyRgsOptions {
@@ -117,6 +133,8 @@ impl Default for AsyRgsOptions {
             epoch_sweeps: None,
             term: Termination::sweeps(10),
             record: Recording::every(1),
+            health: None,
+            fault_plan: None,
         }
     }
 }
@@ -151,8 +169,13 @@ impl AsyRgsOptions {
 /// when given; otherwise one free-running epoch over the whole budget —
 /// unless a residual target or wall-clock budget needs sweep-granularity
 /// boundaries to be honored (they can only fire at synchronization
-/// points).
+/// points). A watchdog forces one-sweep epochs regardless: health checks
+/// only happen at quiescent points, and one-sweep granularity bounds
+/// detection latency at a single epoch.
 fn effective_epoch(opts: &AsyRgsOptions) -> usize {
+    if opts.health.is_some() {
+        return 1;
+    }
     opts.epoch_sweeps
         .unwrap_or_else(|| {
             if opts.term.target_rel_residual.is_some() || opts.term.wall_clock.is_some() {
@@ -269,6 +292,7 @@ pub fn asyrgs_solve_in<O: RowAccess + Sync>(
     opts: &AsyRgsOptions,
 ) -> Result<SolveReport, SolveError> {
     ensure_square_system("asyrgs_solve", a.n_rows(), a.n_cols(), b.len(), x.len())?;
+    ensure_finite_system("asyrgs_solve", a, b, x)?;
     ensure_beta(opts.beta)?;
     ensure_threads(opts.threads)?;
     let n = a.n_rows();
@@ -302,49 +326,103 @@ pub fn asyrgs_solve_in<O: RowAccess + Sync>(
     let snap = &mut ws.snap;
     let resid = &mut ws.resid;
     let diff = &mut ws.diff;
+    let healthy = &mut ws.healthy;
+
+    let mut monitor = opts.health.as_ref().map(|c| HealthMonitor::new(c.clone()));
+    let fault_plan = opts.fault_plan.as_ref().filter(|p| !p.is_empty());
+    // A killed worker (injected or real) degrades the solve to fewer
+    // threads when a watchdog is armed; without one the panic propagates
+    // unchanged, as `WorkerPool::run` documents.
+    let mut threads_now = opts.threads;
+    let mut epoch: u64 = 0;
 
     while sweeps_done < driver.max_sweeps() {
         let sweeps_this_epoch = epoch_sweeps.min(driver.max_sweeps() - sweeps_done);
         sweeps_done += sweeps_this_epoch;
         let limit = (sweeps_done as u64) * (n as u64);
-        let claim = claim_batch((sweeps_this_epoch as u64) * (n as u64), opts.threads);
+        let claim = claim_batch((sweeps_this_epoch as u64) * (n as u64), threads_now);
+        let round = epoch;
         // One pool round per epoch: round completion is the
         // synchronization point.
-        pool.run(opts.threads, |_| {
-            worker(
-                a,
-                b,
-                shared,
-                dinv,
-                &ds,
-                &counter,
-                limit,
-                claim,
-                opts.beta,
-                opts.write_mode,
-                lock.as_ref(),
-                &commits,
-                &max_delay,
-            )
-        });
+        let run_round = |p: usize| {
+            pool.run(p, |w| {
+                if let Some(plan) = fault_plan {
+                    plan.apply_pool_faults(w, round);
+                    if let Some(idx) = plan.poison_for(w, round) {
+                        if idx < n {
+                            shared.store(idx, f64::NAN);
+                        }
+                    }
+                }
+                worker(
+                    a,
+                    b,
+                    shared,
+                    dinv,
+                    &ds,
+                    &counter,
+                    limit,
+                    claim,
+                    opts.beta,
+                    opts.write_mode,
+                    lock.as_ref(),
+                    &commits,
+                    &max_delay,
+                )
+            })
+        };
+        if monitor.is_some() {
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_round(threads_now)))
+                .is_err()
+            {
+                // The pool survives a worker panic and the surviving
+                // workers drain the epoch's claim range; continue on the
+                // remaining threads.
+                threads_now = threads_now.saturating_sub(1).max(1);
+            }
+        } else {
+            run_round(threads_now);
+        }
         // Exiting workers overshoot the claim counter by up to one claim
         // batch each; reset it to the exact epoch boundary while they are
         // quiescent so the next epoch misses no iteration.
         counter.store(limit, Ordering::Relaxed);
+        epoch += 1;
         // Synchronized: observe telemetry through the driver (scratch
         // buffers reused, nothing allocated).
-        let stop = driver.observe_lazy(sweeps_done, limit, || {
+        let stop = if let Some(mon) = monitor.as_mut() {
+            // Watchdog path: the residual is needed every epoch anyway, so
+            // compute it eagerly, run the health checks (a trip returns a
+            // typed error with `x` untouched — it is only written below,
+            // after the loop), and feed the driver the precomputed values.
             shared.snapshot_into(snap);
+            mon.check_iterate("asyrgs_solve", round as usize, snap)?;
             a.residual_into(b, snap, resid);
             let rel = dense::norm2(resid) / norm_b;
+            mon.observe_residual(round as usize, rel)?;
+            healthy.clear();
+            healthy.extend_from_slice(snap);
             let err = x_star.map(|xs| {
                 for ((di, si), xsi) in diff.iter_mut().zip(snap.iter()).zip(xs) {
                     *di = si - xsi;
                 }
                 a.a_norm_into(diff, resid) / norm_xs_a.unwrap()
             });
-            (rel, err)
-        });
+            driver.observe_lazy(sweeps_done, limit, || (rel, err))
+        } else {
+            driver.observe_lazy(sweeps_done, limit, || {
+                shared.snapshot_into(snap);
+                a.residual_into(b, snap, resid);
+                let rel = dense::norm2(resid) / norm_b;
+                let err = x_star.map(|xs| {
+                    for ((di, si), xsi) in diff.iter_mut().zip(snap.iter()).zip(xs) {
+                        *di = si - xsi;
+                    }
+                    a.a_norm_into(diff, resid) / norm_xs_a.unwrap()
+                });
+                (rel, err)
+            })
+        };
         if stop {
             break;
         }
@@ -352,7 +430,7 @@ pub fn asyrgs_solve_in<O: RowAccess + Sync>(
 
     shared.snapshot_into(x);
     let iterations = (sweeps_done as u64) * (n as u64);
-    let mut report = driver.finish(iterations, opts.threads, || {
+    let mut report = driver.finish(iterations, threads_now, || {
         a.residual_into(b, x, resid);
         dense::norm2(resid) / norm_b
     });
@@ -537,6 +615,9 @@ pub fn asyrgs_solve_block_in(
         x.n_rows(),
         x.n_cols(),
     )?;
+    ensure_finite_matrix("asyrgs_solve_block", a)?;
+    ensure_finite_slice("asyrgs_solve_block", "right-hand side B", b.as_slice())?;
+    ensure_finite_slice("asyrgs_solve_block", "initial iterate X", x.as_slice())?;
     ensure_beta(opts.beta)?;
     ensure_threads(opts.threads)?;
     let n = a.n_rows();

@@ -640,6 +640,61 @@ pub fn ensure_threads(threads: usize) -> Result<(), SolveError> {
     }
 }
 
+/// Reject the first non-finite (NaN/Inf) entry of a dense input vector at
+/// a solve boundary. `what` names the argument in the error's location
+/// string, e.g. `"right-hand side b"`.
+pub fn ensure_finite_slice(
+    solver: &'static str,
+    what: &'static str,
+    v: &[f64],
+) -> Result<(), SolveError> {
+    for (i, &val) in v.iter().enumerate() {
+        if !val.is_finite() {
+            return Err(SolveError::NonFiniteInput {
+                location: format!("{solver}: {what}"),
+                index: i,
+                value: val,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Reject non-finite stored matrix values at a solve boundary. The
+/// reported index is the row holding the first offending entry.
+pub fn ensure_finite_matrix<O: RowAccess>(solver: &'static str, a: &O) -> Result<(), SolveError> {
+    for i in 0..a.n_rows() {
+        let mut bad: Option<f64> = None;
+        a.visit_row(i, |_, v| {
+            if bad.is_none() && !v.is_finite() {
+                bad = Some(v);
+            }
+        });
+        if let Some(value) = bad {
+            return Err(SolveError::NonFiniteInput {
+                location: format!("{solver}: matrix values"),
+                index: i,
+                value,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// All finite-input checks of a square-system solve in one call: matrix
+/// values, right-hand side, then the initial iterate. Runs before any
+/// output buffer is touched, preserving the rejected-iterate invariant.
+pub fn ensure_finite_system<O: RowAccess>(
+    solver: &'static str,
+    a: &O,
+    b: &[f64],
+    x: &[f64],
+) -> Result<(), SolveError> {
+    ensure_finite_matrix(solver, a)?;
+    ensure_finite_slice(solver, "right-hand side b", b)?;
+    ensure_finite_slice(solver, "initial iterate x", x)
+}
+
 /// Invert a strictly positive diagonal into `out` (resized to match), the
 /// allocation-amortized form the workspace entry points use. Positive
 /// diagonals are what the SPD solvers require.
@@ -1151,6 +1206,30 @@ mod tests {
         assert!(ensure_damping(1.0).is_ok());
         assert_eq!(ensure_threads(0).unwrap_err(), SolveError::ZeroThreads);
         assert!(ensure_threads(1).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_finite_inputs() {
+        let err = ensure_finite_slice("t", "right-hand side b", &[1.0, f64::NAN]).unwrap_err();
+        assert!(matches!(err, SolveError::NonFiniteInput { index: 1, .. }));
+        assert_eq!(
+            err.to_string(),
+            "t: right-hand side b: non-finite value NaN at index 1"
+        );
+        assert!(ensure_finite_slice("t", "x", &[0.0, -1.0, 1e300]).is_ok());
+
+        let a = asyrgs_sparse::CsrMatrix::from_dense(2, 2, &[1.0, f64::INFINITY, 0.0, 1.0]);
+        let err = ensure_finite_matrix("t", &a).unwrap_err();
+        assert!(matches!(err, SolveError::NonFiniteInput { index: 0, .. }));
+        assert_eq!(
+            err.to_string(),
+            "t: matrix values: non-finite value inf at index 0"
+        );
+
+        let good = asyrgs_sparse::CsrMatrix::identity(3);
+        assert!(ensure_finite_system("t", &good, &[1.0; 3], &[0.0; 3]).is_ok());
+        let err = ensure_finite_system("t", &good, &[1.0; 3], &[0.0, f64::NAN, 0.0]).unwrap_err();
+        assert!(err.to_string().contains("initial iterate x"));
     }
 
     #[test]

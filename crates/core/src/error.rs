@@ -86,6 +86,59 @@ pub enum SolveError {
         /// The panic message, when it was a string payload.
         detail: String,
     },
+    /// A non-finite (NaN or infinite) value was found in the caller's
+    /// input — matrix values, right-hand side, or initial iterate — at
+    /// the solve boundary; the caller's output buffer is untouched.
+    NonFiniteInput {
+        /// Which entry point and argument rejected the value, e.g.
+        /// `"asyrgs_solve: right-hand side b"`.
+        location: String,
+        /// Index of the first offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The numerical health watchdog found a non-finite entry in the
+    /// iterate at a quiescent observation point; the caller's output
+    /// buffer is untouched.
+    NonFiniteDetected {
+        /// The solver whose watchdog tripped.
+        solver: &'static str,
+        /// The observation (epoch) index at which the entry was seen.
+        epoch: usize,
+        /// Index of the first non-finite iterate entry.
+        index: usize,
+    },
+    /// The watchdog observed the relative residual growing by at least
+    /// the configured divergence factor over its sliding window; the
+    /// caller's output buffer is untouched.
+    Diverged {
+        /// The observation (epoch) index at which divergence was declared.
+        epoch: usize,
+        /// The relative residual that tripped the check.
+        rel_residual: f64,
+        /// The window baseline the residual was compared against.
+        baseline: f64,
+    },
+    /// The watchdog observed no meaningful residual progress over its
+    /// stall window; the caller's output buffer is untouched.
+    Stalled {
+        /// The observation (epoch) index at which stagnation was declared.
+        epoch: usize,
+        /// Number of consecutive observations without sufficient progress.
+        window: usize,
+        /// The relative residual at the stall point.
+        rel_residual: f64,
+    },
+    /// A scheduled job tripped the watchdog repeatedly and exhausted its
+    /// retry budget (or its tenant's); it is quarantined and will not be
+    /// retried. The caller's output buffer is untouched.
+    Quarantined {
+        /// How many solve attempts were made before quarantine.
+        attempts: u32,
+        /// The watchdog error from the final attempt.
+        last_error: Box<SolveError>,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -124,6 +177,51 @@ impl fmt::Display for SolveError {
             }
             SolveError::DispatchPanic { detail } => {
                 write!(f, "solve panicked during dispatch: {detail}")
+            }
+            SolveError::NonFiniteInput {
+                location,
+                index,
+                value,
+            } => {
+                write!(f, "{location}: non-finite value {value} at index {index}")
+            }
+            SolveError::NonFiniteDetected {
+                solver,
+                epoch,
+                index,
+            } => {
+                write!(
+                    f,
+                    "{solver}: watchdog found non-finite iterate entry {index} at epoch {epoch}"
+                )
+            }
+            SolveError::Diverged {
+                epoch,
+                rel_residual,
+                baseline,
+            } => {
+                write!(
+                    f,
+                    "watchdog: residual diverged at epoch {epoch} \
+                     (rel residual {rel_residual:.3e}, window baseline {baseline:.3e})"
+                )
+            }
+            SolveError::Stalled {
+                epoch,
+                window,
+                rel_residual,
+            } => {
+                write!(
+                    f,
+                    "watchdog: no residual progress over {window} observations \
+                     at epoch {epoch} (rel residual {rel_residual:.3e})"
+                )
+            }
+            SolveError::Quarantined {
+                attempts,
+                last_error,
+            } => {
+                write!(f, "job quarantined after {attempts} attempts: {last_error}")
             }
         }
     }
@@ -186,6 +284,59 @@ mod tests {
             }
             .to_string(),
             "solve panicked during dispatch: boom"
+        );
+    }
+
+    #[test]
+    fn watchdog_variants_display() {
+        assert_eq!(
+            SolveError::NonFiniteInput {
+                location: "asyrgs_solve: right-hand side b".into(),
+                index: 4,
+                value: f64::NAN,
+            }
+            .to_string(),
+            "asyrgs_solve: right-hand side b: non-finite value NaN at index 4"
+        );
+        assert_eq!(
+            SolveError::NonFiniteDetected {
+                solver: "asyrgs_solve",
+                epoch: 3,
+                index: 17,
+            }
+            .to_string(),
+            "asyrgs_solve: watchdog found non-finite iterate entry 17 at epoch 3"
+        );
+        assert_eq!(
+            SolveError::Diverged {
+                epoch: 9,
+                rel_residual: 120.0,
+                baseline: 1.0,
+            }
+            .to_string(),
+            "watchdog: residual diverged at epoch 9 (rel residual 1.200e2, window baseline 1.000e0)"
+        );
+        assert_eq!(
+            SolveError::Stalled {
+                epoch: 12,
+                window: 8,
+                rel_residual: 0.5,
+            }
+            .to_string(),
+            "watchdog: no residual progress over 8 observations at epoch 12 (rel residual 5.000e-1)"
+        );
+        assert_eq!(
+            SolveError::Quarantined {
+                attempts: 3,
+                last_error: Box::new(SolveError::Diverged {
+                    epoch: 2,
+                    rel_residual: 7.0,
+                    baseline: 1.0
+                }),
+            }
+            .to_string(),
+            "job quarantined after 3 attempts: watchdog: residual diverged at epoch 2 \
+             (rel residual 7.000e0, window baseline 1.000e0)"
         );
     }
 

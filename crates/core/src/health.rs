@@ -1,0 +1,370 @@
+//! Numerical health watchdog and recovery policy types.
+//!
+//! The paper's convergence guarantees (Theorems 3a/3b) assume bounded
+//! delay and well-behaved arithmetic. A solve service gets neither:
+//! user-submitted matrices can violate the Chazan–Miranker condition
+//! (async Jacobi diverges), oversubscribed hosts produce unbounded OS
+//! scheduling delays, and a single poisoned write turns the shared
+//! iterate into NaN soup. The watchdog turns those silent failures into
+//! typed errors at the existing quiescent observation points:
+//!
+//! * **non-finite iterate entries** → [`SolveError::NonFiniteDetected`];
+//! * **residual divergence** (relative residual grows by at least
+//!   [`HealthConfig::divergence_factor`] over a sliding window of
+//!   observations) → [`SolveError::Diverged`];
+//! * **stagnation** (no relative improvement of at least
+//!   [`HealthConfig::stall_tolerance`] over
+//!   [`HealthConfig::stall_window`] observations) →
+//!   [`SolveError::Stalled`].
+//!
+//! Everything here is **off by default**: a solve without a
+//! [`HealthConfig`] takes exactly the historical code path, so the
+//! fixed-seed fingerprints stay bitwise identical. When a watchdog is
+//! enabled, the asynchronous solvers force one sweep per epoch so every
+//! epoch is an observation point, and they refresh the
+//! [`SolveWorkspace::healthy`](crate::workspace::SolveWorkspace) snapshot
+//! after each passing check — the restart point the session layer's
+//! [`RecoveryPolicy`] escalation ladder uses (the synchronize-and-restart
+//! scheme of the paper's epoch discussion, applied to recovery).
+//!
+//! A tripped watchdog **never returns a non-finite iterate**: every trip
+//! surfaces as an `Err` before the solver copies the shared iterate back
+//! into the caller's buffer, so the caller's `x` stays bitwise untouched.
+
+use crate::error::SolveError;
+use std::collections::VecDeque;
+
+/// Watchdog configuration. Construct with [`HealthConfig::default`] (all
+/// three detectors on, moderate windows) and adjust, or build from
+/// scratch; attach via each solver's `health` option or the session
+/// builder's `health` method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthConfig {
+    /// Scan the quiescent iterate snapshot for NaN/Inf entries at every
+    /// observation point.
+    pub check_non_finite: bool,
+    /// Declare divergence when the relative residual grows to at least
+    /// this multiple of the smallest residual in the sliding window
+    /// (`None` disables the detector). Must be `> 1`.
+    pub divergence_factor: Option<f64>,
+    /// Length of the divergence sliding window, in observations.
+    pub divergence_window: usize,
+    /// Declare stagnation after this many consecutive observations
+    /// without sufficient relative improvement (`None` disables the
+    /// detector).
+    pub stall_window: Option<usize>,
+    /// Minimum relative improvement per observation that counts as
+    /// progress for the stall detector: an observation resets the stall
+    /// counter when `rel < best * (1 - stall_tolerance)`.
+    pub stall_tolerance: f64,
+    /// Residual floor below which the stall detector never trips — a
+    /// solve sitting at (numerical) zero residual has converged, not
+    /// stalled.
+    pub stall_floor: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            check_non_finite: true,
+            divergence_factor: Some(1e3),
+            divergence_window: 16,
+            stall_window: None,
+            stall_tolerance: 1e-12,
+            stall_floor: 1e-13,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// A watchdog that only scans for non-finite iterate entries.
+    pub fn non_finite_only() -> Self {
+        HealthConfig {
+            check_non_finite: true,
+            divergence_factor: None,
+            stall_window: None,
+            ..Default::default()
+        }
+    }
+
+    /// Set the divergence detector: trip when the relative residual
+    /// reaches `factor` times the window minimum within `window`
+    /// observations.
+    pub fn with_divergence(mut self, factor: f64, window: usize) -> Self {
+        self.divergence_factor = Some(factor);
+        self.divergence_window = window.max(2);
+        self
+    }
+
+    /// Set the stall detector: trip after `window` observations without a
+    /// relative improvement of at least `tolerance`.
+    pub fn with_stall(mut self, window: usize, tolerance: f64) -> Self {
+        self.stall_window = Some(window.max(1));
+        self.stall_tolerance = tolerance;
+        self
+    }
+}
+
+/// How the session layer reacts to a watchdog trip — an escalation
+/// ladder from "surface the error" to "abandon asynchrony entirely".
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum RecoveryPolicy {
+    /// Surface the typed watchdog error to the caller unchanged.
+    #[default]
+    None,
+    /// Restart from the last healthy snapshot (or the caller's initial
+    /// iterate when no snapshot exists) with unchanged parameters, up to
+    /// `max_attempts` times — the synchronize-and-restart scheme.
+    SynchronizeRestart {
+        /// Maximum restart attempts before the error is surfaced.
+        max_attempts: u32,
+    },
+    /// Restart from the last healthy snapshot, multiplying the step size
+    /// (beta, or damping for the Jacobi family) by `factor` on each
+    /// attempt — Section 6's small-enough-step argument applied as a
+    /// recovery ladder.
+    DampenAndRestart {
+        /// Per-attempt step-size multiplier in `(0, 1)`.
+        factor: f64,
+        /// Maximum restart attempts before the error is surfaced.
+        max_attempts: u32,
+    },
+    /// Fall back to the sequential sibling of the asynchronous family
+    /// (AsyRGS → RGS, async Jacobi → Jacobi) for one final attempt,
+    /// restarting from the last healthy snapshot.
+    FallbackSequential,
+}
+
+impl RecoveryPolicy {
+    /// Whether this policy performs any retries at all.
+    pub fn is_active(&self) -> bool {
+        !matches!(self, RecoveryPolicy::None)
+    }
+}
+
+/// Whether an error is a watchdog trip — the class of errors the
+/// recovery ladder retries (input rejections, cancellation, and
+/// deadlines are terminal).
+pub fn is_watchdog_trip(e: &SolveError) -> bool {
+    matches!(
+        e,
+        SolveError::NonFiniteDetected { .. }
+            | SolveError::Diverged { .. }
+            | SolveError::Stalled { .. }
+    )
+}
+
+/// Per-solve watchdog state: feed it the quiescent iterate snapshot and
+/// the relative residual at each observation point; the first violated
+/// rule comes back as a typed [`SolveError`].
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    /// Recent relative residuals, oldest first (divergence window).
+    window: VecDeque<f64>,
+    /// Best (smallest) residual seen so far (stall detector).
+    best: f64,
+    /// Observations since `best` last improved by `stall_tolerance`.
+    since_best: usize,
+}
+
+impl HealthMonitor {
+    /// A fresh monitor for one solve attempt.
+    pub fn new(cfg: HealthConfig) -> Self {
+        HealthMonitor {
+            cfg,
+            window: VecDeque::new(),
+            best: f64::INFINITY,
+            since_best: 0,
+        }
+    }
+
+    /// The configuration this monitor runs under.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Scan a quiescent iterate snapshot for non-finite entries.
+    pub fn check_iterate(
+        &self,
+        solver: &'static str,
+        epoch: usize,
+        x: &[f64],
+    ) -> Result<(), SolveError> {
+        if !self.cfg.check_non_finite {
+            return Ok(());
+        }
+        if let Some(index) = x.iter().position(|v| !v.is_finite()) {
+            return Err(SolveError::NonFiniteDetected {
+                solver,
+                epoch,
+                index,
+            });
+        }
+        Ok(())
+    }
+
+    /// Feed one relative-residual observation; trips the divergence or
+    /// stall detector when their rules are violated.
+    ///
+    /// A non-finite residual with the non-finite check enabled is treated
+    /// as divergence at this epoch (index 0 reported for a residual
+    /// observed without an iterate scan).
+    pub fn observe_residual(&mut self, epoch: usize, rel: f64) -> Result<(), SolveError> {
+        if !rel.is_finite() {
+            // A non-finite residual is divergence by definition; report
+            // it against the window baseline when one exists.
+            return Err(SolveError::Diverged {
+                epoch,
+                rel_residual: rel,
+                baseline: self.window.iter().copied().fold(f64::INFINITY, f64::min),
+            });
+        }
+        if let Some(factor) = self.cfg.divergence_factor {
+            self.window.push_back(rel);
+            while self.window.len() > self.cfg.divergence_window {
+                self.window.pop_front();
+            }
+            let baseline = self.window.iter().copied().fold(f64::INFINITY, f64::min);
+            if baseline.is_finite() && baseline > 0.0 && rel >= baseline * factor {
+                return Err(SolveError::Diverged {
+                    epoch,
+                    rel_residual: rel,
+                    baseline,
+                });
+            }
+        }
+        if let Some(stall_window) = self.cfg.stall_window {
+            if rel < self.best * (1.0 - self.cfg.stall_tolerance) {
+                self.best = rel;
+                self.since_best = 0;
+            } else {
+                self.since_best += 1;
+                if self.since_best >= stall_window && rel > self.cfg.stall_floor {
+                    return Err(SolveError::Stalled {
+                        epoch,
+                        window: stall_window,
+                        rel_residual: rel,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_divergence_and_non_finite() {
+        let c = HealthConfig::default();
+        assert!(c.check_non_finite);
+        assert!(c.divergence_factor.is_some());
+        assert!(c.stall_window.is_none());
+    }
+
+    #[test]
+    fn non_finite_iterate_reports_first_index() {
+        let m = HealthMonitor::new(HealthConfig::non_finite_only());
+        assert!(m.check_iterate("t", 1, &[0.0, 1.0]).is_ok());
+        let err = m
+            .check_iterate("t", 2, &[0.0, f64::NAN, f64::INFINITY])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::NonFiniteDetected {
+                solver: "t",
+                epoch: 2,
+                index: 1
+            }
+        );
+        // Disabled check never trips.
+        let off = HealthMonitor::new(HealthConfig {
+            check_non_finite: false,
+            ..HealthConfig::default()
+        });
+        assert!(off.check_iterate("t", 2, &[f64::NAN]).is_ok());
+    }
+
+    #[test]
+    fn divergence_trips_on_window_growth() {
+        let mut m = HealthMonitor::new(HealthConfig::non_finite_only().with_divergence(10.0, 8));
+        assert!(m.observe_residual(1, 1.0).is_ok());
+        assert!(m.observe_residual(2, 5.0).is_ok());
+        let err = m.observe_residual(3, 10.0).unwrap_err();
+        assert!(
+            matches!(err, SolveError::Diverged { epoch: 3, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn divergence_window_slides() {
+        // With a window of 2, old small residuals age out, so slow growth
+        // never trips a 10x factor.
+        let mut m = HealthMonitor::new(HealthConfig::non_finite_only().with_divergence(10.0, 2));
+        let mut rel = 1.0;
+        for epoch in 1..40 {
+            rel *= 2.0;
+            assert!(m.observe_residual(epoch, rel).is_ok(), "epoch {epoch}");
+        }
+    }
+
+    #[test]
+    fn non_finite_residual_is_divergence() {
+        let mut m = HealthMonitor::new(HealthConfig::default());
+        assert!(m.observe_residual(1, 0.5).is_ok());
+        let err = m.observe_residual(2, f64::NAN).unwrap_err();
+        assert!(matches!(err, SolveError::Diverged { epoch: 2, .. }));
+    }
+
+    #[test]
+    fn stall_trips_after_window_without_progress() {
+        let mut m = HealthMonitor::new(HealthConfig::non_finite_only().with_stall(3, 1e-3));
+        assert!(m.observe_residual(1, 1.0).is_ok());
+        assert!(m.observe_residual(2, 0.9999).is_ok()); // below tolerance: no progress
+        assert!(m.observe_residual(3, 0.9999).is_ok());
+        let err = m.observe_residual(4, 0.9999).unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::Stalled {
+                epoch: 4,
+                window: 3,
+                rel_residual: 0.9999
+            }
+        );
+    }
+
+    #[test]
+    fn progress_resets_the_stall_counter() {
+        let mut m = HealthMonitor::new(HealthConfig::non_finite_only().with_stall(3, 1e-3));
+        let mut rel = 1.0;
+        for epoch in 1..50 {
+            rel *= 0.99; // 1% improvement per observation
+            assert!(m.observe_residual(epoch, rel).is_ok(), "epoch {epoch}");
+        }
+    }
+
+    #[test]
+    fn stall_floor_suppresses_trips_at_zero_residual() {
+        let mut m = HealthMonitor::new(HealthConfig::non_finite_only().with_stall(1, 0.5));
+        for epoch in 1..10 {
+            assert!(m.observe_residual(epoch, 0.0).is_ok());
+        }
+    }
+
+    #[test]
+    fn recovery_policy_surface() {
+        assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::None);
+        assert!(!RecoveryPolicy::None.is_active());
+        assert!(RecoveryPolicy::SynchronizeRestart { max_attempts: 2 }.is_active());
+        assert!(is_watchdog_trip(&SolveError::Stalled {
+            epoch: 1,
+            window: 2,
+            rel_residual: 0.5
+        }));
+        assert!(!is_watchdog_trip(&SolveError::Cancelled));
+    }
+}

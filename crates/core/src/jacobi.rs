@@ -24,13 +24,14 @@
 //! telemetry through the shared [`crate::driver`].
 
 use crate::driver::{
-    ensure_damping, ensure_square_system, ensure_threads, inverse_diag_nonzero_into, Driver,
-    Recording, Solver, Termination,
+    ensure_damping, ensure_finite_system, ensure_square_system, ensure_threads,
+    inverse_diag_nonzero_into, Driver, Recording, Solver, Termination,
 };
 use crate::error::SolveError;
+use crate::health::{HealthConfig, HealthMonitor};
 use crate::report::SolveReport;
 use crate::workspace::{resize_scratch, SolveWorkspace};
-use asyrgs_parallel::WorkerPool;
+use asyrgs_parallel::{FaultPlan, WorkerPool};
 use asyrgs_sparse::dense;
 use asyrgs_sparse::{CsrMatrix, RowAccess};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -46,6 +47,18 @@ pub struct JacobiOptions {
     pub term: Termination,
     /// Residual-recording cadence.
     pub record: Recording,
+    /// Optional numerical-health watchdog, evaluated at every quiescent
+    /// point (each sweep for the synchronous solver, each epoch boundary
+    /// for the asynchronous one). `None` (the default) leaves both solve
+    /// paths bitwise unchanged. When set, the asynchronous epoch length is
+    /// forced to one sweep, the synchronous solver iterates on workspace
+    /// scratch instead of `x` in place, and a trip surfaces as a typed
+    /// [`SolveError`] with `x` left untouched.
+    pub health: Option<HealthConfig>,
+    /// Optional deterministic fault-injection schedule (tests and the
+    /// fault harness), honored by the asynchronous solver only. `None`
+    /// (the default) injects nothing.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for JacobiOptions {
@@ -55,6 +68,8 @@ impl Default for JacobiOptions {
             damping: 1.0,
             term: Termination::sweeps(50),
             record: Recording::every(1),
+            health: None,
+            fault_plan: None,
         }
     }
 }
@@ -87,42 +102,76 @@ pub fn jacobi_solve_in<O: RowAccess>(
     opts: &JacobiOptions,
 ) -> Result<SolveReport, SolveError> {
     ensure_square_system("jacobi_solve", a.n_rows(), a.n_cols(), b.len(), x.len())?;
+    ensure_finite_system("jacobi_solve", a, b, x)?;
     let n = a.n_rows();
     prepare_dinv(a, opts, ws)?;
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
     let norm_xs_a = x_star.map(|xs| a.a_norm(xs).max(f64::MIN_POSITIVE));
 
     let mut driver = Driver::new(&opts.term, opts.record);
+    let mut monitor = opts.health.as_ref().map(|c| HealthMonitor::new(c.clone()));
+    let guarded = monitor.is_some();
     resize_scratch(&mut ws.aux, n);
     resize_scratch(&mut ws.resid, n);
     if x_star.is_some() {
         resize_scratch(&mut ws.diff, n);
+    }
+    if guarded {
+        resize_scratch(&mut ws.snap, n);
+        ws.snap.copy_from_slice(x);
     }
     let dinv = &ws.dinv;
     let x_new = &mut ws.aux;
     let resid = &mut ws.resid;
     let diff = &mut ws.diff;
     let mut sweeps = 0usize;
-    for sweep in 1..=driver.max_sweeps() {
-        sweeps = sweep;
-        for i in 0..n {
-            let r = b[i] - a.row_dot(i, x);
-            x_new[i] = x[i] + opts.damping * r * dinv[i];
+    {
+        // With a watchdog armed, iterate on workspace scratch so a trip
+        // returns a typed error with the caller's `x` bitwise untouched.
+        let xw: &mut [f64] = if guarded {
+            ws.snap.as_mut_slice()
+        } else {
+            &mut *x
+        };
+        for sweep in 1..=driver.max_sweeps() {
+            sweeps = sweep;
+            for i in 0..n {
+                let r = b[i] - a.row_dot(i, xw);
+                x_new[i] = xw[i] + opts.damping * r * dinv[i];
+            }
+            xw.copy_from_slice(x_new);
+            let stop = if let Some(mon) = monitor.as_mut() {
+                // Every sweep is a quiescent point: run the health checks
+                // eagerly and feed the driver the precomputed residual.
+                mon.check_iterate("jacobi_solve", sweep - 1, xw)?;
+                let rel = a.rel_residual_into(b, xw, norm_b, resid);
+                mon.observe_residual(sweep - 1, rel)?;
+                let err = x_star.map(|xs| {
+                    for ((di, xi), xsi) in diff.iter_mut().zip(xw.iter()).zip(xs) {
+                        *di = xi - xsi;
+                    }
+                    a.a_norm_into(diff, resid) / norm_xs_a.unwrap()
+                });
+                driver.observe_lazy(sweep, (sweep * n) as u64, || (rel, err))
+            } else {
+                driver.observe_lazy(sweep, (sweep * n) as u64, || {
+                    let rel = a.rel_residual_into(b, xw, norm_b, resid);
+                    let err = x_star.map(|xs| {
+                        for ((di, xi), xsi) in diff.iter_mut().zip(xw.iter()).zip(xs) {
+                            *di = xi - xsi;
+                        }
+                        a.a_norm_into(diff, resid) / norm_xs_a.unwrap()
+                    });
+                    (rel, err)
+                })
+            };
+            if stop {
+                break;
+            }
         }
-        x.copy_from_slice(x_new);
-        let stop = driver.observe_lazy(sweep, (sweep * n) as u64, || {
-            let rel = a.rel_residual_into(b, x, norm_b, resid);
-            let err = x_star.map(|xs| {
-                for ((di, xi), xsi) in diff.iter_mut().zip(x.iter()).zip(xs) {
-                    *di = xi - xsi;
-                }
-                a.a_norm_into(diff, resid) / norm_xs_a.unwrap()
-            });
-            (rel, err)
-        });
-        if stop {
-            break;
-        }
+    }
+    if guarded {
+        x.copy_from_slice(&ws.snap);
     }
 
     Ok(driver.finish((sweeps * n) as u64, 1, || {
@@ -209,6 +258,7 @@ pub fn async_jacobi_solve_in<O: RowAccess + Sync>(
         b.len(),
         x.len(),
     )?;
+    ensure_finite_system("async_jacobi_solve", a, b, x)?;
     ensure_threads(opts.threads)?;
     let n = a.n_rows();
     prepare_dinv(a, opts, ws)?;
@@ -221,7 +271,17 @@ pub fn async_jacobi_solve_in<O: RowAccess + Sync>(
     let counter = AtomicUsize::new(0);
 
     let mut driver = Driver::new(&opts.term, opts.record);
-    let epoch_sweeps = epoch_len(&opts.term, opts.record);
+    let mut monitor = opts.health.as_ref().map(|c| HealthMonitor::new(c.clone()));
+    // A watchdog forces one-sweep epochs: checks only happen at quiescent
+    // points, and one-sweep granularity bounds detection latency.
+    let epoch_sweeps = if monitor.is_some() {
+        1
+    } else {
+        epoch_len(&opts.term, opts.record)
+    };
+    let fault_plan = opts.fault_plan.as_ref().filter(|p| !p.is_empty());
+    let mut threads_now = opts.threads;
+    let mut epoch: u64 = 0;
     let mut sweeps_done = 0usize;
     resize_scratch(&mut ws.snap, n);
     resize_scratch(&mut ws.resid, n);
@@ -233,6 +293,7 @@ pub fn async_jacobi_solve_in<O: RowAccess + Sync>(
     let snap = &mut ws.snap;
     let resid = &mut ws.resid;
     let diff = &mut ws.diff;
+    let healthy = &mut ws.healthy;
 
     while sweeps_done < driver.max_sweeps() {
         let this_epoch = epoch_sweeps.min(driver.max_sweeps() - sweeps_done);
@@ -241,45 +302,90 @@ pub fn async_jacobi_solve_in<O: RowAccess + Sync>(
         // Claim a run of consecutive blocks per counter RMW; consecutive
         // block indices keep the single-thread sweep order bitwise
         // identical while cutting contended counter traffic.
-        let claim = (this_epoch * n_blocks / (opts.threads * 4)).clamp(1, 8);
-        pool.run(opts.threads, |_| loop {
-            let first = counter.fetch_add(claim, Ordering::Relaxed);
-            if first >= block_limit {
-                break;
-            }
-            let last = (first + claim).min(block_limit);
-            for blk in first..last {
-                let lo = (blk % n_blocks) * BLOCK;
-                let hi = (lo + BLOCK).min(n);
-                for i in lo..hi {
-                    let dot = a.row_dot_with(i, |c| shared.load(c));
-                    let xi = shared.load(i);
-                    shared.store(i, xi + opts.damping * (b[i] - dot) * dinv[i]);
+        let claim = (this_epoch * n_blocks / (threads_now * 4)).clamp(1, 8);
+        let round = epoch;
+        let run_round = |p: usize| {
+            pool.run(p, |w| {
+                if let Some(plan) = fault_plan {
+                    plan.apply_pool_faults(w, round);
+                    if let Some(idx) = plan.poison_for(w, round) {
+                        if idx < n {
+                            shared.store(idx, f64::NAN);
+                        }
+                    }
                 }
+                loop {
+                    let first = counter.fetch_add(claim, Ordering::Relaxed);
+                    if first >= block_limit {
+                        break;
+                    }
+                    let last = (first + claim).min(block_limit);
+                    for blk in first..last {
+                        let lo = (blk % n_blocks) * BLOCK;
+                        let hi = (lo + BLOCK).min(n);
+                        for i in lo..hi {
+                            let dot = a.row_dot_with(i, |c| shared.load(c));
+                            let xi = shared.load(i);
+                            shared.store(i, xi + opts.damping * (b[i] - dot) * dinv[i]);
+                        }
+                    }
+                }
+            })
+        };
+        if monitor.is_some() {
+            // A killed worker degrades the solve to fewer threads when a
+            // watchdog is armed (the pool survives the panic and the
+            // surviving workers drain the epoch's claim range).
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_round(threads_now)))
+                .is_err()
+            {
+                threads_now = threads_now.saturating_sub(1).max(1);
             }
-        });
+        } else {
+            run_round(threads_now);
+        }
         // Exiting workers overshoot the claim counter by up to one claim
         // batch each; reset it to the exact boundary while they are
         // quiescent so the next epoch misses no block.
         counter.store(block_limit, Ordering::Relaxed);
-        let stop = driver.observe_lazy(sweeps_done, (sweeps_done * n) as u64, || {
+        epoch += 1;
+        let stop = if let Some(mon) = monitor.as_mut() {
+            // Watchdog path: checks run eagerly at the quiescent boundary;
+            // a trip returns a typed error with `x` untouched (it is only
+            // written after the loop).
             shared.snapshot_into(snap);
+            mon.check_iterate("async_jacobi_solve", round as usize, snap)?;
             let rel = a.rel_residual_into(b, snap, norm_b, resid);
+            mon.observe_residual(round as usize, rel)?;
+            healthy.clear();
+            healthy.extend_from_slice(snap);
             let err = x_star.map(|xs| {
                 for ((di, si), xsi) in diff.iter_mut().zip(snap.iter()).zip(xs) {
                     *di = si - xsi;
                 }
                 a.a_norm_into(diff, resid) / norm_xs_a.unwrap()
             });
-            (rel, err)
-        });
+            driver.observe_lazy(sweeps_done, (sweeps_done * n) as u64, || (rel, err))
+        } else {
+            driver.observe_lazy(sweeps_done, (sweeps_done * n) as u64, || {
+                shared.snapshot_into(snap);
+                let rel = a.rel_residual_into(b, snap, norm_b, resid);
+                let err = x_star.map(|xs| {
+                    for ((di, si), xsi) in diff.iter_mut().zip(snap.iter()).zip(xs) {
+                        *di = si - xsi;
+                    }
+                    a.a_norm_into(diff, resid) / norm_xs_a.unwrap()
+                });
+                (rel, err)
+            })
+        };
         if stop {
             break;
         }
     }
 
     shared.snapshot_into(x);
-    Ok(driver.finish((sweeps_done * n) as u64, opts.threads, || {
+    Ok(driver.finish((sweeps_done * n) as u64, threads_now, || {
         a.rel_residual_into(b, x, norm_b, resid)
     }))
 }

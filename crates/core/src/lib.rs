@@ -53,6 +53,7 @@ pub mod asyrgs;
 pub mod atomic;
 pub mod driver;
 pub mod error;
+pub mod health;
 pub mod jacobi;
 pub mod lsq;
 pub mod partitioned;
@@ -68,6 +69,7 @@ pub use asyrgs::{
 pub use atomic::{AtomicF64, SharedVec};
 pub use driver::{Driver, Recording, Solver, SolverSpec, Termination};
 pub use error::SolveError;
+pub use health::{HealthConfig, HealthMonitor, RecoveryPolicy};
 pub use jacobi::{
     async_jacobi_solve_in, chazan_miranker_condition, jacobi_solve_in, try_async_jacobi_solve,
     try_async_jacobi_solve_on, try_jacobi_solve, JacobiOptions,
@@ -80,7 +82,7 @@ pub use partitioned::{
     partitioned_solve_in, try_partitioned_solve, try_partitioned_solve_on, PartitionedOptions,
     PartitionedReport,
 };
-pub use report::{SolveReport, SweepRecord};
+pub use report::{RecoveryAttempt, SolveReport, SweepRecord};
 pub use rgs::{
     rgs_solve_block_in, rgs_solve_in, try_rgs_solve, try_rgs_solve_block, RgsOptions, RowSampling,
 };

@@ -24,7 +24,10 @@
 //! Stopping and telemetry route through the shared [`crate::driver`].
 
 use crate::atomic::SharedVec;
-use crate::driver::{ensure_beta, ensure_threads, Driver, Recording, Termination};
+use crate::driver::{
+    ensure_beta, ensure_finite_matrix, ensure_finite_slice, ensure_threads, Driver, Recording,
+    Termination,
+};
 use crate::error::SolveError;
 use crate::report::SolveReport;
 use crate::workspace::{resize_scratch, SolveWorkspace};
@@ -162,6 +165,9 @@ pub fn rcd_solve_in(
     opts: &LsqSolveOptions,
 ) -> Result<SolveReport, SolveError> {
     ensure_lsq_system("rcd_solve", op, b.len(), x.len())?;
+    ensure_finite_matrix("rcd_solve", op.matrix())?;
+    ensure_finite_slice("rcd_solve", "right-hand side b", b)?;
+    ensure_finite_slice("rcd_solve", "initial iterate x", x)?;
     ensure_beta(opts.beta)?;
     let n = op.n_cols();
     let ds = DirectionStream::new(opts.seed, n);
@@ -289,6 +295,9 @@ pub fn async_rcd_solve_in(
     opts: &LsqSolveOptions,
 ) -> Result<SolveReport, SolveError> {
     ensure_lsq_system("async_rcd_solve", op, b.len(), x.len())?;
+    ensure_finite_matrix("async_rcd_solve", op.matrix())?;
+    ensure_finite_slice("async_rcd_solve", "right-hand side b", b)?;
+    ensure_finite_slice("async_rcd_solve", "initial iterate x", x)?;
     ensure_beta(opts.beta)?;
     ensure_threads(opts.threads)?;
     let n = op.n_cols();

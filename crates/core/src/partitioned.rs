@@ -32,8 +32,8 @@
 //! boundaries, where all owners are quiescent).
 
 use crate::driver::{
-    ensure_beta, ensure_square_system, ensure_threads, inverse_diag_into, Driver, Recording,
-    Solver, Termination,
+    ensure_beta, ensure_finite_system, ensure_square_system, ensure_threads, inverse_diag_into,
+    Driver, Recording, Solver, Termination,
 };
 use crate::error::SolveError;
 use crate::report::SolveReport;
@@ -108,6 +108,7 @@ pub fn partitioned_solve_in<O: RowAccess + Sync>(
         b.len(),
         x.len(),
     )?;
+    ensure_finite_system("partitioned_solve", a, b, x)?;
     ensure_threads(opts.threads)?;
     let n = a.n_rows();
     if opts.threads > n {

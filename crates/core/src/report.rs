@@ -1,5 +1,27 @@
 //! Solve telemetry: per-sweep records and end-of-solve reports.
 
+use crate::error::SolveError;
+
+/// One recovery attempt made by the session layer after a watchdog trip:
+/// what tripped, what the escalation ladder did about it, and the step
+/// size the retry ran with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryAttempt {
+    /// 1-based attempt number (the failed solve this attempt recovers).
+    pub attempt: u32,
+    /// The watchdog error that tripped the previous attempt.
+    pub error: SolveError,
+    /// The recovery action taken: `"synchronize_restart"`,
+    /// `"dampen_and_restart"`, or `"fallback_sequential"`.
+    pub action: &'static str,
+    /// The step size (beta, or damping for the Jacobi family) the retry
+    /// ran with.
+    pub step: f64,
+    /// Whether the retry restarted from the last healthy snapshot (true)
+    /// or from the caller's original iterate (false).
+    pub from_snapshot: bool,
+}
+
 /// One recorded point along a solve (typically one per sweep, where a sweep
 /// is `n` single-coordinate iterations — the unit the paper plots against).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +65,9 @@ pub struct SolveReport {
     /// and its write) — the empirical `tau` of Assumption A-3. `None` when
     /// the solver does not measure it (sequential solvers, block variants).
     pub max_observed_delay: Option<u64>,
+    /// Watchdog-trip recovery attempts made by the session layer before
+    /// this report's solve succeeded (empty when no recovery ran).
+    pub recovery_attempts: Vec<RecoveryAttempt>,
 }
 
 impl SolveReport {
@@ -58,6 +83,7 @@ impl SolveReport {
             stopped_on_budget: false,
             cancelled: false,
             max_observed_delay: None,
+            recovery_attempts: Vec::new(),
         }
     }
 

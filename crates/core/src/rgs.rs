@@ -18,10 +18,12 @@
 //! Stopping and telemetry route through the shared [`crate::driver`].
 
 use crate::driver::{
-    ensure_beta, ensure_square_block_system, ensure_square_system, inverse_diag_into, Driver,
-    Recording, Solver, Termination,
+    ensure_beta, ensure_finite_matrix, ensure_finite_slice, ensure_finite_system,
+    ensure_square_block_system, ensure_square_system, inverse_diag_into, Driver, Recording, Solver,
+    Termination,
 };
 use crate::error::SolveError;
+use crate::health::{HealthConfig, HealthMonitor};
 use crate::report::SolveReport;
 use crate::workspace::{resize_scratch, resize_scratch_mat, SolveWorkspace};
 use asyrgs_rng::{DirectionStream, WeightedDirectionStream};
@@ -97,6 +99,12 @@ pub struct RgsOptions {
     /// Residual-recording cadence (each record costs one residual
     /// evaluation, `Theta(nnz)`).
     pub record: Recording,
+    /// Optional numerical-health watchdog, evaluated at every sweep
+    /// boundary. `None` (the default) leaves the solve path bitwise
+    /// unchanged. When set, the solver iterates on workspace scratch so a
+    /// trip surfaces as a typed [`SolveError`] with `x` left untouched.
+    /// Honored by the single-RHS solve only; the block solve ignores it.
+    pub health: Option<HealthConfig>,
 }
 
 impl Default for RgsOptions {
@@ -107,6 +115,7 @@ impl Default for RgsOptions {
             sampling: RowSampling::Uniform,
             term: Termination::sweeps(10),
             record: Recording::every(1),
+            health: None,
         }
     }
 }
@@ -132,6 +141,7 @@ pub fn rgs_solve_in<O: RowAccess>(
     opts: &RgsOptions,
 ) -> Result<SolveReport, SolveError> {
     ensure_square_system("rgs_solve", a.n_rows(), a.n_cols(), b.len(), x.len())?;
+    ensure_finite_system("rgs_solve", a, b, x)?;
     ensure_beta(opts.beta)?;
     let n = a.n_rows();
     a.diag_into(&mut ws.diag);
@@ -142,6 +152,8 @@ pub fn rgs_solve_in<O: RowAccess>(
     let norm_xs_a = x_star.map(|xs| a.a_norm(xs).max(f64::MIN_POSITIVE));
 
     let mut driver = Driver::new(&opts.term, opts.record);
+    let mut monitor = opts.health.as_ref().map(|c| HealthMonitor::new(c.clone()));
+    let guarded = monitor.is_some();
     let mut j: u64 = 0;
     // Observation scratch, reused across every record point (and across
     // solves: the workspace retains the buffers).
@@ -149,30 +161,63 @@ pub fn rgs_solve_in<O: RowAccess>(
     if x_star.is_some() {
         resize_scratch(&mut ws.diff, n);
     }
+    if guarded {
+        resize_scratch(&mut ws.snap, n);
+        ws.snap.copy_from_slice(x);
+    }
     let resid = &mut ws.resid;
     let diff = &mut ws.diff;
 
-    for sweep in 1..=driver.max_sweeps() {
-        for _ in 0..n {
-            let r = ds.direction(j);
-            j += 1;
-            let gamma = (b[r] - a.row_dot(r, x)) * dinv[r];
-            x[r] += opts.beta * gamma;
+    {
+        // With a watchdog armed, iterate on workspace scratch so a trip
+        // returns a typed error with the caller's `x` bitwise untouched.
+        let xw: &mut [f64] = if guarded {
+            ws.snap.as_mut_slice()
+        } else {
+            &mut *x
+        };
+        for sweep in 1..=driver.max_sweeps() {
+            for _ in 0..n {
+                let r = ds.direction(j);
+                j += 1;
+                let gamma = (b[r] - a.row_dot(r, xw)) * dinv[r];
+                xw[r] += opts.beta * gamma;
+            }
+            let stop = if let Some(mon) = monitor.as_mut() {
+                // Every sweep boundary is a quiescent point: run the
+                // health checks eagerly and feed the driver the
+                // precomputed residual.
+                mon.check_iterate("rgs_solve", sweep - 1, xw)?;
+                a.residual_into(b, xw, resid);
+                let rel = dense::norm2(resid) / norm_b;
+                mon.observe_residual(sweep - 1, rel)?;
+                let err = x_star.map(|xs| {
+                    for ((di, xi), xsi) in diff.iter_mut().zip(xw.iter()).zip(xs) {
+                        *di = xi - xsi;
+                    }
+                    a.a_norm_into(diff, resid) / norm_xs_a.unwrap()
+                });
+                driver.observe_lazy(sweep, j, || (rel, err))
+            } else {
+                driver.observe_lazy(sweep, j, || {
+                    a.residual_into(b, xw, resid);
+                    let rel = dense::norm2(resid) / norm_b;
+                    let err = x_star.map(|xs| {
+                        for ((di, xi), xsi) in diff.iter_mut().zip(xw.iter()).zip(xs) {
+                            *di = xi - xsi;
+                        }
+                        a.a_norm_into(diff, resid) / norm_xs_a.unwrap()
+                    });
+                    (rel, err)
+                })
+            };
+            if stop {
+                break;
+            }
         }
-        let stop = driver.observe_lazy(sweep, j, || {
-            a.residual_into(b, x, resid);
-            let rel = dense::norm2(resid) / norm_b;
-            let err = x_star.map(|xs| {
-                for ((di, xi), xsi) in diff.iter_mut().zip(x.iter()).zip(xs) {
-                    *di = xi - xsi;
-                }
-                a.a_norm_into(diff, resid) / norm_xs_a.unwrap()
-            });
-            (rel, err)
-        });
-        if stop {
-            break;
-        }
+    }
+    if guarded {
+        x.copy_from_slice(&ws.snap);
     }
 
     Ok(driver.finish(j, 1, || {
@@ -257,6 +302,9 @@ pub fn rgs_solve_block_in(
         x.n_rows(),
         x.n_cols(),
     )?;
+    ensure_finite_matrix("rgs_solve_block", a)?;
+    ensure_finite_slice("rgs_solve_block", "right-hand side B", b.as_slice())?;
+    ensure_finite_slice("rgs_solve_block", "initial iterate X", x.as_slice())?;
     ensure_beta(opts.beta)?;
     let n = a.n_rows();
     let k = b.n_cols();

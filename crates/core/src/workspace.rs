@@ -68,6 +68,10 @@ pub struct SolveWorkspace {
     pub gammas: Vec<f64>,
     /// The shared atomic iterate of the asynchronous solvers.
     pub shared: SharedVec,
+    /// Last iterate snapshot that passed a health check — the restart
+    /// point for the session layer's recovery policies. Empty unless a
+    /// solve ran with a watchdog enabled.
+    pub healthy: Vec<f64>,
     /// Multi-RHS iterate-snapshot block.
     pub blk_snap: RowMajorMat,
     /// Multi-RHS residual block.
@@ -106,6 +110,7 @@ impl SolveWorkspace {
             aux2: Vec::new(),
             gammas: Vec::new(),
             shared: SharedVec::zeros(0),
+            healthy: Vec::new(),
             blk_snap: RowMajorMat::zeros(0, 0),
             blk_resid: RowMajorMat::zeros(0, 0),
             blk_b: RowMajorMat::zeros(0, 0),

@@ -10,7 +10,8 @@
 //! recording through the shared [`asyrgs_core::driver`].
 
 use asyrgs_core::driver::{
-    ensure_square_block_system, ensure_square_system, Driver, Recording, Solver, Termination,
+    ensure_finite_slice, ensure_square_block_system, ensure_square_system, Driver, Recording,
+    Solver, Termination,
 };
 use asyrgs_core::error::SolveError;
 use asyrgs_core::report::SolveReport;
@@ -55,6 +56,8 @@ pub fn cg_solve_in<O: LinearOperator + ?Sized>(
     opts: &CgOptions,
 ) -> Result<SolveReport, SolveError> {
     ensure_square_system("cg_solve", a.n_rows(), a.n_cols(), b.len(), x.len())?;
+    ensure_finite_slice("cg_solve", "right-hand side b", b)?;
+    ensure_finite_slice("cg_solve", "initial iterate x", x)?;
     let n = a.n_rows();
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);
 
@@ -171,6 +174,8 @@ pub fn try_cg_solve_block(
         x.n_rows(),
         x.n_cols(),
     )?;
+    ensure_finite_slice("cg_solve_block", "right-hand side B", b.as_slice())?;
+    ensure_finite_slice("cg_solve_block", "initial iterate X", x.as_slice())?;
     let n = a.n_rows();
     let k = b.n_cols();
     let norm_b = b.frobenius_norm().max(f64::MIN_POSITIVE);

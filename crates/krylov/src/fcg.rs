@@ -22,7 +22,9 @@
 //! routes stopping and recording through the shared [`asyrgs_core::driver`].
 
 use crate::precond::Preconditioner;
-use asyrgs_core::driver::{ensure_square_system, Driver, Recording, Termination};
+use asyrgs_core::driver::{
+    ensure_finite_slice, ensure_square_system, Driver, Recording, Termination,
+};
 use asyrgs_core::error::SolveError;
 use asyrgs_core::report::SolveReport;
 use asyrgs_core::workspace::{resize_scratch, SolveWorkspace};
@@ -79,6 +81,8 @@ pub fn fcg_solve_in<O: LinearOperator + ?Sized, M: Preconditioner>(
     opts: &FcgOptions,
 ) -> Result<SolveReport, SolveError> {
     ensure_square_system("fcg_solve", a.n_rows(), a.n_cols(), b.len(), x.len())?;
+    ensure_finite_slice("fcg_solve", "right-hand side b", b)?;
+    ensure_finite_slice("fcg_solve", "initial iterate x", x)?;
     assert!(opts.truncate >= 1, "truncation depth must be at least 1");
     let n = a.n_rows();
     let norm_b = dense::norm2(b).max(f64::MIN_POSITIVE);

@@ -423,6 +423,200 @@ pub fn pool_for(threads: usize) -> SolvePool {
 }
 
 // ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// One injected fault in a [`FaultPlan`]. `round` is the pool round the
+/// enclosing solve counts (an epoch for the asynchronous solvers, an
+/// iteration for the sequential delay executor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Worker `worker` sleeps `millis` ms at the start of every round in
+    /// `[round, round + span)` — a bounded stall (scheduling delay made
+    /// explicit and deterministic in placement).
+    StallWorker {
+        /// The logical worker id the stall applies to.
+        worker: usize,
+        /// First affected round.
+        round: u64,
+        /// Number of consecutive affected rounds.
+        span: u64,
+        /// Sleep per affected round, in milliseconds.
+        millis: u64,
+    },
+    /// Worker `worker` panics at the start of round `round` — a killed
+    /// worker mid-epoch. The pool forwards the panic to the submitting
+    /// caller after the round completes; the pool itself survives.
+    KillWorker {
+        /// The logical worker id to kill.
+        worker: usize,
+        /// The round at which the panic fires.
+        round: u64,
+    },
+    /// A NaN is written into shared-iterate slot `index` during round
+    /// `round` by worker `worker` — a poisoned update. Applied by the
+    /// solver layer (the pool has no access to the iterate).
+    PoisonUpdate {
+        /// The logical worker id that performs the poisoned write.
+        worker: usize,
+        /// The round during which the write happens.
+        round: u64,
+        /// The iterate slot that receives the NaN.
+        index: usize,
+    },
+    /// Worker `worker` sleeps `millis` ms at the start of **every** round
+    /// — a persistently slow clock (one straggler thread/tenant).
+    SlowClock {
+        /// The logical worker id the slowdown applies to.
+        worker: usize,
+        /// Sleep per round, in milliseconds.
+        millis: u64,
+    },
+}
+
+/// A deterministic, seed-driven fault-injection schedule, honored by
+/// [`WorkerPool::run_with_faults`], the asynchronous solvers (poisoned
+/// updates), and the sequential delay executor in `asyrgs-sim`.
+///
+/// The plan itself carries no randomness at injection time: every fault
+/// names the worker and round it fires at, so two runs of the same plan
+/// inject the same schedule. The `seed` parameterizes derived choices
+/// (e.g. [`FaultPlan::pick`] for choosing a poison index) so harnesses
+/// can sweep fault placements reproducibly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for derived deterministic choices (not used at fire time).
+    pub seed: u64,
+    /// The injected faults.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Add a fault to the schedule.
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// A deterministic value in `[0, bound)` derived from the seed and a
+    /// caller-chosen salt (SplitMix64 finalizer) — for seed-driven fault
+    /// placement without a third-party RNG.
+    pub fn pick(&self, salt: u64, bound: u64) -> u64 {
+        assert!(bound > 0, "pick: bound must be positive");
+        let mut z = self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % bound
+    }
+
+    /// Apply the pool-level faults for `worker` at `round`: stalls and
+    /// slow clocks sleep, a kill panics. Called by
+    /// [`WorkerPool::run_with_faults`] at the start of the worker's round
+    /// body.
+    ///
+    /// # Panics
+    /// Panics (by design) when a [`FaultSpec::KillWorker`] matches.
+    pub fn apply_pool_faults(&self, worker: usize, round: u64) {
+        for f in &self.faults {
+            match *f {
+                FaultSpec::StallWorker {
+                    worker: w,
+                    round: r,
+                    span,
+                    millis,
+                } if w == worker && round >= r && round < r.saturating_add(span) => {
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                }
+                FaultSpec::SlowClock { worker: w, millis } if w == worker => {
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                }
+                FaultSpec::KillWorker {
+                    worker: w,
+                    round: r,
+                } if w == worker && r == round => {
+                    panic!("injected fault: worker {w} killed at round {r}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The shared-iterate slot that `worker` poisons during `round`, if
+    /// any. The solver layer performs the actual NaN write at a point of
+    /// its choosing within the round.
+    pub fn poison_for(&self, worker: usize, round: u64) -> Option<usize> {
+        self.faults.iter().find_map(|f| match *f {
+            FaultSpec::PoisonUpdate {
+                worker: w,
+                round: r,
+                index,
+            } if w == worker && r == round => Some(index),
+            _ => None,
+        })
+    }
+
+    /// Whether any stall fault covers sequential iteration `j` — the
+    /// delay executor maps a stalled worker to maximal read staleness
+    /// over the stalled span.
+    pub fn stalls_iteration(&self, j: u64) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(*f, FaultSpec::StallWorker { round, span, .. }
+                if j >= round && j < round.saturating_add(span))
+        })
+    }
+
+    /// The slot poisoned at sequential iteration `j`, if any (worker ids
+    /// are ignored by the sequential executor).
+    pub fn poison_at_iteration(&self, j: u64) -> Option<usize> {
+        self.faults.iter().find_map(|f| match *f {
+            FaultSpec::PoisonUpdate { round, index, .. } if round == j => Some(index),
+            _ => None,
+        })
+    }
+}
+
+impl WorkerPool {
+    /// [`run`](Self::run) with a [`FaultPlan`] applied: each worker first
+    /// runs the plan's pool-level faults for `(worker, round)` — sleeping
+    /// for stalls/slow clocks, panicking for kills — then the job body.
+    /// With an empty plan this is exactly `run`.
+    ///
+    /// # Panics
+    /// Panics like [`run`](Self::run); additionally re-raises the
+    /// injected panic of a matching [`FaultSpec::KillWorker`] after the
+    /// round completes.
+    pub fn run_with_faults<F: Fn(usize) + Sync>(
+        &self,
+        p: usize,
+        plan: &FaultPlan,
+        round: u64,
+        f: F,
+    ) {
+        if plan.is_empty() {
+            self.run(p, f);
+            return;
+        }
+        self.run(p, |w| {
+            plan.apply_pool_faults(w, round);
+            f(w);
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Slot leasing
 // ---------------------------------------------------------------------------
 

@@ -177,6 +177,9 @@ pub struct JobStats {
     /// Jobs coalesced into the dispatch this one rode in (1 = solo, 0 =
     /// never dispatched). See `SchedulerConfig::coalesce`.
     pub batch_size: usize,
+    /// Watchdog-trip re-dispatches this job consumed before completing.
+    /// See `SchedulerConfig::retry_max`.
+    pub retries: u32,
 }
 
 /// The final state of a job: the solution vector and the solve result.

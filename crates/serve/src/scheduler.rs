@@ -126,6 +126,22 @@ pub struct SchedulerConfig {
     /// configuration, and no deadline ride along as extra right-hand
     /// sides of one block solve (RGS/AsyRGS families).
     pub coalesce: usize,
+    /// How many times a job whose solve ends in a watchdog trip
+    /// (non-finite iterate, divergence, stall — see
+    /// [`asyrgs_core::health`]) is re-enqueued before it is quarantined
+    /// with [`SolveError::Quarantined`]. `0` disables scheduler-level
+    /// retries: trips surface to the handle unchanged. Only jobs whose
+    /// builder armed the watchdog can trip, so this knob never affects
+    /// default-configured jobs.
+    pub retry_max: u32,
+    /// Exponential-backoff base: retry `k` waits `retry_backoff_ms *
+    /// 2^(k-1)` milliseconds before re-dispatching.
+    pub retry_backoff_ms: u64,
+    /// Total watchdog-trip retries a single tenant may consume across all
+    /// its jobs — a misconfigured tenant cannot grind the service with
+    /// endless restarts. Exhausted tenants get their jobs quarantined on
+    /// the first trip.
+    pub tenant_retry_budget: u64,
 }
 
 impl Default for SchedulerConfig {
@@ -137,6 +153,9 @@ impl Default for SchedulerConfig {
             slots: width,
             paused: false,
             coalesce: 32,
+            retry_max: 2,
+            retry_backoff_ms: 10,
+            tenant_retry_budget: 64,
         }
     }
 }
@@ -162,6 +181,10 @@ pub struct SchedulerStats {
     pub cancelled: u64,
     /// Completed jobs that ended in [`SolveError::DeadlineExceeded`].
     pub deadline_exceeded: u64,
+    /// Watchdog-trip re-enqueues performed so far (each retry counts).
+    pub retried: u64,
+    /// Completed jobs that ended in [`SolveError::Quarantined`].
+    pub quarantined: u64,
 }
 
 /// One admitted job travelling from the MPMC queue to a runner.
@@ -170,6 +193,10 @@ struct Submission {
     shared: Arc<JobShared>,
     submitted_at: Instant,
     deadline_at: Option<Instant>,
+    /// Watchdog-trip re-dispatches so far (see `SchedulerConfig::retry_max`).
+    retries: u32,
+    /// Earliest dispatch time — set by retry backoff, `None` otherwise.
+    not_before: Option<Instant>,
 }
 
 /// Per-tenant dispatch state: FIFO of admitted jobs plus the stride-
@@ -197,27 +224,60 @@ struct DispatchState {
     /// tenants start here so an idle tenant cannot bank credit and then
     /// monopolize the runners.
     virtual_time: u64,
+    /// Retried jobs waiting out their backoff (`not_before` in the
+    /// future); [`release_parked`](Self::release_parked) moves them back
+    /// into their tenant FIFOs when due.
+    parked: Vec<Submission>,
+    /// Watchdog-trip retries each tenant has consumed (see
+    /// `SchedulerConfig::tenant_retry_budget`).
+    retry_spent: BTreeMap<TenantId, u64>,
 }
 
 impl DispatchState {
+    /// Insert one submission into its tenant's FIFO under the stride
+    /// bookkeeping rules (idle tenants cannot bank credit).
+    fn enqueue(&mut self, sub: Submission) {
+        let vt = self.virtual_time;
+        let tenant = self
+            .tenants
+            .entry(sub.job.tenant)
+            .or_insert_with(|| TenantQueue {
+                fifo: VecDeque::new(),
+                pass: vt,
+            });
+        if tenant.fifo.is_empty() {
+            tenant.pass = tenant.pass.max(vt);
+        }
+        tenant.fifo.push_back(sub);
+        self.queued += 1;
+    }
+
     /// Move every admitted submission from the lock-free queue into its
     /// tenant's FIFO.
     fn drain_injection(&mut self, injection: &MpmcQueue<Submission>) {
         while let Some(sub) = injection.pop() {
-            let vt = self.virtual_time;
-            let tenant = self
-                .tenants
-                .entry(sub.job.tenant)
-                .or_insert_with(|| TenantQueue {
-                    fifo: VecDeque::new(),
-                    pass: vt,
-                });
-            if tenant.fifo.is_empty() {
-                tenant.pass = tenant.pass.max(vt);
-            }
-            tenant.fifo.push_back(sub);
-            self.queued += 1;
+            self.enqueue(sub);
         }
+    }
+
+    /// Move parked retries whose backoff has elapsed back into dispatch.
+    fn release_parked(&mut self) {
+        let now = Instant::now();
+        let mut i = 0;
+        while i < self.parked.len() {
+            if self.parked[i].not_before.is_none_or(|t| t <= now) {
+                let sub = self.parked.swap_remove(i);
+                self.enqueue(sub);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The earliest `not_before` among parked retries, if any — how long a
+    /// runner may sleep before a retry could become dispatchable.
+    fn earliest_parked(&self) -> Option<Instant> {
+        self.parked.iter().filter_map(|s| s.not_before).min()
     }
 
     /// Stride scheduling: dispatch the head job of the lowest-pass tenant
@@ -282,6 +342,11 @@ fn batch_anchor(sub: &Submission) -> bool {
         SolverFamily::Rgs | SolverFamily::AsyRgs
     ) && sub.deadline_at.is_none()
         && !sub.shared.cancel.is_cancelled()
+        // The block kernels have no watchdog/recovery path, so a job that
+        // armed either must run the solo dispatch that honors them.
+        // Riders inherit this via builder equality with the anchor.
+        && sub.job.builder.configured_health().is_none()
+        && !sub.job.builder.configured_recovery().is_active()
 }
 
 /// Whether `candidate` can ride along with `seed`: same matrix (by
@@ -299,6 +364,8 @@ struct Counters {
     succeeded: AtomicU64,
     cancelled: AtomicU64,
     deadline_exceeded: AtomicU64,
+    retried: AtomicU64,
+    quarantined: AtomicU64,
     dispatch_seq: AtomicU64,
     running: AtomicUsize,
 }
@@ -310,6 +377,9 @@ struct Inner {
     slots: SlotAccountant,
     counters: Counters,
     coalesce: usize,
+    retry_max: u32,
+    retry_backoff_ms: u64,
+    tenant_retry_budget: u64,
 }
 
 /// The multi-tenant solve scheduler (see the module docs for the dispatch
@@ -356,6 +426,8 @@ impl Scheduler {
                 paused: config.paused,
                 shutdown: false,
                 virtual_time: 0,
+                parked: Vec::new(),
+                retry_spent: BTreeMap::new(),
             }),
             work: Condvar::new(),
             slots: SlotAccountant::new(config.slots.max(1)),
@@ -365,10 +437,15 @@ impl Scheduler {
                 succeeded: AtomicU64::new(0),
                 cancelled: AtomicU64::new(0),
                 deadline_exceeded: AtomicU64::new(0),
+                retried: AtomicU64::new(0),
+                quarantined: AtomicU64::new(0),
                 dispatch_seq: AtomicU64::new(0),
                 running: AtomicUsize::new(0),
             },
             coalesce: config.coalesce.max(1),
+            retry_max: config.retry_max,
+            retry_backoff_ms: config.retry_backoff_ms,
+            tenant_retry_budget: config.tenant_retry_budget,
         });
         let handles = (0..runners)
             .map(|id| {
@@ -432,6 +509,19 @@ impl Scheduler {
                 job: Box::new(job),
             });
         }
+        // Non-finite input is rejected at admission, not discovered
+        // mid-solve: a NaN in A, b, or x0 can only ever produce garbage.
+        if let Err(error) = asyrgs_core::driver::ensure_finite_system(
+            "serve_submit",
+            job.a.as_ref(),
+            &job.b,
+            &job.x0,
+        ) {
+            return Err(SubmitError::Rejected {
+                error,
+                job: Box::new(job),
+            });
+        }
         if let Err(error) = job.builder.validate() {
             return Err(SubmitError::Rejected {
                 error,
@@ -467,6 +557,8 @@ impl Scheduler {
             job,
             shared,
             submitted_at: now,
+            retries: 0,
+            not_before: None,
         };
         if let Err(back) = self.inner.injection.push(sub) {
             return Err(SubmitError::QueueFull {
@@ -534,6 +626,8 @@ impl Scheduler {
             succeeded: c.succeeded.load(Ordering::Relaxed),
             cancelled: c.cancelled.load(Ordering::Relaxed),
             deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
+            retried: c.retried.load(Ordering::Relaxed),
+            quarantined: c.quarantined.load(Ordering::Relaxed),
         }
     }
 
@@ -575,11 +669,12 @@ impl Drop for Scheduler {
             .lock()
             .unwrap_or_else(|e| e.into_inner());
         st.drain_injection(&self.inner.injection);
-        let leftovers: Vec<Submission> = st
+        let mut leftovers: Vec<Submission> = st
             .tenants
             .values_mut()
             .flat_map(|t| t.fifo.drain(..))
             .collect();
+        leftovers.append(&mut st.parked);
         st.queued = 0;
         drop(st);
         for sub in leftovers {
@@ -611,6 +706,7 @@ fn complete_undispatched(
             dispatch_seq: None,
             threads_used: 0,
             batch_size: 0,
+            retries: sub.retries,
         },
     });
 }
@@ -624,6 +720,7 @@ fn bump_outcome_counters(inner: &Inner, result: &Result<SolveReport, SolveError>
         Err(SolveError::DeadlineExceeded { .. }) => {
             c.deadline_exceeded.fetch_add(1, Ordering::Relaxed)
         }
+        Err(SolveError::Quarantined { .. }) => c.quarantined.fetch_add(1, Ordering::Relaxed),
         Err(_) => 0,
     };
 }
@@ -636,6 +733,7 @@ fn runner_loop(inner: &Inner) {
             let mut st = inner.dispatch.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 st.drain_injection(&inner.injection);
+                st.release_parked();
                 if st.shutdown {
                     return;
                 }
@@ -644,7 +742,20 @@ fn runner_loop(inner: &Inner) {
                         break batch;
                     }
                 }
-                st = inner.work.wait(st).unwrap_or_else(|e| e.into_inner());
+                // A parked retry bounds the sleep: wake when the earliest
+                // backoff elapses even if no new work is submitted.
+                if let Some(due) = st.earliest_parked() {
+                    let wait = due
+                        .saturating_duration_since(Instant::now())
+                        .max(Duration::from_millis(1));
+                    st = inner
+                        .work
+                        .wait_timeout(st, wait)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                } else {
+                    st = inner.work.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
             }
         };
         inner.counters.running.fetch_add(1, Ordering::Relaxed);
@@ -766,6 +877,7 @@ fn run_batch(inner: &Inner, batch: Vec<Submission>) {
                 dispatch_seq: Some(seqs[i]),
                 threads_used: threads,
                 batch_size,
+                retries: sub.retries,
             },
         });
     }
@@ -851,6 +963,40 @@ fn run_one(inner: &Inner, sub: Submission) {
     };
     drop(lease);
 
+    // A watchdog trip that survived the session's own recovery ladder is
+    // retried at the scheduling layer: re-enqueue with exponential backoff
+    // until the per-job cap or the tenant's retry budget runs out, then
+    // quarantine with a typed terminal error. Jobs that never armed the
+    // watchdog cannot produce these errors, so this path is dead for
+    // default-configured jobs. An expired deadline wins over a retry.
+    let is_trip = matches!(&result, Err(e) if asyrgs_core::health::is_watchdog_trip(e));
+    if is_trip && inner.retry_max > 0 && !deadline_passed {
+        let error = result.expect_err("checked Err above");
+        match try_requeue(inner, sub, &error) {
+            None => return, // re-enqueued; the outcome publishes later
+            Some(back) => {
+                let result = Err(SolveError::Quarantined {
+                    attempts: back.retries.saturating_add(1),
+                    last_error: Box::new(error),
+                });
+                bump_outcome_counters(inner, &result);
+                back.shared.complete(JobOutcome {
+                    x: back.job.x0.clone(),
+                    result,
+                    stats: JobStats {
+                        queued,
+                        service: service_start.elapsed(),
+                        dispatch_seq: Some(dispatch_seq),
+                        threads_used: threads,
+                        batch_size: 1,
+                        retries: back.retries,
+                    },
+                });
+                return;
+            }
+        }
+    }
+
     bump_outcome_counters(inner, &result);
     sub.shared.complete(JobOutcome {
         x,
@@ -861,8 +1007,35 @@ fn run_one(inner: &Inner, sub: Submission) {
             dispatch_seq: Some(dispatch_seq),
             threads_used: threads,
             batch_size: 1,
+            retries: sub.retries,
         },
     });
+}
+
+/// Re-enqueue a tripped job with exponential backoff, charging the
+/// tenant's retry budget. Returns the submission back when the per-job
+/// cap or the tenant budget is exhausted (or the scheduler is shutting
+/// down) — the caller quarantines it.
+fn try_requeue(inner: &Inner, mut sub: Submission, _error: &SolveError) -> Option<Submission> {
+    let mut st = inner.dispatch.lock().unwrap_or_else(|e| e.into_inner());
+    if st.shutdown || sub.retries >= inner.retry_max {
+        return Some(sub);
+    }
+    let spent = st.retry_spent.entry(sub.job.tenant).or_insert(0);
+    if *spent >= inner.tenant_retry_budget {
+        return Some(sub);
+    }
+    *spent += 1;
+    sub.retries += 1;
+    let backoff = inner
+        .retry_backoff_ms
+        .saturating_mul(1u64 << (sub.retries - 1).min(16));
+    sub.not_before = Some(Instant::now() + Duration::from_millis(backoff));
+    st.parked.push(sub);
+    drop(st);
+    inner.counters.retried.fetch_add(1, Ordering::Relaxed);
+    inner.work.notify_all();
+    None
 }
 
 /// A [`Scheduler`]-routed solve session: the drop-in migration target from

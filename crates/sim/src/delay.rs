@@ -16,6 +16,7 @@
 //! (bench target `theory_validation`): average `||x_m - x*||_A^2` over
 //! replicas and compare with the bound.
 
+use asyrgs_parallel::FaultPlan;
 use asyrgs_rng::{DirectionStream, SplitMix64};
 use asyrgs_sparse::RowAccess;
 
@@ -66,6 +67,13 @@ pub struct DelaySimOptions {
     pub delay_seed: u64,
     /// Record `||x - x*||_A^2` every this many iterations (0 = end only).
     pub record_every: u64,
+    /// Deterministic fault injection: [`FaultPlan::stalls_iteration`]
+    /// forces maximal staleness for the covered iterations (the executor's
+    /// analogue of a stalled worker), and
+    /// [`FaultPlan::poison_at_iteration`] writes a NaN into the iterate
+    /// after that iteration's update (a poisoned shared write). `None`
+    /// (the default) executes the historical model exactly.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for DelaySimOptions {
@@ -79,6 +87,7 @@ impl Default for DelaySimOptions {
             direction_seed: 0xD1CE,
             delay_seed: 0xDE1A,
             record_every: 0,
+            fault_plan: None,
         }
     }
 }
@@ -165,8 +174,13 @@ pub fn simulate_delay<O: RowAccess + Sync>(
     };
     trace.errors.push((0, err0));
 
+    let fault_plan = opts.fault_plan.as_ref().filter(|p| !p.is_empty());
     for j in 0..opts.iterations {
         let r = ds.direction(j);
+        // An injected stall reads maximally stale state this iteration,
+        // regardless of policy (and draws nothing from the delay stream —
+        // a stalled reader observes, it does not randomize).
+        let stalled = fault_plan.is_some_and(|p| p.stalls_iteration(j));
         // Dot of row r against the *stale* iterate.
         let dot_now = a.row_dot(r, &x);
         let stale_correction = match opts.read_model {
@@ -174,12 +188,16 @@ pub fn simulate_delay<O: RowAccess + Sync>(
                 // Choose how many of the windowed updates are unseen:
                 // k(j) = j - u, so the last u updates are rolled back.
                 let avail = window.len();
-                let u = match opts.policy {
-                    DelayPolicy::None => 0,
-                    DelayPolicy::Max => avail,
-                    DelayPolicy::UniformRandom => delay_rng.next_index(avail + 1),
-                    DelayPolicy::Bernoulli(_) => {
-                        panic!("Bernoulli policy applies to the inconsistent model only")
+                let u = if stalled {
+                    avail
+                } else {
+                    match opts.policy {
+                        DelayPolicy::None => 0,
+                        DelayPolicy::Max => avail,
+                        DelayPolicy::UniformRandom => delay_rng.next_index(avail + 1),
+                        DelayPolicy::Bernoulli(_) => {
+                            panic!("Bernoulli policy applies to the inconsistent model only")
+                        }
                     }
                 };
                 // Subtract contributions of the last u updates.
@@ -196,12 +214,13 @@ pub fn simulate_delay<O: RowAccess + Sync>(
                 // Exclude each windowed update independently.
                 let mut corr = 0.0;
                 for upd in window.iter() {
-                    let exclude = match opts.policy {
-                        DelayPolicy::None => false,
-                        DelayPolicy::Max => true,
-                        DelayPolicy::UniformRandom => delay_rng.next_f64() < 0.5,
-                        DelayPolicy::Bernoulli(p) => delay_rng.next_f64() < p,
-                    };
+                    let exclude = stalled
+                        || match opts.policy {
+                            DelayPolicy::None => false,
+                            DelayPolicy::Max => true,
+                            DelayPolicy::UniformRandom => delay_rng.next_f64() < 0.5,
+                            DelayPolicy::Bernoulli(p) => delay_rng.next_f64() < p,
+                        };
                     if exclude {
                         let av = a.row_entry(r, upd.idx);
                         if av != 0.0 {
@@ -219,6 +238,12 @@ pub fn simulate_delay<O: RowAccess + Sync>(
         window.push_back(Update { idx: r, delta });
         if window.len() > opts.tau {
             window.pop_front();
+        }
+        // A poisoned shared write lands after the iteration's own update.
+        if let Some(idx) = fault_plan.and_then(|p| p.poison_at_iteration(j)) {
+            if idx < n {
+                x[idx] = f64::NAN;
+            }
         }
 
         let m = j + 1;
@@ -431,6 +456,71 @@ mod tests {
         );
         let iters: Vec<u64> = trace.errors.iter().map(|&(i, _)| i).collect();
         assert_eq!(iters, vec![0, 250, 500, 750, 1000]);
+    }
+
+    #[test]
+    fn fault_stall_forces_max_staleness() {
+        // A stall covering every iteration makes any policy read maximally
+        // stale state — bitwise identical to DelayPolicy::Max unfaulted.
+        use asyrgs_parallel::{FaultPlan, FaultSpec};
+        let (a, b, x0, x_star) = problem(5);
+        let base = DelaySimOptions {
+            iterations: 2000,
+            tau: 8,
+            read_model: ReadModel::Consistent,
+            ..Default::default()
+        };
+        let stalled = simulate_delay(
+            &a,
+            &b,
+            &x0,
+            &x_star,
+            &DelaySimOptions {
+                policy: DelayPolicy::UniformRandom,
+                fault_plan: Some(FaultPlan::new(1).with_fault(FaultSpec::StallWorker {
+                    worker: 0,
+                    round: 0,
+                    span: u64::MAX,
+                    millis: 0,
+                })),
+                ..base.clone()
+            },
+        );
+        let max = simulate_delay(
+            &a,
+            &b,
+            &x0,
+            &x_star,
+            &DelaySimOptions {
+                policy: DelayPolicy::Max,
+                ..base
+            },
+        );
+        assert_eq!(stalled.x, max.x);
+    }
+
+    #[test]
+    fn fault_poison_propagates_non_finite() {
+        use asyrgs_parallel::{FaultPlan, FaultSpec};
+        let (a, b, x0, x_star) = problem(5);
+        let trace = simulate_delay(
+            &a,
+            &b,
+            &x0,
+            &x_star,
+            &DelaySimOptions {
+                iterations: 500,
+                policy: DelayPolicy::None,
+                fault_plan: Some(FaultPlan::new(2).with_fault(FaultSpec::PoisonUpdate {
+                    worker: 0,
+                    round: 100,
+                    index: 3,
+                })),
+                ..Default::default()
+            },
+        );
+        assert!(!trace.final_error().is_finite());
+        assert!(trace.x.iter().any(|v| v.is_nan()));
     }
 
     #[test]

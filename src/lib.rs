@@ -92,12 +92,13 @@ pub mod prelude {
     };
     pub use asyrgs_core::driver::{Recording, Solver, SolverSpec, Termination};
     pub use asyrgs_core::error::SolveError;
+    pub use asyrgs_core::health::{is_watchdog_trip, HealthConfig, HealthMonitor, RecoveryPolicy};
     pub use asyrgs_core::jacobi::{try_async_jacobi_solve, try_jacobi_solve, JacobiOptions};
     pub use asyrgs_core::lsq::{try_async_rcd_solve, try_rcd_solve, LsqOperator, LsqSolveOptions};
     pub use asyrgs_core::partitioned::{
         try_partitioned_solve, PartitionedOptions, PartitionedReport,
     };
-    pub use asyrgs_core::report::{SolveReport, SweepRecord};
+    pub use asyrgs_core::report::{RecoveryAttempt, SolveReport, SweepRecord};
     pub use asyrgs_core::rgs::{try_rgs_solve, try_rgs_solve_block, RgsOptions};
     pub use asyrgs_core::theory;
     pub use asyrgs_core::workspace::SolveWorkspace;
@@ -105,6 +106,7 @@ pub mod prelude {
         try_cg_solve, try_fcg_solve, AsyRgsPrecond, CgOptions, FcgOptions, IdentityPrecond,
         JacobiPrecond, Preconditioner,
     };
+    pub use asyrgs_parallel::{FaultPlan, FaultSpec};
     pub use asyrgs_sparse::{
         CooBuilder, CsrMatrix, LinearOperator, RowAccess, RowMajorMat, UnitDiagonal,
         UnitDiagonalView,

@@ -58,15 +58,16 @@ use asyrgs_core::asyrgs::{
 };
 use asyrgs_core::driver::{ensure_beta, ensure_damping, ensure_threads, Recording, Termination};
 use asyrgs_core::error::SolveError;
+use asyrgs_core::health::{is_watchdog_trip, HealthConfig, RecoveryPolicy};
 use asyrgs_core::jacobi::{async_jacobi_solve_in, jacobi_solve_in, JacobiOptions};
 use asyrgs_core::lsq::{async_rcd_solve_in, rcd_solve_in, LsqOperator, LsqSolveOptions};
 use asyrgs_core::partitioned::{partitioned_solve_in, PartitionedOptions};
-use asyrgs_core::report::SolveReport;
+use asyrgs_core::report::{RecoveryAttempt, SolveReport};
 use asyrgs_core::rgs::{rgs_solve_block_in, rgs_solve_in, RgsOptions, RowSampling};
 use asyrgs_core::workspace::{resize_scratch_mat, SolveWorkspace};
 use asyrgs_krylov::precond::{IdentityPrecond, Preconditioner};
 use asyrgs_krylov::{cg_solve_in, fcg_solve_in, CgOptions, FcgOptions};
-use asyrgs_parallel::SolvePool;
+use asyrgs_parallel::{FaultPlan, SolvePool};
 use asyrgs_sparse::dense::RowMajorMat;
 use asyrgs_sparse::{CsrMatrix, RowAccess};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
@@ -204,6 +205,9 @@ pub struct SolverBuilder {
     precond: PrecondSpec,
     truncate: usize,
     restart_every: Option<usize>,
+    health: Option<HealthConfig>,
+    recovery: RecoveryPolicy,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl SolverBuilder {
@@ -247,6 +251,9 @@ impl SolverBuilder {
             precond: PrecondSpec::Identity,
             truncate: 1,
             restart_every: None,
+            health: None,
+            recovery: RecoveryPolicy::None,
+            fault_plan: None,
         }
     }
 
@@ -331,6 +338,30 @@ impl SolverBuilder {
         self
     }
 
+    /// Arm the numerical-health watchdog (RGS, AsyRGS, Jacobi, async
+    /// Jacobi). Off by default — the default solve paths are
+    /// branch-identical to a build without the watchdog, so the
+    /// fixed-seed fingerprints are bitwise unchanged.
+    pub fn health(mut self, config: HealthConfig) -> Self {
+        self.health = Some(config);
+        self
+    }
+
+    /// What to do when the watchdog trips. Any active policy arms a
+    /// default watchdog if [`health`](Self::health) was not called.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// Inject deterministic faults into the asynchronous solve paths
+    /// (AsyRGS, async Jacobi) — the test/benchmark harness hook. An
+    /// empty plan is equivalent to no plan.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// The family this builder configures.
     pub fn configured_family(&self) -> SolverFamily {
         self.family
@@ -346,6 +377,17 @@ impl SolverBuilder {
     /// caller's stopping criteria (see `asyrgs-serve`).
     pub fn configured_term(&self) -> &Termination {
         &self.term
+    }
+
+    /// The currently configured recovery policy. Schedulers read this to
+    /// decide retry/quarantine handling for watchdog trips.
+    pub fn configured_recovery(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// The currently configured health watchdog, if any.
+    pub fn configured_health(&self) -> Option<&HealthConfig> {
+        self.health.as_ref()
     }
 
     /// Check every numeric knob against the chosen family's rules without
@@ -379,6 +421,34 @@ impl SolverBuilder {
                     });
                 }
             }
+        }
+        match self.recovery {
+            RecoveryPolicy::DampenAndRestart {
+                factor,
+                max_attempts,
+            } => {
+                if !factor.is_finite() || factor <= 0.0 || factor >= 1.0 {
+                    return Err(SolveError::DimensionMismatch {
+                        solver: "recovery",
+                        detail: format!("dampen factor must lie in (0, 1), got {factor}"),
+                    });
+                }
+                if max_attempts == 0 {
+                    return Err(SolveError::DimensionMismatch {
+                        solver: "recovery",
+                        detail: "max_attempts must be at least 1".into(),
+                    });
+                }
+            }
+            RecoveryPolicy::SynchronizeRestart { max_attempts } => {
+                if max_attempts == 0 {
+                    return Err(SolveError::DimensionMismatch {
+                        solver: "recovery",
+                        detail: "max_attempts must be at least 1".into(),
+                    });
+                }
+            }
+            RecoveryPolicy::None | RecoveryPolicy::FallbackSequential => {}
         }
         ensure_threads(self.threads)
     }
@@ -521,6 +591,18 @@ impl SolveSession {
         self.config.family
     }
 
+    /// The health configuration the watchdog-aware solvers receive: the
+    /// explicit one when set, a default watchdog when a recovery policy
+    /// is active (recovery needs trips to react to), `None` otherwise —
+    /// so default sessions run the exact historical code paths.
+    fn effective_health(&self) -> Option<HealthConfig> {
+        match (&self.config.health, self.config.recovery.is_active()) {
+            (Some(cfg), _) => Some(cfg.clone()),
+            (None, true) => Some(HealthConfig::default()),
+            (None, false) => None,
+        }
+    }
+
     fn rgs_options(&self) -> RgsOptions {
         RgsOptions {
             beta: self.config.beta,
@@ -528,6 +610,7 @@ impl SolveSession {
             sampling: self.config.sampling,
             term: self.config.term.clone(),
             record: self.config.record,
+            health: self.effective_health(),
         }
     }
 
@@ -542,6 +625,8 @@ impl SolveSession {
             epoch_sweeps: self.config.epoch_sweeps,
             term: self.config.term.clone(),
             record: self.config.record,
+            health: self.effective_health(),
+            fault_plan: self.config.fault_plan.clone(),
         }
     }
 
@@ -551,6 +636,8 @@ impl SolveSession {
             damping: self.config.damping,
             term: self.config.term.clone(),
             record: self.config.record,
+            health: self.effective_health(),
+            fault_plan: self.config.fault_plan.clone(),
         }
     }
 
@@ -670,6 +757,132 @@ impl SolveSession {
     }
 
     fn solve_inner<O: RowAccess + Sync>(
+        &mut self,
+        a: &O,
+        b: &[f64],
+        x: &mut [f64],
+        x_star: Option<&[f64]>,
+    ) -> Result<SolveReport, SolveError> {
+        // Recovery only applies to the watchdog-aware families; for the
+        // rest (and with recovery off) this is exactly one dispatch.
+        let watchdog_aware = matches!(
+            self.config.family,
+            SolverFamily::Rgs
+                | SolverFamily::AsyRgs
+                | SolverFamily::Jacobi
+                | SolverFamily::AsyncJacobi
+        );
+        if !watchdog_aware || !self.config.recovery.is_active() {
+            return self.dispatch_once(a, b, x, x_star);
+        }
+        // The loop below escalates step sizes and may swap families;
+        // restore the configuration on every exit so the session stays
+        // reusable (and `PartialEq`-comparable) afterwards.
+        let saved_family = self.config.family;
+        let saved_beta = self.config.beta;
+        let saved_damping = self.config.damping;
+        let out = self.solve_with_recovery(a, b, x, x_star);
+        self.config.family = saved_family;
+        self.config.beta = saved_beta;
+        self.config.damping = saved_damping;
+        out
+    }
+
+    /// The recovery ladder: dispatch, and on a watchdog trip restart from
+    /// the last healthy snapshot per the configured [`RecoveryPolicy`],
+    /// recording each attempt. The caller's `x` is written only on
+    /// success — every terminal error leaves it bitwise untouched.
+    fn solve_with_recovery<O: RowAccess + Sync>(
+        &mut self,
+        a: &O,
+        b: &[f64],
+        x: &mut [f64],
+        x_star: Option<&[f64]>,
+    ) -> Result<SolveReport, SolveError> {
+        let started = std::time::Instant::now();
+        let budget = self.config.term.wall_clock;
+        let max_retries: u32 = match self.config.recovery {
+            RecoveryPolicy::None => 0,
+            RecoveryPolicy::SynchronizeRestart { max_attempts }
+            | RecoveryPolicy::DampenAndRestart { max_attempts, .. } => max_attempts,
+            RecoveryPolicy::FallbackSequential => 1,
+        };
+        // `ws.healthy` may hold a snapshot from a previous solve of the
+        // same size; clear it so restarts never seed from stale state.
+        self.ws.healthy.clear();
+        let x0: Vec<f64> = x.to_vec();
+        let mut xwork: Vec<f64> = x.to_vec();
+        let mut attempts: Vec<RecoveryAttempt> = Vec::new();
+        loop {
+            match self.dispatch_once(a, b, &mut xwork, x_star) {
+                Ok(mut rep) => {
+                    rep.recovery_attempts = std::mem::take(&mut attempts);
+                    x.copy_from_slice(&xwork);
+                    return Ok(rep);
+                }
+                Err(e) if is_watchdog_trip(&e) && (attempts.len() as u32) < max_retries => {
+                    // Honor the caller's cancellation and wall-clock
+                    // budget across the whole ladder, not per attempt.
+                    if let Some(token) = self.config.term.cancel.as_ref() {
+                        if token.is_cancelled() {
+                            return Err(SolveError::Cancelled);
+                        }
+                    }
+                    if let Some(budget) = budget {
+                        if started.elapsed() >= budget {
+                            return Err(SolveError::DeadlineExceeded {
+                                budget_ms: budget.as_millis() as u64,
+                            });
+                        }
+                    }
+                    // Restart from the last healthy snapshot when one
+                    // exists (a trip leaves `xwork` at the attempt's
+                    // starting point, not at the failure point).
+                    let from_snapshot = !self.ws.healthy.is_empty()
+                        && self.ws.healthy.len() == xwork.len()
+                        && self.ws.healthy.iter().all(|v| v.is_finite());
+                    if from_snapshot {
+                        xwork.copy_from_slice(&self.ws.healthy);
+                    } else {
+                        xwork.copy_from_slice(&x0);
+                    }
+                    let action = match self.config.recovery {
+                        RecoveryPolicy::None => unreachable!("inactive policy never retries"),
+                        RecoveryPolicy::SynchronizeRestart { .. } => "synchronize_restart",
+                        RecoveryPolicy::DampenAndRestart { factor, .. } => {
+                            self.config.beta *= factor;
+                            self.config.damping *= factor;
+                            "dampen_and_restart"
+                        }
+                        RecoveryPolicy::FallbackSequential => {
+                            self.config.family = match self.config.family {
+                                SolverFamily::AsyRgs => SolverFamily::Rgs,
+                                SolverFamily::AsyncJacobi => SolverFamily::Jacobi,
+                                other => other,
+                            };
+                            "fallback_sequential"
+                        }
+                    };
+                    let step = match self.config.family {
+                        SolverFamily::Jacobi | SolverFamily::AsyncJacobi => self.config.damping,
+                        _ => self.config.beta,
+                    };
+                    attempts.push(RecoveryAttempt {
+                        attempt: attempts.len() as u32 + 1,
+                        error: e,
+                        action,
+                        step,
+                        from_snapshot,
+                    });
+                }
+                // Non-watchdog errors and exhausted ladders surface
+                // unchanged; `x` was never written.
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn dispatch_once<O: RowAccess + Sync>(
         &mut self,
         a: &O,
         b: &[f64],

@@ -336,6 +336,166 @@ fn jobs_with_deadlines_never_coalesce() {
 }
 
 #[test]
+fn poisoned_job_is_quarantined_after_retry_budget() {
+    // A deterministic poison refires on every re-dispatch (the fault
+    // plan keys off the per-attempt epoch counter), so retries cannot
+    // save this job: the scheduler must park it with backoff, burn the
+    // retry budget, and surface a Quarantined terminal error carrying
+    // the attempt count — with x0 handed back untouched.
+    use asyrgs::prelude::{FaultPlan, FaultSpec, HealthConfig};
+    let sched = Scheduler::new(SchedulerConfig {
+        runners: 1,
+        retry_max: 2,
+        retry_backoff_ms: 1,
+        ..SchedulerConfig::default()
+    });
+    let (a, b) = problem(5);
+    let x0 = sentinel(a.n_rows());
+    let plan = FaultPlan::new(41).with_fault(FaultSpec::PoisonUpdate {
+        worker: 0,
+        round: 0,
+        index: 0,
+    });
+    let job = SolveJob::new(
+        SolverBuilder::new(SolverFamily::AsyRgs)
+            .threads(2)
+            .term(Termination::sweeps(20))
+            .health(HealthConfig::non_finite_only())
+            .fault_plan(plan),
+        Arc::clone(&a),
+        b,
+    )
+    .with_x0(x0.clone());
+    let handle = sched.submit(job).unwrap();
+    let out = handle.wait();
+    match out.result.unwrap_err() {
+        SolveError::Quarantined {
+            attempts,
+            last_error,
+        } => {
+            assert_eq!(attempts, 3, "retry_max 2 ⇒ 3 total attempts");
+            assert!(
+                matches!(*last_error, SolveError::NonFiniteDetected { .. }),
+                "{last_error:?}"
+            );
+        }
+        other => panic!("expected Quarantined, got {other:?}"),
+    }
+    assert_eq!(out.x, x0, "quarantined job must hand back x0 untouched");
+    assert_eq!(out.stats.retries, 2, "both retries consumed");
+    let stats = sched.stats();
+    assert_eq!(stats.retried, 2);
+    assert_eq!(stats.quarantined, 1);
+}
+
+#[test]
+fn retry_disabled_surfaces_raw_trip_error() {
+    // With retry_max 0 the scheduler must not park the job: the first
+    // watchdog trip surfaces as-is, not wrapped in Quarantined.
+    use asyrgs::prelude::{FaultPlan, FaultSpec, HealthConfig};
+    let sched = Scheduler::new(SchedulerConfig {
+        runners: 1,
+        retry_max: 0,
+        ..SchedulerConfig::default()
+    });
+    let (a, b) = problem(5);
+    let x0 = sentinel(a.n_rows());
+    let plan = FaultPlan::new(43).with_fault(FaultSpec::PoisonUpdate {
+        worker: 0,
+        round: 0,
+        index: 0,
+    });
+    let job = SolveJob::new(
+        SolverBuilder::new(SolverFamily::AsyRgs)
+            .threads(2)
+            .term(Termination::sweeps(20))
+            .health(HealthConfig::non_finite_only())
+            .fault_plan(plan),
+        Arc::clone(&a),
+        b,
+    )
+    .with_x0(x0.clone());
+    let out = sched.submit(job).unwrap().wait();
+    assert!(
+        matches!(out.result, Err(SolveError::NonFiniteDetected { .. })),
+        "got {:?}",
+        out.result
+    );
+    assert_eq!(out.x, x0);
+    assert_eq!(out.stats.retries, 0);
+    assert_eq!(sched.stats().retried, 0);
+    assert_eq!(sched.stats().quarantined, 0);
+}
+
+#[test]
+fn admission_rejects_non_finite_right_hand_side() {
+    // Bad numerics are refused at the front door, before a runner ever
+    // sees the job — the typed cause and the job both come back.
+    let sched = Scheduler::with_defaults();
+    let (a, mut b) = problem(5);
+    b[3] = f64::NAN;
+    let job = SolveJob::new(
+        SolverBuilder::new(SolverFamily::Rgs).term(Termination::sweeps(10)),
+        Arc::clone(&a),
+        b,
+    );
+    match sched.submit(job) {
+        Err(asyrgs_serve::SubmitError::Rejected { error, .. }) => {
+            assert!(
+                matches!(error, SolveError::NonFiniteInput { .. }),
+                "{error:?}"
+            );
+        }
+        other => panic!("expected admission rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn health_armed_jobs_never_coalesce() {
+    // The block kernels have no watchdog path, so a health- or
+    // recovery-armed job must dispatch solo even among identical peers.
+    use asyrgs::prelude::{HealthConfig, RecoveryPolicy};
+    let (a, b) = problem(6);
+    let sched = Scheduler::new(SchedulerConfig {
+        runners: 1,
+        paused: true,
+        ..SchedulerConfig::default()
+    });
+    let armed_builder = SolverBuilder::new(SolverFamily::Rgs)
+        .term(Termination::sweeps(10))
+        .health(HealthConfig::default());
+    let recovery_builder = SolverBuilder::new(SolverFamily::Rgs)
+        .term(Termination::sweeps(10))
+        .recovery(RecoveryPolicy::SynchronizeRestart { max_attempts: 1 });
+    let armed: Vec<_> = (0..3)
+        .map(|_| {
+            sched
+                .submit(SolveJob::new(
+                    armed_builder.clone(),
+                    Arc::clone(&a),
+                    b.clone(),
+                ))
+                .unwrap()
+        })
+        .collect();
+    let recovering = sched
+        .submit(SolveJob::new(recovery_builder, Arc::clone(&a), b.clone()))
+        .unwrap();
+    sched.resume();
+    for h in armed {
+        let out = h.wait();
+        assert_eq!(
+            out.stats.batch_size, 1,
+            "health-armed jobs must not share a block driver"
+        );
+        out.result.expect("healthy solve");
+    }
+    let out = recovering.wait();
+    assert_eq!(out.stats.batch_size, 1, "recovery-armed jobs dispatch solo");
+    out.result.expect("healthy solve");
+}
+
+#[test]
 fn scheduled_session_migration_path_round_trips() {
     // The README migration story: take an existing SolverBuilder, route it
     // through Scheduler::session, and get the same x as the direct path.

@@ -195,105 +195,104 @@ fn heavy_oversubscription_still_converges() {
     // 32 threads on one core: pathological interleaving, still correct.
     //
     // OS scheduling delay is unbounded at this oversubscription level, so
-    // the bounded-delay convergence bound (Theorem 4 assumes delay <= tau)
-    // can be missed on rare adversarial schedules — a worker preempted
-    // between read and write can commit an update based on arbitrarily
-    // stale data near the end of the solve. Accept the first of three
-    // runs that meets the target: the property under test is "converges
-    // on typical schedules", not "on every schedule the kernel can emit".
+    // the bounded-delay assumption (Theorem 4: delay <= tau) can be
+    // violated on rare adversarial schedules — a worker preempted between
+    // read and write can commit an update based on arbitrarily stale data.
+    // This test used to paper over that with a 3-attempt retry loop; the
+    // principled fix is the numerical watchdog plus a recovery policy: a
+    // run that trips restarts from its last healthy snapshot with a
+    // damped step, inside the solver, with the attempt history on the
+    // report. Injected worker stalls make long delays a certainty instead
+    // of a scheduling accident, so the hazard is exercised on every run.
+    let plan = FaultPlan::new(0xD3AD)
+        .with_fault(FaultSpec::StallWorker {
+            worker: 3,
+            round: 2,
+            span: 4,
+            millis: 1,
+        })
+        .with_fault(FaultSpec::StallWorker {
+            worker: 17,
+            round: 9,
+            span: 6,
+            millis: 1,
+        });
     let a = diag_dominant(256, 5, 2.0, 21);
     let x_star = vec![1.0; 256];
     let b = a.matvec(&x_star);
-    let mut residual = f64::INFINITY;
-    for _ in 0..3 {
-        let mut x = vec![0.0; 256];
-        let rep = try_asyrgs_solve(
-            &a,
-            &b,
-            &mut x,
-            None,
-            &AsyRgsOptions {
-                threads: 32,
-                term: Termination::sweeps(40),
-                ..Default::default()
-            },
-        )
-        .expect("solve failed");
-        // The delay instrumentation must have observed something (32
-        // claimed iterations can be in flight).
-        assert!(rep.max_observed_delay.is_some());
-        residual = rep.final_rel_residual;
-        if residual < 1e-4 {
-            break;
-        }
-    }
-    assert!(residual < 1e-4, "residual {residual} after 3 attempts");
+    let mut session = SolverBuilder::new(SolverFamily::AsyRgs)
+        .threads(32)
+        .term(Termination::sweeps(40))
+        .health(HealthConfig::default())
+        .recovery(RecoveryPolicy::DampenAndRestart {
+            factor: 0.5,
+            max_attempts: 3,
+        })
+        .fault_plan(plan)
+        .build()
+        .expect("valid configuration");
+    let mut x = vec![0.0; 256];
+    let rep = session
+        .solve(&a, &b, &mut x)
+        .expect("watchdog + recovery must produce a finite solve");
+    // The delay instrumentation must have observed something (32 claimed
+    // iterations can be in flight).
+    assert!(rep.max_observed_delay.is_some());
+    assert!(x.iter().all(|v| v.is_finite()));
+    assert!(
+        rep.final_rel_residual < 1e-4,
+        "residual {} (recovery attempts: {})",
+        rep.final_rel_residual,
+        rep.recovery_attempts.len()
+    );
 }
 
 #[test]
 fn concurrent_independent_solves_do_not_interfere() {
     // Two solver instances on different systems running concurrently from
-    // different threads (shared process, separate state).
+    // different threads (shared process, separate state). Four solver
+    // threads plus two spawners on a possibly single-core host can produce
+    // rare schedules with very stale reads; the watchdog + recovery ladder
+    // absorbs them inside the solve (this test used to loop 3 attempts by
+    // hand instead).
     let a1 = diag_dominant(120, 4, 2.0, 1);
     let a2 = laplace2d(11, 11);
     let b1 = a1.matvec(&vec![1.0; 120]);
     let b2 = a2.matvec(&vec![2.0; 121]);
 
-    // Like `heavy_oversubscription_still_converges`: four solver threads
-    // plus two spawners on a possibly single-core host can produce rare
-    // schedules with very stale reads, so accept the first of three runs
-    // that meets both targets.
-    let mut best = (f64::INFINITY, f64::INFINITY);
-    for _ in 0..3 {
-        let (r1, r2) = run_concurrent_pair(&a1, &b1, &a2, &b2);
-        best = (r1, r2);
-        if r1 < 1e-6 && r2 < 1e-2 {
-            break;
-        }
-    }
-    let (r1, r2) = best;
-    assert!(r1 < 1e-6, "solve 1 residual {r1}");
-    assert!(r2 < 1e-2, "solve 2 residual {r2}");
-}
-
-/// One round of the concurrent-solves test: two independent systems solved
-/// at the same time from separate OS threads.
-fn run_concurrent_pair(a1: &CsrMatrix, b1: &[f64], a2: &CsrMatrix, b2: &[f64]) -> (f64, f64) {
-    std::thread::scope(|s| {
+    let guarded = |sweeps: usize| {
+        SolverBuilder::new(SolverFamily::AsyRgs)
+            .threads(2)
+            .term(Termination::sweeps(sweeps))
+            .health(HealthConfig::default())
+            .recovery(RecoveryPolicy::DampenAndRestart {
+                factor: 0.5,
+                max_attempts: 3,
+            })
+    };
+    let (r1, r2) = std::thread::scope(|s| {
         let h1 = s.spawn(|| {
             let mut x = vec![0.0; 120];
-            try_asyrgs_solve(
-                a1,
-                b1,
-                &mut x,
-                None,
-                &AsyRgsOptions {
-                    threads: 2,
-                    term: Termination::sweeps(60),
-                    ..Default::default()
-                },
-            )
-            .expect("solve failed")
-            .final_rel_residual
+            guarded(60)
+                .build()
+                .unwrap()
+                .solve(&a1, &b1, &mut x)
+                .expect("solve failed")
+                .final_rel_residual
         });
         let h2 = s.spawn(|| {
             let mut x = vec![0.0; 121];
-            try_asyrgs_solve(
-                a2,
-                b2,
-                &mut x,
-                None,
-                &AsyRgsOptions {
-                    threads: 2,
-                    term: Termination::sweeps(200),
-                    ..Default::default()
-                },
-            )
-            .expect("solve failed")
-            .final_rel_residual
+            guarded(200)
+                .build()
+                .unwrap()
+                .solve(&a2, &b2, &mut x)
+                .expect("solve failed")
+                .final_rel_residual
         });
         (h1.join().unwrap(), h2.join().unwrap())
-    })
+    });
+    assert!(r1 < 1e-6, "solve 1 residual {r1}");
+    assert!(r2 < 1e-2, "solve 2 residual {r2}");
 }
 
 #[test]
