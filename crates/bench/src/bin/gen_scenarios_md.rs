@@ -58,6 +58,7 @@ fn render() -> String {
             .unwrap_or_else(|| "-".to_string());
         let class = match sc.class {
             ScenarioClass::SquareSpd => "square SPD",
+            ScenarioClass::SquareNonsym => "square nonsym",
             ScenarioClass::LeastSquares => "least squares",
         };
         let _ = write!(

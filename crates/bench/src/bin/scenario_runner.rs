@@ -17,7 +17,7 @@
 //! condition-number estimation (CI);
 //! `ASYRGS_THREADS=N` — global pool width.
 
-use asyrgs::session::{SolverBuilder, SolverFamily};
+use asyrgs::session::{PrecondSpec, SolverBuilder, SolverFamily};
 use asyrgs_core::driver::{Recording, Termination};
 use asyrgs_core::error::SolveError;
 use asyrgs_core::lsq::LsqOperator;
@@ -58,6 +58,9 @@ fn classify(result: &Result<SolveReport, SolveError>, tol: f64) -> (&'static str
         // rejection: MayDiverge cells that blow up now report `diverged`
         // whether they ended in a NaN residual or a typed trip.
         Err(e) if asyrgs_core::health::is_watchdog_trip(e) => ("diverged", f64::NAN, 0),
+        // A Krylov breakdown is likewise a runtime divergence verdict
+        // (the recurrence collapsed), not an input rejection.
+        Err(SolveError::Breakdown { .. }) => ("diverged", f64::NAN, 0),
         Err(_) => ("rejected", f64::NAN, 0),
         Ok(rep) => {
             let r = rep.final_rel_residual;
@@ -147,6 +150,68 @@ fn run_cell<O: RowAccess + Sync>(
     }
 }
 
+/// One row of the nonsymmetric preconditioner study: a Krylov family on a
+/// nonsymmetric scenario under one right-preconditioner.
+struct PrecondRow {
+    scenario: &'static str,
+    family: &'static str,
+    precond: &'static str,
+    converged: bool,
+    iterations: u64,
+    seconds: f64,
+    final_rel_residual: f64,
+}
+
+/// Drive the nonsymmetric Krylov families across the right-preconditioner
+/// ladder (none / Jacobi / synchronous RGS / AsyRGS on the symmetrized
+/// inner system) and record outer iteration counts — the headline claim
+/// is that AsyRGS preconditioning cuts BiCGSTAB outer iterations on the
+/// convection–diffusion family relative to the unpreconditioned run.
+fn precond_study(scenarios: &[Scenario], threads: usize) -> Vec<PrecondRow> {
+    let specs: [(&'static str, PrecondSpec); 4] = [
+        ("identity", PrecondSpec::Identity),
+        ("jacobi", PrecondSpec::Jacobi),
+        ("rgs", PrecondSpec::Rgs { inner_sweeps: 2 }),
+        ("asyrgs", PrecondSpec::AsyRgs { inner_sweeps: 2 }),
+    ];
+    let mut rows = Vec::new();
+    for sc in scenarios {
+        if sc.class != ScenarioClass::SquareNonsym {
+            continue;
+        }
+        let built = sc.build();
+        for family_name in ["bicgstab", "gmres"] {
+            if sc.expectation(family_name) != Expectation::Converges {
+                continue;
+            }
+            for (precond_name, spec) in specs {
+                let mut session = SolverBuilder::new(family_of(family_name))
+                    .threads(threads)
+                    .term(Termination::sweeps(sc.sweeps).with_target(sc.tol * 0.5))
+                    .record(Recording::every(1))
+                    .preconditioner(spec)
+                    .build()
+                    .expect("study configurations are valid");
+                let mut x = vec![0.0; built.n()];
+                let t = Instant::now();
+                let result = session.solve(&built.a, &built.b, &mut x);
+                let seconds = t.elapsed().as_secs_f64();
+                let (status, final_rel_residual, iterations) = classify(&result, sc.tol);
+                rows.push(PrecondRow {
+                    scenario: sc.name,
+                    family: family_name,
+                    precond: precond_name,
+                    converged: status == "converged",
+                    iterations,
+                    seconds,
+                    final_rel_residual,
+                });
+            }
+        }
+    }
+    rows
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -193,6 +258,7 @@ fn main() {
             sc.name,
             match sc.class {
                 ScenarioClass::SquareSpd => "square_spd",
+                ScenarioClass::SquareNonsym => "square_nonsym",
                 ScenarioClass::LeastSquares => "least_squares",
             },
             sc.n,
@@ -207,7 +273,7 @@ fn main() {
 
         let lsq_op = match sc.class {
             ScenarioClass::LeastSquares => Some(LsqOperator::new(built.a.clone())),
-            ScenarioClass::SquareSpd => None,
+            ScenarioClass::SquareSpd | ScenarioClass::SquareNonsym => None,
         };
         for family in FAMILY_NAMES {
             cells.push(run_cell(
@@ -248,6 +314,22 @@ fn main() {
         eprintln!("  {:>24}: {} cells total", sc.name, done);
     }
 
+    let study = precond_study(&scenarios, threads);
+    for r in &study {
+        eprintln!(
+            "  study {:>20}/{}/{:<8}: {} iters{}",
+            r.scenario,
+            r.family,
+            r.precond,
+            r.iterations,
+            if r.converged {
+                ""
+            } else {
+                " (did not converge)"
+            }
+        );
+    }
+
     let unexpected: Vec<&Cell> = cells.iter().filter(|c| !c.ok).collect();
     for c in &unexpected {
         eprintln!(
@@ -258,12 +340,29 @@ fn main() {
 
     let mut j = String::new();
     j.push_str("{\n");
-    let _ = writeln!(j, "  \"schema\": \"asyrgs-scenarios-v1\",");
+    let _ = writeln!(j, "  \"schema\": \"asyrgs-scenarios-v2\",");
     let _ = writeln!(j, "  \"smoke\": {smoke},");
     let _ = writeln!(j, "  \"solver_threads\": {threads},");
     let _ = writeln!(j, "  \"unexpected_cells\": {},", unexpected.len());
     let _ = writeln!(j, "  \"scenarios\": [");
     let _ = writeln!(j, "{}", meta_rows.join(",\n"));
+    j.push_str("  ],\n  \"precond_study\": [\n");
+    for (i, r) in study.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"scenario\": \"{}\", \"family\": \"{}\", \"precond\": \"{}\", \
+             \"converged\": {}, \"iterations\": {}, \"seconds\": {:.6e}, \
+             \"final_rel_residual\": {}}}{}",
+            r.scenario,
+            r.family,
+            r.precond,
+            r.converged,
+            r.iterations,
+            r.seconds,
+            json_f64(r.final_rel_residual),
+            if i + 1 < study.len() { "," } else { "" }
+        );
+    }
     j.push_str("  ],\n  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let _ = writeln!(

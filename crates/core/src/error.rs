@@ -130,6 +130,16 @@ pub enum SolveError {
         /// The relative residual at the stall point.
         rel_residual: f64,
     },
+    /// A Krylov recurrence broke down: a pivot scalar (BiCGSTAB's ρ or ω,
+    /// or a GMRES Hessenberg subdiagonal) fell to numerical zero before
+    /// the target residual was reached, so the recurrence cannot continue.
+    /// The caller's output buffer is untouched.
+    Breakdown {
+        /// Which scalar collapsed, e.g. `"rho"`, `"omega"`, `"h_subdiag"`.
+        kind: &'static str,
+        /// The outer iteration at which the breakdown was detected.
+        iteration: usize,
+    },
     /// A scheduled job tripped the watchdog repeatedly and exhausted its
     /// retry budget (or its tenant's); it is quarantined and will not be
     /// retried. The caller's output buffer is untouched.
@@ -215,6 +225,12 @@ impl fmt::Display for SolveError {
                     f,
                     "watchdog: no residual progress over {window} observations \
                      at epoch {epoch} (rel residual {rel_residual:.3e})"
+                )
+            }
+            SolveError::Breakdown { kind, iteration } => {
+                write!(
+                    f,
+                    "krylov breakdown: {kind} vanished at iteration {iteration}"
                 )
             }
             SolveError::Quarantined {
@@ -337,6 +353,26 @@ mod tests {
             .to_string(),
             "job quarantined after 3 attempts: watchdog: residual diverged at epoch 2 \
              (rel residual 7.000e0, window baseline 1.000e0)"
+        );
+    }
+
+    #[test]
+    fn breakdown_variant_displays() {
+        assert_eq!(
+            SolveError::Breakdown {
+                kind: "rho",
+                iteration: 17,
+            }
+            .to_string(),
+            "krylov breakdown: rho vanished at iteration 17"
+        );
+        assert_eq!(
+            SolveError::Breakdown {
+                kind: "omega",
+                iteration: 0,
+            }
+            .to_string(),
+            "krylov breakdown: omega vanished at iteration 0"
         );
     }
 

@@ -64,6 +64,16 @@ pub struct SolveWorkspace {
     pub aux: Vec<f64>,
     /// Second general vector scratch (Krylov's `A p`).
     pub aux2: Vec<f64>,
+    /// Third general vector scratch (BiCGSTAB's stabilizer `t = A s_hat`).
+    pub aux3: Vec<f64>,
+    /// Fourth general vector scratch (BiCGSTAB's preconditioned `s_hat`).
+    pub aux4: Vec<f64>,
+    /// Shadow-residual scratch (BiCGSTAB's fixed `r_hat_0`).
+    pub shadow: Vec<f64>,
+    /// Arnoldi basis scratch (GMRES `V`), one vector per Krylov dimension.
+    pub basis: Vec<Vec<f64>>,
+    /// Preconditioned basis scratch (flexible GMRES `Z = M^{-1} V`).
+    pub flex_basis: Vec<Vec<f64>>,
     /// Per-RHS coefficient scratch for block solves.
     pub gammas: Vec<f64>,
     /// The shared atomic iterate of the asynchronous solvers.
@@ -88,6 +98,19 @@ pub fn resize_scratch(v: &mut Vec<f64>, n: usize) {
     v.resize(n, 0.0);
 }
 
+/// Ensure a basis scratch holds at least `count` vectors of `n` entries
+/// each (contents unspecified; callers overwrite before reading). Extra
+/// vectors beyond `count` are retained so a larger earlier solve keeps its
+/// allocation.
+pub fn resize_scratch_vecs(vs: &mut Vec<Vec<f64>>, count: usize, n: usize) {
+    if vs.len() < count {
+        vs.resize_with(count, Vec::new);
+    }
+    for v in vs.iter_mut().take(count) {
+        resize_scratch(v, n);
+    }
+}
+
 /// Ensure a row-major scratch block has exactly `rows x cols` shape
 /// (contents unspecified; callers overwrite before reading).
 pub fn resize_scratch_mat(m: &mut RowMajorMat, rows: usize, cols: usize) {
@@ -108,6 +131,11 @@ impl SolveWorkspace {
             diff: Vec::new(),
             aux: Vec::new(),
             aux2: Vec::new(),
+            aux3: Vec::new(),
+            aux4: Vec::new(),
+            shadow: Vec::new(),
+            basis: Vec::new(),
+            flex_basis: Vec::new(),
             gammas: Vec::new(),
             shared: SharedVec::zeros(0),
             healthy: Vec::new(),
@@ -148,6 +176,21 @@ mod tests {
         assert_eq!(v.capacity(), cap);
         resize_scratch(&mut v, 100);
         assert_eq!(v.capacity(), cap, "regrow within capacity: no realloc");
+    }
+
+    #[test]
+    fn resize_scratch_vecs_grows_and_retains() {
+        let mut vs: Vec<Vec<f64>> = Vec::new();
+        resize_scratch_vecs(&mut vs, 3, 8);
+        assert_eq!(vs.len(), 3);
+        assert!(vs.iter().all(|v| v.len() == 8));
+        let cap = vs[0].capacity();
+        // A smaller later request keeps the earlier vectors (and their
+        // allocation) around.
+        resize_scratch_vecs(&mut vs, 2, 4);
+        assert_eq!(vs.len(), 3);
+        assert_eq!(vs[0].len(), 4);
+        assert_eq!(vs[0].capacity(), cap);
     }
 
     #[test]

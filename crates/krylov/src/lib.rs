@@ -6,6 +6,10 @@
 //!   paper's synchronous comparison baseline (Fig. 1, Fig. 2 left);
 //! * [`fcg`] — Notay's Flexible-CG without truncation/restarts, the outer
 //!   method of the paper's preconditioning study (Table 1, Fig. 3);
+//! * [`bicgstab`] — stabilized bi-conjugate gradients for nonsymmetric
+//!   square systems, right-preconditioned;
+//! * [`gmres`] — restarted flexible GMRES(m) (Givens-rotation
+//!   least-squares), right-preconditioned;
 //! * [`precond`] — the preconditioner trait with identity, Jacobi,
 //!   sequential-RGS, and **AsyRGS** implementations. AsyRGS is a variable
 //!   preconditioner (randomized + asynchronous), which is precisely why the
@@ -13,12 +17,18 @@
 
 #![warn(missing_docs)]
 
+pub mod bicgstab;
 pub mod cg;
 pub mod fcg;
+pub mod gmres;
 pub mod precond;
 
+pub use bicgstab::{
+    bicgstab_solve_in, try_bicgstab_solve, try_bicgstab_solve_plain, BicgstabOptions,
+};
 pub use cg::{cg_solve_in, try_cg_solve, try_cg_solve_block, CgOptions};
 pub use fcg::{fcg_asyrgs_summary, fcg_solve_in, try_fcg_solve, FcgOptions, FcgRunSummary};
+pub use gmres::{gmres_solve_in, try_gmres_solve, try_gmres_solve_plain, GmresOptions};
 pub use precond::{AsyRgsPrecond, IdentityPrecond, JacobiPrecond, Preconditioner, RgsPrecond};
 
 #[cfg(test)]

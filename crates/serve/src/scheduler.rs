@@ -528,6 +528,24 @@ impl Scheduler {
                 job: Box::new(job),
             });
         }
+        // Symmetry admission: the symmetric-theory families would only
+        // diverge (or return garbage) on a nonsymmetric operator, so the
+        // mismatch is surfaced here instead of mid-queue. Tenants with
+        // nonsymmetric systems submit the bicgstab/gmres families.
+        let family = job.builder.configured_family();
+        if family.requires_symmetric() && !job.a.is_symmetric(asyrgs::session::SYMMETRY_TOL) {
+            return Err(SubmitError::Rejected {
+                error: SolveError::DimensionMismatch {
+                    solver: "serve_submit",
+                    detail: format!(
+                        "family '{}' requires a symmetric operator, but A != A^T; \
+                         use the bicgstab or gmres family for nonsymmetric systems",
+                        family.name()
+                    ),
+                },
+                job: Box::new(job),
+            });
+        }
         {
             let st = self
                 .inner
@@ -1216,6 +1234,50 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn submit_rejects_nonsymmetric_for_symmetric_families_and_routes_krylov() {
+        let sched = Scheduler::new(SchedulerConfig {
+            runners: 1,
+            ..SchedulerConfig::default()
+        });
+        // Upwind-style nonsymmetric but diagonally dominant operator.
+        let n = 24;
+        let mut coo = asyrgs_sparse::CooBuilder::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0).unwrap();
+            if i > 0 {
+                coo.push(i, i - 1, -1.8).unwrap();
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -0.3).unwrap();
+            }
+        }
+        let a = Arc::new(coo.to_csr());
+        let b = a.matvec(&vec![1.0; n]);
+        // A symmetric-theory family is rejected at admission.
+        let err = sched
+            .submit(SolveJob::new(cg_builder(), Arc::clone(&a), b.clone()))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SubmitError::Rejected {
+                error: SolveError::DimensionMismatch { .. },
+                ..
+            }
+        ));
+        // The same system is served through the bicgstab family.
+        let h = sched
+            .submit(SolveJob::new(
+                SolverBuilder::new(SolverFamily::Bicgstab)
+                    .term(Termination::sweeps(500).with_target(1e-10)),
+                Arc::clone(&a),
+                b,
+            ))
+            .unwrap();
+        let rep = h.wait().result.expect("bicgstab converges");
+        assert!(rep.converged_early);
     }
 
     #[test]

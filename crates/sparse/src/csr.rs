@@ -648,6 +648,40 @@ mod tests {
     }
 
     #[test]
+    fn symmetry_check_pattern_symmetric_values_not() {
+        // Same sparsity pattern as its transpose (entries at (0,1) and
+        // (1,0) both stored), but the values disagree: this exercises the
+        // fast structural path, which must still compare values.
+        let a = CsrMatrix::from_dense(3, 3, &[4.0, -1.0, 0.0, -2.0, 4.0, -1.0, 0.0, -1.0, 4.0]);
+        let t = a.transpose();
+        assert_eq!(a.row_ptr, t.row_ptr);
+        assert_eq!(a.col_idx, t.col_idx);
+        assert!(!a.is_symmetric(0.5));
+        assert!(a.is_symmetric(1.0 + 1e-12)); // |(-1) - (-2)| = 1
+    }
+
+    #[test]
+    fn symmetry_check_structurally_nonsymmetric() {
+        // Entry at (0,2) with no stored partner at (2,0): the structural
+        // fast path fails and the entrywise fallback must reject (the
+        // implicit zero at (2,0) differs from 5.0 by more than tol).
+        let a = CsrMatrix::from_dense(3, 3, &[1.0, 0.0, 5.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+        assert!(!a.is_symmetric(1e-9));
+        assert!(a.is_symmetric(5.0 + 1e-12));
+        // A tiny unpaired entry stays symmetric-within-tol against the
+        // implicit zero on the other side, until tol drops below it.
+        let b = CsrMatrix::from_dense(3, 3, &[1.0, 0.0, 1e-12, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+        assert!(b.is_symmetric(1e-9));
+        assert!(!b.is_symmetric(1e-13));
+    }
+
+    #[test]
+    fn symmetry_check_rejects_rectangular() {
+        let m = CsrMatrix::from_dense(2, 3, &[1.0, 0.0, 2.0, 0.0, 3.0, 0.0]);
+        assert!(!m.is_symmetric(f64::INFINITY));
+    }
+
+    #[test]
     fn diag_extraction() {
         assert_eq!(small().diag(), vec![2.0, 2.0, 2.0]);
     }

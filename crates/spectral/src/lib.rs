@@ -20,7 +20,7 @@ pub mod tridiag;
 
 pub use cond::{estimate_condition, CondEstimate, CondOptions};
 pub use lanczos::{extreme_eigenvalues_lanczos, lanczos, LanczosResult};
-pub use power::{lambda_max, lambda_min_shifted, sigma_max, PowerResult};
+pub use power::{lambda_max, lambda_min_shifted, sigma_max, spectral_radius, PowerResult};
 pub use tridiag::{all_eigenvalues, eigenvalue_k, extreme_eigenvalues, sturm_count};
 
 #[cfg(test)]

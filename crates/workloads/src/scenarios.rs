@@ -65,7 +65,7 @@ use asyrgs_spectral::{estimate_condition, CondOptions};
 /// Stable snake_case names of every solver family the session layer
 /// exposes, in registry order (matches `SolverFamily::name()` in the
 /// facade crate).
-pub const FAMILY_NAMES: [&str; 9] = [
+pub const FAMILY_NAMES: [&str; 11] = [
     "rgs",
     "asyrgs",
     "jacobi",
@@ -75,11 +75,18 @@ pub const FAMILY_NAMES: [&str; 9] = [
     "async_rcd",
     "cg",
     "fcg",
+    "bicgstab",
+    "gmres",
 ];
 
 /// Families that solve least-squares systems (through `solve_lsq`) rather
 /// than square systems.
 pub const LSQ_FAMILY_NAMES: [&str; 2] = ["rcd", "async_rcd"];
+
+/// Families whose convergence theory accepts nonsymmetric square
+/// operators; every other square-system family is expected to reject a
+/// [`ScenarioClass::SquareNonsym`] scenario with a typed error.
+pub const NONSYM_FAMILY_NAMES: [&str; 2] = ["bicgstab", "gmres"];
 
 /// Largest `n` included in the CI smoke subset ([`smoke_scenarios`]).
 pub const SMOKE_MAX_N: usize = 330;
@@ -93,6 +100,10 @@ pub const DENSE_BACKEND_MAX_N: usize = 100;
 pub enum ScenarioClass {
     /// A square SPD system `A x = b`.
     SquareSpd,
+    /// A square **nonsymmetric** system `A x = b` (convection–diffusion,
+    /// PageRank-style, skew perturbations): the Krylov nonsymmetric
+    /// families solve it, every symmetric-theory family must reject it.
+    SquareNonsym,
     /// An overdetermined least-squares problem `min ||A x - b||_2`.
     LeastSquares,
 }
@@ -229,9 +240,16 @@ impl Scenario {
     /// family and vice versa.
     pub fn expectation(&self, family: &str) -> Expectation {
         let is_lsq_family = LSQ_FAMILY_NAMES.contains(&family);
+        let is_nonsym_family = NONSYM_FAMILY_NAMES.contains(&family);
         match self.class {
             ScenarioClass::LeastSquares if !is_lsq_family => return Expectation::Rejects,
-            ScenarioClass::SquareSpd if is_lsq_family => return Expectation::Rejects,
+            ScenarioClass::SquareSpd | ScenarioClass::SquareNonsym if is_lsq_family => {
+                return Expectation::Rejects
+            }
+            // Nonsymmetric square systems: only the Krylov nonsymmetric
+            // families apply; the symmetric-theory families reject at
+            // admission instead of silently diverging.
+            ScenarioClass::SquareNonsym if !is_nonsym_family => return Expectation::Rejects,
             _ => {}
         }
         if self.diverges.contains(&family) {
@@ -249,6 +267,12 @@ impl Scenario {
     /// `A^T A`).
     pub fn estimate_kappa(&self, built: &BuiltScenario) -> Option<f64> {
         if !built.a.is_square() {
+            return None;
+        }
+        if self.class == ScenarioClass::SquareNonsym {
+            // The Lanczos-based SPD estimator is meaningless here; the
+            // registry's `kappa_hint` (Jacobi spectral-radius surrogate)
+            // is the only conditioning signal for nonsymmetric scenarios.
             return None;
         }
         let est = estimate_condition(
@@ -403,6 +427,143 @@ fn build_reference_unit_diag(seed: u64) -> BuiltScenario {
     with_planted(u.a)
 }
 
+/// 2D convection–diffusion with first-order upwinding on an `m x m`
+/// interior grid: `-Delta u + p . grad u` with constant velocity along
+/// `+x` and `+y`. The cell Péclet number is `c = p h / 2`; upwinding puts
+/// the convective weight entirely on the upstream neighbor, so the stencil
+/// is `4 + 2c` on the diagonal, `-(1 + c)` upstream, `-1` downstream —
+/// weakly diagonally dominant for every `c >= 0` and nonsymmetric for
+/// every `c > 0`.
+fn conv_diff_upwind(m: usize, c: f64) -> CsrMatrix {
+    let n = m * m;
+    let idx = |i: usize, j: usize| i * m + j;
+    let mut coo = CooBuilder::with_capacity(n, n, 5 * n);
+    for i in 0..m {
+        for j in 0..m {
+            let k = idx(i, j);
+            coo.push(k, k, 4.0 + 2.0 * c).unwrap();
+            if i > 0 {
+                coo.push(k, idx(i - 1, j), -(1.0 + c)).unwrap();
+            }
+            if i + 1 < m {
+                coo.push(k, idx(i + 1, j), -1.0).unwrap();
+            }
+            if j > 0 {
+                coo.push(k, idx(i, j - 1), -(1.0 + c)).unwrap();
+            }
+            if j + 1 < m {
+                coo.push(k, idx(i, j + 1), -1.0).unwrap();
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+fn build_conv_diff_pe_low(_seed: u64) -> BuiltScenario {
+    with_planted(conv_diff_upwind(16, 0.5))
+}
+
+fn build_conv_diff_pe_mid(_seed: u64) -> BuiltScenario {
+    // 10x10 grid: small enough (n = 100) for the dense conformance
+    // backend to cover the nonsymmetric class too.
+    with_planted(conv_diff_upwind(10, 2.0))
+}
+
+fn build_conv_diff_pe_high(_seed: u64) -> BuiltScenario {
+    with_planted(conv_diff_upwind(16, 10.0))
+}
+
+/// PageRank-style linear system `(I - d P^T) x = v` for a deterministic
+/// sparse directed graph with row-stochastic `P` and damping `d = 0.85`:
+/// column sums of `d P^T` are exactly `d < 1`, so the system is strictly
+/// diagonally dominant by columns and nonsingular, yet nonsymmetric.
+fn build_pagerank_style(seed: u64) -> BuiltScenario {
+    let n = 300;
+    let d = 0.85;
+    let out_deg = 4usize;
+    let mut rng = asyrgs_rng::Xoshiro256pp::new(seed);
+    let mut coo = CooBuilder::with_capacity(n, n, n * (out_deg + 1));
+    for j in 0..n {
+        coo.push(j, j, 1.0).unwrap();
+        let w = d / out_deg as f64;
+        for _ in 0..out_deg {
+            // Self-links fold harmlessly into the diagonal (duplicates
+            // are summed), keeping every column sum of dP^T at d.
+            let t = rng.next_index(n);
+            coo.push(t, j, -w).unwrap();
+        }
+    }
+    with_planted(coo.to_csr())
+}
+
+/// The 16x16 2D Laplacian plus a skew-symmetric first-order coupling
+/// `s (e_i e_{i+1}^T - e_{i+1} e_i^T)`: the symmetric part stays the SPD
+/// Laplacian, so the field of values lies in the right half plane and the
+/// Krylov nonsymmetric families converge — but the operator itself is
+/// nonsymmetric and every symmetric-theory family must reject it.
+fn build_skew_perturbed_laplace(_seed: u64) -> BuiltScenario {
+    let l = laplace2d(16, 16);
+    let n = l.n_rows();
+    let s = 0.5;
+    let mut coo = CooBuilder::with_capacity(n, n, l.nnz() + 2 * n);
+    for i in 0..n {
+        let (cols, vals) = l.row(i);
+        for (&c, &v) in cols.iter().zip(vals) {
+            coo.push(i, c, v).unwrap();
+        }
+    }
+    for i in 0..n - 1 {
+        coo.push(i, i + 1, s).unwrap();
+        coo.push(i + 1, i, -s).unwrap();
+    }
+    with_planted(coo.to_csr())
+}
+
+/// Skew-dominant tridiagonal: `0.2 I + S` with `S` the `(+1, -1)` skew
+/// tridiagonal. The spectrum is `0.2 + 2i cos(k pi/(n+1))` — a thin
+/// vertical line hugging the imaginary axis — so restarted GMRES makes
+/// slow monotone progress while BiCGSTAB's short recurrence has no
+/// guarantee at all (its shadow-residual inner products can vanish).
+fn build_skew_dominant(_seed: u64) -> BuiltScenario {
+    let n = 96;
+    let mut coo = CooBuilder::with_capacity(n, n, 3 * n);
+    for i in 0..n {
+        coo.push(i, i, 0.2).unwrap();
+        if i + 1 < n {
+            coo.push(i, i + 1, 1.0).unwrap();
+            coo.push(i + 1, i, -1.0).unwrap();
+        }
+    }
+    with_planted(coo.to_csr())
+}
+
+/// Condition-number surrogate for a diagonally dominant nonsymmetric
+/// system, recorded as the scenario's kappa hint: estimate the spectral
+/// radius `rho` of the Jacobi iteration matrix `G = I - D^{-1} A` with
+/// the nonsymmetric power iteration (`asyrgs_spectral::spectral_radius`),
+/// then bound `kappa(D^{-1}A) <= (1 + rho) / (1 - rho)`. `None` when
+/// `rho >= 1` (the bound is vacuous there).
+fn nonsym_kappa_hint(a: &CsrMatrix) -> Option<f64> {
+    let n = a.n_rows();
+    let diag = a.diag();
+    let mut coo = CooBuilder::with_capacity(n, n, a.nnz());
+    for (i, di) in diag.iter().enumerate() {
+        let (cols, vals) = a.row(i);
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c != i {
+                coo.push(i, c, -v / di).unwrap();
+            }
+        }
+    }
+    let g = coo.to_csr();
+    let rho = asyrgs_spectral::spectral_radius(&g, 600, 1e-8, 0x4E0E).eigenvalue;
+    if rho < 1.0 {
+        Some((1.0 + rho) / (1.0 - rho))
+    } else {
+        None
+    }
+}
+
 fn build_tall_lsq(seed: u64) -> BuiltScenario {
     let p = random_lsq(&LsqParams {
         rows: 600,
@@ -436,10 +597,6 @@ fn build_tall_lsq_noisy(seed: u64) -> BuiltScenario {
 // ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
-
-/// Every stationary family: tagged `slow` together on the harsh rungs of
-/// the ill-conditioning ladder (they converge, but at `O(kappa)` sweeps).
-const STATIONARY: &[&str] = &["rgs", "asyrgs", "jacobi", "async_jacobi", "partitioned"];
 
 /// The full scenario registry, in presentation order.
 pub fn all_scenarios() -> Vec<Scenario> {
@@ -581,7 +738,17 @@ pub fn all_scenarios() -> Vec<Scenario> {
             tol: 1e-2,
             sweeps: 800,
             diverges: &[],
-            slow: STATIONARY,
+            // GMRES(30)'s degree-30 Chebyshev factor is ~1 at kappa 1e4:
+            // restarts stagnate where unrestarted Krylov (CG, BiCGSTAB)
+            // still converges.
+            slow: &[
+                "rgs",
+                "asyrgs",
+                "jacobi",
+                "async_jacobi",
+                "partitioned",
+                "gmres",
+            ],
             build_fn: build_kappa_1e4,
         },
         Scenario {
@@ -595,9 +762,12 @@ pub fn all_scenarios() -> Vec<Scenario> {
             sweeps: 300,
             // The biharmonic diagonal is too weak for Jacobi: the
             // iteration matrix has spectral radius ~5/3, so undamped
-            // (a)synchronous Jacobi genuinely diverges here.
-            diverges: &["jacobi", "async_jacobi"],
-            slow: &["rgs", "asyrgs", "partitioned"],
+            // (a)synchronous Jacobi genuinely diverges here. BiCGSTAB's
+            // non-monotone recurrence can stall or break down at kappa
+            // ~1e6, so it gets the no-guarantee tag; GMRES is monotone
+            // and earns the progress tag.
+            diverges: &["jacobi", "async_jacobi", "bicgstab"],
+            slow: &["rgs", "asyrgs", "partitioned", "gmres"],
             build_fn: build_kappa_1e6,
         },
         Scenario {
@@ -628,6 +798,93 @@ pub fn all_scenarios() -> Vec<Scenario> {
             diverges: &[],
             slow: &[],
             build_fn: build_reference_unit_diag,
+        },
+        Scenario {
+            name: "conv_diff_pe_low",
+            description: "2D upwind convection-diffusion, cell Peclet 0.5 (mildly nonsymmetric)",
+            class: ScenarioClass::SquareNonsym,
+            seed: 0,
+            n: 256,
+            kappa_hint: nonsym_kappa_hint(&conv_diff_upwind(16, 0.5)),
+            tol: 1e-6,
+            sweeps: 400,
+            diverges: &[],
+            slow: &[],
+            build_fn: build_conv_diff_pe_low,
+        },
+        Scenario {
+            name: "conv_diff_pe_mid",
+            description: "2D upwind convection-diffusion, cell Peclet 2 (dense-backend sized)",
+            class: ScenarioClass::SquareNonsym,
+            seed: 0,
+            n: 100,
+            kappa_hint: nonsym_kappa_hint(&conv_diff_upwind(10, 2.0)),
+            tol: 1e-6,
+            sweeps: 300,
+            diverges: &[],
+            slow: &[],
+            build_fn: build_conv_diff_pe_mid,
+        },
+        Scenario {
+            name: "conv_diff_pe_high",
+            description: "2D upwind convection-diffusion, cell Peclet 10 (convection-dominated)",
+            class: ScenarioClass::SquareNonsym,
+            seed: 0,
+            n: 256,
+            kappa_hint: nonsym_kappa_hint(&conv_diff_upwind(16, 10.0)),
+            tol: 1e-6,
+            sweeps: 400,
+            diverges: &[],
+            slow: &[],
+            build_fn: build_conv_diff_pe_high,
+        },
+        Scenario {
+            name: "pagerank_style",
+            description:
+                "PageRank-style (I - d P^T) with row-stochastic P, d = 0.85: column-dominant, \
+                 nonsymmetric",
+            class: ScenarioClass::SquareNonsym,
+            seed: 0x9A6E,
+            n: 300,
+            kappa_hint: nonsym_kappa_hint(&{
+                let b = build_pagerank_style(0x9A6E);
+                b.a
+            }),
+            tol: 1e-8,
+            sweeps: 300,
+            diverges: &[],
+            slow: &[],
+            build_fn: build_pagerank_style,
+        },
+        Scenario {
+            name: "skew_perturbed_laplace",
+            description:
+                "2D Laplacian plus skew first-order coupling: SPD symmetric part, nonsymmetric \
+                 operator",
+            class: ScenarioClass::SquareNonsym,
+            seed: 0,
+            n: 256,
+            kappa_hint: None,
+            tol: 1e-6,
+            sweeps: 400,
+            diverges: &[],
+            slow: &[],
+            build_fn: build_skew_perturbed_laplace,
+        },
+        Scenario {
+            name: "skew_dominant",
+            description:
+                "0.2 I + skew tridiagonal: spectrum hugs the imaginary axis; GMRES grinds \
+                 monotonically, BiCGSTAB has no guarantee",
+            class: ScenarioClass::SquareNonsym,
+            seed: 0,
+            n: 96,
+            kappa_hint: None,
+            tol: 1e-6,
+            sweeps: 300,
+            diverges: &["bicgstab"],
+            slow: &["gmres"],
+            build_fn: build_skew_dominant,
         },
         Scenario {
             name: "tall_lsq",
@@ -680,7 +937,14 @@ mod tests {
     #[test]
     fn registry_names_unique_and_plentiful() {
         let all = all_scenarios();
-        assert!(all.len() >= 12, "corpus must stay broad: {}", all.len());
+        assert!(all.len() >= 18, "corpus must stay broad: {}", all.len());
+        assert!(
+            all.iter()
+                .filter(|s| s.class == ScenarioClass::SquareNonsym)
+                .count()
+                >= 4,
+            "nonsymmetric corpus must stay broad"
+        );
         let mut names: Vec<&str> = all.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
@@ -703,6 +967,16 @@ mod tests {
                 ScenarioClass::SquareSpd => {
                     assert!(b1.a.is_square(), "{}", sc.name);
                     assert!(b1.a.is_symmetric(1e-9), "{}", sc.name);
+                    assert!(b1.a.diag().iter().all(|&d| d > 0.0), "{}", sc.name);
+                    assert!(b1.unit_view().is_some(), "{}", sc.name);
+                }
+                ScenarioClass::SquareNonsym => {
+                    assert!(b1.a.is_square(), "{}", sc.name);
+                    assert!(
+                        !b1.a.is_symmetric(1e-9),
+                        "{}: a nonsymmetric scenario must not be symmetric",
+                        sc.name
+                    );
                     assert!(b1.a.diag().iter().all(|&d| d > 0.0), "{}", sc.name);
                     assert!(b1.unit_view().is_some(), "{}", sc.name);
                 }
@@ -734,11 +1008,15 @@ mod tests {
             for fam in FAMILY_NAMES {
                 let e = sc.expectation(fam);
                 let is_lsq = LSQ_FAMILY_NAMES.contains(&fam);
+                let is_nonsym = NONSYM_FAMILY_NAMES.contains(&fam);
                 match sc.class {
                     ScenarioClass::LeastSquares if !is_lsq => {
                         assert_eq!(e, Expectation::Rejects, "{}/{fam}", sc.name)
                     }
-                    ScenarioClass::SquareSpd if is_lsq => {
+                    ScenarioClass::SquareSpd | ScenarioClass::SquareNonsym if is_lsq => {
+                        assert_eq!(e, Expectation::Rejects, "{}/{fam}", sc.name)
+                    }
+                    ScenarioClass::SquareNonsym if !is_nonsym => {
                         assert_eq!(e, Expectation::Rejects, "{}/{fam}", sc.name)
                     }
                     _ => assert_ne!(e, Expectation::Rejects, "{}/{fam}", sc.name),
@@ -793,6 +1071,61 @@ mod tests {
         assert!((50.0..500.0).contains(&k2), "{k2}");
         assert!((3e3..5e4).contains(&k4), "{k4}");
         assert!(k6 > 5e5, "{k6}");
+    }
+
+    #[test]
+    fn nonsym_kappa_hints_come_from_the_spectral_radius_estimator() {
+        // The convection-diffusion rungs and the PageRank scenario are
+        // diagonally dominant, so the Jacobi iteration-matrix radius is
+        // below 1 and the (1 + rho)/(1 - rho) bound is live.
+        for name in [
+            "conv_diff_pe_low",
+            "conv_diff_pe_mid",
+            "conv_diff_pe_high",
+            "pagerank_style",
+        ] {
+            let sc = find(name).unwrap();
+            let hint = sc
+                .kappa_hint
+                .unwrap_or_else(|| panic!("{name}: hint must be recorded"));
+            assert!(hint.is_finite() && hint > 1.0, "{name}: hint {hint}");
+        }
+        // PageRank: rho(d P^T) = d = 0.85 exactly (Perron root of a
+        // row-stochastic matrix), so the hint is ~(1.85 / 0.15).
+        let pr = find("pagerank_style").unwrap().kappa_hint.unwrap();
+        assert!(
+            (pr - 1.85 / 0.15).abs() / (1.85 / 0.15) < 0.05,
+            "pagerank hint {pr} should sit near (1 + d)/(1 - d)"
+        );
+        // Higher Peclet strengthens the diagonal: the hint must shrink.
+        let lo = find("conv_diff_pe_low").unwrap().kappa_hint.unwrap();
+        let hi = find("conv_diff_pe_high").unwrap().kappa_hint.unwrap();
+        assert!(hi < lo, "hints: pe_high {hi} must be below pe_low {lo}");
+    }
+
+    #[test]
+    fn conv_diff_upwind_is_weakly_dominant_and_one_sided() {
+        let built = find("conv_diff_pe_high").unwrap().build();
+        let a = &built.a;
+        for i in 0..a.n_rows() {
+            let (cols, vals) = a.row(i);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == i {
+                    diag = v;
+                } else {
+                    assert!(v < 0.0, "row {i}: off-diagonal {v} must be negative");
+                    off += v.abs();
+                }
+            }
+            assert!(diag >= off - 1e-12, "row {i}: {diag} vs {off}");
+        }
+        // Upwinding is genuinely one-sided: upstream couplings dominate
+        // downstream ones.
+        let c = 10.0;
+        assert_eq!(a.get(17, 16), -(1.0 + c));
+        assert_eq!(a.get(16, 17), -1.0);
     }
 
     #[test]

@@ -66,7 +66,10 @@ use asyrgs_core::report::{RecoveryAttempt, SolveReport};
 use asyrgs_core::rgs::{rgs_solve_block_in, rgs_solve_in, RgsOptions, RowSampling};
 use asyrgs_core::workspace::{resize_scratch_mat, SolveWorkspace};
 use asyrgs_krylov::precond::{IdentityPrecond, Preconditioner};
-use asyrgs_krylov::{cg_solve_in, fcg_solve_in, CgOptions, FcgOptions};
+use asyrgs_krylov::{
+    bicgstab_solve_in, cg_solve_in, fcg_solve_in, gmres_solve_in, BicgstabOptions, CgOptions,
+    FcgOptions, GmresOptions,
+};
 use asyrgs_parallel::{FaultPlan, SolvePool};
 use asyrgs_sparse::dense::RowMajorMat;
 use asyrgs_sparse::{CsrMatrix, RowAccess};
@@ -101,12 +104,22 @@ pub enum SolverFamily {
     /// Notay's Flexible-CG with a configurable (possibly variable)
     /// preconditioner.
     Fcg,
+    /// BiCGSTAB for nonsymmetric square systems, right-preconditioned
+    /// through the same [`PrecondSpec`] knob as FCG (the RGS/AsyRGS
+    /// preconditioners sweep on the symmetrized inner system
+    /// `(A + A^T)/2`).
+    Bicgstab,
+    /// Restarted flexible GMRES(m) for nonsymmetric square systems,
+    /// right-preconditioned like [`Bicgstab`](Self::Bicgstab); the
+    /// restart length comes from
+    /// [`restart_every`](SolverBuilder::restart_every).
+    Gmres,
 }
 
 impl SolverFamily {
     /// Every solver family, in registry order (matches
     /// `asyrgs_workloads::scenarios::FAMILY_NAMES`).
-    pub const ALL: [SolverFamily; 9] = [
+    pub const ALL: [SolverFamily; 11] = [
         SolverFamily::Rgs,
         SolverFamily::AsyRgs,
         SolverFamily::Jacobi,
@@ -116,6 +129,8 @@ impl SolverFamily {
         SolverFamily::AsyncRcd,
         SolverFamily::Cg,
         SolverFamily::Fcg,
+        SolverFamily::Bicgstab,
+        SolverFamily::Gmres,
     ];
 
     /// Stable snake_case name.
@@ -130,6 +145,8 @@ impl SolverFamily {
             SolverFamily::AsyncRcd => "async_rcd",
             SolverFamily::Cg => "cg",
             SolverFamily::Fcg => "fcg",
+            SolverFamily::Bicgstab => "bicgstab",
+            SolverFamily::Gmres => "gmres",
         }
     }
 
@@ -157,6 +174,25 @@ impl SolverFamily {
     pub fn is_lsq(&self) -> bool {
         matches!(self, SolverFamily::Rcd | SolverFamily::AsyncRcd)
     }
+
+    /// Whether this family's convergence theory requires a symmetric
+    /// operator (the Gauss-Seidel/Jacobi stationary families need SPD,
+    /// CG/FCG need SPD). The session and the serve scheduler reject
+    /// nonsymmetric square systems for these families with a typed error
+    /// instead of silently diverging; route such systems to
+    /// [`Bicgstab`](Self::Bicgstab) or [`Gmres`](Self::Gmres).
+    pub fn requires_symmetric(&self) -> bool {
+        matches!(
+            self,
+            SolverFamily::Rgs
+                | SolverFamily::AsyRgs
+                | SolverFamily::Jacobi
+                | SolverFamily::AsyncJacobi
+                | SolverFamily::Partitioned
+                | SolverFamily::Cg
+                | SolverFamily::Fcg
+        )
+    }
 }
 
 /// Which preconditioner an [`SolverFamily::Fcg`] session applies.
@@ -178,6 +214,56 @@ pub enum PrecondSpec {
         /// Inner sweeps per application.
         inner_sweeps: usize,
     },
+}
+
+/// Absolute entrywise tolerance for the session/serve symmetry
+/// admission check: `|a_ij - a_ji|` at or below this is still symmetric.
+pub const SYMMETRY_TOL: f64 = 1e-9;
+
+/// Whether a square operator is symmetric to an absolute entrywise
+/// tolerance — the admission check behind
+/// [`SolverFamily::requires_symmetric`]. Works on any row-access
+/// backend; for a [`CsrMatrix`] it is equivalent to
+/// [`CsrMatrix::is_symmetric`]. Early-exits on the first violating
+/// entry.
+pub fn operator_is_symmetric<O: RowAccess + ?Sized>(a: &O, tol: f64) -> bool {
+    if a.n_rows() != a.n_cols() {
+        return false;
+    }
+    for i in 0..a.n_rows() {
+        let mut ok = true;
+        a.visit_row(i, |j, v| {
+            if ok && (v - a.row_entry(j, i)).abs() > tol {
+                ok = false;
+            }
+        });
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// The symmetric part `(A + A^T) / 2` of a square operator, as a fresh
+/// CSR matrix — the inner system the RGS/AsyRGS preconditioners sweep on
+/// when the outer Krylov method (BiCGSTAB/GMRES) targets a nonsymmetric
+/// `A`. When `A` is exactly symmetric the result equals `A` entrywise
+/// bitwise (`0.5 v + 0.5 v == v` in IEEE-754), so symmetric callers lose
+/// nothing. Entries that cancel exactly (purely skew pairs) are dropped.
+pub fn symmetrized<O: RowAccess + ?Sized>(a: &O) -> CsrMatrix {
+    let n = a.n_rows();
+    let mut nnz = 0;
+    for i in 0..n {
+        nnz += a.row_nnz(i);
+    }
+    let mut coo = asyrgs_sparse::CooBuilder::with_capacity(n, n, 2 * nnz);
+    for i in 0..n {
+        a.visit_row(i, |j, v| {
+            coo.push(i, j, 0.5 * v).unwrap();
+            coo.push(j, i, 0.5 * v).unwrap();
+        });
+    }
+    coo.to_csr()
 }
 
 /// Fluent, validate-once configuration for a [`SolveSession`].
@@ -219,7 +305,7 @@ impl SolverBuilder {
                 Termination::sweeps(1000).with_target(1e-10),
                 Recording::every(1),
             ),
-            SolverFamily::Fcg => (
+            SolverFamily::Fcg | SolverFamily::Bicgstab | SolverFamily::Gmres => (
                 Termination::sweeps(2000).with_target(1e-8),
                 Recording::every(1),
             ),
@@ -332,7 +418,9 @@ impl SolverBuilder {
         self
     }
 
-    /// Drop all retained FCG directions every this-many iterations.
+    /// Drop all retained FCG directions every this-many iterations. For
+    /// the [`Gmres`](SolverFamily::Gmres) family this is the restart
+    /// length `m` of GMRES(m) (default 30).
     pub fn restart_every(mut self, every: usize) -> Self {
         self.restart_every = Some(every);
         self
@@ -418,6 +506,20 @@ impl SolverBuilder {
                     return Err(SolveError::DimensionMismatch {
                         solver: "fcg_solve",
                         detail: "truncation depth must be at least 1".into(),
+                    });
+                }
+            }
+            SolverFamily::Bicgstab | SolverFamily::Gmres => {
+                if let PrecondSpec::Rgs { .. } | PrecondSpec::AsyRgs { .. } = self.precond {
+                    ensure_beta(self.beta)?;
+                }
+                if self.family == SolverFamily::Gmres && self.restart_every == Some(0) {
+                    // Like FCG's truncation depth: a zero restart length
+                    // would otherwise surface as gmres_solve_in's assert
+                    // at solve time.
+                    return Err(SolveError::DimensionMismatch {
+                        solver: "gmres_solve",
+                        detail: "restart length must be at least 1".into(),
                     });
                 }
             }
@@ -512,6 +614,45 @@ struct SessionPrecond<'s, O> {
     /// (reset per solve, matching a freshly constructed standalone
     /// preconditioner bitwise).
     applications: AtomicU64,
+    /// Whether each application draws a fresh direction substream.
+    /// Flexible outer methods (FCG, FGMRES) store the preconditioned
+    /// basis and tolerate — even benefit from — a varying `M^{-1}`;
+    /// plain BiCGSTAB's recurrence assumes one fixed linear operator, so
+    /// its dispatch pins every application to the first substream
+    /// (a fixed sweep order from a zero start is a fixed linear map).
+    vary_stream: bool,
+}
+
+impl<O> SessionPrecond<'_, O> {
+    /// The substream index for this application: a fresh one per call in
+    /// flexible mode, always the first otherwise.
+    fn next_application(&self) -> u64 {
+        if self.vary_stream {
+            self.applications.fetch_add(1, AtomicOrdering::Relaxed)
+        } else {
+            0
+        }
+    }
+
+    /// Initial inner iterate for the RGS/AsyRGS sweep applications.
+    ///
+    /// Flexible mode starts from zero (bitwise matching the standalone
+    /// preconditioner types). Fixed-stream mode starts from the Jacobi
+    /// application `D^{-1} r` instead: randomized sweeps draw coordinates
+    /// with replacement, so a pinned substream misses the *same*
+    /// coordinates every application — from a zero start those outputs
+    /// are identically zero and `M^{-1}` is singular, which wrecks the
+    /// non-flexible BiCGSTAB recurrence. The Jacobi seed keeps the map
+    /// linear and fixed while covering every coordinate.
+    fn seed_inner_iterate(&self, r: &[f64], z: &mut [f64], ws: &SolveWorkspace) {
+        if self.vary_stream {
+            z.fill(0.0);
+        } else {
+            for ((zi, ri), di) in z.iter_mut().zip(r).zip(&ws.dinv) {
+                *zi = ri * di;
+            }
+        }
+    }
 }
 
 impl<O: RowAccess + Sync> Preconditioner for SessionPrecond<'_, O> {
@@ -526,8 +667,8 @@ impl<O: RowAccess + Sync> Preconditioner for SessionPrecond<'_, O> {
                 }
             }
             PrecondSpec::Rgs { inner_sweeps } => {
-                z.fill(0.0);
-                let app = self.applications.fetch_add(1, AtomicOrdering::Relaxed);
+                self.seed_inner_iterate(r, z, &ws);
+                let app = self.next_application();
                 rgs_solve_in(
                     &mut ws,
                     self.a,
@@ -545,8 +686,8 @@ impl<O: RowAccess + Sync> Preconditioner for SessionPrecond<'_, O> {
                 .unwrap_or_else(|e| panic!("{e}"));
             }
             PrecondSpec::AsyRgs { inner_sweeps } => {
-                z.fill(0.0);
-                let app = self.applications.fetch_add(1, AtomicOrdering::Relaxed);
+                self.seed_inner_iterate(r, z, &ws);
+                let app = self.next_application();
                 asyrgs_solve_in(
                     self.pool,
                     &mut ws,
@@ -677,6 +818,41 @@ impl SolveSession {
         }
     }
 
+    fn bicgstab_options(&self) -> BicgstabOptions {
+        BicgstabOptions {
+            term: self.config.term.clone(),
+            record: self.config.record,
+            ..Default::default()
+        }
+    }
+
+    fn gmres_options(&self) -> GmresOptions {
+        GmresOptions {
+            term: self.config.term.clone(),
+            record: self.config.record,
+            restart: self.config.restart_every.unwrap_or(30),
+        }
+    }
+
+    /// Validate and cache the diagonal (and its inverse) of the
+    /// preconditioner's inner operator in the preconditioner scratch.
+    ///
+    /// Every non-identity spec needs a positive diagonal (Jacobi for the
+    /// scaling itself, the RGS family for its inner solves), so this runs
+    /// up front at dispatch time: `Preconditioner::apply` is infallible
+    /// and a violation discovered there could only surface as a panic,
+    /// breaking the dispatchers' typed-error contract. Jacobi also reads
+    /// the cached `D^{-1}` directly in its applications.
+    fn cache_precond_diag<O: RowAccess + ?Sized>(&mut self, a: &O) -> Result<(), SolveError> {
+        let scratch = self
+            .precond_scratch
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner());
+        a.diag_into(&mut scratch.diag);
+        asyrgs_core::driver::inverse_diag_into(&scratch.diag, &mut scratch.dinv)?;
+        Ok(())
+    }
+
     fn fcg_dispatch<O: RowAccess + Sync>(
         &mut self,
         a: &O,
@@ -694,21 +870,7 @@ impl SolveSession {
         // `AsyRgsPrecond`/`RgsPrecond`/`JacobiPrecond` types acquire
         // their own resources per construction, which would defeat the
         // session's amortization if rebuilt per solve).
-        //
-        // Every non-identity spec needs a positive diagonal (Jacobi for
-        // the scaling itself, the RGS family for its inner solves), so
-        // validate it up front: `Preconditioner::apply` is infallible and
-        // a violation discovered there could only surface as a panic,
-        // breaking this method's typed-error contract. Jacobi also caches
-        // D^{-1} here (its applications read it directly).
-        {
-            let scratch = self
-                .precond_scratch
-                .get_mut()
-                .unwrap_or_else(|e| e.into_inner());
-            a.diag_into(&mut scratch.diag);
-            asyrgs_core::driver::inverse_diag_into(&scratch.diag, &mut scratch.dinv)?;
-        }
+        self.cache_precond_diag(a)?;
         let pre = SessionPrecond {
             a,
             spec: self.config.precond,
@@ -718,8 +880,103 @@ impl SolveSession {
             pool: &self.pool,
             scratch: &self.precond_scratch,
             applications: AtomicU64::new(0),
+            vary_stream: true,
         };
         fcg_solve_in(&mut self.ws, a, b, x, &pre, &opts)
+    }
+
+    fn bicgstab_dispatch<O: RowAccess + Sync>(
+        &mut self,
+        a: &O,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<SolveReport, SolveError> {
+        let opts = self.bicgstab_options();
+        if let PrecondSpec::Identity = self.config.precond {
+            return bicgstab_solve_in(&mut self.ws, a, b, x, &IdentityPrecond, &opts);
+        }
+        // The RGS/AsyRGS preconditioners are Gauss-Seidel sweeps, whose
+        // convergence theory needs a symmetric inner operator — so for a
+        // nonsymmetric outer `A` they sweep on the symmetric part
+        // `(A + A^T)/2` (bitwise equal to `A` when `A` is symmetric).
+        // Jacobi only reads the diagonal, which symmetrization preserves,
+        // so it keeps preconditioning `A` itself. Unlike FCG/FGMRES,
+        // BiCGSTAB is not flexible: every application must be the same
+        // linear operator, so the sweep substream is pinned
+        // (`vary_stream: false`).
+        if let PrecondSpec::Rgs { .. } | PrecondSpec::AsyRgs { .. } = self.config.precond {
+            let sym = symmetrized(a);
+            self.cache_precond_diag(&sym)?;
+            let pre = SessionPrecond {
+                a: &sym,
+                spec: self.config.precond,
+                threads: self.config.threads,
+                beta: self.config.beta,
+                seed: self.config.seed,
+                pool: &self.pool,
+                scratch: &self.precond_scratch,
+                applications: AtomicU64::new(0),
+                vary_stream: false,
+            };
+            return bicgstab_solve_in(&mut self.ws, a, b, x, &pre, &opts);
+        }
+        self.cache_precond_diag(a)?;
+        let pre = SessionPrecond {
+            a,
+            spec: self.config.precond,
+            threads: self.config.threads,
+            beta: self.config.beta,
+            seed: self.config.seed,
+            pool: &self.pool,
+            scratch: &self.precond_scratch,
+            applications: AtomicU64::new(0),
+            vary_stream: false,
+        };
+        bicgstab_solve_in(&mut self.ws, a, b, x, &pre, &opts)
+    }
+
+    fn gmres_dispatch<O: RowAccess + Sync>(
+        &mut self,
+        a: &O,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<SolveReport, SolveError> {
+        let opts = self.gmres_options();
+        if let PrecondSpec::Identity = self.config.precond {
+            return gmres_solve_in(&mut self.ws, a, b, x, &IdentityPrecond, &opts);
+        }
+        // Same preconditioner routing as `bicgstab_dispatch`; GMRES is
+        // flexible (stores the preconditioned basis Z), so the variable
+        // RGS/AsyRGS applications are sound here too.
+        if let PrecondSpec::Rgs { .. } | PrecondSpec::AsyRgs { .. } = self.config.precond {
+            let sym = symmetrized(a);
+            self.cache_precond_diag(&sym)?;
+            let pre = SessionPrecond {
+                a: &sym,
+                spec: self.config.precond,
+                threads: self.config.threads,
+                beta: self.config.beta,
+                seed: self.config.seed,
+                pool: &self.pool,
+                scratch: &self.precond_scratch,
+                applications: AtomicU64::new(0),
+                vary_stream: true,
+            };
+            return gmres_solve_in(&mut self.ws, a, b, x, &pre, &opts);
+        }
+        self.cache_precond_diag(a)?;
+        let pre = SessionPrecond {
+            a,
+            spec: self.config.precond,
+            threads: self.config.threads,
+            beta: self.config.beta,
+            seed: self.config.seed,
+            pool: &self.pool,
+            scratch: &self.precond_scratch,
+            applications: AtomicU64::new(0),
+            vary_stream: true,
+        };
+        gmres_solve_in(&mut self.ws, a, b, x, &pre, &opts)
     }
 
     /// Solve the square system `A x = b`, reading the initial iterate from
@@ -763,6 +1020,24 @@ impl SolveSession {
         x: &mut [f64],
         x_star: Option<&[f64]>,
     ) -> Result<SolveReport, SolveError> {
+        // Admission: the symmetric-theory families reject nonsymmetric
+        // square operators with a typed error (and an untouched `x`)
+        // instead of silently diverging. Only square operators are
+        // checked here — non-square ones fall through to the per-family
+        // dimension validation, which owns that message.
+        if self.config.family.requires_symmetric()
+            && a.n_rows() == a.n_cols()
+            && !operator_is_symmetric(a, SYMMETRY_TOL)
+        {
+            return Err(SolveError::DimensionMismatch {
+                solver: "solve",
+                detail: format!(
+                    "family '{}' requires a symmetric operator, but A != A^T; \
+                     use the bicgstab or gmres family for nonsymmetric systems",
+                    self.config.family.name()
+                ),
+            });
+        }
         // Recovery only applies to the watchdog-aware families; for the
         // rest (and with recovery off) this is exactly one dispatch.
         let watchdog_aware = matches!(
@@ -915,6 +1190,8 @@ impl SolveSession {
                 cg_solve_in(&mut self.ws, a, b, x, &opts)
             }
             SolverFamily::Fcg => self.fcg_dispatch(a, b, x),
+            SolverFamily::Bicgstab => self.bicgstab_dispatch(a, b, x),
+            SolverFamily::Gmres => self.gmres_dispatch(a, b, x),
             SolverFamily::Rcd | SolverFamily::AsyncRcd => Err(SolveError::MethodMismatch {
                 called: "solve",
                 family: self.config.family.name(),
@@ -994,6 +1271,16 @@ impl SolveSession {
             return Err(SolveError::DimensionMismatch {
                 solver: "solve_many",
                 detail: format!("matrix must be square, got {} x {}", a.n_rows(), a.n_cols()),
+            });
+        }
+        if self.config.family.requires_symmetric() && !a.is_symmetric(SYMMETRY_TOL) {
+            return Err(SolveError::DimensionMismatch {
+                solver: "solve_many",
+                detail: format!(
+                    "family '{}' requires a symmetric operator, but A != A^T; \
+                     use the bicgstab or gmres family for nonsymmetric systems",
+                    self.config.family.name()
+                ),
             });
         }
         let n = a.n_rows();
@@ -1117,10 +1404,21 @@ mod tests {
             SolverFamily::Partitioned,
             SolverFamily::Cg,
             SolverFamily::Fcg,
+            SolverFamily::Bicgstab,
+            SolverFamily::Gmres,
         ] {
+            // The Krylov nonsymmetric families need a residual target:
+            // iterating a fully converged BiCGSTAB recurrence further
+            // collapses rho, which is (correctly) a typed breakdown.
+            let term = match family {
+                SolverFamily::Bicgstab | SolverFamily::Gmres => {
+                    Termination::sweeps(200).with_target(1e-8)
+                }
+                _ => Termination::sweeps(200),
+            };
             let mut session = SolverBuilder::new(family)
                 .threads(2)
-                .term(Termination::sweeps(200))
+                .term(term)
                 .build()
                 .unwrap();
             let mut x = vec![0.0; n];
@@ -1132,6 +1430,161 @@ mod tests {
                 rep.final_rel_residual
             );
         }
+    }
+
+    /// A small nonsymmetric upwind convection-diffusion-style operator:
+    /// strictly diagonally dominant, so the Krylov families converge fast.
+    fn nonsym_problem(n: usize) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+        let mut coo = asyrgs_sparse::CooBuilder::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0).unwrap();
+            if i > 0 {
+                coo.push(i, i - 1, -1.8).unwrap();
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -0.3).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let x_star: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 / 13.0 - 0.4).collect();
+        let b = a.matvec(&x_star);
+        (a, b, x_star)
+    }
+
+    #[test]
+    fn nonsym_families_solve_nonsymmetric_systems_under_every_precond() {
+        let (a, b, x_star) = nonsym_problem(60);
+        for family in [SolverFamily::Bicgstab, SolverFamily::Gmres] {
+            for precond in [
+                PrecondSpec::Identity,
+                PrecondSpec::Jacobi,
+                PrecondSpec::Rgs { inner_sweeps: 2 },
+                PrecondSpec::AsyRgs { inner_sweeps: 2 },
+            ] {
+                let mut session = SolverBuilder::new(family)
+                    .threads(2)
+                    .preconditioner(precond)
+                    .term(Termination::sweeps(500).with_target(1e-10))
+                    .build()
+                    .unwrap();
+                let mut x = vec![0.0; a.n_rows()];
+                let rep = session.solve(&a, &b, &mut x).unwrap();
+                assert!(
+                    rep.converged_early,
+                    "{} + {precond:?}: residual {}",
+                    family.name(),
+                    rep.final_rel_residual
+                );
+                let err: f64 = x
+                    .iter()
+                    .zip(&x_star)
+                    .map(|(xi, si)| (xi - si) * (xi - si))
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(err < 1e-6, "{} + {precond:?}: error {err}", family.name());
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_theory_families_reject_nonsymmetric_operators() {
+        let (a, b, _) = nonsym_problem(24);
+        for family in [
+            SolverFamily::Rgs,
+            SolverFamily::AsyRgs,
+            SolverFamily::Jacobi,
+            SolverFamily::AsyncJacobi,
+            SolverFamily::Partitioned,
+            SolverFamily::Cg,
+            SolverFamily::Fcg,
+        ] {
+            let mut session = SolverBuilder::new(family)
+                .threads(2)
+                .term(Termination::sweeps(50))
+                .build()
+                .unwrap();
+            let mut x = vec![7.25; a.n_rows()];
+            let err = session.solve(&a, &b, &mut x).unwrap_err();
+            assert!(
+                matches!(err, SolveError::DimensionMismatch { .. }),
+                "{}: {err:?}",
+                family.name()
+            );
+            assert!(
+                x.iter().all(|v| *v == 7.25),
+                "{}: x must be untouched on rejection",
+                family.name()
+            );
+        }
+    }
+
+    #[test]
+    fn solve_many_rejects_nonsymmetric_for_symmetric_families() {
+        let (a, b, _) = nonsym_problem(16);
+        let b2 = b.clone();
+        let mut x1 = vec![7.25; 16];
+        let mut x2 = vec![7.25; 16];
+        let mut session = SolverBuilder::new(SolverFamily::Rgs)
+            .term(Termination::sweeps(20))
+            .build()
+            .unwrap();
+        let err = session
+            .solve_many(&a, &[&b, &b2], &mut [&mut x1, &mut x2])
+            .unwrap_err();
+        assert!(matches!(err, SolveError::DimensionMismatch { .. }));
+        assert!(x1.iter().chain(&x2).all(|v| *v == 7.25));
+
+        // The nonsymmetric families accept the same batch.
+        let mut session = SolverBuilder::new(SolverFamily::Bicgstab)
+            .term(Termination::sweeps(200).with_target(1e-8))
+            .build()
+            .unwrap();
+        x1.fill(0.0);
+        x2.fill(0.0);
+        let reps = session
+            .solve_many(&a, &[&b, &b2], &mut [&mut x1, &mut x2])
+            .unwrap();
+        assert_eq!(reps.len(), 2);
+        assert!(reps.iter().all(|r| r.final_rel_residual < 1e-8));
+    }
+
+    #[test]
+    fn gmres_zero_restart_rejected_at_build() {
+        let err = SolverBuilder::new(SolverFamily::Gmres)
+            .restart_every(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SolveError::DimensionMismatch { .. }));
+        // BiCGSTAB ignores the knob entirely, so the gate is GMRES-only.
+        assert!(SolverBuilder::new(SolverFamily::Bicgstab)
+            .restart_every(0)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn symmetrized_is_bitwise_identity_on_symmetric_input() {
+        let (a, _, _) = problem(5);
+        let s = symmetrized(&a);
+        assert_eq!(a.n_rows(), s.n_rows());
+        for i in 0..a.n_rows() {
+            let mut row_a: Vec<(usize, f64)> = Vec::new();
+            a.visit_row(i, |j, v| row_a.push((j, v)));
+            let mut row_s: Vec<(usize, f64)> = Vec::new();
+            s.visit_row(i, |j, v| row_s.push((j, v)));
+            assert_eq!(row_a, row_s, "row {i} must match bitwise");
+        }
+    }
+
+    #[test]
+    fn symmetrized_halves_skew_parts() {
+        // A = [[2, 1], [3, 2]] -> (A + A^T)/2 = [[2, 2], [2, 2]].
+        let a = CsrMatrix::from_dense(2, 2, &[2.0, 1.0, 3.0, 2.0]);
+        let s = symmetrized(&a);
+        assert!(s.is_symmetric(0.0));
+        assert_eq!(s.row_entry(0, 1), 2.0);
+        assert_eq!(s.row_entry(1, 0), 2.0);
+        assert_eq!(s.row_entry(0, 0), 2.0);
     }
 
     #[test]

@@ -91,10 +91,15 @@ fn run_and_assert_cell<O: RowAccess + Sync>(
             );
         }
         Expectation::MayDiverge => {
-            // The run must complete (no panic, typed success), whatever
-            // the residual did.
-            let rep = result.unwrap_or_else(|e| panic!("{cell}: rejected: {e}"));
-            assert!(rep.iterations > 0, "{cell}: no work performed");
+            // The run must complete without panicking: either a typed
+            // success (whatever the residual did) or — for the Krylov
+            // families, whose recurrences carry no guarantee here — a
+            // typed breakdown.
+            match result {
+                Ok(rep) => assert!(rep.iterations > 0, "{cell}: no work performed"),
+                Err(SolveError::Breakdown { .. }) => {}
+                Err(e) => panic!("{cell}: rejected: {e}"),
+            }
         }
         Expectation::Rejects => {
             let err = match result {
@@ -127,7 +132,7 @@ fn conformance_matrix_csr_backend() {
         let built = sc.build();
         let lsq_op = match sc.class {
             ScenarioClass::LeastSquares => Some(LsqOperator::new(built.a.clone())),
-            ScenarioClass::SquareSpd => None,
+            ScenarioClass::SquareSpd | ScenarioClass::SquareNonsym => None,
         };
         for family in FAMILY_NAMES {
             run_and_assert_cell(&sc, family, "csr", &built.a, &built.b, lsq_op.as_ref());
@@ -144,7 +149,12 @@ fn conformance_matrix_unit_view_backend() {
     for sc in scenarios_under_test() {
         let built = sc.build();
         let Some(view) = built.unit_view() else {
-            assert_eq!(sc.class, ScenarioClass::LeastSquares, "{}", sc.name);
+            assert_eq!(
+                sc.class,
+                ScenarioClass::LeastSquares,
+                "{}: every square scenario must offer the view backend",
+                sc.name
+            );
             continue;
         };
         let b_unit = view.rhs_to_unit(&built.b);
@@ -168,6 +178,57 @@ fn conformance_matrix_dense_backend() {
         covered += 1;
     }
     assert!(covered >= 1, "no scenario exercised the dense backend");
+}
+
+/// Every Converges-tagged nonsymmetric cell again under the full
+/// right-preconditioner ladder: identity, Jacobi, and the AsyRGS sweeps
+/// on the symmetrized inner system must all reach the scenario tolerance
+/// (the subsystem's acceptance bar — the preconditioner may never turn a
+/// converging Krylov run into a stall).
+#[test]
+fn nonsym_scenarios_converge_under_every_preconditioner() {
+    use asyrgs::session::PrecondSpec;
+    let specs = [
+        PrecondSpec::Identity,
+        PrecondSpec::Jacobi,
+        PrecondSpec::Rgs { inner_sweeps: 2 },
+        PrecondSpec::AsyRgs { inner_sweeps: 2 },
+    ];
+    let mut covered = 0;
+    for sc in scenarios_under_test() {
+        if sc.class != ScenarioClass::SquareNonsym {
+            continue;
+        }
+        let built = sc.build();
+        for family_name in ["bicgstab", "gmres"] {
+            if sc.expectation(family_name) != Expectation::Converges {
+                continue;
+            }
+            for spec in specs {
+                let mut session = SolverBuilder::new(family_of(family_name))
+                    .threads(2)
+                    .term(Termination::sweeps(sc.sweeps).with_target(sc.tol * 0.5))
+                    .preconditioner(spec)
+                    .build()
+                    .unwrap_or_else(|e| panic!("{}/{family_name}: bad config: {e}", sc.name));
+                let mut x = vec![0.0; built.n()];
+                let rep = session
+                    .solve(&built.a, &built.b, &mut x)
+                    .unwrap_or_else(|e| {
+                        panic!("{}/{family_name}/{spec:?}: rejected: {e}", sc.name)
+                    });
+                assert!(
+                    rep.final_rel_residual <= sc.tol,
+                    "{}/{family_name}/{spec:?}: residual {} above tolerance {}",
+                    sc.name,
+                    rep.final_rel_residual,
+                    sc.tol
+                );
+                covered += 1;
+            }
+        }
+    }
+    assert!(covered >= 16, "only {covered} preconditioned nonsym cells");
 }
 
 /// The view backend is not merely "also converges": driven through the
