@@ -1,7 +1,7 @@
 //! Multi-tenant serving benchmark: drives the `asyrgs-serve` scheduler
 //! with concurrent tenant load and writes `BENCH_serve.json`.
 //!
-//! Two sections:
+//! Three sections:
 //!
 //! * **throughput** — for 1, 8, and 64 concurrent tenants, submit a batch
 //!   of identical fixed-sweep solves through the scheduler (shared global
@@ -14,6 +14,19 @@
 //!   scenario verbatim (skewed weights, per-tenant corpus problems,
 //!   deadlines on every fourth tenant) and report outcome counts and
 //!   latency percentiles.
+//! * **registry** — replay the Zipf-distributed
+//!   [`zipf_hot_matrix_replay`] hot-matrix workload, where every
+//!   submission materializes its *own copy* of the matrix, and report the
+//!   content-addressed registry's dedup hit rate, cross-tenant coalescing
+//!   counts, warm-start seeds, and matrix-update rekeys, plus a bitwise
+//!   cross-check that a cross-tenant coalesced solve equals a solo
+//!   dispatch.
+//!
+//! Latency is reported **split**: `latency_ms` is admission-to-completion
+//! (queue wait + service), and `queue_wait_ms` / `solve_ms` break it into
+//! its components. The throughput ladder admits each batch up front
+//! (paused scheduler) so queue wait dominates there by construction — the
+//! split is what makes that visible instead of misleading.
 //!
 //! Usage:
 //! ```text
@@ -26,10 +39,12 @@
 use asyrgs::session::{SolverBuilder, SolverFamily};
 use asyrgs_core::driver::{Recording, Termination};
 use asyrgs_core::error::SolveError;
-use asyrgs_serve::{JobHandle, Scheduler, SchedulerConfig, SolveJob, TenantId};
+use asyrgs_serve::{
+    JobHandle, JobStats, MatrixUpdate, Scheduler, SchedulerConfig, SolveJob, TenantId,
+};
 use asyrgs_sparse::CsrMatrix;
 use asyrgs_workloads::scenarios;
-use asyrgs_workloads::traffic::mixed_tenant_mix;
+use asyrgs_workloads::traffic::{mixed_tenant_mix, zipf_hot_matrix_replay};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -61,6 +76,41 @@ fn percentiles(latencies: &mut [Duration]) -> LatencyMs {
     }
 }
 
+/// Admission-to-completion latency with its queue-wait/solve-time
+/// components kept separate. The scheduler admits benchmark batches all
+/// at once, so the total is dominated by queue wait — reporting only the
+/// sum made p50 ≈ p99 ≈ max at low tenancy and hid the actual service
+/// time entirely.
+struct LatencySplit {
+    total: Vec<Duration>,
+    queue_wait: Vec<Duration>,
+    solve: Vec<Duration>,
+}
+
+impl LatencySplit {
+    fn with_capacity(n: usize) -> Self {
+        LatencySplit {
+            total: Vec::with_capacity(n),
+            queue_wait: Vec::with_capacity(n),
+            solve: Vec::with_capacity(n),
+        }
+    }
+
+    fn push(&mut self, stats: &JobStats) {
+        self.total.push(stats.queued + stats.service);
+        self.queue_wait.push(stats.queued);
+        self.solve.push(stats.service);
+    }
+
+    fn percentiles(mut self) -> (LatencyMs, LatencyMs, LatencyMs) {
+        (
+            percentiles(&mut self.total),
+            percentiles(&mut self.queue_wait),
+            percentiles(&mut self.solve),
+        )
+    }
+}
+
 struct ThroughputRow {
     tenants: usize,
     jobs: usize,
@@ -69,6 +119,8 @@ struct ThroughputRow {
     speedup: f64,
     jobs_per_second: f64,
     latency: LatencyMs,
+    queue_wait: LatencyMs,
+    solve: LatencyMs,
 }
 
 /// The fixed-work job every throughput cell runs: sequential RGS with a
@@ -121,13 +173,14 @@ fn throughput_section(
         .collect();
     let sched_start = Instant::now();
     sched.resume();
-    let mut latencies: Vec<Duration> = Vec::with_capacity(jobs);
+    let mut split = LatencySplit::with_capacity(jobs);
     for h in handles {
         let out = h.wait();
         out.result.expect("fixed-sweep jobs cannot fail");
-        latencies.push(out.stats.queued + out.stats.service);
+        split.push(&out.stats);
     }
     let scheduler_seconds = sched_start.elapsed().as_secs_f64();
+    let (latency, queue_wait, solve) = split.percentiles();
 
     ThroughputRow {
         tenants,
@@ -136,7 +189,9 @@ fn throughput_section(
         sequential_seconds,
         speedup: sequential_seconds / scheduler_seconds,
         jobs_per_second: jobs as f64 / scheduler_seconds,
-        latency: percentiles(&mut latencies),
+        latency,
+        queue_wait,
+        solve,
     }
 }
 
@@ -148,6 +203,8 @@ struct MixedRow {
     cancelled: u64,
     seconds: f64,
     latency: LatencyMs,
+    queue_wait: LatencyMs,
+    solve: LatencyMs,
 }
 
 fn mixed_traffic_section(
@@ -188,7 +245,8 @@ fn mixed_traffic_section(
     }
     let start = Instant::now();
     sched.resume();
-    let mut latencies = Vec::with_capacity(handles.len());
+    let mut split = LatencySplit::with_capacity(handles.len());
+    let jobs = handles.len();
     let mut succeeded = 0u64;
     let mut deadline_expired = 0u64;
     let mut cancelled = 0u64;
@@ -200,16 +258,227 @@ fn mixed_traffic_section(
             Err(SolveError::Cancelled) => cancelled += 1,
             Err(e) => panic!("unexpected traffic outcome: {e}"),
         }
-        latencies.push(out.stats.queued + out.stats.service);
+        split.push(&out.stats);
     }
+    let seconds = start.elapsed().as_secs_f64();
+    let (latency, queue_wait, solve) = split.percentiles();
     MixedRow {
         tenants,
-        jobs: latencies.len(),
+        jobs,
         succeeded,
         deadline_expired,
         cancelled,
-        seconds: start.elapsed().as_secs_f64(),
-        latency: percentiles(&mut latencies),
+        seconds,
+        latency,
+        queue_wait,
+        solve,
+    }
+}
+
+/// Zipf hot-matrix replay results plus the registry/scheduler counters
+/// accumulated while serving it.
+struct RegistrySection {
+    seed: u64,
+    zipf_s: f64,
+    cold_jobs: usize,
+    resubmit_jobs: usize,
+    update_jobs: usize,
+    tenants: usize,
+    unique_matrices: usize,
+    seconds: f64,
+    jobs_per_second: f64,
+    latency: LatencyMs,
+    queue_wait: LatencyMs,
+    solve: LatencyMs,
+    warm_started_jobs: u64,
+    dedup_hit_rate: f64,
+    coalescing_hit_rate: f64,
+    reg: asyrgs_serve::RegistryStats,
+    sched: asyrgs_serve::SchedulerStats,
+    coalesce_bitwise_ok: bool,
+}
+
+impl RegistrySection {
+    fn total_jobs(&self) -> usize {
+        self.cold_jobs + self.resubmit_jobs + self.update_jobs
+    }
+}
+
+/// Bitwise cross-check of the PR 4 coalescing invariant, now across
+/// tenants: several tenants submit bitwise-identical (but separately
+/// materialized) copies of one matrix through a paused scheduler, the
+/// registry dedups them onto one canonical `Arc`, coalescing merges them
+/// into one block dispatch — and every returned solution must equal the
+/// solo-dispatch solution bit for bit.
+fn cross_tenant_bitwise_check(
+    a: &Arc<CsrMatrix>,
+    b: &[f64],
+    sweeps: usize,
+    width: usize,
+) -> (bool, u64) {
+    let builder = throughput_builder(sweeps);
+    let k = 6usize;
+    let sched = Scheduler::new(SchedulerConfig {
+        runners: width,
+        slots: width,
+        queue_capacity: 64,
+        paused: true,
+        coalesce: 32,
+        ..SchedulerConfig::default()
+    });
+    let handles: Vec<JobHandle> = (0..k)
+        .map(|i| {
+            // Each tenant materializes its own copy: dedup, not pointer
+            // identity, is what makes these coalescible.
+            let own = Arc::new(a.as_ref().clone());
+            let job =
+                SolveJob::new(builder.clone(), own, b.to_vec()).with_tenant(TenantId(1 + i as u64));
+            sched.submit(job).expect("valid job")
+        })
+        .collect();
+    sched.resume();
+
+    let mut session = builder.build().expect("valid config");
+    let mut solo = vec![0.0; a.n_rows()];
+    session
+        .solve(a.as_ref(), b, &mut solo)
+        .expect("valid system");
+
+    let mut ok = true;
+    for h in handles {
+        let out = h.wait();
+        out.result.expect("fixed-sweep jobs cannot fail");
+        if out.x != solo {
+            ok = false;
+        }
+    }
+    (ok, sched.stats().cross_tenant_coalesced)
+}
+
+fn registry_section(
+    jobs: usize,
+    tenants: usize,
+    resubmit_jobs: usize,
+    sweeps: usize,
+    width: usize,
+) -> RegistrySection {
+    let seed = 0xA11C_E5EEDu64;
+    let replay = zipf_hot_matrix_replay(jobs, tenants, seed);
+    // Build each hot matrix's reference problem once; every submission
+    // below clones it into its own allocation, as 256 independent tenants
+    // would — dedup is the registry's job, not the caller's.
+    let problems: Vec<(CsrMatrix, Vec<f64>)> = replay
+        .matrices
+        .iter()
+        .map(|name| {
+            let built = scenarios::find(name).expect("registered").build();
+            (built.a, built.b)
+        })
+        .collect();
+    let builder = throughput_builder(sweeps);
+    let sched = Scheduler::new(SchedulerConfig {
+        runners: width,
+        slots: width,
+        queue_capacity: jobs.next_power_of_two().max(64),
+        coalesce: 32,
+        ..SchedulerConfig::default()
+    });
+
+    let submit_event = |e: &asyrgs_workloads::traffic::ReplayEvent| -> JobHandle {
+        let (a, b) = &problems[e.matrix];
+        let job = SolveJob::new(builder.clone(), Arc::new(a.clone()), b.clone())
+            .with_tenant(TenantId(e.tenant_id))
+            .with_weight(e.weight)
+            .with_warm_start(true);
+        sched.submit(job).expect("valid job")
+    };
+
+    let start = Instant::now();
+    let mut split = LatencySplit::with_capacity(jobs + resubmit_jobs);
+    let mut warm_started_jobs = 0u64;
+    let mut drain = |handles: Vec<JobHandle>| {
+        for h in handles {
+            let out = h.wait();
+            out.result.expect("fixed-sweep jobs cannot fail");
+            if out.stats.warm_started {
+                warm_started_jobs += 1;
+            }
+            split.push(&out.stats);
+        }
+    };
+
+    // Cold wave: the scheduler runs live (no pause), so admission and
+    // completion interleave and queue wait reflects actual backlog.
+    drain(replay.events.iter().map(submit_event).collect());
+    // Resubmission wave: the same tenants hit the same fingerprints
+    // again, now with stored solutions to warm-start from.
+    drain(
+        replay.events[..resubmit_jobs]
+            .iter()
+            .map(submit_event)
+            .collect(),
+    );
+
+    // Matrix-update jobs: shift the hottest matrix's diagonal in place
+    // (copy-on-write patch of the cached operator), then solve against
+    // the patched fingerprint via its canonical artifacts.
+    let (hot_a, hot_b) = &problems[0];
+    let hot_fp = Scheduler::fingerprint(hot_a);
+    let new_fp = sched
+        .apply_matrix_update(
+            hot_fp,
+            &MatrixUpdate::DiagonalShift {
+                delta: vec![0.125; hot_a.n_rows()],
+            },
+        )
+        .expect("hot matrix is registered and square");
+    let patched = sched
+        .artifacts(new_fp)
+        .expect("patched entry is registered")
+        .a;
+    let update_jobs = width.max(2);
+    drain(
+        (0..update_jobs)
+            .map(|i| {
+                let job = SolveJob::new(builder.clone(), Arc::clone(&patched), hot_b.clone())
+                    .with_tenant(TenantId(1 + i as u64));
+                sched.submit(job).expect("valid job")
+            })
+            .collect(),
+    );
+    let seconds = start.elapsed().as_secs_f64();
+
+    let reg = sched.registry_stats();
+    let stats = sched.stats();
+    let total_jobs = jobs + resubmit_jobs + update_jobs;
+    let (latency, queue_wait, solve) = split.percentiles();
+
+    let (coalesce_bitwise_ok, _) = cross_tenant_bitwise_check(
+        &Arc::new(problems[0].0.clone()),
+        &problems[0].1,
+        sweeps,
+        width,
+    );
+
+    RegistrySection {
+        seed,
+        zipf_s: replay.zipf_s,
+        cold_jobs: jobs,
+        resubmit_jobs,
+        update_jobs,
+        tenants,
+        unique_matrices: replay.matrices.len(),
+        seconds,
+        jobs_per_second: total_jobs as f64 / seconds,
+        latency,
+        queue_wait,
+        solve,
+        warm_started_jobs,
+        dedup_hit_rate: reg.hit_rate(),
+        coalescing_hit_rate: stats.coalesced as f64 / total_jobs as f64,
+        reg,
+        sched: stats,
+        coalesce_bitwise_ok,
     }
 }
 
@@ -227,6 +496,13 @@ fn main() {
     let smoke = std::env::var("ASYRGS_BENCH_SMOKE").as_deref() == Ok("1");
     let width = asyrgs_parallel::default_concurrency();
     let (jobs_per_tenant, sweeps, mixed_jobs) = if smoke { (2, 30, 1) } else { (8, 400, 4) };
+    // Zipf replay scale: the full run replays >= 1k jobs over 256 tenants
+    // (the issue's acceptance floor); smoke keeps the same shape tiny.
+    let (zipf_jobs, zipf_tenants, zipf_resubmit, zipf_sweeps) = if smoke {
+        (120, 32, 40, 20)
+    } else {
+        (2_000, 256, 500, 100)
+    };
 
     // One shared problem for the throughput ladder: a corpus matrix big
     // enough that a job is milliseconds, small enough that 64 tenants'
@@ -244,7 +520,8 @@ fn main() {
     for tenants in [1usize, 8, 64] {
         let row = throughput_section(&a, &b, tenants, jobs_per_tenant, sweeps, width);
         eprintln!(
-            "  {:>2} tenants x {:>2} jobs: scheduler {:.3}s vs sequential {:.3}s -> {:.2}x ({:.0} jobs/s, p99 {:.1} ms)",
+            "  {:>2} tenants x {:>2} jobs: scheduler {:.3}s vs sequential {:.3}s -> {:.2}x \
+             ({:.0} jobs/s, p99 {:.1} ms = queue {:.1} + solve {:.1})",
             row.tenants,
             jobs_per_tenant,
             row.scheduler_seconds,
@@ -252,6 +529,8 @@ fn main() {
             row.speedup,
             row.jobs_per_second,
             row.latency.p99,
+            row.queue_wait.p99,
+            row.solve.p99,
         );
         rows.push(row);
     }
@@ -262,9 +541,39 @@ fn main() {
         mixed.jobs, mixed.tenants, mixed.seconds, mixed.succeeded, mixed.deadline_expired, mixed.cancelled
     );
 
+    let registry = registry_section(zipf_jobs, zipf_tenants, zipf_resubmit, zipf_sweeps, width);
+    assert!(
+        registry.coalesce_bitwise_ok,
+        "cross-tenant coalesced solve diverged bitwise from solo dispatch"
+    );
+    eprintln!(
+        "  zipf replay: {} jobs ({} cold + {} resubmit + {} update) over {} tenants, \
+         {} unique matrices, in {:.3}s",
+        registry.total_jobs(),
+        registry.cold_jobs,
+        registry.resubmit_jobs,
+        registry.update_jobs,
+        registry.tenants,
+        registry.unique_matrices,
+        registry.seconds,
+    );
+    eprintln!(
+        "    dedup hit rate {:.1}% ({} hits / {} misses), coalesced {} ({} cross-tenant), \
+         warm-started {}, updates {}, evictions {}, collisions {}",
+        registry.dedup_hit_rate * 100.0,
+        registry.reg.hits,
+        registry.reg.misses,
+        registry.sched.coalesced,
+        registry.sched.cross_tenant_coalesced,
+        registry.warm_started_jobs,
+        registry.reg.updates,
+        registry.reg.evictions,
+        registry.reg.collisions,
+    );
+
     let mut j = String::new();
     j.push_str("{\n");
-    let _ = writeln!(j, "  \"schema\": \"asyrgs-serve-v1\",");
+    let _ = writeln!(j, "  \"schema\": \"asyrgs-serve-v2\",");
     let _ = writeln!(j, "  \"smoke\": {smoke},");
     let _ = writeln!(j, "  \"pool_width\": {width},");
     let _ = writeln!(j, "  \"jobs_per_tenant\": {jobs_per_tenant},");
@@ -275,7 +584,7 @@ fn main() {
             j,
             "    {{\"tenants\": {}, \"jobs\": {}, \"scheduler_seconds\": {:.6e}, \
              \"sequential_seconds\": {:.6e}, \"speedup\": {:.3}, \"jobs_per_second\": {:.2}, \
-             \"latency_ms\": {}}}{}",
+             \"latency_ms\": {}, \"queue_wait_ms\": {}, \"solve_ms\": {}}}{}",
             r.tenants,
             r.jobs,
             r.scheduler_seconds,
@@ -283,6 +592,8 @@ fn main() {
             r.speedup,
             r.jobs_per_second,
             latency_json(&r.latency),
+            latency_json(&r.queue_wait),
+            latency_json(&r.solve),
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
@@ -290,7 +601,8 @@ fn main() {
     let _ = writeln!(
         j,
         "  \"mixed_traffic\": {{\"tenants\": {}, \"jobs\": {}, \"succeeded\": {}, \
-         \"deadline_expired\": {}, \"cancelled\": {}, \"seconds\": {:.6e}, \"latency_ms\": {}}}",
+         \"deadline_expired\": {}, \"cancelled\": {}, \"seconds\": {:.6e}, \"latency_ms\": {}, \
+         \"queue_wait_ms\": {}, \"solve_ms\": {}}},",
         mixed.tenants,
         mixed.jobs,
         mixed.succeeded,
@@ -298,7 +610,59 @@ fn main() {
         mixed.cancelled,
         mixed.seconds,
         latency_json(&mixed.latency),
+        latency_json(&mixed.queue_wait),
+        latency_json(&mixed.solve),
     );
+    let _ = writeln!(j, "  \"registry\": {{");
+    let _ = writeln!(
+        j,
+        "    \"zipf_replay\": {{\"seed\": {}, \"zipf_s\": {:.2}, \"jobs\": {}, \
+         \"cold_jobs\": {}, \"resubmit_jobs\": {}, \"update_jobs\": {}, \"tenants\": {}, \
+         \"unique_matrices\": {}, \"seconds\": {:.6e}, \"jobs_per_second\": {:.2}, \
+         \"latency_ms\": {}, \"queue_wait_ms\": {}, \"solve_ms\": {}}},",
+        registry.seed,
+        registry.zipf_s,
+        registry.total_jobs(),
+        registry.cold_jobs,
+        registry.resubmit_jobs,
+        registry.update_jobs,
+        registry.tenants,
+        registry.unique_matrices,
+        registry.seconds,
+        registry.jobs_per_second,
+        latency_json(&registry.latency),
+        latency_json(&registry.queue_wait),
+        latency_json(&registry.solve),
+    );
+    let _ = writeln!(
+        j,
+        "    \"dedup_hit_rate\": {:.4}, \"coalescing_hit_rate\": {:.4},",
+        registry.dedup_hit_rate, registry.coalescing_hit_rate,
+    );
+    let _ = writeln!(
+        j,
+        "    \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"collisions\": {}, \
+         \"warm_starts\": {}, \"updates\": {}, \"entries\": {}, \"bytes\": {},",
+        registry.reg.hits,
+        registry.reg.misses,
+        registry.reg.evictions,
+        registry.reg.collisions,
+        registry.reg.warm_starts,
+        registry.reg.updates,
+        registry.reg.entries,
+        registry.reg.bytes,
+    );
+    let _ = writeln!(
+        j,
+        "    \"coalesced\": {}, \"cross_tenant_coalesced\": {}, \"warm_started\": {},",
+        registry.sched.coalesced, registry.sched.cross_tenant_coalesced, registry.warm_started_jobs,
+    );
+    let _ = writeln!(
+        j,
+        "    \"coalesce_bitwise_ok\": {}",
+        registry.coalesce_bitwise_ok
+    );
+    j.push_str("  }\n");
     j.push_str("}\n");
 
     std::fs::write(&out_path, &j).expect("failed to write bench output");
@@ -309,7 +673,9 @@ fn main() {
     let parsed = std::fs::read_to_string(&out_path).expect("reread failed");
     assert!(
         parsed.matches('{').count() == parsed.matches('}').count()
-            && parsed.contains("\"throughput\""),
+            && parsed.contains("\"throughput\"")
+            && parsed.contains("\"registry\"")
+            && parsed.contains("\"queue_wait_ms\""),
         "serve bench output failed self-check"
     );
 }

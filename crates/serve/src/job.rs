@@ -61,6 +61,7 @@ pub struct SolveJob {
     pub(crate) deadline: Option<Duration>,
     pub(crate) tenant: TenantId,
     pub(crate) weight: u32,
+    pub(crate) warm_start: bool,
 }
 
 impl SolveJob {
@@ -77,6 +78,7 @@ impl SolveJob {
             deadline: None,
             tenant: TenantId::ANON,
             weight: 1,
+            warm_start: false,
         }
     }
 
@@ -98,6 +100,20 @@ impl SolveJob {
     /// Account this job to the given tenant.
     pub fn with_tenant(mut self, tenant: TenantId) -> Self {
         self.tenant = tenant;
+        self
+    }
+
+    /// Opt into warm-starting: if this tenant previously solved a matrix
+    /// with the same content fingerprint *successfully* (and this job
+    /// starts from the default zero iterate), admission seeds `x0` from
+    /// that last solution, and this job's own successful solution is
+    /// stored for the tenant's next submission. A caller-supplied `x0`
+    /// always wins over the stored one, and a quarantined or failed solve
+    /// records nothing — resubmission after a watchdog trip falls back to
+    /// the caller's x0. Off by default: jobs that did not opt in keep
+    /// bitwise-identical behavior to previous releases.
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
         self
     }
 
@@ -138,6 +154,11 @@ impl SolveJob {
     /// The initial iterate.
     pub fn x0(&self) -> &[f64] {
         &self.x0
+    }
+
+    /// Whether this job opted into warm-starting.
+    pub fn warm_start(&self) -> bool {
+        self.warm_start
     }
 }
 
@@ -180,6 +201,10 @@ pub struct JobStats {
     /// Watchdog-trip re-dispatches this job consumed before completing.
     /// See `SchedulerConfig::retry_max`.
     pub retries: u32,
+    /// Whether admission seeded this job's initial iterate from the
+    /// tenant's previous solution against the same matrix fingerprint
+    /// (see `SolveJob::with_warm_start`).
+    pub warm_started: bool,
 }
 
 /// The final state of a job: the solution vector and the solve result.

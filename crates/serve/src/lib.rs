@@ -33,7 +33,15 @@
 //!   [`wait`](JobHandle::wait) for the [`JobOutcome`];
 //! * [`ScheduledSession`] — the migration path from direct
 //!   `SolveSession` use: same `solve(a, b, x)` shape, every call routed
-//!   through the queue.
+//!   through the queue;
+//! * the **matrix registry** ([`MatrixFingerprint`], [`MatrixArtifacts`],
+//!   [`MatrixUpdate`]) — admission content-addresses every submitted CSR,
+//!   dedups bitwise-identical matrices across tenants onto one canonical
+//!   `Arc` (which is what lets job coalescing merge same-matrix/same-config
+//!   jobs *across* tenants), caches per-matrix artifacts (inverse diagonal,
+//!   row-norm alias table, spectral probe) under an LRU byte budget, and
+//!   stores per-tenant warm-start solutions
+//!   ([`SolveJob::with_warm_start`]).
 //!
 //! Failed jobs (cancelled, deadline-expired, rejected) never expose a
 //! partially-updated iterate: the outcome's `x` is bitwise the submitted
@@ -79,8 +87,12 @@
 
 mod job;
 mod mpmc;
+mod registry;
 mod scheduler;
 
 pub use job::{JobHandle, JobOutcome, JobStats, SolveJob, TenantId};
 pub use mpmc::MpmcQueue;
+pub use registry::{
+    MatrixArtifacts, MatrixFingerprint, MatrixUpdate, RegistryStats, SpectralProbe, UpdateError,
+};
 pub use scheduler::{ScheduledSession, Scheduler, SchedulerConfig, SchedulerStats, SubmitError};

@@ -1,0 +1,873 @@
+//! Content-addressed matrix registry: fingerprinting, cross-tenant
+//! dedup, cached per-matrix artifacts, and warm-start storage.
+//!
+//! Admission fingerprints every submitted CSR over its *content* —
+//! dimensions, sparsity pattern, and the exact bit patterns of its values
+//! — so two tenants submitting bitwise-identical matrices resolve to one
+//! canonical [`Arc<CsrMatrix>`]. That single pointer identity is what
+//! widens job coalescing across tenants: the scheduler's batch gate
+//! compares matrices by `Arc::ptr_eq`, and after dedup every hit shares
+//! the first submitter's allocation.
+//!
+//! Each registry entry also caches the expensive per-matrix artifacts —
+//! the inverse diagonal, a row-norm alias table for weighted index
+//! sampling, and spectral probes (a power-iteration `lambda_max`
+//! estimate) — computed once on first admission and reused by every
+//! subsequent job against the same fingerprint. Entries are evicted in
+//! LRU order under a byte budget, but never while a job that admitted
+//! through them is still in flight.
+//!
+//! Warm-start state lives here too: per `(fingerprint, tenant)` the
+//! registry remembers the tenant's last *successful* solution, so a
+//! resubmission against the same operator can seed its initial iterate
+//! from where the previous solve ended. Quarantined or failed jobs never
+//! record a solution (and a quarantine invalidates any stored one), so a
+//! resubmission after a watchdog trip falls back to the caller's x0.
+
+use crate::job::TenantId;
+use asyrgs_rng::AliasTable;
+use asyrgs_sparse::{CooBuilder, CsrMatrix, RowAccess};
+use asyrgs_spectral::lambda_max;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Iteration budget for the admission-time power-iteration probe. Small
+/// on purpose: the probe is an artifact (a cheap spectral estimate jobs
+/// and policy code can read), not a converged eigensolve.
+const PROBE_ITERS: usize = 48;
+/// Relative-change tolerance for the admission-time spectral probe.
+const PROBE_TOL: f64 = 1e-6;
+/// Fixed seed for the probe's start vector: probes are part of the
+/// content-addressed artifact set, so they must be a pure function of the
+/// matrix.
+const PROBE_SEED: u64 = 0x5EED_5EED;
+
+/// 128-bit content address of a CSR matrix: a hash over the dimensions,
+/// the sparsity pattern (`row_ptr`, `col_idx`), and the bit patterns of
+/// the stored values. Two matrices that are bitwise identical always map
+/// to the same fingerprint; the registry additionally verifies full
+/// bitwise equality on every hash hit, so a (vanishingly unlikely)
+/// collision can never alias two different operators.
+///
+/// ```
+/// use asyrgs_serve::MatrixFingerprint;
+/// let a = asyrgs::workloads::laplace2d(4, 4);
+/// let fp1 = MatrixFingerprint::of(&a);
+/// let fp2 = MatrixFingerprint::of(&a.clone());
+/// assert_eq!(fp1, fp2, "content-addressed: clones share a fingerprint");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MatrixFingerprint(pub u128);
+
+impl std::fmt::Display for MatrixFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// One FNV-1a 64-bit stream; two independently-seeded streams are
+/// concatenated into the 128-bit fingerprint.
+struct Fnv64 {
+    h: u64,
+}
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new(salt: u64) -> Self {
+        let mut s = Fnv64 { h: Self::OFFSET };
+        s.write_u64(salt);
+        s
+    }
+
+    #[inline]
+    fn write_u64(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.h = (self.h ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+}
+
+impl MatrixFingerprint {
+    /// Fingerprint a matrix by content. Deterministic across runs,
+    /// processes, and any round-trip that preserves the bit patterns of
+    /// the CSR arrays (including `SharedVec` striping, which stores
+    /// `f64::to_bits` exactly).
+    pub fn of(a: &CsrMatrix) -> Self {
+        let mut lo = Fnv64::new(0x517c_c1b7_2722_0a95);
+        let mut hi = Fnv64::new(0x2545_f491_4f6c_dd1d);
+        for s in [&mut lo, &mut hi] {
+            s.write_u64(a.n_rows() as u64);
+            s.write_u64(a.n_cols() as u64);
+            s.write_u64(a.nnz() as u64);
+        }
+        for &p in a.row_ptr() {
+            lo.write_u64(p as u64);
+            hi.write_u64(p as u64);
+        }
+        for &c in a.col_idx() {
+            lo.write_u64(c as u64);
+            hi.write_u64(c as u64);
+        }
+        for &v in a.values() {
+            lo.write_u64(v.to_bits());
+            hi.write_u64(v.to_bits());
+        }
+        MatrixFingerprint((u128::from(hi.h) << 64) | u128::from(lo.h))
+    }
+}
+
+/// Exact bitwise equality of two CSR matrices (structure and value bit
+/// patterns). Used as the collision guard behind every fingerprint hit.
+fn bitwise_equal(a: &CsrMatrix, b: &CsrMatrix) -> bool {
+    a.n_rows() == b.n_rows()
+        && a.n_cols() == b.n_cols()
+        && a.row_ptr() == b.row_ptr()
+        && a.col_idx() == b.col_idx()
+        && a.values().len() == b.values().len()
+        && a.values()
+            .iter()
+            .zip(b.values())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// A cheap spectral estimate cached per matrix at first admission.
+#[derive(Debug, Clone, Copy)]
+pub struct SpectralProbe {
+    /// Power-iteration estimate of the largest eigenvalue (Rayleigh
+    /// quotient after at most a fixed small iteration budget).
+    pub lambda_max: f64,
+    /// Iterations the probe actually ran.
+    pub iterations: usize,
+    /// Relative change of the estimate at the probe's last iteration —
+    /// a convergence indicator, not a guarantee.
+    pub last_change: f64,
+}
+
+/// The cached per-matrix artifact set, shared by every job admitted
+/// against the same fingerprint.
+#[derive(Debug, Clone)]
+pub struct MatrixArtifacts {
+    /// The canonical matrix allocation. Every deduped job's `SolveJob::a`
+    /// is swapped to this `Arc`, which is what makes cross-tenant
+    /// coalescing fire (the batch gate compares by pointer identity).
+    pub a: Arc<CsrMatrix>,
+    /// `1 / a_ii` per row — `None` when the matrix is not square or some
+    /// diagonal entry is exactly zero.
+    pub inv_diag: Option<Arc<Vec<f64>>>,
+    /// Alias table over squared row norms, for weighted row sampling.
+    /// `None` when every row is empty.
+    pub alias: Option<Arc<AliasTable>>,
+    /// Power-iteration spectral probe — `None` for non-square matrices.
+    pub probe: Option<SpectralProbe>,
+}
+
+impl MatrixArtifacts {
+    fn build(a: Arc<CsrMatrix>) -> Self {
+        let inv_diag = if a.is_square() {
+            let d = a.diag();
+            if d.iter().all(|&v| v != 0.0) {
+                Some(Arc::new(d.iter().map(|&v| 1.0 / v).collect()))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let mut norms = vec![0.0f64; a.n_rows()];
+        for (i, w) in norms.iter_mut().enumerate() {
+            a.visit_row(i, |_, v| *w += v * v);
+        }
+        let alias = if norms.iter().any(|&w| w > 0.0) {
+            Some(Arc::new(AliasTable::new(&norms)))
+        } else {
+            None
+        };
+        let probe = if a.is_square() && a.n_rows() > 0 {
+            let p = lambda_max(&a, PROBE_ITERS, PROBE_TOL, PROBE_SEED);
+            Some(SpectralProbe {
+                lambda_max: p.eigenvalue,
+                iterations: p.iterations,
+                last_change: p.last_change,
+            })
+        } else {
+            None
+        };
+        MatrixArtifacts {
+            a,
+            inv_diag,
+            alias,
+            probe,
+        }
+    }
+
+    /// Approximate heap footprint, for the registry's byte budget.
+    fn bytes(&self) -> usize {
+        let csr = (self.a.n_rows() + 1) * 8 + self.a.nnz() * 16;
+        let dinv = self.inv_diag.as_ref().map_or(0, |d| d.len() * 8);
+        // Alias table: prob + alias arrays, ~16 bytes per row.
+        let alias = self.alias.as_ref().map_or(0, |t| t.len() * 16);
+        csr + dinv + alias
+    }
+}
+
+/// An in-place patch of a registered operator. Applying one produces a
+/// *new* canonical matrix (and fingerprint) built from the cached entry —
+/// copy-on-write, so solves still holding the old `Arc` are unaffected —
+/// while warm-start state carries over to the patched entry.
+#[derive(Debug, Clone)]
+pub enum MatrixUpdate {
+    /// `A + diag(delta)`: shift the diagonal. Requires a square operator
+    /// whose sparsity pattern stores every diagonal entry.
+    DiagonalShift {
+        /// Per-row shift, length `n`.
+        delta: Vec<f64>,
+    },
+    /// `alpha * A`: scale every stored value.
+    ScaleValues {
+        /// The scale factor.
+        alpha: f64,
+    },
+    /// `A + u vᵀ` for sparse `u`, `v` given as `(index, value)` lists.
+    /// Fill-in is merged through a COO rebuild.
+    LowRank {
+        /// Sparse left factor: `(row, value)` pairs.
+        u: Vec<(usize, f64)>,
+        /// Sparse right factor: `(col, value)` pairs.
+        v: Vec<(usize, f64)>,
+    },
+}
+
+/// Why a [`MatrixUpdate`] was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateError {
+    /// The fingerprint is not (or no longer) registered.
+    UnknownFingerprint,
+    /// The update's dimensions do not match the operator.
+    Shape {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A diagonal shift touched a row whose diagonal entry is not stored
+    /// in the sparsity pattern.
+    PatternMissingDiagonal {
+        /// The offending row.
+        row: usize,
+    },
+    /// The update would introduce a non-finite value.
+    NonFinite,
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::UnknownFingerprint => write!(f, "fingerprint not registered"),
+            UpdateError::Shape { detail } => write!(f, "shape mismatch: {detail}"),
+            UpdateError::PatternMissingDiagonal { row } => {
+                write!(f, "row {row} stores no diagonal entry to shift")
+            }
+            UpdateError::NonFinite => write!(f, "update introduces a non-finite value"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// Registry counters, all monotone except `entries`/`bytes` (current
+/// occupancy). Read through `Scheduler::registry_stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RegistryStats {
+    /// Admissions that deduped onto an existing entry.
+    pub hits: u64,
+    /// Admissions that registered a new matrix.
+    pub misses: u64,
+    /// Entries evicted under the byte budget.
+    pub evictions: u64,
+    /// Hash hits rejected by the bitwise collision guard (admitted
+    /// unregistered; expected to stay 0 forever).
+    pub collisions: u64,
+    /// Jobs whose initial iterate was seeded from a stored solution.
+    pub warm_starts: u64,
+    /// Matrix updates applied (entries re-keyed under a new fingerprint).
+    pub updates: u64,
+    /// Matrices currently registered.
+    pub entries: usize,
+    /// Approximate bytes currently cached (CSR + artifacts + warm
+    /// solutions).
+    pub bytes: usize,
+}
+
+impl RegistryStats {
+    /// `hits / (hits + misses)`, or 0 when nothing was admitted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    artifacts: MatrixArtifacts,
+    /// Artifact bytes (excludes warm solutions, accounted separately).
+    artifact_bytes: usize,
+    /// Bytes of stored warm-start solutions.
+    warm_bytes: usize,
+    /// Jobs admitted through this entry and not yet completed. An entry
+    /// is never evicted while this is non-zero.
+    in_flight: usize,
+    /// LRU stamp: the registry tick of the last admission touch.
+    last_touch: u64,
+    /// Last successful solution per tenant.
+    warm: BTreeMap<TenantId, Vec<f64>>,
+}
+
+/// The content-addressed matrix store. Owned by the scheduler behind its
+/// own lock; all methods take `&mut self`.
+pub(crate) struct MatrixRegistry {
+    entries: HashMap<MatrixFingerprint, Entry>,
+    max_bytes: usize,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    collisions: u64,
+    warm_starts: u64,
+    updates: u64,
+}
+
+/// What admission resolved to (dedup hits/misses are observable through
+/// [`RegistryStats`]).
+pub(crate) struct Admission {
+    pub fingerprint: MatrixFingerprint,
+    /// The canonical allocation the job should run against.
+    pub canonical: Arc<CsrMatrix>,
+    /// Whether the entry is registered (false only after a collision).
+    pub registered: bool,
+}
+
+impl MatrixRegistry {
+    pub(crate) fn new(max_bytes: usize) -> Self {
+        MatrixRegistry {
+            entries: HashMap::new(),
+            max_bytes,
+            bytes: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            collisions: 0,
+            warm_starts: 0,
+            updates: 0,
+        }
+    }
+
+    /// Admit a matrix: dedup onto the canonical entry on a hit, register
+    /// a fresh entry (computing artifacts) on a miss. Pins the entry
+    /// (`in_flight += 1`); the scheduler must call [`Self::release`]
+    /// exactly once per admission when the job reaches any terminal
+    /// state.
+    pub(crate) fn admit(&mut self, a: &Arc<CsrMatrix>) -> Admission {
+        let fingerprint = MatrixFingerprint::of(a);
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.entries.get_mut(&fingerprint) {
+            if bitwise_equal(&entry.artifacts.a, a) {
+                self.hits += 1;
+                entry.in_flight += 1;
+                entry.last_touch = tick;
+                return Admission {
+                    fingerprint,
+                    canonical: Arc::clone(&entry.artifacts.a),
+                    registered: true,
+                };
+            }
+            // A true 128-bit collision: refuse to alias — run the job on
+            // its own allocation, unregistered.
+            self.collisions += 1;
+            return Admission {
+                fingerprint,
+                canonical: Arc::clone(a),
+                registered: false,
+            };
+        }
+        self.misses += 1;
+        let artifacts = MatrixArtifacts::build(Arc::clone(a));
+        let artifact_bytes = artifacts.bytes();
+        self.bytes += artifact_bytes;
+        self.entries.insert(
+            fingerprint,
+            Entry {
+                artifacts,
+                artifact_bytes,
+                warm_bytes: 0,
+                in_flight: 1,
+                last_touch: tick,
+                warm: BTreeMap::new(),
+            },
+        );
+        self.evict_to_budget();
+        let canonical = Arc::clone(&self.entries[&fingerprint].artifacts.a);
+        Admission {
+            fingerprint,
+            canonical,
+            registered: true,
+        }
+    }
+
+    /// Evict least-recently-touched entries until the byte budget holds,
+    /// skipping entries with jobs in flight. May leave the registry over
+    /// budget when everything is pinned.
+    fn evict_to_budget(&mut self) {
+        while self.bytes > self.max_bytes {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.in_flight == 0)
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(fp, _)| *fp);
+            match victim {
+                Some(fp) => {
+                    let e = self.entries.remove(&fp).expect("victim exists");
+                    self.bytes -= e.artifact_bytes + e.warm_bytes;
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Unpin one admission. Call exactly once per admitted job at any
+    /// terminal state (published outcome, quarantine, scheduler drop).
+    pub(crate) fn release(&mut self, fp: MatrixFingerprint) {
+        if let Some(entry) = self.entries.get_mut(&fp) {
+            entry.in_flight = entry.in_flight.saturating_sub(1);
+        }
+        self.evict_to_budget();
+    }
+
+    /// The tenant's stored solution for this fingerprint, if any, and
+    /// count the warm start.
+    pub(crate) fn take_warm_start(
+        &mut self,
+        fp: MatrixFingerprint,
+        tenant: TenantId,
+    ) -> Option<Vec<f64>> {
+        let entry = self.entries.get_mut(&fp)?;
+        let x = entry.warm.get(&tenant).cloned()?;
+        self.warm_starts += 1;
+        Some(x)
+    }
+
+    /// Record a successful solution for warm-starting the tenant's next
+    /// job against this fingerprint.
+    pub(crate) fn record_solution(&mut self, fp: MatrixFingerprint, tenant: TenantId, x: &[f64]) {
+        if let Some(entry) = self.entries.get_mut(&fp) {
+            let new_bytes = x.len() * 8;
+            let old_bytes = entry
+                .warm
+                .insert(tenant, x.to_vec())
+                .map_or(0, |v| v.len() * 8);
+            entry.warm_bytes = entry.warm_bytes + new_bytes - old_bytes;
+            self.bytes = self.bytes + new_bytes - old_bytes;
+        }
+    }
+
+    /// Drop the tenant's stored solution (called when the tenant's job on
+    /// this fingerprint is quarantined: the stored iterate is no longer
+    /// trusted, so the next submission falls back to its own x0).
+    pub(crate) fn invalidate_warm(&mut self, fp: MatrixFingerprint, tenant: TenantId) {
+        if let Some(entry) = self.entries.get_mut(&fp) {
+            if let Some(v) = entry.warm.remove(&tenant) {
+                entry.warm_bytes -= v.len() * 8;
+                self.bytes -= v.len() * 8;
+            }
+        }
+    }
+
+    /// The cached artifact set for a fingerprint.
+    pub(crate) fn artifacts(&self, fp: MatrixFingerprint) -> Option<MatrixArtifacts> {
+        self.entries.get(&fp).map(|e| e.artifacts.clone())
+    }
+
+    #[cfg(test)]
+    pub(crate) fn contains(&self, fp: MatrixFingerprint) -> bool {
+        self.entries.contains_key(&fp)
+    }
+
+    /// Apply an update to a registered operator: build the patched matrix
+    /// copy-on-write, register it under its new fingerprint (artifacts
+    /// recomputed, warm-start solutions carried over), and return the new
+    /// fingerprint. The old entry stays registered until LRU eviction
+    /// reclaims it, so in-flight solves against the old `Arc` finish
+    /// untouched.
+    pub(crate) fn apply_update(
+        &mut self,
+        fp: MatrixFingerprint,
+        update: &MatrixUpdate,
+    ) -> Result<MatrixFingerprint, UpdateError> {
+        let entry = self
+            .entries
+            .get(&fp)
+            .ok_or(UpdateError::UnknownFingerprint)?;
+        let patched = patch_matrix(&entry.artifacts.a, update)?;
+        let new_fp = MatrixFingerprint::of(&patched);
+        self.updates += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        let warm = self.entries[&fp].warm.clone();
+        if let Some(existing) = self.entries.get_mut(&new_fp) {
+            // Patch landed on an already-registered operator: just merge
+            // the warm-start state and refresh recency.
+            for (tenant, x) in warm {
+                let new_bytes = x.len() * 8;
+                let old = existing.warm.insert(tenant, x).map_or(0, |v| v.len() * 8);
+                existing.warm_bytes = existing.warm_bytes + new_bytes - old;
+                self.bytes = self.bytes + new_bytes - old;
+            }
+            existing.last_touch = tick;
+            return Ok(new_fp);
+        }
+        let artifacts = MatrixArtifacts::build(Arc::new(patched));
+        let artifact_bytes = artifacts.bytes();
+        let warm_bytes: usize = warm.values().map(|v| v.len() * 8).sum();
+        self.bytes += artifact_bytes + warm_bytes;
+        self.entries.insert(
+            new_fp,
+            Entry {
+                artifacts,
+                artifact_bytes,
+                warm_bytes,
+                in_flight: 0,
+                last_touch: tick,
+                warm,
+            },
+        );
+        self.evict_to_budget();
+        Ok(new_fp)
+    }
+
+    pub(crate) fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            collisions: self.collisions,
+            warm_starts: self.warm_starts,
+            updates: self.updates,
+            entries: self.entries.len(),
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// Build the patched matrix for a [`MatrixUpdate`] without mutating the
+/// source (which in-flight solves may still hold).
+fn patch_matrix(a: &CsrMatrix, update: &MatrixUpdate) -> Result<CsrMatrix, UpdateError> {
+    match update {
+        MatrixUpdate::DiagonalShift { delta } => {
+            if !a.is_square() {
+                return Err(UpdateError::Shape {
+                    detail: format!("diagonal shift on {}x{} operator", a.n_rows(), a.n_cols()),
+                });
+            }
+            if delta.len() != a.n_rows() {
+                return Err(UpdateError::Shape {
+                    detail: format!(
+                        "delta has length {}, operator has {} rows",
+                        delta.len(),
+                        a.n_rows()
+                    ),
+                });
+            }
+            if delta.iter().any(|v| !v.is_finite()) {
+                return Err(UpdateError::NonFinite);
+            }
+            let mut patched = a.clone();
+            let row_ptr = patched.row_ptr().to_vec();
+            let col_idx = patched.col_idx().to_vec();
+            for i in 0..row_ptr.len() - 1 {
+                if delta[i] == 0.0 {
+                    continue;
+                }
+                let lo = row_ptr[i];
+                let hi = row_ptr[i + 1];
+                let pos = col_idx[lo..hi]
+                    .iter()
+                    .position(|&c| c == i)
+                    .ok_or(UpdateError::PatternMissingDiagonal { row: i })?;
+                patched.values_mut()[lo + pos] += delta[i];
+            }
+            if patched.values().iter().any(|v| !v.is_finite()) {
+                return Err(UpdateError::NonFinite);
+            }
+            Ok(patched)
+        }
+        MatrixUpdate::ScaleValues { alpha } => {
+            if !alpha.is_finite() {
+                return Err(UpdateError::NonFinite);
+            }
+            let mut patched = a.clone();
+            for v in patched.values_mut() {
+                *v *= alpha;
+            }
+            if patched.values().iter().any(|v| !v.is_finite()) {
+                return Err(UpdateError::NonFinite);
+            }
+            Ok(patched)
+        }
+        MatrixUpdate::LowRank { u, v } => {
+            if let Some(&(i, _)) = u.iter().find(|&&(i, _)| i >= a.n_rows()) {
+                return Err(UpdateError::Shape {
+                    detail: format!("u index {} out of range for {} rows", i, a.n_rows()),
+                });
+            }
+            if let Some(&(j, _)) = v.iter().find(|&&(j, _)| j >= a.n_cols()) {
+                return Err(UpdateError::Shape {
+                    detail: format!("v index {} out of range for {} cols", j, a.n_cols()),
+                });
+            }
+            if u.iter().chain(v.iter()).any(|(_, w)| !w.is_finite()) {
+                return Err(UpdateError::NonFinite);
+            }
+            let mut coo =
+                CooBuilder::with_capacity(a.n_rows(), a.n_cols(), a.nnz() + u.len() * v.len());
+            for i in 0..a.n_rows() {
+                a.visit_row(i, |j, val| {
+                    coo.push(i, j, val).expect("indices from a valid CSR");
+                });
+            }
+            for &(i, ui) in u {
+                for &(j, vj) in v {
+                    coo.push(i, j, ui * vj).expect("indices validated above");
+                }
+            }
+            let patched = coo.to_csr();
+            if patched.values().iter().any(|v| !v.is_finite()) {
+                return Err(UpdateError::NonFinite);
+            }
+            Ok(patched)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyrgs::workloads;
+
+    fn arc(a: CsrMatrix) -> Arc<CsrMatrix> {
+        Arc::new(a)
+    }
+
+    #[test]
+    fn fingerprint_is_content_addressed() {
+        let a = workloads::diag_dominant(32, 4, 2.0, 7);
+        let fp1 = MatrixFingerprint::of(&a);
+        let fp2 = MatrixFingerprint::of(&a.clone());
+        assert_eq!(fp1, fp2);
+        // One-ulp value change: the fingerprint is bitwise-sensitive.
+        let mut perturbed = a.clone();
+        let v = perturbed.values_mut()[0];
+        perturbed.values_mut()[0] = f64::from_bits(v.to_bits() + 1);
+        assert_ne!(fp1, MatrixFingerprint::of(&perturbed));
+    }
+
+    #[test]
+    fn fingerprint_separates_structure_from_values() {
+        // Same values, different pattern must not collide in practice.
+        let a = workloads::laplace2d(3, 3);
+        let b = workloads::laplace2d(3, 3);
+        assert_eq!(MatrixFingerprint::of(&a), MatrixFingerprint::of(&b));
+        let c = workloads::diag_dominant(9, 3, 2.0, 1);
+        assert_ne!(MatrixFingerprint::of(&a), MatrixFingerprint::of(&c));
+    }
+
+    #[test]
+    fn admit_dedups_bitwise_identical_matrices() {
+        let mut reg = MatrixRegistry::new(usize::MAX);
+        let a1 = arc(workloads::laplace2d(5, 5));
+        let a2 = arc(workloads::laplace2d(5, 5));
+        assert!(!Arc::ptr_eq(&a1, &a2));
+        let adm1 = reg.admit(&a1);
+        let adm2 = reg.admit(&a2);
+        assert_eq!(adm1.fingerprint, adm2.fingerprint);
+        assert!(Arc::ptr_eq(&adm1.canonical, &adm2.canonical));
+        assert_eq!(reg.stats().entries, 1);
+        assert_eq!(reg.stats().hits, 1);
+        assert_eq!(reg.stats().misses, 1);
+    }
+
+    #[test]
+    fn artifacts_are_cached_on_first_admission() {
+        let mut reg = MatrixRegistry::new(usize::MAX);
+        let a = arc(workloads::diag_dominant(24, 4, 2.0, 3));
+        let adm = reg.admit(&a);
+        let art = reg.artifacts(adm.fingerprint).expect("registered");
+        let dinv = art.inv_diag.expect("diagonally dominant: all diag nonzero");
+        let diag = a.diag();
+        for (inv, d) in dinv.iter().zip(&diag) {
+            assert_eq!(*inv, 1.0 / d);
+        }
+        assert!(art.alias.is_some());
+        let probe = art.probe.expect("square matrix gets a probe");
+        assert!(probe.lambda_max.is_finite() && probe.lambda_max > 0.0);
+    }
+
+    #[test]
+    fn eviction_respects_in_flight_pins() {
+        // Budget of one entry's worth: admitting a second matrix would
+        // evict the first — unless it is pinned.
+        let a1 = arc(workloads::laplace2d(4, 4));
+        let a2 = arc(workloads::laplace2d(6, 6));
+        let mut reg = MatrixRegistry::new(1);
+        let adm1 = reg.admit(&a1); // pinned (in_flight = 1)
+        let adm2 = reg.admit(&a2);
+        // Both over budget but both pinned: nothing evictable.
+        assert!(reg.contains(adm1.fingerprint));
+        assert!(reg.contains(adm2.fingerprint));
+        reg.release(adm1.fingerprint);
+        reg.release(adm2.fingerprint);
+        // Now over budget with no pins: LRU eviction reclaims.
+        assert_eq!(reg.stats().entries, 0);
+        assert!(reg.stats().evictions >= 2);
+    }
+
+    #[test]
+    fn warm_start_roundtrip_and_invalidation() {
+        let mut reg = MatrixRegistry::new(usize::MAX);
+        let a = arc(workloads::laplace2d(4, 4));
+        let adm = reg.admit(&a);
+        let t = TenantId(9);
+        assert!(reg.take_warm_start(adm.fingerprint, t).is_none());
+        let x = vec![1.5; a.n_rows()];
+        reg.record_solution(adm.fingerprint, t, &x);
+        assert_eq!(
+            reg.take_warm_start(adm.fingerprint, t).as_deref(),
+            Some(&x[..])
+        );
+        assert!(reg.take_warm_start(adm.fingerprint, TenantId(10)).is_none());
+        reg.invalidate_warm(adm.fingerprint, t);
+        assert!(reg.take_warm_start(adm.fingerprint, t).is_none());
+    }
+
+    #[test]
+    fn diagonal_shift_patches_in_place_and_rekeys() {
+        let mut reg = MatrixRegistry::new(usize::MAX);
+        let a = arc(workloads::diag_dominant(16, 4, 2.0, 11));
+        let adm = reg.admit(&a);
+        let t = TenantId(2);
+        reg.record_solution(adm.fingerprint, t, &[0.25; 16]);
+        let delta = vec![0.5; 16];
+        let new_fp = reg
+            .apply_update(
+                adm.fingerprint,
+                &MatrixUpdate::DiagonalShift {
+                    delta: delta.clone(),
+                },
+            )
+            .expect("valid shift");
+        assert_ne!(new_fp, adm.fingerprint);
+        let art = reg.artifacts(new_fp).expect("patched entry registered");
+        let old_diag = a.diag();
+        let new_diag = art.a.diag();
+        for i in 0..16 {
+            assert_eq!(new_diag[i], old_diag[i] + delta[i]);
+        }
+        // Pattern unchanged; warm state carried over.
+        assert_eq!(art.a.row_ptr(), a.row_ptr());
+        assert_eq!(art.a.col_idx(), a.col_idx());
+        assert!(reg.take_warm_start(new_fp, t).is_some());
+        // Source Arc untouched (copy-on-write).
+        assert_eq!(a.diag(), old_diag);
+    }
+
+    #[test]
+    fn scale_and_low_rank_updates_match_dense_arithmetic() {
+        let mut reg = MatrixRegistry::new(usize::MAX);
+        let a = arc(workloads::diag_dominant(8, 3, 2.0, 5));
+        let adm = reg.admit(&a);
+        let scaled_fp = reg
+            .apply_update(adm.fingerprint, &MatrixUpdate::ScaleValues { alpha: 2.0 })
+            .unwrap();
+        let scaled = reg.artifacts(scaled_fp).unwrap().a;
+        for (s, v) in scaled.values().iter().zip(a.values()) {
+            assert_eq!(*s, 2.0 * v);
+        }
+
+        let u = vec![(1usize, 3.0), (4, -1.0)];
+        let v = vec![(0usize, 2.0), (6, 0.5)];
+        let lr_fp = reg
+            .apply_update(
+                adm.fingerprint,
+                &MatrixUpdate::LowRank {
+                    u: u.clone(),
+                    v: v.clone(),
+                },
+            )
+            .unwrap();
+        let patched = reg.artifacts(lr_fp).unwrap().a;
+        // Verify via matvec against e_j columns: patched = A + u v^T.
+        for j in 0..8 {
+            let mut e = vec![0.0; 8];
+            e[j] = 1.0;
+            let mut base = a.matvec(&e);
+            let got = patched.matvec(&e);
+            let vj = v.iter().find(|&&(c, _)| c == j).map_or(0.0, |&(_, w)| w);
+            for (i, b) in base.iter_mut().enumerate() {
+                let ui = u.iter().find(|&&(r, _)| r == i).map_or(0.0, |&(_, w)| w);
+                *b += ui * vj;
+            }
+            for i in 0..8 {
+                assert!(
+                    (got[i] - base[i]).abs() <= 1e-12 * base[i].abs().max(1.0),
+                    "low-rank patch mismatch at ({i},{j}): {} vs {}",
+                    got[i],
+                    base[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn update_rejections_are_typed() {
+        let mut reg = MatrixRegistry::new(usize::MAX);
+        let a = arc(workloads::laplace2d(3, 3));
+        let adm = reg.admit(&a);
+        let bogus = MatrixFingerprint(0xdead_beef);
+        assert_eq!(
+            reg.apply_update(bogus, &MatrixUpdate::ScaleValues { alpha: 1.0 }),
+            Err(UpdateError::UnknownFingerprint)
+        );
+        assert!(matches!(
+            reg.apply_update(
+                adm.fingerprint,
+                &MatrixUpdate::DiagonalShift {
+                    delta: vec![1.0; 2]
+                }
+            ),
+            Err(UpdateError::Shape { .. })
+        ));
+        assert_eq!(
+            reg.apply_update(
+                adm.fingerprint,
+                &MatrixUpdate::ScaleValues { alpha: f64::NAN }
+            ),
+            Err(UpdateError::NonFinite)
+        );
+        assert!(matches!(
+            reg.apply_update(
+                adm.fingerprint,
+                &MatrixUpdate::LowRank {
+                    u: vec![(99, 1.0)],
+                    v: vec![(0, 1.0)]
+                }
+            ),
+            Err(UpdateError::Shape { .. })
+        ));
+    }
+}

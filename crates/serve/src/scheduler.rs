@@ -18,7 +18,10 @@
 //!    deadline) join the dispatch as extra right-hand sides of one
 //!    [`solve_many`](asyrgs::session::SolveSession::solve_many) block
 //!    solve — the paper's Section 9 many-systems strategy turned into a
-//!    scheduling policy. The block kernels share one direction stream and
+//!    scheduling policy. This works *across tenants*: admission dedups
+//!    bitwise-identical matrices onto one canonical `Arc` through the
+//!    content-addressed registry, and the batch gate compares matrices by
+//!    pointer identity. The block kernels share one direction stream and
 //!    one epoch structure across the batch, which is where the aggregate
 //!    throughput win over sequential single-tenant solves comes from, and
 //!    (per PR 4) a batched solve is bitwise a sequence of single solves.
@@ -35,6 +38,9 @@
 
 use crate::job::{JobHandle, JobOutcome, JobShared, JobStats, SolveJob, TenantId};
 use crate::mpmc::MpmcQueue;
+use crate::registry::{
+    MatrixArtifacts, MatrixFingerprint, MatrixRegistry, MatrixUpdate, RegistryStats, UpdateError,
+};
 use asyrgs::session::SolverBuilder;
 use asyrgs_core::error::SolveError;
 use asyrgs_core::report::SolveReport;
@@ -142,6 +148,11 @@ pub struct SchedulerConfig {
     /// endless restarts. Exhausted tenants get their jobs quarantined on
     /// the first trip.
     pub tenant_retry_budget: u64,
+    /// Byte budget for the content-addressed matrix registry (canonical
+    /// CSRs, cached artifacts, warm-start solutions). Least-recently-used
+    /// entries are evicted when the budget is exceeded, but never while a
+    /// job admitted through them is in flight.
+    pub registry_max_bytes: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -156,6 +167,7 @@ impl Default for SchedulerConfig {
             retry_max: 2,
             retry_backoff_ms: 10,
             tenant_retry_budget: 64,
+            registry_max_bytes: 256 << 20,
         }
     }
 }
@@ -185,6 +197,15 @@ pub struct SchedulerStats {
     pub retried: u64,
     /// Completed jobs that ended in [`SolveError::Quarantined`].
     pub quarantined: u64,
+    /// Jobs dispatched as part of a coalesced batch (batch size ≥ 2;
+    /// every member counts, anchor included).
+    pub coalesced: u64,
+    /// Coalesced jobs that rode a batch anchored by a *different* tenant —
+    /// the cross-tenant merges the matrix registry's dedup enables.
+    pub cross_tenant_coalesced: u64,
+    /// Jobs whose initial iterate was seeded from the tenant's previous
+    /// solution against the same matrix fingerprint.
+    pub warm_started: u64,
 }
 
 /// One admitted job travelling from the MPMC queue to a runner.
@@ -197,6 +218,12 @@ struct Submission {
     retries: u32,
     /// Earliest dispatch time — set by retry backoff, `None` otherwise.
     not_before: Option<Instant>,
+    /// The registry entry this job admitted through (`None` only when a
+    /// fingerprint collision forced an unregistered admission). Pinned at
+    /// admission; released exactly once at any terminal state.
+    fingerprint: Option<MatrixFingerprint>,
+    /// Whether admission seeded `x0` from the tenant's stored solution.
+    warm_started: bool,
 }
 
 /// Per-tenant dispatch state: FIFO of admitted jobs plus the stride-
@@ -366,6 +393,9 @@ struct Counters {
     deadline_exceeded: AtomicU64,
     retried: AtomicU64,
     quarantined: AtomicU64,
+    coalesced: AtomicU64,
+    cross_tenant_coalesced: AtomicU64,
+    warm_started: AtomicU64,
     dispatch_seq: AtomicU64,
     running: AtomicUsize,
 }
@@ -373,6 +403,9 @@ struct Counters {
 struct Inner {
     injection: MpmcQueue<Submission>,
     dispatch: Mutex<DispatchState>,
+    /// The content-addressed matrix store, behind its own lock so
+    /// admission-time fingerprinting never contends with dispatch.
+    registry: Mutex<MatrixRegistry>,
     work: Condvar,
     slots: SlotAccountant,
     counters: Counters,
@@ -429,6 +462,7 @@ impl Scheduler {
                 parked: Vec::new(),
                 retry_spent: BTreeMap::new(),
             }),
+            registry: Mutex::new(MatrixRegistry::new(config.registry_max_bytes)),
             work: Condvar::new(),
             slots: SlotAccountant::new(config.slots.max(1)),
             counters: Counters {
@@ -439,6 +473,9 @@ impl Scheduler {
                 deadline_exceeded: AtomicU64::new(0),
                 retried: AtomicU64::new(0),
                 quarantined: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+                cross_tenant_coalesced: AtomicU64::new(0),
+                warm_started: AtomicU64::new(0),
                 dispatch_seq: AtomicU64::new(0),
                 running: AtomicUsize::new(0),
             },
@@ -556,6 +593,43 @@ impl Scheduler {
                 return Err(SubmitError::ShutDown { job: Box::new(job) });
             }
         }
+        // Registry admission: fingerprint the matrix and dedup onto the
+        // canonical allocation. The Arc swap is what widens coalescing
+        // across tenants — the batch gate compares matrices by pointer
+        // identity, and after dedup every bitwise-identical submission
+        // shares one pointer. Runs after validation so rejected jobs never
+        // pin an entry.
+        let mut job = job;
+        let mut warm_started = false;
+        let fingerprint = {
+            let mut reg = self
+                .inner
+                .registry
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let adm = reg.admit(&job.a);
+            job.a = adm.canonical;
+            if job.warm_start {
+                // Warm start replaces only the *default zero* iterate: a
+                // caller-supplied x0 always wins, and a stored solution is
+                // only trusted if it is still finite.
+                if job.x0.iter().all(|&v| v == 0.0) {
+                    if let Some(x) = reg.take_warm_start(adm.fingerprint, job.tenant) {
+                        if x.len() == job.x0.len() && x.iter().all(|v| v.is_finite()) {
+                            job.x0 = x;
+                            warm_started = true;
+                        }
+                    }
+                }
+            }
+            adm.registered.then_some(adm.fingerprint)
+        };
+        if warm_started {
+            self.inner
+                .counters
+                .warm_started
+                .fetch_add(1, Ordering::Relaxed);
+        }
         // Adopt a CancelToken/ProgressProbe the caller already configured
         // on the builder's Termination as the job's own channels, so an
         // external token and JobHandle::cancel share one flag (and both
@@ -577,8 +651,18 @@ impl Scheduler {
             submitted_at: now,
             retries: 0,
             not_before: None,
+            fingerprint,
+            warm_started,
         };
         if let Err(back) = self.inner.injection.push(sub) {
+            // The job never entered the queue: undo its registry pin.
+            if let Some(fp) = back.fingerprint {
+                self.inner
+                    .registry
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .release(fp);
+            }
             return Err(SubmitError::QueueFull {
                 job: Box::new(back.job),
             });
@@ -646,7 +730,61 @@ impl Scheduler {
             deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
             retried: c.retried.load(Ordering::Relaxed),
             quarantined: c.quarantined.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
+            cross_tenant_coalesced: c.cross_tenant_coalesced.load(Ordering::Relaxed),
+            warm_started: c.warm_started.load(Ordering::Relaxed),
         }
+    }
+
+    /// Counters and occupancy of the content-addressed matrix registry.
+    pub fn registry_stats(&self) -> RegistryStats {
+        self.inner
+            .registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stats()
+    }
+
+    /// The fingerprint a matrix would admit under — content-addressed, so
+    /// any bitwise-identical matrix maps to the same value.
+    pub fn fingerprint(a: &CsrMatrix) -> MatrixFingerprint {
+        MatrixFingerprint::of(a)
+    }
+
+    /// The cached artifact set for a registered fingerprint: the canonical
+    /// CSR, its inverse diagonal, a row-norm alias table, and the spectral
+    /// probe. `None` if the fingerprint was never registered or has been
+    /// evicted.
+    pub fn artifacts(&self, fp: MatrixFingerprint) -> Option<MatrixArtifacts> {
+        self.inner
+            .registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .artifacts(fp)
+    }
+
+    /// Patch a registered operator in place of a fresh registration: the
+    /// cached entry is rebuilt copy-on-write under the update (in-flight
+    /// solves against the old `Arc` are unaffected), artifacts are
+    /// recomputed, warm-start solutions carry over, and the new
+    /// fingerprint is returned — submit follow-up jobs against a matrix
+    /// with that content to hit the patched entry. The old entry remains
+    /// until LRU eviction reclaims it.
+    ///
+    /// # Errors
+    /// [`UpdateError`] when the fingerprint is unknown, the update's
+    /// shape does not match, the pattern cannot absorb a diagonal shift,
+    /// or the patch would introduce non-finite values.
+    pub fn apply_matrix_update(
+        &self,
+        fp: MatrixFingerprint,
+        update: &MatrixUpdate,
+    ) -> Result<MatrixFingerprint, UpdateError> {
+        self.inner
+            .registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .apply_update(fp, update)
     }
 
     /// A queue-routed counterpart of
@@ -706,6 +844,27 @@ impl Drop for Scheduler {
     }
 }
 
+/// Registry bookkeeping at any terminal state: release the admission pin
+/// exactly once, record the solution for warm-starting on success, and
+/// drop the tenant's stored solution on quarantine (a quarantined
+/// operator's iterate is no longer trusted — the next submission falls
+/// back to its own x0).
+fn registry_finish(
+    inner: &Inner,
+    sub: &Submission,
+    result: &Result<SolveReport, SolveError>,
+    x: &[f64],
+) {
+    let Some(fp) = sub.fingerprint else { return };
+    let mut reg = inner.registry.lock().unwrap_or_else(|e| e.into_inner());
+    match result {
+        Ok(_) if sub.job.warm_start => reg.record_solution(fp, sub.job.tenant, x),
+        Err(SolveError::Quarantined { .. }) => reg.invalidate_warm(fp, sub.job.tenant),
+        _ => {}
+    }
+    reg.release(fp);
+}
+
 /// Publish an outcome for a job that never ran (cancelled/expired while
 /// queued, or orphaned by shutdown).
 fn complete_undispatched(
@@ -714,6 +873,7 @@ fn complete_undispatched(
     result: Result<SolveReport, SolveError>,
     x: Vec<f64>,
 ) {
+    registry_finish(inner, sub, &result, &x);
     bump_outcome_counters(inner, &result);
     sub.shared.complete(JobOutcome {
         x,
@@ -725,6 +885,7 @@ fn complete_undispatched(
             threads_used: 0,
             batch_size: 0,
             retries: sub.retries,
+            warm_started: sub.warm_started,
         },
     });
 }
@@ -824,6 +985,19 @@ fn run_batch(inner: &Inner, batch: Vec<Submission>) {
         .iter()
         .map(|_| inner.counters.dispatch_seq.fetch_add(1, Ordering::Relaxed))
         .collect();
+    let anchor_tenant = batch[0].job.tenant;
+    let cross_tenant = batch
+        .iter()
+        .filter(|s| s.job.tenant != anchor_tenant)
+        .count() as u64;
+    inner
+        .counters
+        .coalesced
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    inner
+        .counters
+        .cross_tenant_coalesced
+        .fetch_add(cross_tenant, Ordering::Relaxed);
     for sub in &batch {
         sub.shared.mark_running();
     }
@@ -885,6 +1059,7 @@ fn run_batch(inner: &Inner, batch: Vec<Submission>) {
             .collect(),
     };
     for (i, (sub, x, result)) in outcomes.into_iter().enumerate() {
+        registry_finish(inner, &sub, &result, &x);
         bump_outcome_counters(inner, &result);
         sub.shared.complete(JobOutcome {
             x,
@@ -896,6 +1071,7 @@ fn run_batch(inner: &Inner, batch: Vec<Submission>) {
                 threads_used: threads,
                 batch_size,
                 retries: sub.retries,
+                warm_started: sub.warm_started,
             },
         });
     }
@@ -997,9 +1173,11 @@ fn run_one(inner: &Inner, sub: Submission) {
                     attempts: back.retries.saturating_add(1),
                     last_error: Box::new(error),
                 });
+                let x = back.job.x0.clone();
+                registry_finish(inner, &back, &result, &x);
                 bump_outcome_counters(inner, &result);
                 back.shared.complete(JobOutcome {
-                    x: back.job.x0.clone(),
+                    x,
                     result,
                     stats: JobStats {
                         queued,
@@ -1008,6 +1186,7 @@ fn run_one(inner: &Inner, sub: Submission) {
                         threads_used: threads,
                         batch_size: 1,
                         retries: back.retries,
+                        warm_started: back.warm_started,
                     },
                 });
                 return;
@@ -1015,6 +1194,7 @@ fn run_one(inner: &Inner, sub: Submission) {
         }
     }
 
+    registry_finish(inner, &sub, &result, &x);
     bump_outcome_counters(inner, &result);
     sub.shared.complete(JobOutcome {
         x,
@@ -1026,6 +1206,7 @@ fn run_one(inner: &Inner, sub: Submission) {
             threads_used: threads,
             batch_size: 1,
             retries: sub.retries,
+            warm_started: sub.warm_started,
         },
     });
 }

@@ -39,7 +39,7 @@ pub use dense::RowMajorMat;
 pub use error::{Result, SparseError};
 pub use op::{LinearOperator, RowAccess};
 pub use scale::{has_unit_diagonal, UnitDiagonal, UnitDiagonalView};
-pub use sell::SellMatrix;
+pub use sell::{SellMatrix, SELL_ROW_DOT_PENALTY_BOUND};
 
 #[cfg(test)]
 mod property_tests {

