@@ -36,16 +36,21 @@ fn render() -> String {
          Expectation tags: **C** = must converge to `tol` within the sweep\n\
          budget, **P** = progress only (converges in theory, too slow to\n\
          budget for), **D** = may diverge (no classical guarantee), **R** =\n\
-         must reject with a typed `SolveError`.\n\n",
+         must reject with a typed `SolveError`.\n\n\
+         The *policy pick* column is what the automatic solver policy\n\
+         (`asyrgs::policy`, behind `SolverBuilder::auto` and\n\
+         `SolveJob::auto`) selects for the scenario matrix, with the\n\
+         decision rule that fired — verified against the matrix by\n\
+         `tests/policy_matrix.rs` and tracked in `BENCH_policy.json`.\n\n",
     );
 
     let scenarios = all_scenarios();
-    out.push_str("| scenario | class | n | nnz | seed | kappa hint | tol | sweeps |");
+    out.push_str("| scenario | class | n | nnz | seed | kappa hint | tol | sweeps | policy pick |");
     for f in FAMILY_NAMES {
         let _ = write!(out, " {f} |");
     }
     out.push('\n');
-    out.push_str("|---|---|---:|---:|---:|---:|---:|---:|");
+    out.push_str("|---|---|---:|---:|---:|---:|---:|---:|---|");
     for _ in FAMILY_NAMES {
         out.push_str(":-:|");
     }
@@ -61,9 +66,12 @@ fn render() -> String {
             ScenarioClass::SquareNonsym => "square nonsym",
             ScenarioClass::LeastSquares => "least squares",
         };
+        let pick = asyrgs::policy::decide_for(&built.a)
+            .map(|d| format!("`{}` ({})", d.family.name(), d.rule))
+            .unwrap_or_else(|e| format!("rejected: {e}"));
         let _ = write!(
             out,
-            "| `{}` | {} | {} | {} | {} | {} | {:.0e} | {} |",
+            "| `{}` | {} | {} | {} | {} | {} | {:.0e} | {} | {} |",
             sc.name,
             class,
             sc.n,
@@ -72,6 +80,7 @@ fn render() -> String {
             kappa,
             sc.tol,
             sc.sweeps,
+            pick,
         );
         for f in FAMILY_NAMES {
             let _ = write!(out, " {} |", tag(sc.expectation(f)));

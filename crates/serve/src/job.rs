@@ -62,6 +62,10 @@ pub struct SolveJob {
     pub(crate) tenant: TenantId,
     pub(crate) weight: u32,
     pub(crate) warm_start: bool,
+    /// Whether the solver configuration should be resolved by the solver
+    /// policy at admission instead of taken from `builder` (see
+    /// [`SolveJob::auto`]).
+    pub(crate) auto: bool,
 }
 
 impl SolveJob {
@@ -79,7 +83,32 @@ impl SolveJob {
             tenant: TenantId::ANON,
             weight: 1,
             warm_start: false,
+            auto: false,
         }
+    }
+
+    /// A job that names **no** solver family: at admission the scheduler
+    /// profiles the (deduped, canonical) matrix, resolves the solver
+    /// policy's decision — cached per content fingerprint, so repeat
+    /// submissions of the same matrix skip the spectral probe — and runs
+    /// under the prescribed family, preconditioner, and thread count.
+    /// Inspect the pick without submitting via
+    /// `Scheduler::policy_preview`, and the probe/cache economics via
+    /// `RegistryStats::{policy_probes, policy_hits}`.
+    ///
+    /// Scheduling metadata (`with_tenant`, `with_weight`,
+    /// `with_deadline`, `with_warm_start`, `with_x0`) composes as usual.
+    pub fn auto(a: Arc<CsrMatrix>, b: Vec<f64>) -> Self {
+        // Placeholder configuration; admission replaces it with the
+        // policy's builder before the job is queued.
+        let mut job = SolveJob::new(SolverBuilder::new(asyrgs::session::SolverFamily::Cg), a, b);
+        job.auto = true;
+        job
+    }
+
+    /// Whether this job defers its solver configuration to the policy.
+    pub fn is_auto(&self) -> bool {
+        self.auto
     }
 
     /// Start from this iterate instead of zeros (length is validated at

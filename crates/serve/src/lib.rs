@@ -43,6 +43,16 @@
 //!   stores per-tenant warm-start solutions
 //!   ([`SolveJob::with_warm_start`]).
 //!
+//! A job without an explicit family — [`SolveJob::auto`] — is routed by
+//! the **solver policy** (`asyrgs::policy`, decision function in
+//! `asyrgs_core::policy`): admission profiles the matrix, runs a
+//! fixed-seed spectral probe, and configures the job from the resulting
+//! [`PolicyDecision`](asyrgs_core::policy::PolicyDecision). The registry
+//! caches the finished decision per content fingerprint, so repeat
+//! tenants of the same matrix skip the probe
+//! ([`Scheduler::policy_preview`] inspects the decision without
+//! submitting; explicit-family jobs bypass the policy entirely).
+//!
 //! Failed jobs (cancelled, deadline-expired, rejected) never expose a
 //! partially-updated iterate: the outcome's `x` is bitwise the submitted
 //! initial iterate unless the solve succeeded.

@@ -25,6 +25,8 @@
 //! resubmission after a watchdog trip falls back to the caller's x0.
 
 use crate::job::TenantId;
+use asyrgs_core::error::SolveError;
+use asyrgs_core::policy::PolicyDecision;
 use asyrgs_rng::AliasTable;
 use asyrgs_sparse::{CooBuilder, CsrMatrix, RowAccess};
 use asyrgs_spectral::lambda_max;
@@ -161,6 +163,15 @@ pub struct MatrixArtifacts {
     pub alias: Option<Arc<AliasTable>>,
     /// Power-iteration spectral probe — `None` for non-square matrices.
     pub probe: Option<SpectralProbe>,
+    /// The solver-policy decision for this matrix, resolved lazily by the
+    /// first `auto` job (or [`Scheduler::policy_preview`]) against this
+    /// fingerprint and reused by every later one — repeat tenants pay the
+    /// policy's spectral probe once per registered matrix. `None` until
+    /// some job asked for a policy decision: explicit-family jobs never
+    /// trigger the probe.
+    ///
+    /// [`Scheduler::policy_preview`]: crate::Scheduler::policy_preview
+    pub policy: Option<Arc<PolicyDecision>>,
 }
 
 impl MatrixArtifacts {
@@ -199,6 +210,7 @@ impl MatrixArtifacts {
             inv_diag,
             alias,
             probe,
+            policy: None,
         }
     }
 
@@ -291,6 +303,12 @@ pub struct RegistryStats {
     pub warm_starts: u64,
     /// Matrix updates applied (entries re-keyed under a new fingerprint).
     pub updates: u64,
+    /// Solver-policy decisions resolved by running the spectral probe
+    /// (first `auto` job or preview against a matrix).
+    pub policy_probes: u64,
+    /// Solver-policy decisions served from the per-fingerprint cache
+    /// without re-probing.
+    pub policy_hits: u64,
     /// Matrices currently registered.
     pub entries: usize,
     /// Approximate bytes currently cached (CSR + artifacts + warm
@@ -338,6 +356,8 @@ pub(crate) struct MatrixRegistry {
     collisions: u64,
     warm_starts: u64,
     updates: u64,
+    policy_probes: u64,
+    policy_hits: u64,
 }
 
 /// What admission resolved to (dedup hits/misses are observable through
@@ -363,6 +383,8 @@ impl MatrixRegistry {
             collisions: 0,
             warm_starts: 0,
             updates: 0,
+            policy_probes: 0,
+            policy_hits: 0,
         }
     }
 
@@ -494,6 +516,35 @@ impl MatrixRegistry {
         self.entries.get(&fp).map(|e| e.artifacts.clone())
     }
 
+    /// The solver-policy decision for this matrix: the cached one when the
+    /// fingerprint's entry already carries it (a *policy hit* — no matvec
+    /// spent), otherwise freshly probed through the facade's fixed-seed
+    /// pipeline (a *policy probe*) and cached on the entry when one is
+    /// registered. Cached and fresh decisions are identical by
+    /// construction — the probe is a pure function of the matrix bits —
+    /// so the cache is an observable cost optimization, never a behavior
+    /// change.
+    pub(crate) fn resolve_policy(
+        &mut self,
+        fp: MatrixFingerprint,
+        a: &CsrMatrix,
+    ) -> Result<Arc<PolicyDecision>, SolveError> {
+        if let Some(d) = self
+            .entries
+            .get(&fp)
+            .and_then(|e| e.artifacts.policy.clone())
+        {
+            self.policy_hits += 1;
+            return Ok(d);
+        }
+        let decision = Arc::new(asyrgs::policy::decide_for(a)?);
+        self.policy_probes += 1;
+        if let Some(entry) = self.entries.get_mut(&fp) {
+            entry.artifacts.policy = Some(Arc::clone(&decision));
+        }
+        Ok(decision)
+    }
+
     #[cfg(test)]
     pub(crate) fn contains(&self, fp: MatrixFingerprint) -> bool {
         self.entries.contains_key(&fp)
@@ -559,6 +610,8 @@ impl MatrixRegistry {
             collisions: self.collisions,
             warm_starts: self.warm_starts,
             updates: self.updates,
+            policy_probes: self.policy_probes,
+            policy_hits: self.policy_hits,
             entries: self.entries.len(),
             bytes: self.bytes,
         }
@@ -716,6 +769,26 @@ mod tests {
         assert!(art.alias.is_some());
         let probe = art.probe.expect("square matrix gets a probe");
         assert!(probe.lambda_max.is_finite() && probe.lambda_max > 0.0);
+    }
+
+    #[test]
+    fn policy_decisions_are_cached_per_fingerprint() {
+        let mut reg = MatrixRegistry::new(usize::MAX);
+        let a = arc(workloads::laplace2d(6, 6));
+        let adm = reg.admit(&a);
+        let d1 = reg.resolve_policy(adm.fingerprint, &a).expect("spd input");
+        assert_eq!(reg.stats().policy_probes, 1);
+        assert_eq!(reg.stats().policy_hits, 0);
+        let d2 = reg.resolve_policy(adm.fingerprint, &a).expect("cached");
+        assert_eq!(reg.stats().policy_probes, 1);
+        assert_eq!(reg.stats().policy_hits, 1);
+        assert!(Arc::ptr_eq(&d1, &d2), "hit serves the cached Arc");
+        // A structurally unservable matrix surfaces the typed error and
+        // caches nothing.
+        let zero_diag = arc(CsrMatrix::from_dense(2, 2, &[0.0, 1.0, 1.0, 2.0]));
+        let adm = reg.admit(&zero_diag);
+        assert!(reg.resolve_policy(adm.fingerprint, &zero_diag).is_err());
+        assert_eq!(reg.stats().policy_probes, 1, "failed profiling is free");
     }
 
     #[test]

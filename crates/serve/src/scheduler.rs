@@ -43,6 +43,7 @@ use crate::registry::{
 };
 use asyrgs::session::SolverBuilder;
 use asyrgs_core::error::SolveError;
+use asyrgs_core::policy::PolicyDecision;
 use asyrgs_core::report::SolveReport;
 use asyrgs_parallel::SlotAccountant;
 use asyrgs_sparse::CsrMatrix;
@@ -525,7 +526,12 @@ impl Scheduler {
     /// [`SubmitError::QueueFull`] under overload, or
     /// [`SubmitError::ShutDown`] after drop began.
     pub fn submit(&self, job: SolveJob) -> Result<JobHandle, SubmitError> {
-        if job.builder.configured_family().is_lsq() {
+        // `auto` jobs carry no family of their own: every family-dependent
+        // check is skipped here and the solver policy's decision (resolved
+        // under the registry lock below, cached per fingerprint) supplies
+        // a configuration that passes them by construction. Explicit jobs
+        // run the exact historical validation sequence.
+        if !job.auto && job.builder.configured_family().is_lsq() {
             return Err(SubmitError::Rejected {
                 error: SolveError::MethodMismatch {
                     called: "submit",
@@ -559,29 +565,32 @@ impl Scheduler {
                 job: Box::new(job),
             });
         }
-        if let Err(error) = job.builder.validate() {
-            return Err(SubmitError::Rejected {
-                error,
-                job: Box::new(job),
-            });
-        }
-        // Symmetry admission: the symmetric-theory families would only
-        // diverge (or return garbage) on a nonsymmetric operator, so the
-        // mismatch is surfaced here instead of mid-queue. Tenants with
-        // nonsymmetric systems submit the bicgstab/gmres families.
-        let family = job.builder.configured_family();
-        if family.requires_symmetric() && !job.a.is_symmetric(asyrgs::session::SYMMETRY_TOL) {
-            return Err(SubmitError::Rejected {
-                error: SolveError::DimensionMismatch {
-                    solver: "serve_submit",
-                    detail: format!(
-                        "family '{}' requires a symmetric operator, but A != A^T; \
-                         use the bicgstab or gmres family for nonsymmetric systems",
-                        family.name()
-                    ),
-                },
-                job: Box::new(job),
-            });
+        if !job.auto {
+            if let Err(error) = job.builder.validate() {
+                return Err(SubmitError::Rejected {
+                    error,
+                    job: Box::new(job),
+                });
+            }
+            // Symmetry admission: the symmetric-theory families would only
+            // diverge (or return garbage) on a nonsymmetric operator, so
+            // the mismatch is surfaced here instead of mid-queue. Tenants
+            // with nonsymmetric systems submit the bicgstab/gmres families
+            // — or a policy-routed `SolveJob::auto`, which picks one.
+            let family = job.builder.configured_family();
+            if family.requires_symmetric() && !job.a.is_symmetric(asyrgs::session::SYMMETRY_TOL) {
+                return Err(SubmitError::Rejected {
+                    error: SolveError::DimensionMismatch {
+                        solver: "serve_submit",
+                        detail: format!(
+                            "family '{}' requires a symmetric operator, but A != A^T; \
+                             use the bicgstab or gmres family for nonsymmetric systems",
+                            family.name()
+                        ),
+                    },
+                    job: Box::new(job),
+                });
+            }
         }
         {
             let st = self
@@ -609,6 +618,26 @@ impl Scheduler {
                 .unwrap_or_else(|e| e.into_inner());
             let adm = reg.admit(&job.a);
             job.a = adm.canonical;
+            if job.auto {
+                // Resolve the solver policy under the same lock: the first
+                // auto submission of a fingerprint pays the spectral probe,
+                // every later one reuses the cached decision bit-for-bit.
+                match reg.resolve_policy(adm.fingerprint, &job.a) {
+                    Ok(decision) => {
+                        job.builder = SolverBuilder::from_decision(&decision);
+                    }
+                    Err(error) => {
+                        if adm.registered {
+                            reg.release(adm.fingerprint);
+                        }
+                        drop(reg);
+                        return Err(SubmitError::Rejected {
+                            error,
+                            job: Box::new(job),
+                        });
+                    }
+                }
+            }
             if job.warm_start {
                 // Warm start replaces only the *default zero* iterate: a
                 // caller-supplied x0 always wins, and a stored solution is
@@ -761,6 +790,25 @@ impl Scheduler {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .artifacts(fp)
+    }
+
+    /// The [`PolicyDecision`] an auto job for this matrix would run under,
+    /// without submitting anything. Served from the registry's
+    /// per-fingerprint cache when available; otherwise the probe runs here
+    /// and the decision is cached if the fingerprint is registered (a
+    /// never-registered matrix is profiled fresh each call — identical
+    /// bits still yield an identical decision, the probe being fixed-seed).
+    ///
+    /// # Errors
+    /// The structural-profiling errors of [`asyrgs::policy::decide_for`]:
+    /// empty, non-finite, underdetermined, or zero-diagonal inputs that no
+    /// policy-selectable solver could accept.
+    pub fn policy_preview(&self, a: &CsrMatrix) -> Result<Arc<PolicyDecision>, SolveError> {
+        self.inner
+            .registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .resolve_policy(MatrixFingerprint::of(a), a)
     }
 
     /// Patch a registered operator in place of a fresh registration: the
@@ -1415,6 +1463,73 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn auto_jobs_resolve_policy_once_per_fingerprint() {
+        let sched = Scheduler::new(SchedulerConfig {
+            runners: 1,
+            ..SchedulerConfig::default()
+        });
+        let (a, b) = problem(8);
+        let h = sched
+            .submit(SolveJob::auto(Arc::clone(&a), b.clone()))
+            .unwrap();
+        let rep = h.wait().result.expect("policy-picked solver converges");
+        assert!(rep.final_rel_residual < 1e-8);
+        let stats = sched.registry_stats();
+        assert_eq!(stats.policy_probes, 1);
+        assert_eq!(stats.policy_hits, 0);
+        // Resubmission and preview reuse the cached decision bit-for-bit:
+        // one probe ever, everything after is a hit.
+        let d1 = sched.policy_preview(&a).unwrap();
+        let h2 = sched.submit(SolveJob::auto(Arc::clone(&a), b)).unwrap();
+        h2.wait().result.expect("cached decision still converges");
+        let d2 = sched.policy_preview(&a).unwrap();
+        assert_eq!(*d1, *d2);
+        assert_eq!(d1.family, asyrgs_core::policy::PolicyFamily::Cg);
+        let stats = sched.registry_stats();
+        assert_eq!(stats.policy_probes, 1);
+        assert_eq!(stats.policy_hits, 3);
+    }
+
+    #[test]
+    fn explicit_jobs_never_touch_the_policy() {
+        let sched = Scheduler::new(SchedulerConfig {
+            runners: 1,
+            ..SchedulerConfig::default()
+        });
+        let (a, b) = problem(8);
+        let h = sched
+            .submit(SolveJob::new(cg_builder(), Arc::clone(&a), b))
+            .unwrap();
+        h.wait().result.expect("cg converges");
+        let stats = sched.registry_stats();
+        assert_eq!(stats.policy_probes, 0);
+        assert_eq!(stats.policy_hits, 0);
+    }
+
+    #[test]
+    fn auto_rejects_what_no_solver_accepts() {
+        let sched = Scheduler::new(SchedulerConfig {
+            runners: 1,
+            ..SchedulerConfig::default()
+        });
+        let a = Arc::new(CsrMatrix::from_dense(2, 2, &[0.0, 1.0, 1.0, 2.0]));
+        let err = sched
+            .submit(SolveJob::auto(Arc::clone(&a), vec![1.0; 2]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SubmitError::Rejected {
+                error: SolveError::ZeroDiagonal { .. },
+                ..
+            }
+        ));
+        // The failed resolution charged no probe and left no cache entry.
+        let stats = sched.registry_stats();
+        assert_eq!(stats.policy_probes, 0);
+        assert_eq!(stats.policy_hits, 0);
     }
 
     #[test]

@@ -490,6 +490,42 @@ impl CsrMatrix {
         (0..self.n_rows).map(|i| self.get(i, i)).collect()
     }
 
+    /// Row diagonal-dominance margin: the minimum over rows of
+    /// `(|a_ii| - sum_{j != i} |a_ij|) / |a_ii|`.
+    ///
+    /// `1.0` means a diagonal matrix, `0.0` a weakly dominant row, negative
+    /// values rows whose off-diagonal mass exceeds the diagonal. This is the
+    /// canonical margin shared by the solver policy
+    /// (`asyrgs_core::policy`) and the scenario registry's
+    /// `dominance_margin()` accessor — compute it here, nowhere else.
+    ///
+    /// Returns `None` for non-square matrices and for matrices with a zero
+    /// diagonal entry (the ratio is undefined there; callers that need a
+    /// typed error report `ZeroDiagonal` themselves).
+    pub fn dominance_margin(&self) -> Option<f64> {
+        if !self.is_square() {
+            return None;
+        }
+        let mut margin = f64::INFINITY;
+        for i in 0..self.n_rows {
+            let (cols, vals) = self.row(i);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == i {
+                    diag += v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            if diag == 0.0 {
+                return None;
+            }
+            margin = margin.min((diag.abs() - off) / diag.abs());
+        }
+        Some(margin)
+    }
+
     /// Infinity norm `max_i sum_j |A_ij|`.
     pub fn norm_inf(&self) -> f64 {
         (0..self.n_rows)
@@ -779,5 +815,29 @@ mod tests {
         m.scale_values(2.0);
         assert_eq!(m.get(0, 0), 4.0);
         assert_eq!(m.get(1, 0), -2.0);
+    }
+
+    #[test]
+    fn dominance_margin_identity_is_one() {
+        assert_eq!(CsrMatrix::identity(4).dominance_margin(), Some(1.0));
+    }
+
+    #[test]
+    fn dominance_margin_takes_the_worst_row() {
+        // Row 0: (2 - 1)/2 = 0.5; row 1: (4 - 1 - 2)/4 = 0.25; row 2:
+        // (2 - 1)/2 = 0.5 — the margin is the minimum over rows.
+        let m = CsrMatrix::from_dense(3, 3, &[2.0, -1.0, 0.0, -1.0, 4.0, -2.0, 0.0, -1.0, 2.0]);
+        assert_eq!(m.dominance_margin(), Some(0.25));
+        // Off-diagonal mass above the diagonal goes negative.
+        let w = CsrMatrix::from_dense(2, 2, &[1.0, 3.0, 0.0, 1.0]);
+        assert_eq!(w.dominance_margin(), Some(-2.0));
+    }
+
+    #[test]
+    fn dominance_margin_undefined_cases() {
+        let rect = CsrMatrix::from_dense(2, 3, &[1.0; 6]);
+        assert_eq!(rect.dominance_margin(), None);
+        let zero_diag = CsrMatrix::from_dense(2, 2, &[0.0, 1.0, 1.0, 2.0]);
+        assert_eq!(zero_diag.dominance_margin(), None);
     }
 }

@@ -21,6 +21,11 @@ pub struct CondEstimate {
     pub lambda_min: f64,
     /// Estimated condition number `lambda_max / lambda_min`.
     pub kappa: f64,
+    /// Matrix-vector products spent: the Lanczos steps actually taken plus
+    /// the iterations of both power refinements. This is the probe-cost
+    /// currency of the solver policy (`BENCH_policy.json` reports it per
+    /// decision).
+    pub matvecs: usize,
 }
 
 /// Options for [`estimate_condition`].
@@ -43,6 +48,28 @@ impl Default for CondOptions {
             power_iters: 2000,
             tol: 1e-10,
             seed: 0xC0DE,
+        }
+    }
+}
+
+impl CondOptions {
+    /// Derive options from an explicit matrix-vector-product budget.
+    ///
+    /// The budget is an *upper bound* on [`CondEstimate::matvecs`]: a sixth
+    /// of it (at least 8, at most the default 40 steps) goes to the Lanczos
+    /// sweep, and the remainder is split evenly between the two power
+    /// refinements, which stop early once their relative change drops below
+    /// `tol`. Budgets below 24 are clamped up to 24 — anything less cannot
+    /// bracket a spectrum.
+    pub fn with_budget(matvecs: usize, seed: u64) -> Self {
+        let budget = matvecs.max(24);
+        let lanczos_steps = (budget / 6).clamp(8, 40);
+        let power_iters = (budget - lanczos_steps) / 2;
+        CondOptions {
+            lanczos_steps,
+            power_iters,
+            tol: 1e-8,
+            seed,
         }
     }
 }
@@ -78,6 +105,7 @@ pub fn estimate_condition(a: &CsrMatrix, opts: &CondOptions) -> CondEstimate {
         lambda_max: lmax,
         lambda_min: lmin,
         kappa,
+        matvecs: res.alpha.len() + p_max.iterations + p_min.iterations,
     }
 }
 
@@ -138,5 +166,39 @@ mod tests {
         assert!(est.lambda_min > 0.0);
         assert!(est.lambda_max > est.lambda_min);
         assert!(est.kappa >= 1.0);
+        assert!(est.matvecs > 0);
+    }
+
+    #[test]
+    fn budgeted_options_respect_the_matvec_budget() {
+        for budget in [24usize, 64, 240, 10_000] {
+            let opts = CondOptions::with_budget(budget, 0xC0DE);
+            assert!(opts.lanczos_steps + 2 * opts.power_iters <= budget.max(24));
+            let a = tridiag_toeplitz(30, 2.0, -1.0);
+            let est = estimate_condition(&a, &opts);
+            assert!(
+                est.matvecs <= budget.max(24),
+                "budget {budget}: spent {}",
+                est.matvecs
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_estimate_is_deterministic_and_sane() {
+        let n = 40;
+        let a = tridiag_toeplitz(n, 2.0, -1.0);
+        let eigs = tridiag_toeplitz_eigenvalues(n, 2.0, -1.0);
+        let want = eigs[n - 1] / eigs[0];
+        let opts = CondOptions::with_budget(480, 0xC0DE);
+        let e1 = estimate_condition(&a, &opts);
+        let e2 = estimate_condition(&a, &opts);
+        assert_eq!(e1, e2, "budgeted probe must be bitwise deterministic");
+        assert!(
+            (e1.kappa - want).abs() / want < 0.1,
+            "kappa {} vs {}",
+            e1.kappa,
+            want
+        );
     }
 }

@@ -16,11 +16,13 @@
 pub mod cond;
 pub mod lanczos;
 pub mod power;
+pub mod probe;
 pub mod tridiag;
 
 pub use cond::{estimate_condition, CondEstimate, CondOptions};
 pub use lanczos::{extreme_eigenvalues_lanczos, lanczos, LanczosResult};
 pub use power::{lambda_max, lambda_min_shifted, sigma_max, spectral_radius, PowerResult};
+pub use probe::{jacobi_iteration_matrix, jacobi_spectral_radius};
 pub use tridiag::{all_eigenvalues, eigenvalue_k, extreme_eigenvalues, sturm_count};
 
 #[cfg(test)]

@@ -1,0 +1,92 @@
+//! Cheap structural probes for the solver policy.
+//!
+//! The nonsymmetric scenarios have no SPD condition number; the honest
+//! surrogate (shared with the scenario registry's kappa hints) is the
+//! spectral radius of the Jacobi iteration matrix `G = I - D^{-1} A`:
+//! `rho(G) < 1` certifies Jacobi-style convergence and bounds
+//! `kappa(D^{-1} A) <= (1 + rho) / (1 - rho)`, while a large `rho`
+//! flags a matrix whose off-diagonal mass swamps its diagonal.
+
+use crate::power::{spectral_radius, PowerResult};
+use asyrgs_sparse::{CooBuilder, CsrMatrix};
+
+/// Materialize the Jacobi iteration matrix `G = I - D^{-1} A` (the
+/// diagonal of `G` is zero, so only the rescaled off-diagonal entries are
+/// stored). Returns `None` when `A` is not square or has a zero diagonal
+/// entry — the iteration matrix is undefined there.
+pub fn jacobi_iteration_matrix(a: &CsrMatrix) -> Option<CsrMatrix> {
+    if !a.is_square() {
+        return None;
+    }
+    let n = a.n_rows();
+    let diag = a.diag();
+    if diag.contains(&0.0) {
+        return None;
+    }
+    let mut coo = CooBuilder::with_capacity(n, n, a.nnz());
+    for (i, di) in diag.iter().enumerate() {
+        let (cols, vals) = a.row(i);
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c != i {
+                coo.push(i, c, -v / di).unwrap();
+            }
+        }
+    }
+    Some(coo.to_csr())
+}
+
+/// Estimate `rho(I - D^{-1} A)` by the nonsymmetric power iteration.
+///
+/// This is the spectral-radius path of the policy's nonsymmetric probe and
+/// of `Scenario::estimate_kappa` on nonsymmetric scenarios. The matvec
+/// cost is [`PowerResult::iterations`] products with `G` (same nnz as
+/// `A` minus its diagonal). `None` when the iteration matrix is undefined
+/// (non-square or zero diagonal).
+pub fn jacobi_spectral_radius(
+    a: &CsrMatrix,
+    max_iters: usize,
+    tol: f64,
+    seed: u64,
+) -> Option<PowerResult> {
+    let g = jacobi_iteration_matrix(a)?;
+    Some(spectral_radius(&g, max_iters, tol, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_matrix_of_diagonal_is_empty() {
+        let a = CsrMatrix::identity(5);
+        let g = jacobi_iteration_matrix(&a).unwrap();
+        assert_eq!(g.nnz(), 0);
+        let r = jacobi_spectral_radius(&a, 100, 1e-10, 1).unwrap();
+        assert_eq!(r.eigenvalue, 0.0);
+    }
+
+    #[test]
+    fn dominant_matrix_has_contractive_iteration_matrix() {
+        // Strict row dominance => rho(G) <= ||G||_inf < 1.
+        let a = CsrMatrix::from_dense(2, 2, &[4.0, -1.0, -1.0, 4.0]);
+        let r = jacobi_spectral_radius(&a, 2000, 1e-12, 2).unwrap();
+        assert!((r.eigenvalue - 0.25).abs() < 1e-6, "got {}", r.eigenvalue);
+    }
+
+    #[test]
+    fn weak_diagonal_blows_the_radius_up() {
+        // G = -(1/0.2) * offdiag: the +-1 skew couple becomes +-5i,
+        // rho = 5.
+        let a = CsrMatrix::from_dense(2, 2, &[0.2, 1.0, -1.0, 0.2]);
+        let r = jacobi_spectral_radius(&a, 2000, 1e-10, 3).unwrap();
+        assert!((r.eigenvalue - 5.0).abs() < 1e-6, "got {}", r.eigenvalue);
+    }
+
+    #[test]
+    fn undefined_cases_return_none() {
+        let rect = CsrMatrix::from_dense(2, 3, &[1.0; 6]);
+        assert!(jacobi_iteration_matrix(&rect).is_none());
+        let zero_diag = CsrMatrix::from_dense(2, 2, &[0.0, 1.0, 1.0, 1.0]);
+        assert!(jacobi_spectral_radius(&zero_diag, 100, 1e-10, 4).is_none());
+    }
+}

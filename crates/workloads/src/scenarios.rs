@@ -265,15 +265,29 @@ impl Scenario {
     /// `asyrgs-spectral` iterative estimator (square scenarios; `None` for
     /// least squares, whose conditioning the LSQ theory takes through
     /// `A^T A`).
+    ///
+    /// SPD scenarios go through the Lanczos + power estimator
+    /// (`estimate_condition`). Nonsymmetric scenarios take the
+    /// spectral-radius path instead: the Lanczos-based SPD estimator is
+    /// meaningless there, so the estimate is the same Jacobi
+    /// iteration-matrix surrogate `(1 + rho) / (1 - rho)` the registry's
+    /// `kappa_hint` is built from — `None` when `rho >= 1` (the bound is
+    /// vacuous).
+    ///
+    /// Documented accuracy on the ill-conditioning ladder (fixed default
+    /// budget, the regime the solver policy's thresholds are calibrated
+    /// in): at `kappa ~ 1e2` the estimate is within 5% of the closed-form
+    /// hint; at `kappa ~ 1e4` within a factor of 4 (the shifted power
+    /// iteration under-resolves `lambda_min`); at `kappa ~ 1e6` only the
+    /// **order floor** survives — the estimate stays a (severe)
+    /// underestimate but still lands far above the `1e3` ill-conditioning
+    /// threshold, which is all the policy consumes.
     pub fn estimate_kappa(&self, built: &BuiltScenario) -> Option<f64> {
         if !built.a.is_square() {
             return None;
         }
         if self.class == ScenarioClass::SquareNonsym {
-            // The Lanczos-based SPD estimator is meaningless here; the
-            // registry's `kappa_hint` (Jacobi spectral-radius surrogate)
-            // is the only conditioning signal for nonsymmetric scenarios.
-            return None;
+            return nonsym_kappa_hint(&built.a);
         }
         let est = estimate_condition(
             &built.a,
@@ -283,6 +297,15 @@ impl Scenario {
             },
         );
         Some(est.kappa)
+    }
+
+    /// The canonical row diagonal-dominance margin of the built system —
+    /// [`CsrMatrix::dominance_margin`] on the scenario matrix, the same
+    /// value the solver policy (`asyrgs_core::policy`) profiles. `None`
+    /// for least-squares scenarios and any system with a zero diagonal
+    /// entry, where the margin is undefined.
+    pub fn dominance_margin(&self, built: &BuiltScenario) -> Option<f64> {
+        built.a.dominance_margin()
     }
 }
 
@@ -539,24 +562,12 @@ fn build_skew_dominant(_seed: u64) -> BuiltScenario {
 
 /// Condition-number surrogate for a diagonally dominant nonsymmetric
 /// system, recorded as the scenario's kappa hint: estimate the spectral
-/// radius `rho` of the Jacobi iteration matrix `G = I - D^{-1} A` with
-/// the nonsymmetric power iteration (`asyrgs_spectral::spectral_radius`),
-/// then bound `kappa(D^{-1}A) <= (1 + rho) / (1 - rho)`. `None` when
-/// `rho >= 1` (the bound is vacuous there).
+/// radius `rho` of the Jacobi iteration matrix `G = I - D^{-1} A`
+/// (`asyrgs_spectral::jacobi_spectral_radius`, the policy's shared
+/// probe), then bound `kappa(D^{-1}A) <= (1 + rho) / (1 - rho)`. `None`
+/// when `rho >= 1` (the bound is vacuous there).
 fn nonsym_kappa_hint(a: &CsrMatrix) -> Option<f64> {
-    let n = a.n_rows();
-    let diag = a.diag();
-    let mut coo = CooBuilder::with_capacity(n, n, a.nnz());
-    for (i, di) in diag.iter().enumerate() {
-        let (cols, vals) = a.row(i);
-        for (&c, &v) in cols.iter().zip(vals) {
-            if c != i {
-                coo.push(i, c, -v / di).unwrap();
-            }
-        }
-    }
-    let g = coo.to_csr();
-    let rho = asyrgs_spectral::spectral_radius(&g, 600, 1e-8, 0x4E0E).eigenvalue;
+    let rho = asyrgs_spectral::jacobi_spectral_radius(a, 600, 1e-8, 0x4E0E)?.eigenvalue;
     if rho < 1.0 {
         Some((1.0 + rho) / (1.0 - rho))
     } else {
@@ -1071,6 +1082,56 @@ mod tests {
         assert!((50.0..500.0).contains(&k2), "{k2}");
         assert!((3e3..5e4).contains(&k4), "{k4}");
         assert!(k6 > 5e5, "{k6}");
+    }
+
+    #[test]
+    fn ladder_kappa_estimates_stay_within_their_documented_factors() {
+        // The accuracy contract `estimate_kappa` documents, rung by rung
+        // — the same contract the solver policy's 1e3 ill-conditioning
+        // threshold is calibrated against.
+        let est_of = |name: &str| {
+            let sc = find(name).unwrap();
+            let built = sc.build();
+            (sc.estimate_kappa(&built).unwrap(), sc.kappa_hint.unwrap())
+        };
+        // kappa ~ 1e2: within 5% of the closed-form hint.
+        let (est, hint) = est_of("kappa_1e2");
+        assert!(
+            (est - hint).abs() / hint < 0.05,
+            "kappa_1e2: est {est:.3e} vs hint {hint:.3e}"
+        );
+        // kappa ~ 1e4: within a factor of 4, from below or above.
+        let (est, hint) = est_of("kappa_1e4");
+        assert!(
+            est >= hint / 4.0 && est <= hint * 4.0,
+            "kappa_1e4: est {est:.3e} vs hint {hint:.3e} breaches the 4x factor"
+        );
+        // kappa ~ 1e6: an underestimate, but the order floor holds — the
+        // estimate must clear the policy's 1e3 threshold decisively.
+        let (est, hint) = est_of("kappa_1e6");
+        assert!(
+            est >= 1e3 && est <= hint,
+            "kappa_1e6: est {est:.3e} vs hint {hint:.3e} left the documented band"
+        );
+    }
+
+    #[test]
+    fn nonsym_estimates_take_the_spectral_radius_path() {
+        // A nonsymmetric scenario with a contracting Jacobi iteration
+        // matrix gets the (1 + rho)/(1 - rho) surrogate even where no
+        // closed-form hint is registered...
+        let sc = find("skew_perturbed_laplace").unwrap();
+        assert!(sc.kappa_hint.is_none());
+        let est = sc.estimate_kappa(&sc.build()).unwrap();
+        assert!(est.is_finite() && est > 1.0, "surrogate {est}");
+        // ...and where the radius exceeds 1 the bound is vacuous: None,
+        // never a fabricated number.
+        let sc = find("skew_dominant").unwrap();
+        assert!(sc.estimate_kappa(&sc.build()).is_none());
+        // The registered hints for the dominant nonsym scenarios come from
+        // the same path, so estimate and hint coincide exactly.
+        let sc = find("pagerank_style").unwrap();
+        assert_eq!(sc.estimate_kappa(&sc.build()), sc.kappa_hint);
     }
 
     #[test]

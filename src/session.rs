@@ -218,7 +218,10 @@ pub enum PrecondSpec {
 
 /// Absolute entrywise tolerance for the session/serve symmetry
 /// admission check: `|a_ij - a_ji|` at or below this is still symmetric.
-pub const SYMMETRY_TOL: f64 = 1e-9;
+/// An alias of the canonical [`asyrgs_core::policy::SYMMETRY_TOL`] — the
+/// admission gate and the solver policy's profiling must agree on what
+/// "symmetric" means, or the policy could pick a family the gate rejects.
+pub const SYMMETRY_TOL: f64 = asyrgs_core::policy::SYMMETRY_TOL;
 
 /// Whether a square operator is symmetric to an absolute entrywise
 /// tolerance — the admission check behind

@@ -371,6 +371,87 @@ fn empty_system_every_square_family() {
 }
 
 // ---------------------------------------------------------------------------
+// Policy admission (`SolverBuilder::auto` / `SolveJob::auto`) surfaces the
+// same typed errors — an input no policy-selectable solver could accept is
+// rejected at profiling time, before any probe or solve touches state.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn auto_builder_rejects_with_the_existing_variants() {
+    // Underdetermined (wide) rectangular input: no registered solver
+    // handles rows < cols.
+    let wide = CsrMatrix::from_dense(2, 3, &[1.0, 0.0, 2.0, 0.0, 1.0, 3.0]);
+    assert!(matches!(
+        SolverBuilder::auto(&wide).unwrap_err(),
+        SolveError::DimensionMismatch { .. }
+    ));
+    // Zero diagonal: structural profiling reports the entry exactly, and
+    // `needs_positive: false` (the policy itself never requires an SPD
+    // diagonal — that is per-family knowledge).
+    assert_eq!(
+        SolverBuilder::auto(&zero_diag_matrix()).unwrap_err(),
+        SolveError::ZeroDiagonal {
+            index: 1,
+            value: 0.0,
+            needs_positive: false
+        }
+    );
+    // Non-finite entries are rejected before any probe could smear NaNs
+    // through a power iteration.
+    let nan = CsrMatrix::from_dense(2, 2, &[2.0, f64::NAN, 1.0, 2.0]);
+    assert!(matches!(
+        SolverBuilder::auto(&nan).unwrap_err(),
+        SolveError::NonFiniteInput { .. }
+    ));
+    assert!(matches!(
+        SolverBuilder::auto(&empty_matrix()).unwrap_err(),
+        SolveError::EmptySystem { .. }
+    ));
+}
+
+#[test]
+fn auto_scheduler_rejections_leave_the_iterate_untouched() {
+    use asyrgs_serve::{Scheduler, SchedulerConfig, SolveJob, SubmitError};
+    use std::sync::Arc;
+
+    let sched = Scheduler::new(SchedulerConfig {
+        runners: 1,
+        ..SchedulerConfig::default()
+    });
+    type ErrorCheck = fn(&SolveError) -> bool;
+    let bad: [(CsrMatrix, ErrorCheck); 2] = [
+        (zero_diag_matrix(), |e| {
+            matches!(e, SolveError::ZeroDiagonal { .. })
+        }),
+        (
+            CsrMatrix::from_dense(
+                3,
+                3,
+                &[2.0, 0.0, 0.0, 0.0, f64::INFINITY, 0.0, 0.0, 0.0, 2.0],
+            ),
+            |e| matches!(e, SolveError::NonFiniteInput { .. }),
+        ),
+    ];
+    for (a, is_expected) in bad {
+        let n = a.n_rows();
+        let job = SolveJob::auto(Arc::new(a), vec![1.0; n]).with_x0(vec![SENTINEL; n]);
+        let Err(err) = sched.submit(job) else {
+            panic!("an unservable auto job must be rejected at admission");
+        };
+        match err {
+            SubmitError::Rejected { error, job } => {
+                assert!(is_expected(&error), "{error:?}");
+                // The rejected job hands the caller's iterate back bitwise.
+                assert!(untouched(job.x0()), "rejected auto job mutated x0");
+            }
+            _ => panic!("expected SubmitError::Rejected"),
+        }
+    }
+    // No probe was charged for any of the rejected inputs.
+    assert_eq!(sched.registry_stats().policy_probes, 0);
+}
+
+// ---------------------------------------------------------------------------
 // Session layer surfaces the same typed errors
 // ---------------------------------------------------------------------------
 
